@@ -1,0 +1,56 @@
+//! Criterion benchmarks for the inner engine, `BUBBLE_CONSTRUCT`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use merlin::{BubbleConstruct, MerlinConfig};
+use merlin_geom::CandidateStrategy;
+use merlin_netlist::bench_nets::random_net;
+use merlin_order::tsp::tsp_order;
+use merlin_tech::Technology;
+
+fn bench_construct(c: &mut Criterion) {
+    let tech = Technology::synthetic_035();
+    for n in [4usize, 6, 8] {
+        let net = random_net("bench", n, n as u64, &tech);
+        let order = tsp_order(net.source, &net.sink_positions());
+        let cfg = MerlinConfig {
+            alpha: 6,
+            candidates: CandidateStrategy::ReducedHanan { max_points: 16 },
+            max_curve_points: 8,
+            ..MerlinConfig::default()
+        };
+        let engine = BubbleConstruct::new(&net, &tech, cfg);
+        c.bench_function(&format!("bubble_construct_n{n}"), |b| {
+            b.iter(|| engine.run(&order))
+        });
+    }
+}
+
+fn bench_bubbling_ablation(c: &mut Criterion) {
+    let tech = Technology::synthetic_035();
+    let net = random_net("bench", 8, 8, &tech);
+    let order = tsp_order(net.source, &net.sink_positions());
+    for (label, bubbling) in [("with_bubbling", true), ("chi0_only", false)] {
+        let cfg = MerlinConfig {
+            alpha: 6,
+            candidates: CandidateStrategy::ReducedHanan { max_points: 16 },
+            max_curve_points: 8,
+            enable_bubbling: bubbling,
+            ..MerlinConfig::default()
+        };
+        let engine = BubbleConstruct::new(&net, &tech, cfg);
+        c.bench_function(&format!("bubble_construct_n8_{label}"), |b| {
+            b.iter(|| engine.run(&order))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_construct, bench_bubbling_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks for the solution-curve operators — the hot
+//! path of every DP in the workspace.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use merlin_curves::{Curve, CurvePoint, ProvId};
+use merlin_tech::{BufferLibrary, WireModel};
+
+fn synth_curve(n: u32, seed: u64) -> Curve {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut c = Curve::new();
+    for i in 0..n {
+        c.push(CurvePoint::new(
+            (next() % 4000) as u32,
+            (next() % 100_000) as f64 / 10.0,
+            next() % 40_000,
+            ProvId::new(i),
+        ));
+    }
+    c
+}
+
+fn bench_prune(c: &mut Criterion) {
+    c.bench_function("curve_prune_256", |b| {
+        b.iter_batched(
+            || synth_curve(256, 7),
+            |mut curve| curve.prune(),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("curve_prune_2048", |b| {
+        b.iter_batched(
+            || synth_curve(2048, 9),
+            |mut curve| curve.prune(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut a = synth_curve(512, 3);
+    a.prune();
+    let mut b2 = synth_curve(512, 5);
+    b2.prune();
+    c.bench_function("curve_merge_pruned", |b| {
+        b.iter(|| a.merged_with(&b2, |x, _| x))
+    });
+}
+
+fn bench_extend_and_buffer(c: &mut Criterion) {
+    let wire = WireModel::synthetic_035();
+    let lib = BufferLibrary::synthetic_035();
+    let mut base = synth_curve(256, 11);
+    base.prune();
+    c.bench_function("curve_extend_wire", |b| {
+        b.iter(|| base.extended(&wire, 1000, |p| p))
+    });
+    c.bench_function("curve_buffer_options_34", |b| {
+        b.iter(|| base.with_buffer_options(&lib, |_, p| p))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_prune, bench_merge, bench_extend_and_buffer
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmarks comparing the three experimental flows end to end
+//! on one fixed small net (the per-flow cost structure behind Table 1's
+//! runtime columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use merlin_flows::{flow0, flow1, flow2, flow3, FlowsConfig};
+use merlin_netlist::bench_nets::random_net;
+use merlin_tech::Technology;
+
+fn bench_flows(c: &mut Criterion) {
+    let tech = Technology::synthetic_035();
+    let net = random_net("bench", 8, 77, &tech);
+    let cfg = FlowsConfig::for_net_size(8);
+    c.bench_function("flow0_mst_vg_n8", |b| {
+        b.iter(|| flow0::run(&net, &tech, &cfg))
+    });
+    c.bench_function("flow1_lttree_ptree_n8", |b| {
+        b.iter(|| flow1::run(&net, &tech, &cfg))
+    });
+    c.bench_function("flow2_ptree_vg_n8", |b| {
+        b.iter(|| flow2::run(&net, &tech, &cfg))
+    });
+    c.bench_function("flow3_merlin_n8", |b| {
+        b.iter(|| flow3::run(&net, &tech, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_flows
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the PTREE baseline DP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use merlin_geom::CandidateStrategy;
+use merlin_netlist::bench_nets::random_net;
+use merlin_order::tsp::tsp_order;
+use merlin_ptree::{Ptree, PtreeConfig};
+use merlin_tech::Technology;
+
+fn bench_ptree(c: &mut Criterion) {
+    let tech = Technology::synthetic_035();
+    for (n, strat) in [
+        (6usize, CandidateStrategy::FullHanan),
+        (10, CandidateStrategy::FullHanan),
+        (16, CandidateStrategy::ReducedHanan { max_points: 32 }),
+    ] {
+        let net = random_net("bench", n, n as u64, &tech);
+        let order = tsp_order(net.source, &net.sink_positions());
+        let cands = strat.generate(net.source, &net.sink_positions());
+        let solver = Ptree::new(&net, &tech, PtreeConfig::default());
+        c.bench_function(&format!("ptree_n{n}_k{}", cands.len()), |b| {
+            b.iter(|| solver.solve(&order, &cands))
+        });
+    }
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let tech = Technology::synthetic_035();
+    let net = random_net("bench", 10, 10, &tech);
+    let order = tsp_order(net.source, &net.sink_positions());
+    let cands = CandidateStrategy::FullHanan.generate(net.source, &net.sink_positions());
+    let solved = Ptree::new(&net, &tech, PtreeConfig::default()).solve(&order, &cands);
+    let best = solved.best_point().unwrap();
+    c.bench_function("ptree_extract_n10", |b| b.iter(|| solved.extract(&best)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ptree, bench_extract
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! **E5/E7** — ablations:
+//!
+//! * candidate-location strategy (§III.1: "neither one of the above
+//!   choices would alter the final result significantly"),
+//! * initial sink order (§IV: "initial orders have very small effect"),
+//! * bubbling on/off (the value of the χ1..χ3 structures — E7).
+
+use merlin::{Merlin, MerlinConfig};
+use merlin_geom::CandidateStrategy;
+use merlin_netlist::bench_nets::random_net;
+use merlin_order::tsp::{random_order, required_time_order, tsp_order};
+use merlin_tech::Technology;
+
+fn main() {
+    let tech = Technology::synthetic_035();
+    let nets: Vec<_> = (1..=6u64)
+        .map(|s| random_net(&format!("abl{s}"), 10, s, &tech))
+        .collect();
+
+    println!("E5a: candidate-location strategies (10-sink nets, avg driver req time, ps)\n");
+    let strategies: [(&str, CandidateStrategy); 4] = [
+        ("full-hanan", CandidateStrategy::FullHanan),
+        (
+            "reduced-hanan",
+            CandidateStrategy::ReducedHanan { max_points: 20 },
+        ),
+        ("center-of-mass", CandidateStrategy::CenterOfMass { window: 4 }),
+        ("grid", CandidateStrategy::Grid { nx: 5, ny: 5 }),
+    ];
+    for (name, strat) in strategies {
+        let cfg = MerlinConfig {
+            candidates: strat,
+            max_curve_points: 10,
+            ..MerlinConfig::default()
+        };
+        let avg: f64 = nets
+            .iter()
+            .map(|n| Merlin::new(&tech, cfg).optimize(n).root_required_ps)
+            .sum::<f64>()
+            / nets.len() as f64;
+        println!("  {name:<16} avg req @ driver = {avg:9.1} ps");
+    }
+
+    println!("\nE5b: initial sink orders\n");
+    let cfg = MerlinConfig {
+        max_curve_points: 10,
+        ..MerlinConfig::default()
+    };
+    let orders: [(&str, fn(&merlin_netlist::Net) -> merlin_order::SinkOrder); 3] = [
+        ("tsp", |n| tsp_order(n.source, &n.sink_positions())),
+        ("required-time", |n| required_time_order(&n.sink_reqs())),
+        ("random", |n| random_order(n.num_sinks(), 1234)),
+    ];
+    for (name, mk) in orders {
+        let avg: f64 = nets
+            .iter()
+            .map(|n| {
+                Merlin::new(&tech, cfg)
+                    .optimize_from(n, mk(n))
+                    .root_required_ps
+            })
+            .sum::<f64>()
+            / nets.len() as f64;
+        println!("  {name:<16} avg req @ driver = {avg:9.1} ps");
+    }
+
+    println!("\nE8: strict Cα (1 inner group) vs relaxed (2 inner groups)\n");
+    for (name, groups) in [("strict (paper)", 1usize), ("relaxed", 2)] {
+        let cfg = MerlinConfig {
+            max_inner_groups: groups,
+            max_curve_points: 10,
+            max_loops: 2,
+            ..MerlinConfig::default()
+        };
+        let mut avg_req = 0.0;
+        let mut secs = 0.0;
+        for n in &nets {
+            let t0 = std::time::Instant::now();
+            avg_req += Merlin::new(&tech, cfg).optimize(n).root_required_ps;
+            secs += t0.elapsed().as_secs_f64();
+        }
+        avg_req /= nets.len() as f64;
+        println!("  {name:<16} avg req = {avg_req:9.1} ps, total {secs:6.2}s");
+    }
+
+    println!("\nE7: bubbling (χ1..χ3) on vs off\n");
+    for (name, bubbling) in [("bubbling on", true), ("χ0 only", false)] {
+        let cfg = MerlinConfig {
+            enable_bubbling: bubbling,
+            max_curve_points: 10,
+            ..MerlinConfig::default()
+        };
+        let mut avg_req = 0.0;
+        let mut avg_loops = 0.0;
+        for n in &nets {
+            let out = Merlin::new(&tech, cfg).optimize(n);
+            avg_req += out.root_required_ps;
+            avg_loops += out.loops as f64;
+        }
+        avg_req /= nets.len() as f64;
+        avg_loops /= nets.len() as f64;
+        println!("  {name:<14} avg req = {avg_req:9.1} ps, avg loops = {avg_loops:.1}");
+    }
+}

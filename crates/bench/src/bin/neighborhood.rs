@@ -1,0 +1,56 @@
+//! **E3** — Theorem 1: the neighborhood `N(Π)` grows as a Fibonacci
+//! (golden-ratio) exponential, while `BUBBLE_CONSTRUCT` covers it in
+//! polynomial time. Prints the closed form, cross-checked against explicit
+//! enumeration for small `n`, alongside the number of *distinct
+//! sub-problems actually solved* for a real net of the same size.
+
+use merlin::{BubbleConstruct, MerlinConfig};
+use merlin_netlist::bench_nets::random_net;
+use merlin_order::fib::neighborhood_size;
+use merlin_order::neighborhood::enumerate;
+use merlin_order::tsp::tsp_order;
+use merlin_order::SinkOrder;
+use merlin_tech::Technology;
+
+fn main() {
+    println!("E3 / Theorem 1: |N(Π)| = Fib(n+1) (standard indexing)\n");
+    println!(
+        "{:>4} {:>20} {:>12} | {:>14} {:>12}",
+        "n", "|N(Π)| closed form", "enumerated", "sub-problems", "cache hits"
+    );
+    let tech = Technology::synthetic_035();
+    for n in 1..=16usize {
+        let closed = neighborhood_size(n);
+        let enumerated = if n <= 12 {
+            enumerate(&SinkOrder::identity(n)).len().to_string()
+        } else {
+            "-".to_owned()
+        };
+        // The polynomial-cover side: distinct *PTREE sub-problems solved
+        // for a real n-sink instance.
+        let (solved, hits) = if n <= 12 {
+            let net = random_net("e3", n, n as u64, &tech);
+            let order = tsp_order(net.source, &net.sink_positions());
+            let cfg = MerlinConfig {
+                max_curve_points: 8,
+                ..MerlinConfig::default()
+            };
+            let res = BubbleConstruct::new(&net, &tech, cfg).run(&order);
+            (
+                res.stats.cache_misses.to_string(),
+                res.stats.cache_hits.to_string(),
+            )
+        } else {
+            ("-".to_owned(), "-".to_owned())
+        };
+        println!(
+            "{:>4} {:>20} {:>12} | {:>14} {:>12}",
+            n, closed, enumerated, solved, hits
+        );
+    }
+    println!(
+        "\nThe neighborhood size explodes exponentially (ratio → φ ≈ 1.618) while\n\
+         the number of distinct sub-problems the engine solves stays polynomial —\n\
+         the sharing of Lemma 7 in action."
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table 1**: buffer area, delay and runtime for the 18
+//! benchmark nets under the three flows.
+//!
+//! ```text
+//! cargo run -p merlin-bench --release --bin table1 [-- --max-sinks 73]
+//! ```
+//!
+//! `--max-sinks N` skips nets larger than `N` (the full run including the
+//! 73-sink net takes a while, exactly as the paper's Flow I/III runtimes
+//! did on 1999 hardware).
+
+use merlin_bench::arg_flag;
+use merlin_flows::{net_harness, report};
+use merlin_netlist::bench_nets;
+use merlin_tech::Technology;
+
+fn main() {
+    let max_sinks = arg_flag("--max-sinks", 73) as usize;
+    let tech = Technology::synthetic_035();
+    let cases = bench_nets::table1_cases(&tech);
+    let mut rows = Vec::new();
+    for case in &cases {
+        if case.net.num_sinks() > max_sinks {
+            eprintln!(
+                "skipping {} ({} sinks > --max-sinks {max_sinks})",
+                case.net.name,
+                case.net.num_sinks()
+            );
+            continue;
+        }
+        eprintln!(
+            "running {} / {} ({} sinks)...",
+            case.circuit,
+            case.net.name,
+            case.net.num_sinks()
+        );
+        rows.push(net_harness::run_case(case, &tech));
+    }
+    println!("\nTable 1: Total Buffer Area, Delay, and Runtime for a Set of Nets");
+    println!("(Flow I absolute; Flow II/III as ratios over Flow I, as in the paper)\n");
+    print!("{}", report::table1(&rows));
+}

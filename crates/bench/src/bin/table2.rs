@@ -1,0 +1,39 @@
+//! Regenerates **Table 2**: post-layout area, delay and runtime of the 15
+//! benchmark circuits under the three flows.
+//!
+//! ```text
+//! cargo run -p merlin-bench --release --bin table2 [-- --scale 40]
+//! ```
+//!
+//! `--scale D` divides the paper's published cell areas by `D` when sizing
+//! the synthetic circuits (`DESIGN.md` §3); `--scale 1` builds full-size
+//! circuits (slow). The reported ratios are what matters.
+
+use merlin_bench::arg_flag;
+use merlin_flows::circuit_harness::{run_circuit, FlowKind};
+use merlin_flows::report::{table2, CircuitRow};
+use merlin_netlist::generator::{gates_for_area, synthetic_circuit, TABLE2_SPECS};
+use merlin_tech::Technology;
+
+fn main() {
+    let scale = arg_flag("--scale", 40);
+    let tech = Technology::synthetic_035();
+    let mut rows = Vec::new();
+    for (i, (name, area_kl2)) in TABLE2_SPECS.iter().enumerate() {
+        let gates = gates_for_area(*area_kl2, scale);
+        eprintln!("running {name} ({gates} gates, scale 1/{scale})...");
+        let circuit = synthetic_circuit(name, gates, i as u64 + 100);
+        let flow1 = run_circuit(&circuit, &tech, FlowKind::Lttree);
+        let flow2 = run_circuit(&circuit, &tech, FlowKind::PtreeVg);
+        let flow3 = run_circuit(&circuit, &tech, FlowKind::Merlin);
+        rows.push(CircuitRow {
+            name: (*name).to_owned(),
+            flow1,
+            flow2,
+            flow3,
+        });
+    }
+    println!("\nTable 2: Post-layout Area, Delay, and Runtime for a Set of Benchmarks");
+    println!("(Flow I absolute; Flow II/III as ratios over Flow I; circuits scaled 1/{scale})\n");
+    print!("{}", table2(&rows));
+}

@@ -1,0 +1,162 @@
+//! Configuration of the MERLIN engines.
+
+use merlin_geom::CandidateStrategy;
+use merlin_tech::units::PsTime;
+
+/// Which variant of the problem to solve (§III.1):
+///
+/// * **I** — maximize the required time at the driver subject to a total
+///   buffer-area constraint,
+/// * **II** — minimize the total buffer area subject to a minimum driver
+///   required-time constraint.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Constraint {
+    /// Variant I. `u64::MAX` budget = pure delay optimization.
+    MaxReqWithinArea(u64),
+    /// Variant II.
+    MinAreaWithReq(PsTime),
+}
+
+impl Constraint {
+    /// Unconstrained delay optimization (variant I with infinite budget).
+    pub fn best_req() -> Self {
+        Constraint::MaxReqWithinArea(u64::MAX)
+    }
+}
+
+impl Default for Constraint {
+    fn default() -> Self {
+        Constraint::best_req()
+    }
+}
+
+/// Tuning of `BUBBLE_CONSTRUCT` and the outer MERLIN loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MerlinConfig {
+    /// Maximum branching factor α of the Cα-tree (maximum children per
+    /// buffer: leaf sinks plus at most one inner group).
+    pub alpha: usize,
+    /// Candidate-location strategy for buffers / Steiner points.
+    pub candidates: CandidateStrategy,
+    /// Problem variant and its bound.
+    pub constraint: Constraint,
+    /// Outer local-search iteration bound (the paper's Table 2 setup used
+    /// 3; Table 1 let it run to convergence, observing 1–12).
+    pub max_loops: usize,
+    /// Per-curve thinning bound (`0` = exact curves).
+    pub max_curve_points: usize,
+    /// Enable the χ1..χ3 bubbling structures. With `false` the engine
+    /// degenerates to a fixed-order optimal Cα-tree/*P-Tree construction —
+    /// the E7 ablation baseline.
+    pub enable_bubbling: bool,
+    /// Rounds of the wire-relocation fixpoint inside `*PTREE` (the paper's
+    /// `S(e,p,i,j) = min d(p,p') + S(e,p',i,j)` recursion, truncated to a
+    /// bounded number of hops per hierarchy level; deeper chains still
+    /// arise across levels).
+    pub relocation_rounds: u8,
+    /// Thin the buffer library to every `stride`-th cell inside the DP
+    /// (1 = full library).
+    pub library_stride: usize,
+    /// Restrict wire relocations to each candidate's `reloc_neighbors`
+    /// nearest candidates (`0` = consider all `k`, the paper's full
+    /// recursion). Long relocations are rarely non-inferior, so a modest
+    /// neighbor set preserves quality while removing the `k²` factor from
+    /// the hot loop; the E4 scaling benchmark quantifies the effect.
+    pub reloc_neighbors: usize,
+    /// Enforce each buffer's characterized maximum load (rejects buffer
+    /// options that would be overdriven). Off by default — the paper's
+    /// formulation has no load limits — but realistic libraries do, and
+    /// the produced trees then satisfy
+    /// [`merlin_tech::BufferedTree::buffer_load_violations`] == 0.
+    pub enforce_max_load: bool,
+    /// Maximum internal (group) children per Cα level. `1` is the paper's
+    /// Definition 2; `2` enables the §3.2.1 **relaxed** Cα-trees the paper
+    /// mentions ("the complexity of the corresponding optimal construction
+    /// algorithm grows significantly") — implemented here as an optional
+    /// extension and ablated by the E8 experiment.
+    pub max_inner_groups: usize,
+}
+
+impl Default for MerlinConfig {
+    fn default() -> Self {
+        MerlinConfig {
+            alpha: 8,
+            candidates: CandidateStrategy::ReducedHanan { max_points: 40 },
+            constraint: Constraint::best_req(),
+            max_loops: 8,
+            max_curve_points: 14,
+            enable_bubbling: true,
+            relocation_rounds: 1,
+            library_stride: 3,
+            reloc_neighbors: 16,
+            enforce_max_load: false,
+            max_inner_groups: 1,
+        }
+    }
+}
+
+impl MerlinConfig {
+    /// Exact small-instance configuration used by the cross-check tests:
+    /// no curve thinning, with a compact candidate set (exactness of the
+    /// neighborhood coverage is relative to whatever candidate set is
+    /// used, so a small one keeps the exhaustive tests fast).
+    pub fn small_exact() -> Self {
+        MerlinConfig {
+            alpha: 6,
+            candidates: CandidateStrategy::ReducedHanan { max_points: 8 },
+            constraint: Constraint::best_req(),
+            max_loops: 4,
+            max_curve_points: 0,
+            enable_bubbling: true,
+            relocation_rounds: 1,
+            library_stride: 8,
+            reloc_neighbors: 0,
+            enforce_max_load: false,
+            max_inner_groups: 1,
+        }
+    }
+
+    /// Configuration scaled for large nets (tens of sinks): reduced
+    /// candidates, thinner curves, thinner library.
+    pub fn large(n: usize) -> Self {
+        MerlinConfig {
+            alpha: if n > 40 { 5 } else { 6 },
+            candidates: CandidateStrategy::ReducedHanan {
+                max_points: (2 * n).clamp(24, 44),
+            },
+            constraint: Constraint::best_req(),
+            max_loops: 3,
+            max_curve_points: if n > 40 { 6 } else { 8 },
+            enable_bubbling: true,
+            relocation_rounds: 1,
+            library_stride: 6,
+            reloc_neighbors: 10,
+            enforce_max_load: false,
+            max_inner_groups: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MerlinConfig::default();
+        assert!(c.alpha >= 2);
+        assert!(c.max_loops >= 1);
+        assert_eq!(c.constraint, Constraint::best_req());
+    }
+
+    #[test]
+    fn large_config_scales_candidates() {
+        let small = MerlinConfig::large(10);
+        let big = MerlinConfig::large(60);
+        let pts = |c: MerlinConfig| match c.candidates {
+            CandidateStrategy::ReducedHanan { max_points } => max_points,
+            _ => unreachable!(),
+        };
+        assert!(pts(big) >= pts(small));
+    }
+}

@@ -1,0 +1,564 @@
+//! `BUBBLE_CONSTRUCT` (Figure 9): the inner optimization engine.
+//!
+//! Bottom-up over group sizes `L = 1..n`, every window placement `R` and
+//! grouping structure `E`, the engine composes each group from an inner
+//! group `(l, e, r)` plus leaf sinks (Figure 11), routes the composition
+//! with [`crate::star_ptree`] and accumulates the non-inferior curves into
+//! the Γ tables. Incompatible compositions (Figure 12) are skipped. The
+//! final curve — at the source, over the whole sink set, with no bubbles —
+//! contains, subject to the Cα/*P-Tree structure restriction, **all
+//! non-inferior solutions over the entire neighborhood `N(Π)`**
+//! (Theorem 4), which the exhaustive small-`n` tests in the workspace
+//! verify against per-member fixed-order runs.
+
+use merlin_curves::{Curve, CurvePoint, ProvArena, ProvId};
+use merlin_geom::{manhattan, Point};
+use merlin_netlist::Net;
+use merlin_order::SinkOrder;
+use merlin_tech::units::PsTime;
+use merlin_tech::{BufferedTree, Driver, Technology};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use crate::chi::{Shape, Window, ALL_SHAPES};
+use crate::children::{child_sequence, child_sequence_multi, Child};
+use crate::config::{Constraint, MerlinConfig};
+use crate::extract::{extract_tree, Step};
+use crate::star_ptree::{range_curves, Gamma, SinkView, StarCache, StarCtx};
+
+/// The inner engine, borrowing the problem description.
+#[derive(Debug)]
+pub struct BubbleConstruct<'a> {
+    net: &'a Net,
+    tech: &'a Technology,
+    config: MerlinConfig,
+}
+
+/// Diagnostics of one `BUBBLE_CONSTRUCT` run (scaling experiments E4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConstructStats {
+    /// Candidate-location count `k`.
+    pub candidates: usize,
+    /// Γ entries constructed.
+    pub gamma_groups: usize,
+    /// Total curve points held in Γ (memory proxy, Theorem 5).
+    pub gamma_points: usize,
+    /// `*PTREE` cache hits (Lemma 7 sharing at work).
+    pub cache_hits: u64,
+    /// `*PTREE` cache misses (distinct sub-problems actually solved).
+    pub cache_misses: u64,
+    /// Provenance steps allocated.
+    pub arena_steps: usize,
+}
+
+/// Result of `BUBBLE_CONSTRUCT`: the final solution curve plus everything
+/// needed to pick a point and rebuild its structure.
+#[derive(Debug)]
+pub struct ConstructResult {
+    /// Non-inferior `(load, req, area)` curve at the source (required time
+    /// *before* the driver delay; use
+    /// [`ConstructResult::driver_required`]).
+    pub curve: Curve,
+    /// Candidate locations used.
+    pub candidates: Vec<Point>,
+    /// Run diagnostics.
+    pub stats: ConstructStats,
+    arena: ProvArena<Step>,
+    source: Point,
+    sink_positions: Vec<Point>,
+    driver: Driver,
+}
+
+impl<'a> BubbleConstruct<'a> {
+    /// Creates the engine.
+    pub fn new(net: &'a Net, tech: &'a Technology, config: MerlinConfig) -> Self {
+        BubbleConstruct { net, tech, config }
+    }
+
+    /// Runs the construction for the given initial sink order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` does not cover exactly the net's sinks or the net
+    /// has no sinks.
+    pub fn run(&self, order: &SinkOrder) -> ConstructResult {
+        let n = self.net.num_sinks();
+        assert!(n > 0, "BUBBLE_CONSTRUCT needs at least one sink");
+        assert_eq!(order.len(), n, "order must cover all sinks");
+        let cfg = &self.config;
+        assert!(cfg.alpha >= 2, "alpha must be at least 2");
+
+        let sink_positions = self.net.sink_positions();
+        let candidates = cfg.candidates.generate(self.net.source, &sink_positions);
+        let k = candidates.len();
+        let sinks: Vec<SinkView> = self
+            .net
+            .sinks
+            .iter()
+            .map(|s| SinkView {
+                pos: s.pos,
+                load: s.load,
+                req: s.req_ps,
+            })
+            .collect();
+        let lib_sel: Vec<u16> = {
+            let stride = cfg.library_stride.max(1);
+            let last = self.tech.library.len() - 1;
+            let mut v: Vec<u16> = (0..self.tech.library.len())
+                .filter(|i| i % stride == 0 || *i == last)
+                .map(|i| i as u16)
+                .collect();
+            v.dedup();
+            v
+        };
+        let neighbors: Vec<Vec<u16>> = if cfg.reloc_neighbors == 0
+            || cfg.reloc_neighbors >= k
+        {
+            Vec::new()
+        } else {
+            candidates
+                .iter()
+                .map(|&p| {
+                    let mut idx: Vec<u16> = (0..k as u16).collect();
+                    idx.sort_by_key(|&q| manhattan(p, candidates[q as usize]));
+                    idx.retain(|&q| candidates[q as usize] != p);
+                    idx.truncate(cfg.reloc_neighbors);
+                    idx
+                })
+                .collect()
+        };
+        let ctx = StarCtx {
+            tech: self.tech,
+            cands: &candidates,
+            sinks: &sinks,
+            lib_sel: &lib_sel,
+            max_pts: cfg.max_curve_points,
+            reloc_rounds: cfg.relocation_rounds,
+            neighbors: &neighbors,
+            enforce_max_load: cfg.enforce_max_load,
+        };
+        let shapes: &[Shape] = if cfg.enable_bubbling {
+            &ALL_SHAPES
+        } else {
+            &ALL_SHAPES[..1]
+        };
+
+        let mut gamma = Gamma::new();
+        let mut cache = StarCache::new();
+        let mut arena: ProvArena<Step> = ProvArena::new();
+
+        // INITIALIZATION (lines 1–4): length-1 groups for every window
+        // placement and shape. All shapes share the same curve content
+        // (the covered sink differs by window geometry, not by shape).
+        for shape in shapes {
+            for r in 0..n {
+                if let Some(w) = Window::place(r, 1, *shape, n) {
+                    let pos = w.covered_positions()[0];
+                    let seq = [Child::Sink(order.sink_at(pos))];
+                    let fam = range_curves(&ctx, &seq, &gamma, &mut cache, &mut arena);
+                    gamma.insert(1, shape.index(), r as u16, fam);
+                }
+            }
+        }
+
+        // CONSTRUCTION (lines 5–20).
+        for big_l in 2usize..=n {
+            let l_min = big_l.saturating_sub(cfg.alpha - 1).max(1);
+            for big_e in shapes {
+                for big_r in 0..n {
+                    let Some(outer) = Window::place(big_r, big_l, *big_e, n) else {
+                        continue;
+                    };
+                    let mut fam: Vec<Curve> = vec![Curve::new(); k];
+                    let mut seen: HashSet<Vec<Child>> = HashSet::new();
+                    let mut consume =
+                        |seq: Vec<Child>,
+                         fam: &mut Vec<Curve>,
+                         seen: &mut HashSet<Vec<Child>>,
+                         cache: &mut StarCache,
+                         arena: &mut ProvArena<Step>| {
+                            if !seen.insert(seq.clone()) {
+                                return;
+                            }
+                            let curves = range_curves(&ctx, &seq, &gamma, cache, arena);
+                            for (p, c) in curves.iter().enumerate() {
+                                fam[p].absorb(c.clone());
+                            }
+                        };
+                    for l in l_min..big_l {
+                        for e in shapes {
+                            let lpp = l + e.stretch();
+                            if lpp > outer.len() {
+                                continue;
+                            }
+                            for r in (outer.start() + lpp - 1)..=outer.right {
+                                let Some(inner) = Window::place(r, l, *e, n) else {
+                                    continue;
+                                };
+                                let Some(seq) = child_sequence(outer, inner, order)
+                                else {
+                                    continue;
+                                };
+                                consume(seq, &mut fam, &mut seen, &mut cache, &mut arena);
+                            }
+                        }
+                    }
+                    // Relaxed Cα (§3.2.1): a second disjoint inner group.
+                    if cfg.max_inner_groups >= 2 && big_l >= 2 {
+                        for l1 in 1..big_l {
+                            for e1 in shapes {
+                                let lpp1 = l1 + e1.stretch();
+                                if lpp1 > outer.len() {
+                                    continue;
+                                }
+                                for r1 in (outer.start() + lpp1 - 1)..=outer.right {
+                                    let Some(in1) = Window::place(r1, l1, *e1, n)
+                                    else {
+                                        continue;
+                                    };
+                                    for l2 in 1..big_l {
+                                        // (L - l1 - l2) leaves + 2 groups ≤ α.
+                                        if l1 + l2 > big_l
+                                            || big_l - l1 - l2 + 2 > cfg.alpha
+                                        {
+                                            continue;
+                                        }
+                                        for e2 in shapes {
+                                            let lpp2 = l2 + e2.stretch();
+                                            for r2 in (in1.right + lpp2)
+                                                ..=outer.right
+                                            {
+                                                let Some(in2) =
+                                                    Window::place(r2, l2, *e2, n)
+                                                else {
+                                                    continue;
+                                                };
+                                                let Some(seq) = child_sequence_multi(
+                                                    outer,
+                                                    &[in1, in2],
+                                                    order,
+                                                ) else {
+                                                    continue;
+                                                };
+                                                consume(
+                                                    seq, &mut fam, &mut seen,
+                                                    &mut cache, &mut arena,
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for c in &mut fam {
+                        c.thin_to(cfg.max_curve_points);
+                    }
+                    gamma.insert(big_l as u16, big_e.index(), big_r as u16, Rc::new(fam));
+                }
+            }
+        }
+
+        // EXTRACTION preparation (line 21): the whole-problem curve at the
+        // source. Γ(n, χ0, n−1) already includes relocation to the source
+        // (the source is a candidate); one more explicit hop to the source
+        // collects structures rooted elsewhere.
+        let top = gamma.get(n as u16, 0, (n - 1) as u16);
+        let src_idx = candidates
+            .iter()
+            .position(|&p| p == self.net.source)
+            .expect("candidate generation always includes the source");
+        let mut curve = top[src_idx].clone();
+        {
+            let mut pending: Vec<Step> = Vec::new();
+            let mut additions = Curve::new();
+            for (qi, c) in top.iter().enumerate() {
+                if qi == src_idx || c.is_empty() {
+                    continue;
+                }
+                let len = manhattan(self.net.source, candidates[qi]);
+                let wc = self.tech.wire.wire_cap(len);
+                for a in c.iter() {
+                    let prov = ProvId::new(pending.len() as u32);
+                    pending.push(Step::Extend {
+                        to: src_idx as u16,
+                        child: a.prov,
+                    });
+                    additions.push(CurvePoint {
+                        load: a.load + wc,
+                        req: a.req - self.tech.wire.elmore_ps(len, a.load),
+                        area: a.area,
+                        prov,
+                    });
+                }
+            }
+            additions.prune();
+            crate::star_ptree::finalize(&mut additions, &pending, &mut arena);
+            curve.absorb(additions);
+        }
+
+        let stats = ConstructStats {
+            candidates: k,
+            gamma_groups: gamma.len(),
+            gamma_points: gamma.total_points(),
+            cache_hits: cache.stats().0,
+            cache_misses: cache.stats().1,
+            arena_steps: arena.len(),
+        };
+        ConstructResult {
+            curve,
+            candidates,
+            stats,
+            arena,
+            source: self.net.source,
+            sink_positions,
+            driver: self.net.driver.clone(),
+        }
+    }
+}
+
+impl ConstructResult {
+    /// Required time at the driver input for a curve point.
+    pub fn driver_required(&self, p: &CurvePoint) -> PsTime {
+        p.req - self.driver.delay_linear_ps(p.load)
+    }
+
+    /// Picks the curve point that best satisfies `constraint` (line 21 of
+    /// Figure 9). Falls back to the best required time if variant II's
+    /// target is infeasible.
+    pub fn select(&self, constraint: Constraint) -> Option<CurvePoint> {
+        match constraint {
+            Constraint::MaxReqWithinArea(budget) => self
+                .curve
+                .iter()
+                .filter(|p| p.area <= budget)
+                .max_by(|a, b| self.driver_required(a).total_cmp(&self.driver_required(b)))
+                .or_else(|| {
+                    // Budget smaller than every solution: cheapest one.
+                    self.curve.iter().min_by_key(|p| p.area)
+                })
+                .copied(),
+            Constraint::MinAreaWithReq(target) => self
+                .curve
+                .iter()
+                .filter(|p| self.driver_required(p) >= target)
+                .min_by_key(|p| p.area)
+                .or_else(|| {
+                    self.curve.iter().max_by(|a, b| {
+                        self.driver_required(a).total_cmp(&self.driver_required(b))
+                    })
+                })
+                .copied(),
+        }
+    }
+
+    /// Rebuilds the buffered routing tree of a curve point (lines 22–23).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` did not come from this instance's curve.
+    pub fn extract(&self, point: &CurvePoint) -> BufferedTree {
+        extract_tree(
+            &self.arena,
+            point.prov,
+            self.source,
+            &self.candidates,
+            &self.sink_positions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_geom::CandidateStrategy;
+    use merlin_netlist::bench_nets::random_net;
+    use merlin_netlist::Sink;
+    use merlin_order::tsp::tsp_order;
+    use merlin_tech::units::Cap;
+
+    fn tech() -> Technology {
+        Technology::tiny_test()
+    }
+
+    fn cfg() -> MerlinConfig {
+        MerlinConfig {
+            alpha: 4,
+            candidates: CandidateStrategy::ReducedHanan { max_points: 10 },
+            constraint: Constraint::best_req(),
+            max_loops: 4,
+            max_curve_points: 0,
+            enable_bubbling: true,
+            relocation_rounds: 1,
+            library_stride: 1,
+            reloc_neighbors: 0,
+            enforce_max_load: false,
+            max_inner_groups: 1,
+        }
+    }
+
+    #[test]
+    fn single_sink_net() {
+        let t = tech();
+        let net = Net::new(
+            "one",
+            Point::new(0, 0),
+            Driver::default(),
+            vec![Sink::new(Point::new(500, 300), Cap::from_ff(15.0), 900.0)],
+        );
+        let bc = BubbleConstruct::new(&net, &t, cfg());
+        let res = bc.run(&SinkOrder::identity(1));
+        assert!(!res.curve.is_empty());
+        let best = res.select(Constraint::best_req()).unwrap();
+        let tree = res.extract(&best);
+        tree.validate(1, &t).unwrap();
+        let eval = tree.evaluate(&t, &net.driver, &net.sink_loads(), &net.sink_reqs());
+        assert!((res.driver_required(&best) - eval.root_required_ps).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bookkeeping_matches_independent_evaluation() {
+        // THE core invariant: every final curve point, extracted and
+        // re-evaluated with the independent Elmore engine, must reproduce
+        // the DP's (req, load, area) exactly.
+        let t = tech();
+        for seed in 1..=4u64 {
+            let net = random_net("n", 4, seed, &t);
+            let order = tsp_order(net.source, &net.sink_positions());
+            let res = BubbleConstruct::new(&net, &t, cfg()).run(&order);
+            assert!(!res.curve.is_empty(), "seed {seed}");
+            for p in res.curve.iter() {
+                let tree = res.extract(p);
+                tree.validate(net.num_sinks(), &t).unwrap();
+                let eval =
+                    tree.evaluate(&t, &net.driver, &net.sink_loads(), &net.sink_reqs());
+                assert!(
+                    (res.driver_required(p) - eval.root_required_ps).abs() < 1e-6,
+                    "seed {seed}: req {} vs {}",
+                    res.driver_required(p),
+                    eval.root_required_ps
+                );
+                assert_eq!(eval.root_load, p.load, "seed {seed}");
+                assert_eq!(eval.buffer_area, p.area, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn extracted_order_is_in_the_neighborhood() {
+        // Lemma 5: any order generated is in N(Π).
+        let t = tech();
+        for seed in 1..=3u64 {
+            let net = random_net("n", 5, seed, &t);
+            let order = tsp_order(net.source, &net.sink_positions());
+            let res = BubbleConstruct::new(&net, &t, cfg()).run(&order);
+            for p in res.curve.iter() {
+                let tree = res.extract(p);
+                let out = SinkOrder::new(tree.sink_order()).expect("permutation");
+                assert!(
+                    merlin_order::neighborhood::is_neighbor(&order, &out),
+                    "seed {seed}: {:?} not a neighbor of {:?}",
+                    out,
+                    order
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bubbling_never_hurts() {
+        // The χ0-only space is a subset of the bubbled space.
+        let t = tech();
+        let net = random_net("n", 5, 9, &t);
+        let order = tsp_order(net.source, &net.sink_positions());
+        let with = BubbleConstruct::new(&net, &t, cfg()).run(&order);
+        let mut no_bubble = cfg();
+        no_bubble.enable_bubbling = false;
+        let without = BubbleConstruct::new(&net, &t, no_bubble).run(&order);
+        let best = |r: &ConstructResult| {
+            let p = r.select(Constraint::best_req()).unwrap();
+            r.driver_required(&p)
+        };
+        assert!(best(&with) >= best(&without) - 1e-6);
+    }
+
+    #[test]
+    fn area_budget_is_respected() {
+        let t = tech();
+        let net = random_net("n", 5, 2, &t);
+        let order = tsp_order(net.source, &net.sink_positions());
+        let res = BubbleConstruct::new(&net, &t, cfg()).run(&order);
+        let unconstrained = res.select(Constraint::best_req()).unwrap();
+        if unconstrained.area > 0 {
+            let tight = res
+                .select(Constraint::MaxReqWithinArea(unconstrained.area - 1))
+                .unwrap();
+            assert!(tight.area < unconstrained.area);
+        }
+        // Variant II at an easy target returns a zero-or-small area.
+        let easy = res.select(Constraint::MinAreaWithReq(f64::NEG_INFINITY)).unwrap();
+        assert_eq!(
+            easy.area,
+            res.curve.iter().map(|p| p.area).min().unwrap()
+        );
+    }
+
+    #[test]
+    fn relaxed_two_inner_groups_never_hurts_and_stays_consistent() {
+        // The relaxed space is a superset of the strict Cα space, and its
+        // extracted structures must still re-evaluate exactly.
+        let t = tech();
+        let net = random_net("n", 4, 3, &t);
+        let order = tsp_order(net.source, &net.sink_positions());
+        let strict = BubbleConstruct::new(&net, &t, cfg()).run(&order);
+        let mut relaxed_cfg = cfg();
+        relaxed_cfg.max_inner_groups = 2;
+        let relaxed = BubbleConstruct::new(&net, &t, relaxed_cfg).run(&order);
+        let best = |r: &ConstructResult| {
+            let p = r.select(Constraint::best_req()).unwrap();
+            r.driver_required(&p)
+        };
+        assert!(best(&relaxed) >= best(&strict) - 1e-6);
+        for p in relaxed.curve.iter() {
+            let tree = relaxed.extract(p);
+            tree.validate(net.num_sinks(), &t).unwrap();
+            let eval = tree.evaluate(&t, &net.driver, &net.sink_loads(), &net.sink_reqs());
+            assert!((relaxed.driver_required(p) - eval.root_required_ps).abs() < 1e-6);
+            assert_eq!(eval.buffer_area, p.area);
+        }
+    }
+
+    #[test]
+    fn max_load_enforcement_produces_legal_trees() {
+        let t = tech();
+        let mut net = random_net("n", 5, 8, &t);
+        // Heavy sinks so unconstrained solutions overload small buffers.
+        for s in &mut net.sinks {
+            s.load = merlin_tech::units::Cap::from_ff(55.0);
+        }
+        let order = tsp_order(net.source, &net.sink_positions());
+        let mut c = cfg();
+        c.enforce_max_load = true;
+        let res = BubbleConstruct::new(&net, &t, c).run(&order);
+        for p in res.curve.iter() {
+            let tree = res.extract(p);
+            assert_eq!(
+                tree.buffer_load_violations(&t, &net.sink_loads()),
+                0,
+                "enforced run produced an overloaded buffer"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_sharing_is_observable() {
+        let t = tech();
+        let net = random_net("n", 5, 5, &t);
+        let order = tsp_order(net.source, &net.sink_positions());
+        let res = BubbleConstruct::new(&net, &t, cfg()).run(&order);
+        assert!(
+            res.stats.cache_hits > 0,
+            "neighborhood construction must share sub-problems (Lemma 7)"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! **MERLIN** — semi-order-independent hierarchical buffered routing tree
+//! generation using local neighborhood search (Salek, Lou, Pedram —
+//! DAC 1999).
+//!
+//! MERLIN unifies *fanout optimization* and *performance-driven routing*:
+//! given a driver, sinks (position, load, required time), a buffer library
+//! and candidate buffer locations, it produces a hierarchical buffered
+//! rectilinear Steiner tree maximizing the required time at the driver
+//! under a buffer-area budget (or minimizing area under a required-time
+//! target).
+//!
+//! Architecture, mirroring the paper:
+//!
+//! * [`chi`] — the grouping structures χ0..χ3 (Figures 6/7/10/13) that
+//!   implement *local order-perturbation* ("bubbling"),
+//! * [`children`] — composition of a group from an inner group and leaf
+//!   sinks, with the compatibility rules of Figure 9 line 15,
+//! * [`star_ptree`] — `*PTREE`, the buffered P-Tree DP over a child
+//!   sequence, propagating three-dimensional `(load, req, area)` curves,
+//!   with Lemma-7 sub-problem sharing,
+//! * [`construct`] — `BUBBLE_CONSTRUCT` (Figure 9): the bottom-up Cα-tree
+//!   level construction over all window shapes, which covers the entire
+//!   exponential neighborhood `N(Π)` of the initial order in polynomial
+//!   time (Theorems 1–6),
+//! * [`extract`] — back-pointer tracing into a checkable
+//!   [`merlin_tech::BufferedTree`],
+//! * [`merlin`] — the outer local-neighborhood search (Figure 14): feed the
+//!   sink order of the best found structure back in until a fixpoint.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin::{Merlin, MerlinConfig};
+//! use merlin_netlist::bench_nets::random_net;
+//! use merlin_tech::Technology;
+//!
+//! let tech = Technology::synthetic_035();
+//! let net = random_net("demo", 4, 7, &tech);
+//! let outcome = Merlin::new(&tech, MerlinConfig::small_exact()).optimize(&net);
+//! let eval = outcome.tree.evaluate(&tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
+//! assert!(outcome.tree.validate(4, &tech).is_ok());
+//! assert!((eval.root_required_ps - outcome.root_required_ps).abs() < 1e-6);
+//! ```
+
+pub mod chi;
+pub mod children;
+pub mod config;
+pub mod construct;
+pub mod extract;
+pub mod merlin;
+pub mod star_ptree;
+
+pub use config::{Constraint, MerlinConfig};
+pub use construct::{BubbleConstruct, ConstructResult};
+pub use merlin::{Merlin, MerlinOutcome};

@@ -1,0 +1,500 @@
+//! `*PTREE`: the buffered P-Tree DP over a child sequence (§3.2.3).
+//!
+//! Children are sinks or inner-group terminals; solutions are
+//! three-dimensional `(load, required time, buffer area)` curves, one per
+//! candidate root location. Per paper recursion:
+//!
+//! ```text
+//! S_b(e,p,i,j) = min S(e',p,i,u) ⊗ S(e'',p,u+1,j)       (merge at p)
+//! S(e,p,i,j)   = min( S_b(e,p,i,j), d(p,p') + S(e,p',i,j) )  (relocation)
+//! ```
+//!
+//! with every structure optionally driven by each library buffer at its
+//! root (that is the `*` in `*PTREE`: buffers sit on the Steiner points).
+//! The relocation recursion is truncated to a configurable number of hops
+//! per level ([`crate::MerlinConfig::relocation_rounds`]); deeper buffer
+//! chains still arise across hierarchy levels.
+//!
+//! **Lemma 7 (sub-problem sharing)** is implemented by [`StarCache`]: curve
+//! families are memoized by the *content* of the child subsequence, so a
+//! sub-problem shared by any number of grouping configurations — within a
+//! level or across neighborhood members — is solved exactly once.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use merlin_curves::{Curve, CurvePoint, ProvArena, ProvId};
+use merlin_geom::{manhattan, Point};
+use merlin_tech::units::{Cap, PsTime};
+use merlin_tech::Technology;
+
+use crate::children::Child;
+use crate::extract::Step;
+
+/// Electrical view of one sink (original index space).
+#[derive(Clone, Copy, Debug)]
+pub struct SinkView {
+    /// Location.
+    pub pos: Point,
+    /// Pin capacitance.
+    pub load: Cap,
+    /// Required time.
+    pub req: PsTime,
+}
+
+/// One solution curve per candidate root location.
+pub type CurveFam = Rc<Vec<Curve>>;
+
+/// Memo table keyed by child-subsequence content (Lemma 7).
+#[derive(Debug, Default)]
+pub struct StarCache {
+    map: HashMap<Box<[Child]>, CurveFam>,
+    hits: u64,
+    misses: u64,
+}
+
+impl StarCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        StarCache::default()
+    }
+
+    /// `(hits, misses)` counters, for the scaling experiments.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of memoized subsequences.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Everything `*PTREE` needs that is constant across one
+/// `BUBBLE_CONSTRUCT` run.
+#[derive(Debug)]
+pub struct StarCtx<'a> {
+    /// Technology (wire model + full library).
+    pub tech: &'a Technology,
+    /// Candidate locations `P`.
+    pub cands: &'a [Point],
+    /// Sink views by original index.
+    pub sinks: &'a [SinkView],
+    /// Selected library indices (possibly a thinned subset).
+    pub lib_sel: &'a [u16],
+    /// Curve thinning bound (0 = exact).
+    pub max_pts: usize,
+    /// Relocation rounds per range.
+    pub reloc_rounds: u8,
+    /// For each candidate, the indices of the candidates it may relocate
+    /// from (nearest first). Empty inner vectors mean "all candidates".
+    pub neighbors: &'a [Vec<u16>],
+    /// Reject buffer options whose driven load exceeds the cell's
+    /// `max_load` (off in the paper's formulation).
+    pub enforce_max_load: bool,
+}
+
+/// The Γ tables: finalized curve families of already-constructed groups,
+/// keyed by `(covered, shape index, right)`.
+#[derive(Debug, Default)]
+pub struct Gamma {
+    map: HashMap<(u16, u8, u16), CurveFam>,
+}
+
+impl Gamma {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Gamma::default()
+    }
+
+    /// Stores the curves of group `(l, e, r)`.
+    pub fn insert(&mut self, l: u16, e: u8, r: u16, fam: CurveFam) {
+        self.map.insert((l, e, r), fam);
+    }
+
+    /// Fetches the curves of group `(l, e, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group has not been constructed yet (the bottom-up
+    /// level order guarantees availability).
+    pub fn get(&self, l: u16, e: u8, r: u16) -> CurveFam {
+        Rc::clone(
+            self.map
+                .get(&(l, e, r))
+                .unwrap_or_else(|| panic!("Γ({l},{e},{r}) not constructed yet")),
+        )
+    }
+
+    /// Number of stored groups.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no group has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total stored curve points (memory proxy for Theorem 5 experiments).
+    pub fn total_points(&self) -> usize {
+        self.map
+            .values()
+            .map(|fam| fam.iter().map(Curve::len).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Computes (or fetches) the curve family for a full child sequence.
+pub fn range_curves(
+    ctx: &StarCtx<'_>,
+    children: &[Child],
+    gamma: &Gamma,
+    cache: &mut StarCache,
+    arena: &mut ProvArena<Step>,
+) -> CurveFam {
+    if let Some(hit) = cache.map.get(children) {
+        cache.hits += 1;
+        return Rc::clone(hit);
+    }
+    cache.misses += 1;
+    let fam = compute_range(ctx, children, gamma, cache, arena);
+    cache
+        .map
+        .insert(children.to_vec().into_boxed_slice(), Rc::clone(&fam));
+    fam
+}
+
+fn compute_range(
+    ctx: &StarCtx<'_>,
+    children: &[Child],
+    gamma: &Gamma,
+    cache: &mut StarCache,
+    arena: &mut ProvArena<Step>,
+) -> CurveFam {
+    let k = ctx.cands.len();
+    // A singleton group range IS the group: its Γ family already received
+    // buffer options and relocation when it was constructed, so it must be
+    // returned as-is. Re-applying the pipeline here would give groups a
+    // deeper relocation/buffer chain than the equivalent plain-sink leaf,
+    // breaking the neighborhood-coverage symmetry of Theorem 4 (a
+    // fixed-order run could then beat the bubbled run by using singleton
+    // groups where the bubbled decomposition needs plain leaves).
+    if let [Child::Group { l, e, r }] = children {
+        return gamma.get(*l, *e, *r);
+    }
+    // M(p): merged (or base) structures rooted at p, before root buffers.
+    let mut m: Vec<Curve> = match children {
+        [] => return Rc::new(vec![Curve::new(); k]),
+        [single] => base_curves(ctx, *single, gamma, arena),
+        _ => {
+            let mut pending: Vec<Step> = Vec::new();
+            let mut m = Vec::with_capacity(k);
+            // All splits; sub-ranges come from the cache (recursively).
+            let splits: Vec<(CurveFam, CurveFam)> = (1..children.len())
+                .map(|u| {
+                    let left = range_curves(ctx, &children[..u], gamma, cache, arena);
+                    let right = range_curves(ctx, &children[u..], gamma, cache, arena);
+                    (left, right)
+                })
+                .collect();
+            for p in 0..k {
+                pending.clear();
+                let mut raw = Curve::new();
+                for (left, right) in &splits {
+                    for a in left[p].iter() {
+                        for b in right[p].iter() {
+                            let prov = ProvId::new(pending.len() as u32);
+                            pending.push(Step::Merge {
+                                left: a.prov,
+                                right: b.prov,
+                            });
+                            raw.push(CurvePoint {
+                                load: a.load + b.load,
+                                req: a.req.min(b.req),
+                                area: a.area + b.area,
+                                prov,
+                            });
+                        }
+                    }
+                }
+                raw.prune();
+                raw.thin_to(ctx.max_pts);
+                finalize(&mut raw, &pending, arena);
+                m.push(raw);
+            }
+            m
+        }
+    };
+
+    // Root buffer options at every candidate.
+    for c in &mut m {
+        *c = buffered(ctx, c, arena);
+        c.thin_to(ctx.max_pts);
+    }
+
+    // Relocation rounds: wire p → p' on top of the previous round, with
+    // buffer options above the wire.
+    for _ in 0..ctx.reloc_rounds {
+        let snapshot = m.clone();
+        let mut pending: Vec<Step> = Vec::new();
+        for (pi, c) in m.iter_mut().enumerate() {
+            pending.clear();
+            let mut additions = Curve::new();
+            let p = ctx.cands[pi];
+            let all: Vec<u16>;
+            let sources: &[u16] = if ctx.neighbors.is_empty() || ctx.neighbors[pi].is_empty() {
+                all = (0..snapshot.len() as u16).collect();
+                &all
+            } else {
+                &ctx.neighbors[pi]
+            };
+            for &qi in sources {
+                let qi = qi as usize;
+                let src = &snapshot[qi];
+                if qi == pi || src.is_empty() {
+                    continue;
+                }
+                let len = manhattan(p, ctx.cands[qi]);
+                let wc = ctx.tech.wire.wire_cap(len);
+                for a in src.iter() {
+                    let prov = ProvId::new(pending.len() as u32);
+                    pending.push(Step::Extend {
+                        to: pi as u16,
+                        child: a.prov,
+                    });
+                    additions.push(CurvePoint {
+                        load: a.load + wc,
+                        req: a.req - ctx.tech.wire.elmore_ps(len, a.load),
+                        area: a.area,
+                        prov,
+                    });
+                }
+            }
+            additions.prune();
+            additions.thin_to(ctx.max_pts);
+            finalize(&mut additions, &pending, arena);
+            let additions = buffered(ctx, &additions, arena);
+            c.absorb(additions);
+            c.thin_to(ctx.max_pts);
+        }
+    }
+
+    Rc::new(m)
+}
+
+/// Base curves for a single terminal, per candidate root.
+fn base_curves(
+    ctx: &StarCtx<'_>,
+    child: Child,
+    gamma: &Gamma,
+    arena: &mut ProvArena<Step>,
+) -> Vec<Curve> {
+    match child {
+        Child::Sink(s) => {
+            let sink = &ctx.sinks[s as usize];
+            ctx.cands
+                .iter()
+                .enumerate()
+                .map(|(pi, &p)| {
+                    let len = manhattan(p, sink.pos);
+                    let mut c = Curve::with_capacity(1);
+                    c.push(CurvePoint::with_load(
+                        sink.load + ctx.tech.wire.wire_cap(len),
+                        sink.req - ctx.tech.wire.elmore_ps(len, sink.load),
+                        0,
+                        arena.push(Step::Route {
+                            sink: s,
+                            from: pi as u16,
+                        }),
+                    ));
+                    c
+                })
+                .collect()
+        }
+        Child::Group { l, e, r } => (*gamma.get(l, e, r)).clone(),
+    }
+}
+
+/// Adds buffer options (selected library subset) at the curve's root;
+/// keeps the unbuffered originals. Provenance goes through the
+/// pending/finalize path so dominated options never allocate arena steps.
+fn buffered(ctx: &StarCtx<'_>, curve: &Curve, arena: &mut ProvArena<Step>) -> Curve {
+    if curve.is_empty() {
+        return curve.clone();
+    }
+    let mut pending: Vec<Step> = Vec::new();
+    let mut additions = Curve::new();
+    for &bi in ctx.lib_sel {
+        let buf = &ctx.tech.library[bi as usize];
+        for p in curve.iter() {
+            if ctx.enforce_max_load && p.load > buf.max_load {
+                continue;
+            }
+            let prov = ProvId::new(pending.len() as u32);
+            pending.push(Step::Buffer {
+                buf: bi,
+                child: p.prov,
+            });
+            additions.push(CurvePoint::with_load(
+                buf.cin,
+                p.req - buf.delay_linear_ps(p.load),
+                p.area + buf.area,
+                prov,
+            ));
+        }
+    }
+    additions.prune();
+    finalize(&mut additions, &pending, arena);
+    let mut out = curve.clone();
+    out.absorb(additions);
+    out
+}
+
+/// Re-homes pending provenance into the real arena (only survivors of
+/// pruning allocate steps).
+pub(crate) fn finalize(curve: &mut Curve, pending: &[Step], arena: &mut ProvArena<Step>) {
+    let pts: Vec<CurvePoint> = curve
+        .iter()
+        .map(|p| {
+            let mut q = *p;
+            q.prov = arena.push(pending[p.prov.index()]);
+            q
+        })
+        .collect();
+    let mut c = Curve::with_capacity(pts.len());
+    for p in pts {
+        c.push(p);
+    }
+    // Already mutually non-inferior; re-prune cheaply to restore ordering.
+    c.prune();
+    *curve = c;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::tiny_test()
+    }
+
+    fn views() -> Vec<SinkView> {
+        vec![
+            SinkView {
+                pos: Point::new(1000, 0),
+                load: Cap::from_ff(10.0),
+                req: 1000.0,
+            },
+            SinkView {
+                pos: Point::new(0, 1000),
+                load: Cap::from_ff(20.0),
+                req: 900.0,
+            },
+        ]
+    }
+
+    fn run(children: &[Child], reloc: u8) -> (CurveFam, StarCache, ProvArena<Step>) {
+        let tech = tech();
+        let cands = vec![Point::new(0, 0), Point::new(1000, 0), Point::new(0, 1000)];
+        let sinks = views();
+        let lib_sel: Vec<u16> = (0..tech.library.len() as u16).collect();
+        let ctx = StarCtx {
+            tech: &tech,
+            cands: &cands,
+            sinks: &sinks,
+            lib_sel: &lib_sel,
+            max_pts: 0,
+            reloc_rounds: reloc,
+            neighbors: &[],
+            enforce_max_load: false,
+        };
+        let gamma = Gamma::new();
+        let mut cache = StarCache::new();
+        let mut arena = ProvArena::new();
+        let fam = range_curves(&ctx, children, &gamma, &mut cache, &mut arena);
+        (fam, cache, arena)
+    }
+
+    #[test]
+    fn base_sink_curve_has_direct_and_buffered_options() {
+        let (fam, _, _) = run(&[Child::Sink(0)], 0);
+        // Root at candidate 1 == sink position: zero wire.
+        let at_sink = &fam[1];
+        assert!(!at_sink.is_empty());
+        assert!(at_sink.iter().any(|p| p.area == 0));
+        assert!(at_sink.iter().any(|p| p.area > 0));
+        let direct = at_sink.iter().find(|p| p.area == 0).unwrap();
+        assert_eq!(direct.load, Cap::from_ff(10.0));
+        assert_eq!(direct.req, 1000.0);
+    }
+
+    #[test]
+    fn merge_of_two_sinks_sums_loads() {
+        let (fam, _, _) = run(&[Child::Sink(0), Child::Sink(1)], 0);
+        let at_origin = &fam[0];
+        assert!(!at_origin.is_empty());
+        // The fully unbuffered merge: both wires from origin.
+        let unbuffered: Vec<_> = at_origin.iter().filter(|p| p.area == 0).collect();
+        assert!(!unbuffered.is_empty());
+        let wire = Technology::tiny_test().wire;
+        let expect_load = Cap::from_ff(30.0) + wire.wire_cap(1000) + wire.wire_cap(1000);
+        assert!(unbuffered.iter().any(|p| p.load == expect_load));
+    }
+
+    #[test]
+    fn cache_shares_identical_subsequences() {
+        let tech = tech();
+        let cands = vec![Point::new(0, 0), Point::new(1000, 0), Point::new(0, 1000)];
+        let sinks = views();
+        let lib_sel: Vec<u16> = vec![0];
+        let ctx = StarCtx {
+            tech: &tech,
+            cands: &cands,
+            sinks: &sinks,
+            lib_sel: &lib_sel,
+            max_pts: 0,
+            reloc_rounds: 0,
+            neighbors: &[],
+            enforce_max_load: false,
+        };
+        let gamma = Gamma::new();
+        let mut cache = StarCache::new();
+        let mut arena = ProvArena::new();
+        let seq = [Child::Sink(0), Child::Sink(1)];
+        let a = range_curves(&ctx, &seq, &gamma, &mut cache, &mut arena);
+        let before = cache.stats();
+        let b = range_curves(&ctx, &seq, &gamma, &mut cache, &mut arena);
+        let after = cache.stats();
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(after.0, before.0 + 1, "second call must be a hit");
+    }
+
+    #[test]
+    fn relocation_can_only_help() {
+        let (f0, _, _) = run(&[Child::Sink(0), Child::Sink(1)], 0);
+        let (f1, _, _) = run(&[Child::Sink(0), Child::Sink(1)], 1);
+        for p in 0..3 {
+            let best0 = f0[p]
+                .iter()
+                .map(|x| x.req)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let best1 = f1[p]
+                .iter()
+                .map(|x| x.req)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(best1 >= best0 - 1e-9, "p={p}: {best1} < {best0}");
+        }
+    }
+
+    #[test]
+    fn empty_children_yield_empty_curves() {
+        let (fam, _, _) = run(&[], 0);
+        assert!(fam.iter().all(Curve::is_empty));
+    }
+}

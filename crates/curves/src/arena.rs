@@ -1,0 +1,130 @@
+//! Provenance arena: back-pointers for solution extraction.
+
+use std::fmt;
+
+/// Handle to a construction step stored in a [`ProvArena`].
+///
+/// `ProvId` is deliberately opaque: each optimization engine defines its own
+/// step type `S` and interprets the ids it stored. Ids are only meaningful
+/// relative to the arena that issued them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProvId(u32);
+
+impl ProvId {
+    /// Creates a handle from a raw index (mostly useful in tests).
+    pub const fn new(idx: u32) -> Self {
+        ProvId(idx)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProvId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Append-only arena of construction steps of type `S`.
+///
+/// Every point on a solution curve carries a [`ProvId`] into such an arena;
+/// following the ids recursively rebuilds the buffered routing structure
+/// that the point describes (the "pointers stored during the generation of
+/// the solution curves" of the paper's Figure 9, lines 21–22).
+///
+/// # Examples
+///
+/// ```
+/// use merlin_curves::ProvArena;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Step { Leaf(u32), Join(merlin_curves::ProvId, merlin_curves::ProvId) }
+///
+/// let mut arena = ProvArena::new();
+/// let a = arena.push(Step::Leaf(0));
+/// let b = arena.push(Step::Leaf(1));
+/// let j = arena.push(Step::Join(a, b));
+/// assert_eq!(arena[j], Step::Join(a, b));
+/// assert_eq!(arena.len(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProvArena<S> {
+    steps: Vec<S>,
+}
+
+impl<S> ProvArena<S> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ProvArena { steps: Vec::new() }
+    }
+
+    /// Creates an empty arena with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ProvArena {
+            steps: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Stores a step and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` steps are stored.
+    pub fn push(&mut self, step: S) -> ProvId {
+        let id = u32::try_from(self.steps.len()).expect("provenance arena overflow");
+        self.steps.push(step);
+        ProvId(id)
+    }
+
+    /// Step by handle, if the handle came from this arena.
+    pub fn get(&self, id: ProvId) -> Option<&S> {
+        self.steps.get(id.index())
+    }
+
+    /// Number of stored steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Bytes-ish occupancy proxy used by memory-scaling experiments.
+    pub fn approx_size_of(&self) -> usize {
+        self.steps.capacity() * std::mem::size_of::<S>()
+    }
+}
+
+impl<S> std::ops::Index<ProvId> for ProvArena<S> {
+    type Output = S;
+    fn index(&self, id: ProvId) -> &S {
+        &self.steps[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_index_round_trip() {
+        let mut a = ProvArena::new();
+        let ids: Vec<_> = (0..10).map(|i| a.push(i * i)).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(a[*id], (i * i) as i32);
+        }
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let a: ProvArena<u8> = ProvArena::new();
+        assert!(a.get(ProvId::new(3)).is_none());
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,518 @@
+//! Non-inferior solution curves and the DP operators over them.
+
+use std::collections::BTreeMap;
+
+use merlin_tech::units::{Cap, PsTime};
+use merlin_tech::{BufferLibrary, WireModel};
+
+use crate::arena::ProvId;
+use crate::point::CurvePoint;
+
+/// A set of mutually non-inferior `(load, req, area)` solutions.
+///
+/// A curve owns its points and keeps them sorted by increasing load after
+/// [`Curve::prune`]. All dynamic programs in the workspace are built from
+/// the four operators here: [`push`](Curve::push) (base cases),
+/// [`merged_with`](Curve::merged_with) (joining two subtrees at a common
+/// point), [`extended`](Curve::extended) (prepending a wire), and
+/// [`with_buffer_options`](Curve::with_buffer_options) (optionally driving
+/// the structure with each library buffer).
+///
+/// # Examples
+///
+/// ```
+/// use merlin_curves::{Curve, CurvePoint, ProvId};
+///
+/// let mut c = Curve::new();
+/// c.push(CurvePoint::new(10, 100.0, 0, ProvId::new(0)));
+/// c.push(CurvePoint::new(5, 80.0, 0, ProvId::new(1)));
+/// c.prune();
+/// assert_eq!(c.len(), 2); // trade-off: load vs required time
+/// assert!(c.best_req_within_area(u64::MAX).unwrap().req == 100.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Curve {
+    pts: Vec<CurvePoint>,
+}
+
+impl Curve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        Curve { pts: Vec::new() }
+    }
+
+    /// Creates an empty curve with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Curve {
+            pts: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a point **without** pruning (call [`Curve::prune`] when
+    /// done inserting).
+    pub fn push(&mut self, p: CurvePoint) {
+        self.pts.push(p);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// Whether the curve has no points.
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// The points as a slice.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.pts
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, CurvePoint> {
+        self.pts.iter()
+    }
+
+    /// Removes every inferior point (Definition 6), keeping one
+    /// representative of identical points, and sorts by increasing load.
+    ///
+    /// Runs in `O(s log s)` using a (area → best req) staircase swept in
+    /// load order, exactly the "pruning operation" of lines 19–20 of the
+    /// paper's Figure 9. Lemma 9: no non-inferior solution is lost.
+    pub fn prune(&mut self) {
+        if self.pts.len() <= 1 {
+            return;
+        }
+        self.pts.sort_unstable_by(|a, b| {
+            a.load
+                .cmp(&b.load)
+                .then(a.area.cmp(&b.area))
+                .then(b.req.total_cmp(&a.req))
+        });
+        // Staircase over already-accepted points: area -> req, with req
+        // strictly increasing in area. The last entry with area <= A holds
+        // the best req among accepted points with area <= A (and, because we
+        // sweep in load order, load <= current load).
+        let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut out = Vec::with_capacity(self.pts.len());
+        for p in self.pts.drain(..) {
+            let dominated = stair
+                .range(..=p.area)
+                .next_back()
+                .is_some_and(|(_, &r)| r >= p.req);
+            if dominated {
+                continue;
+            }
+            let stale: Vec<u64> = stair
+                .range(p.area..)
+                .take_while(|(_, &r)| r <= p.req)
+                .map(|(&a, _)| a)
+                .collect();
+            for a in stale {
+                stair.remove(&a);
+            }
+            stair.insert(p.area, p.req);
+            out.push(p);
+        }
+        self.pts = out;
+    }
+
+    /// Whether no point dominates another (used by tests; `O(s²)`).
+    pub fn is_pruned(&self) -> bool {
+        for (i, a) in self.pts.iter().enumerate() {
+            for (j, b) in self.pts.iter().enumerate() {
+                if i != j && a.dominates(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Cross-product combination of two curves rooted at the same point:
+    /// loads and areas add, required times take the minimum.
+    ///
+    /// `combine(prov_a, prov_b)` records the provenance of each produced
+    /// point. The result is pruned.
+    pub fn merged_with<F>(&self, other: &Curve, mut combine: F) -> Curve
+    where
+        F: FnMut(ProvId, ProvId) -> ProvId,
+    {
+        let mut out = Curve::with_capacity(self.len() * other.len());
+        for a in &self.pts {
+            for b in &other.pts {
+                out.push(CurvePoint {
+                    load: a.load + b.load,
+                    req: a.req.min(b.req),
+                    area: a.area + b.area,
+                    prov: combine(a.prov, b.prov),
+                });
+            }
+        }
+        out.prune();
+        out
+    }
+
+    /// Prepends a wire of `len` λ to every solution: load grows by the wire
+    /// capacitance, required time shrinks by the Elmore delay of the wire
+    /// into the old load. The result is pruned (extension is monotone, so
+    /// pruning only collapses load-quantization ties).
+    pub fn extended<F>(&self, wire: &WireModel, len: u64, mut step: F) -> Curve
+    where
+        F: FnMut(ProvId) -> ProvId,
+    {
+        let wc = wire.wire_cap(len);
+        let mut out = Curve::with_capacity(self.len());
+        for p in &self.pts {
+            out.push(CurvePoint {
+                load: p.load + wc,
+                req: p.req - wire.elmore_ps(len, p.load),
+                area: p.area,
+                prov: step(p.prov),
+            });
+        }
+        out.prune();
+        out
+    }
+
+    /// Adds, for every library buffer, the option of driving each solution
+    /// with that buffer (load collapses to the buffer input capacitance,
+    /// required time shrinks by the buffer delay, area grows by the buffer
+    /// area). The unbuffered originals are kept; the result is pruned.
+    pub fn with_buffer_options<F>(&self, library: &BufferLibrary, mut step: F) -> Curve
+    where
+        F: FnMut(u16, ProvId) -> ProvId,
+    {
+        let mut out = Curve::with_capacity(self.len() * (library.len() + 1));
+        for p in &self.pts {
+            out.push(*p);
+        }
+        for (bi, buf) in library.iter().enumerate() {
+            for p in &self.pts {
+                out.push(CurvePoint {
+                    load: buf.cin,
+                    req: p.req - buf.delay_linear_ps(p.load),
+                    area: p.area + buf.area,
+                    prov: step(bi as u16, p.prov),
+                });
+            }
+        }
+        out.prune();
+        out
+    }
+
+    /// Merges another curve's points into this one in place, re-pruning.
+    pub fn absorb(&mut self, other: Curve) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other;
+            return;
+        }
+        self.pts.extend(other.pts);
+        self.prune();
+    }
+
+    /// Best (largest) required time among solutions with `area ≤ budget`
+    /// and, optionally, further criteria applied by the caller.
+    pub fn best_req_within_area(&self, budget: u64) -> Option<&CurvePoint> {
+        self.pts
+            .iter()
+            .filter(|p| p.area <= budget)
+            .max_by(|a, b| a.req.total_cmp(&b.req))
+    }
+
+    /// Cheapest (smallest-area) solution achieving `req ≥ target`.
+    pub fn min_area_with_req(&self, target: PsTime) -> Option<&CurvePoint> {
+        self.pts
+            .iter()
+            .filter(|p| p.req >= target)
+            .min_by_key(|p| p.area)
+    }
+
+    /// Quality-controlled thinning: if the curve has more than `max_points`
+    /// points, keep `max_points` of them spread evenly across the load
+    /// range (always keeping both extremes and the best-required-time
+    /// point).
+    ///
+    /// This is a *speed knob*, not part of the paper's algorithm; with it
+    /// disabled (the default in the accuracy configurations) all curves are
+    /// exact. The scaling benchmarks quantify its effect.
+    pub fn thin_to(&mut self, max_points: usize) {
+        if max_points == 0 || self.pts.len() <= max_points {
+            return;
+        }
+        self.pts.sort_unstable_by(|a, b| a.load.cmp(&b.load));
+        let best_req_idx = self
+            .pts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.req.total_cmp(&b.1.req))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let n = self.pts.len();
+        let mut keep = vec![false; n];
+        keep[0] = true;
+        keep[n - 1] = true;
+        keep[best_req_idx] = true;
+        let remaining = max_points.saturating_sub(3).max(1);
+        for k in 0..remaining {
+            let idx = (k * (n - 1)) / remaining;
+            keep[idx] = true;
+        }
+        let mut i = 0;
+        self.pts.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+    }
+
+    /// Minimum load over the curve, if non-empty.
+    pub fn min_load(&self) -> Option<Cap> {
+        self.pts.iter().map(|p| p.load).min()
+    }
+}
+
+impl FromIterator<CurvePoint> for Curve {
+    fn from_iter<T: IntoIterator<Item = CurvePoint>>(iter: T) -> Self {
+        let mut c = Curve {
+            pts: iter.into_iter().collect(),
+        };
+        c.prune();
+        c
+    }
+}
+
+impl Extend<CurvePoint> for Curve {
+    fn extend<T: IntoIterator<Item = CurvePoint>>(&mut self, iter: T) {
+        self.pts.extend(iter);
+        self.prune();
+    }
+}
+
+impl<'a> IntoIterator for &'a Curve {
+    type Item = &'a CurvePoint;
+    type IntoIter = std::slice::Iter<'a, CurvePoint>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.pts.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProvId {
+        ProvId::new(i)
+    }
+
+    /// Brute-force O(s²) reference pruning.
+    fn brute_prune(pts: &[CurvePoint]) -> Vec<CurvePoint> {
+        let mut out: Vec<CurvePoint> = Vec::new();
+        'outer: for (i, p) in pts.iter().enumerate() {
+            for (j, q) in pts.iter().enumerate() {
+                let strictly_better = q.dominates(p)
+                    && (q.load != p.load || q.req != p.req || q.area != p.area);
+                if strictly_better {
+                    continue 'outer;
+                }
+                // exact duplicate: keep only first occurrence
+                if j < i && q.load == p.load && q.req == p.req && q.area == p.area {
+                    continue 'outer;
+                }
+            }
+            out.push(*p);
+        }
+        out
+    }
+
+    fn assert_same_front(fast: &Curve, slow: &[CurvePoint]) {
+        let mut a: Vec<_> = fast
+            .iter()
+            .map(|p| (p.load.units(), p.area, p.req.to_bits()))
+            .collect();
+        let mut b: Vec<_> = slow
+            .iter()
+            .map(|p| (p.load.units(), p.area, p.req.to_bits()))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prune_matches_brute_force_on_fixed_set() {
+        let pts = vec![
+            CurvePoint::new(10, 100.0, 5, pid(0)),
+            CurvePoint::new(10, 100.0, 5, pid(1)), // duplicate
+            CurvePoint::new(12, 99.0, 4, pid(2)),
+            CurvePoint::new(8, 90.0, 9, pid(3)),
+            CurvePoint::new(20, 120.0, 5, pid(4)),
+            CurvePoint::new(20, 119.0, 6, pid(5)), // dominated by previous
+            CurvePoint::new(5, 50.0, 0, pid(6)),
+            CurvePoint::new(6, 50.0, 0, pid(7)), // dominated
+        ];
+        let mut c = Curve::new();
+        for p in &pts {
+            c.push(*p);
+        }
+        c.prune();
+        assert!(c.is_pruned());
+        assert_same_front(&c, &brute_prune(&pts));
+    }
+
+    #[test]
+    fn prune_is_idempotent() {
+        let mut c = Curve::new();
+        for i in 0..50u32 {
+            c.push(CurvePoint::new(
+                (i * 7) % 23,
+                ((i * 13) % 31) as f64,
+                ((i * 5) % 11) as u64,
+                pid(i),
+            ));
+        }
+        c.prune();
+        let once = c.clone();
+        c.prune();
+        assert_eq!(once, c);
+    }
+
+    #[test]
+    fn merge_adds_loads_and_areas_and_mins_req() {
+        let mut a = Curve::new();
+        a.push(CurvePoint::new(10, 100.0, 1, pid(0)));
+        let mut b = Curve::new();
+        b.push(CurvePoint::new(20, 80.0, 2, pid(1)));
+        let m = a.merged_with(&b, |_, _| pid(99));
+        assert_eq!(m.len(), 1);
+        let p = m.points()[0];
+        assert_eq!(p.load, Cap(30));
+        assert_eq!(p.req, 80.0);
+        assert_eq!(p.area, 3);
+        assert_eq!(p.prov, pid(99));
+    }
+
+    #[test]
+    fn merge_is_commutative_up_to_provenance() {
+        let mut a = Curve::new();
+        a.push(CurvePoint::new(10, 100.0, 1, pid(0)));
+        a.push(CurvePoint::new(5, 60.0, 0, pid(1)));
+        let mut b = Curve::new();
+        b.push(CurvePoint::new(7, 90.0, 2, pid(2)));
+        b.push(CurvePoint::new(3, 70.0, 1, pid(3)));
+        let ab = a.merged_with(&b, |_, _| pid(0));
+        let ba = b.merged_with(&a, |_, _| pid(0));
+        let key = |c: &Curve| {
+            let mut v: Vec<_> = c
+                .iter()
+                .map(|p| (p.load.units(), p.area, p.req.to_bits()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&ab), key(&ba));
+    }
+
+    #[test]
+    fn extension_uses_old_load_for_elmore() {
+        let wire = WireModel::synthetic_035();
+        let mut c = Curve::new();
+        c.push(CurvePoint::with_load(Cap::from_ff(40.0), 500.0, 0, pid(0)));
+        let e = c.extended(&wire, 100, |p| p);
+        assert_eq!(e.len(), 1);
+        let p = e.points()[0];
+        assert_eq!(p.load, Cap::from_ff(40.0) + wire.wire_cap(100));
+        let expect = 500.0 - wire.elmore_ps(100, Cap::from_ff(40.0));
+        assert!((p.req - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_options_keep_originals_when_non_inferior() {
+        let lib = BufferLibrary::tiny_test();
+        let mut c = Curve::new();
+        c.push(CurvePoint::with_load(Cap::from_ff(500.0), 900.0, 0, pid(0)));
+        let b = c.with_buffer_options(&lib, |_, p| p);
+        // The huge unbuffered load means a buffered variant survives (small
+        // load) alongside the original (best req, zero area).
+        assert!(b.len() >= 2);
+        assert!(b.iter().any(|p| p.area == 0));
+        assert!(b.iter().any(|p| p.area > 0));
+    }
+
+    #[test]
+    fn constraint_queries() {
+        let mut c = Curve::new();
+        c.push(CurvePoint::new(10, 100.0, 50, pid(0)));
+        c.push(CurvePoint::new(10, 80.0, 20, pid(1)));
+        c.push(CurvePoint::new(10, 60.0, 0, pid(2)));
+        c.prune();
+        assert_eq!(c.best_req_within_area(30).unwrap().req, 80.0);
+        assert_eq!(c.best_req_within_area(0).unwrap().req, 60.0);
+        assert!(c.best_req_within_area(u64::MAX).unwrap().req == 100.0);
+        assert_eq!(c.min_area_with_req(70.0).unwrap().area, 20);
+        assert!(c.min_area_with_req(1000.0).is_none());
+    }
+
+    #[test]
+    fn thinning_respects_bounds_and_keeps_best() {
+        let mut c = Curve::new();
+        for i in 0..100u32 {
+            // A genuine 2D front: increasing load, increasing req.
+            c.push(CurvePoint::new(i, i as f64, (100 - i) as u64, pid(i)));
+        }
+        c.prune();
+        assert_eq!(c.len(), 100);
+        let best = c.best_req_within_area(u64::MAX).unwrap().req;
+        c.thin_to(10);
+        assert!(c.len() <= 10 + 2);
+        assert_eq!(c.best_req_within_area(u64::MAX).unwrap().req, best);
+    }
+
+    #[test]
+    fn absorb_unions_and_prunes() {
+        let mut a = Curve::new();
+        a.push(CurvePoint::new(10, 100.0, 5, pid(0)));
+        let mut b = Curve::new();
+        b.push(CurvePoint::new(10, 120.0, 5, pid(1)));
+        a.absorb(b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.points()[0].req, 120.0);
+    }
+
+    #[test]
+    fn randomized_prune_matches_brute_force() {
+        // Deterministic pseudo-random stress (proptest covers more in the
+        // suite-level tests; this keeps the crate self-contained).
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..50 {
+            let n = 1 + (next() % 60) as usize;
+            let pts: Vec<CurvePoint> = (0..n)
+                .map(|i| {
+                    CurvePoint::new(
+                        (next() % 16) as u32,
+                        (next() % 16) as f64,
+                        next() % 16,
+                        pid(i as u32),
+                    )
+                })
+                .collect();
+            let mut c = Curve::new();
+            for p in &pts {
+                c.push(*p);
+            }
+            c.prune();
+            assert!(c.is_pruned(), "round {round}");
+            assert_same_front(&c, &brute_prune(&pts));
+        }
+    }
+}

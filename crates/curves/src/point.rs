@@ -1,0 +1,109 @@
+//! Points of a three-dimensional solution curve.
+
+use std::fmt;
+
+use merlin_tech::units::{Cap, PsTime};
+
+use crate::arena::ProvId;
+
+/// One solution on a three-dimensional curve: the triple the paper's
+/// Figure 8 plots, plus a provenance handle for structure extraction.
+///
+/// Definition 6 (non-inferiority): σ₂ is *inferior* to σ₁ iff
+/// `load(σ₁) ≤ load(σ₂)`, `req(σ₂) ≤ req(σ₁)` and `area(σ₁) ≤ area(σ₂)`.
+/// [`CurvePoint::dominates`] implements exactly that predicate.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_curves::{CurvePoint, ProvId};
+///
+/// let strong = CurvePoint::new(10, 100.0, 5, ProvId::new(0));
+/// let weak = CurvePoint::new(20, 90.0, 7, ProvId::new(1));
+/// assert!(strong.dominates(&weak));
+/// assert!(!weak.dominates(&strong));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CurvePoint {
+    /// Capacitive load presented at the root of the structure.
+    pub load: Cap,
+    /// Required time at the root, in ps (larger is better).
+    pub req: PsTime,
+    /// Total buffer area of the structure, in λ².
+    pub area: u64,
+    /// Back-pointer into the engine's [`crate::ProvArena`].
+    pub prov: ProvId,
+}
+
+impl CurvePoint {
+    /// Creates a point from raw quantized load units (see
+    /// [`merlin_tech::units::Cap`]).
+    pub fn new(load_units: u32, req: PsTime, area: u64, prov: ProvId) -> Self {
+        CurvePoint {
+            load: Cap(load_units),
+            req,
+            area,
+            prov,
+        }
+    }
+
+    /// Creates a point from a typed load.
+    pub fn with_load(load: Cap, req: PsTime, area: u64, prov: ProvId) -> Self {
+        CurvePoint {
+            load,
+            req,
+            area,
+            prov,
+        }
+    }
+
+    /// Whether `self` renders `other` inferior (Definition 6).
+    ///
+    /// Non-strict in all three dimensions: identical points dominate each
+    /// other, so pruning keeps exactly one representative.
+    pub fn dominates(&self, other: &CurvePoint) -> bool {
+        self.load <= other.load && self.req >= other.req && self.area <= other.area
+    }
+}
+
+impl fmt::Display for CurvePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(load={}, req={:.1}ps, area={}λ²)",
+            self.load, self.req, self.area
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_reflexive() {
+        let p = CurvePoint::new(5, 10.0, 3, ProvId::new(0));
+        assert!(p.dominates(&p));
+    }
+
+    #[test]
+    fn dominance_requires_all_three_dimensions() {
+        let base = CurvePoint::new(10, 50.0, 10, ProvId::new(0));
+        // Better req but more load: incomparable.
+        let a = CurvePoint::new(12, 60.0, 10, ProvId::new(1));
+        assert!(!base.dominates(&a));
+        assert!(!a.dominates(&base));
+        // Less area but worse req: incomparable.
+        let b = CurvePoint::new(10, 40.0, 5, ProvId::new(2));
+        assert!(!base.dominates(&b));
+        assert!(!b.dominates(&base));
+    }
+
+    #[test]
+    fn dominance_is_transitive_on_chain() {
+        let a = CurvePoint::new(1, 30.0, 1, ProvId::new(0));
+        let b = CurvePoint::new(2, 20.0, 2, ProvId::new(1));
+        let c = CurvePoint::new(3, 10.0, 3, ProvId::new(2));
+        assert!(a.dominates(&b) && b.dominates(&c) && a.dominates(&c));
+    }
+}

@@ -1,0 +1,138 @@
+//! Whole-circuit harness producing Table 2 rows.
+//!
+//! For each net of a synthetic mapped circuit, builds the per-net
+//! optimization problem (driver model from the driving cell, sink required
+//! times from a zero-slack STA estimate), runs one of the three flows, and
+//! finally runs a full STA with the produced per-sink delays. "Area" is
+//! cell area plus all inserted buffer area — the paper's post-layout area
+//! column; "Delay" is the STA critical path.
+
+use std::time::Instant;
+
+use merlin_netlist::circuit::Terminal;
+use merlin_netlist::sta::{analyze, derive_sink_requirements, NetTiming};
+use merlin_netlist::{Circuit, Net, Sink};
+use merlin_tech::{Driver, Technology};
+
+use crate::{flow1, flow2, flow3, FlowsConfig};
+
+/// Which flow to push the circuit through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowKind {
+    /// LTTREE + PTREE.
+    Lttree,
+    /// PTREE + van Ginneken.
+    PtreeVg,
+    /// MERLIN.
+    Merlin,
+}
+
+/// A Table 2 cell: one circuit through one flow.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CircuitMetrics {
+    /// Gate area + inserted buffer area, λ².
+    pub area: u64,
+    /// STA critical path, ps.
+    pub critical_ps: f64,
+    /// Wall-clock runtime, seconds.
+    pub runtime_s: f64,
+    /// Total buffers inserted.
+    pub buffers: usize,
+}
+
+/// Builds the per-net optimization problem for net `idx`.
+pub fn net_problem(circuit: &Circuit, idx: usize, reqs: &[Vec<f64>]) -> Net {
+    let cnet = &circuit.nets[idx];
+    let source = circuit.terminal_pos(cnet.driver);
+    let driver = match cnet.driver {
+        Terminal::Gate(g) => circuit.cells[circuit.gates[g as usize].cell as usize].as_driver(),
+        Terminal::Input(_) => Driver::with_strength(8.0),
+        Terminal::Output(_) => unreachable!("outputs never drive"),
+    };
+    let sinks = cnet
+        .sinks
+        .iter()
+        .zip(&reqs[idx])
+        .map(|(&t, &r)| Sink::new(circuit.terminal_pos(t), circuit.sink_cap(t), r))
+        .collect();
+    Net::new(format!("net{idx}"), source, driver, sinks)
+}
+
+/// Pushes `circuit` through `flow`.
+pub fn run_circuit(
+    circuit: &Circuit,
+    tech: &Technology,
+    flow: FlowKind,
+) -> CircuitMetrics {
+    let start = Instant::now();
+    let reqs = derive_sink_requirements(circuit, tech);
+    let mut timings = Vec::with_capacity(circuit.nets.len());
+    let mut buffer_area = 0u64;
+    let mut buffers = 0usize;
+    for idx in 0..circuit.nets.len() {
+        if circuit.nets[idx].sinks.is_empty() {
+            timings.push(NetTiming {
+                sink_delays_ps: Vec::new(),
+            });
+            continue;
+        }
+        let net = net_problem(circuit, idx, &reqs);
+        let cfg = FlowsConfig::for_net_size(net.num_sinks());
+        let res = match flow {
+            FlowKind::Lttree => flow1::run(&net, tech, &cfg),
+            FlowKind::PtreeVg => flow2::run(&net, tech, &cfg),
+            FlowKind::Merlin => {
+                let mut cfg = cfg;
+                // Table 2 setup: at most 3 MERLIN loops per net.
+                cfg.merlin.max_loops = cfg.merlin.max_loops.min(3);
+                flow3::run(&net, tech, &cfg)
+            }
+        };
+        buffer_area += res.eval.buffer_area;
+        buffers += res.eval.num_buffers;
+        timings.push(NetTiming {
+            sink_delays_ps: res.eval.sink_delays_ps.clone(),
+        });
+    }
+    let sta = analyze(circuit, &timings);
+    CircuitMetrics {
+        area: circuit.gate_area() + buffer_area,
+        critical_ps: sta.critical_ps,
+        runtime_s: start.elapsed().as_secs_f64(),
+        buffers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_netlist::generator::synthetic_circuit;
+
+    #[test]
+    fn tiny_circuit_through_all_flows() {
+        let tech = Technology::synthetic_035();
+        let circuit = synthetic_circuit("t", 24, 3);
+        let m1 = run_circuit(&circuit, &tech, FlowKind::Lttree);
+        let m2 = run_circuit(&circuit, &tech, FlowKind::PtreeVg);
+        let m3 = run_circuit(&circuit, &tech, FlowKind::Merlin);
+        for m in [m1, m2, m3] {
+            assert!(m.area >= circuit.gate_area());
+            assert!(m.critical_ps > 0.0 && m.critical_ps.is_finite());
+        }
+    }
+
+    #[test]
+    fn net_problem_is_well_formed() {
+        let tech = Technology::synthetic_035();
+        let circuit = synthetic_circuit("t", 30, 1);
+        let reqs = derive_sink_requirements(&circuit, &tech);
+        for idx in 0..circuit.nets.len() {
+            if circuit.nets[idx].sinks.is_empty() {
+                continue;
+            }
+            let net = net_problem(&circuit, idx, &reqs);
+            assert_eq!(net.num_sinks(), circuit.nets[idx].sinks.len());
+            assert!(net.sinks.iter().all(|s| s.req_ps.is_finite()));
+        }
+    }
+}

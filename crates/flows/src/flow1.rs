@@ -1,0 +1,202 @@
+//! Flow I: `LTTREE` fanout optimization followed by `PTREE` routing of
+//! every stage.
+//!
+//! The fanout tree is built in the logic domain (positions unknown), then
+//! each stage's buffer is placed at the center of mass of the sinks it
+//! transitively drives, and the stage's sub-net (its direct sinks plus the
+//! next buffer in the chain) is routed with `PTREE` using the TSP order —
+//! exactly the paper's Setup I. Because buffering decided before layout
+//! cannot anticipate wire delay, this flow wastes area and delay on
+//! spread-out nets, which is the effect Table 1 quantifies.
+
+use std::time::Instant;
+
+use merlin_geom::{center_of_mass, Point};
+use merlin_lttree::{FanoutTree, LtTree};
+use merlin_netlist::{Net, Sink};
+use merlin_order::tsp::tsp_order;
+use merlin_ptree::Ptree;
+use merlin_tech::units::Cap;
+use merlin_tech::{BufferedTree, Driver, NodeKind, Technology};
+
+use crate::{FlowResult, FlowsConfig};
+
+/// Runs Flow I on `net`.
+///
+/// # Panics
+///
+/// Panics if the net has no sinks.
+pub fn run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> FlowResult {
+    let start = Instant::now();
+    let pairs: Vec<(Cap, f64)> = net.sinks.iter().map(|s| (s.load, s.req_ps)).collect();
+    let solved = LtTree::new(tech, cfg.lt).solve(&pairs, &net.driver);
+    let best = solved.best_point().expect("LTTREE always yields a point");
+    let fanout_tree = solved.extract(&best);
+    let tree = embed(net, tech, cfg, &fanout_tree);
+    let eval = tree.evaluate(tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
+    FlowResult {
+        tree,
+        eval,
+        runtime_s: start.elapsed().as_secs_f64(),
+        loops: 0,
+    }
+}
+
+/// Embeds a fanout tree: places each buffer stage at the center of mass of
+/// its transitive sinks, routes each stage with PTREE, and grafts the
+/// stage routings into one buffered tree.
+fn embed(
+    net: &Net,
+    tech: &Technology,
+    cfg: &FlowsConfig,
+    fanout_tree: &FanoutTree,
+) -> BufferedTree {
+    // Stage order root -> deep, with placement.
+    let mut chain: Vec<usize> = Vec::new();
+    let mut cur = Some(0usize);
+    while let Some(i) = cur {
+        chain.push(i);
+        cur = fanout_tree.nodes[i].child;
+    }
+    let mut stage_pos: Vec<Point> = vec![net.source; fanout_tree.nodes.len()];
+    for &i in &chain {
+        if i == 0 {
+            continue;
+        }
+        let pts: Vec<Point> = fanout_tree
+            .transitive_sinks(i)
+            .iter()
+            .map(|&s| net.sinks[s as usize].pos)
+            .collect();
+        stage_pos[i] = if pts.is_empty() {
+            net.source
+        } else {
+            center_of_mass(pts)
+        };
+    }
+
+    let mut out = BufferedTree::new(net.source);
+    let mut attach = out.root(); // node at the current stage's position
+    for (ci, &i) in chain.iter().enumerate() {
+        let stage = &fanout_tree.nodes[i];
+        let next = chain.get(ci + 1).copied();
+        // Sub-net: direct sinks + pseudo-sink for the next buffer.
+        let mut sub_sinks: Vec<Sink> = stage
+            .sinks
+            .iter()
+            .map(|&s| net.sinks[s as usize].clone())
+            .collect();
+        let mut pseudo_idx = None;
+        if let Some(nx) = next {
+            let nb = fanout_tree.nodes[nx].buffer.expect("chain stages are buffers");
+            let buf = &tech.library[nb as usize];
+            let req = fanout_tree
+                .transitive_sinks(nx)
+                .iter()
+                .map(|&s| net.sinks[s as usize].req_ps)
+                .fold(f64::INFINITY, f64::min);
+            pseudo_idx = Some(sub_sinks.len() as u32);
+            sub_sinks.push(Sink::new(stage_pos[nx], buf.cin, req));
+        }
+        if sub_sinks.is_empty() {
+            break;
+        }
+        let stage_driver = match stage.buffer {
+            None => net.driver.clone(),
+            Some(b) => {
+                let buf = &tech.library[b as usize];
+                Driver {
+                    rdrv_ohm: buf.rdrv_ohm,
+                    intrinsic_ps: buf.intrinsic_ps,
+                    four_param: buf.four_param,
+                }
+            }
+        };
+        let sub_net = Net::new("stage", stage_pos[i], stage_driver, sub_sinks);
+        let order = tsp_order(sub_net.source, &sub_net.sink_positions());
+        let cands = cfg
+            .baseline_candidates
+            .generate(sub_net.source, &sub_net.sink_positions());
+        let solved = Ptree::new(&sub_net, tech, cfg.ptree).solve(&order, &cands);
+        let sub_tree = solved
+            .best_tree()
+            .expect("PTREE always routes a non-empty net");
+        // Graft: copy sub_tree under `attach`, translating sink ids; the
+        // pseudo-sink becomes the next stage's buffer node.
+        let mut next_attach = None;
+        let mut stack: Vec<(merlin_tech::NodeId, merlin_tech::NodeId)> =
+            vec![(sub_tree.root(), attach)];
+        while let Some((src, dst)) = stack.pop() {
+            for &ch in &sub_tree.node(src).children {
+                let child = sub_tree.node(ch);
+                match child.kind {
+                    NodeKind::Sink(local) => {
+                        if Some(local) == pseudo_idx {
+                            let nx = next.expect("pseudo implies next stage");
+                            let nb = fanout_tree.nodes[nx].buffer.expect("buffer stage");
+                            let node = out.add_child(dst, NodeKind::Buffer(nb), child.at);
+                            next_attach = Some(node);
+                        } else {
+                            let real = stage.sinks[local as usize];
+                            out.add_child(dst, NodeKind::Sink(real), child.at);
+                        }
+                    }
+                    NodeKind::Steiner => {
+                        let node = out.add_child(dst, NodeKind::Steiner, child.at);
+                        stack.push((ch, node));
+                    }
+                    NodeKind::Buffer(_) | NodeKind::Source => {
+                        unreachable!("PTREE produces plain routing trees")
+                    }
+                }
+            }
+        }
+        match next_attach {
+            Some(a) => attach = a,
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_netlist::bench_nets::random_net;
+
+    #[test]
+    fn flow1_produces_valid_trees() {
+        let tech = Technology::synthetic_035();
+        for seed in 1..=3u64 {
+            let net = random_net("n", 8, seed, &tech);
+            let cfg = FlowsConfig::for_net_size(8);
+            let res = run(&net, &tech, &cfg);
+            res.tree.validate(8, &tech).unwrap();
+            assert!(res.eval.root_required_ps.is_finite());
+            assert_eq!(res.loops, 0);
+        }
+    }
+
+    #[test]
+    fn heavy_net_gets_buffers_from_lttree() {
+        let tech = Technology::synthetic_035();
+        let mut net = random_net("n", 20, 2, &tech);
+        net.driver = Driver::with_strength(1.0);
+        for s in &mut net.sinks {
+            s.load = Cap::from_ff(60.0);
+        }
+        let cfg = FlowsConfig::for_net_size(20);
+        let res = run(&net, &tech, &cfg);
+        res.tree.validate(20, &tech).unwrap();
+        assert!(res.eval.num_buffers >= 1);
+    }
+
+    #[test]
+    fn single_sink_degenerates_to_a_route() {
+        let tech = Technology::synthetic_035();
+        let net = random_net("n", 1, 7, &tech);
+        let cfg = FlowsConfig::for_net_size(1);
+        let res = run(&net, &tech, &cfg);
+        res.tree.validate(1, &tech).unwrap();
+    }
+}

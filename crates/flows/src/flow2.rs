@@ -1,0 +1,85 @@
+//! Flow II: `PTREE` routing followed by van Ginneken buffer insertion.
+//!
+//! The routing is chosen for wire-delay alone; buffers are then placed
+//! optimally **on that fixed tree** ([Gi90]) — the paper's Setup II. The
+//! gap between this and MERLIN is exactly the value of making routing and
+//! buffering decisions jointly.
+
+use std::time::Instant;
+
+use merlin_netlist::Net;
+use merlin_order::tsp::tsp_order;
+use merlin_ptree::Ptree;
+use merlin_tech::Technology;
+use merlin_vanginneken::VanGinneken;
+
+use crate::{FlowResult, FlowsConfig};
+
+/// Runs Flow II on `net`.
+///
+/// # Panics
+///
+/// Panics if the net has no sinks.
+pub fn run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> FlowResult {
+    let start = Instant::now();
+    let order = tsp_order(net.source, &net.sink_positions());
+    let cands = cfg
+        .baseline_candidates
+        .generate(net.source, &net.sink_positions());
+    let routed = Ptree::new(net, tech, cfg.ptree)
+        .solve(&order, &cands)
+        .best_tree()
+        .expect("PTREE always routes a non-empty net");
+    let solved = VanGinneken::new(tech, cfg.vg).solve(
+        &routed,
+        &net.driver,
+        &net.sink_loads(),
+        &net.sink_reqs(),
+    );
+    let tree = solved
+        .best_tree()
+        .expect("insertion preserves the unbuffered solution");
+    let eval = tree.evaluate(tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
+    FlowResult {
+        tree,
+        eval,
+        runtime_s: start.elapsed().as_secs_f64(),
+        loops: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_netlist::bench_nets::random_net;
+
+    #[test]
+    fn flow2_produces_valid_trees() {
+        let tech = Technology::synthetic_035();
+        for seed in 1..=3u64 {
+            let net = random_net("n", 8, seed, &tech);
+            let cfg = FlowsConfig::for_net_size(8);
+            let res = run(&net, &tech, &cfg);
+            res.tree.validate(8, &tech).unwrap();
+            assert!(res.eval.root_required_ps.is_finite());
+        }
+    }
+
+    #[test]
+    fn flow2_no_worse_than_bare_ptree_routing() {
+        let tech = Technology::synthetic_035();
+        let net = random_net("n", 10, 5, &tech);
+        let cfg = FlowsConfig::for_net_size(10);
+        let order = tsp_order(net.source, &net.sink_positions());
+        let cands = cfg
+            .baseline_candidates
+            .generate(net.source, &net.sink_positions());
+        let routed = Ptree::new(&net, &tech, cfg.ptree)
+            .solve(&order, &cands)
+            .best_tree()
+            .unwrap();
+        let bare = routed.evaluate(&tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
+        let res = run(&net, &tech, &cfg);
+        assert!(res.eval.root_required_ps >= bare.root_required_ps - 0.5);
+    }
+}

@@ -1,0 +1,131 @@
+//! The paper's three experimental flows (§IV) and the table harnesses.
+//!
+//! * **Flow I** — fanout optimization with `LTTREE`, then each stage of
+//!   the fanout tree routed with `PTREE` (sink order: required times for
+//!   LTTREE, TSP for PTREE) — the "logic first, layout later" convention,
+//! * **Flow II** — routing with `PTREE` (TSP order), then van Ginneken
+//!   buffer insertion on the fixed tree — "layout first, buffers later",
+//! * **Flow III** — `MERLIN`: the unified buffered-routing construction
+//!   with local neighborhood search.
+//!
+//! [`net_harness`] runs all three on a net and produces a Table 1 row;
+//! [`circuit_harness`] pushes a whole synthetic circuit through a flow and
+//! produces a Table 2 row; [`report`] prints the tables in the paper's
+//! layout (absolute Flow I numbers, Flow II/III as ratios over Flow I).
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_flows::{net_harness, FlowsConfig};
+//! use merlin_netlist::bench_nets::random_net;
+//! use merlin_tech::Technology;
+//!
+//! let tech = Technology::synthetic_035();
+//! let net = random_net("demo", 5, 3, &tech);
+//! let cfg = FlowsConfig::for_net_size(5);
+//! let row = net_harness::run_net(&net, "demo", &tech, &cfg);
+//! assert!(row.flow3.delay_ps <= row.flow1.delay_ps * 1.5);
+//! ```
+
+pub mod circuit_harness;
+pub mod flow0;
+pub mod flow1;
+pub mod flow2;
+pub mod flow3;
+pub mod net_harness;
+pub mod report;
+pub mod sweep;
+
+use merlin_geom::CandidateStrategy;
+use merlin_lttree::LtConfig;
+use merlin_ptree::PtreeConfig;
+use merlin_vanginneken::VgConfig;
+use merlin::MerlinConfig;
+
+/// One flow's outcome on a net.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// The produced buffered routing tree.
+    pub tree: merlin_tech::BufferedTree,
+    /// Independent evaluation of that tree.
+    pub eval: merlin_tech::Evaluation,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+    /// MERLIN local-search loops (0 for the baselines).
+    pub loops: usize,
+}
+
+/// Shared configuration for the three flows.
+#[derive(Clone, Debug)]
+pub struct FlowsConfig {
+    /// PTREE settings (Flows I and II).
+    pub ptree: PtreeConfig,
+    /// Candidate strategy for the baseline routing.
+    pub baseline_candidates: CandidateStrategy,
+    /// van Ginneken settings (Flow II).
+    pub vg: VgConfig,
+    /// LTTREE settings (Flow I).
+    pub lt: LtConfig,
+    /// MERLIN settings (Flow III).
+    pub merlin: MerlinConfig,
+}
+
+impl FlowsConfig {
+    /// A configuration scaled to a net of `n` sinks: exact-ish for small
+    /// nets, thinned curves and reduced candidate sets for large ones.
+    pub fn for_net_size(n: usize) -> Self {
+        let small = n <= 12;
+        FlowsConfig {
+            ptree: if small {
+                PtreeConfig { max_curve_points: 24 }
+            } else {
+                PtreeConfig { max_curve_points: 12 }
+            },
+            baseline_candidates: if small {
+                CandidateStrategy::FullHanan
+            } else {
+                CandidateStrategy::ReducedHanan {
+                    max_points: (2 * n).clamp(24, 64),
+                }
+            },
+            vg: VgConfig::default(),
+            lt: LtConfig::default(),
+            // Reduced Hanan candidates even for small nets: the paper (and
+            // experiment E5) shows the candidate-set choice barely affects
+            // quality once k = Ω(n), and it keeps MERLIN's k² relocation
+            // term small.
+            merlin: if small {
+                MerlinConfig {
+                    alpha: 8,
+                    candidates: CandidateStrategy::ReducedHanan {
+                        max_points: (3 * n).clamp(16, 36),
+                    },
+                    max_curve_points: 10,
+                    max_loops: 6,
+                    ..MerlinConfig::default()
+                }
+            } else {
+                MerlinConfig::large(n)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_scales_with_net_size() {
+        let small = FlowsConfig::for_net_size(6);
+        let large = FlowsConfig::for_net_size(50);
+        assert!(small.ptree.max_curve_points >= large.ptree.max_curve_points);
+        assert_eq!(small.baseline_candidates, CandidateStrategy::FullHanan);
+        assert_ne!(large.baseline_candidates, CandidateStrategy::FullHanan);
+        // MERLIN always runs on a reduced candidate set (E5 justifies it).
+        assert!(matches!(
+            small.merlin.candidates,
+            CandidateStrategy::ReducedHanan { .. }
+        ));
+    }
+}

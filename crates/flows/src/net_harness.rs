@@ -1,0 +1,98 @@
+//! Per-net harness producing Table 1 rows.
+
+use merlin_netlist::bench_nets::NetCase;
+use merlin_netlist::Net;
+use merlin_tech::Technology;
+
+use crate::{flow1, flow2, flow3, FlowsConfig};
+
+/// One flow's figures for a net.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metrics {
+    /// Total buffer area in λ² (the paper reports ×1000 λ²).
+    pub buffer_area: u64,
+    /// Delay in ps (`max sink required time − driver required time`; equals
+    /// the critical source-to-sink delay for uniform requirements).
+    pub delay_ps: f64,
+    /// Wall-clock runtime in seconds.
+    pub runtime_s: f64,
+}
+
+/// A Table 1 row.
+#[derive(Clone, Debug)]
+pub struct NetRow {
+    /// Originating circuit label.
+    pub circuit: String,
+    /// Net name.
+    pub name: String,
+    /// Sink count.
+    pub sinks: usize,
+    /// Flow I (LTTREE + PTREE).
+    pub flow1: Metrics,
+    /// Flow II (PTREE + buffer insertion).
+    pub flow2: Metrics,
+    /// Flow III (MERLIN).
+    pub flow3: Metrics,
+    /// MERLIN convergence loops.
+    pub loops: usize,
+}
+
+impl NetRow {
+    /// `(area, delay, runtime)` ratios of a flow over Flow I.
+    pub fn ratios(&self, which: &Metrics) -> (f64, f64, f64) {
+        (
+            which.buffer_area as f64 / (self.flow1.buffer_area.max(1)) as f64,
+            which.delay_ps / self.flow1.delay_ps,
+            which.runtime_s / self.flow1.runtime_s.max(1e-9),
+        )
+    }
+}
+
+fn metrics(res: &crate::FlowResult) -> Metrics {
+    Metrics {
+        buffer_area: res.eval.buffer_area,
+        delay_ps: res.eval.delay_ps,
+        runtime_s: res.runtime_s,
+    }
+}
+
+/// Runs the three flows on one net.
+pub fn run_net(net: &Net, circuit: &str, tech: &Technology, cfg: &FlowsConfig) -> NetRow {
+    let f1 = flow1::run(net, tech, cfg);
+    let f2 = flow2::run(net, tech, cfg);
+    let f3 = flow3::run(net, tech, cfg);
+    NetRow {
+        circuit: circuit.to_owned(),
+        name: net.name.clone(),
+        sinks: net.num_sinks(),
+        flow1: metrics(&f1),
+        flow2: metrics(&f2),
+        flow3: metrics(&f3),
+        loops: f3.loops,
+    }
+}
+
+/// Convenience wrapper for a generated [`NetCase`].
+pub fn run_case(case: &NetCase, tech: &Technology) -> NetRow {
+    let cfg = FlowsConfig::for_net_size(case.net.num_sinks());
+    run_net(&case.net, case.circuit, tech, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_netlist::bench_nets::random_net;
+
+    #[test]
+    fn row_is_complete_and_ratios_sane() {
+        let tech = Technology::synthetic_035();
+        let net = random_net("n", 6, 8, &tech);
+        let cfg = FlowsConfig::for_net_size(6);
+        let row = run_net(&net, "T", &tech, &cfg);
+        assert_eq!(row.sinks, 6);
+        let (ra, rd, rt) = row.ratios(&row.flow3);
+        assert!(ra.is_finite() && rd > 0.0 && rt > 0.0);
+        // MERLIN should not be dramatically worse on delay than Flow I.
+        assert!(rd < 2.0, "delay ratio {rd}");
+    }
+}

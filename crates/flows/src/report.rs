@@ -1,0 +1,207 @@
+//! Table formatting in the paper's layout.
+
+use std::fmt::Write as _;
+
+use crate::circuit_harness::CircuitMetrics;
+use crate::net_harness::NetRow;
+
+/// Formats Table 1: absolute Flow I columns, Flow II/III as ratios over
+/// Flow I, and the trailing averages row.
+pub fn table1(rows: &[NetRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<8} {:<6} {:>5} | {:>9} {:>7} {:>8} | {:>6} {:>6} {:>7} | {:>6} {:>6} {:>7} {:>5}",
+        "circuit",
+        "net",
+        "sinks",
+        "area_kλ²",
+        "delay_ns",
+        "run_s",
+        "a_II",
+        "d_II",
+        "t_II",
+        "a_III",
+        "d_III",
+        "t_III",
+        "loops"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(110));
+    let mut acc = [0.0f64; 6];
+    for row in rows {
+        let (a2, d2, t2) = row.ratios(&row.flow2);
+        let (a3, d3, t3) = row.ratios(&row.flow3);
+        acc[0] += a2;
+        acc[1] += d2;
+        acc[2] += t2;
+        acc[3] += a3;
+        acc[4] += d3;
+        acc[5] += t3;
+        let _ = writeln!(
+            s,
+            "{:<8} {:<6} {:>5} | {:>9.0} {:>7.2} {:>8.2} | {:>6.2} {:>6.2} {:>7.2} | {:>6.2} {:>6.2} {:>7.2} {:>5}",
+            row.circuit,
+            row.name,
+            row.sinks,
+            row.flow1.buffer_area as f64 / 1000.0,
+            row.flow1.delay_ps / 1000.0,
+            row.flow1.runtime_s,
+            a2,
+            d2,
+            t2,
+            a3,
+            d3,
+            t3,
+            row.loops
+        );
+    }
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        let _ = writeln!(s, "{}", "-".repeat(110));
+        let _ = writeln!(
+            s,
+            "{:<21} | {:>26} | {:>6.2} {:>6.2} {:>7.2} | {:>6.2} {:>6.2} {:>7.2}",
+            "Average:",
+            "",
+            acc[0] / n,
+            acc[1] / n,
+            acc[2] / n,
+            acc[3] / n,
+            acc[4] / n,
+            acc[5] / n
+        );
+    }
+    s
+}
+
+/// A Table 2 row: one circuit through the three flows.
+#[derive(Clone, Debug)]
+pub struct CircuitRow {
+    /// Circuit name.
+    pub name: String,
+    /// Flow I.
+    pub flow1: CircuitMetrics,
+    /// Flow II.
+    pub flow2: CircuitMetrics,
+    /// Flow III.
+    pub flow3: CircuitMetrics,
+}
+
+/// Formats Table 2.
+pub fn table2(rows: &[CircuitRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<8} | {:>9} {:>8} {:>8} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}",
+        "circuit", "area_kλ²", "delay_ns", "run_s", "a_II", "d_II", "t_II", "a_III", "d_III",
+        "t_III"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(92));
+    let mut acc = [0.0f64; 6];
+    for row in rows {
+        let r = |x: &CircuitMetrics| {
+            (
+                x.area as f64 / row.flow1.area as f64,
+                x.critical_ps / row.flow1.critical_ps,
+                x.runtime_s / row.flow1.runtime_s.max(1e-9),
+            )
+        };
+        let (a2, d2, t2) = r(&row.flow2);
+        let (a3, d3, t3) = r(&row.flow3);
+        acc[0] += a2;
+        acc[1] += d2;
+        acc[2] += t2;
+        acc[3] += a3;
+        acc[4] += d3;
+        acc[5] += t3;
+        let _ = writeln!(
+            s,
+            "{:<8} | {:>9.0} {:>8.2} {:>8.1} | {:>6.2} {:>6.2} {:>6.2} | {:>6.2} {:>6.2} {:>6.2}",
+            row.name,
+            row.flow1.area as f64 / 1000.0,
+            row.flow1.critical_ps / 1000.0,
+            row.flow1.runtime_s,
+            a2,
+            d2,
+            t2,
+            a3,
+            d3,
+            t3
+        );
+    }
+    if !rows.is_empty() {
+        let n = rows.len() as f64;
+        let _ = writeln!(s, "{}", "-".repeat(92));
+        let _ = writeln!(
+            s,
+            "{:<8} | {:>27} | {:>6.2} {:>6.2} {:>6.2} | {:>6.2} {:>6.2} {:>6.2}",
+            "Average:",
+            "",
+            acc[0] / n,
+            acc[1] / n,
+            acc[2] / n,
+            acc[3] / n,
+            acc[4] / n,
+            acc[5] / n
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net_harness::Metrics;
+
+    fn row() -> NetRow {
+        NetRow {
+            circuit: "C432".into(),
+            name: "net1".into(),
+            sinks: 16,
+            flow1: Metrics {
+                buffer_area: 58_000,
+                delay_ps: 38_540.0,
+                runtime_s: 22.0,
+            },
+            flow2: Metrics {
+                buffer_area: 19_000,
+                delay_ps: 33_500.0,
+                runtime_s: 8.0,
+            },
+            flow3: Metrics {
+                buffer_area: 16_000,
+                delay_ps: 15_000.0,
+                runtime_s: 550.0,
+            },
+            loops: 2,
+        }
+    }
+
+    #[test]
+    fn table1_contains_all_rows_and_average() {
+        let out = table1(&[row()]);
+        assert!(out.contains("C432"));
+        assert!(out.contains("net1"));
+        assert!(out.contains("Average:"));
+        // Flow I area printed in 1000λ² like the paper.
+        assert!(out.contains("58"));
+    }
+
+    #[test]
+    fn table2_formats() {
+        let m = CircuitMetrics {
+            area: 3_630_000,
+            critical_ps: 8_180.0,
+            runtime_s: 12.0,
+            buffers: 100,
+        };
+        let out = table2(&[CircuitRow {
+            name: "C1355".into(),
+            flow1: m,
+            flow2: m,
+            flow3: m,
+        }]);
+        assert!(out.contains("C1355"));
+        assert!(out.contains("1.00"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Parameter-sweep utilities producing CSV, for plotting figure-style
+//! series out of the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A rectangular result table that serializes to CSV.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_flows::sweep::CsvTable;
+///
+/// let mut t = CsvTable::new(["n", "delay_ps"]);
+/// t.row(["8", "123.4"]);
+/// assert_eq!(t.to_csv(), "n,delay_ps\n8,123.4\n");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        CsvTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity differs from the header.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes to CSV (cells containing commas/quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Runs `f` for every value in `values`, collecting `(value, f(value))`
+/// into a two-column CSV — the shape every scaling figure needs.
+pub fn sweep1<T: Copy + std::fmt::Display>(
+    name: &str,
+    metric: &str,
+    values: &[T],
+    mut f: impl FnMut(T) -> f64,
+) -> CsvTable {
+    let mut t = CsvTable::new([name, metric]);
+    for &v in values {
+        let y = f(v);
+        t.row([v.to_string(), format!("{y:.6}")]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_rules() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.row(["x,y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn sweep_collects_pairs() {
+        let t = sweep1("n", "square", &[1, 2, 3], |n| (n * n) as f64);
+        assert_eq!(t.len(), 3);
+        assert!(t.to_csv().contains("3,9.000000"));
+    }
+}

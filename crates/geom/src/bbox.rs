@@ -1,0 +1,128 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+
+/// An axis-aligned, inclusive bounding box on the layout lattice.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_geom::{BBox, Point};
+///
+/// let b = BBox::from_points([Point::new(2, 3), Point::new(-1, 7)]).unwrap();
+/// assert_eq!(b.width(), 3);
+/// assert_eq!(b.height(), 4);
+/// assert!(b.contains(Point::new(0, 5)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BBox {
+    min: Point,
+    max: Point,
+}
+
+impl BBox {
+    /// Creates a bounding box from two corner points (any two opposite
+    /// corners, in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        BBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Smallest box containing all `points`, or `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = BBox::new(first, first);
+        for p in it {
+            b.expand(p);
+        }
+        Some(b)
+    }
+
+    /// Lower-left corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Horizontal extent.
+    pub fn width(&self) -> u64 {
+        self.max.x.abs_diff(self.min.x)
+    }
+
+    /// Vertical extent.
+    pub fn height(&self) -> u64 {
+        self.max.y.abs_diff(self.min.y)
+    }
+
+    /// Half-perimeter wire length (HPWL) of the box.
+    pub fn half_perimeter(&self) -> u64 {
+        self.width() + self.height()
+    }
+
+    /// Geometric center (rounded down).
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside the box (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        self.min.x <= p.x && p.x <= self.max.x && self.min.y <= p.y && p.y <= self.max.y
+    }
+
+    /// Grows the box so that it contains `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min = Point::new(self.min.x.min(p.x), self.min.y.min(p.y));
+        self.max = Point::new(self.max.x.max(p.x), self.max.y.max(p.y));
+    }
+
+    /// Returns the box inflated by `margin` λ on every side.
+    pub fn inflated(&self, margin: i64) -> BBox {
+        BBox::new(
+            Point::new(self.min.x - margin, self.min.y - margin),
+            Point::new(self.max.x + margin, self.max.y + margin),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BBox::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn corners_normalize() {
+        let b = BBox::new(Point::new(5, -2), Point::new(-1, 9));
+        assert_eq!(b.min(), Point::new(-1, -2));
+        assert_eq!(b.max(), Point::new(5, 9));
+        assert_eq!(b.half_perimeter(), 6 + 11);
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let b = BBox::new(Point::new(0, 0), Point::new(4, 4));
+        assert!(b.contains(Point::new(0, 4)));
+        assert!(!b.contains(Point::new(-1, 2)));
+    }
+
+    #[test]
+    fn expand_and_inflate() {
+        let mut b = BBox::new(Point::new(0, 0), Point::new(1, 1));
+        b.expand(Point::new(10, -5));
+        assert_eq!(b.max(), Point::new(10, 1));
+        assert_eq!(b.min(), Point::new(0, -5));
+        let g = b.inflated(2);
+        assert_eq!(g.min(), Point::new(-2, -7));
+        assert_eq!(g.max(), Point::new(12, 3));
+    }
+}

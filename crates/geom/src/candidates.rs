@@ -1,0 +1,206 @@
+//! Candidate-location generation strategies (§III.1 of the paper).
+//!
+//! MERLIN needs a set `P` of candidate locations at which Steiner points and
+//! buffers may be placed. The paper lists three natural choices — complete
+//! Hanan points, a reduced subset of them, and centers of mass of sink
+//! subsets — and reports that the choice barely affects final quality as
+//! long as `|P|` grows linearly with the number of sinks. All of them (plus
+//! a uniform grid, handy for tests) are implemented here so the claim can be
+//! reproduced (experiment E5 in `DESIGN.md`).
+
+use crate::bbox::BBox;
+use crate::hanan::HananGrid;
+use crate::point::{center_of_mass, manhattan, Point};
+
+/// Strategy for generating the candidate-location set `P`.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_geom::{CandidateStrategy, Point};
+///
+/// let driver = Point::new(0, 0);
+/// let sinks = [Point::new(10, 0), Point::new(0, 10), Point::new(10, 10)];
+/// let p = CandidateStrategy::FullHanan.generate(driver, &sinks);
+/// assert!(p.contains(&Point::new(10, 10)));
+/// // The driver location is always part of P.
+/// assert!(p.contains(&driver));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CandidateStrategy {
+    /// The complete Hanan grid of driver + sinks (used in the paper's
+    /// Table 1 setup).
+    FullHanan,
+    /// At most `max_points` Hanan points, chosen by a centrality heuristic
+    /// (used in the paper's Table 2 setup, "reduced Hanan points generated
+    /// by a simple heuristic").
+    ReducedHanan {
+        /// Upper bound on the number of candidate locations.
+        max_points: usize,
+    },
+    /// Centers of mass of sliding windows of sinks, for every window size in
+    /// `1..=window`: a cheap O(n·window) set of "natural meeting points".
+    CenterOfMass {
+        /// Largest sliding-window size considered.
+        window: usize,
+    },
+    /// A uniform `nx × ny` grid over the net bounding box. Not in the paper;
+    /// included as a neutral control for the E5 ablation.
+    Grid {
+        /// Number of grid columns.
+        nx: usize,
+        /// Number of grid rows.
+        ny: usize,
+    },
+}
+
+impl CandidateStrategy {
+    /// Generates the candidate set for a net.
+    ///
+    /// The returned set is deduplicated, always contains the driver location
+    /// and the sink locations (routes must be able to start and end there),
+    /// and is sorted for determinism.
+    pub fn generate(self, driver: Point, sinks: &[Point]) -> Vec<Point> {
+        let mut pts = match self {
+            CandidateStrategy::FullHanan => {
+                let grid =
+                    HananGrid::from_terminals(sinks.iter().copied().chain(Some(driver)));
+                grid.points().collect()
+            }
+            CandidateStrategy::ReducedHanan { max_points } => {
+                reduced_hanan(driver, sinks, max_points)
+            }
+            CandidateStrategy::CenterOfMass { window } => {
+                let mut pts = Vec::new();
+                let w = window.max(1).min(sinks.len().max(1));
+                for size in 1..=w {
+                    for chunk in sinks.windows(size) {
+                        pts.push(center_of_mass(chunk.iter().copied()));
+                    }
+                }
+                pts
+            }
+            CandidateStrategy::Grid { nx, ny } => {
+                let bb = BBox::from_points(sinks.iter().copied().chain(Some(driver)))
+                    .unwrap_or_else(|| BBox::new(driver, driver));
+                let mut pts = Vec::new();
+                let (nx, ny) = (nx.max(2), ny.max(2));
+                for i in 0..nx {
+                    for j in 0..ny {
+                        let x = bb.min().x
+                            + (bb.width() as i64 * i as i64) / (nx as i64 - 1);
+                        let y = bb.min().y
+                            + (bb.height() as i64 * j as i64) / (ny as i64 - 1);
+                        pts.push(Point::new(x, y));
+                    }
+                }
+                pts
+            }
+        };
+        pts.push(driver);
+        pts.extend_from_slice(sinks);
+        pts.sort_unstable();
+        pts.dedup();
+        pts
+    }
+}
+
+/// Reduced-Hanan heuristic: keep the `max_points` grid points with the best
+/// (smallest) total Manhattan distance to all terminals, a simple centrality
+/// score that retains points near where Steiner nodes plausibly go.
+fn reduced_hanan(driver: Point, sinks: &[Point], max_points: usize) -> Vec<Point> {
+    let grid = HananGrid::from_terminals(sinks.iter().copied().chain(Some(driver)));
+    let mut scored: Vec<(u64, Point)> = grid
+        .points()
+        .map(|p| {
+            let score: u64 = sinks
+                .iter()
+                .map(|s| manhattan(p, *s))
+                .chain(Some(manhattan(p, driver)))
+                .sum();
+            (score, p)
+        })
+        .collect();
+    scored.sort_unstable();
+    scored.truncate(max_points.max(1));
+    scored.into_iter().map(|(_, p)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sinks() -> Vec<Point> {
+        vec![
+            Point::new(10, 0),
+            Point::new(0, 10),
+            Point::new(10, 10),
+            Point::new(5, 3),
+            Point::new(2, 8),
+        ]
+    }
+
+    #[test]
+    fn all_strategies_contain_terminals() {
+        let driver = Point::new(0, 0);
+        let sinks = sample_sinks();
+        for strat in [
+            CandidateStrategy::FullHanan,
+            CandidateStrategy::ReducedHanan { max_points: 4 },
+            CandidateStrategy::CenterOfMass { window: 3 },
+            CandidateStrategy::Grid { nx: 3, ny: 3 },
+        ] {
+            let p = strat.generate(driver, &sinks);
+            assert!(p.contains(&driver), "{strat:?} lost the driver");
+            for s in &sinks {
+                assert!(p.contains(s), "{strat:?} lost sink {s}");
+            }
+            // Deduplicated and sorted.
+            let mut q = p.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn full_hanan_size_is_grid_product() {
+        let driver = Point::new(0, 0);
+        let sinks = [Point::new(3, 7), Point::new(9, 1)];
+        let p = CandidateStrategy::FullHanan.generate(driver, &sinks);
+        assert_eq!(p.len(), 9);
+    }
+
+    #[test]
+    fn reduced_hanan_respects_bound_modulo_terminals() {
+        let driver = Point::new(0, 0);
+        let sinks = sample_sinks();
+        let p = CandidateStrategy::ReducedHanan { max_points: 3 }.generate(driver, &sinks);
+        // 3 heuristic points + up to 6 terminals, after dedup.
+        assert!(p.len() <= 3 + sinks.len() + 1);
+    }
+
+    #[test]
+    fn grid_strategy_covers_corners() {
+        let driver = Point::new(0, 0);
+        let sinks = [Point::new(100, 100)];
+        let p = CandidateStrategy::Grid { nx: 3, ny: 3 }.generate(driver, &sinks);
+        assert!(p.contains(&Point::new(50, 50)));
+        assert!(p.contains(&Point::new(100, 0)));
+    }
+
+    #[test]
+    fn single_sink_degenerate_cases() {
+        let driver = Point::new(5, 5);
+        let sinks = [Point::new(5, 5)];
+        for strat in [
+            CandidateStrategy::FullHanan,
+            CandidateStrategy::ReducedHanan { max_points: 2 },
+            CandidateStrategy::CenterOfMass { window: 2 },
+            CandidateStrategy::Grid { nx: 2, ny: 2 },
+        ] {
+            let p = strat.generate(driver, &sinks);
+            assert!(!p.is_empty());
+        }
+    }
+}

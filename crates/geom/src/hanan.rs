@@ -1,0 +1,161 @@
+//! The Hanan grid of a terminal set.
+
+use crate::point::Point;
+
+/// The Hanan grid of a net: the grid formed by the intersection of the
+/// horizontal and vertical lines running through the net's terminals
+/// (Hanan, 1966).
+///
+/// Every optimal rectilinear Steiner tree has an embedding whose Steiner
+/// points lie on this grid, which is why [LCLH96] and the MERLIN paper use
+/// the Hanan points (or a reduced subset of them) as candidate locations for
+/// Steiner points and buffers.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_geom::{HananGrid, Point};
+///
+/// let grid = HananGrid::from_terminals([Point::new(0, 0), Point::new(2, 3)]);
+/// let pts: Vec<_> = grid.points().collect();
+/// assert_eq!(pts.len(), 4);
+/// assert!(pts.contains(&Point::new(0, 3)));
+/// assert!(pts.contains(&Point::new(2, 0)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HananGrid {
+    xs: Vec<i64>,
+    ys: Vec<i64>,
+}
+
+impl HananGrid {
+    /// Builds the Hanan grid of the given terminals.
+    ///
+    /// Duplicate coordinates are collapsed; the grid of an empty terminal
+    /// set is empty.
+    pub fn from_terminals<I: IntoIterator<Item = Point>>(terminals: I) -> Self {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for p in terminals {
+            xs.push(p.x);
+            ys.push(p.y);
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        ys.sort_unstable();
+        ys.dedup();
+        HananGrid { xs, ys }
+    }
+
+    /// Distinct x-coordinates (sorted ascending).
+    pub fn xs(&self) -> &[i64] {
+        &self.xs
+    }
+
+    /// Distinct y-coordinates (sorted ascending).
+    pub fn ys(&self) -> &[i64] {
+        &self.ys
+    }
+
+    /// Number of grid points (`xs.len() * ys.len()`).
+    pub fn len(&self) -> usize {
+        self.xs.len() * self.ys.len()
+    }
+
+    /// Whether the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty() || self.ys.is_empty()
+    }
+
+    /// Iterates over all grid points in row-major order.
+    pub fn points(&self) -> Points<'_> {
+        Points {
+            grid: self,
+            i: 0,
+            j: 0,
+        }
+    }
+
+    /// Whether `p` is a Hanan point of this grid.
+    pub fn contains(&self, p: Point) -> bool {
+        self.xs.binary_search(&p.x).is_ok() && self.ys.binary_search(&p.y).is_ok()
+    }
+}
+
+/// Iterator over the points of a [`HananGrid`], produced by
+/// [`HananGrid::points`].
+#[derive(Clone, Debug)]
+pub struct Points<'a> {
+    grid: &'a HananGrid,
+    i: usize,
+    j: usize,
+}
+
+impl Iterator for Points<'_> {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        if self.j >= self.grid.ys.len() || self.grid.xs.is_empty() {
+            return None;
+        }
+        let p = Point::new(self.grid.xs[self.i], self.grid.ys[self.j]);
+        self.i += 1;
+        if self.i == self.grid.xs.len() {
+            self.i = 0;
+            self.j += 1;
+        }
+        Some(p)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let total = self.grid.len();
+        let done = self.j * self.grid.xs.len() + self.i;
+        (total - done, Some(total - done))
+    }
+}
+
+impl ExactSizeIterator for Points<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_size_is_product_of_distinct_lines() {
+        let grid = HananGrid::from_terminals([
+            Point::new(0, 0),
+            Point::new(0, 5),
+            Point::new(3, 5),
+            Point::new(7, 2),
+        ]);
+        // xs: {0,3,7}, ys: {0,2,5}
+        assert_eq!(grid.len(), 9);
+        assert_eq!(grid.points().count(), 9);
+    }
+
+    #[test]
+    fn terminals_are_grid_points() {
+        let terms = [Point::new(1, 9), Point::new(-4, 2), Point::new(6, 6)];
+        let grid = HananGrid::from_terminals(terms);
+        for t in terms {
+            assert!(grid.contains(t));
+        }
+        assert!(!grid.contains(Point::new(0, 0)));
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = HananGrid::from_terminals(std::iter::empty());
+        assert!(grid.is_empty());
+        assert_eq!(grid.points().count(), 0);
+    }
+
+    #[test]
+    fn exact_size_iterator_hint() {
+        let grid = HananGrid::from_terminals([Point::new(0, 0), Point::new(1, 1)]);
+        let mut it = grid.points();
+        assert_eq!(it.size_hint(), (4, Some(4)));
+        it.next();
+        assert_eq!(it.size_hint(), (3, Some(3)));
+    }
+}

@@ -1,0 +1,39 @@
+//! Manhattan geometry substrate for the MERLIN reproduction.
+//!
+//! This crate provides the purely geometric building blocks used by every
+//! other crate in the workspace:
+//!
+//! * [`Point`] — integer lattice points (coordinates in λ, the technology
+//!   half-pitch unit used throughout the paper's area numbers),
+//! * [`BBox`] — axis-aligned bounding boxes,
+//! * [`HananGrid`] — the grid induced by the horizontal/vertical lines
+//!   through a set of terminals (Hanan, 1966), which [LCLH96] and the MERLIN
+//!   paper use as the canonical candidate-location set,
+//! * [`CandidateStrategy`] — the candidate-location generators discussed in
+//!   §III.1 of the paper (complete Hanan points, reduced Hanan points,
+//!   centers of mass of sink subsets, and a uniform grid),
+//! * [`Route`] — rectilinear (L-shaped) point-to-point routes.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_geom::{Point, HananGrid};
+//!
+//! let terminals = [Point::new(0, 0), Point::new(10, 5), Point::new(3, 8)];
+//! let grid = HananGrid::from_terminals(terminals.iter().copied());
+//! assert_eq!(grid.len(), 9); // 3 x-lines × 3 y-lines
+//! assert!(grid.points().any(|p| p == Point::new(10, 8)));
+//! ```
+
+pub mod bbox;
+pub mod candidates;
+pub mod hanan;
+pub mod point;
+pub mod route;
+pub mod rsmt;
+
+pub use bbox::BBox;
+pub use candidates::CandidateStrategy;
+pub use hanan::HananGrid;
+pub use point::{center_of_mass, manhattan, Point};
+pub use route::{Route, Segment};

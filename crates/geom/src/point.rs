@@ -1,0 +1,147 @@
+//! Integer lattice points and Manhattan distance.
+
+use std::fmt;
+
+/// A point on the integer layout lattice.
+///
+/// Coordinates are expressed in λ (the technology unit also used by the
+/// paper's area columns, reported in 1000·λ²). Signed 64-bit coordinates
+/// comfortably cover any realistic die.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_geom::{manhattan, Point};
+///
+/// let a = Point::new(0, 0);
+/// let b = Point::new(3, -4);
+/// assert_eq!(manhattan(a, b), 7);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    /// Horizontal coordinate in λ.
+    pub x: i64,
+    /// Vertical coordinate in λ.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan distance to `other`.
+    ///
+    /// ```
+    /// use merlin_geom::Point;
+    /// assert_eq!(Point::new(1, 1).distance(Point::new(4, 5)), 7);
+    /// ```
+    pub fn distance(self, other: Point) -> u64 {
+        manhattan(self, other)
+    }
+
+    /// Component-wise midpoint, rounding towards negative infinity.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(
+            (self.x + other.x).div_euclid(2),
+            (self.y + other.y).div_euclid(2),
+        )
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// Manhattan (rectilinear, L1) distance between two points.
+///
+/// This is the length of any shortest rectilinear route between `a` and `b`,
+/// and therefore the wire length used by every delay computation in the
+/// workspace.
+///
+/// ```
+/// use merlin_geom::{manhattan, Point};
+/// assert_eq!(manhattan(Point::new(-2, 0), Point::new(2, 3)), 7);
+/// ```
+pub fn manhattan(a: Point, b: Point) -> u64 {
+    a.x.abs_diff(b.x) + a.y.abs_diff(b.y)
+}
+
+/// Integer center of mass of a non-empty point set (rounded toward zero).
+///
+/// Used by the center-of-mass candidate strategy and by Flow I when placing
+/// the buffers of an interconnect-oblivious LT-tree.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+pub fn center_of_mass<I: IntoIterator<Item = Point>>(points: I) -> Point {
+    let mut n: i64 = 0;
+    let (mut sx, mut sy) = (0i128, 0i128);
+    for p in points {
+        sx += p.x as i128;
+        sy += p.y as i128;
+        n += 1;
+    }
+    assert!(n > 0, "center_of_mass of an empty point set");
+    Point::new((sx / n as i128) as i64, (sy / n as i128) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_diagonal() {
+        let a = Point::new(5, -7);
+        let b = Point::new(-3, 11);
+        assert_eq!(manhattan(a, b), manhattan(b, a));
+        assert_eq!(manhattan(a, a), 0);
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality() {
+        let a = Point::new(0, 0);
+        let b = Point::new(10, 2);
+        let c = Point::new(4, 9);
+        assert!(manhattan(a, c) <= manhattan(a, b) + manhattan(b, c));
+    }
+
+    #[test]
+    fn midpoint_rounds_down() {
+        assert_eq!(
+            Point::new(0, 0).midpoint(Point::new(3, 5)),
+            Point::new(1, 2)
+        );
+        assert_eq!(
+            Point::new(-3, -5).midpoint(Point::new(0, 0)),
+            Point::new(-2, -3)
+        );
+    }
+
+    #[test]
+    fn center_of_mass_of_symmetric_square_is_center() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(0, 10),
+            Point::new(10, 10),
+        ];
+        assert_eq!(center_of_mass(pts), Point::new(5, 5));
+    }
+
+    #[test]
+    fn point_display_and_from_tuple() {
+        let p: Point = (3, 4).into();
+        assert_eq!(p.to_string(), "(3, 4)");
+    }
+}

@@ -1,0 +1,164 @@
+//! Rectilinear point-to-point routes.
+
+use crate::point::{manhattan, Point};
+
+/// An axis-parallel wire segment.
+///
+/// A segment is either horizontal or vertical (or degenerate). Diagonal
+/// segments cannot be constructed through the public API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Segment {
+    a: Point,
+    b: Point,
+}
+
+impl Segment {
+    /// Creates an axis-parallel segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment would be diagonal.
+    pub fn new(a: Point, b: Point) -> Self {
+        assert!(
+            a.x == b.x || a.y == b.y,
+            "segment {a} -> {b} is not axis-parallel"
+        );
+        Segment { a, b }
+    }
+
+    /// Start point.
+    pub fn a(&self) -> Point {
+        self.a
+    }
+
+    /// End point.
+    pub fn b(&self) -> Point {
+        self.b
+    }
+
+    /// Wire length of the segment.
+    pub fn len(&self) -> u64 {
+        manhattan(self.a, self.b)
+    }
+
+    /// Whether the segment has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// Whether the segment is horizontal (constant y).
+    pub fn is_horizontal(&self) -> bool {
+        self.a.y == self.b.y
+    }
+}
+
+/// A minimum-length rectilinear route between two points.
+///
+/// The embedding is the canonical L-shape: horizontal first, then vertical
+/// (an "HV" route). Elmore delay of an unbranched wire depends only on its
+/// length, so the particular L-shape chosen never affects timing; the
+/// concrete embedding only matters for plotting and for wire-area
+/// accounting, both of which depend only on the length as well.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_geom::{Point, Route};
+///
+/// let r = Route::l_shaped(Point::new(0, 0), Point::new(3, 4));
+/// assert_eq!(r.len(), 7);
+/// assert_eq!(r.corner(), Some(Point::new(3, 0)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Route {
+    from: Point,
+    to: Point,
+}
+
+impl Route {
+    /// Creates the canonical HV route from `from` to `to`.
+    pub fn l_shaped(from: Point, to: Point) -> Self {
+        Route { from, to }
+    }
+
+    /// Route source.
+    pub fn from(&self) -> Point {
+        self.from
+    }
+
+    /// Route target.
+    pub fn to(&self) -> Point {
+        self.to
+    }
+
+    /// Total wire length (equals the Manhattan distance of the endpoints).
+    pub fn len(&self) -> u64 {
+        manhattan(self.from, self.to)
+    }
+
+    /// Whether the route is degenerate (zero length).
+    pub fn is_empty(&self) -> bool {
+        self.from == self.to
+    }
+
+    /// The bend point, or `None` when the route is a straight segment.
+    pub fn corner(&self) -> Option<Point> {
+        if self.from.x == self.to.x || self.from.y == self.to.y {
+            None
+        } else {
+            Some(Point::new(self.to.x, self.from.y))
+        }
+    }
+
+    /// The one or two axis-parallel segments making up the route
+    /// (empty segments are omitted).
+    pub fn segments(&self) -> Vec<Segment> {
+        match self.corner() {
+            Some(c) => vec![Segment::new(self.from, c), Segment::new(c, self.to)],
+            None => {
+                if self.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![Segment::new(self.from, self.to)]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_route_has_single_segment() {
+        let r = Route::l_shaped(Point::new(0, 0), Point::new(0, 9));
+        assert_eq!(r.corner(), None);
+        assert_eq!(r.segments().len(), 1);
+        assert_eq!(r.len(), 9);
+    }
+
+    #[test]
+    fn bent_route_segments_sum_to_length() {
+        let r = Route::l_shaped(Point::new(1, 2), Point::new(-4, 8));
+        let segs = r.segments();
+        assert_eq!(segs.len(), 2);
+        let total: u64 = segs.iter().map(Segment::len).sum();
+        assert_eq!(total, r.len());
+        assert!(segs[0].is_horizontal());
+        assert!(!segs[1].is_horizontal());
+    }
+
+    #[test]
+    fn degenerate_route() {
+        let r = Route::l_shaped(Point::new(3, 3), Point::new(3, 3));
+        assert!(r.is_empty());
+        assert!(r.segments().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not axis-parallel")]
+    fn diagonal_segment_panics() {
+        let _ = Segment::new(Point::new(0, 0), Point::new(1, 1));
+    }
+}

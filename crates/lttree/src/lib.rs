@@ -1,0 +1,42 @@
+//! `LTTREE` — Touati's LT-Tree (type-I) fanout optimization baseline
+//! [To90].
+//!
+//! Fanout optimization distributes a signal to sinks with known loads and
+//! required times so as to maximize the required time at the driver —
+//! **ignoring interconnect**, because sink locations are unknown in the
+//! logic domain. The general problem is NP-hard; Touati showed that
+//! restricting topologies to *LT-Trees* makes it solvable by dynamic
+//! programming in polynomial time.
+//!
+//! An LT-Tree of type I permits at most one internal node among the
+//! immediate children of every internal node, with no left sibling for
+//! internal nodes — i.e. buffers form a single chain, each buffer driving a
+//! run of consecutive sinks (in required-time order) plus at most one
+//! deeper buffer. The MERLIN paper's Lemma 3 observes this is exactly a
+//! Cα-tree with `α = ∞` and the internal child pinned leftmost, which is
+//! why LTTREE (+ PTREE for routing) is its Flow I baseline.
+//!
+//! The DP here propagates `(load, required time, buffer area)` curves over
+//! suffixes of the criticality-sorted sink list, so the same area/delay
+//! trade-off machinery as everywhere else applies.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_lttree::{LtTree, LtConfig};
+//! use merlin_tech::{Technology, Driver, units::Cap};
+//!
+//! let tech = Technology::synthetic_035();
+//! // Eight identical heavy sinks: worth buffering.
+//! let sinks: Vec<(Cap, f64)> = (0..8).map(|_| (Cap::from_ff(60.0), 1000.0)).collect();
+//! let solved = LtTree::new(&tech, LtConfig::default()).solve(&sinks, &Driver::default());
+//! let best = solved.best_point().expect("solvable");
+//! let tree = solved.extract(&best);
+//! assert!(tree.num_buffers() >= 1);
+//! ```
+
+pub mod dp;
+pub mod tree;
+
+pub use dp::{LtConfig, LtSolved, LtTree};
+pub use tree::{FanoutNode, FanoutTree};

@@ -1,0 +1,101 @@
+//! The fanout-tree structure produced by LTTREE.
+
+/// One stage of an LT-tree: a driver (the root) or a buffer, the run of
+/// sinks it drives directly, and at most one deeper buffer stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FanoutNode {
+    /// Buffer-library index, or `None` for the net driver at the root.
+    pub buffer: Option<u16>,
+    /// Net sink indices driven directly by this stage.
+    pub sinks: Vec<u32>,
+    /// Index (into [`FanoutTree::nodes`]) of the chained buffer stage.
+    pub child: Option<usize>,
+}
+
+/// A chain-structured fanout tree (LT-Tree type I).
+///
+/// Node 0 is always the root (driver) stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FanoutTree {
+    /// The stages, root first; each node's `child` points forward.
+    pub nodes: Vec<FanoutNode>,
+}
+
+impl FanoutTree {
+    /// Number of inserted buffers (root stage excluded).
+    pub fn num_buffers(&self) -> usize {
+        self.nodes.iter().filter(|n| n.buffer.is_some()).count()
+    }
+
+    /// All sink indices, stage by stage from the root.
+    pub fn all_sinks(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cur = Some(0);
+        while let Some(i) = cur {
+            out.extend_from_slice(&self.nodes[i].sinks);
+            cur = self.nodes[i].child;
+        }
+        out
+    }
+
+    /// Chain depth (number of stages).
+    pub fn depth(&self) -> usize {
+        let mut d = 0;
+        let mut cur = Some(0);
+        while let Some(i) = cur {
+            d += 1;
+            cur = self.nodes[i].child;
+        }
+        d
+    }
+
+    /// The sink indices that belong to stage `i` **or any deeper stage**
+    /// (the transitive fanout of that stage) — what Flow I uses to place a
+    /// buffer at the center of mass of the loads it transitively drives.
+    pub fn transitive_sinks(&self, i: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cur = Some(i);
+        while let Some(j) = cur {
+            out.extend_from_slice(&self.nodes[j].sinks);
+            cur = self.nodes[j].child;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> FanoutTree {
+        FanoutTree {
+            nodes: vec![
+                FanoutNode {
+                    buffer: None,
+                    sinks: vec![0, 1],
+                    child: Some(1),
+                },
+                FanoutNode {
+                    buffer: Some(3),
+                    sinks: vec![2],
+                    child: Some(2),
+                },
+                FanoutNode {
+                    buffer: Some(0),
+                    sinks: vec![3, 4],
+                    child: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chain_accessors() {
+        let t = chain();
+        assert_eq!(t.num_buffers(), 2);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.all_sinks(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.transitive_sinks(1), vec![2, 3, 4]);
+        assert_eq!(t.transitive_sinks(2), vec![3, 4]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Table 1 benchmark nets and random-net generation.
+//!
+//! The paper's Table 1 reports 18 nets extracted from mapped ISCAS'85
+//! circuits; the sink locations were placed *"randomly and a priori in a
+//! bounding box which is sized such that the delay of interconnect is
+//! approximately equal to the delay of gate"* (§IV). We reproduce exactly
+//! that construction with a seeded generator: the published circuit names
+//! and sink counts, uniform sink placement in a box sized from the wire
+//! model, and sink loads / required times drawn from the ranges a mapped
+//! 0.35 µm netlist exhibits.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use merlin_geom::Point;
+use merlin_tech::units::Cap;
+use merlin_tech::{Driver, Technology};
+
+use crate::net::{Net, Sink};
+
+/// A Table 1 row: the originating circuit name and the generated net.
+#[derive(Clone, Debug)]
+pub struct NetCase {
+    /// ISCAS'85 circuit the paper extracted the net from.
+    pub circuit: &'static str,
+    /// The net instance.
+    pub net: Net,
+}
+
+/// `(circuit, net name, sink count)` exactly as published in Table 1.
+pub const TABLE1_SPECS: [(&str, &str, usize); 18] = [
+    ("C432", "net1", 16),
+    ("C432", "net2", 16),
+    ("C432", "net3", 10),
+    ("C1355", "net4", 9),
+    ("C1355", "net5", 9),
+    ("C1355", "net6", 13),
+    ("C3540", "net7", 12),
+    ("C3540", "net8", 35),
+    ("C3540", "net9", 73),
+    ("C5315", "net10", 49),
+    ("C5315", "net11", 21),
+    ("C5315", "net12", 50),
+    ("C6288", "net13", 16),
+    ("C6288", "net14", 20),
+    ("C6288", "net15", 60),
+    ("C7552", "net16", 12),
+    ("C7552", "net17", 16),
+    ("C7552", "net18", 23),
+];
+
+/// Gate-delay scale used to size bounding boxes (ps). A mid-size buffer of
+/// the synthetic library driving a typical fanout load lands near here.
+pub const TYPICAL_GATE_DELAY_PS: f64 = 180.0;
+
+/// Generates the 18 Table 1 nets.
+///
+/// Deterministic: net `k` uses seed `k`, so every flow sees identical
+/// instances.
+pub fn table1_cases(tech: &Technology) -> Vec<NetCase> {
+    TABLE1_SPECS
+        .iter()
+        .enumerate()
+        .map(|(k, (circuit, name, n))| NetCase {
+            circuit,
+            net: random_net(name, *n, k as u64 + 1, tech),
+        })
+        .collect()
+}
+
+/// Generates a random net with `n` sinks under the paper's §IV rules.
+///
+/// * The bounding box side is chosen so the corner-to-corner unloaded wire
+///   delay approximates [`TYPICAL_GATE_DELAY_PS`] — interconnect and gate
+///   delay are then the same order, which is the regime where unified
+///   buffering+routing matters.
+/// * Sink loads are 2–40 fF (input caps of 1×–16× gates).
+/// * Required times spread over ±25 % of a 1.5 ns budget.
+/// * The driver sits on the box edge (as a placed cell's output would).
+pub fn random_net(name: &str, n: usize, seed: u64, tech: &Technology) -> Net {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xC0FFEE);
+    // Box sized so diagonal wire delay ≈ gate delay; grow gently with n so
+    // dense nets do not collapse onto each other.
+    let side = tech.wire.length_for_delay(TYPICAL_GATE_DELAY_PS) as i64;
+    let side = side + (side as f64 * 0.1 * (n as f64).sqrt()) as i64;
+    let budget = 1500.0;
+    let sinks = (0..n)
+        .map(|_| {
+            let pos = Point::new(rng.gen_range(0..=side), rng.gen_range(0..=side));
+            let load = Cap::from_ff(rng.gen_range(2.0..40.0));
+            let req = budget * rng.gen_range(0.75..1.25);
+            Sink::new(pos, load, req)
+        })
+        .collect();
+    let source = Point::new(0, rng.gen_range(0..=side));
+    let driver = Driver::with_strength(rng.gen_range(2.0..8.0));
+    Net::new(name, source, driver, sinks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_published_sink_counts() {
+        let tech = Technology::synthetic_035();
+        let cases = table1_cases(&tech);
+        assert_eq!(cases.len(), 18);
+        for (case, (circuit, name, n)) in cases.iter().zip(TABLE1_SPECS) {
+            assert_eq!(case.circuit, circuit);
+            assert_eq!(case.net.name, name);
+            assert_eq!(case.net.num_sinks(), n);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let tech = Technology::synthetic_035();
+        let a = random_net("x", 12, 7, &tech);
+        let b = random_net("x", 12, 7, &tech);
+        assert_eq!(a, b);
+        let c = random_net("x", 12, 8, &tech);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn box_is_in_the_wire_delay_regime() {
+        let tech = Technology::synthetic_035();
+        let net = random_net("x", 20, 3, &tech);
+        let b = net.bbox();
+        // Corner-to-corner unloaded Elmore delay within 4x of the gate scale.
+        let d = tech.wire.elmore_ps(b.half_perimeter(), Cap::ZERO);
+        assert!(
+            d > TYPICAL_GATE_DELAY_PS / 4.0 && d < TYPICAL_GATE_DELAY_PS * 16.0,
+            "corner delay {d} ps out of regime"
+        );
+    }
+
+    #[test]
+    fn loads_and_reqs_in_range() {
+        let tech = Technology::synthetic_035();
+        let net = random_net("x", 50, 11, &tech);
+        for s in &net.sinks {
+            let ff = s.load.to_ff();
+            assert!((2.0..=40.0).contains(&ff));
+            assert!((1000.0..=2000.0).contains(&s.req_ps));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Standard cells for the synthetic mapped circuits.
+
+use merlin_tech::units::{rc_ps, Cap, PsTime};
+use merlin_tech::Driver;
+
+/// A combinational standard cell (as seen by timing: one output, uniform
+/// input pins).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// Cell name.
+    pub name: String,
+    /// Cell area in λ².
+    pub area: u64,
+    /// Input pin capacitance.
+    pub cin: Cap,
+    /// Output drive resistance in Ω.
+    pub rdrv_ohm: f64,
+    /// Intrinsic delay in ps.
+    pub intrinsic_ps: PsTime,
+    /// Maximum fanin the generator may give instances of this cell.
+    pub max_fanin: usize,
+}
+
+impl Cell {
+    /// Linear RC delay of the cell driving `load`.
+    pub fn delay_ps(&self, load: Cap) -> PsTime {
+        self.intrinsic_ps + rc_ps(self.rdrv_ohm, load.to_ff())
+    }
+
+    /// The driver model of this cell's output (for per-net optimization).
+    pub fn as_driver(&self) -> Driver {
+        Driver {
+            rdrv_ohm: self.rdrv_ohm,
+            intrinsic_ps: self.intrinsic_ps,
+            four_param: merlin_tech::delay::FourParam::from_rc(self.intrinsic_ps, self.rdrv_ohm),
+        }
+    }
+}
+
+/// The synthetic mapped-library cells the circuit generator instantiates:
+/// a small mix of NAND/NOR/INV/AOI-ish cells at three drive strengths,
+/// spanning the area/cap/speed range of a 0.35 µm library.
+pub fn synthetic_cells() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    let archetypes: [(&str, f64, usize); 4] = [
+        ("INV", 0.6, 1),
+        ("NAND2", 1.0, 2),
+        ("NOR3", 1.5, 3),
+        ("AOI22", 2.0, 4),
+    ];
+    for (base, weight, fanin) in archetypes {
+        for (suffix, size) in [("X1", 1.0f64), ("X2", 2.0), ("X4", 4.0)] {
+            cells.push(Cell {
+                name: format!("{base}_{suffix}"),
+                area: (900.0 * weight * (0.6 + 0.4 * size)).round() as u64,
+                cin: Cap::from_ff(2.0 * weight.sqrt() * size),
+                rdrv_ohm: 5200.0 * weight.sqrt() / size,
+                intrinsic_ps: 35.0 * weight.sqrt() + 9.0 * size.ln().max(0.0),
+                max_fanin: fanin,
+            });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_library_shape() {
+        let cells = synthetic_cells();
+        assert_eq!(cells.len(), 12);
+        assert!(cells.iter().all(|c| c.area > 0 && c.max_fanin >= 1));
+    }
+
+    #[test]
+    fn bigger_drive_is_faster() {
+        let cells = synthetic_cells();
+        let x1 = cells.iter().find(|c| c.name == "NAND2_X1").unwrap();
+        let x4 = cells.iter().find(|c| c.name == "NAND2_X4").unwrap();
+        let load = Cap::from_ff(120.0);
+        assert!(x4.delay_ps(load) < x1.delay_ps(load));
+        assert!(x4.area > x1.area);
+    }
+
+    #[test]
+    fn as_driver_preserves_rc() {
+        let cells = synthetic_cells();
+        let c = &cells[0];
+        let d = c.as_driver();
+        assert_eq!(d.rdrv_ohm, c.rdrv_ohm);
+        assert_eq!(
+            d.delay_linear_ps(Cap::from_ff(10.0)),
+            c.delay_ps(Cap::from_ff(10.0))
+        );
+    }
+}

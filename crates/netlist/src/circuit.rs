@@ -1,0 +1,283 @@
+//! Mapped-circuit model for the Table 2 full-flow experiments.
+
+use std::fmt;
+
+use merlin_geom::Point;
+use merlin_tech::units::Cap;
+
+use crate::cell::Cell;
+
+/// A placed gate instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gate {
+    /// Index into [`Circuit::cells`].
+    pub cell: u16,
+    /// Placement location.
+    pub pos: Point,
+}
+
+/// A connection endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Terminal {
+    /// A gate (by index). As a driver: the gate output; as a sink: one of
+    /// the gate's input pins.
+    Gate(u32),
+    /// A primary input (by index). Only valid as a driver.
+    Input(u32),
+    /// A primary output (by index). Only valid as a sink.
+    Output(u32),
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminal::Gate(g) => write!(f, "g{g}"),
+            Terminal::Input(i) => write!(f, "pi{i}"),
+            Terminal::Output(o) => write!(f, "po{o}"),
+        }
+    }
+}
+
+/// One net of a circuit: a driver terminal and its fanout sinks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CircuitNet {
+    /// Driving terminal (gate output or primary input).
+    pub driver: Terminal,
+    /// Sink terminals (gate inputs or primary outputs).
+    pub sinks: Vec<Terminal>,
+}
+
+/// A synthetic mapped combinational circuit.
+///
+/// # Invariants (checked by [`Circuit::validate`])
+///
+/// * gates are indexed in topological order: every fanin of gate `g` is a
+///   gate with smaller index or a primary input;
+/// * every gate drives exactly one net and is a sink of ≥ 1 net;
+/// * every primary output is the sink of exactly one net.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Circuit {
+    /// Circuit name (e.g. the Table 2 benchmark it is scaled to).
+    pub name: String,
+    /// The cell library referenced by [`Gate::cell`].
+    pub cells: Vec<Cell>,
+    /// Gate instances, topologically ordered.
+    pub gates: Vec<Gate>,
+    /// Primary input locations.
+    pub input_pos: Vec<Point>,
+    /// Primary output locations.
+    pub output_pos: Vec<Point>,
+    /// Nets; net `i` for `i < input_pos.len()` is driven by primary input
+    /// `i`, the remaining nets by gate `i - input_pos.len()`.
+    pub nets: Vec<CircuitNet>,
+}
+
+/// Validation failure of a [`Circuit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateCircuitError {
+    /// A net's driver violates the net-indexing invariant.
+    BadDriver(usize),
+    /// A sink terminal refers to a missing gate/output.
+    BadSink(usize),
+    /// A gate-sink appears before its driver topologically.
+    NotTopological(usize),
+    /// A gate is never used as a sink target and never drives a PO.
+    DanglingGate(u32),
+}
+
+impl fmt::Display for ValidateCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateCircuitError::BadDriver(n) => write!(f, "net {n} has a bad driver"),
+            ValidateCircuitError::BadSink(n) => write!(f, "net {n} has a bad sink"),
+            ValidateCircuitError::NotTopological(n) => {
+                write!(f, "net {n} violates topological order")
+            }
+            ValidateCircuitError::DanglingGate(g) => write!(f, "gate {g} has no fanout"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateCircuitError {}
+
+impl Circuit {
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Total placed cell area (λ²), the Table 2 "Area" baseline before
+    /// buffers are added.
+    pub fn gate_area(&self) -> u64 {
+        self.gates
+            .iter()
+            .map(|g| self.cells[g.cell as usize].area)
+            .sum()
+    }
+
+    /// The location of a terminal.
+    pub fn terminal_pos(&self, t: Terminal) -> Point {
+        match t {
+            Terminal::Gate(g) => self.gates[g as usize].pos,
+            Terminal::Input(i) => self.input_pos[i as usize],
+            Terminal::Output(o) => self.output_pos[o as usize],
+        }
+    }
+
+    /// The capacitance a net sees at a sink terminal.
+    pub fn sink_cap(&self, t: Terminal) -> Cap {
+        match t {
+            Terminal::Gate(g) => self.cells[self.gates[g as usize].cell as usize].cin,
+            // Output pad/flop input.
+            Terminal::Output(_) => Cap::from_ff(12.0),
+            Terminal::Input(_) => Cap::ZERO,
+        }
+    }
+
+    /// The net driven by gate `g`.
+    pub fn net_of_gate(&self, g: u32) -> usize {
+        self.input_pos.len() + g as usize
+    }
+
+    /// Structural validation; see the type-level invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), ValidateCircuitError> {
+        let ni = self.input_pos.len();
+        if self.nets.len() != ni + self.gates.len() {
+            return Err(ValidateCircuitError::BadDriver(self.nets.len()));
+        }
+        let mut gate_has_fanout = vec![false; self.gates.len()];
+        for (idx, net) in self.nets.iter().enumerate() {
+            let expected = if idx < ni {
+                Terminal::Input(idx as u32)
+            } else {
+                Terminal::Gate((idx - ni) as u32)
+            };
+            if net.driver != expected {
+                return Err(ValidateCircuitError::BadDriver(idx));
+            }
+            for &s in &net.sinks {
+                match s {
+                    Terminal::Gate(g) => {
+                        if g as usize >= self.gates.len() {
+                            return Err(ValidateCircuitError::BadSink(idx));
+                        }
+                        if let Terminal::Gate(d) = net.driver {
+                            if g <= d {
+                                return Err(ValidateCircuitError::NotTopological(idx));
+                            }
+                        }
+                        if let Terminal::Gate(d) = net.driver {
+                            gate_has_fanout[d as usize] |= true;
+                            let _ = g;
+                        }
+                    }
+                    Terminal::Output(o) => {
+                        if o as usize >= self.output_pos.len() {
+                            return Err(ValidateCircuitError::BadSink(idx));
+                        }
+                        if let Terminal::Gate(d) = net.driver {
+                            gate_has_fanout[d as usize] |= true;
+                        }
+                    }
+                    Terminal::Input(_) => return Err(ValidateCircuitError::BadSink(idx)),
+                }
+            }
+        }
+        for (g, has) in gate_has_fanout.iter().enumerate() {
+            if !has && !self.nets[ni + g].sinks.is_empty() {
+                // has fanout recorded through its own net; double check
+                continue;
+            }
+            if self.nets[ni + g].sinks.is_empty() {
+                return Err(ValidateCircuitError::DanglingGate(g as u32));
+            }
+        }
+        Ok(())
+    }
+
+    /// Average fanout over all nets.
+    pub fn avg_fanout(&self) -> f64 {
+        if self.nets.is_empty() {
+            return 0.0;
+        }
+        self.nets.iter().map(|n| n.sinks.len()).sum::<usize>() as f64 / self.nets.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::synthetic_cells;
+
+    /// pi0 -> g0 -> g1 -> po0, plus pi0 -> g1 (fanout 2 net).
+    pub(crate) fn tiny() -> Circuit {
+        let cells = synthetic_cells();
+        Circuit {
+            name: "tiny".into(),
+            cells,
+            gates: vec![
+                Gate {
+                    cell: 0,
+                    pos: Point::new(100, 0),
+                },
+                Gate {
+                    cell: 3,
+                    pos: Point::new(200, 0),
+                },
+            ],
+            input_pos: vec![Point::new(0, 0)],
+            output_pos: vec![Point::new(300, 0)],
+            nets: vec![
+                CircuitNet {
+                    driver: Terminal::Input(0),
+                    sinks: vec![Terminal::Gate(0), Terminal::Gate(1)],
+                },
+                CircuitNet {
+                    driver: Terminal::Gate(0),
+                    sinks: vec![Terminal::Gate(1)],
+                },
+                CircuitNet {
+                    driver: Terminal::Gate(1),
+                    sinks: vec![Terminal::Output(0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tiny_circuit_validates() {
+        let c = tiny();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.num_gates(), 2);
+        assert!(c.gate_area() > 0);
+        assert!((c.avg_fanout() - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn terminal_queries() {
+        let c = tiny();
+        assert_eq!(c.terminal_pos(Terminal::Input(0)), Point::new(0, 0));
+        assert_eq!(c.terminal_pos(Terminal::Gate(1)), Point::new(200, 0));
+        assert!(c.sink_cap(Terminal::Gate(0)) > Cap::ZERO);
+        assert_eq!(c.net_of_gate(1), 2);
+    }
+
+    #[test]
+    fn validation_catches_topology_violation() {
+        let mut c = tiny();
+        // Make g1's net feed g0 (backwards).
+        c.nets[2].sinks = vec![Terminal::Gate(0)];
+        assert_eq!(c.validate(), Err(ValidateCircuitError::NotTopological(2)));
+    }
+
+    #[test]
+    fn validation_catches_dangling_gate() {
+        let mut c = tiny();
+        c.nets[2].sinks.clear();
+        assert_eq!(c.validate(), Err(ValidateCircuitError::DanglingGate(1)));
+    }
+}

@@ -1,0 +1,428 @@
+//! Plain-text interchange formats for nets and circuits.
+//!
+//! Downstream users need a way to feed their own instances to the
+//! optimizers without linking against a full EDA database, so this module
+//! defines two deliberately simple line-oriented formats and their
+//! parsers/writers.
+//!
+//! # Net format (`.net`)
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! net <name>
+//! source <x> <y> <driver-strength>
+//! sink <x> <y> <load-fF> <required-ps>
+//! sink ...
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_netlist::io;
+//!
+//! let text = "net demo\nsource 0 0 4.0\nsink 100 200 12.5 900\n";
+//! let net = io::parse_net(text).unwrap();
+//! assert_eq!(net.num_sinks(), 1);
+//! let round = io::write_net(&net);
+//! assert_eq!(io::parse_net(&round).unwrap(), net);
+//! ```
+
+use std::fmt;
+
+use merlin_geom::Point;
+use merlin_tech::units::Cap;
+use merlin_tech::Driver;
+
+use crate::net::{Net, Sink};
+
+/// Error with line information produced by the parsers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseNetError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseNetError {
+    ParseNetError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a single net from the `.net` format.
+///
+/// # Errors
+///
+/// Returns a [`ParseNetError`] naming the offending line for malformed
+/// directives, missing `net`/`source` lines, or nets without sinks.
+pub fn parse_net(text: &str) -> Result<Net, ParseNetError> {
+    let mut name: Option<String> = None;
+    let mut source: Option<(Point, Driver)> = None;
+    let mut sinks: Vec<Sink> = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let lineno = no + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("net") => {
+                let n = it.next().ok_or_else(|| err(lineno, "net needs a name"))?;
+                name = Some(n.to_owned());
+            }
+            Some("source") => {
+                let x = parse_num::<i64>(&mut it, lineno, "source x")?;
+                let y = parse_num::<i64>(&mut it, lineno, "source y")?;
+                let strength = parse_num::<f64>(&mut it, lineno, "driver strength")?;
+                if strength <= 0.0 {
+                    return Err(err(lineno, "driver strength must be positive"));
+                }
+                source = Some((Point::new(x, y), Driver::with_strength(strength)));
+            }
+            Some("sink") => {
+                let x = parse_num::<i64>(&mut it, lineno, "sink x")?;
+                let y = parse_num::<i64>(&mut it, lineno, "sink y")?;
+                let load = parse_num::<f64>(&mut it, lineno, "sink load")?;
+                let req = parse_num::<f64>(&mut it, lineno, "sink required time")?;
+                if load < 0.0 {
+                    return Err(err(lineno, "sink load must be non-negative"));
+                }
+                sinks.push(Sink::new(Point::new(x, y), Cap::from_ff(load), req));
+            }
+            Some(other) => {
+                return Err(err(lineno, format!("unknown directive `{other}`")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+        if let Some(extra) = it.next() {
+            return Err(err(lineno, format!("trailing token `{extra}`")));
+        }
+    }
+    let name = name.ok_or_else(|| err(0, "missing `net <name>` line"))?;
+    let (pos, driver) = source.ok_or_else(|| err(0, "missing `source` line"))?;
+    if sinks.is_empty() {
+        return Err(err(0, "net has no sinks"));
+    }
+    Ok(Net::new(name, pos, driver, sinks))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    it: &mut std::str::SplitWhitespace<'_>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseNetError> {
+    it.next()
+        .ok_or_else(|| err(line, format!("missing {what}")))?
+        .parse::<T>()
+        .map_err(|_| err(line, format!("malformed {what}")))
+}
+
+/// Writes a net in the `.net` format (inverse of [`parse_net`] up to
+/// driver-strength rounding).
+pub fn write_net(net: &Net) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "net {}", net.name);
+    // Recover the strength from the synthetic scaling rule R = 4200/s.
+    let strength = 4200.0 / net.driver.rdrv_ohm;
+    let _ = writeln!(
+        s,
+        "source {} {} {:.4}",
+        net.source.x, net.source.y, strength
+    );
+    for sink in &net.sinks {
+        let _ = writeln!(
+            s,
+            "sink {} {} {:.1} {:.3}",
+            sink.pos.x,
+            sink.pos.y,
+            sink.load.to_ff(),
+            sink.req_ps
+        );
+    }
+    s
+}
+
+/// Parses a circuit from the `.ckt` format:
+///
+/// ```text
+/// circuit <name>
+/// cell <name> <area-λ²> <cin-fF> <rdrv-Ω> <intrinsic-ps> <max-fanin>
+/// input <x> <y>
+/// output <x> <y>
+/// gate <cell-name> <x> <y>
+/// net <driver> <sink> [<sink> ...]      # terminals: g0, pi1, po2
+/// ```
+///
+/// Nets must appear in the canonical order (one per primary input, then
+/// one per gate) and the result must satisfy [`Circuit::validate`].
+///
+/// # Errors
+///
+/// Returns a [`ParseNetError`] naming the offending line, or line 0 for
+/// whole-circuit problems (missing sections, validation failure).
+pub fn parse_circuit(text: &str) -> Result<crate::Circuit, ParseNetError> {
+    use crate::circuit::{CircuitNet, Gate, Terminal};
+    let mut name = None;
+    let mut cells: Vec<crate::cell::Cell> = Vec::new();
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut gates = Vec::new();
+    let mut nets = Vec::new();
+    let parse_terminal = |tok: &str, line: usize| -> Result<Terminal, ParseNetError> {
+        let (kind, idx) = if let Some(r) = tok.strip_prefix("pi") {
+            ("pi", r)
+        } else if let Some(r) = tok.strip_prefix("po") {
+            ("po", r)
+        } else if let Some(r) = tok.strip_prefix('g') {
+            ("g", r)
+        } else {
+            return Err(err(line, format!("bad terminal `{tok}`")));
+        };
+        let idx: u32 = idx
+            .parse()
+            .map_err(|_| err(line, format!("bad terminal index in `{tok}`")))?;
+        Ok(match kind {
+            "pi" => Terminal::Input(idx),
+            "po" => Terminal::Output(idx),
+            _ => Terminal::Gate(idx),
+        })
+    };
+    for (no, raw) in text.lines().enumerate() {
+        let lineno = no + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("circuit") => {
+                name = Some(
+                    it.next()
+                        .ok_or_else(|| err(lineno, "circuit needs a name"))?
+                        .to_owned(),
+                );
+            }
+            Some("cell") => {
+                let cname = it
+                    .next()
+                    .ok_or_else(|| err(lineno, "cell needs a name"))?
+                    .to_owned();
+                let area = parse_num::<u64>(&mut it, lineno, "cell area")?;
+                let cin = parse_num::<f64>(&mut it, lineno, "cell cin")?;
+                let rdrv = parse_num::<f64>(&mut it, lineno, "cell rdrv")?;
+                let intr = parse_num::<f64>(&mut it, lineno, "cell intrinsic")?;
+                let fanin = parse_num::<usize>(&mut it, lineno, "cell max fanin")?;
+                cells.push(crate::cell::Cell {
+                    name: cname,
+                    area,
+                    cin: Cap::from_ff(cin),
+                    rdrv_ohm: rdrv,
+                    intrinsic_ps: intr,
+                    max_fanin: fanin,
+                });
+            }
+            Some("input") => {
+                let x = parse_num::<i64>(&mut it, lineno, "input x")?;
+                let y = parse_num::<i64>(&mut it, lineno, "input y")?;
+                inputs.push(Point::new(x, y));
+            }
+            Some("output") => {
+                let x = parse_num::<i64>(&mut it, lineno, "output x")?;
+                let y = parse_num::<i64>(&mut it, lineno, "output y")?;
+                outputs.push(Point::new(x, y));
+            }
+            Some("gate") => {
+                let cname = it
+                    .next()
+                    .ok_or_else(|| err(lineno, "gate needs a cell name"))?;
+                let cell = cells
+                    .iter()
+                    .position(|c| c.name == cname)
+                    .ok_or_else(|| err(lineno, format!("unknown cell `{cname}`")))?;
+                let x = parse_num::<i64>(&mut it, lineno, "gate x")?;
+                let y = parse_num::<i64>(&mut it, lineno, "gate y")?;
+                gates.push(Gate {
+                    cell: cell as u16,
+                    pos: Point::new(x, y),
+                });
+            }
+            Some("net") => {
+                let drv = it
+                    .next()
+                    .ok_or_else(|| err(lineno, "net needs a driver"))?;
+                let driver = parse_terminal(drv, lineno)?;
+                let mut sinks = Vec::new();
+                for tok in it {
+                    sinks.push(parse_terminal(tok, lineno)?);
+                }
+                nets.push(CircuitNet { driver, sinks });
+                continue; // `it` consumed; skip the trailing-token check
+            }
+            Some(other) => return Err(err(lineno, format!("unknown directive `{other}`"))),
+            None => unreachable!("empty lines are skipped"),
+        }
+        if let Some(extra) = it.next() {
+            return Err(err(lineno, format!("trailing token `{extra}`")));
+        }
+    }
+    let circuit = crate::Circuit {
+        name: name.ok_or_else(|| err(0, "missing `circuit <name>` line"))?,
+        cells,
+        gates,
+        input_pos: inputs,
+        output_pos: outputs,
+        nets,
+    };
+    circuit
+        .validate()
+        .map_err(|e| err(0, format!("invalid circuit: {e}")))?;
+    Ok(circuit)
+}
+
+/// Writes a circuit in the `.ckt` format (inverse of [`parse_circuit`]).
+pub fn write_circuit(circuit: &crate::Circuit) -> String {
+    use crate::circuit::Terminal;
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "circuit {}", circuit.name);
+    for c in &circuit.cells {
+        let _ = writeln!(
+            s,
+            "cell {} {} {:.2} {:.2} {:.2} {}",
+            c.name,
+            c.area,
+            c.cin.to_ff(),
+            c.rdrv_ohm,
+            c.intrinsic_ps,
+            c.max_fanin
+        );
+    }
+    for p in &circuit.input_pos {
+        let _ = writeln!(s, "input {} {}", p.x, p.y);
+    }
+    for p in &circuit.output_pos {
+        let _ = writeln!(s, "output {} {}", p.x, p.y);
+    }
+    for g in &circuit.gates {
+        let _ = writeln!(
+            s,
+            "gate {} {} {}",
+            circuit.cells[g.cell as usize].name, g.pos.x, g.pos.y
+        );
+    }
+    let term = |t: Terminal| match t {
+        Terminal::Gate(g) => format!("g{g}"),
+        Terminal::Input(i) => format!("pi{i}"),
+        Terminal::Output(o) => format!("po{o}"),
+    };
+    for net in &circuit.nets {
+        let _ = write!(s, "net {}", term(net.driver));
+        for &sk in &net.sinks {
+            let _ = write!(s, " {}", term(sk));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_nets::random_net;
+    use merlin_tech::Technology;
+
+    #[test]
+    fn parse_minimal_net() {
+        let net = parse_net("net a\nsource 1 2 4\nsink 3 4 5.5 100\n").unwrap();
+        assert_eq!(net.name, "a");
+        assert_eq!(net.source, Point::new(1, 2));
+        assert_eq!(net.sinks[0].load, Cap::from_ff(5.5));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let net =
+            parse_net("# hi\n\nnet a\n  source 0 0 1\n# mid\nsink 1 1 2 3\n\n").unwrap();
+        assert_eq!(net.num_sinks(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_net("net a\nsource 0 0 1\nsink 1 1 nope 3\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("sink load"));
+
+        let e = parse_net("net a\nsource 0 0 1\nsink 1 1 2 3 extra\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+
+        let e = parse_net("net a\nwhat 1\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn missing_sections_rejected() {
+        assert!(parse_net("source 0 0 1\nsink 1 1 1 1\n").is_err());
+        assert!(parse_net("net a\nsink 1 1 1 1\n").is_err());
+        assert!(parse_net("net a\nsource 0 0 1\n").is_err());
+        assert!(parse_net("net a\nsource 0 0 -2\nsink 1 1 1 1\n").is_err());
+    }
+
+    #[test]
+    fn circuit_round_trips() {
+        let c = crate::generator::synthetic_circuit("rt", 30, 5);
+        let text = write_circuit(&c);
+        let parsed = parse_circuit(&text).unwrap();
+        assert_eq!(parsed.name, c.name);
+        assert_eq!(parsed.gates.len(), c.gates.len());
+        assert_eq!(parsed.nets, c.nets);
+        assert_eq!(parsed.input_pos, c.input_pos);
+        assert!(parsed.validate().is_ok());
+    }
+
+    #[test]
+    fn circuit_parse_rejects_bad_terminals_and_cells() {
+        let e = parse_circuit("circuit a\nnet zz g0\n").unwrap_err();
+        assert!(e.message.contains("bad terminal"));
+        let e = parse_circuit("circuit a\ngate NOPE 0 0\n").unwrap_err();
+        assert!(e.message.contains("unknown cell"));
+    }
+
+    #[test]
+    fn circuit_parse_validates_topology() {
+        // A net list that violates the canonical ordering invariant.
+        let text = "circuit a\ncell C 10 1 100 10 2\ninput 0 0\noutput 9 9\n\
+                    gate C 5 5\nnet g0 po0\nnet pi0 g0\n";
+        let e = parse_circuit(text).unwrap_err();
+        assert!(e.message.contains("invalid circuit"));
+    }
+
+    #[test]
+    fn round_trip_generated_nets() {
+        let tech = Technology::synthetic_035();
+        for seed in 1..=5 {
+            let net = random_net("rt", 9, seed, &tech);
+            let text = write_net(&net);
+            let parsed = parse_net(&text).unwrap();
+            assert_eq!(parsed.name, net.name);
+            assert_eq!(parsed.num_sinks(), net.num_sinks());
+            for (a, b) in parsed.sinks.iter().zip(&net.sinks) {
+                assert_eq!(a.pos, b.pos);
+                assert_eq!(a.load, b.load);
+                assert!((a.req_ps - b.req_ps).abs() < 1e-3);
+            }
+            assert!((parsed.driver.rdrv_ohm - net.driver.rdrv_ohm).abs() / net.driver.rdrv_ohm < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Nets, circuits, timing analysis and benchmark generators.
+//!
+//! The paper's experiments consume two kinds of workloads:
+//!
+//! * **Table 1** — 18 individual nets extracted from SIS-mapped ISCAS'85
+//!   circuits, with known sink loads/required times and randomized sink
+//!   locations inside a bounding box sized so that interconnect delay is
+//!   comparable to gate delay. [`bench_nets`] regenerates nets with exactly
+//!   the published sink counts under those rules (see `DESIGN.md` §3 for
+//!   the substitution rationale — we do not have the SIS netlists, and the
+//!   paper randomized the geometry anyway).
+//! * **Table 2** — whole mapped circuits pushed through a full flow.
+//!   [`circuit`]/[`generator`] provide a synthetic mapped-DAG circuit
+//!   model, [`placement`] a deterministic row placement, and [`sta`] a
+//!   static timing analysis that consumes per-net buffered-routing results.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_netlist::bench_nets;
+//! use merlin_tech::Technology;
+//!
+//! let tech = Technology::synthetic_035();
+//! let cases = bench_nets::table1_cases(&tech);
+//! assert_eq!(cases.len(), 18);
+//! assert_eq!(cases[8].net.sinks.len(), 73); // net9 of C3540
+//! ```
+
+pub mod bench_nets;
+pub mod cell;
+pub mod circuit;
+pub mod generator;
+pub mod io;
+pub mod net;
+pub mod placement;
+pub mod sta;
+
+pub use circuit::{Circuit, CircuitNet, Gate, Terminal};
+pub use net::{Net, Sink};

@@ -1,0 +1,119 @@
+//! Single-net problem instances.
+
+use merlin_geom::{BBox, Point};
+use merlin_tech::units::{Cap, PsTime};
+use merlin_tech::Driver;
+
+/// One sink of a net: the paper's `s_i = (x, y, load, required time)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sink {
+    /// Location on the layout lattice.
+    pub pos: Point,
+    /// Input pin capacitance.
+    pub load: Cap,
+    /// Required time at the pin, in ps.
+    pub req_ps: PsTime,
+}
+
+impl Sink {
+    /// Creates a sink.
+    pub fn new(pos: Point, load: Cap, req_ps: PsTime) -> Self {
+        Sink { pos, load, req_ps }
+    }
+}
+
+/// A net to be realized as a buffered routing tree: a driver location and
+/// electrical model plus the sink set — the full problem input of §III.1
+/// (the candidate-location set and parameters arrive separately, as
+/// configuration).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Net {
+    /// Net name (diagnostics and tables).
+    pub name: String,
+    /// Driver output location `s`.
+    pub source: Point,
+    /// Driver electrical model.
+    pub driver: Driver,
+    /// The sinks `s_1 … s_n`.
+    pub sinks: Vec<Sink>,
+}
+
+impl Net {
+    /// Creates a net.
+    pub fn new(name: impl Into<String>, source: Point, driver: Driver, sinks: Vec<Sink>) -> Self {
+        Net {
+            name: name.into(),
+            source,
+            driver,
+            sinks,
+        }
+    }
+
+    /// Number of sinks.
+    pub fn num_sinks(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Sink locations, index-aligned with [`Net::sinks`].
+    pub fn sink_positions(&self) -> Vec<Point> {
+        self.sinks.iter().map(|s| s.pos).collect()
+    }
+
+    /// Sink loads, index-aligned with [`Net::sinks`].
+    pub fn sink_loads(&self) -> Vec<Cap> {
+        self.sinks.iter().map(|s| s.load).collect()
+    }
+
+    /// Sink required times, index-aligned with [`Net::sinks`].
+    pub fn sink_reqs(&self) -> Vec<PsTime> {
+        self.sinks.iter().map(|s| s.req_ps).collect()
+    }
+
+    /// Bounding box of driver and sinks.
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(self.sinks.iter().map(|s| s.pos).chain(Some(self.source)))
+            .expect("net has a source")
+    }
+
+    /// Sum of all sink loads (a lower bound on any root load).
+    pub fn total_sink_load(&self) -> Cap {
+        self.sinks.iter().map(|s| s.load).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Net {
+        Net::new(
+            "t",
+            Point::new(0, 0),
+            Driver::default(),
+            vec![
+                Sink::new(Point::new(100, 0), Cap::from_ff(5.0), 900.0),
+                Sink::new(Point::new(0, 50), Cap::from_ff(7.0), 850.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors_are_index_aligned() {
+        let n = sample();
+        assert_eq!(n.num_sinks(), 2);
+        assert_eq!(n.sink_positions()[1], Point::new(0, 50));
+        assert_eq!(n.sink_loads()[0], Cap::from_ff(5.0));
+        assert_eq!(n.sink_reqs()[1], 850.0);
+        assert_eq!(n.total_sink_load(), Cap::from_ff(12.0));
+    }
+
+    #[test]
+    fn bbox_covers_source_and_sinks() {
+        let n = sample();
+        let b = n.bbox();
+        assert!(b.contains(Point::new(0, 0)));
+        assert!(b.contains(Point::new(100, 0)));
+        assert_eq!(b.width(), 100);
+        assert_eq!(b.height(), 50);
+    }
+}

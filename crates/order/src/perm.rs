@@ -1,0 +1,203 @@
+//! Sink orders (the paper's Definition 3) and swaps (Definition 5).
+
+use std::fmt;
+
+/// An order Π on `n` sinks.
+///
+/// Internally stored as the sequence of sink indices: `order.as_slice()[j]`
+/// is the sink occupying position `j` (0-based). The paper's Π maps sink →
+/// position; [`SinkOrder::position_of`] provides that view, and
+/// [`SinkOrder::positions`] materializes the whole inverse map.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_order::SinkOrder;
+///
+/// // The paper's Example 1: (s4, s3, s5, s1, s2, s6, s8, s7, s9)
+/// // (0-based sink indices).
+/// let pi = SinkOrder::new(vec![3, 2, 4, 0, 1, 5, 7, 6, 8]).unwrap();
+/// assert_eq!(pi.position_of(0), 3); // Π(1) = 4 in 1-based terms
+/// assert_eq!(pi.position_of(2), 1); // Π(3) = 2
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SinkOrder {
+    seq: Vec<u32>,
+}
+
+/// Error returned by [`SinkOrder::new`] when the sequence is not a
+/// permutation of `0..n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidOrderError;
+
+impl fmt::Display for InvalidOrderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sequence is not a permutation of 0..n")
+    }
+}
+
+impl std::error::Error for InvalidOrderError {}
+
+impl SinkOrder {
+    /// Creates an order from a sequence of sink indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidOrderError`] if `seq` is not a permutation of
+    /// `0..seq.len()`.
+    pub fn new(seq: Vec<u32>) -> Result<Self, InvalidOrderError> {
+        let n = seq.len();
+        let mut seen = vec![false; n];
+        for &s in &seq {
+            let idx = s as usize;
+            if idx >= n || seen[idx] {
+                return Err(InvalidOrderError);
+            }
+            seen[idx] = true;
+        }
+        Ok(SinkOrder { seq })
+    }
+
+    /// The identity order `(s_0, s_1, …, s_{n-1})`.
+    pub fn identity(n: usize) -> Self {
+        SinkOrder {
+            seq: (0..n as u32).collect(),
+        }
+    }
+
+    /// Number of sinks.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// The sink occupying position `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn sink_at(&self, j: usize) -> u32 {
+        self.seq[j]
+    }
+
+    /// The sequence of sink indices, position by position.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.seq
+    }
+
+    /// Position of sink `s` (the paper's Π(s)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not in the order.
+    pub fn position_of(&self, s: u32) -> usize {
+        self.seq
+            .iter()
+            .position(|&x| x == s)
+            .expect("sink not in order")
+    }
+
+    /// The full inverse map: `positions()[sink] = position`.
+    pub fn positions(&self) -> Vec<u32> {
+        let mut pos = vec![0u32; self.seq.len()];
+        for (j, &s) in self.seq.iter().enumerate() {
+            pos[s as usize] = j as u32;
+        }
+        pos
+    }
+
+    /// Swapping element `i` of Π (Definition 5): exchanges the sinks at
+    /// positions `i` and `i+1` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i + 1 ≥ n`.
+    pub fn swap_adjacent(&mut self, i: usize) {
+        self.seq.swap(i, i + 1);
+    }
+
+    /// A copy with positions `i` and `i+1` exchanged.
+    pub fn swapped(&self, i: usize) -> SinkOrder {
+        let mut c = self.clone();
+        c.swap_adjacent(i);
+        c
+    }
+
+    /// Consumes the order and returns the underlying sequence.
+    pub fn into_inner(self) -> Vec<u32> {
+        self.seq
+    }
+}
+
+impl fmt::Debug for SinkOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SinkOrder(")?;
+        for (i, s) in self.seq.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "s{}", s + 1)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for SinkOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let pi = SinkOrder::identity(4);
+        assert_eq!(pi.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(pi.positions(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        assert!(SinkOrder::new(vec![0, 0, 1]).is_err());
+        assert!(SinkOrder::new(vec![0, 3]).is_err());
+        assert!(SinkOrder::new(vec![]).is_ok());
+    }
+
+    #[test]
+    fn example_3_from_paper() {
+        // Π' = (s1,s3,s2,s4,s5,s6,s8,s7,s9); swapping the 4th element
+        // (1-based) gives (s1,s3,s2,s5,s4,s6,s8,s7,s9).
+        let pi = SinkOrder::new(vec![0, 2, 1, 3, 4, 5, 7, 6, 8]).unwrap();
+        let swapped = pi.swapped(3);
+        assert_eq!(swapped.as_slice(), &[0, 2, 1, 4, 3, 5, 7, 6, 8]);
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        let pi = SinkOrder::identity(6);
+        assert_eq!(pi.swapped(2).swapped(2), pi);
+    }
+
+    #[test]
+    fn positions_inverse_of_sequence() {
+        let pi = SinkOrder::new(vec![3, 2, 4, 0, 1]).unwrap();
+        let pos = pi.positions();
+        for j in 0..pi.len() {
+            assert_eq!(pos[pi.sink_at(j) as usize] as usize, j);
+        }
+        assert_eq!(pi.position_of(3), 0);
+    }
+
+    #[test]
+    fn debug_is_one_based_like_the_paper() {
+        let pi = SinkOrder::new(vec![1, 0]).unwrap();
+        assert_eq!(format!("{pi:?}"), "SinkOrder(s2,s1)");
+    }
+}

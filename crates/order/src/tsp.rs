@@ -1,0 +1,197 @@
+//! Initial sink orders.
+//!
+//! [LCLH96] (and the paper's experimental setups) seed the ordered DPs with
+//! a travelling-salesman order over the sink locations: a good geometric
+//! order keeps the P-Tree's contiguous groups spatially coherent. A full
+//! TSP is unnecessary — the paper reports that initial orders have very
+//! small effect on MERLIN's final quality — so we use the classical
+//! nearest-neighbor construction followed by 2-opt improvement on the open
+//! path starting at the driver.
+
+use merlin_geom::{manhattan, Point};
+
+use crate::perm::SinkOrder;
+
+/// TSP-style order: nearest-neighbor path from the driver, improved by
+/// 2-opt until no improving exchange exists.
+///
+/// Deterministic for a given input. `O(n²)` construction and `O(n²)` per
+/// 2-opt round, which is negligible next to the DPs it feeds.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_geom::Point;
+/// use merlin_order::tsp::tsp_order;
+///
+/// let sinks = [Point::new(10, 0), Point::new(1, 0), Point::new(5, 0)];
+/// let order = tsp_order(Point::new(0, 0), &sinks);
+/// assert_eq!(order.as_slice(), &[1, 2, 0]); // sweep left to right
+/// ```
+pub fn tsp_order(driver: Point, sinks: &[Point]) -> SinkOrder {
+    let n = sinks.len();
+    if n == 0 {
+        return SinkOrder::identity(0);
+    }
+    // Nearest-neighbor construction.
+    let mut seq: Vec<u32> = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut at = driver;
+    for _ in 0..n {
+        let (best, _) = sinks
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(i, p)| (i, manhattan(at, *p)))
+            .min_by_key(|&(i, d)| (d, i))
+            .expect("unused sink exists");
+        used[best] = true;
+        seq.push(best as u32);
+        at = sinks[best];
+    }
+    // 2-opt on the open path driver -> seq[0] -> ... -> seq[n-1].
+    let dist = |a: Option<usize>, b: usize| -> u64 {
+        let pa = a.map_or(driver, |i| sinks[i]);
+        manhattan(pa, sinks[b])
+    };
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n.saturating_sub(1) {
+            for j in i + 1..n {
+                // Reverse seq[i..=j]: edges (i-1,i) and (j,j+1) change.
+                let before_i = if i == 0 {
+                    None
+                } else {
+                    Some(seq[i - 1] as usize)
+                };
+                let old = dist(before_i, seq[i] as usize)
+                    + if j + 1 < n {
+                        manhattan(sinks[seq[j] as usize], sinks[seq[j + 1] as usize])
+                    } else {
+                        0
+                    };
+                let new = dist(before_i, seq[j] as usize)
+                    + if j + 1 < n {
+                        manhattan(sinks[seq[i] as usize], sinks[seq[j + 1] as usize])
+                    } else {
+                        0
+                    };
+                if new < old {
+                    seq[i..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+    }
+    SinkOrder::new(seq).expect("construction yields a permutation")
+}
+
+/// Order by required time, most critical (smallest required time) first —
+/// the order Touati's LT-tree DP expects.
+pub fn required_time_order(reqs_ps: &[f64]) -> SinkOrder {
+    let mut idx: Vec<u32> = (0..reqs_ps.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        reqs_ps[a as usize]
+            .total_cmp(&reqs_ps[b as usize])
+            .then(a.cmp(&b))
+    });
+    SinkOrder::new(idx).expect("permutation")
+}
+
+/// A deterministic pseudo-random order from a seed (splitmix64 +
+/// Fisher-Yates), used by the E5 initial-order ablation.
+pub fn random_order(n: usize, seed: u64) -> SinkOrder {
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut seq: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        seq.swap(i, j);
+    }
+    SinkOrder::new(seq).expect("permutation")
+}
+
+/// Total open-path length of an order (driver, then sinks in order) —
+/// the quantity 2-opt minimizes; exposed for tests and diagnostics.
+pub fn path_length(driver: Point, sinks: &[Point], order: &SinkOrder) -> u64 {
+    let mut at = driver;
+    let mut total = 0;
+    for &s in order.as_slice() {
+        total += manhattan(at, sinks[s as usize]);
+        at = sinks[s as usize];
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize, r: i64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                Point::new((r as f64 * a.cos()) as i64, (r as f64 * a.sin()) as i64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tsp_on_collinear_points_is_a_sweep() {
+        let sinks = [
+            Point::new(30, 0),
+            Point::new(10, 0),
+            Point::new(20, 0),
+            Point::new(40, 0),
+        ];
+        let order = tsp_order(Point::new(0, 0), &sinks);
+        assert_eq!(order.as_slice(), &[1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn two_opt_beats_worst_case_shuffle() {
+        let sinks = ring(12, 1000);
+        let driver = Point::new(0, 0);
+        let good = tsp_order(driver, &sinks);
+        let bad = random_order(12, 7);
+        assert!(
+            path_length(driver, &sinks, &good) <= path_length(driver, &sinks, &bad),
+            "2-opt order should not be longer than a random order"
+        );
+    }
+
+    #[test]
+    fn required_time_order_sorts_ascending() {
+        let order = required_time_order(&[30.0, 10.0, 20.0]);
+        assert_eq!(order.as_slice(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn required_time_order_ties_stable() {
+        let order = required_time_order(&[5.0, 5.0, 1.0]);
+        assert_eq!(order.as_slice(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn random_order_is_deterministic_per_seed() {
+        assert_eq!(random_order(20, 42), random_order(20, 42));
+        assert_ne!(
+            random_order(20, 42).as_slice(),
+            random_order(20, 43).as_slice()
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(tsp_order(Point::new(0, 0), &[]).is_empty());
+        let one = tsp_order(Point::new(0, 0), &[Point::new(5, 5)]);
+        assert_eq!(one.as_slice(), &[0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! `PTREE` — the P-Tree performance-driven routing baseline of Lillis,
+//! Cheng, Lin and Ho [LCLH96].
+//!
+//! Given a *linear order* of the sinks, `PTREE` finds the optimal embedding
+//! of the net into a candidate-point set (canonically the Hanan grid) among
+//! all routing trees whose recursive sink partition respects the order —
+//! the "Permutation-Constrained Routing Tree" family. Solutions are kept as
+//! non-inferior curves so the caller can trade wire area against required
+//! time.
+//!
+//! This crate implements the **unbuffered** baseline used by the paper's
+//! experimental Flows I and II:
+//!
+//! * Flow I routes each fanout-tree stage produced by `LTTREE` with PTREE;
+//! * Flow II routes the whole net with PTREE and then runs van Ginneken
+//!   buffer insertion on the fixed tree.
+//!
+//! The recursion (§II, and the basis of the paper's `*PTREE`):
+//!
+//! ```text
+//! S_b(p,i,j) = min over i ≤ u < j of  S(p,i,u) ⊗ S(p,u+1,j)
+//! S(p,i,j)   = min( S_b(p,i,j), min over p' of wire(p→p') + S_b(p',i,j) )
+//! ```
+//!
+//! where ⊗ joins two subtrees at the same point (loads and wire areas add,
+//! required times take the min). One wire hop suffices because a direct
+//! route is never longer than a multi-hop route and the Elmore delay of an
+//! unbranched path depends only on its length.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_geom::CandidateStrategy;
+//! use merlin_netlist::bench_nets::random_net;
+//! use merlin_order::tsp::tsp_order;
+//! use merlin_ptree::{Ptree, PtreeConfig};
+//! use merlin_tech::Technology;
+//!
+//! let tech = Technology::synthetic_035();
+//! let net = random_net("demo", 6, 1, &tech);
+//! let order = tsp_order(net.source, &net.sink_positions());
+//! let cands = CandidateStrategy::FullHanan.generate(net.source, &net.sink_positions());
+//! let solved = Ptree::new(&net, &tech, PtreeConfig::default()).solve(&order, &cands);
+//! let tree = solved.best_tree().expect("routable net");
+//! assert!(tree.validate(6, &tech).is_ok());
+//! ```
+
+pub mod dp;
+pub mod extract;
+
+pub use dp::{Ptree, PtreeConfig, PtreeSolved};

@@ -1,0 +1,662 @@
+//! Buffered rectilinear routing trees and their independent evaluation.
+//!
+//! Every optimization engine in this workspace (MERLIN, PTREE+van Ginneken,
+//! LTTREE+PTREE) ultimately produces a [`BufferedTree`]: a rooted tree of
+//! source / Steiner / buffer / sink nodes embedded on the layout lattice.
+//!
+//! The evaluator here recomputes load, required time, per-sink delay and
+//! buffer area **from scratch**, independent of any DP bookkeeping. The
+//! MERLIN test-suite uses this to verify that the values carried on
+//! solution curves agree exactly with a re-evaluation of the extracted
+//! structure — the strongest internal-consistency check the system has.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use merlin_geom::{manhattan, Point};
+
+use crate::delay::slew_through_wire;
+use crate::driver::Driver;
+use crate::units::{Cap, PsTime};
+use crate::Technology;
+
+/// Handle to a node of a [`BufferedTree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Index into the tree's node arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a tree node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The net driver output (always the root).
+    Source,
+    /// A routing branch/through point.
+    Steiner,
+    /// An inserted buffer; the payload is a buffer-library index.
+    Buffer(u16),
+    /// A sink terminal; the payload is the sink index within the net.
+    Sink(u32),
+}
+
+/// One node of a [`BufferedTree`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeNode {
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Embedded location.
+    pub at: Point,
+    /// Children (edges are routed as minimum-length L-shapes).
+    pub children: Vec<NodeId>,
+}
+
+/// A buffered rectilinear routing tree.
+///
+/// Construction is append-only ([`BufferedTree::add_child`] always creates a
+/// fresh node), so the structure is acyclic by construction.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_geom::Point;
+/// use merlin_tech::{BufferedTree, NodeKind, Technology, Driver, units::Cap};
+///
+/// let tech = Technology::synthetic_035();
+/// let mut t = BufferedTree::new(Point::new(0, 0));
+/// let b = t.add_child(t.root(), NodeKind::Buffer(0), Point::new(500, 0));
+/// t.add_child(b, NodeKind::Sink(0), Point::new(1000, 0));
+/// let eval = t.evaluate(&tech, &Driver::default(), &[Cap::from_ff(20.0)], &[1000.0]);
+/// assert_eq!(eval.num_buffers, 1);
+/// assert!(eval.root_required_ps < 1000.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BufferedTree {
+    nodes: Vec<TreeNode>,
+    root: NodeId,
+}
+
+/// Result of evaluating a [`BufferedTree`] against a technology.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Evaluation {
+    /// Required time at the driver input (the paper's objective), linear RC
+    /// model.
+    pub root_required_ps: PsTime,
+    /// Capacitive load presented to the driver.
+    pub root_load: Cap,
+    /// Total inserted buffer area in λ².
+    pub buffer_area: u64,
+    /// Number of inserted buffers.
+    pub num_buffers: usize,
+    /// Total wirelength in λ.
+    pub wirelength: u64,
+    /// Source-to-sink Elmore delay per sink index (linear RC model),
+    /// including the driver delay.
+    pub sink_delays_ps: Vec<PsTime>,
+    /// `max_i (sink_req_i) − root_required_ps`: the "delay" figure reported
+    /// in the paper's tables (equals the longest path delay when all sinks
+    /// have equal required times).
+    pub delay_ps: PsTime,
+}
+
+/// Result of the detailed (4-parameter + slew) evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetailedEvaluation {
+    /// Per-sink arrival times including slew effects.
+    pub sink_arrivals_ps: Vec<PsTime>,
+    /// Per-sink slews.
+    pub sink_slews_ps: Vec<PsTime>,
+    /// Worst slack `min_i (req_i − arrival_i)`.
+    pub worst_slack_ps: PsTime,
+}
+
+/// Errors detected by [`BufferedTree::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateTreeError {
+    /// A sink index appears more than once.
+    DuplicateSink(u32),
+    /// A sink index is outside the net's sink range.
+    UnknownSink(u32),
+    /// Not all of the net's sinks are attached to the tree.
+    MissingSinks(usize),
+    /// A sink node has children.
+    SinkHasChildren(u32),
+    /// A buffer index is outside the library.
+    UnknownBuffer(u16),
+}
+
+impl fmt::Display for ValidateTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateTreeError::DuplicateSink(s) => write!(f, "sink {s} attached twice"),
+            ValidateTreeError::UnknownSink(s) => write!(f, "sink index {s} out of range"),
+            ValidateTreeError::MissingSinks(k) => write!(f, "{k} sinks not attached"),
+            ValidateTreeError::SinkHasChildren(s) => write!(f, "sink {s} has children"),
+            ValidateTreeError::UnknownBuffer(b) => write!(f, "buffer index {b} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateTreeError {}
+
+impl BufferedTree {
+    /// Creates a tree containing only a source node at `at`.
+    pub fn new(at: Point) -> Self {
+        BufferedTree {
+            nodes: vec![TreeNode {
+                kind: NodeKind::Source,
+                at,
+                children: Vec::new(),
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root (source) node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has only the source node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Read access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    pub fn node(&self, id: NodeId) -> &TreeNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over `(id, node)` pairs in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &TreeNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Appends a fresh node under `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a node of this tree.
+    pub fn add_child(&mut self, parent: NodeId, kind: NodeKind, at: Point) -> NodeId {
+        assert!(parent.index() < self.nodes.len(), "bad parent id");
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(TreeNode {
+            kind,
+            at,
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// All sink indices present in the tree, in visit order.
+    ///
+    /// For trees produced by the ordered DPs this is exactly the effective
+    /// sink order of the solution (children are stored left-to-right), which
+    /// is what MERLIN feeds back into the next local-search iteration.
+    pub fn sink_order(&self) -> Vec<u32> {
+        let mut order = Vec::new();
+        self.visit_preorder(self.root, &mut |node: &TreeNode| {
+            if let NodeKind::Sink(s) = node.kind {
+                order.push(s);
+            }
+        });
+        order
+    }
+
+    fn visit_preorder<F: FnMut(&TreeNode)>(&self, id: NodeId, f: &mut F) {
+        // Explicit stack: trees can be deep chains (Cα buffer chains).
+        let mut stack = vec![id];
+        let mut out = Vec::new();
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            let node = &self.nodes[id.index()];
+            for &c in node.children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        for id in out {
+            f(&self.nodes[id.index()]);
+        }
+    }
+
+    /// Total routed wirelength in λ.
+    pub fn wirelength(&self) -> u64 {
+        let mut total = 0;
+        for node in &self.nodes {
+            for &c in &node.children {
+                total += manhattan(node.at, self.nodes[c.index()].at);
+            }
+        }
+        total
+    }
+
+    /// Total inserted buffer area.
+    pub fn buffer_area(&self, tech: &Technology) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Buffer(b) => Some(tech.library[b as usize].area),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Structural validation against a net with `num_sinks` sinks and the
+    /// given technology.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; see [`ValidateTreeError`].
+    pub fn validate(
+        &self,
+        num_sinks: usize,
+        tech: &Technology,
+    ) -> Result<(), ValidateTreeError> {
+        let mut seen = HashSet::new();
+        for node in &self.nodes {
+            match node.kind {
+                NodeKind::Sink(s) => {
+                    if s as usize >= num_sinks {
+                        return Err(ValidateTreeError::UnknownSink(s));
+                    }
+                    if !seen.insert(s) {
+                        return Err(ValidateTreeError::DuplicateSink(s));
+                    }
+                    if !node.children.is_empty() {
+                        return Err(ValidateTreeError::SinkHasChildren(s));
+                    }
+                }
+                NodeKind::Buffer(b) => {
+                    if b as usize >= tech.library.len() {
+                        return Err(ValidateTreeError::UnknownBuffer(b));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if seen.len() != num_sinks {
+            return Err(ValidateTreeError::MissingSinks(num_sinks - seen.len()));
+        }
+        Ok(())
+    }
+
+    /// Evaluates the tree with the linear RC / Elmore model.
+    ///
+    /// `sink_loads[i]` and `sink_reqs_ps[i]` describe the sink with index
+    /// `i`; sinks absent from the tree are ignored (their delay is reported
+    /// as `NaN`), but a complete tree should pass [`BufferedTree::validate`]
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sink node's index is out of range of the provided slices.
+    pub fn evaluate(
+        &self,
+        tech: &Technology,
+        driver: &Driver,
+        sink_loads: &[Cap],
+        sink_reqs_ps: &[PsTime],
+    ) -> Evaluation {
+        let n = self.nodes.len();
+        // Post-order: children before parents. Node ids are append-ordered
+        // with parents created before children, so reverse creation order is
+        // a valid post-order.
+        let mut cap = vec![Cap::ZERO; n];
+        let mut req = vec![f64::INFINITY; n];
+        let mut area: u64 = 0;
+        let mut num_buffers = 0;
+        for idx in (0..n).rev() {
+            let node = &self.nodes[idx];
+            match node.kind {
+                NodeKind::Sink(s) => {
+                    cap[idx] = sink_loads[s as usize];
+                    req[idx] = sink_reqs_ps[s as usize];
+                }
+                NodeKind::Steiner | NodeKind::Source | NodeKind::Buffer(_) => {
+                    let mut c_here = Cap::ZERO;
+                    let mut r_here = f64::INFINITY;
+                    for &ch in &node.children {
+                        let len = manhattan(node.at, self.nodes[ch.index()].at);
+                        let wc = tech.wire.wire_cap(len);
+                        c_here += wc + cap[ch.index()];
+                        let d = tech.wire.elmore_ps(len, cap[ch.index()]);
+                        r_here = r_here.min(req[ch.index()] - d);
+                    }
+                    match node.kind {
+                        NodeKind::Buffer(b) => {
+                            let buf = &tech.library[b as usize];
+                            req[idx] = r_here - buf.delay_linear_ps(c_here);
+                            cap[idx] = buf.cin;
+                            area += buf.area;
+                            num_buffers += 1;
+                        }
+                        _ => {
+                            req[idx] = r_here;
+                            cap[idx] = c_here;
+                        }
+                    }
+                }
+            }
+        }
+        let root_idx = self.root.index();
+        let root_load = cap[root_idx];
+        let root_required = req[root_idx] - driver.delay_linear_ps(root_load);
+
+        // Forward pass for per-sink delays.
+        let mut arrival = vec![f64::NAN; n];
+        arrival[root_idx] = driver.delay_linear_ps(root_load);
+        for idx in 0..n {
+            if arrival[idx].is_nan() {
+                continue;
+            }
+            let node = &self.nodes[idx];
+            let own_delay = match node.kind {
+                NodeKind::Buffer(b) => {
+                    // cap[idx] for a buffer is its cin; recompute load below.
+                    let mut below = Cap::ZERO;
+                    for &ch in &node.children {
+                        let len = manhattan(node.at, self.nodes[ch.index()].at);
+                        below += tech.wire.wire_cap(len) + cap[ch.index()];
+                    }
+                    tech.library[b as usize].delay_linear_ps(below)
+                }
+                _ => 0.0,
+            };
+            for &ch in &node.children {
+                let len = manhattan(node.at, self.nodes[ch.index()].at);
+                let d = tech.wire.elmore_ps(len, cap[ch.index()]);
+                arrival[ch.index()] = arrival[idx] + own_delay + d;
+            }
+        }
+        let mut sink_delays = vec![f64::NAN; sink_loads.len()];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Sink(s) = node.kind {
+                sink_delays[s as usize] = arrival[idx];
+            }
+        }
+        let max_req = sink_reqs_ps
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Evaluation {
+            root_required_ps: root_required,
+            root_load,
+            buffer_area: area,
+            num_buffers,
+            wirelength: self.wirelength(),
+            sink_delays_ps: sink_delays,
+            delay_ps: max_req - root_required,
+        }
+    }
+
+    /// Counts buffers (and the driver-equivalent stage loads) whose driven
+    /// capacitance exceeds the cell's characterized `max_load`. Zero when
+    /// the tree was produced with load limits enforced.
+    pub fn buffer_load_violations(&self, tech: &Technology, sink_loads: &[Cap]) -> usize {
+        let n = self.nodes.len();
+        let mut cap = vec![Cap::ZERO; n];
+        for idx in (0..n).rev() {
+            let node = &self.nodes[idx];
+            match node.kind {
+                NodeKind::Sink(s) => cap[idx] = sink_loads[s as usize],
+                NodeKind::Buffer(b) => cap[idx] = tech.library[b as usize].cin,
+                _ => {
+                    let mut c = Cap::ZERO;
+                    for &ch in &node.children {
+                        let len = manhattan(node.at, self.nodes[ch.index()].at);
+                        c += tech.wire.wire_cap(len) + cap[ch.index()];
+                    }
+                    cap[idx] = c;
+                }
+            }
+        }
+        let mut violations = 0;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Buffer(b) = node.kind {
+                let mut below = Cap::ZERO;
+                for &ch in &node.children {
+                    let len = manhattan(node.at, self.nodes[ch.index()].at);
+                    below += tech.wire.wire_cap(len) + cap[ch.index()];
+                }
+                if below > tech.library[b as usize].max_load {
+                    violations += 1;
+                }
+            }
+        }
+        violations
+    }
+
+    /// Detailed forward evaluation with the 4-parameter delay equation and
+    /// slew propagation.
+    ///
+    /// `input_slew_ps` is the slew at the driver input.
+    pub fn evaluate_detailed(
+        &self,
+        tech: &Technology,
+        driver: &Driver,
+        sink_loads: &[Cap],
+        sink_reqs_ps: &[PsTime],
+        input_slew_ps: PsTime,
+    ) -> DetailedEvaluation {
+        let n = self.nodes.len();
+        // Loads below each node (linear model suffices for loads).
+        let mut cap = vec![Cap::ZERO; n];
+        for idx in (0..n).rev() {
+            let node = &self.nodes[idx];
+            match node.kind {
+                NodeKind::Sink(s) => cap[idx] = sink_loads[s as usize],
+                NodeKind::Buffer(b) => {
+                    cap[idx] = tech.library[b as usize].cin;
+                }
+                _ => {
+                    let mut c = Cap::ZERO;
+                    for &ch in &node.children {
+                        let len = manhattan(node.at, self.nodes[ch.index()].at);
+                        c += tech.wire.wire_cap(len) + cap[ch.index()];
+                    }
+                    cap[idx] = c;
+                }
+            }
+        }
+        let load_below = |idx: usize| -> Cap {
+            let node = &self.nodes[idx];
+            let mut c = Cap::ZERO;
+            for &ch in &node.children {
+                let len = manhattan(node.at, self.nodes[ch.index()].at);
+                c += tech.wire.wire_cap(len) + cap[ch.index()];
+            }
+            c
+        };
+
+        let mut arrival = vec![f64::NAN; n];
+        let mut slew = vec![0.0f64; n];
+        let root_idx = self.root.index();
+        let root_load = load_below(root_idx);
+        arrival[root_idx] = driver.four_param.delay_ps(root_load, input_slew_ps);
+        slew[root_idx] = driver.four_param.slew_out_ps(root_load);
+        for idx in 0..n {
+            if arrival[idx].is_nan() {
+                continue;
+            }
+            let node = &self.nodes[idx];
+            let (own_delay, out_slew) = match node.kind {
+                NodeKind::Buffer(b) => {
+                    let below = load_below(idx);
+                    let fp = &tech.library[b as usize].four_param;
+                    (fp.delay_ps(below, slew[idx]), fp.slew_out_ps(below))
+                }
+                _ => (0.0, slew[idx]),
+            };
+            for &ch in &node.children {
+                let len = manhattan(node.at, self.nodes[ch.index()].at);
+                let d = tech.wire.elmore_ps(len, cap[ch.index()]);
+                arrival[ch.index()] = arrival[idx] + own_delay + d;
+                slew[ch.index()] = slew_through_wire(out_slew, d);
+            }
+        }
+
+        let mut sink_arrivals = vec![f64::NAN; sink_loads.len()];
+        let mut sink_slews = vec![f64::NAN; sink_loads.len()];
+        let mut worst = f64::INFINITY;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let NodeKind::Sink(s) = node.kind {
+                sink_arrivals[s as usize] = arrival[idx];
+                sink_slews[s as usize] = slew[idx];
+                worst = worst.min(sink_reqs_ps[s as usize] - arrival[idx]);
+            }
+        }
+        DetailedEvaluation {
+            sink_arrivals_ps: sink_arrivals,
+            sink_slews_ps: sink_slews,
+            worst_slack_ps: worst,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::synthetic_035()
+    }
+
+    /// source --1000λ--> sink0 ; source --500λ--> steiner --500λ--> sink1
+    fn two_sink_tree() -> BufferedTree {
+        let mut t = BufferedTree::new(Point::new(0, 0));
+        t.add_child(t.root(), NodeKind::Sink(0), Point::new(1000, 0));
+        let s = t.add_child(t.root(), NodeKind::Steiner, Point::new(0, 500));
+        t.add_child(s, NodeKind::Sink(1), Point::new(0, 1000));
+        t
+    }
+
+    #[test]
+    fn evaluation_matches_hand_computation() {
+        let tech = tech();
+        let driver = Driver::default();
+        let loads = [Cap::from_ff(10.0), Cap::from_ff(20.0)];
+        let reqs = [1000.0, 1000.0];
+        let t = two_sink_tree();
+        let eval = t.evaluate(&tech, &driver, &loads, &reqs);
+
+        // By hand: branch A = wire(1000) -> 10fF ; branch B = wire(500) ->
+        // steiner -> wire(500) -> 20fF.
+        let w = &tech.wire;
+        let ca = w.wire_cap(1000) + loads[0];
+        let cb2 = w.wire_cap(500) + loads[1];
+        let cb = w.wire_cap(500) + cb2;
+        let root_load = ca + cb;
+        assert_eq!(eval.root_load, root_load);
+
+        let req_a = 1000.0 - w.elmore_ps(1000, loads[0]);
+        let req_b = 1000.0 - w.elmore_ps(500, cb2) - w.elmore_ps(500, loads[1]);
+        let expect = req_a.min(req_b) - driver.delay_linear_ps(root_load);
+        assert!((eval.root_required_ps - expect).abs() < 1e-6);
+        assert_eq!(eval.buffer_area, 0);
+        assert_eq!(eval.wirelength, 2000);
+    }
+
+    #[test]
+    fn forward_and_backward_passes_agree() {
+        // With equal sink required times R, delay = R - root_req must equal
+        // the max source-to-sink delay.
+        let tech = tech();
+        let driver = Driver::default();
+        let loads = [Cap::from_ff(10.0), Cap::from_ff(20.0)];
+        let reqs = [750.0, 750.0];
+        let t = two_sink_tree();
+        let eval = t.evaluate(&tech, &driver, &loads, &reqs);
+        let max_delay = eval
+            .sink_delays_ps
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((eval.delay_ps - max_delay).abs() < 1e-6);
+    }
+
+    #[test]
+    fn buffer_decouples_load() {
+        let tech = tech();
+        let driver = Driver::default();
+        let loads = [Cap::from_ff(200.0)];
+        let reqs = [1000.0];
+
+        let mut plain = BufferedTree::new(Point::new(0, 0));
+        plain.add_child(plain.root(), NodeKind::Sink(0), Point::new(8000, 0));
+
+        let mut buffered = BufferedTree::new(Point::new(0, 0));
+        let b = buffered.add_child(buffered.root(), NodeKind::Buffer(20), Point::new(4000, 0));
+        buffered.add_child(b, NodeKind::Sink(0), Point::new(8000, 0));
+
+        let e1 = plain.evaluate(&tech, &driver, &loads, &reqs);
+        let e2 = buffered.evaluate(&tech, &driver, &loads, &reqs);
+        // A mid-wire buffer on a long heavily-loaded run improves required time.
+        assert!(e2.root_required_ps > e1.root_required_ps);
+        assert!(e2.buffer_area > 0);
+        assert!(e2.root_load < e1.root_load);
+    }
+
+    #[test]
+    fn validate_catches_structural_errors() {
+        let tech = tech();
+        let mut t = BufferedTree::new(Point::new(0, 0));
+        t.add_child(t.root(), NodeKind::Sink(0), Point::new(10, 0));
+        assert_eq!(
+            t.validate(2, &tech),
+            Err(ValidateTreeError::MissingSinks(1))
+        );
+        t.add_child(t.root(), NodeKind::Sink(0), Point::new(0, 10));
+        assert_eq!(
+            t.validate(2, &tech),
+            Err(ValidateTreeError::DuplicateSink(0))
+        );
+        let mut t2 = BufferedTree::new(Point::new(0, 0));
+        t2.add_child(t2.root(), NodeKind::Sink(7), Point::new(1, 1));
+        assert_eq!(
+            t2.validate(2, &tech),
+            Err(ValidateTreeError::UnknownSink(7))
+        );
+    }
+
+    #[test]
+    fn sink_order_is_left_to_right() {
+        let mut t = BufferedTree::new(Point::new(0, 0));
+        let a = t.add_child(t.root(), NodeKind::Steiner, Point::new(1, 0));
+        t.add_child(a, NodeKind::Sink(2), Point::new(2, 0));
+        t.add_child(a, NodeKind::Sink(0), Point::new(3, 0));
+        t.add_child(t.root(), NodeKind::Sink(1), Point::new(0, 5));
+        assert_eq!(t.sink_order(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn detailed_evaluation_tracks_slew() {
+        let tech = tech();
+        let driver = Driver::default();
+        let loads = [Cap::from_ff(30.0)];
+        let reqs = [500.0];
+        let mut t = BufferedTree::new(Point::new(0, 0));
+        t.add_child(t.root(), NodeKind::Sink(0), Point::new(6000, 0));
+        let fast = t.evaluate_detailed(&tech, &driver, &loads, &reqs, 0.0);
+        let slow = t.evaluate_detailed(&tech, &driver, &loads, &reqs, 200.0);
+        assert!(slow.sink_arrivals_ps[0] > fast.sink_arrivals_ps[0]);
+        assert!(fast.sink_slews_ps[0] > 0.0);
+        assert!(slow.worst_slack_ps < fast.worst_slack_ps);
+    }
+}

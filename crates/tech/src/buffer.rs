@@ -1,0 +1,115 @@
+//! Buffer cells.
+
+use crate::delay::FourParam;
+use crate::units::{rc_ps, Cap, PsTime};
+
+/// A non-inverting buffer cell.
+///
+/// Two delay views are provided:
+///
+/// * the **linear RC** view `d = intrinsic + R_drv · C_L`, used inside every
+///   dynamic program (this is the model of [Gi90], [To90] and [LCLH96], and
+///   keeps the DP monotone — Lemma 8),
+/// * the **4-parameter** view [LSP98] `d = k0 + k1·C_L + (k2 + k3·C_L)·S_in`
+///   with output-slew propagation, used for the final post-construction
+///   timing evaluation (see [`crate::delay`]).
+///
+/// # Examples
+///
+/// ```
+/// use merlin_tech::{Buffer, units::Cap};
+///
+/// let b = Buffer::sized("BUF_X4", 4.0);
+/// assert!(b.delay_linear_ps(Cap::from_ff(200.0)) > b.intrinsic_ps);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Buffer {
+    /// Cell name (e.g. `BUF_X4`).
+    pub name: String,
+    /// Input capacitance.
+    pub cin: Cap,
+    /// Effective drive resistance in Ω.
+    pub rdrv_ohm: f64,
+    /// Intrinsic (unloaded) delay in ps.
+    pub intrinsic_ps: PsTime,
+    /// Cell area in λ².
+    pub area: u64,
+    /// Maximum capacitive load the cell is characterized to drive.
+    /// Engines enforce it only when their `enforce_max_load` knob is on
+    /// (the paper's formulation has no load limits).
+    pub max_load: Cap,
+    /// 4-parameter delay coefficients for the detailed evaluation.
+    pub four_param: FourParam,
+}
+
+impl Buffer {
+    /// Builds a buffer of relative drive strength `size` with the synthetic
+    /// 0.35 µm scaling rules:
+    ///
+    /// * `cin  = 2.5 fF · size`
+    /// * `R    = 4200 Ω / size`
+    /// * `d0   = 42 ps + 14·ln(size)` (larger buffers have more stages)
+    /// * `area = 700 + 650·size λ²`
+    pub fn sized(name: &str, size: f64) -> Buffer {
+        assert!(size > 0.0, "buffer size must be positive");
+        let rdrv = 4200.0 / size;
+        let intrinsic = 42.0 + 14.0 * size.ln().max(0.0);
+        Buffer {
+            name: name.to_owned(),
+            cin: Cap::from_ff(2.5 * size),
+            rdrv_ohm: rdrv,
+            intrinsic_ps: intrinsic,
+            area: (700.0 + 650.0 * size).round() as u64,
+            // ~25 fF of drivable load per unit of drive strength — the
+            // usual "max transition" budget of a 0.35 µm cell.
+            max_load: Cap::from_ff(60.0 * size),
+            four_param: FourParam::from_rc(intrinsic, rdrv),
+        }
+    }
+
+    /// Linear RC delay driving `load`.
+    pub fn delay_linear_ps(&self, load: Cap) -> PsTime {
+        self.intrinsic_ps + rc_ps(self.rdrv_ohm, load.to_ff())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_buffers_drive_faster_under_load() {
+        let small = Buffer::sized("x1", 1.0);
+        let big = Buffer::sized("x16", 16.0);
+        let heavy = Cap::from_ff(500.0);
+        assert!(big.delay_linear_ps(heavy) < small.delay_linear_ps(heavy));
+    }
+
+    #[test]
+    fn bigger_buffers_cost_more_area_and_cap() {
+        let small = Buffer::sized("x1", 1.0);
+        let big = Buffer::sized("x16", 16.0);
+        assert!(big.area > small.area);
+        assert!(big.cin > small.cin);
+    }
+
+    #[test]
+    fn unloaded_delay_is_intrinsic() {
+        let b = Buffer::sized("x2", 2.0);
+        assert_eq!(b.delay_linear_ps(Cap::ZERO), b.intrinsic_ps);
+    }
+
+    #[test]
+    fn max_load_scales_with_size() {
+        let small = Buffer::sized("x1", 1.0);
+        let big = Buffer::sized("x8", 8.0);
+        assert!(big.max_load > small.max_load);
+        assert!(small.max_load > small.cin);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        let _ = Buffer::sized("bad", 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! The net driver (root gate).
+
+use crate::delay::FourParam;
+use crate::units::{rc_ps, Cap, PsTime};
+
+/// The gate driving a net's root.
+///
+/// The optimization objective of the paper is the *required time at the
+/// driver*: the best required time among the root's immediate loads minus
+/// the driver's own load-dependent delay. A `Driver` carries just enough
+/// electrical information to evaluate that.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_tech::{Driver, units::Cap};
+///
+/// let d = Driver::with_strength(2.0);
+/// let req_at_input = d.required_at_input(1000.0, Cap::from_ff(80.0));
+/// assert!(req_at_input < 1000.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Driver {
+    /// Effective drive resistance in Ω.
+    pub rdrv_ohm: f64,
+    /// Intrinsic delay in ps.
+    pub intrinsic_ps: PsTime,
+    /// 4-parameter coefficients for detailed evaluation.
+    pub four_param: FourParam,
+}
+
+impl Driver {
+    /// A driver of relative strength `size` (same scaling family as the
+    /// synthetic buffer library).
+    pub fn with_strength(size: f64) -> Driver {
+        assert!(size > 0.0, "driver strength must be positive");
+        let rdrv = 4200.0 / size;
+        let intrinsic = 45.0 + 12.0 * size.ln().max(0.0);
+        Driver {
+            rdrv_ohm: rdrv,
+            intrinsic_ps: intrinsic,
+            four_param: FourParam::from_rc(intrinsic, rdrv),
+        }
+    }
+
+    /// Linear RC delay of the driver for root load `load`.
+    pub fn delay_linear_ps(&self, load: Cap) -> PsTime {
+        self.intrinsic_ps + rc_ps(self.rdrv_ohm, load.to_ff())
+    }
+
+    /// Required time at the driver *input*, given the required time at the
+    /// net root and the load the driver sees there.
+    pub fn required_at_input(&self, req_at_root: PsTime, load: Cap) -> PsTime {
+        req_at_root - self.delay_linear_ps(load)
+    }
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Driver::with_strength(4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stronger_driver_is_faster() {
+        let weak = Driver::with_strength(1.0);
+        let strong = Driver::with_strength(8.0);
+        let load = Cap::from_ff(300.0);
+        assert!(strong.delay_linear_ps(load) < weak.delay_linear_ps(load));
+    }
+
+    #[test]
+    fn required_time_moves_backwards() {
+        let d = Driver::default();
+        let load = Cap::from_ff(50.0);
+        assert!(d.required_at_input(0.0, load) < 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Technology substrate for the MERLIN reproduction.
+//!
+//! The paper's experiments use an industrial 0.35 µm standard-cell library
+//! with 34 buffers, Elmore wire delays, and a 4-parameter gate-delay
+//! equation [LSP98]. This crate provides faithful, self-contained stand-ins
+//! for all of that:
+//!
+//! * [`units`] — capacitance/time/area unit conventions (capacitance is
+//!   quantized, which is what bounds the `q` in the paper's
+//!   pseudo-polynomial complexity statements),
+//! * [`wire::WireModel`] — per-λ wire resistance/capacitance and Elmore
+//!   delay of an unbranched wire,
+//! * [`buffer::Buffer`] / [`library::BufferLibrary`] — buffer cells and the
+//!   synthetic 34-buffer 0.35 µm library,
+//! * [`delay`] — the 4-parameter gate-delay equation with output-slew
+//!   propagation (used for final evaluation; the DP uses the linear RC
+//!   form, as in the paper's own references),
+//! * [`btree::BufferedTree`] — the buffered rectilinear routing tree that
+//!   every algorithm in the workspace produces, together with an
+//!   *independent* Elmore evaluator used to cross-check DP bookkeeping.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_tech::{BufferLibrary, Technology};
+//!
+//! let tech = Technology::synthetic_035();
+//! assert_eq!(tech.library.len(), 34);
+//! let b = &tech.library[0];
+//! // A buffer driving a 100 fF load has a positive delay.
+//! assert!(b.delay_linear_ps(merlin_tech::units::Cap::from_ff(100.0)) > 0.0);
+//! ```
+
+pub mod btree;
+pub mod buffer;
+pub mod delay;
+pub mod driver;
+pub mod library;
+pub mod rcnet;
+pub mod svg;
+pub mod units;
+pub mod wire;
+
+pub use btree::{BufferedTree, Evaluation, NodeId, NodeKind, TreeNode};
+pub use buffer::Buffer;
+pub use driver::Driver;
+pub use library::BufferLibrary;
+pub use units::{Cap, PsTime};
+pub use wire::WireModel;
+
+/// A complete technology description: wire model + buffer library.
+///
+/// Everything the optimization engines need to know about the process is
+/// collected here so it can be passed around as one `&Technology`.
+#[derive(Clone, Debug)]
+pub struct Technology {
+    /// Interconnect RC model.
+    pub wire: WireModel,
+    /// Available buffer cells.
+    pub library: BufferLibrary,
+}
+
+impl Technology {
+    /// The synthetic 0.35 µm technology used throughout the reproduction:
+    /// a 34-buffer library with geometrically spaced drive strengths and a
+    /// wire model with realistic per-λ RC (λ = 0.2 µm).
+    pub fn synthetic_035() -> Self {
+        Technology {
+            wire: WireModel::synthetic_035(),
+            library: BufferLibrary::synthetic_035(),
+        }
+    }
+
+    /// A deliberately tiny technology (few buffers, coarse quantization)
+    /// for unit tests and exhaustive cross-checks.
+    pub fn tiny_test() -> Self {
+        Technology {
+            wire: WireModel::synthetic_035(),
+            library: BufferLibrary::tiny_test(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_library_has_34_buffers() {
+        let t = Technology::synthetic_035();
+        assert_eq!(t.library.len(), 34);
+    }
+
+    #[test]
+    fn tiny_library_is_small() {
+        let t = Technology::tiny_test();
+        assert!(t.library.len() <= 4);
+    }
+}

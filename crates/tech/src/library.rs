@@ -1,0 +1,175 @@
+//! Buffer libraries.
+
+use std::ops::Index;
+
+use crate::buffer::Buffer;
+
+/// An ordered collection of buffer cells.
+///
+/// Index 0 is the weakest buffer; indices are stable and used as compact
+/// `u16` handles in solution curves.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_tech::BufferLibrary;
+///
+/// let lib = BufferLibrary::synthetic_035();
+/// assert_eq!(lib.len(), 34);
+/// assert!(lib[0].cin < lib[33].cin);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BufferLibrary {
+    buffers: Vec<Buffer>,
+}
+
+impl BufferLibrary {
+    /// Builds a library from an explicit buffer list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffers` is empty.
+    pub fn new(buffers: Vec<Buffer>) -> Self {
+        assert!(!buffers.is_empty(), "a buffer library cannot be empty");
+        BufferLibrary { buffers }
+    }
+
+    /// The synthetic 34-buffer 0.35 µm library: drive strengths spaced
+    /// geometrically from 1× to 64× (ratio 64^(1/33) ≈ 1.134), mirroring
+    /// the spread of the industrial library used in the paper.
+    pub fn synthetic_035() -> Self {
+        let ratio = 64f64.powf(1.0 / 33.0);
+        let buffers = (0..34)
+            .map(|i| {
+                let size = ratio.powi(i);
+                Buffer::sized(&format!("BUF_X{:.2}", size), size)
+            })
+            .collect();
+        BufferLibrary { buffers }
+    }
+
+    /// A 3-buffer library for unit tests and exhaustive cross-checks.
+    pub fn tiny_test() -> Self {
+        BufferLibrary {
+            buffers: vec![
+                Buffer::sized("T1", 1.0),
+                Buffer::sized("T4", 4.0),
+                Buffer::sized("T16", 16.0),
+            ],
+        }
+    }
+
+    /// A thinned copy keeping every `stride`-th buffer (always keeps the
+    /// first and last). Used by large-instance configurations to trade a
+    /// little quality for a large constant-factor speedup; the paper's `m`
+    /// enters the runtime bound linearly (Theorem 6).
+    pub fn thinned(&self, stride: usize) -> BufferLibrary {
+        let stride = stride.max(1);
+        let last = self.buffers.len() - 1;
+        let mut buffers: Vec<Buffer> = self
+            .buffers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % stride == 0 || *i == last)
+            .map(|(_, b)| b.clone())
+            .collect();
+        buffers.dedup_by(|a, b| a.name == b.name);
+        BufferLibrary { buffers }
+    }
+
+    /// Number of buffers.
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// A library is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the buffers, weakest first.
+    pub fn iter(&self) -> std::slice::Iter<'_, Buffer> {
+        self.buffers.iter()
+    }
+
+    /// Buffer by index, if in range.
+    pub fn get(&self, idx: usize) -> Option<&Buffer> {
+        self.buffers.get(idx)
+    }
+
+    /// The strongest buffer.
+    pub fn strongest(&self) -> &Buffer {
+        self.buffers.last().expect("library is never empty")
+    }
+}
+
+impl Index<usize> for BufferLibrary {
+    type Output = Buffer;
+    fn index(&self, idx: usize) -> &Buffer {
+        &self.buffers[idx]
+    }
+}
+
+impl<'a> IntoIterator for &'a BufferLibrary {
+    type Item = &'a Buffer;
+    type IntoIter = std::slice::Iter<'a, Buffer>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buffers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Cap;
+
+    #[test]
+    fn synthetic_library_spans_1x_to_64x() {
+        let lib = BufferLibrary::synthetic_035();
+        let first = &lib[0];
+        let last = lib.strongest();
+        assert!((last.cin.to_ff() / first.cin.to_ff() - 64.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn library_is_sorted_by_strength() {
+        let lib = BufferLibrary::synthetic_035();
+        for w in lib.iter().collect::<Vec<_>>().windows(2) {
+            assert!(w[0].cin <= w[1].cin);
+            assert!(w[0].rdrv_ohm >= w[1].rdrv_ohm);
+        }
+    }
+
+    #[test]
+    fn thinning_keeps_extremes() {
+        let lib = BufferLibrary::synthetic_035();
+        let thin = lib.thinned(5);
+        assert!(thin.len() < lib.len());
+        assert_eq!(thin[0].name, lib[0].name);
+        assert_eq!(thin.strongest().name, lib.strongest().name);
+    }
+
+    #[test]
+    fn heavier_load_prefers_bigger_buffer() {
+        // Sanity: under a huge load, the fastest library buffer is a big one.
+        let lib = BufferLibrary::synthetic_035();
+        let load = Cap::from_ff(2000.0);
+        let best = lib
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.delay_linear_ps(load)
+                    .partial_cmp(&b.1.delay_linear_ps(load))
+                    .unwrap()
+            })
+            .unwrap()
+            .0;
+        assert!(best > lib.len() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_library_panics() {
+        let _ = BufferLibrary::new(Vec::new());
+    }
+}

@@ -1,0 +1,328 @@
+//! RC-network extraction from buffered trees, with an independent Elmore
+//! evaluator and a SPICE-compatible export.
+//!
+//! [`crate::btree::BufferedTree::evaluate`] computes delays recursively on
+//! the tree. This module takes the opposite route: it *extracts* the tree
+//! into an explicit RC network (π-model per wire: `R` between the
+//! endpoints, `C/2` lumped at each), cuts it into stages at buffers, and
+//! computes Elmore delays by the textbook path-resistance formula
+//!
+//! ```text
+//! d(node) = Σ over resistors k on the root→node path of R_k · C_downstream(k)
+//! ```
+//!
+//! Agreement between the two evaluators (and the DP bookkeeping) is one of
+//! the repository's strongest cross-checks, because the code paths share
+//! nothing but the wire model constants. The [`RcNetwork::to_spice`]
+//! export lets the skeptical user re-verify with an external simulator.
+
+use merlin_geom::manhattan;
+
+use crate::btree::{BufferedTree, NodeKind};
+use crate::driver::Driver;
+use crate::units::{Cap, PsTime};
+use crate::Technology;
+
+/// One extracted stage: an RC tree driven by the net driver (stage 0) or
+/// by a buffer.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// Driving resistance (Ω) of the stage's source (driver or buffer).
+    pub drive_res_ohm: f64,
+    /// Intrinsic delay (ps) of the stage's source.
+    pub intrinsic_ps: PsTime,
+    /// Stage-local node capacitances in fF (index 0 = stage root).
+    pub node_cap_ff: Vec<f64>,
+    /// Resistors `(from, to, ohm)`; `to`'s subtree hangs below `from`.
+    pub resistors: Vec<(usize, usize, f64)>,
+    /// Stage-local node index of each handoff: either a net sink
+    /// (`Handoff::Sink`) or the input of a deeper stage
+    /// (`Handoff::Stage`).
+    pub handoffs: Vec<(usize, Handoff)>,
+}
+
+/// What a stage node hands its signal to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Handoff {
+    /// A net sink, by sink index.
+    Sink(u32),
+    /// A deeper stage, by stage index.
+    Stage(usize),
+}
+
+/// A staged RC network extracted from a [`BufferedTree`].
+#[derive(Clone, Debug)]
+pub struct RcNetwork {
+    /// The stages; index 0 is driven by the net driver.
+    pub stages: Vec<Stage>,
+}
+
+impl RcNetwork {
+    /// Extracts the network of `tree`.
+    pub fn from_tree(tree: &BufferedTree, tech: &Technology, sink_loads: &[Cap]) -> RcNetwork {
+        use std::collections::VecDeque;
+        let mut stages: Vec<Stage> = Vec::new();
+        // FIFO of pending stages; each entry carries its pre-assigned
+        // stage id so buffer handoffs can reference it immediately.
+        let mut queue: VecDeque<(crate::btree::NodeId, f64, f64, usize)> = VecDeque::new();
+        queue.push_back((tree.root(), 0.0, 0.0, 0));
+        let mut next_id = 1usize;
+        while let Some((start, res, intr, id)) = queue.pop_front() {
+            debug_assert_eq!(id, stages.len(), "FIFO preserves id order");
+            let mut stage = Stage {
+                drive_res_ohm: res,
+                intrinsic_ps: intr,
+                node_cap_ff: vec![0.0],
+                resistors: Vec::new(),
+                handoffs: Vec::new(),
+            };
+            // DFS within the stage; (tree node, stage-local node).
+            let mut walk = vec![(start, 0usize)];
+            while let Some((tn, local)) = walk.pop() {
+                for &ch in &tree.node(tn).children {
+                    let child = tree.node(ch);
+                    let len = manhattan(tree.node(tn).at, child.at);
+                    let wire_c = tech.wire.wire_cap(len).to_ff();
+                    let wire_r = tech.wire.wire_res(len);
+                    let child_local = stage.node_cap_ff.len();
+                    stage.node_cap_ff.push(wire_c / 2.0);
+                    stage.node_cap_ff[local] += wire_c / 2.0;
+                    stage.resistors.push((local, child_local, wire_r));
+                    match child.kind {
+                        NodeKind::Sink(s) => {
+                            stage.node_cap_ff[child_local] +=
+                                sink_loads[s as usize].to_ff();
+                            stage.handoffs.push((child_local, Handoff::Sink(s)));
+                        }
+                        NodeKind::Buffer(b) => {
+                            let buf = &tech.library[b as usize];
+                            stage.node_cap_ff[child_local] += buf.cin.to_ff();
+                            stage
+                                .handoffs
+                                .push((child_local, Handoff::Stage(next_id)));
+                            queue.push_back((
+                                ch,
+                                buf.rdrv_ohm,
+                                buf.intrinsic_ps,
+                                next_id,
+                            ));
+                            next_id += 1;
+                        }
+                        _ => {
+                            walk.push((ch, child_local));
+                        }
+                    }
+                }
+            }
+            stages.push(stage);
+        }
+        RcNetwork { stages }
+    }
+
+    /// Total capacitance a stage's source drives.
+    pub fn stage_load_ff(&self, stage: usize) -> f64 {
+        self.stages[stage].node_cap_ff.iter().sum()
+    }
+
+    /// Elmore delay from the stage source (including its drive resistance
+    /// and intrinsic delay) to a stage-local node.
+    pub fn stage_delay_ps(&self, stage: usize, node: usize) -> PsTime {
+        let st = &self.stages[stage];
+        // Downstream capacitance per resistor, and path membership.
+        let n = st.node_cap_ff.len();
+        let mut children: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(a, b, r) in &st.resistors {
+            children[a].push((b, r));
+        }
+        // Subtree caps by post-order.
+        fn subtree_cap(
+            v: usize,
+            children: &[Vec<(usize, f64)>],
+            caps: &[f64],
+            memo: &mut [f64],
+        ) -> f64 {
+            if memo[v] >= 0.0 {
+                return memo[v];
+            }
+            let mut total = caps[v];
+            for &(c, _) in &children[v] {
+                total += subtree_cap(c, children, caps, memo);
+            }
+            memo[v] = total;
+            total
+        }
+        let mut memo = vec![-1.0f64; n];
+        let total = subtree_cap(0, &children, &st.node_cap_ff, &mut memo);
+        // Path root -> node.
+        let mut parent = vec![usize::MAX; n];
+        for &(a, b, _) in &st.resistors {
+            parent[b] = a;
+        }
+        let res_of = |a: usize, b: usize| -> f64 {
+            st.resistors
+                .iter()
+                .find(|&&(x, y, _)| x == a && y == b)
+                .map(|&(_, _, r)| r)
+                .expect("edge exists")
+        };
+        let mut d = st.intrinsic_ps + st.drive_res_ohm * total * 1e-3;
+        let mut v = node;
+        while parent[v] != usize::MAX {
+            let p = parent[v];
+            d += res_of(p, v) * memo[v] * 1e-3;
+            v = p;
+        }
+        d
+    }
+
+    /// Source-to-sink Elmore delays for all sinks, index-aligned with the
+    /// original net (absent sinks yield `NaN`). `driver` supplies stage 0's
+    /// electrical model.
+    pub fn sink_delays_ps(&self, driver: &Driver, num_sinks: usize) -> Vec<PsTime> {
+        let mut out = vec![f64::NAN; num_sinks];
+        // Arrival at each stage input.
+        let mut stage_arrival = vec![f64::NAN; self.stages.len()];
+        stage_arrival[0] = 0.0;
+        // Stage 0 uses the driver's parameters.
+        let mut stages = self.stages.clone();
+        stages[0].drive_res_ohm = driver.rdrv_ohm;
+        stages[0].intrinsic_ps = driver.intrinsic_ps;
+        let net = RcNetwork { stages };
+        // Stages are topologically ordered by construction (children have
+        // larger indices).
+        for s in 0..net.stages.len() {
+            let base = stage_arrival[s];
+            if base.is_nan() {
+                continue;
+            }
+            for &(node, handoff) in &net.stages[s].handoffs {
+                let d = base + net.stage_delay_ps(s, node);
+                match handoff {
+                    Handoff::Sink(k) => out[k as usize] = d,
+                    Handoff::Stage(t) => stage_arrival[t] = d,
+                }
+            }
+        }
+        out
+    }
+
+    /// A SPICE deck of the network (subckt per stage, resistors and
+    /// grounded capacitors; buffer stages noted as comments), for external
+    /// verification.
+    pub fn to_spice(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "* {title}");
+        for (si, st) in self.stages.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "* stage {si}: Rdrv={:.1} intrinsic={:.1}ps",
+                st.drive_res_ohm, st.intrinsic_ps
+            );
+            for (i, c) in st.node_cap_ff.iter().enumerate() {
+                if *c > 0.0 {
+                    let _ = writeln!(s, "C{si}_{i} n{si}_{i} 0 {:.3}f", c);
+                }
+            }
+            for (k, (a, b, r)) in st.resistors.iter().enumerate() {
+                let _ = writeln!(s, "R{si}_{k} n{si}_{a} n{si}_{b} {:.3}", r);
+            }
+            for (node, h) in &st.handoffs {
+                match h {
+                    Handoff::Sink(k) => {
+                        let _ = writeln!(s, "* sink {k} at n{si}_{node}");
+                    }
+                    Handoff::Stage(t) => {
+                        let _ = writeln!(s, "* buffer to stage {t} at n{si}_{node}");
+                    }
+                }
+            }
+        }
+        s.push_str(".end\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_geom::Point;
+
+    fn tech() -> Technology {
+        Technology::synthetic_035()
+    }
+
+    #[test]
+    fn single_wire_matches_tree_evaluator() {
+        let tech = tech();
+        let driver = Driver::default();
+        let loads = [Cap::from_ff(37.0)];
+        let reqs = [1000.0];
+        let mut t = BufferedTree::new(Point::new(0, 0));
+        t.add_child(t.root(), NodeKind::Sink(0), Point::new(4000, 1000));
+        let eval = t.evaluate(&tech, &driver, &loads, &reqs);
+        let net = RcNetwork::from_tree(&t, &tech, &loads);
+        let d = net.sink_delays_ps(&driver, 1);
+        assert!(
+            (d[0] - eval.sink_delays_ps[0]).abs() < 1e-6,
+            "{} vs {}",
+            d[0],
+            eval.sink_delays_ps[0]
+        );
+    }
+
+    #[test]
+    fn buffered_branchy_tree_matches_tree_evaluator() {
+        let tech = tech();
+        let driver = Driver::with_strength(2.0);
+        let loads = [Cap::from_ff(20.0), Cap::from_ff(8.0), Cap::from_ff(33.0)];
+        let reqs = [900.0, 800.0, 1000.0];
+        let mut t = BufferedTree::new(Point::new(0, 0));
+        let st = t.add_child(t.root(), NodeKind::Steiner, Point::new(1500, 0));
+        t.add_child(st, NodeKind::Sink(0), Point::new(1500, 2500));
+        let b = t.add_child(st, NodeKind::Buffer(12), Point::new(3000, 0));
+        let st2 = t.add_child(b, NodeKind::Steiner, Point::new(5000, 500));
+        t.add_child(st2, NodeKind::Sink(1), Point::new(5000, 3000));
+        let b2 = t.add_child(st2, NodeKind::Buffer(4), Point::new(7000, 500));
+        t.add_child(b2, NodeKind::Sink(2), Point::new(9000, 2000));
+
+        let eval = t.evaluate(&tech, &driver, &loads, &reqs);
+        let net = RcNetwork::from_tree(&t, &tech, &loads);
+        assert_eq!(net.stages.len(), 3);
+        let d = net.sink_delays_ps(&driver, 3);
+        for k in 0..3 {
+            assert!(
+                (d[k] - eval.sink_delays_ps[k]).abs() < 1e-6,
+                "sink {k}: {} vs {}",
+                d[k],
+                eval.sink_delays_ps[k]
+            );
+        }
+    }
+
+    #[test]
+    fn stage_load_matches_root_load() {
+        let tech = tech();
+        let loads = [Cap::from_ff(10.0)];
+        let mut t = BufferedTree::new(Point::new(0, 0));
+        t.add_child(t.root(), NodeKind::Sink(0), Point::new(2000, 0));
+        let net = RcNetwork::from_tree(&t, &tech, &loads);
+        let eval = t.evaluate(&tech, &Driver::default(), &loads, &[0.0]);
+        assert!((net.stage_load_ff(0) - eval.root_load.to_ff()).abs() < 0.2);
+    }
+
+    #[test]
+    fn spice_deck_shape() {
+        let tech = tech();
+        let loads = [Cap::from_ff(10.0)];
+        let mut t = BufferedTree::new(Point::new(0, 0));
+        let b = t.add_child(t.root(), NodeKind::Buffer(0), Point::new(500, 0));
+        t.add_child(b, NodeKind::Sink(0), Point::new(900, 0));
+        let net = RcNetwork::from_tree(&t, &tech, &loads);
+        let deck = net.to_spice("unit test");
+        assert!(deck.starts_with("* unit test"));
+        assert!(deck.contains("* stage 1"));
+        assert!(deck.trim_end().ends_with(".end"));
+        assert!(deck.matches("\nR").count() >= 2);
+    }
+}

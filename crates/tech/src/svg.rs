@@ -1,0 +1,142 @@
+//! SVG rendering of buffered routing trees (debugging / documentation).
+//!
+//! Pure string generation — no drawing dependencies. Wires are drawn as
+//! their canonical L-shapes, sinks as circles, buffers as triangles, the
+//! source as a square.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_geom::Point;
+//! use merlin_tech::{svg, BufferedTree, NodeKind};
+//!
+//! let mut t = BufferedTree::new(Point::new(0, 0));
+//! t.add_child(t.root(), NodeKind::Sink(0), Point::new(100, 50));
+//! let image = svg::render(&t);
+//! assert!(image.starts_with("<svg"));
+//! assert!(image.contains("<circle"));
+//! ```
+
+use merlin_geom::Route;
+
+use crate::btree::{BufferedTree, NodeKind};
+
+/// Renders a tree to a standalone SVG document string.
+pub fn render(tree: &BufferedTree) -> String {
+    use std::fmt::Write as _;
+    let (mut min_x, mut min_y) = (i64::MAX, i64::MAX);
+    let (mut max_x, mut max_y) = (i64::MIN, i64::MIN);
+    for (_, node) in tree.iter() {
+        min_x = min_x.min(node.at.x);
+        min_y = min_y.min(node.at.y);
+        max_x = max_x.max(node.at.x);
+        max_y = max_y.max(node.at.y);
+    }
+    let pad = ((max_x - min_x).max(max_y - min_y).max(1) / 20).max(10);
+    let (x0, y0) = (min_x - pad, min_y - pad);
+    let (w, h) = (max_x - min_x + 2 * pad, max_y - min_y + 2 * pad);
+    let marker = (w.max(h) / 60).max(4);
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"{x0} {y0} {w} {h}\">\n"
+    );
+    let _ = writeln!(
+        s,
+        "  <rect x=\"{x0}\" y=\"{y0}\" width=\"{w}\" height=\"{h}\" fill=\"white\"/>"
+    );
+    // Wires first (under the markers).
+    for (_, node) in tree.iter() {
+        for &c in &node.children {
+            let child = tree.node(c);
+            let route = Route::l_shaped(node.at, child.at);
+            let mid = route.corner().unwrap_or(child.at);
+            let _ = writeln!(
+                s,
+                "  <polyline points=\"{},{} {},{} {},{}\" fill=\"none\" \
+                 stroke=\"#4477aa\" stroke-width=\"{}\"/>",
+                node.at.x,
+                node.at.y,
+                mid.x,
+                mid.y,
+                child.at.x,
+                child.at.y,
+                (marker / 3).max(1)
+            );
+        }
+    }
+    for (_, node) in tree.iter() {
+        let (x, y) = (node.at.x, node.at.y);
+        match node.kind {
+            NodeKind::Source => {
+                let _ = writeln!(
+                    s,
+                    "  <rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#222222\"/>",
+                    x - marker,
+                    y - marker,
+                    2 * marker,
+                    2 * marker
+                );
+            }
+            NodeKind::Sink(i) => {
+                let _ = writeln!(
+                    s,
+                    "  <circle cx=\"{x}\" cy=\"{y}\" r=\"{marker}\" fill=\"#228833\">\
+                     <title>sink {i}</title></circle>"
+                );
+            }
+            NodeKind::Buffer(b) => {
+                let _ = writeln!(
+                    s,
+                    "  <polygon points=\"{},{} {},{} {},{}\" fill=\"#ee6677\">\
+                     <title>buffer {b}</title></polygon>",
+                    x - marker,
+                    y + marker,
+                    x + marker,
+                    y + marker,
+                    x,
+                    y - marker
+                );
+            }
+            NodeKind::Steiner => {
+                let _ = writeln!(
+                    s,
+                    "  <circle cx=\"{x}\" cy=\"{y}\" r=\"{}\" fill=\"#4477aa\"/>",
+                    (marker / 2).max(2)
+                );
+            }
+        }
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_geom::Point;
+
+    #[test]
+    fn renders_all_node_kinds() {
+        let mut t = BufferedTree::new(Point::new(0, 0));
+        let st = t.add_child(t.root(), NodeKind::Steiner, Point::new(50, 0));
+        let b = t.add_child(st, NodeKind::Buffer(3), Point::new(50, 40));
+        t.add_child(b, NodeKind::Sink(0), Point::new(90, 80));
+        let svg = render(&t);
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("<polygon"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.ends_with("</svg>\n"));
+        // One polyline per edge.
+        assert_eq!(svg.matches("<polyline").count(), 3);
+    }
+
+    #[test]
+    fn degenerate_single_node_tree_renders() {
+        let t = BufferedTree::new(Point::new(5, 5));
+        let svg = render(&t);
+        assert!(svg.starts_with("<svg"));
+    }
+}

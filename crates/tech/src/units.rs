@@ -1,0 +1,141 @@
+//! Unit conventions.
+//!
+//! | Quantity     | Representation                | Unit            |
+//! |--------------|-------------------------------|-----------------|
+//! | distance     | `i64` / `u64`                 | λ (0.2 µm)      |
+//! | capacitance  | [`Cap`] (`u32`)               | deci-femtofarad (0.1 fF) |
+//! | resistance   | `f64`                         | Ω               |
+//! | time         | [`PsTime`] = `f64`            | ps              |
+//! | area         | `u64`                         | λ²              |
+//!
+//! Capacitance is **quantized** to 0.1 fF. This is the "individual
+//! capacitive values are polynomially bounded integers" premise of the
+//! paper's Lemma 1 / Theorems 2, 5, 6: the number of distinct load values
+//! `q` that can appear on a solution curve is bounded, which is what makes
+//! the dynamic programs pseudo-polynomial rather than exponential.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Time in picoseconds.
+pub type PsTime = f64;
+
+/// Ω · fF expressed in picoseconds (1 Ω·fF = 10⁻³ ps).
+#[inline]
+pub fn rc_ps(r_ohm: f64, c_ff: f64) -> PsTime {
+    r_ohm * c_ff * 1e-3
+}
+
+/// Quantized capacitance in deci-femtofarads (1 unit = 0.1 fF).
+///
+/// `Cap` is a thin newtype over `u32`: additive, ordered and hashable, so it
+/// can serve directly as the load axis of solution curves.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_tech::units::Cap;
+///
+/// let a = Cap::from_ff(1.5);
+/// let b = Cap::from_ff(0.2);
+/// assert_eq!((a + b).to_ff(), 1.7);
+/// assert!(a > b);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cap(pub u32);
+
+impl Cap {
+    /// Zero capacitance.
+    pub const ZERO: Cap = Cap(0);
+
+    /// Quantizes a femtofarad value (rounding to nearest unit).
+    ///
+    /// Negative inputs saturate at zero.
+    pub fn from_ff(ff: f64) -> Cap {
+        Cap((ff * 10.0).round().max(0.0) as u32)
+    }
+
+    /// The capacitance in femtofarads.
+    pub fn to_ff(self) -> f64 {
+        self.0 as f64 / 10.0
+    }
+
+    /// Raw quantized units (deci-femtofarads).
+    pub fn units(self) -> u32 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Cap) -> Cap {
+        Cap(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Cap {
+    type Output = Cap;
+    fn add(self, rhs: Cap) -> Cap {
+        Cap(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cap {
+    fn add_assign(&mut self, rhs: Cap) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cap {
+    type Output = Cap;
+    fn sub(self, rhs: Cap) -> Cap {
+        Cap(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cap {
+    fn sum<I: Iterator<Item = Cap>>(iter: I) -> Cap {
+        iter.fold(Cap::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}fF", self.to_ff())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_round_trips_at_unit_resolution() {
+        for ff in [0.0, 0.1, 1.0, 3.7, 120.2] {
+            assert!((Cap::from_ff(ff).to_ff() - ff).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn negative_saturates() {
+        assert_eq!(Cap::from_ff(-3.0), Cap::ZERO);
+        assert_eq!(Cap(5).saturating_sub(Cap(9)), Cap::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let caps = [Cap::from_ff(1.0), Cap::from_ff(2.0), Cap::from_ff(3.0)];
+        let total: Cap = caps.iter().copied().sum();
+        assert_eq!(total, Cap::from_ff(6.0));
+    }
+
+    #[test]
+    fn rc_unit_sanity() {
+        // 1 kΩ driving 100 fF -> 100 ps.
+        assert!((rc_ps(1000.0, 100.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_ff() {
+        assert_eq!(Cap::from_ff(2.5).to_string(), "2.50fF");
+    }
+}

@@ -1,0 +1,126 @@
+//! Interconnect RC model and Elmore wire delay [El48].
+
+use crate::units::{rc_ps, Cap, PsTime};
+
+/// Distributed-RC wire model with per-λ resistance and capacitance.
+///
+/// The Elmore delay of an unbranched wire of length `ℓ` loaded by `C_L` is
+///
+/// ```text
+/// d = R_w · (C_w / 2 + C_L),   R_w = r·ℓ,   C_w = c·ℓ
+/// ```
+///
+/// which is exact for the distributed π-model and, crucially, depends only
+/// on the wire *length* — so any minimum-length rectilinear embedding of a
+/// point-to-point connection has the same delay.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_tech::{units::Cap, WireModel};
+///
+/// let w = WireModel::synthetic_035();
+/// let d1 = w.elmore_ps(1000, Cap::from_ff(50.0));
+/// let d2 = w.elmore_ps(2000, Cap::from_ff(50.0));
+/// assert!(d2 > 2.0 * d1); // super-linear growth with length
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireModel {
+    /// Wire resistance per λ, in Ω.
+    pub res_per_lambda: f64,
+    /// Wire capacitance per λ, in quantized units (deci-fF).
+    pub cap_units_per_lambda: f64,
+}
+
+impl WireModel {
+    /// Synthetic 0.35 µm interconnect: λ = 0.2 µm,
+    /// r ≈ 0.03 Ω/λ (0.15 Ω/µm), c ≈ 0.04 fF/λ (0.2 fF/µm).
+    pub fn synthetic_035() -> Self {
+        WireModel {
+            res_per_lambda: 0.03,
+            cap_units_per_lambda: 0.4, // 0.04 fF/λ in deci-fF
+        }
+    }
+
+    /// Total capacitance of a wire of `len` λ.
+    pub fn wire_cap(&self, len: u64) -> Cap {
+        Cap((self.cap_units_per_lambda * len as f64).round() as u32)
+    }
+
+    /// Total resistance of a wire of `len` λ, in Ω.
+    pub fn wire_res(&self, len: u64) -> f64 {
+        self.res_per_lambda * len as f64
+    }
+
+    /// Elmore delay of an unbranched wire of `len` λ driving `load`.
+    pub fn elmore_ps(&self, len: u64, load: Cap) -> PsTime {
+        let r = self.wire_res(len);
+        let cw = self.wire_cap(len).to_ff();
+        rc_ps(r, cw / 2.0 + load.to_ff())
+    }
+
+    /// The wire length whose unloaded Elmore delay equals `target_ps`.
+    ///
+    /// Solves `r·c/2 · ℓ² = target` for `ℓ`; used by the benchmark-net
+    /// generator to size bounding boxes so that "the delay of interconnect
+    /// is approximately equal to the delay of gate" (§IV).
+    pub fn length_for_delay(&self, target_ps: PsTime) -> u64 {
+        let rc_half = self.res_per_lambda * (self.cap_units_per_lambda / 10.0) / 2.0;
+        if rc_half <= 0.0 || target_ps <= 0.0 {
+            return 0;
+        }
+        // rc_half has units Ω·fF/λ² = 1e-3 ps/λ².
+        (target_ps / (rc_half * 1e-3)).sqrt().round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elmore_zero_length_is_zero() {
+        let w = WireModel::synthetic_035();
+        assert_eq!(w.elmore_ps(0, Cap::from_ff(100.0)), 0.0);
+        assert_eq!(w.wire_cap(0), Cap::ZERO);
+    }
+
+    #[test]
+    fn elmore_monotone_in_length_and_load() {
+        let w = WireModel::synthetic_035();
+        let base = w.elmore_ps(500, Cap::from_ff(10.0));
+        assert!(w.elmore_ps(600, Cap::from_ff(10.0)) > base);
+        assert!(w.elmore_ps(500, Cap::from_ff(20.0)) > base);
+    }
+
+    #[test]
+    fn elmore_closed_form() {
+        let w = WireModel {
+            res_per_lambda: 0.1,
+            cap_units_per_lambda: 1.0, // 0.1 fF/λ
+        };
+        // len=100: R=10Ω, Cw=10fF, load=40fF -> d = 10*(5+40) Ω·fF = 0.45 ps
+        let d = w.elmore_ps(100, Cap::from_ff(40.0));
+        assert!((d - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn length_for_delay_inverts_elmore() {
+        let w = WireModel::synthetic_035();
+        let len = w.length_for_delay(200.0);
+        let d = w.elmore_ps(len, Cap::ZERO);
+        assert!((d - 200.0).abs() / 200.0 < 0.02, "d = {d}");
+    }
+
+    #[test]
+    fn splitting_a_wire_preserves_elmore() {
+        // Elmore of an unbranched path is independent of where we cut it:
+        // d(ℓ, C) = d(ℓ1, C + Cw2) + d(ℓ2, C) for ℓ = ℓ1 + ℓ2.
+        let w = WireModel::synthetic_035();
+        let load = Cap::from_ff(25.0);
+        let whole = w.elmore_ps(1000, load);
+        let tail_cap = w.wire_cap(400);
+        let split = w.elmore_ps(600, Cap(load.0 + tail_cap.0)) + w.elmore_ps(400, load);
+        assert!((whole - split).abs() < 1e-6, "{whole} vs {split}");
+    }
+}

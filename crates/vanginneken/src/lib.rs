@@ -1,0 +1,35 @@
+//! van Ginneken's optimal buffer insertion on a fixed routing tree [Gi90].
+//!
+//! Given an already-routed tree, distribute buffers over candidate
+//! *stations* (the internal nodes plus points every `station_step` λ along
+//! the edges) so as to maximize the required time at the driver. The
+//! classical algorithm propagates `(load, required time)` pairs bottom-up;
+//! we carry the buffer-area dimension too, so the result is the same
+//! three-dimensional non-inferior curve used everywhere else in the
+//! workspace and both problem variants are answerable.
+//!
+//! This is the second stage of the paper's experimental **Flow II**
+//! (PTREE routing followed by buffer insertion): the strongest conventional
+//! *sequential* flow MERLIN is compared against — buffering decisions are
+//! made after (and therefore constrained by) the routing.
+//!
+//! # Examples
+//!
+//! ```
+//! use merlin_geom::Point;
+//! use merlin_tech::{BufferedTree, NodeKind, Technology, Driver, units::Cap};
+//! use merlin_vanginneken::{VanGinneken, VgConfig};
+//!
+//! let tech = Technology::synthetic_035();
+//! let mut route = BufferedTree::new(Point::new(0, 0));
+//! route.add_child(route.root(), NodeKind::Sink(0), Point::new(9000, 0));
+//! let vg = VanGinneken::new(&tech, VgConfig::default());
+//! let solved = vg.solve(&route, &Driver::default(), &[Cap::from_ff(150.0)], &[1200.0]);
+//! let buffered = solved.best_tree().expect("solvable");
+//! // A 9 mm-equivalent heavily loaded wire wants at least one buffer.
+//! assert!(buffered.evaluate(&tech, &Driver::default(), &[Cap::from_ff(150.0)], &[1200.0]).num_buffers >= 1);
+//! ```
+
+pub mod insert;
+
+pub use insert::{VanGinneken, VgConfig, VgSolved};

@@ -1,0 +1,66 @@
+//! Bubbling demonstrated: one `BUBBLE_CONSTRUCT` run covers the whole
+//! order neighborhood — shown by brute force on a small net.
+//!
+//! ```text
+//! cargo run --release --example bubbling_demo
+//! ```
+
+use merlin::{BubbleConstruct, Constraint, MerlinConfig};
+use merlin_geom::CandidateStrategy;
+use merlin_netlist::bench_nets::random_net;
+use merlin_order::fib::neighborhood_size;
+use merlin_order::neighborhood::enumerate;
+use merlin_order::tsp::tsp_order;
+use merlin_tech::Technology;
+
+fn main() {
+    let tech = Technology::tiny_test();
+    let n = 5;
+    let net = random_net("demo", n, 11, &tech);
+    let pi = tsp_order(net.source, &net.sink_positions());
+
+    let cfg = |bubbling: bool| MerlinConfig {
+        candidates: CandidateStrategy::ReducedHanan { max_points: 10 },
+        max_curve_points: 0, // exact
+        enable_bubbling: bubbling,
+        library_stride: 1,
+        reloc_neighbors: 0,
+        ..MerlinConfig::small_exact()
+    };
+
+    println!(
+        "initial order {pi} — |N(Π)| = {} orders (Theorem 1)\n",
+        neighborhood_size(n)
+    );
+
+    println!("fixed-order runs (χ0 only), one per neighborhood member:");
+    let mut best = f64::NEG_INFINITY;
+    let mut best_order = pi.clone();
+    for member in enumerate(&pi) {
+        let res = BubbleConstruct::new(&net, &tech, cfg(false)).run(&member);
+        let p = res.select(Constraint::best_req()).expect("solvable");
+        let req = res.driver_required(&p);
+        let marker = if req > best { "  <- best so far" } else { "" };
+        println!("  {member}  req = {req:9.2} ps{marker}");
+        if req > best {
+            best = req;
+            best_order = member;
+        }
+    }
+
+    let bubbled = BubbleConstruct::new(&net, &tech, cfg(true)).run(&pi);
+    let p = bubbled.select(Constraint::best_req()).expect("solvable");
+    let breq = bubbled.driver_required(&p);
+
+    println!("\nbest member        : {best_order}  req = {best:.2} ps");
+    println!("one bubbled run    : req = {breq:.2} ps");
+    println!(
+        "distinct *PTREE sub-problems solved by the bubbled run: {} (cache hits {})",
+        bubbled.stats.cache_misses, bubbled.stats.cache_hits
+    );
+    println!(
+        "\nTheorem 4: the single bubbled run matches the exhaustive scan \
+         (difference = {:.2e} ps) while sharing all common sub-problems.",
+        (breq - best).abs()
+    );
+}

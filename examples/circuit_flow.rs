@@ -1,0 +1,45 @@
+//! Whole-circuit flow: push a synthetic mapped circuit through the three
+//! flows and report chip-level area/delay — a single Table 2 row.
+//!
+//! ```text
+//! cargo run --release --example circuit_flow
+//! ```
+
+use merlin_flows::circuit_harness::{run_circuit, FlowKind};
+use merlin_netlist::generator::synthetic_circuit;
+use merlin_tech::Technology;
+
+fn main() {
+    let tech = Technology::synthetic_035();
+    let circuit = synthetic_circuit("demo", 80, 7);
+    println!(
+        "circuit `{}`: {} gates, {} nets, {} PIs, {} POs, avg fanout {:.2}",
+        circuit.name,
+        circuit.num_gates(),
+        circuit.nets.len(),
+        circuit.input_pos.len(),
+        circuit.output_pos.len(),
+        circuit.avg_fanout()
+    );
+    println!("cell area: {} kλ²\n", circuit.gate_area() / 1000);
+
+    println!(
+        "{:<26} {:>11} {:>12} {:>9} {:>9}",
+        "flow", "area(kλ²)", "critical(ps)", "buffers", "time(s)"
+    );
+    for (name, kind) in [
+        ("I: LTTREE + PTREE", FlowKind::Lttree),
+        ("II: PTREE + van Ginneken", FlowKind::PtreeVg),
+        ("III: MERLIN", FlowKind::Merlin),
+    ] {
+        let m = run_circuit(&circuit, &tech, kind);
+        println!(
+            "{:<26} {:>11} {:>12.1} {:>9} {:>9.2}",
+            name,
+            m.area / 1000,
+            m.critical_ps,
+            m.buffers,
+            m.runtime_s
+        );
+    }
+}

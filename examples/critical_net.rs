@@ -1,0 +1,57 @@
+//! Flow shoot-out on one critical net: LTTREE+PTREE vs PTREE+van Ginneken
+//! vs MERLIN — a single Table 1 row, narrated.
+//!
+//! ```text
+//! cargo run --release --example critical_net
+//! ```
+
+use merlin_flows::{flow0, flow1, flow2, flow3, FlowsConfig};
+use merlin_netlist::bench_nets::random_net;
+use merlin_tech::Technology;
+
+fn main() {
+    let tech = Technology::synthetic_035();
+    // A 14-sink net in the regime where wire delay ≈ gate delay.
+    let net = random_net("critical", 14, 4242, &tech);
+    let cfg = FlowsConfig::for_net_size(14);
+
+    println!(
+        "net `{}`: {} sinks over a {}×{} λ box\n",
+        net.name,
+        net.num_sinks(),
+        net.bbox().width(),
+        net.bbox().height()
+    );
+
+    let f0 = flow0::run(&net, &tech, &cfg);
+    let f1 = flow1::run(&net, &tech, &cfg);
+    let f2 = flow2::run(&net, &tech, &cfg);
+    let f3 = flow3::run(&net, &tech, &cfg);
+
+    println!(
+        "{:<28} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "flow", "delay(ps)", "req(ps)", "buffers", "area(λ²)", "time(s)"
+    );
+    for (name, r) in [
+        ("0: MST/Steiner + van G.", &f0),
+        ("I: LTTREE + PTREE", &f1),
+        ("II: PTREE + van Ginneken", &f2),
+        ("III: MERLIN", &f3),
+    ] {
+        println!(
+            "{:<28} {:>10.1} {:>10.1} {:>9} {:>9} {:>8.2}",
+            name,
+            r.eval.delay_ps,
+            r.eval.root_required_ps,
+            r.eval.num_buffers,
+            r.eval.buffer_area,
+            r.runtime_s
+        );
+    }
+    println!("\nMERLIN used {} local-search loop(s).", f3.loops);
+    println!(
+        "delay ratios over Flow I:  II = {:.2},  III = {:.2}",
+        f2.eval.delay_ps / f1.eval.delay_ps,
+        f3.eval.delay_ps / f1.eval.delay_ps
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: optimize one net with MERLIN and print the resulting
+//! buffered routing tree.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use merlin::{Merlin, MerlinConfig};
+use merlin_geom::Point;
+use merlin_netlist::{Net, Sink};
+use merlin_tech::units::Cap;
+use merlin_tech::{Driver, NodeKind, Technology};
+
+fn main() {
+    // A 0.35 µm-flavoured technology with a 34-buffer library.
+    let tech = Technology::synthetic_035();
+
+    // A hand-made net: a weak driver at the origin, five sinks spread over
+    // ~4 mm with mixed criticality.
+    let net = Net::new(
+        "quickstart",
+        Point::new(0, 0),
+        Driver::with_strength(2.0),
+        vec![
+            Sink::new(Point::new(18_000, 2_000), Cap::from_ff(25.0), 1400.0),
+            Sink::new(Point::new(16_000, 9_000), Cap::from_ff(12.0), 1250.0),
+            Sink::new(Point::new(4_000, 15_000), Cap::from_ff(30.0), 1500.0),
+            Sink::new(Point::new(9_000, 14_000), Cap::from_ff(8.0), 1100.0),
+            Sink::new(Point::new(2_000, 5_000), Cap::from_ff(40.0), 1500.0),
+        ],
+    );
+
+    // Optimize: maximize required time at the driver (variant I).
+    let outcome = Merlin::new(&tech, MerlinConfig::default()).optimize(&net);
+    let eval = outcome
+        .tree
+        .evaluate(&tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
+
+    println!("MERLIN finished in {} local-search loop(s)", outcome.loops);
+    println!("required time @ driver : {:9.1} ps", eval.root_required_ps);
+    println!("delay (max req - root) : {:9.1} ps", eval.delay_ps);
+    println!("buffers inserted       : {:9}", eval.num_buffers);
+    println!("buffer area            : {:9} λ²", eval.buffer_area);
+    println!("wirelength             : {:9} λ", eval.wirelength);
+    println!("final sink order       : {}", outcome.final_order);
+
+    println!("\ntree:");
+    for (id, node) in outcome.tree.iter() {
+        let kind = match node.kind {
+            NodeKind::Source => "source".to_owned(),
+            NodeKind::Steiner => "steiner".to_owned(),
+            NodeKind::Buffer(b) => format!("buffer[{}]", tech.library[b as usize].name),
+            NodeKind::Sink(s) => format!("sink s{}", s + 1),
+        };
+        println!(
+            "  node {:>3} @ {:<18} {} -> {:?}",
+            id.index(),
+            node.at.to_string(),
+            kind,
+            node.children.iter().map(|c| c.index()).collect::<Vec<_>>()
+        );
+    }
+
+    // Compare against the naive unbuffered star to see what we gained.
+    let mut star = merlin_tech::BufferedTree::new(net.source);
+    for (i, s) in net.sinks.iter().enumerate() {
+        star.add_child(star.root(), NodeKind::Sink(i as u32), s.pos);
+    }
+    let star_eval = star.evaluate(&tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
+    println!(
+        "\nnaive star for comparison: req @ driver = {:.1} ps (MERLIN gains {:.1} ps)",
+        star_eval.root_required_ps,
+        eval.root_required_ps - star_eval.root_required_ps
+    );
+}

@@ -1,0 +1,76 @@
+//! Trade-off exploration: dump the final three-dimensional non-inferior
+//! curve of a `BUBBLE_CONSTRUCT` run and solve both problem variants on it
+//! — the paper's Figure 8 in practice.
+//!
+//! ```text
+//! cargo run --release --example tradeoff_curve
+//! ```
+
+use merlin::{BubbleConstruct, Constraint, MerlinConfig};
+use merlin_netlist::bench_nets::random_net;
+use merlin_order::tsp::tsp_order;
+use merlin_tech::Technology;
+
+fn main() {
+    let tech = Technology::synthetic_035();
+    let net = random_net("tradeoff", 9, 2024, &tech);
+    let order = tsp_order(net.source, &net.sink_positions());
+
+    let cfg = MerlinConfig {
+        max_curve_points: 32, // generous fronts (0 = exact, slower)
+        ..MerlinConfig::default()
+    };
+    let result = BubbleConstruct::new(&net, &tech, cfg).run(&order);
+
+    println!(
+        "final solution curve at the source ({} non-inferior points):\n",
+        result.curve.len()
+    );
+    println!(
+        "{:>10} {:>14} {:>12} {:>14}",
+        "load", "req@root(ps)", "area(λ²)", "req@driver(ps)"
+    );
+    let mut pts: Vec<_> = result.curve.iter().copied().collect();
+    pts.sort_by_key(|p| p.area);
+    for p in &pts {
+        println!(
+            "{:>10} {:>14.1} {:>12} {:>14.1}",
+            p.load.to_string(),
+            p.req,
+            p.area,
+            result.driver_required(p)
+        );
+    }
+
+    // Variant I: best required time under a shrinking area budget.
+    println!("\nvariant I — max required time subject to an area budget:");
+    let max_area = pts.iter().map(|p| p.area).max().unwrap_or(0);
+    for budget in [max_area, max_area / 2, max_area / 4, 0] {
+        if let Some(p) = result.select(Constraint::MaxReqWithinArea(budget)) {
+            println!(
+                "  budget {:>9} λ² -> req {:>9.1} ps using {:>9} λ²",
+                budget,
+                result.driver_required(&p),
+                p.area
+            );
+        }
+    }
+
+    // Variant II: minimum area meeting a required-time target.
+    println!("\nvariant II — min area subject to a required-time target:");
+    let best = pts
+        .iter()
+        .map(|p| result.driver_required(p))
+        .fold(f64::NEG_INFINITY, f64::max);
+    for margin in [0.0, 25.0, 75.0, 200.0] {
+        let target = best - margin;
+        if let Some(p) = result.select(Constraint::MinAreaWithReq(target)) {
+            println!(
+                "  target {:>9.1} ps -> area {:>9} λ² (req {:>9.1} ps)",
+                target,
+                p.area,
+                result.driver_required(&p)
+            );
+        }
+    }
+}

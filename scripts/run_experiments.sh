@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md into results/.
+# Usage: scripts/run_experiments.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+QUICK=${1:-}
+TABLE1_ARGS=""
+TABLE2_ARGS="-- --scale 40"
+if [ "$QUICK" = "--quick" ]; then
+  TABLE1_ARGS="-- --max-sinks 25"
+  TABLE2_ARGS="-- --scale 120"
+fi
+
+cargo build --workspace --release
+
+echo "== table1 ==";       cargo run -p merlin-bench --release --bin table1 $TABLE1_ARGS | tee results/table1.txt
+echo "== table2 ==";       cargo run -p merlin-bench --release --bin table2 $TABLE2_ARGS | tee results/table2.txt
+echo "== neighborhood =="; cargo run -p merlin-bench --release --bin neighborhood | tee results/neighborhood.txt
+echo "== scaling ==";      cargo run -p merlin-bench --release --bin scaling | tee results/scaling.txt
+echo "== ablation ==";     cargo run -p merlin-bench --release --bin ablation | tee results/ablation.txt
+echo "== convergence ==";  cargo run -p merlin-bench --release --bin convergence | tee results/convergence.txt
+echo "all experiments written to results/"

@@ -1,0 +1,107 @@
+//! `merlin_cli` — optimize a net from a `.net` file and print metrics
+//! (optionally writing an SVG of the buffered routing tree).
+//!
+//! ```text
+//! merlin_cli <file.net> [--flow 1|2|3] [--svg out.svg]
+//!            [--area-budget λ²] [--req-target ps]
+//! ```
+//!
+//! Flow 3 (MERLIN) is the default. `--area-budget` switches MERLIN to
+//! problem variant I with a finite budget; `--req-target` to variant II.
+
+use std::process::ExitCode;
+
+use merlin::{Constraint, MerlinConfig};
+use merlin_flows::{flow1, flow2, flow3, FlowsConfig};
+use merlin_netlist::io;
+use merlin_tech::{svg, Technology};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let mut file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--flow" | "--svg" | "--area-budget" | "--req-target" => {
+                args.next();
+            }
+            other if !other.starts_with("--") => file = Some(other.to_owned()),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!(
+            "usage: merlin_cli <file.net> [--flow 1|2|3] [--svg out.svg] \
+             [--area-budget λ²] [--req-target ps]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let net = match io::parse_net(&text) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let tech = Technology::synthetic_035();
+    let mut cfg = FlowsConfig::for_net_size(net.num_sinks());
+    if let Some(budget) = arg_value("--area-budget").and_then(|v| v.parse::<u64>().ok()) {
+        cfg.merlin.constraint = Constraint::MaxReqWithinArea(budget);
+    }
+    if let Some(target) = arg_value("--req-target").and_then(|v| v.parse::<f64>().ok()) {
+        cfg.merlin.constraint = Constraint::MinAreaWithReq(target);
+    }
+    let _ = MerlinConfig::default(); // keep the type in the public surface
+
+    let flow = arg_value("--flow").unwrap_or_else(|| "3".into());
+    let result = match flow.as_str() {
+        "1" => flow1::run(&net, &tech, &cfg),
+        "2" => flow2::run(&net, &tech, &cfg),
+        "3" => flow3::run(&net, &tech, &cfg),
+        other => {
+            eprintln!("unknown flow `{other}` (expected 1, 2 or 3)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("net            : {} ({} sinks)", net.name, net.num_sinks());
+    println!("flow           : {flow}");
+    println!("req @ driver   : {:.1} ps", result.eval.root_required_ps);
+    println!("delay          : {:.1} ps", result.eval.delay_ps);
+    println!("buffers        : {}", result.eval.num_buffers);
+    println!("buffer area    : {} λ²", result.eval.buffer_area);
+    println!("wirelength     : {} λ", result.eval.wirelength);
+    println!("runtime        : {:.3} s", result.runtime_s);
+    if result.loops > 0 {
+        println!("MERLIN loops   : {}", result.loops);
+    }
+
+    if let Some(path) = arg_value("--svg") {
+        if let Err(e) = std::fs::write(&path, svg::render(&result.tree)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("svg written to : {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,26 @@
+//! Workspace-root package for the MERLIN reproduction.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the functionality lives in
+//! the member crates:
+//!
+//! * [`merlin`] — the paper's contribution (`BUBBLE_CONSTRUCT` + local
+//!   neighborhood search),
+//! * [`merlin_ptree`], [`merlin_lttree`], [`merlin_vanginneken`] — the
+//!   baselines of the paper's experimental flows,
+//! * [`merlin_geom`], [`merlin_tech`], [`merlin_curves`],
+//!   [`merlin_order`], [`merlin_netlist`] — substrates,
+//! * [`merlin_flows`] — the Flow I/II/III harnesses.
+//!
+//! See the repository `README.md` for a tour.
+
+pub use merlin;
+pub use merlin_curves;
+pub use merlin_flows;
+pub use merlin_geom;
+pub use merlin_lttree;
+pub use merlin_netlist;
+pub use merlin_order;
+pub use merlin_ptree;
+pub use merlin_tech;
+pub use merlin_vanginneken;

@@ -1,0 +1,138 @@
+//! Cross-checks of the baseline engines against hand-derivable optima.
+
+use merlin_geom::{CandidateStrategy, Point};
+use merlin_netlist::{Net, Sink};
+use merlin_order::tsp::tsp_order;
+use merlin_ptree::{Ptree, PtreeConfig};
+use merlin_tech::units::Cap;
+use merlin_tech::{Driver, Technology};
+use merlin_vanginneken::{VanGinneken, VgConfig};
+
+fn tech() -> Technology {
+    Technology::synthetic_035()
+}
+
+#[test]
+fn ptree_routes_collinear_sinks_as_a_chain() {
+    // Sinks on a line: the optimal wirelength equals the distance to the
+    // farthest sink, and PTREE with the sweep order must find it.
+    let tech = tech();
+    let sinks: Vec<Sink> = (1..=5)
+        .map(|i| Sink::new(Point::new(i * 1000, 0), Cap::from_ff(5.0), 2000.0))
+        .collect();
+    let net = Net::new("line", Point::new(0, 0), Driver::default(), sinks);
+    let order = tsp_order(net.source, &net.sink_positions());
+    let cands = CandidateStrategy::FullHanan.generate(net.source, &net.sink_positions());
+    let solved = Ptree::new(&net, &tech, PtreeConfig::exact()).solve(&order, &cands);
+    // The curve must contain a minimum-wirelength solution.
+    let min_wire = solved.curve.iter().map(|p| p.area).min().unwrap();
+    assert_eq!(min_wire, 5000);
+}
+
+#[test]
+fn ptree_finds_the_steiner_point_for_an_l_pair() {
+    // Two sinks at (d, d) and (d, -d) from a source at the origin: the
+    // optimal tree shares the trunk to (d, 0): wirelength 3d, not 4d.
+    let tech = tech();
+    let d = 2000;
+    let net = Net::new(
+        "pair",
+        Point::new(0, 0),
+        Driver::default(),
+        vec![
+            Sink::new(Point::new(d, d), Cap::from_ff(5.0), 2000.0),
+            Sink::new(Point::new(d, -d), Cap::from_ff(5.0), 2000.0),
+        ],
+    );
+    let order = tsp_order(net.source, &net.sink_positions());
+    let cands = CandidateStrategy::FullHanan.generate(net.source, &net.sink_positions());
+    let solved = Ptree::new(&net, &tech, PtreeConfig::exact()).solve(&order, &cands);
+    let min_wire = solved.curve.iter().map(|p| p.area).min().unwrap();
+    assert_eq!(min_wire, 3 * d as u64);
+}
+
+#[test]
+fn van_ginneken_leaves_short_light_wires_alone() {
+    let tech = tech();
+    let mut route = merlin_tech::BufferedTree::new(Point::new(0, 0));
+    route.add_child(
+        route.root(),
+        merlin_tech::NodeKind::Sink(0),
+        Point::new(400, 0),
+    );
+    let solved = VanGinneken::new(&tech, VgConfig::default()).solve(
+        &route,
+        &Driver::default(),
+        &[Cap::from_ff(3.0)],
+        &[1000.0],
+    );
+    let best = solved.best_tree().unwrap();
+    let eval = best.evaluate(&tech, &Driver::default(), &[Cap::from_ff(3.0)], &[1000.0]);
+    assert_eq!(
+        eval.num_buffers, 0,
+        "a 400 λ wire into 3 fF never deserves a buffer"
+    );
+}
+
+#[test]
+fn van_ginneken_buffer_count_grows_with_wire_length() {
+    let tech = tech();
+    let driver = Driver::with_strength(2.0);
+    let loads = [Cap::from_ff(60.0)];
+    let reqs = [3000.0];
+    let mut counts = Vec::new();
+    for len in [4_000i64, 16_000, 48_000] {
+        let mut route = merlin_tech::BufferedTree::new(Point::new(0, 0));
+        route.add_child(route.root(), merlin_tech::NodeKind::Sink(0), Point::new(len, 0));
+        let solved =
+            VanGinneken::new(&tech, VgConfig::default()).solve(&route, &driver, &loads, &reqs);
+        let tree = solved.best_tree().unwrap();
+        counts.push(tree.evaluate(&tech, &driver, &loads, &reqs).num_buffers);
+    }
+    assert!(
+        counts[0] <= counts[1] && counts[1] <= counts[2],
+        "buffer counts not monotone with length: {counts:?}"
+    );
+    assert!(counts[2] >= 2, "a ~10 mm run should need a repeater chain");
+}
+
+#[test]
+fn unified_flow_beats_fixed_routing_when_routing_matters() {
+    // A classic case where sequential flows lose: two clusters in opposite
+    // directions with very different criticality. MERLIN may route the
+    // critical cluster directly and push the slow cluster behind a buffer;
+    // PTREE+VG must buffer on whatever tree PTREE chose for wire delay.
+    let tech = tech();
+    let mut sinks = Vec::new();
+    for i in 0..3 {
+        // Critical cluster, east.
+        sinks.push(Sink::new(
+            Point::new(12_000 + i * 500, i * 400),
+            Cap::from_ff(10.0),
+            900.0,
+        ));
+        // Relaxed heavy cluster, north.
+        sinks.push(Sink::new(
+            Point::new(i * 400, 14_000 + i * 500),
+            Cap::from_ff(35.0),
+            2400.0,
+        ));
+    }
+    let net = Net::new("clusters", Point::new(0, 0), Driver::with_strength(2.0), sinks);
+    let mut cfg = merlin_flows::FlowsConfig::for_net_size(6);
+    // Give MERLIN comparable modelling effort to the baseline (the default
+    // config trades a few percent of quality for speed via curve thinning
+    // and library striding; this test is about the search space, not the
+    // speed knobs).
+    cfg.merlin.max_curve_points = 24;
+    cfg.merlin.library_stride = 2;
+    cfg.merlin.reloc_neighbors = 0;
+    let f2 = merlin_flows::flow2::run(&net, &tech, &cfg);
+    let f3 = merlin_flows::flow3::run(&net, &tech, &cfg);
+    assert!(
+        f3.eval.root_required_ps >= f2.eval.root_required_ps - 1.0,
+        "MERLIN {} must match or beat Flow II {}",
+        f3.eval.root_required_ps,
+        f2.eval.root_required_ps
+    );
+}

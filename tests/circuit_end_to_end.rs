@@ -1,0 +1,53 @@
+//! Whole-circuit (Table 2 style) end-to-end checks.
+
+use merlin_flows::circuit_harness::{run_circuit, FlowKind};
+use merlin_netlist::generator::synthetic_circuit;
+use merlin_netlist::sta::{analyze, lumped_net_estimate};
+use merlin_tech::Technology;
+
+#[test]
+fn circuit_flows_complete_and_report_consistent_area() {
+    let tech = Technology::synthetic_035();
+    let circuit = synthetic_circuit("e2e", 40, 11);
+    circuit.validate().unwrap();
+    let gate_area = circuit.gate_area();
+    for kind in [FlowKind::Lttree, FlowKind::PtreeVg, FlowKind::Merlin] {
+        let m = run_circuit(&circuit, &tech, kind);
+        assert!(m.area >= gate_area, "{kind:?}: buffers cannot shrink cells");
+        assert!(m.critical_ps.is_finite() && m.critical_ps > 0.0);
+    }
+}
+
+#[test]
+fn optimized_nets_do_not_blow_up_the_estimate() {
+    // The buffered flows should land in the same order of magnitude as the
+    // lumped pre-route estimate (they fix wire delay, not gate topology).
+    let tech = Technology::synthetic_035();
+    let circuit = synthetic_circuit("e2e2", 30, 5);
+    let est: Vec<_> = (0..circuit.nets.len())
+        .map(|i| lumped_net_estimate(&circuit, i, &tech))
+        .collect();
+    let base = analyze(&circuit, &est).critical_ps;
+    let m = run_circuit(&circuit, &tech, FlowKind::Merlin);
+    assert!(
+        m.critical_ps < base * 3.0,
+        "MERLIN critical {} vs estimate {base}",
+        m.critical_ps
+    );
+}
+
+#[test]
+fn merlin_circuit_delay_not_worse_than_flow1() {
+    // Table 2 shape: Flow III delay ratio < 1 on average. One seeded
+    // circuit, deterministic.
+    let tech = Technology::synthetic_035();
+    let circuit = synthetic_circuit("e2e3", 36, 21);
+    let f1 = run_circuit(&circuit, &tech, FlowKind::Lttree);
+    let f3 = run_circuit(&circuit, &tech, FlowKind::Merlin);
+    assert!(
+        f3.critical_ps <= f1.critical_ps * 1.05,
+        "III {} vs I {}",
+        f3.critical_ps,
+        f1.critical_ps
+    );
+}

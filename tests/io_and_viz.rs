@@ -1,0 +1,46 @@
+//! Integration of the interchange format and SVG rendering with the
+//! optimizers: parse a net from text, optimize it, render the result.
+
+use merlin::{Merlin, MerlinConfig};
+use merlin_netlist::io;
+use merlin_tech::{svg, Technology};
+
+const NET_TEXT: &str = "\
+# a hand-written critical net
+net handmade
+source 0 0 2.0
+sink 16000 2000 25.0 1400
+sink 4000 14000 30.0 1500
+sink 9000 12000 8.0 1100
+";
+
+#[test]
+fn parse_optimize_render_pipeline() {
+    let tech = Technology::synthetic_035();
+    let net = io::parse_net(NET_TEXT).expect("valid text");
+    assert_eq!(net.num_sinks(), 3);
+
+    let outcome = Merlin::new(&tech, MerlinConfig::default()).optimize(&net);
+    outcome.tree.validate(3, &tech).unwrap();
+
+    let image = svg::render(&outcome.tree);
+    assert!(image.starts_with("<svg"));
+    // All three sinks are drawn.
+    assert_eq!(image.matches("<title>sink").count(), 3);
+    // Angle brackets balance (cheap well-formedness proxy).
+    assert_eq!(image.matches('<').count(), image.matches('>').count());
+}
+
+#[test]
+fn written_net_optimizes_identically() {
+    // Serialize -> parse -> optimize must agree with optimizing the
+    // original (the formats are lossless for everything the DP reads).
+    let tech = Technology::synthetic_035();
+    let net = io::parse_net(NET_TEXT).unwrap();
+    let round = io::parse_net(&io::write_net(&net)).unwrap();
+    let cfg = MerlinConfig::default();
+    let a = Merlin::new(&tech, cfg).optimize(&net);
+    let b = Merlin::new(&tech, cfg).optimize(&round);
+    assert!((a.root_required_ps - b.root_required_ps).abs() < 1e-6);
+    assert_eq!(a.buffer_area, b.buffer_area);
+}

@@ -1,0 +1,137 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! published invariants they must uphold.
+
+use proptest::prelude::*;
+
+use merlin_curves::{Curve, CurvePoint, ProvId};
+use merlin_order::neighborhood::{enumerate, is_neighbor, swap_decomposition};
+use merlin_order::tsp::random_order;
+use merlin_order::SinkOrder;
+use merlin_tech::units::Cap;
+use merlin_tech::WireModel;
+
+fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<(u32, u16, u16)>> {
+    prop::collection::vec((0u32..64, 0u16..64, 0u16..64), 1..max_len)
+}
+
+fn curve_of(raw: &[(u32, u16, u16)]) -> Curve {
+    let mut c = Curve::new();
+    for (i, (load, req, area)) in raw.iter().enumerate() {
+        c.push(CurvePoint::new(
+            *load,
+            *req as f64,
+            *area as u64,
+            ProvId::new(i as u32),
+        ));
+    }
+    c
+}
+
+proptest! {
+    #[test]
+    fn prune_yields_mutually_non_inferior_front(raw in arb_points(80)) {
+        let mut c = curve_of(&raw);
+        c.prune();
+        prop_assert!(c.is_pruned());
+        // No surviving point was bettered by a dropped one: the best req
+        // reachable for every (load, area) bound is preserved.
+        for (load, req, area) in &raw {
+            let best = c.iter()
+                .filter(|p| p.load.units() <= *load && p.area <= *area as u64)
+                .map(|p| p.req)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(best >= *req as f64, "lost a non-inferior point");
+        }
+    }
+
+    #[test]
+    fn prune_is_idempotent(raw in arb_points(60)) {
+        let mut c = curve_of(&raw);
+        c.prune();
+        let once = c.clone();
+        c.prune();
+        prop_assert_eq!(once, c);
+    }
+
+    #[test]
+    fn prune_is_insertion_order_independent(raw in arb_points(40), seed in 0u64..1000) {
+        let mut a = curve_of(&raw);
+        a.prune();
+        // Shuffle deterministically.
+        let order = random_order(raw.len(), seed);
+        let shuffled: Vec<_> = order.as_slice().iter().map(|&i| raw[i as usize]).collect();
+        let mut b = curve_of(&shuffled);
+        b.prune();
+        let key = |c: &Curve| {
+            let mut v: Vec<_> = c.iter()
+                .map(|p| (p.load.units(), p.area, p.req.to_bits()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn merge_never_shrinks_the_reachable_req(raw1 in arb_points(20), raw2 in arb_points(20)) {
+        let mut a = curve_of(&raw1);
+        a.prune();
+        let mut b = curve_of(&raw2);
+        b.prune();
+        let m = a.merged_with(&b, |x, _| x);
+        // Merged best-req = min of the two best reqs (monotone combine).
+        let best = |c: &Curve| c.iter().map(|p| p.req).fold(f64::NEG_INFINITY, f64::max);
+        if !a.is_empty() && !b.is_empty() {
+            let expect_at_least = best(&a).min(best(&b));
+            prop_assert!(best(&m) >= expect_at_least - 1e-9);
+        }
+    }
+
+    #[test]
+    fn wire_extension_is_monotone_in_length(
+        load in 0u32..5000,
+        req in 0f64..10_000.0,
+        l1 in 0u64..5000,
+        extra in 1u64..5000,
+    ) {
+        let wire = WireModel::synthetic_035();
+        let mut c = Curve::new();
+        c.push(CurvePoint::with_load(Cap(load), req, 0, ProvId::new(0)));
+        let short = c.extended(&wire, l1, |p| p);
+        let long = c.extended(&wire, l1 + extra, |p| p);
+        prop_assert!(long.points()[0].req <= short.points()[0].req);
+        prop_assert!(long.points()[0].load >= short.points()[0].load);
+    }
+
+    #[test]
+    fn neighborhood_members_decompose_into_disjoint_swaps(n in 1usize..8, seed in 0u64..500) {
+        // Lemma 4 on arbitrary base orders.
+        let pi = random_order(n, seed);
+        for member in enumerate(&pi) {
+            prop_assert!(is_neighbor(&pi, &member));
+            let swaps = swap_decomposition(&pi, &member)
+                .expect("every enumerated member decomposes");
+            for w in swaps.windows(2) {
+                prop_assert!(w[1] > w[0] + 1, "overlapping swaps");
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_is_symmetric_relation(n in 2usize..9, s1 in 0u64..100, s2 in 0u64..100) {
+        let a = random_order(n, s1);
+        let b = random_order(n, s2);
+        prop_assert_eq!(is_neighbor(&a, &b), is_neighbor(&b, &a));
+    }
+
+    #[test]
+    fn sink_order_round_trips_through_positions(n in 0usize..40, seed in 0u64..100) {
+        let pi = random_order(n, seed);
+        let pos = pi.positions();
+        let mut rebuilt = vec![0u32; n];
+        for (sink, &p) in pos.iter().enumerate() {
+            rebuilt[p as usize] = sink as u32;
+        }
+        prop_assert_eq!(SinkOrder::new(rebuilt).unwrap(), pi);
+    }
+}

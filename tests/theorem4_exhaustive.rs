@@ -1,0 +1,99 @@
+//! The strongest correctness check in the repository.
+//!
+//! **Theorem 4**: subject to the *P-Tree / Cα-tree structure restriction,
+//! `BUBBLE_CONSTRUCT` finds all the non-inferior solutions (w.r.t.
+//! required time and buffer area) in the *entire neighborhood* `N(Π)` of
+//! the initial order.
+//!
+//! We verify it exhaustively for small `n`: enumerate every member `Π'` of
+//! `N(Π)` (Fibonacci many), run the engine with bubbling *disabled* (a
+//! plain fixed-order optimal Cα/*P-Tree construction) on each member, and
+//! compare the best-over-members against one bubbled run seeded with Π.
+//! Lemma 6 (every member is considered) demands `bubbled ≥ max(members)`;
+//! Lemma 5 (only neighborhood orders are generated) demands
+//! `bubbled ≤ max(members)`. Equality, within float tolerance, proves both
+//! directions.
+
+use merlin::{BubbleConstruct, Constraint, MerlinConfig};
+use merlin_geom::CandidateStrategy;
+use merlin_netlist::bench_nets::random_net;
+use merlin_order::neighborhood::enumerate;
+use merlin_order::tsp::tsp_order;
+use merlin_tech::Technology;
+
+fn exact_cfg(bubbling: bool) -> MerlinConfig {
+    MerlinConfig {
+        alpha: 6,
+        candidates: CandidateStrategy::ReducedHanan { max_points: 10 },
+        constraint: Constraint::best_req(),
+        max_loops: 1,
+        max_curve_points: 0, // exact curves
+        enable_bubbling: bubbling,
+        relocation_rounds: 1,
+        library_stride: 1,
+        reloc_neighbors: 0,
+        enforce_max_load: false,
+        max_inner_groups: 1,
+    }
+}
+
+fn best_req(net: &merlin_netlist::Net, tech: &Technology, cfg: MerlinConfig, order: &merlin_order::SinkOrder) -> f64 {
+    let res = BubbleConstruct::new(net, tech, cfg).run(order);
+    let p = res.select(Constraint::best_req()).expect("solvable");
+    res.driver_required(&p)
+}
+
+fn check(n: usize, seed: u64) {
+    let tech = Technology::tiny_test();
+    let net = random_net("t4", n, seed, &tech);
+    let pi = tsp_order(net.source, &net.sink_positions());
+
+    let bubbled = best_req(&net, &tech, exact_cfg(true), &pi);
+
+    let mut best_member = f64::NEG_INFINITY;
+    for member in enumerate(&pi) {
+        let v = best_req(&net, &tech, exact_cfg(false), &member);
+        best_member = best_member.max(v);
+    }
+    let tol = 1e-6_f64.max(bubbled.abs() * 1e-9);
+    assert!(
+        (bubbled - best_member).abs() <= tol,
+        "n={n} seed={seed}: bubbled {bubbled} vs best-over-neighborhood {best_member}"
+    );
+}
+
+#[test]
+fn theorem4_n3() {
+    for seed in 1..=4 {
+        check(3, seed);
+    }
+}
+
+#[test]
+fn theorem4_n4() {
+    for seed in 1..=3 {
+        check(4, seed);
+    }
+}
+
+#[test]
+fn theorem4_n5_single_seed() {
+    check(5, 2);
+}
+
+#[test]
+fn lemma6_bubbled_dominates_every_member() {
+    // The one-directional check on a slightly larger instance: the bubbled
+    // run must be at least as good as EVERY fixed-order member run.
+    let tech = Technology::tiny_test();
+    let net = random_net("l6", 5, 9, &tech);
+    let pi = tsp_order(net.source, &net.sink_positions());
+    let bubbled = best_req(&net, &tech, exact_cfg(true), &pi);
+    for member in enumerate(&pi) {
+        let v = best_req(&net, &tech, exact_cfg(false), &member);
+        assert!(
+            bubbled >= v - 1e-6,
+            "member {member} beats the bubbled run: {v} > {bubbled}"
+        );
+    }
+}
