@@ -1,0 +1,853 @@
+//! Workspace invariant auditor.
+//!
+//! A dependency-free lint pass over the workspace's Rust sources enforcing
+//! the hygiene rules the DP hot-path crates (`core`, `curves`, `ptree`,
+//! `lttree`, `vanginneken`) must satisfy:
+//!
+//! * [`no-unwrap`](RULE_NO_UNWRAP) — no `.unwrap()`; use `.expect("<why the
+//!   invariant holds>")` or real control flow,
+//! * [`empty-expect`](RULE_EMPTY_EXPECT) — `.expect("")` explains nothing,
+//! * [`panic`](RULE_PANIC) — no `panic!` outside `#[cfg(test)]`,
+//! * [`float-cmp`](RULE_FLOAT_CMP) — no raw `partial_cmp` / `total_cmp` on
+//!   delays; go through `merlin_tech::units::ps_cmp` and friends,
+//! * [`float-eq`](RULE_FLOAT_EQ) — no `==` against float literals outside
+//!   tests,
+//! * [`push-without-prune`](RULE_PUSH_WITHOUT_PRUNE) — a function that
+//!   pushes `CurvePoint`s must also reach a `prune()` call, otherwise an
+//!   unpruned curve can escape into the DP,
+//! * [`doc-pub-fn`](RULE_DOC_PUB_FN) — every non-test `pub fn` carries a
+//!   doc comment.
+//!
+//! Any finding can be suppressed in place with `// audit:allow(<rule>)` on
+//! the offending line or the line above it. Pre-existing findings live in a
+//! checked-in baseline file (`audit-baseline.txt`); the auditor fails only
+//! on *new* findings, so the baseline acts as a ratchet that may shrink but
+//! never silently grow.
+//!
+//! The scanner is a hand-rolled line state machine (no `syn`, no regex):
+//! string literals, char literals and comments are blanked before pattern
+//! matching so `"call .unwrap() here"` in a message never trips a rule.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// Rule name: `.unwrap()` in DP-crate code (tests included).
+pub const RULE_NO_UNWRAP: &str = "no-unwrap";
+/// Rule name: `.expect("")` with an empty message.
+pub const RULE_EMPTY_EXPECT: &str = "empty-expect";
+/// Rule name: `panic!` outside `#[cfg(test)]`.
+pub const RULE_PANIC: &str = "panic";
+/// Rule name: raw `partial_cmp` / `total_cmp` instead of the units helpers.
+pub const RULE_FLOAT_CMP: &str = "float-cmp";
+/// Rule name: `==` against a float literal outside tests.
+pub const RULE_FLOAT_EQ: &str = "float-eq";
+/// Rule name: `CurvePoint` pushes with no reachable `prune()` in the same
+/// function.
+pub const RULE_PUSH_WITHOUT_PRUNE: &str = "push-without-prune";
+/// Rule name: undocumented non-test `pub fn`.
+pub const RULE_DOC_PUB_FN: &str = "doc-pub-fn";
+
+/// All rule names, in report order.
+pub const ALL_RULES: &[&str] = &[
+    RULE_NO_UNWRAP,
+    RULE_EMPTY_EXPECT,
+    RULE_PANIC,
+    RULE_FLOAT_CMP,
+    RULE_FLOAT_EQ,
+    RULE_PUSH_WITHOUT_PRUNE,
+    RULE_DOC_PUB_FN,
+];
+
+/// Workspace-relative path prefixes of the DP hot-path crates the rules
+/// apply to.
+pub const DP_CRATE_PREFIXES: &[&str] = &[
+    "crates/core/",
+    "crates/curves/",
+    "crates/ptree/",
+    "crates/lttree/",
+    "crates/vanginneken/",
+];
+
+/// One rule finding at a specific source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source line for the report.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// Whether `path` (workspace-relative, forward slashes) belongs to a DP
+/// hot-path crate.
+pub fn is_dp_crate_path(path: &str) -> bool {
+    DP_CRATE_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LexState {
+    Normal,
+    Block(u32),
+    Str,
+    RawStr(u8),
+}
+
+/// Line-by-line lexer state blanking comments, string literals and char
+/// literals so rule patterns only ever match real code.
+pub struct Sanitizer {
+    state: LexState,
+}
+
+impl Default for Sanitizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sanitizer {
+    /// Creates a sanitizer in the initial (code) state.
+    pub fn new() -> Self {
+        Sanitizer {
+            state: LexState::Normal,
+        }
+    }
+
+    /// Returns `raw` with comment, string and char-literal content replaced
+    /// by spaces, carrying multi-line state (block comments, multi-line and
+    /// raw strings) to the next call.
+    pub fn sanitize_line(&mut self, raw: &str) -> String {
+        let bytes = raw.as_bytes();
+        let mut out = Vec::with_capacity(bytes.len());
+        let mut i = 0;
+        while i < bytes.len() {
+            match self.state {
+                LexState::Normal => {
+                    let c = bytes[i];
+                    if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                        // Line comment: drop the rest of the line.
+                        break;
+                    } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        self.state = LexState::Block(1);
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if c == b'"' {
+                        self.state = LexState::Str;
+                        out.push(b' ');
+                        i += 1;
+                    } else if c == b'r' && matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) {
+                        // Raw string r"..." or r#"..."#
+                        let mut hashes = 0u8;
+                        let mut j = i + 1;
+                        while bytes.get(j) == Some(&b'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&b'"') {
+                            self.state = LexState::RawStr(hashes);
+                            out.resize(out.len() + (j - i + 1), b' ');
+                            i = j + 1;
+                        } else {
+                            out.push(c);
+                            i += 1;
+                        }
+                    } else if c == b'\'' {
+                        // Char literal or lifetime.
+                        if bytes.get(i + 1) == Some(&b'\\') {
+                            // Escaped char literal: blank to the closing quote.
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != b'\'' {
+                                j += 1;
+                            }
+                            let end = j.min(bytes.len() - 1);
+                            out.resize(out.len() + (end - i + 1), b' ');
+                            i = j + 1;
+                        } else if bytes.get(i + 2) == Some(&b'\'') {
+                            out.extend_from_slice(b"   ");
+                            i += 3;
+                        } else {
+                            // Lifetime: keep as-is.
+                            out.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                LexState::Block(depth) => {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        self.state = LexState::Block(depth + 1);
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        self.state = if depth == 1 {
+                            LexState::Normal
+                        } else {
+                            LexState::Block(depth - 1)
+                        };
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+                LexState::Str => {
+                    if bytes[i] == b'\\' {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        self.state = LexState::Normal;
+                        out.push(b' ');
+                        i += 1;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                }
+                LexState::RawStr(hashes) => {
+                    if bytes[i] == b'"' {
+                        let mut ok = true;
+                        for k in 0..hashes as usize {
+                            if bytes.get(i + 1 + k) != Some(&b'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            self.state = LexState::Normal;
+                            out.resize(out.len() + 1 + hashes as usize, b' ');
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+}
+
+/// Whether the finding on `line` (0-based index into `raw_lines`) is
+/// suppressed by an `// audit:allow(<rule>)` marker on the same line or the
+/// line above.
+fn is_allowed(rule: &str, raw_lines: &[&str], line: usize) -> bool {
+    let marker = format!("audit:allow({rule})");
+    if raw_lines[line].contains(&marker) {
+        return true;
+    }
+    if line > 0 {
+        let prev = raw_lines[line - 1].trim_start();
+        if prev.starts_with("//") && prev.contains(&marker) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether `code` contains `==` or `!=` adjacent to a float literal
+/// (`1.0 == x`, `x == 0.5`, …).
+fn has_float_literal_eq(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for (i, w) in bytes.windows(2).enumerate() {
+        if (w == b"==" || w == b"!=")
+            && bytes.get(i.wrapping_sub(1)) != Some(&b'=')
+            && bytes.get(i + 2) != Some(&b'=')
+        {
+            let left = code[..i].trim_end();
+            let right = code[i + 2..].trim_start();
+            if ends_with_float_literal(left) || starts_with_float_literal(right) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn starts_with_float_literal(s: &str) -> bool {
+    let s = s.strip_prefix('-').unwrap_or(s);
+    let mut chars = s.chars();
+    let mut saw_digit = false;
+    for c in chars.by_ref() {
+        if c.is_ascii_digit() {
+            saw_digit = true;
+        } else if c == '.' && saw_digit {
+            // `1.` or `1.5`
+            return true;
+        } else if c == '_' && saw_digit {
+            continue;
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+fn ends_with_float_literal(s: &str) -> bool {
+    let mut rev = s.chars().rev();
+    let mut saw_digit = false;
+    for c in rev.by_ref() {
+        if c.is_ascii_digit() {
+            saw_digit = true;
+        } else if c == '.' && saw_digit {
+            // Need a digit before the dot too (`.5` alone is a member access
+            // misparse we ignore).
+            return true;
+        } else if c == '_' && saw_digit {
+            continue;
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether the sanitized line introduces a function definition.
+fn is_fn_def(code: &str) -> bool {
+    let t = code.trim_start();
+    for prefix in ["fn ", "pub fn ", "async fn ", "const fn ", "unsafe fn "] {
+        if t.starts_with(prefix) {
+            return true;
+        }
+    }
+    // `pub(crate) fn`, `pub const fn`, `pub async unsafe fn`, ...
+    if let Some(pos) = code.find("fn ") {
+        let before = code[..pos].trim();
+        if before.is_empty() {
+            return true;
+        }
+        let ok = before.split_whitespace().all(|w| {
+            w == "pub"
+                || w.starts_with("pub(")
+                || w == "const"
+                || w == "async"
+                || w == "unsafe"
+                || w.starts_with("extern")
+        });
+        return ok && (code[pos + 3..].contains('(') || code[pos + 3..].is_empty());
+    }
+    false
+}
+
+/// Whether the sanitized line declares a documented-API candidate
+/// (`pub fn`, possibly with `const` / `async` / `unsafe` qualifiers).
+fn is_pub_fn_def(code: &str) -> bool {
+    let t = code.trim_start();
+    if !t.starts_with("pub ") {
+        return false;
+    }
+    let rest = &t[4..];
+    let rest = rest.trim_start_matches(|c: char| c.is_whitespace());
+    let mut r = rest;
+    loop {
+        if let Some(x) = r.strip_prefix("const ") {
+            r = x;
+        } else if let Some(x) = r.strip_prefix("async ") {
+            r = x;
+        } else if let Some(x) = r.strip_prefix("unsafe ") {
+            r = x;
+        } else {
+            break;
+        }
+    }
+    r.starts_with("fn ")
+}
+
+struct FnFrame {
+    depth: usize,
+    push_lines: Vec<usize>,
+    has_prune: bool,
+}
+
+/// Scans one file's source text and returns every rule finding.
+///
+/// `path` must be workspace-relative with forward slashes; rules only fire
+/// for files inside the DP hot-path crates (see [`DP_CRATE_PREFIXES`]).
+pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
+    if !is_dp_crate_path(path) {
+        return Vec::new();
+    }
+    // Integration tests and benches are test code in their entirety even
+    // though they never spell `#[cfg(test)]`.
+    let whole_file_is_test = path.contains("/tests/") || path.contains("/benches/");
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut sanitizer = Sanitizer::new();
+    let code_lines: Vec<String> = raw_lines
+        .iter()
+        .map(|l| sanitizer.sanitize_line(l))
+        .collect();
+
+    let mut violations = Vec::new();
+    let mut depth: usize = 0;
+    let mut test_stack: Vec<usize> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut pending_fn = false;
+    let mut fn_stack: Vec<FnFrame> = Vec::new();
+    let mut resolved_pushes: HashSet<usize> = HashSet::new();
+    let mut all_pushes: Vec<(usize, bool)> = Vec::new(); // (line idx, in_test)
+
+    let report = |rule: &'static str, line: usize, raw_lines: &[&str], out: &mut Vec<Violation>| {
+        if !is_allowed(rule, raw_lines, line) {
+            out.push(Violation {
+                rule,
+                path: path.to_owned(),
+                line: line + 1,
+                snippet: raw_lines[line].trim().to_owned(),
+            });
+        }
+    };
+
+    for (idx, code) in code_lines.iter().enumerate() {
+        let in_test = whole_file_is_test || !test_stack.is_empty();
+
+        if code.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        if is_fn_def(code) {
+            pending_fn = true;
+        }
+
+        // Per-line pattern rules.
+        if code.contains(".unwrap()") {
+            report(RULE_NO_UNWRAP, idx, &raw_lines, &mut violations);
+        }
+        // The sanitizer blanks string contents, so an empty expect message
+        // shows up as `.expect( )` / `.expect(  )` (quotes blanked too);
+        // check the raw line for the literal empty string instead.
+        if code.contains(".expect(") && raw_lines[idx].contains(".expect(\"\")") {
+            report(RULE_EMPTY_EXPECT, idx, &raw_lines, &mut violations);
+        }
+        if !in_test
+            && (code.contains("panic!")
+                || code.contains("unimplemented!")
+                || code.contains("todo!("))
+        {
+            report(RULE_PANIC, idx, &raw_lines, &mut violations);
+        }
+        if code.contains(".partial_cmp(") || code.contains(".total_cmp(") {
+            report(RULE_FLOAT_CMP, idx, &raw_lines, &mut violations);
+        }
+        if !in_test && has_float_literal_eq(code) {
+            report(RULE_FLOAT_EQ, idx, &raw_lines, &mut violations);
+        }
+        if code.contains(".push(CurvePoint") {
+            if is_allowed(RULE_PUSH_WITHOUT_PRUNE, &raw_lines, idx) {
+                resolved_pushes.insert(idx);
+            }
+            for frame in &mut fn_stack {
+                frame.push_lines.push(idx);
+            }
+            all_pushes.push((idx, in_test));
+        }
+        if code.contains("prune(") {
+            for frame in &mut fn_stack {
+                frame.has_prune = true;
+            }
+        }
+        if !in_test && is_pub_fn_def(code) {
+            // Walk back over attributes and blank lines to the nearest
+            // comment; require a doc comment.
+            let mut j = idx;
+            let mut documented = false;
+            while j > 0 {
+                j -= 1;
+                let prev = raw_lines[j].trim();
+                if prev.is_empty()
+                    || prev.starts_with("#[")
+                    || prev.ends_with(")]")
+                    || prev.ends_with("]") && prev.contains("#[")
+                {
+                    continue;
+                }
+                documented =
+                    prev.starts_with("///") || prev.starts_with("//!") || prev.ends_with("*/");
+                break;
+            }
+            if !documented {
+                report(RULE_DOC_PUB_FN, idx, &raw_lines, &mut violations);
+            }
+        }
+
+        // Brace tracking (after pattern rules so a rule on the `}` line of
+        // a test module still counts as in-test).
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending_test_attr {
+                        test_stack.push(depth);
+                        pending_test_attr = false;
+                    }
+                    if pending_fn {
+                        fn_stack.push(FnFrame {
+                            depth,
+                            push_lines: Vec::new(),
+                            has_prune: false,
+                        });
+                        pending_fn = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                    while fn_stack.last().map(|f| f.depth) == Some(depth) {
+                        let frame = fn_stack.pop().expect("frame checked above");
+                        if frame.has_prune {
+                            resolved_pushes.extend(frame.push_lines);
+                        }
+                    }
+                }
+                ';' => {
+                    // `fn f();` in a trait: no body, drop the pending flag.
+                    pending_fn = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    // File ended while frames were open (unbalanced braces): treat their
+    // pushes as resolved rather than guessing.
+    for frame in fn_stack {
+        if frame.has_prune {
+            resolved_pushes.extend(frame.push_lines);
+        }
+    }
+
+    for (idx, in_test) in all_pushes {
+        if !in_test && !resolved_pushes.contains(&idx) {
+            report(RULE_PUSH_WITHOUT_PRUNE, idx, &raw_lines, &mut violations);
+        }
+    }
+
+    violations.sort_by_key(|v| v.line);
+    violations
+}
+
+/// Parsed baseline: `(rule, path) -> permitted count`.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Parses a baseline file (`<rule> <path> <count>` per line; `#` comments
+/// and blank lines ignored).
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let mut map = Baseline::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `<rule> <path> <count>`",
+                i + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+        map.insert((rule.to_owned(), path.to_owned()), count);
+    }
+    Ok(map)
+}
+
+/// Renders violations as a baseline file body (sorted, deduplicated into
+/// per-file counts).
+pub fn format_baseline(violations: &[Violation]) -> String {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for v in violations {
+        *counts
+            .entry((v.rule.to_owned(), v.path.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# merlin-audit baseline ratchet: `<rule> <path> <count>` per line.\n\
+         # Counts may go down (tighten the ratchet with --update-baseline)\n\
+         # but the auditor fails if any count goes up.\n",
+    );
+    for ((rule, path), count) in counts {
+        out.push_str(&format!("{rule} {path} {count}\n"));
+    }
+    out
+}
+
+/// Outcome of comparing findings to the baseline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditOutcome {
+    /// Findings exceeding the baseline, grouped by `(rule, path)` — the
+    /// audit fails if this is non-empty.
+    pub over: Vec<Violation>,
+    /// Baseline entries whose actual count dropped (informational: the
+    /// ratchet can be tightened).
+    pub improved: Vec<(String, String, usize, usize)>,
+}
+
+/// Compares findings against the baseline ratchet.
+///
+/// A `(rule, path)` group fails when its live count exceeds the baselined
+/// count; all of the group's findings are reported so the offender is easy
+/// to locate. Groups at or under their baseline pass; under-count groups
+/// are surfaced as `improved` so the ratchet can be tightened.
+pub fn check_against_baseline(violations: &[Violation], baseline: &Baseline) -> AuditOutcome {
+    let mut groups: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        groups
+            .entry((v.rule.to_owned(), v.path.clone()))
+            .or_default()
+            .push(v);
+    }
+    let mut outcome = AuditOutcome::default();
+    for (key, group) in &groups {
+        let permitted = baseline.get(key).copied().unwrap_or(0);
+        if group.len() > permitted {
+            outcome.over.extend(group.iter().map(|v| (*v).clone()));
+        } else if group.len() < permitted {
+            outcome
+                .improved
+                .push((key.0.clone(), key.1.clone(), permitted, group.len()));
+        }
+    }
+    for (key, &permitted) in baseline {
+        if !groups.contains_key(key) && permitted > 0 {
+            outcome
+                .improved
+                .push((key.0.clone(), key.1.clone(), permitted, 0));
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DP: &str = "crates/core/src/fixture.rs";
+
+    fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
+        violations.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn sanitizer_blanks_strings_and_comments() {
+        let mut s = Sanitizer::new();
+        let out = s.sanitize_line(r#"let x = "call .unwrap() now"; // .unwrap()"#);
+        assert!(!out.contains(".unwrap()"));
+        assert!(out.contains("let x ="));
+    }
+
+    #[test]
+    fn sanitizer_tracks_block_comments_across_lines() {
+        let mut s = Sanitizer::new();
+        let a = s.sanitize_line("/* start .unwrap()");
+        let b = s.sanitize_line("   still .unwrap() */ real.unwrap()");
+        assert!(!a.contains("unwrap"));
+        assert!(b.contains("real.unwrap()"));
+        assert!(!b.contains("still"));
+    }
+
+    #[test]
+    fn sanitizer_handles_char_literals_and_lifetimes() {
+        let mut s = Sanitizer::new();
+        let out = s.sanitize_line("fn f<'a>(c: char) -> bool { c == '\"' }");
+        assert!(out.contains("'a"));
+        assert!(!out.contains('"'));
+    }
+
+    #[test]
+    fn unwrap_flagged_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        assert_eq!(rules_of(&scan_source(DP, src)), vec![RULE_NO_UNWRAP]);
+    }
+
+    #[test]
+    fn unwrap_in_string_not_flagged() {
+        let src = "fn f() { let m = \"please .unwrap() me\"; }\n";
+        assert!(scan_source(DP, src).is_empty());
+    }
+
+    #[test]
+    fn non_dp_crate_is_exempt() {
+        let src = "fn f() { x.unwrap(); panic!(\"no\"); }\n";
+        assert!(scan_source("crates/geom/src/fixture.rs", src).is_empty());
+    }
+
+    #[test]
+    fn empty_expect_flagged() {
+        let src = "fn f() { x.expect(\"\"); }\n";
+        assert_eq!(rules_of(&scan_source(DP, src)), vec![RULE_EMPTY_EXPECT]);
+    }
+
+    #[test]
+    fn nonempty_expect_ok() {
+        let src = "fn f() { x.expect(\"queue is non-empty by loop guard\"); }\n";
+        assert!(scan_source(DP, src).is_empty());
+    }
+
+    #[test]
+    fn panic_flagged_outside_tests_only() {
+        let src = "fn f() { panic!(\"boom\"); }\n";
+        assert_eq!(rules_of(&scan_source(DP, src)), vec![RULE_PANIC]);
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"expected in tests\"); }\n}\n";
+        assert!(scan_source(DP, test_src).is_empty());
+    }
+
+    #[test]
+    fn float_cmp_flagged() {
+        let src = "fn f() { a.partial_cmp(&b); }\n";
+        assert_eq!(rules_of(&scan_source(DP, src)), vec![RULE_FLOAT_CMP]);
+        let src2 = "fn f() { a.total_cmp(&b); }\n";
+        assert_eq!(rules_of(&scan_source(DP, src2)), vec![RULE_FLOAT_CMP]);
+    }
+
+    #[test]
+    fn float_eq_flagged_outside_tests() {
+        let src = "fn f() { if x == 0.0 { y(); } }\n";
+        assert_eq!(rules_of(&scan_source(DP, src)), vec![RULE_FLOAT_EQ]);
+        let src2 = "fn f() { if 1.5 != x { y(); } }\n";
+        assert_eq!(rules_of(&scan_source(DP, src2)), vec![RULE_FLOAT_EQ]);
+        let int_src = "fn f() { if x == 0 { y(); } }\n";
+        assert!(scan_source(DP, int_src).is_empty());
+    }
+
+    #[test]
+    fn push_without_prune_flagged() {
+        let src = "fn f(c: &mut Curve) {\n    c.push(CurvePoint::new(1, 2.0, 3, p));\n}\n";
+        assert_eq!(
+            rules_of(&scan_source(DP, src)),
+            vec![RULE_PUSH_WITHOUT_PRUNE]
+        );
+    }
+
+    #[test]
+    fn push_with_prune_in_same_fn_ok() {
+        let src =
+            "fn f(c: &mut Curve) {\n    c.push(CurvePoint::new(1, 2.0, 3, p));\n    c.prune();\n}\n";
+        assert!(scan_source(DP, src).is_empty());
+    }
+
+    #[test]
+    fn push_in_test_code_ok() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(c: &mut Curve) { c.push(CurvePoint::new(1, 2.0, 3, p)); }\n}\n";
+        assert!(scan_source(DP, src).is_empty());
+    }
+
+    #[test]
+    fn integration_test_files_are_test_code() {
+        let src = "fn helper() { panic!(\"fine in tests\"); }\n\
+                   #[test]\nfn t(c: &mut Curve) { c.push(CurvePoint::new(1, 2.0, 3, p)); }\n";
+        assert!(scan_source("crates/curves/tests/props.rs", src).is_empty());
+        // ... but unwrap is still banned there.
+        let with_unwrap = "#[test]\nfn t() { x.unwrap(); }\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/curves/tests/props.rs", with_unwrap)),
+            vec![RULE_NO_UNWRAP]
+        );
+    }
+
+    #[test]
+    fn undocumented_pub_fn_flagged() {
+        let src = "impl X {\n    pub fn naked(&self) {}\n}\n";
+        assert_eq!(rules_of(&scan_source(DP, src)), vec![RULE_DOC_PUB_FN]);
+    }
+
+    #[test]
+    fn documented_pub_fn_ok() {
+        let src =
+            "impl X {\n    /// Does the thing.\n    #[inline]\n    pub fn clothed(&self) {}\n}\n";
+        assert!(scan_source(DP, src).is_empty());
+    }
+
+    #[test]
+    fn private_fn_needs_no_doc() {
+        let src = "fn helper() {}\n";
+        assert!(scan_source(DP, src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_same_line_and_preceding_line() {
+        let same = "fn f() { x.unwrap(); } // audit:allow(no-unwrap)\n";
+        assert!(scan_source(DP, same).is_empty());
+        let above =
+            "// audit:allow(panic): unreachable by construction\nfn f() { panic!(\"no\"); }\n";
+        assert!(scan_source(DP, above).is_empty());
+        let wrong_rule = "// audit:allow(no-unwrap)\nfn f() { panic!(\"no\"); }\n";
+        assert_eq!(rules_of(&scan_source(DP, wrong_rule)), vec![RULE_PANIC]);
+    }
+
+    #[test]
+    fn baseline_round_trip_and_ratchet() {
+        let violations = vec![
+            Violation {
+                rule: RULE_NO_UNWRAP,
+                path: "crates/core/src/a.rs".into(),
+                line: 3,
+                snippet: "x.unwrap()".into(),
+            },
+            Violation {
+                rule: RULE_NO_UNWRAP,
+                path: "crates/core/src/a.rs".into(),
+                line: 9,
+                snippet: "y.unwrap()".into(),
+            },
+        ];
+        let text = format_baseline(&violations);
+        let baseline = parse_baseline(&text).expect("formatted baseline always parses");
+        assert_eq!(
+            baseline.get(&(RULE_NO_UNWRAP.into(), "crates/core/src/a.rs".into())),
+            Some(&2)
+        );
+        // At baseline: passes.
+        let ok = check_against_baseline(&violations, &baseline);
+        assert!(ok.over.is_empty() && ok.improved.is_empty());
+        // One more: fails, reporting the whole group.
+        let mut more = violations.clone();
+        more.push(Violation {
+            rule: RULE_NO_UNWRAP,
+            path: "crates/core/src/a.rs".into(),
+            line: 12,
+            snippet: "z.unwrap()".into(),
+        });
+        assert_eq!(check_against_baseline(&more, &baseline).over.len(), 3);
+        // One fewer: improved, not failing.
+        let fewer = &violations[..1];
+        let better = check_against_baseline(fewer, &baseline);
+        assert!(better.over.is_empty());
+        assert_eq!(better.improved.len(), 1);
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_lines() {
+        assert!(parse_baseline("no-unwrap crates/a.rs").is_err());
+        assert!(parse_baseline("no-unwrap crates/a.rs three").is_err());
+        assert!(parse_baseline("# comment\n\nno-unwrap crates/a.rs 3\n").is_ok());
+    }
+
+    #[test]
+    fn seeded_violation_fails_with_empty_baseline() {
+        // The end-to-end property the CI gate relies on: a fresh violation
+        // with no baseline entry makes the audit fail.
+        let src = "fn f() { x.unwrap(); }\n";
+        let violations = scan_source(DP, src);
+        let outcome = check_against_baseline(&violations, &Baseline::new());
+        assert_eq!(outcome.over.len(), 1);
+        assert_eq!(outcome.over[0].rule, RULE_NO_UNWRAP);
+    }
+}

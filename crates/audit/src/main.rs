@@ -1,0 +1,155 @@
+//! CLI for the workspace invariant auditor.
+//!
+//! ```text
+//! cargo run -p merlin-audit                 # audit against the baseline
+//! cargo run -p merlin-audit -- --update-baseline
+//! cargo run -p merlin-audit -- --root /path/to/workspace
+//! ```
+//!
+//! Exit codes: `0` clean (or within baseline), `1` findings over the
+//! baseline, `2` usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use merlin_audit::{
+    check_against_baseline, format_baseline, parse_baseline, scan_source, Baseline, Violation,
+};
+
+/// Directories never scanned (build output, vendored shims, VCS metadata).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".claude"];
+
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = explicit {
+        return root;
+    }
+    // Under `cargo run` the manifest dir is crates/audit; the workspace
+    // root is two levels up. Fall back to the current directory.
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        if let Some(root) = Path::new(&manifest).parent().and_then(Path::parent) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut update_baseline = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-baseline" => update_baseline = true,
+            "--root" => match args.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: merlin-audit [--root <workspace>] [--update-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root(root_arg);
+    let mut files = Vec::new();
+    if let Err(e) = collect_rs_files(&root, &mut files) {
+        eprintln!("error: walking {}: {e}", root.display());
+        return ExitCode::from(2);
+    }
+    files.sort();
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reading {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        scanned += 1;
+        violations.extend(scan_source(&rel, &source));
+    }
+
+    let baseline_path = root.join("audit-baseline.txt");
+    if update_baseline {
+        let body = format_baseline(&violations);
+        if let Err(e) = std::fs::write(&baseline_path, body) {
+            eprintln!("error: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "audit: baseline updated with {} finding(s) across {} file(s) scanned",
+            violations.len(),
+            scanned
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline: Baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Baseline::new(),
+    };
+
+    let outcome = check_against_baseline(&violations, &baseline);
+    for (rule, path, was, now) in &outcome.improved {
+        println!(
+            "audit: ratchet can tighten: {rule} {path} {was} -> {now} (run --update-baseline)"
+        );
+    }
+    if outcome.over.is_empty() {
+        println!(
+            "audit: clean ({} file(s) scanned, {} baselined finding(s))",
+            scanned,
+            violations.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &outcome.over {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "audit: {} finding(s) over baseline; fix them, add `// audit:allow(<rule>)` with a reason, or re-baseline",
+            outcome.over.len()
+        );
+        ExitCode::FAILURE
+    }
+}

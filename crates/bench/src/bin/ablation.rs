@@ -24,7 +24,10 @@ fn main() {
             "reduced-hanan",
             CandidateStrategy::ReducedHanan { max_points: 20 },
         ),
-        ("center-of-mass", CandidateStrategy::CenterOfMass { window: 4 }),
+        (
+            "center-of-mass",
+            CandidateStrategy::CenterOfMass { window: 4 },
+        ),
         ("grid", CandidateStrategy::Grid { nx: 5, ny: 5 }),
     ];
     for (name, strat) in strategies {
@@ -46,7 +49,8 @@ fn main() {
         max_curve_points: 10,
         ..MerlinConfig::default()
     };
-    let orders: [(&str, fn(&merlin_netlist::Net) -> merlin_order::SinkOrder); 3] = [
+    type OrderFn = fn(&merlin_netlist::Net) -> merlin_order::SinkOrder;
+    let orders: [(&str, OrderFn); 3] = [
         ("tsp", |n| tsp_order(n.source, &n.sink_positions())),
         ("required-time", |n| required_time_order(&n.sink_reqs())),
         ("random", |n| random_order(n.num_sinks(), 1234)),

@@ -28,15 +28,8 @@ fn main() {
         let net = random_net(&format!("cv{seed}"), n, seed, &tech);
         let out = Merlin::new(&tech, cfg).optimize(&net);
         histogram[out.loops.min(12)] += 1;
-        let trace: Vec<String> = out
-            .cost_trace
-            .iter()
-            .map(|c| format!("{c:8.1}"))
-            .collect();
-        let monotone = out
-            .cost_trace
-            .windows(2)
-            .all(|w| w[1] >= w[0] - 1e-6);
+        let trace: Vec<String> = out.cost_trace.iter().map(|c| format!("{c:8.1}")).collect();
+        let monotone = out.cost_trace.windows(2).all(|w| w[1] >= w[0] - 1e-6);
         // Best-so-far is what the engine returns; monotone by construction.
         let mut best_so_far = f64::NEG_INFINITY;
         let best: Vec<String> = out

@@ -120,6 +120,11 @@ impl Window {
         self.covered + self.shape.stretch()
     }
 
+    /// True when the window covers no sinks and has no stretch.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
     /// Leftmost window position.
     pub fn start(self) -> usize {
         self.right + 1 - self.len()
@@ -173,19 +178,19 @@ mod tests {
     fn sink_set_cases_match_figure_13() {
         // Window of length 6 ending at position 9 (0-based).
         let n = 20;
-        let w0 = Window::place(9, 6, Shape::Chi0, n).unwrap();
+        let w0 = Window::place(9, 6, Shape::Chi0, n).expect("window fits inside the sink range");
         assert_eq!(w0.covered_positions(), vec![4, 5, 6, 7, 8, 9]);
 
-        let w1 = Window::place(9, 5, Shape::Chi1, n).unwrap();
+        let w1 = Window::place(9, 5, Shape::Chi1, n).expect("window fits inside the sink range");
         assert_eq!(w1.len(), 6);
         // case 1: skip s_{R-1}.
         assert_eq!(w1.covered_positions(), vec![4, 5, 6, 7, 9]);
 
-        let w2 = Window::place(9, 5, Shape::Chi2, n).unwrap();
+        let w2 = Window::place(9, 5, Shape::Chi2, n).expect("window fits inside the sink range");
         // case 2: skip s_{start+1}.
         assert_eq!(w2.covered_positions(), vec![4, 6, 7, 8, 9]);
 
-        let w3 = Window::place(9, 4, Shape::Chi3, n).unwrap();
+        let w3 = Window::place(9, 4, Shape::Chi3, n).expect("window fits inside the sink range");
         assert_eq!(w3.len(), 6);
         // case 3: skip both.
         assert_eq!(w3.covered_positions(), vec![4, 6, 7, 9]);
@@ -218,12 +223,12 @@ mod tests {
     #[test]
     fn tiny_windows() {
         // χ1 with one covered sink: window [R-1, R], hole at R-1.
-        let w = Window::place(5, 1, Shape::Chi1, 10).unwrap();
+        let w = Window::place(5, 1, Shape::Chi1, 10).expect("window fits inside the sink range");
         assert_eq!(w.start(), 4);
         assert_eq!(w.covered_positions(), vec![5]);
         assert_eq!(w.right_hole(), Some(4));
         // χ2 with one covered sink: hole at start+1 = R.
-        let w = Window::place(5, 1, Shape::Chi2, 10).unwrap();
+        let w = Window::place(5, 1, Shape::Chi2, 10).expect("window fits inside the sink range");
         assert_eq!(w.covered_positions(), vec![4]);
         assert_eq!(w.left_hole(), Some(5));
     }

@@ -45,11 +45,7 @@ impl Child {
 ///
 /// Incompatible means: ω's window is not inside Ω's, or some sink covered
 /// by ω is a hole of Ω (`g − G ≠ ∅`, the illegal case of Figure 12).
-pub fn child_sequence(
-    outer: Window,
-    inner: Window,
-    order: &SinkOrder,
-) -> Option<Vec<Child>> {
+pub fn child_sequence(outer: Window, inner: Window, order: &SinkOrder) -> Option<Vec<Child>> {
     child_sequence_multi(outer, &[inner], order)
 }
 
@@ -136,9 +132,10 @@ mod tests {
         // ω = χ1 window over positions [0..=4] covering {0,1,2,4} (hole 3);
         // Ω = χ0 over all six.
         let n = 6;
-        let outer = Window::place(5, 6, Shape::Chi0, n).unwrap();
-        let inner = Window::place(4, 4, Shape::Chi1, n).unwrap();
-        let ch = child_sequence(outer, inner, &order(n)).unwrap();
+        let outer = Window::place(5, 6, Shape::Chi0, n).expect("window fits inside the sink range");
+        let inner = Window::place(4, 4, Shape::Chi1, n).expect("window fits inside the sink range");
+        let ch = child_sequence(outer, inner, &order(n))
+            .expect("inner window nests inside the outer window");
         // (ω, s3 bubbled after it, s5): resulting order (0,1,2,4,3,5) —
         // exactly the paper's (s2,s3,s4,s6,s5,s7).
         assert_eq!(sinks(&ch), vec![-1, 3, 5]);
@@ -149,11 +146,12 @@ mod tests {
         // Ω = χ1 covering 7 sinks in window [0..=7] (hole at 6);
         // ω = χ3 covering 4 sinks in window [0..=5] (holes 1 and 4).
         let n = 8;
-        let outer = Window::place(7, 7, Shape::Chi1, n).unwrap();
+        let outer = Window::place(7, 7, Shape::Chi1, n).expect("window fits inside the sink range");
         assert_eq!(outer.right_hole(), Some(6));
-        let inner = Window::place(5, 4, Shape::Chi3, n).unwrap();
+        let inner = Window::place(5, 4, Shape::Chi3, n).expect("window fits inside the sink range");
         assert_eq!((inner.left_hole(), inner.right_hole()), (Some(1), Some(4)));
-        let ch = child_sequence(outer, inner, &order(n)).unwrap();
+        let ch = child_sequence(outer, inner, &order(n))
+            .expect("inner window nests inside the outer window");
         // Sequence: s1 (left hole, before ω), ω {0,2,3,5}, s4 (right hole,
         // after ω), then s7 (position 6 is Ω's hole, bubbled further out).
         assert_eq!(sinks(&ch), vec![1, -1, 4, 7]);
@@ -166,16 +164,16 @@ mod tests {
         // Ω = χ1 over window [0..=5] covering {0,1,2,3,5} (hole 4);
         // ω = χ0 over [3..=4] covers position 4 -> illegal (Figure 12).
         let n = 6;
-        let outer = Window::place(5, 5, Shape::Chi1, n).unwrap();
-        let inner = Window::place(4, 2, Shape::Chi0, n).unwrap();
+        let outer = Window::place(5, 5, Shape::Chi1, n).expect("window fits inside the sink range");
+        let inner = Window::place(4, 2, Shape::Chi0, n).expect("window fits inside the sink range");
         assert!(child_sequence(outer, inner, &order(n)).is_none());
     }
 
     #[test]
     fn inner_must_fit_inside_outer() {
         let n = 10;
-        let outer = Window::place(5, 4, Shape::Chi0, n).unwrap();
-        let inner = Window::place(7, 2, Shape::Chi0, n).unwrap();
+        let outer = Window::place(5, 4, Shape::Chi0, n).expect("window fits inside the sink range");
+        let inner = Window::place(7, 2, Shape::Chi0, n).expect("window fits inside the sink range");
         assert!(child_sequence(outer, inner, &order(n)).is_none());
     }
 
@@ -184,9 +182,10 @@ mod tests {
         // Ω = χ1 over [0..=5] (hole 4); ω = χ1 over [1..=5] (hole 4 too):
         // the hole sink bubbles past both borders, adopted by Ω's parent.
         let n = 6;
-        let outer = Window::place(5, 5, Shape::Chi1, n).unwrap();
-        let inner = Window::place(5, 4, Shape::Chi1, n).unwrap();
-        let ch = child_sequence(outer, inner, &order(n)).unwrap();
+        let outer = Window::place(5, 5, Shape::Chi1, n).expect("window fits inside the sink range");
+        let inner = Window::place(5, 4, Shape::Chi1, n).expect("window fits inside the sink range");
+        let ch = child_sequence(outer, inner, &order(n))
+            .expect("inner window nests inside the outer window");
         // Leaf 0 then the group; hole sink 4 is NOT emitted here.
         assert_eq!(sinks(&ch), vec![0, -1]);
     }
@@ -196,7 +195,7 @@ mod tests {
         // |children| = (outer.covered - inner.covered) + 1 when holes line
         // up with coverage.
         let n = 12;
-        let outer = Window::place(9, 8, Shape::Chi0, n).unwrap();
+        let outer = Window::place(9, 8, Shape::Chi0, n).expect("window fits inside the sink range");
         for (cov, shape) in [(3, Shape::Chi0), (3, Shape::Chi1), (2, Shape::Chi3)] {
             for right in 2..=9 {
                 if let Some(inner) = Window::place(right, cov, shape, n) {
@@ -219,19 +218,20 @@ mod tests {
     fn multi_inner_disjoint_groups() {
         // Two χ0 groups inside a χ0 outer: [g(0..=1), s2, g(3..=4), s5].
         let n = 6;
-        let outer = Window::place(5, 6, Shape::Chi0, n).unwrap();
-        let g1 = Window::place(1, 2, Shape::Chi0, n).unwrap();
-        let g2 = Window::place(4, 2, Shape::Chi0, n).unwrap();
-        let ch = child_sequence_multi(outer, &[g1, g2], &order(n)).unwrap();
+        let outer = Window::place(5, 6, Shape::Chi0, n).expect("window fits inside the sink range");
+        let g1 = Window::place(1, 2, Shape::Chi0, n).expect("window fits inside the sink range");
+        let g2 = Window::place(4, 2, Shape::Chi0, n).expect("window fits inside the sink range");
+        let ch = child_sequence_multi(outer, &[g1, g2], &order(n))
+            .expect("gap windows nest inside the outer window");
         assert_eq!(sinks(&ch), vec![-1, 2, -1, 5]);
     }
 
     #[test]
     fn multi_inner_overlap_rejected() {
         let n = 6;
-        let outer = Window::place(5, 6, Shape::Chi0, n).unwrap();
-        let g1 = Window::place(2, 3, Shape::Chi0, n).unwrap();
-        let g2 = Window::place(4, 3, Shape::Chi0, n).unwrap(); // overlaps g1
+        let outer = Window::place(5, 6, Shape::Chi0, n).expect("window fits inside the sink range");
+        let g1 = Window::place(2, 3, Shape::Chi0, n).expect("window fits inside the sink range");
+        let g2 = Window::place(4, 3, Shape::Chi0, n).expect("window fits inside the sink range"); // overlaps g1
         assert!(child_sequence_multi(outer, &[g1, g2], &order(n)).is_none());
     }
 
@@ -240,18 +240,19 @@ mod tests {
         // g1 = χ1 over [0..=2] (hole 1), g2 = χ0 over [4..=5]:
         // sequence g1, s1(bubbled), s3, g2.
         let n = 6;
-        let outer = Window::place(5, 6, Shape::Chi0, n).unwrap();
-        let g1 = Window::place(2, 2, Shape::Chi1, n).unwrap();
-        let g2 = Window::place(5, 2, Shape::Chi0, n).unwrap();
-        let ch = child_sequence_multi(outer, &[g1, g2], &order(n)).unwrap();
+        let outer = Window::place(5, 6, Shape::Chi0, n).expect("window fits inside the sink range");
+        let g1 = Window::place(2, 2, Shape::Chi1, n).expect("window fits inside the sink range");
+        let g2 = Window::place(5, 2, Shape::Chi0, n).expect("window fits inside the sink range");
+        let ch = child_sequence_multi(outer, &[g1, g2], &order(n))
+            .expect("gap windows nest inside the outer window");
         assert_eq!(sinks(&ch), vec![-1, 1, 3, -1]);
     }
 
     #[test]
     fn all_covered_sinks_appear_exactly_once() {
         let n = 10;
-        let outer = Window::place(8, 7, Shape::Chi1, n).unwrap();
-        let inner = Window::place(6, 3, Shape::Chi2, n).unwrap();
+        let outer = Window::place(8, 7, Shape::Chi1, n).expect("window fits inside the sink range");
+        let inner = Window::place(6, 3, Shape::Chi2, n).expect("window fits inside the sink range");
         if let Some(ch) = child_sequence(outer, inner, &order(n)) {
             let mut leaf_sinks: Vec<u32> = ch
                 .iter()

@@ -15,7 +15,7 @@ use merlin_curves::{Curve, CurvePoint, ProvArena, ProvId};
 use merlin_geom::{manhattan, Point};
 use merlin_netlist::Net;
 use merlin_order::SinkOrder;
-use merlin_tech::units::PsTime;
+use merlin_tech::units::{ps_cmp, PsTime};
 use merlin_tech::{BufferedTree, Driver, Technology};
 use std::collections::HashSet;
 use std::rc::Rc;
@@ -111,9 +111,7 @@ impl<'a> BubbleConstruct<'a> {
             v.dedup();
             v
         };
-        let neighbors: Vec<Vec<u16>> = if cfg.reloc_neighbors == 0
-            || cfg.reloc_neighbors >= k
-        {
+        let neighbors: Vec<Vec<u16>> = if cfg.reloc_neighbors == 0 || cfg.reloc_neighbors >= k {
             Vec::new()
         } else {
             candidates
@@ -171,20 +169,19 @@ impl<'a> BubbleConstruct<'a> {
                     };
                     let mut fam: Vec<Curve> = vec![Curve::new(); k];
                     let mut seen: HashSet<Vec<Child>> = HashSet::new();
-                    let mut consume =
-                        |seq: Vec<Child>,
-                         fam: &mut Vec<Curve>,
-                         seen: &mut HashSet<Vec<Child>>,
-                         cache: &mut StarCache,
-                         arena: &mut ProvArena<Step>| {
-                            if !seen.insert(seq.clone()) {
-                                return;
-                            }
-                            let curves = range_curves(&ctx, &seq, &gamma, cache, arena);
-                            for (p, c) in curves.iter().enumerate() {
-                                fam[p].absorb(c.clone());
-                            }
-                        };
+                    let consume = |seq: Vec<Child>,
+                                   fam: &mut Vec<Curve>,
+                                   seen: &mut HashSet<Vec<Child>>,
+                                   cache: &mut StarCache,
+                                   arena: &mut ProvArena<Step>| {
+                        if !seen.insert(seq.clone()) {
+                            return;
+                        }
+                        let curves = range_curves(&ctx, &seq, &gamma, cache, arena);
+                        for (p, c) in curves.iter().enumerate() {
+                            fam[p].absorb(c.clone());
+                        }
+                    };
                     for l in l_min..big_l {
                         for e in shapes {
                             let lpp = l + e.stretch();
@@ -195,8 +192,7 @@ impl<'a> BubbleConstruct<'a> {
                                 let Some(inner) = Window::place(r, l, *e, n) else {
                                     continue;
                                 };
-                                let Some(seq) = child_sequence(outer, inner, order)
-                                else {
+                                let Some(seq) = child_sequence(outer, inner, order) else {
                                     continue;
                                 };
                                 consume(seq, &mut fam, &mut seen, &mut cache, &mut arena);
@@ -212,37 +208,29 @@ impl<'a> BubbleConstruct<'a> {
                                     continue;
                                 }
                                 for r1 in (outer.start() + lpp1 - 1)..=outer.right {
-                                    let Some(in1) = Window::place(r1, l1, *e1, n)
-                                    else {
+                                    let Some(in1) = Window::place(r1, l1, *e1, n) else {
                                         continue;
                                     };
                                     for l2 in 1..big_l {
                                         // (L - l1 - l2) leaves + 2 groups ≤ α.
-                                        if l1 + l2 > big_l
-                                            || big_l - l1 - l2 + 2 > cfg.alpha
-                                        {
+                                        if l1 + l2 > big_l || big_l - l1 - l2 + 2 > cfg.alpha {
                                             continue;
                                         }
                                         for e2 in shapes {
                                             let lpp2 = l2 + e2.stretch();
-                                            for r2 in (in1.right + lpp2)
-                                                ..=outer.right
-                                            {
-                                                let Some(in2) =
-                                                    Window::place(r2, l2, *e2, n)
+                                            for r2 in (in1.right + lpp2)..=outer.right {
+                                                let Some(in2) = Window::place(r2, l2, *e2, n)
                                                 else {
                                                     continue;
                                                 };
-                                                let Some(seq) = child_sequence_multi(
-                                                    outer,
-                                                    &[in1, in2],
-                                                    order,
-                                                ) else {
+                                                let Some(seq) =
+                                                    child_sequence_multi(outer, &[in1, in2], order)
+                                                else {
                                                     continue;
                                                 };
                                                 consume(
-                                                    seq, &mut fam, &mut seen,
-                                                    &mut cache, &mut arena,
+                                                    seq, &mut fam, &mut seen, &mut cache,
+                                                    &mut arena,
                                                 );
                                             }
                                         }
@@ -332,7 +320,7 @@ impl ConstructResult {
                 .curve
                 .iter()
                 .filter(|p| p.area <= budget)
-                .max_by(|a, b| self.driver_required(a).total_cmp(&self.driver_required(b)))
+                .max_by(|a, b| ps_cmp(self.driver_required(a), self.driver_required(b)))
                 .or_else(|| {
                     // Budget smaller than every solution: cheapest one.
                     self.curve.iter().min_by_key(|p| p.area)
@@ -344,9 +332,9 @@ impl ConstructResult {
                 .filter(|p| self.driver_required(p) >= target)
                 .min_by_key(|p| p.area)
                 .or_else(|| {
-                    self.curve.iter().max_by(|a, b| {
-                        self.driver_required(a).total_cmp(&self.driver_required(b))
-                    })
+                    self.curve
+                        .iter()
+                        .max_by(|a, b| ps_cmp(self.driver_required(a), self.driver_required(b)))
                 })
                 .copied(),
         }
@@ -409,9 +397,11 @@ mod tests {
         let bc = BubbleConstruct::new(&net, &t, cfg());
         let res = bc.run(&SinkOrder::identity(1));
         assert!(!res.curve.is_empty());
-        let best = res.select(Constraint::best_req()).unwrap();
+        let best = res
+            .select(Constraint::best_req())
+            .expect("BUBBLE_CONSTRUCT always yields a solution");
         let tree = res.extract(&best);
-        tree.validate(1, &t).unwrap();
+        tree.validate(1, &t).expect("produced tree is well-formed");
         let eval = tree.evaluate(&t, &net.driver, &net.sink_loads(), &net.sink_reqs());
         assert!((res.driver_required(&best) - eval.root_required_ps).abs() < 1e-6);
     }
@@ -429,9 +419,9 @@ mod tests {
             assert!(!res.curve.is_empty(), "seed {seed}");
             for p in res.curve.iter() {
                 let tree = res.extract(p);
-                tree.validate(net.num_sinks(), &t).unwrap();
-                let eval =
-                    tree.evaluate(&t, &net.driver, &net.sink_loads(), &net.sink_reqs());
+                tree.validate(net.num_sinks(), &t)
+                    .expect("produced tree is well-formed");
+                let eval = tree.evaluate(&t, &net.driver, &net.sink_loads(), &net.sink_reqs());
                 assert!(
                     (res.driver_required(p) - eval.root_required_ps).abs() < 1e-6,
                     "seed {seed}: req {} vs {}",
@@ -476,7 +466,9 @@ mod tests {
         no_bubble.enable_bubbling = false;
         let without = BubbleConstruct::new(&net, &t, no_bubble).run(&order);
         let best = |r: &ConstructResult| {
-            let p = r.select(Constraint::best_req()).unwrap();
+            let p = r
+                .select(Constraint::best_req())
+                .expect("BUBBLE_CONSTRUCT always yields a solution");
             r.driver_required(&p)
         };
         assert!(best(&with) >= best(&without) - 1e-6);
@@ -488,18 +480,26 @@ mod tests {
         let net = random_net("n", 5, 2, &t);
         let order = tsp_order(net.source, &net.sink_positions());
         let res = BubbleConstruct::new(&net, &t, cfg()).run(&order);
-        let unconstrained = res.select(Constraint::best_req()).unwrap();
+        let unconstrained = res
+            .select(Constraint::best_req())
+            .expect("BUBBLE_CONSTRUCT always yields a solution");
         if unconstrained.area > 0 {
             let tight = res
                 .select(Constraint::MaxReqWithinArea(unconstrained.area - 1))
-                .unwrap();
+                .expect("value exists by test construction");
             assert!(tight.area < unconstrained.area);
         }
         // Variant II at an easy target returns a zero-or-small area.
-        let easy = res.select(Constraint::MinAreaWithReq(f64::NEG_INFINITY)).unwrap();
+        let easy = res
+            .select(Constraint::MinAreaWithReq(f64::NEG_INFINITY))
+            .expect("BUBBLE_CONSTRUCT always yields a solution");
         assert_eq!(
             easy.area,
-            res.curve.iter().map(|p| p.area).min().unwrap()
+            res.curve
+                .iter()
+                .map(|p| p.area)
+                .min()
+                .expect("curve is non-empty")
         );
     }
 
@@ -515,13 +515,16 @@ mod tests {
         relaxed_cfg.max_inner_groups = 2;
         let relaxed = BubbleConstruct::new(&net, &t, relaxed_cfg).run(&order);
         let best = |r: &ConstructResult| {
-            let p = r.select(Constraint::best_req()).unwrap();
+            let p = r
+                .select(Constraint::best_req())
+                .expect("BUBBLE_CONSTRUCT always yields a solution");
             r.driver_required(&p)
         };
         assert!(best(&relaxed) >= best(&strict) - 1e-6);
         for p in relaxed.curve.iter() {
             let tree = relaxed.extract(p);
-            tree.validate(net.num_sinks(), &t).unwrap();
+            tree.validate(net.num_sinks(), &t)
+                .expect("produced tree is well-formed");
             let eval = tree.evaluate(&t, &net.driver, &net.sink_loads(), &net.sink_reqs());
             assert!((relaxed.driver_required(p) - eval.root_required_ps).abs() < 1e-6);
             assert_eq!(eval.buffer_area, p.area);

@@ -1,7 +1,7 @@
 //! Solution extraction (Figure 9, lines 21–23): following the pointers
 //! stored during curve generation to rebuild the buffered routing tree.
 
-use merlin_curves::{ProvArena, ProvId};
+use merlin_curves::{ProvArena, ProvId, ProvStep};
 use merlin_geom::Point;
 use merlin_tech::{BufferedTree, NodeId, NodeKind};
 
@@ -38,6 +38,19 @@ pub enum Step {
     },
 }
 
+impl ProvStep for Step {
+    fn push_children(&self, out: &mut Vec<ProvId>) {
+        match *self {
+            Step::Route { .. } => {}
+            Step::Merge { left, right } => {
+                out.push(left);
+                out.push(right);
+            }
+            Step::Extend { child, .. } | Step::Buffer { child, .. } => out.push(child),
+        }
+    }
+}
+
 /// Candidate index at which the structure described by `prov` is rooted.
 pub fn root_point(arena: &ProvArena<Step>, prov: ProvId) -> u16 {
     let mut cur = prov;
@@ -59,6 +72,7 @@ pub fn extract_tree(
     candidates: &[Point],
     sink_positions: &[Point],
 ) -> BufferedTree {
+    arena.debug_validate("BUBBLE_CONSTRUCT extraction");
     let mut tree = BufferedTree::new(source);
     let rp = candidates[root_point(arena, prov) as usize];
     let root = if rp == source {
@@ -132,7 +146,10 @@ mod tests {
         let r0 = arena.push(Step::Route { sink: 0, from: 0 });
         let b0 = arena.push(Step::Buffer { buf: 1, child: r0 });
         let r1 = arena.push(Step::Route { sink: 1, from: 0 });
-        let m = arena.push(Step::Merge { left: b0, right: r1 });
+        let m = arena.push(Step::Merge {
+            left: b0,
+            right: r1,
+        });
         let cands = [Point::new(0, 0)];
         let sinks = [Point::new(10, 0), Point::new(0, 10)];
         let tree = extract_tree(&arena, m, Point::new(0, 0), &cands, &sinks);

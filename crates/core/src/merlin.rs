@@ -92,9 +92,8 @@ impl<'a> Merlin<'a> {
                 Constraint::MaxReqWithinArea(_) => cost,
                 Constraint::MinAreaWithReq(_) => point.area as f64,
             });
-            let tree_order =
-                SinkOrder::new(run.extract(&point).sink_order()).expect("permutation");
-            let improved = best.as_ref().map_or(true, |(c, ..)| cost > *c + 1e-9);
+            let tree_order = SinkOrder::new(run.extract(&point).sink_order()).expect("permutation");
+            let improved = best.as_ref().is_none_or(|(c, ..)| cost > *c + 1e-9);
             if improved {
                 best = Some((cost, point, run, tree_order.clone()));
             }
@@ -138,10 +137,12 @@ mod tests {
             let net = random_net("n", 4, seed, &tech);
             let out = Merlin::new(&tech, small_cfg()).optimize(&net);
             assert!(out.loops >= 1 && out.loops <= small_cfg().max_loops);
-            out.tree.validate(4, &tech).unwrap();
-            let eval =
-                out.tree
-                    .evaluate(&tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
+            out.tree
+                .validate(4, &tech)
+                .expect("produced tree is well-formed");
+            let eval = out
+                .tree
+                .evaluate(&tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
             assert!(
                 (eval.root_required_ps - out.root_required_ps).abs() < 1e-6,
                 "seed {seed}"

@@ -127,6 +127,9 @@ impl Gamma {
         Rc::clone(
             self.map
                 .get(&(l, e, r))
+                // Γ entries are filled in dependency order, so a missing entry is a
+                // construction-order bug worth dying loudly on.
+                // audit:allow(panic)
                 .unwrap_or_else(|| panic!("Γ({l},{e},{r}) not constructed yet")),
         )
     }
@@ -304,6 +307,7 @@ fn base_curves(
                 .map(|(pi, &p)| {
                     let len = manhattan(p, sink.pos);
                     let mut c = Curve::with_capacity(1);
+                    // audit:allow(push-without-prune): one point is trivially non-inferior.
                     c.push(CurvePoint::with_load(
                         sink.load + ctx.tech.wire.wire_cap(len),
                         sink.req - ctx.tech.wire.elmore_ps(len, sink.load),
@@ -429,7 +433,10 @@ mod tests {
         assert!(!at_sink.is_empty());
         assert!(at_sink.iter().any(|p| p.area == 0));
         assert!(at_sink.iter().any(|p| p.area > 0));
-        let direct = at_sink.iter().find(|p| p.area == 0).unwrap();
+        let direct = at_sink
+            .iter()
+            .find(|p| p.area == 0)
+            .expect("the direct unbuffered solution is always kept");
         assert_eq!(direct.load, Cap::from_ff(10.0));
         assert_eq!(direct.req, 1000.0);
     }

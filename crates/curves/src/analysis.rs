@@ -4,6 +4,8 @@
 //! whole non-inferior fronts rather than single best points, and by tests
 //! that need a quantitative "how much better" answer.
 
+use merlin_tech::units::ps_max;
+
 use crate::curve::Curve;
 use crate::point::CurvePoint;
 
@@ -29,13 +31,14 @@ pub fn stats(curve: &Curve) -> Option<CurveStats> {
     }
     Some(CurveStats {
         len: curve.len(),
-        best_req: curve
-            .iter()
-            .map(|p| p.req)
-            .fold(f64::NEG_INFINITY, f64::max),
+        best_req: curve.iter().map(|p| p.req).fold(f64::NEG_INFINITY, ps_max),
         min_area: curve.iter().map(|p| p.area).min().expect("non-empty"),
         max_area: curve.iter().map(|p| p.area).max().expect("non-empty"),
-        min_load: curve.iter().map(|p| p.load.units()).min().expect("non-empty"),
+        min_load: curve
+            .iter()
+            .map(|p| p.load.units())
+            .min()
+            .expect("non-empty"),
     })
 }
 
@@ -66,13 +69,12 @@ pub fn req_profile(curve: &Curve, samples: usize) -> Vec<(u64, f64)> {
     (0..samples)
         .map(|i| {
             let budget = st.min_area
-                + ((st.max_area - st.min_area) as u128 * i as u128 / (samples - 1) as u128)
-                    as u64;
+                + ((st.max_area - st.min_area) as u128 * i as u128 / (samples - 1) as u128) as u64;
             let best = curve
                 .iter()
                 .filter(|p| p.area <= budget)
                 .map(|p| p.req)
-                .fold(f64::NEG_INFINITY, f64::max);
+                .fold(f64::NEG_INFINITY, ps_max);
             (budget, best)
         })
         .collect()
@@ -83,9 +85,7 @@ pub fn req_profile(curve: &Curve, samples: usize) -> Vec<(u64, f64)> {
 /// a quick qualitative diff between two fronts.
 pub fn strict_improvements<'a>(a: &'a Curve, b: &Curve) -> Vec<&'a CurvePoint> {
     a.iter()
-        .filter(|p| {
-            b.iter().any(|q| p.dominates(q)) && !b.iter().any(|q| q.dominates(p))
-        })
+        .filter(|p| b.iter().any(|q| p.dominates(q)) && !b.iter().any(|q| q.dominates(p)))
         .collect()
 }
 
@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn stats_basics() {
         let c = curve(&[(10, 100.0, 5), (5, 60.0, 0)]);
-        let s = stats(&c).unwrap();
+        let s = stats(&c).expect("curve is non-empty");
         assert_eq!(s.len, 2);
         assert_eq!(s.best_req, 100.0);
         assert_eq!(s.min_area, 0);
@@ -134,7 +134,7 @@ mod tests {
             assert!(w[1].1 >= w[0].1);
             assert!(w[1].0 >= w[0].0);
         }
-        assert_eq!(prof.last().unwrap().1, 100.0);
+        assert_eq!(prof.last().expect("profile is non-empty").1, 100.0);
     }
 
     #[test]

@@ -28,6 +28,44 @@ impl fmt::Display for ProvId {
     }
 }
 
+/// A construction step whose referenced provenance handles can be
+/// enumerated, enabling structural validation of a [`ProvArena`].
+///
+/// Engines implement this for their step enums so the arena can check the
+/// two invariants every extraction relies on: every referenced handle is
+/// in bounds, and handles only point *backwards* (the arena is append-only,
+/// so a well-formed DP can never store a forward reference — that ordering
+/// is also what makes the step graph acyclic).
+pub trait ProvStep {
+    /// Appends every [`ProvId`] this step references to `out`.
+    fn push_children(&self, out: &mut Vec<ProvId>);
+}
+
+/// Structural defect found by [`ProvArena::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProvArenaError {
+    /// A step references a handle outside the arena.
+    OutOfBounds { step: usize, child: ProvId },
+    /// A step references itself or a later step, which would make the
+    /// back-pointer graph cyclic (or at least non-topological).
+    ForwardReference { step: usize, child: ProvId },
+}
+
+impl fmt::Display for ProvArenaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvArenaError::OutOfBounds { step, child } => {
+                write!(f, "step #{step} references out-of-bounds handle {child}")
+            }
+            ProvArenaError::ForwardReference { step, child } => {
+                write!(f, "step #{step} references non-earlier handle {child}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProvArenaError {}
+
 /// Append-only arena of construction steps of type `S`.
 ///
 /// Every point on a solution curve carries a [`ProvId`] into such an arena;
@@ -100,6 +138,45 @@ impl<S> ProvArena<S> {
     }
 }
 
+impl<S: ProvStep> ProvArena<S> {
+    /// Checks that every step only references earlier, in-bounds steps.
+    ///
+    /// Because the arena is append-only, a well-formed DP run can only
+    /// store handles to steps that already existed; `validate` confirms
+    /// that property, which in turn guarantees the back-pointer graph is
+    /// acyclic and every extraction walk terminates. Runs in O(total
+    /// number of references).
+    pub fn validate(&self) -> Result<(), ProvArenaError> {
+        let mut children = Vec::new();
+        for (i, step) in self.steps.iter().enumerate() {
+            children.clear();
+            step.push_children(&mut children);
+            for &child in &children {
+                if child.index() >= self.steps.len() {
+                    return Err(ProvArenaError::OutOfBounds { step: i, child });
+                }
+                if child.index() >= i {
+                    return Err(ProvArenaError::ForwardReference { step: i, child });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build / `invariant-checks` assertion wrapper around
+    /// [`validate`](Self::validate). Compiles to nothing in plain release
+    /// builds.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn debug_validate(&self, ctx: &str) {
+        #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+        if let Err(e) = self.validate() {
+            // audit:allow(panic): this IS the invariant checker.
+            panic!("provenance arena invariant violated at {ctx}: {e}");
+        }
+    }
+}
+
 impl<S> std::ops::Index<ProvId> for ProvArena<S> {
     type Output = S;
     fn index(&self, id: ProvId) -> &S {
@@ -126,5 +203,58 @@ mod tests {
         let a: ProvArena<u8> = ProvArena::new();
         assert!(a.get(ProvId::new(3)).is_none());
         assert!(a.is_empty());
+    }
+
+    enum TestStep {
+        Leaf,
+        Join(ProvId, ProvId),
+    }
+
+    impl ProvStep for TestStep {
+        fn push_children(&self, out: &mut Vec<ProvId>) {
+            if let TestStep::Join(l, r) = self {
+                out.push(*l);
+                out.push(*r);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_topological_arena() {
+        let mut a = ProvArena::new();
+        let l = a.push(TestStep::Leaf);
+        let r = a.push(TestStep::Leaf);
+        let j = a.push(TestStep::Join(l, r));
+        a.push(TestStep::Join(j, l));
+        assert_eq!(a.validate(), Ok(()));
+        a.debug_validate("test");
+    }
+
+    #[test]
+    fn validate_rejects_forward_reference() {
+        let mut a = ProvArena::new();
+        let l = a.push(TestStep::Leaf);
+        a.push(TestStep::Join(l, ProvId::new(1))); // step 1 references itself
+        assert_eq!(
+            a.validate(),
+            Err(ProvArenaError::ForwardReference {
+                step: 1,
+                child: ProvId::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds() {
+        let mut a = ProvArena::new();
+        let l = a.push(TestStep::Leaf);
+        a.push(TestStep::Join(l, ProvId::new(99)));
+        assert_eq!(
+            a.validate(),
+            Err(ProvArenaError::OutOfBounds {
+                step: 1,
+                child: ProvId::new(99)
+            })
+        );
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use merlin_tech::units::{Cap, PsTime};
+use merlin_tech::units::{ps_cmp, Cap, PsTime};
 use merlin_tech::{BufferLibrary, WireModel};
 
 use crate::arena::ProvId;
@@ -34,6 +34,49 @@ use crate::point::CurvePoint;
 pub struct Curve {
     pts: Vec<CurvePoint>,
 }
+
+/// A violation of the post-[`Curve::prune`] invariant (Definition 6 plus
+/// the load-sorted storage contract), reported by
+/// [`Curve::check_invariants`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CurveInvariantError {
+    /// `pts[index].req` is NaN — NaN must never reach a curve comparison.
+    NanReq {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// `pts[index]` is not in strictly increasing `(load, area)` order
+    /// relative to its predecessor.
+    NotSorted {
+        /// Index of the out-of-order point.
+        index: usize,
+    },
+    /// `pts[index]` is rendered inferior (Definition 6) by `pts[by]`.
+    Dominated {
+        /// Index of the inferior point.
+        index: usize,
+        /// Index of a dominating point.
+        by: usize,
+    },
+}
+
+impl std::fmt::Display for CurveInvariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            CurveInvariantError::NanReq { index } => {
+                write!(f, "point {index} has a NaN required time")
+            }
+            CurveInvariantError::NotSorted { index } => {
+                write!(f, "point {index} breaks the (load, area) sort order")
+            }
+            CurveInvariantError::Dominated { index, by } => {
+                write!(f, "point {index} is inferior to point {by} (Definition 6)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CurveInvariantError {}
 
 impl Curve {
     /// Creates an empty curve.
@@ -88,7 +131,7 @@ impl Curve {
             a.load
                 .cmp(&b.load)
                 .then(a.area.cmp(&b.area))
-                .then(b.req.total_cmp(&a.req))
+                .then(ps_cmp(b.req, a.req))
         });
         // Staircase over already-accepted points: area -> req, with req
         // strictly increasing in area. The last entry with area <= A holds
@@ -116,6 +159,73 @@ impl Curve {
             out.push(p);
         }
         self.pts = out;
+        self.debug_check_noninferior("prune");
+    }
+
+    /// Verifies the post-[`Curve::prune`] contract: no NaN required time,
+    /// points in strictly increasing `(load, area)` order, and no point
+    /// inferior to another (Definition 6).
+    ///
+    /// Runs in `O(s log s)` with the same staircase sweep as the pruning
+    /// operation, so it is cheap enough to assert after every DP operator
+    /// in debug builds. The `O(s²)` [`Curve::is_pruned`] stays as the
+    /// brute-force cross-check in tests.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, in storage order.
+    pub fn check_invariants(&self) -> Result<(), CurveInvariantError> {
+        // (area -> (req, index)) staircase of already-seen points: the
+        // entry with the largest area <= A holds the best req among seen
+        // points with area <= A (and load <= current, by sweep order).
+        let mut stair: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+        for (i, p) in self.pts.iter().enumerate() {
+            if p.req.is_nan() {
+                return Err(CurveInvariantError::NanReq { index: i });
+            }
+            if i > 0 {
+                let q = &self.pts[i - 1];
+                if (q.load, q.area) >= (p.load, p.area) {
+                    return Err(CurveInvariantError::NotSorted { index: i });
+                }
+            }
+            if let Some((_, &(r, by))) = stair.range(..=p.area).next_back() {
+                if r >= p.req {
+                    return Err(CurveInvariantError::Dominated { index: i, by });
+                }
+            }
+            let stale: Vec<u64> = stair
+                .range(p.area..)
+                .take_while(|(_, &(r, _))| r <= p.req)
+                .map(|(&a, _)| a)
+                .collect();
+            for a in stale {
+                stair.remove(&a);
+            }
+            stair.insert(p.area, (p.req, i));
+        }
+        Ok(())
+    }
+
+    /// Debug-mode Definition-6 assertion: panics if
+    /// [`Curve::check_invariants`] fails.
+    ///
+    /// Compiled to a no-op unless `debug_assertions` are on or the
+    /// `invariant-checks` feature is enabled, so release-mode DP hot paths
+    /// pay nothing. `ctx` names the operator being checked for the panic
+    /// message.
+    #[inline]
+    pub fn debug_check_noninferior(&self, ctx: &str) {
+        #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+        if let Err(e) = self.check_invariants() {
+            // audit:allow(panic): this IS the invariant checker.
+            panic!(
+                "curve invariant violated after {ctx}: {e} ({} points)",
+                self.len()
+            );
+        }
+        #[cfg(not(any(debug_assertions, feature = "invariant-checks")))]
+        let _ = ctx;
     }
 
     /// Whether no point dominates another (used by tests; `O(s²)`).
@@ -151,6 +261,7 @@ impl Curve {
             }
         }
         out.prune();
+        out.debug_check_noninferior("merged_with");
         out
     }
 
@@ -173,6 +284,7 @@ impl Curve {
             });
         }
         out.prune();
+        out.debug_check_noninferior("extended");
         out
     }
 
@@ -199,6 +311,7 @@ impl Curve {
             }
         }
         out.prune();
+        out.debug_check_noninferior("with_buffer_options");
         out
     }
 
@@ -213,6 +326,7 @@ impl Curve {
         }
         self.pts.extend(other.pts);
         self.prune();
+        self.debug_check_noninferior("absorb");
     }
 
     /// Best (largest) required time among solutions with `area ≤ budget`
@@ -221,7 +335,7 @@ impl Curve {
         self.pts
             .iter()
             .filter(|p| p.area <= budget)
-            .max_by(|a, b| a.req.total_cmp(&b.req))
+            .max_by(|a, b| ps_cmp(a.req, b.req))
     }
 
     /// Cheapest (smallest-area) solution achieving `req ≥ target`.
@@ -244,12 +358,12 @@ impl Curve {
         if max_points == 0 || self.pts.len() <= max_points {
             return;
         }
-        self.pts.sort_unstable_by(|a, b| a.load.cmp(&b.load));
+        self.pts.sort_unstable_by_key(|a| a.load);
         let best_req_idx = self
             .pts
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.req.total_cmp(&b.1.req))
+            .max_by(|a, b| ps_cmp(a.1.req, b.1.req))
             .map(|(i, _)| i)
             .unwrap_or(0);
         let n = self.pts.len();
@@ -314,8 +428,8 @@ mod tests {
         let mut out: Vec<CurvePoint> = Vec::new();
         'outer: for (i, p) in pts.iter().enumerate() {
             for (j, q) in pts.iter().enumerate() {
-                let strictly_better = q.dominates(p)
-                    && (q.load != p.load || q.req != p.req || q.area != p.area);
+                let strictly_better =
+                    q.dominates(p) && (q.load != p.load || q.req != p.req || q.area != p.area);
                 if strictly_better {
                     continue 'outer;
                 }
@@ -450,10 +564,30 @@ mod tests {
         c.push(CurvePoint::new(10, 80.0, 20, pid(1)));
         c.push(CurvePoint::new(10, 60.0, 0, pid(2)));
         c.prune();
-        assert_eq!(c.best_req_within_area(30).unwrap().req, 80.0);
-        assert_eq!(c.best_req_within_area(0).unwrap().req, 60.0);
-        assert!(c.best_req_within_area(u64::MAX).unwrap().req == 100.0);
-        assert_eq!(c.min_area_with_req(70.0).unwrap().area, 20);
+        assert_eq!(
+            c.best_req_within_area(30)
+                .expect("curve has a point within the area budget")
+                .req,
+            80.0
+        );
+        assert_eq!(
+            c.best_req_within_area(0)
+                .expect("curve has a point within the area budget")
+                .req,
+            60.0
+        );
+        assert!(
+            c.best_req_within_area(u64::MAX)
+                .expect("curve has a point within the area budget")
+                .req
+                == 100.0
+        );
+        assert_eq!(
+            c.min_area_with_req(70.0)
+                .expect("a point meets the required time")
+                .area,
+            20
+        );
         assert!(c.min_area_with_req(1000.0).is_none());
     }
 
@@ -466,10 +600,18 @@ mod tests {
         }
         c.prune();
         assert_eq!(c.len(), 100);
-        let best = c.best_req_within_area(u64::MAX).unwrap().req;
+        let best = c
+            .best_req_within_area(u64::MAX)
+            .expect("curve has a point within the area budget")
+            .req;
         c.thin_to(10);
         assert!(c.len() <= 10 + 2);
-        assert_eq!(c.best_req_within_area(u64::MAX).unwrap().req, best);
+        assert_eq!(
+            c.best_req_within_area(u64::MAX)
+                .expect("curve has a point within the area budget")
+                .req,
+            best
+        );
     }
 
     #[test]

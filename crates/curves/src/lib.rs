@@ -34,6 +34,6 @@ pub mod arena;
 pub mod curve;
 pub mod point;
 
-pub use arena::{ProvArena, ProvId};
-pub use curve::Curve;
+pub use arena::{ProvArena, ProvArenaError, ProvId, ProvStep};
+pub use curve::{Curve, CurveInvariantError};
 pub use point::CurvePoint;

@@ -1,0 +1,134 @@
+//! Property tests for the non-inferiority invariants of [`Curve`].
+//!
+//! These are the contracts the debug-mode invariant checkers
+//! (`Curve::debug_check_noninferior`) assert after every curve operator;
+//! here they are exercised on randomized inputs so the checkers themselves
+//! are cross-validated against the O(s²) reference predicate
+//! [`Curve::is_pruned`].
+
+use merlin_curves::{Curve, CurvePoint, ProvId};
+use merlin_tech::{BufferLibrary, Technology};
+use proptest::prelude::*;
+
+type RawPoint = (u32, f64, u32);
+
+fn curve_from(points: &[RawPoint]) -> Curve {
+    let mut c = Curve::new();
+    for (i, &(load, req, area)) in points.iter().enumerate() {
+        c.push(CurvePoint::new(
+            load,
+            req,
+            area as u64,
+            ProvId::new(i as u32),
+        ));
+    }
+    c
+}
+
+fn triples(c: &Curve) -> Vec<(u64, f64, u64)> {
+    c.iter().map(|p| (p.load.0 as u64, p.req, p.area)).collect()
+}
+
+fn raw_points() -> impl Strategy<Value = Vec<RawPoint>> {
+    prop::collection::vec((1u32..400, 0.0f64..1000.0, 0u32..64), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn prune_is_idempotent(points in raw_points()) {
+        let mut c = curve_from(&points);
+        c.prune();
+        let once = triples(&c);
+        c.prune();
+        prop_assert_eq!(once, triples(&c));
+    }
+
+    #[test]
+    fn prune_output_is_load_sorted(points in raw_points()) {
+        let mut c = curve_from(&points);
+        c.prune();
+        for w in c.points().windows(2) {
+            // Post-prune contract: strictly increasing (load, area), so
+            // load is non-decreasing overall.
+            prop_assert!((w[0].load, w[0].area) < (w[1].load, w[1].area));
+            prop_assert!(w[0].load <= w[1].load);
+        }
+    }
+
+    #[test]
+    fn prune_output_is_pairwise_non_inferior(points in raw_points()) {
+        let mut c = curve_from(&points);
+        c.prune();
+        // O(s log s) staircase checker agrees with the O(s²) reference.
+        prop_assert!(c.is_pruned());
+        prop_assert!(c.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn prune_keeps_the_best_required_time(points in raw_points()) {
+        let mut c = curve_from(&points);
+        let best_before = c
+            .iter()
+            .map(|p| p.req)
+            .fold(f64::NEG_INFINITY, f64::max);
+        c.prune();
+        let best_after = c
+            .iter()
+            .map(|p| p.req)
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(best_before, best_after);
+    }
+
+    #[test]
+    fn merged_with_yields_pruned_curve(
+        left in raw_points(),
+        right in raw_points(),
+    ) {
+        let mut a = curve_from(&left);
+        let mut b = curve_from(&right);
+        a.prune();
+        b.prune();
+        let merged = a.merged_with(&b, |x, _| x);
+        prop_assert!(merged.is_pruned());
+        prop_assert!(merged.check_invariants().is_ok());
+        prop_assert!(merged.len() <= a.len() * b.len());
+    }
+
+    #[test]
+    fn extended_yields_pruned_curve(points in raw_points(), len in 1u64..5000) {
+        let tech = Technology::synthetic_035();
+        let mut c = curve_from(&points);
+        c.prune();
+        let ext = c.extended(&tech.wire, len, |p| p);
+        prop_assert!(ext.is_pruned());
+        prop_assert!(ext.check_invariants().is_ok());
+        prop_assert_eq!(ext.len() <= c.len(), true);
+    }
+
+    #[test]
+    fn buffer_options_yield_pruned_curve(points in raw_points()) {
+        let mut c = curve_from(&points);
+        c.prune();
+        let library = BufferLibrary::tiny_test();
+        let buffered = c.with_buffer_options(&library, |_, p| p);
+        prop_assert!(buffered.is_pruned());
+        prop_assert!(buffered.check_invariants().is_ok());
+        // The unbuffered originals never disappear entirely: the minimum
+        // load in the buffered curve is at most the smallest buffer cin or
+        // the original minimum.
+        if !c.is_empty() {
+            prop_assert!(!buffered.is_empty());
+        }
+    }
+
+    #[test]
+    fn absorb_yields_pruned_curve(left in raw_points(), right in raw_points()) {
+        let mut a = curve_from(&left);
+        let mut b = curve_from(&right);
+        a.prune();
+        b.prune();
+        a.absorb(b);
+        prop_assert!(a.is_pruned());
+        prop_assert!(a.check_invariants().is_ok());
+    }
+}

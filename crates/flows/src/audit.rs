@@ -1,0 +1,67 @@
+//! Debug-mode structural audit of flow outputs.
+//!
+//! Bridges the flows' [`BufferedTree`] representation to the geometric
+//! auditor in `merlin-geom`: every tree edge is embedded as its canonical
+//! L-shaped route and the resulting wires are checked for rectilinearity
+//! and root connectivity, with every sink position as a mandatory
+//! terminal. The harness calls [`debug_audit_tree`] on each flow's result,
+//! so any disconnected or non-Manhattan embedding trips in debug builds
+//! and under `--features invariant-checks` without taxing release runs.
+
+use merlin_geom::{audit_routed_tree, Point, Route, RouteAuditError};
+use merlin_tech::{BufferedTree, NodeKind};
+
+/// Audits a buffered tree's L-shaped embedding.
+///
+/// Returns the first rectilinearity or connectivity defect, if any. Edges
+/// between coincident nodes (buffer chains at one point) contribute no
+/// wires and are trivially connected.
+pub fn audit_tree(tree: &BufferedTree) -> Result<(), RouteAuditError> {
+    let mut wires: Vec<(Point, Point)> = Vec::new();
+    let mut terminals: Vec<Point> = Vec::new();
+    for (_, node) in tree.iter() {
+        if matches!(node.kind, NodeKind::Sink(_)) {
+            terminals.push(node.at);
+        }
+        for &ch in &node.children {
+            let route = Route::l_shaped(node.at, tree.node(ch).at);
+            for seg in route.segments() {
+                wires.push((seg.a(), seg.b()));
+            }
+        }
+    }
+    audit_routed_tree(tree.node(tree.root()).at, &wires, &terminals)
+}
+
+/// Debug-build / `invariant-checks` assertion wrapper around
+/// [`audit_tree`]. Compiles to nothing in plain release builds.
+#[allow(unused_variables)]
+#[inline]
+pub fn debug_audit_tree(tree: &BufferedTree, ctx: &str) {
+    #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+    if let Err(e) = audit_tree(tree) {
+        panic!("routed-tree invariant violated in {ctx}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_geom::Point;
+
+    #[test]
+    fn audits_hand_built_tree() {
+        let mut tree = BufferedTree::new(Point::new(0, 0));
+        let s = tree.add_child(tree.root(), NodeKind::Steiner, Point::new(5, 5));
+        tree.add_child(s, NodeKind::Sink(0), Point::new(9, 5));
+        tree.add_child(s, NodeKind::Buffer(1), Point::new(5, 5));
+        assert_eq!(audit_tree(&tree), Ok(()));
+        debug_audit_tree(&tree, "test");
+    }
+
+    #[test]
+    fn single_node_tree_is_valid() {
+        let tree = BufferedTree::new(Point::new(3, 3));
+        assert_eq!(audit_tree(&tree), Ok(()));
+    }
+}

@@ -59,11 +59,7 @@ pub fn net_problem(circuit: &Circuit, idx: usize, reqs: &[Vec<f64>]) -> Net {
 }
 
 /// Pushes `circuit` through `flow`.
-pub fn run_circuit(
-    circuit: &Circuit,
-    tech: &Technology,
-    flow: FlowKind,
-) -> CircuitMetrics {
+pub fn run_circuit(circuit: &Circuit, tech: &Technology, flow: FlowKind) -> CircuitMetrics {
     let start = Instant::now();
     let reqs = derive_sink_requirements(circuit, tech);
     let mut timings = Vec::with_capacity(circuit.nets.len());

@@ -16,7 +16,7 @@ use merlin_lttree::{FanoutTree, LtTree};
 use merlin_netlist::{Net, Sink};
 use merlin_order::tsp::tsp_order;
 use merlin_ptree::Ptree;
-use merlin_tech::units::Cap;
+use merlin_tech::units::{ps_min, Cap};
 use merlin_tech::{BufferedTree, Driver, NodeKind, Technology};
 
 use crate::{FlowResult, FlowsConfig};
@@ -88,13 +88,15 @@ fn embed(
             .collect();
         let mut pseudo_idx = None;
         if let Some(nx) = next {
-            let nb = fanout_tree.nodes[nx].buffer.expect("chain stages are buffers");
+            let nb = fanout_tree.nodes[nx]
+                .buffer
+                .expect("chain stages are buffers");
             let buf = &tech.library[nb as usize];
             let req = fanout_tree
                 .transitive_sinks(nx)
                 .iter()
                 .map(|&s| net.sinks[s as usize].req_ps)
-                .fold(f64::INFINITY, f64::min);
+                .fold(f64::INFINITY, ps_min);
             pseudo_idx = Some(sub_sinks.len() as u32);
             sub_sinks.push(Sink::new(stage_pos[nx], buf.cin, req));
         }

@@ -27,6 +27,7 @@
 //! assert!(row.flow3.delay_ps <= row.flow1.delay_ps * 1.5);
 //! ```
 
+pub mod audit;
 pub mod circuit_harness;
 pub mod flow0;
 pub mod flow1;
@@ -36,11 +37,11 @@ pub mod net_harness;
 pub mod report;
 pub mod sweep;
 
+use merlin::MerlinConfig;
 use merlin_geom::CandidateStrategy;
 use merlin_lttree::LtConfig;
 use merlin_ptree::PtreeConfig;
 use merlin_vanginneken::VgConfig;
-use merlin::MerlinConfig;
 
 /// One flow's outcome on a net.
 #[derive(Clone, Debug)]
@@ -77,9 +78,13 @@ impl FlowsConfig {
         let small = n <= 12;
         FlowsConfig {
             ptree: if small {
-                PtreeConfig { max_curve_points: 24 }
+                PtreeConfig {
+                    max_curve_points: 24,
+                }
             } else {
-                PtreeConfig { max_curve_points: 12 }
+                PtreeConfig {
+                    max_curve_points: 12,
+                }
             },
             baseline_candidates: if small {
                 CandidateStrategy::FullHanan

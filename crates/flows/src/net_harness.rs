@@ -61,6 +61,9 @@ pub fn run_net(net: &Net, circuit: &str, tech: &Technology, cfg: &FlowsConfig) -
     let f1 = flow1::run(net, tech, cfg);
     let f2 = flow2::run(net, tech, cfg);
     let f3 = flow3::run(net, tech, cfg);
+    crate::audit::debug_audit_tree(&f1.tree, "flow I output");
+    crate::audit::debug_audit_tree(&f2.tree, "flow II output");
+    crate::audit::debug_audit_tree(&f3.tree, "flow III output");
     NetRow {
         circuit: circuit.to_owned(),
         name: net.name.clone(),

@@ -93,7 +93,15 @@ pub fn table2(rows: &[CircuitRow]) -> String {
     let _ = writeln!(
         s,
         "{:<8} | {:>9} {:>8} {:>8} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}",
-        "circuit", "area_kλ²", "delay_ns", "run_s", "a_II", "d_II", "t_II", "a_III", "d_III",
+        "circuit",
+        "area_kλ²",
+        "delay_ns",
+        "run_s",
+        "a_II",
+        "d_II",
+        "t_II",
+        "a_III",
+        "d_III",
         "t_III"
     );
     let _ = writeln!(s, "{}", "-".repeat(92));

@@ -71,7 +71,11 @@ impl CsvTable {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for r in &self.rows {
             let _ = writeln!(

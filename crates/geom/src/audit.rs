@@ -1,0 +1,190 @@
+//! Structural audits for embedded rectilinear routing trees.
+//!
+//! Every flow in the workspace ultimately emits a routed tree as a set of
+//! wires. This module checks the two geometric properties all of them must
+//! satisfy regardless of which engine produced the tree:
+//!
+//! 1. **Rectilinearity** — every wire is axis-parallel (the paper's area
+//!    and delay accounting both assume Manhattan embeddings),
+//! 2. **Connectivity** — every wire and every terminal is reachable from
+//!    the root by walking wires that share endpoints.
+//!
+//! The auditor deliberately takes raw point pairs rather than [`Segment`]
+//! values so it can also vet wires produced outside this crate's
+//! panic-on-diagonal constructors.
+//!
+//! [`Segment`]: crate::route::Segment
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::point::Point;
+
+/// Defect found by [`audit_routed_tree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteAuditError {
+    /// Wire `index` is neither horizontal nor vertical.
+    Diagonal { index: usize, a: Point, b: Point },
+    /// Wire `index` cannot be reached from the root through shared
+    /// endpoints: the embedding is disconnected.
+    UnreachedWire { index: usize, a: Point, b: Point },
+    /// A terminal sits at a point no reached wire touches.
+    UnreachedTerminal { terminal: Point },
+}
+
+impl fmt::Display for RouteAuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteAuditError::Diagonal { index, a, b } => {
+                write!(f, "wire #{index} {a} -> {b} is not axis-parallel")
+            }
+            RouteAuditError::UnreachedWire { index, a, b } => {
+                write!(f, "wire #{index} {a} -> {b} is not connected to the root")
+            }
+            RouteAuditError::UnreachedTerminal { terminal } => {
+                write!(f, "terminal at {terminal} is not connected to the root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteAuditError {}
+
+/// Checks that `wires` form a rectilinear embedding connected to `root`
+/// and touching every terminal.
+///
+/// Connectivity is defined over exact shared endpoints, which is the
+/// contract of the workspace's tree embeddings: every wire is an edge
+/// between two tree-node positions, so T-junctions always coincide with a
+/// wire endpoint. Runs in O(w) expected time for `w` wires.
+///
+/// # Examples
+///
+/// ```
+/// use merlin_geom::{audit_routed_tree, Point};
+///
+/// let root = Point::new(0, 0);
+/// let wires = [
+///     (root, Point::new(5, 0)),
+///     (Point::new(5, 0), Point::new(5, 7)),
+/// ];
+/// assert!(audit_routed_tree(root, &wires, &[Point::new(5, 7)]).is_ok());
+/// ```
+pub fn audit_routed_tree(
+    root: Point,
+    wires: &[(Point, Point)],
+    terminals: &[Point],
+) -> Result<(), RouteAuditError> {
+    for (index, &(a, b)) in wires.iter().enumerate() {
+        if a.x != b.x && a.y != b.y {
+            return Err(RouteAuditError::Diagonal { index, a, b });
+        }
+    }
+
+    // Flood fill from the root over shared endpoints.
+    let mut touching: HashMap<Point, Vec<usize>> = HashMap::new();
+    for (index, &(a, b)) in wires.iter().enumerate() {
+        touching.entry(a).or_default().push(index);
+        touching.entry(b).or_default().push(index);
+    }
+    let mut wire_reached = vec![false; wires.len()];
+    let mut point_reached: HashSet<Point> = HashSet::new();
+    let mut queue = vec![root];
+    point_reached.insert(root);
+    while let Some(p) = queue.pop() {
+        let Some(indices) = touching.get(&p) else {
+            continue;
+        };
+        for &i in indices {
+            if wire_reached[i] {
+                continue;
+            }
+            wire_reached[i] = true;
+            let (a, b) = wires[i];
+            for q in [a, b] {
+                if point_reached.insert(q) {
+                    queue.push(q);
+                }
+            }
+        }
+    }
+
+    for (index, reached) in wire_reached.iter().enumerate() {
+        if !reached {
+            let (a, b) = wires[index];
+            return Err(RouteAuditError::UnreachedWire { index, a, b });
+        }
+    }
+    for &terminal in terminals {
+        if !point_reached.contains(&terminal) {
+            return Err(RouteAuditError::UnreachedTerminal { terminal });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_l_shaped_tree() {
+        let root = Point::new(0, 0);
+        let wires = [
+            (root, Point::new(4, 0)),
+            (Point::new(4, 0), Point::new(4, 3)),
+            (Point::new(4, 0), Point::new(9, 0)),
+        ];
+        let terminals = [Point::new(4, 3), Point::new(9, 0)];
+        assert_eq!(audit_routed_tree(root, &wires, &terminals), Ok(()));
+    }
+
+    #[test]
+    fn accepts_empty_tree_with_root_terminal() {
+        let root = Point::new(2, 2);
+        assert_eq!(audit_routed_tree(root, &[], &[root]), Ok(()));
+    }
+
+    #[test]
+    fn rejects_diagonal_wire() {
+        let root = Point::new(0, 0);
+        let wires = [(root, Point::new(3, 4))];
+        let err = audit_routed_tree(root, &wires, &[]).unwrap_err();
+        assert!(matches!(err, RouteAuditError::Diagonal { index: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_floating_wire() {
+        let root = Point::new(0, 0);
+        let wires = [
+            (root, Point::new(4, 0)),
+            (Point::new(10, 10), Point::new(10, 20)),
+        ];
+        let err = audit_routed_tree(root, &wires, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            RouteAuditError::UnreachedWire { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_floating_terminal() {
+        let root = Point::new(0, 0);
+        let wires = [(root, Point::new(4, 0))];
+        let err = audit_routed_tree(root, &wires, &[Point::new(2, 0)]).unwrap_err();
+        assert_eq!(
+            err,
+            RouteAuditError::UnreachedTerminal {
+                terminal: Point::new(2, 0)
+            }
+        );
+    }
+
+    #[test]
+    fn zero_length_wires_connect_coincident_nodes() {
+        // Buffer chains at a single point produce zero-length edges.
+        let root = Point::new(1, 1);
+        let wires = [(root, root), (root, Point::new(1, 5))];
+        assert_eq!(audit_routed_tree(root, &wires, &[Point::new(1, 5)]), Ok(()));
+    }
+}

@@ -63,8 +63,7 @@ impl CandidateStrategy {
     pub fn generate(self, driver: Point, sinks: &[Point]) -> Vec<Point> {
         let mut pts = match self {
             CandidateStrategy::FullHanan => {
-                let grid =
-                    HananGrid::from_terminals(sinks.iter().copied().chain(Some(driver)));
+                let grid = HananGrid::from_terminals(sinks.iter().copied().chain(Some(driver)));
                 grid.points().collect()
             }
             CandidateStrategy::ReducedHanan { max_points } => {
@@ -87,10 +86,8 @@ impl CandidateStrategy {
                 let (nx, ny) = (nx.max(2), ny.max(2));
                 for i in 0..nx {
                     for j in 0..ny {
-                        let x = bb.min().x
-                            + (bb.width() as i64 * i as i64) / (nx as i64 - 1);
-                        let y = bb.min().y
-                            + (bb.height() as i64 * j as i64) / (ny as i64 - 1);
+                        let x = bb.min().x + (bb.width() as i64 * i as i64) / (nx as i64 - 1);
+                        let y = bb.min().y + (bb.height() as i64 * j as i64) / (ny as i64 - 1);
                         pts.push(Point::new(x, y));
                     }
                 }

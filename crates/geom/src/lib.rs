@@ -25,6 +25,7 @@
 //! assert!(grid.points().any(|p| p == Point::new(10, 8)));
 //! ```
 
+pub mod audit;
 pub mod bbox;
 pub mod candidates;
 pub mod hanan;
@@ -32,6 +33,7 @@ pub mod point;
 pub mod route;
 pub mod rsmt;
 
+pub use audit::{audit_routed_tree, RouteAuditError};
 pub use bbox::BBox;
 pub use candidates::CandidateStrategy;
 pub use hanan::HananGrid;

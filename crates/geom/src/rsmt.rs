@@ -128,7 +128,7 @@ pub fn iterated_one_steiner(points: &[Point], max_added: usize) -> SpanningTree 
             let wl = t.wirelength();
             if wl < current {
                 let gain = current - wl;
-                if improvement.map_or(true, |(g, _)| gain > g) {
+                if improvement.is_none_or(|(g, _)| gain > g) {
                     improvement = Some((gain, cand));
                 }
             }
@@ -224,12 +224,7 @@ mod tests {
     fn one_steiner_never_worse_than_mst() {
         for seed in 0..6i64 {
             let pts: Vec<Point> = (0..8)
-                .map(|i| {
-                    Point::new(
-                        (i * 131 + seed * 17) % 40,
-                        (i * 173 + seed * 29) % 40,
-                    )
-                })
+                .map(|i| Point::new((i * 131 + seed * 17) % 40, (i * 173 + seed * 29) % 40))
                 .collect();
             let mut uniq = pts.clone();
             uniq.sort_unstable();

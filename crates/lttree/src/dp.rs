@@ -1,7 +1,7 @@
 //! The LTTREE dynamic program.
 
 use merlin_curves::{Curve, CurvePoint, ProvArena, ProvId};
-use merlin_tech::units::{Cap, PsTime};
+use merlin_tech::units::{ps_cmp, Cap, PsTime};
 use merlin_tech::{Driver, Technology};
 
 use crate::tree::{FanoutNode, FanoutTree};
@@ -82,12 +82,7 @@ impl<'a> LtTree<'a> {
         // Sort most-critical-first (ascending required time): Touati's
         // canonical order; less critical sinks go deeper into the chain.
         let mut idx: Vec<u32> = (0..n as u32).collect();
-        idx.sort_by(|&a, &b| {
-            sinks[a as usize]
-                .1
-                .total_cmp(&sinks[b as usize].1)
-                .then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| ps_cmp(sinks[a as usize].1, sinks[b as usize].1).then(a.cmp(&b)));
         let load = |i: usize| sinks[idx[i] as usize].0;
         let req = |i: usize| sinks[idx[i] as usize].1;
         // Prefix sums of loads over the sorted list.
@@ -161,27 +156,35 @@ impl<'a> LtTree<'a> {
         // chain-only option where the driver drives just the first buffer.
         let mut curve = Curve::new();
         let mut tops: Vec<(u32, Option<ProvId>)> = Vec::new();
-        let mut push_top =
-            |curve: &mut Curve, tops: &mut Vec<(u32, Option<ProvId>)>,
-             root_load: Cap,
-             r: PsTime,
-             area: u64,
-             last: u32,
-             chain: Option<ProvId>| {
-                let prov = ProvId::new(tops.len() as u32);
-                tops.push((last, chain));
-                curve.push(CurvePoint::with_load(
-                    root_load,
-                    r - driver.delay_linear_ps(root_load),
-                    area,
-                    prov,
-                ));
-            };
+        let push_top = |curve: &mut Curve,
+                        tops: &mut Vec<(u32, Option<ProvId>)>,
+                        root_load: Cap,
+                        r: PsTime,
+                        area: u64,
+                        last: u32,
+                        chain: Option<ProvId>| {
+            let prov = ProvId::new(tops.len() as u32);
+            tops.push((last, chain));
+            curve.push(CurvePoint::with_load(
+                root_load,
+                r - driver.delay_linear_ps(root_load),
+                area,
+                prov,
+            ));
+        };
         // Chain-only: driver -> lt[0].
         {
             let pts: Vec<CurvePoint> = lt[0].iter().copied().collect();
             for cp in pts {
-                push_top(&mut curve, &mut tops, cp.load, cp.req, cp.area, u32::MAX, Some(cp.prov));
+                push_top(
+                    &mut curve,
+                    &mut tops,
+                    cp.load,
+                    cp.req,
+                    cp.area,
+                    u32::MAX,
+                    Some(cp.prov),
+                );
             }
         }
         for j in 0..n {
@@ -193,7 +196,9 @@ impl<'a> LtTree<'a> {
             let base_load = range_load(0, j);
             let base_req = range_req(0, j);
             if !has_chain {
-                push_top(&mut curve, &mut tops, base_load, base_req, 0, j as u32, None);
+                push_top(
+                    &mut curve, &mut tops, base_load, base_req, 0, j as u32, None,
+                );
             } else {
                 let pts: Vec<CurvePoint> = lt[j + 1].iter().copied().collect();
                 for cp in pts {
@@ -226,7 +231,7 @@ impl LtSolved {
     pub fn best_point(&self) -> Option<CurvePoint> {
         self.curve
             .iter()
-            .max_by(|a, b| a.req.total_cmp(&b.req))
+            .max_by(|a, b| ps_cmp(a.req, b.req))
             .copied()
     }
 
@@ -297,7 +302,7 @@ mod tests {
         let t = tech();
         let solved = LtTree::new(&t, LtConfig::default())
             .solve(&uniform(1, 5.0, 1000.0), &Driver::default());
-        let best = solved.best_point().unwrap();
+        let best = solved.best_point().expect("DP curve is non-empty");
         assert_eq!(best.area, 0, "a single light sink is driven directly");
         let tree = solved.extract(&best);
         assert_eq!(tree.num_buffers(), 0);
@@ -310,7 +315,7 @@ mod tests {
         let driver = Driver::with_strength(1.0);
         let sinks = uniform(24, 60.0, 1000.0);
         let solved = LtTree::new(&t, LtConfig::default()).solve(&sinks, &driver);
-        let best = solved.best_point().unwrap();
+        let best = solved.best_point().expect("DP curve is non-empty");
         assert!(best.area > 0, "24×60 fF from a weak driver needs buffers");
         // And it must beat the unbuffered direct drive.
         let lumped: Cap = sinks.iter().map(|s| s.0).sum();
@@ -390,7 +395,7 @@ mod tests {
             },
         )
         .solve(&uniform(13, 20.0, 1000.0), &Driver::default());
-        let best = solved.best_point().unwrap();
+        let best = solved.best_point().expect("DP curve is non-empty");
         let tree = solved.extract(&best);
         for (i, node) in tree.nodes.iter().enumerate() {
             let children = node.sinks.len() + usize::from(node.child.is_some());
@@ -404,7 +409,7 @@ mod tests {
         let mut sinks = uniform(12, 30.0, 1500.0);
         sinks[7].1 = 200.0; // one very critical sink
         let solved = LtTree::new(&t, LtConfig::default()).solve(&sinks, &Driver::default());
-        let best = solved.best_point().unwrap();
+        let best = solved.best_point().expect("DP curve is non-empty");
         let tree = solved.extract(&best);
         // The critical sink must be in the shallowest stage that has sinks.
         let mut cur = Some(0usize);
@@ -416,7 +421,7 @@ mod tests {
             }
             cur = tree.nodes[i].child;
         }
-        let stage = first_stage_with_sinks.unwrap();
+        let stage = first_stage_with_sinks.expect("LTTREE assigns every sink to some stage");
         assert!(
             tree.nodes[stage].sinks.contains(&7),
             "critical sink not in stage {stage}: {:?}",

@@ -85,9 +85,9 @@ pub fn synthetic_circuit(name: &str, target_gates: usize, seed: u64) -> Circuit 
     // Fanout-free gates drive primary outputs; PIs with no fanout get a PO
     // too so that every net is non-trivial.
     let mut num_outputs = 0u32;
-    for src in 0..num_inputs + n {
-        if fanouts[src].is_empty() {
-            fanouts[src].push(Terminal::Output(num_outputs));
+    for fanout in fanouts.iter_mut().take(num_inputs + n) {
+        if fanout.is_empty() {
+            fanout.push(Terminal::Output(num_outputs));
             num_outputs += 1;
         }
     }
@@ -141,8 +141,7 @@ mod tests {
     fn generated_circuits_validate() {
         for seed in 0..5 {
             let c = synthetic_circuit("t", 120, seed);
-            c.validate()
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            c.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(c.num_gates() >= 120);
         }
     }

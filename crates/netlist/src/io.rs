@@ -259,9 +259,7 @@ pub fn parse_circuit(text: &str) -> Result<crate::Circuit, ParseNetError> {
                 });
             }
             Some("net") => {
-                let drv = it
-                    .next()
-                    .ok_or_else(|| err(lineno, "net needs a driver"))?;
+                let drv = it.next().ok_or_else(|| err(lineno, "net needs a driver"))?;
                 let driver = parse_terminal(drv, lineno)?;
                 let mut sinks = Vec::new();
                 for tok in it {
@@ -353,8 +351,7 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let net =
-            parse_net("# hi\n\nnet a\n  source 0 0 1\n# mid\nsink 1 1 2 3\n\n").unwrap();
+        let net = parse_net("# hi\n\nnet a\n  source 0 0 1\n# mid\nsink 1 1 2 3\n\n").unwrap();
         assert_eq!(net.num_sinks(), 1);
     }
 
@@ -422,7 +419,9 @@ mod tests {
                 assert_eq!(a.load, b.load);
                 assert!((a.req_ps - b.req_ps).abs() < 1e-3);
             }
-            assert!((parsed.driver.rdrv_ohm - net.driver.rdrv_ohm).abs() / net.driver.rdrv_ohm < 1e-3);
+            assert!(
+                (parsed.driver.rdrv_ohm - net.driver.rdrv_ohm).abs() / net.driver.rdrv_ohm < 1e-3
+            );
         }
     }
 }

@@ -45,13 +45,15 @@ pub fn place(circuit: &mut Circuit, seed: u64) {
     }
     let no = circuit.output_pos.len().max(1) as i64;
     for (i, p) in circuit.output_pos.iter_mut().enumerate() {
-        *p = Point::new(row_width + 2 * ROW_PITCH, (i as i64 + 1) * core_h / (no + 1));
+        *p = Point::new(
+            row_width + 2 * ROW_PITCH,
+            (i as i64 + 1) * core_h / (no + 1),
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::generator::synthetic_circuit;
     use merlin_geom::BBox;
 

@@ -6,7 +6,7 @@
 //! propagates arrivals through the DAG to the primary outputs.
 
 use merlin_geom::manhattan;
-use merlin_tech::units::{Cap, PsTime};
+use merlin_tech::units::{ps_cmp, Cap, PsTime};
 use merlin_tech::Technology;
 
 use crate::circuit::{Circuit, Terminal};
@@ -97,7 +97,7 @@ pub fn critical_path(
         .po_arrivals_ps
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
+        .max_by(|a, b| ps_cmp(*a.1, *b.1))
     else {
         return Vec::new();
     };
@@ -151,8 +151,9 @@ pub fn lumped_net_estimate(circuit: &Circuit, net_idx: usize, tech: &Technology)
         lumped += tech.wire.wire_cap(len) + circuit.sink_cap(s);
     }
     let drv_delay = match net.driver {
-        Terminal::Gate(g) => circuit.cells[circuit.gates[g as usize].cell as usize]
-            .delay_ps(lumped),
+        Terminal::Gate(g) => {
+            circuit.cells[circuit.gates[g as usize].cell as usize].delay_ps(lumped)
+        }
         // PI pads: a fixed strong driver.
         Terminal::Input(_) => merlin_tech::Driver::with_strength(8.0).delay_linear_ps(lumped),
         Terminal::Output(_) => unreachable!(),
@@ -250,8 +251,7 @@ mod tests {
                 for &s in &net.sinks {
                     if let Terminal::Gate(h) = s {
                         assert!(
-                            sta.gate_arrivals_ps[h as usize]
-                                >= sta.gate_arrivals_ps[g as usize]
+                            sta.gate_arrivals_ps[h as usize] >= sta.gate_arrivals_ps[g as usize]
                         );
                     }
                 }

@@ -76,10 +76,7 @@ mod tests {
     fn binet_matches_recurrence() {
         for k in 0..70u32 {
             let exact = fibonacci(k) as f64;
-            assert!(
-                (binet(k) - exact).abs() / exact.max(1.0) < 1e-9,
-                "k = {k}"
-            );
+            assert!((binet(k) - exact).abs() / exact.max(1.0) < 1e-9, "k = {k}");
         }
     }
 

@@ -10,9 +10,7 @@ pub fn is_neighbor(a: &SinkOrder, b: &SinkOrder) -> bool {
     }
     let pa = a.positions();
     let pb = b.positions();
-    pa.iter()
-        .zip(&pb)
-        .all(|(x, y)| x.abs_diff(*y) <= 1)
+    pa.iter().zip(&pb).all(|(x, y)| x.abs_diff(*y) <= 1)
 }
 
 /// Enumerates all members of `N(Π)` (including Π itself).
@@ -60,9 +58,7 @@ pub fn swap_decomposition(a: &SinkOrder, b: &SinkOrder) -> Option<Vec<usize>> {
     while i < n {
         if a.sink_at(i) == b.sink_at(i) {
             i += 1;
-        } else if i + 1 < n
-            && a.sink_at(i) == b.sink_at(i + 1)
-            && a.sink_at(i + 1) == b.sink_at(i)
+        } else if i + 1 < n && a.sink_at(i) == b.sink_at(i + 1) && a.sink_at(i + 1) == b.sink_at(i)
         {
             swaps.push(i);
             i += 2;
@@ -136,11 +132,7 @@ mod tests {
         for n in 0..=12usize {
             let pi = SinkOrder::identity(n);
             let members = enumerate(&pi);
-            assert_eq!(
-                members.len() as u128,
-                neighborhood_size(n),
-                "n = {n}"
-            );
+            assert_eq!(members.len() as u128, neighborhood_size(n), "n = {n}");
             // All members distinct.
             let mut seqs: Vec<_> = members.iter().map(|m| m.as_slice().to_vec()).collect();
             seqs.sort();

@@ -9,6 +9,7 @@
 //! path starting at the driver.
 
 use merlin_geom::{manhattan, Point};
+use merlin_tech::units::ps_cmp;
 
 use crate::perm::SinkOrder;
 
@@ -91,11 +92,7 @@ pub fn tsp_order(driver: Point, sinks: &[Point]) -> SinkOrder {
 /// the order Touati's LT-tree DP expects.
 pub fn required_time_order(reqs_ps: &[f64]) -> SinkOrder {
     let mut idx: Vec<u32> = (0..reqs_ps.len() as u32).collect();
-    idx.sort_by(|&a, &b| {
-        reqs_ps[a as usize]
-            .total_cmp(&reqs_ps[b as usize])
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| ps_cmp(reqs_ps[a as usize], reqs_ps[b as usize]).then(a.cmp(&b)));
     SinkOrder::new(idx).expect("permutation")
 }
 

@@ -4,7 +4,7 @@ use merlin_curves::{Curve, CurvePoint, ProvArena, ProvId};
 use merlin_geom::{manhattan, Point};
 use merlin_netlist::Net;
 use merlin_order::SinkOrder;
-use merlin_tech::units::PsTime;
+use merlin_tech::units::{ps_cmp, PsTime};
 use merlin_tech::{BufferedTree, Technology};
 
 /// A construction step recorded while building PTREE solution curves.
@@ -145,6 +145,9 @@ impl<'a> Ptree<'a> {
                 let j = i + len - 1;
                 // Phase 1: merges at each candidate point.
                 let mut sb: Vec<Curve> = Vec::with_capacity(k);
+                // `pi` picks the same column out of two different rows of
+                // `s`, so a single iterator cannot replace it.
+                #[allow(clippy::needless_range_loop)]
                 for pi in 0..k {
                     pending.clear();
                     let mut raw = Curve::new();
@@ -250,10 +253,7 @@ impl PtreeSolved {
     pub fn best_point(&self) -> Option<CurvePoint> {
         self.curve
             .iter()
-            .max_by(|a, b| {
-                self.driver_required(a)
-                    .total_cmp(&self.driver_required(b))
-            })
+            .max_by(|a, b| ps_cmp(self.driver_required(a), self.driver_required(b)))
             .copied()
     }
 
@@ -309,11 +309,11 @@ mod tests {
             vec![Sink::new(Point::new(300, 400), Cap::from_ff(10.0), 800.0)],
         );
         let solved = solve_net(&net, &tech);
-        let tree = solved.best_tree().unwrap();
+        let tree = solved.best_tree().expect("DP always yields a routed tree");
         assert!(tree.validate(1, &tech).is_ok());
         assert_eq!(tree.wirelength(), 700);
         let eval = tree.evaluate(&tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
-        let best = solved.best_point().unwrap();
+        let best = solved.best_point().expect("DP curve is non-empty");
         assert!((solved.driver_required(&best) - eval.root_required_ps).abs() < 1e-6);
     }
 
@@ -329,9 +329,9 @@ mod tests {
             assert!(!solved.curve.is_empty(), "seed {seed}");
             for p in solved.curve.iter() {
                 let tree = solved.extract(p);
-                tree.validate(net.num_sinks(), &tech).unwrap();
-                let eval =
-                    tree.evaluate(&tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
+                tree.validate(net.num_sinks(), &tech)
+                    .expect("produced tree is well-formed");
+                let eval = tree.evaluate(&tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
                 assert!(
                     (solved.driver_required(p) - eval.root_required_ps).abs() < 1e-6,
                     "seed {seed}: req mismatch {} vs {}",
@@ -353,7 +353,7 @@ mod tests {
         let tech = tech();
         let net = random_net("n", 8, 3, &tech);
         let solved = solve_net(&net, &tech);
-        let tree = solved.best_tree().unwrap();
+        let tree = solved.best_tree().expect("DP always yields a routed tree");
         let star: u64 = net
             .sink_positions()
             .iter()
@@ -371,15 +371,21 @@ mod tests {
             .map(|i| Sink::new(Point::new(i * 2000, 0), Cap::from_ff(8.0), 1000.0))
             .collect();
         let net = Net::new("line", Point::new(0, 0), Driver::default(), sinks);
-        let cands =
-            CandidateStrategy::FullHanan.generate(net.source, &net.sink_positions());
+        let cands = CandidateStrategy::FullHanan.generate(net.source, &net.sink_positions());
         let good = tsp_order(net.source, &net.sink_positions());
-        let bad = SinkOrder::new(good.as_slice().iter().rev().copied().collect()).unwrap();
+        let bad = SinkOrder::new(good.as_slice().iter().rev().copied().collect())
+            .expect("a reversed permutation is still a permutation");
         let pt = Ptree::new(&net, &tech, PtreeConfig::exact());
         let g = pt.solve(&good, &cands);
         let b = pt.solve(&bad, &cands);
-        let gb = g.best_point().map(|p| g.driver_required(&p)).unwrap();
-        let bb = b.best_point().map(|p| b.driver_required(&p)).unwrap();
+        let gb = g
+            .best_point()
+            .map(|p| g.driver_required(&p))
+            .expect("DP curve is non-empty");
+        let bb = b
+            .best_point()
+            .map(|p| b.driver_required(&p))
+            .expect("DP curve is non-empty");
         assert!(gb >= bb - 1e-9, "good {gb} vs bad {bb}");
     }
 
@@ -388,8 +394,7 @@ mod tests {
         let tech = tech();
         let net = random_net("n", 7, 9, &tech);
         let order = tsp_order(net.source, &net.sink_positions());
-        let cands =
-            CandidateStrategy::FullHanan.generate(net.source, &net.sink_positions());
+        let cands = CandidateStrategy::FullHanan.generate(net.source, &net.sink_positions());
         let solved = Ptree::new(
             &net,
             &tech,
@@ -400,7 +405,8 @@ mod tests {
         .solve(&order, &cands);
         for p in solved.curve.iter() {
             let tree = solved.extract(p);
-            tree.validate(net.num_sinks(), &tech).unwrap();
+            tree.validate(net.num_sinks(), &tech)
+                .expect("produced tree is well-formed");
             let eval = tree.evaluate(&tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
             assert!((solved.driver_required(p) - eval.root_required_ps).abs() < 1e-6);
         }

@@ -1,10 +1,23 @@
 //! Rebuilding routing trees from PTREE provenance.
 
-use merlin_curves::{ProvArena, ProvId};
+use merlin_curves::{ProvArena, ProvId, ProvStep};
 use merlin_geom::Point;
 use merlin_tech::{BufferedTree, NodeId, NodeKind};
 
 use crate::dp::RouteStep;
+
+impl ProvStep for RouteStep {
+    fn push_children(&self, out: &mut Vec<ProvId>) {
+        match *self {
+            RouteStep::Sink { .. } => {}
+            RouteStep::Merge { left, right } => {
+                out.push(left);
+                out.push(right);
+            }
+            RouteStep::Extend { child, .. } => out.push(child),
+        }
+    }
+}
 
 /// The candidate-point index at which a sub-solution is rooted.
 fn root_point(arena: &ProvArena<RouteStep>, prov: ProvId) -> u16 {
@@ -29,6 +42,7 @@ pub fn extract_tree(
     candidates: &[Point],
     sink_positions: &[Point],
 ) -> BufferedTree {
+    arena.debug_validate("PTREE extraction");
     let mut tree = BufferedTree::new(source);
     let rp = root_point(arena, prov);
     let root = if candidates[rp as usize] == source {

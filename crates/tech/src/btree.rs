@@ -17,7 +17,7 @@ use merlin_geom::{manhattan, Point};
 
 use crate::delay::slew_through_wire;
 use crate::driver::Driver;
-use crate::units::{Cap, PsTime};
+use crate::units::{ps_max, Cap, PsTime};
 use crate::Technology;
 
 /// Handle to a node of a [`BufferedTree`].
@@ -264,11 +264,7 @@ impl BufferedTree {
     /// # Errors
     ///
     /// Returns the first violation found; see [`ValidateTreeError`].
-    pub fn validate(
-        &self,
-        num_sinks: usize,
-        tech: &Technology,
-    ) -> Result<(), ValidateTreeError> {
+    pub fn validate(&self, num_sinks: usize, tech: &Technology) -> Result<(), ValidateTreeError> {
         let mut seen = HashSet::new();
         for node in &self.nodes {
             match node.kind {
@@ -283,10 +279,8 @@ impl BufferedTree {
                         return Err(ValidateTreeError::SinkHasChildren(s));
                     }
                 }
-                NodeKind::Buffer(b) => {
-                    if b as usize >= tech.library.len() {
-                        return Err(ValidateTreeError::UnknownBuffer(b));
-                    }
+                NodeKind::Buffer(b) if b as usize >= tech.library.len() => {
+                    return Err(ValidateTreeError::UnknownBuffer(b));
                 }
                 _ => {}
             }
@@ -391,10 +385,7 @@ impl BufferedTree {
                 sink_delays[s as usize] = arrival[idx];
             }
         }
-        let max_req = sink_reqs_ps
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_req = sink_reqs_ps.iter().copied().fold(f64::NEG_INFINITY, ps_max);
         Evaluation {
             root_required_ps: root_required,
             root_load,
@@ -428,7 +419,7 @@ impl BufferedTree {
             }
         }
         let mut violations = 0;
-        for (idx, node) in self.nodes.iter().enumerate() {
+        for node in &self.nodes {
             if let NodeKind::Buffer(b) = node.kind {
                 let mut below = Cap::ZERO;
                 for &ch in &node.children {

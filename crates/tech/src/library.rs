@@ -158,11 +158,9 @@ mod tests {
             .iter()
             .enumerate()
             .min_by(|a, b| {
-                a.1.delay_linear_ps(load)
-                    .partial_cmp(&b.1.delay_linear_ps(load))
-                    .unwrap()
+                crate::units::ps_cmp(a.1.delay_linear_ps(load), b.1.delay_linear_ps(load))
             })
-            .unwrap()
+            .expect("library is non-empty")
             .0;
         assert!(best > lib.len() / 2);
     }

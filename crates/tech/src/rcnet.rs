@@ -90,22 +90,14 @@ impl RcNetwork {
                     stage.resistors.push((local, child_local, wire_r));
                     match child.kind {
                         NodeKind::Sink(s) => {
-                            stage.node_cap_ff[child_local] +=
-                                sink_loads[s as usize].to_ff();
+                            stage.node_cap_ff[child_local] += sink_loads[s as usize].to_ff();
                             stage.handoffs.push((child_local, Handoff::Sink(s)));
                         }
                         NodeKind::Buffer(b) => {
                             let buf = &tech.library[b as usize];
                             stage.node_cap_ff[child_local] += buf.cin.to_ff();
-                            stage
-                                .handoffs
-                                .push((child_local, Handoff::Stage(next_id)));
-                            queue.push_back((
-                                ch,
-                                buf.rdrv_ohm,
-                                buf.intrinsic_ps,
-                                next_id,
-                            ));
+                            stage.handoffs.push((child_local, Handoff::Stage(next_id)));
+                            queue.push_back((ch, buf.rdrv_ohm, buf.intrinsic_ps, next_id));
                             next_id += 1;
                         }
                         _ => {
@@ -290,13 +282,8 @@ mod tests {
         let net = RcNetwork::from_tree(&t, &tech, &loads);
         assert_eq!(net.stages.len(), 3);
         let d = net.sink_delays_ps(&driver, 3);
-        for k in 0..3 {
-            assert!(
-                (d[k] - eval.sink_delays_ps[k]).abs() < 1e-6,
-                "sink {k}: {} vs {}",
-                d[k],
-                eval.sink_delays_ps[k]
-            );
+        for (k, (dk, ek)) in d.iter().zip(&eval.sink_delays_ps).enumerate() {
+            assert!((dk - ek).abs() < 1e-6, "sink {k}: {dk} vs {ek}");
         }
     }
 

@@ -38,9 +38,9 @@ pub fn render(tree: &BufferedTree) -> String {
     let marker = (w.max(h) / 60).max(4);
 
     let mut s = String::new();
-    let _ = write!(
+    let _ = writeln!(
         s,
-        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"{x0} {y0} {w} {h}\">\n"
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"{x0} {y0} {w} {h}\">"
     );
     let _ = writeln!(
         s,

@@ -14,12 +14,51 @@
 //! `q` that can appear on a solution curve is bounded, which is what makes
 //! the dynamic programs pseudo-polynomial rather than exponential.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
 /// Time in picoseconds.
 pub type PsTime = f64;
+
+/// Total ordering for delay/required-time values.
+///
+/// All delay comparisons in the workspace go through this helper (the
+/// `merlin-audit` `float-cmp` rule rejects raw `partial_cmp`/`total_cmp`
+/// on the DP hot paths): it gives the IEEE-754 `totalOrder`, so sorting
+/// and `max_by`/`min_by` never see an incomparable pair, and in
+/// debug/`invariant-checks` builds it asserts that no NaN reached a
+/// comparison — a NaN required time silently corrupts curve pruning.
+#[inline]
+pub fn ps_cmp(a: PsTime, b: PsTime) -> Ordering {
+    #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+    {
+        assert!(
+            !a.is_nan() && !b.is_nan(),
+            "NaN delay in comparison ({a} vs {b})"
+        );
+    }
+    a.total_cmp(&b)
+}
+
+/// The larger of two delay values under [`ps_cmp`].
+#[inline]
+pub fn ps_max(a: PsTime, b: PsTime) -> PsTime {
+    match ps_cmp(a, b) {
+        Ordering::Less => b,
+        _ => a,
+    }
+}
+
+/// The smaller of two delay values under [`ps_cmp`].
+#[inline]
+pub fn ps_min(a: PsTime, b: PsTime) -> PsTime {
+    match ps_cmp(a, b) {
+        Ordering::Greater => b,
+        _ => a,
+    }
+}
 
 /// Ω · fF expressed in picoseconds (1 Ω·fF = 10⁻³ ps).
 #[inline]
@@ -137,5 +176,22 @@ mod tests {
     #[test]
     fn display_formats_ff() {
         assert_eq!(Cap::from_ff(2.5).to_string(), "2.50fF");
+    }
+
+    #[test]
+    fn ps_cmp_is_total_on_ordinary_values() {
+        assert_eq!(ps_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(ps_cmp(2.0, 1.0), Ordering::Greater);
+        assert_eq!(ps_cmp(3.5, 3.5), Ordering::Equal);
+        assert_eq!(ps_cmp(f64::NEG_INFINITY, 0.0), Ordering::Less);
+        assert_eq!(ps_max(1.0, 2.0), 2.0);
+        assert_eq!(ps_min(1.0, 2.0), 1.0);
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "invariant-checks"))]
+    #[should_panic(expected = "NaN delay")]
+    fn ps_cmp_rejects_nan_in_checked_builds() {
+        let _ = ps_cmp(f64::NAN, 0.0);
     }
 }

@@ -2,7 +2,7 @@
 
 use merlin_curves::{Curve, CurvePoint, ProvArena, ProvId};
 use merlin_geom::{manhattan, Point, Route};
-use merlin_tech::units::{Cap, PsTime};
+use merlin_tech::units::{ps_cmp, Cap, PsTime};
 use merlin_tech::{BufferedTree, Driver, NodeId, NodeKind, Technology};
 
 /// Construction step for van Ginneken provenance.
@@ -90,13 +90,7 @@ impl<'a> VanGinneken<'a> {
         sink_reqs_ps: &[PsTime],
     ) -> VgSolved {
         let mut arena = ProvArena::new();
-        let curve = self.curve_below(
-            route,
-            route.root(),
-            sink_loads,
-            sink_reqs_ps,
-            &mut arena,
-        );
+        let curve = self.curve_below(route, route.root(), sink_loads, sink_reqs_ps, &mut arena);
         VgSolved {
             curve,
             arena,
@@ -120,6 +114,7 @@ impl<'a> VanGinneken<'a> {
         match n.kind {
             NodeKind::Sink(s) => {
                 let mut c = Curve::with_capacity(1);
+                // audit:allow(push-without-prune): one point is trivially non-inferior.
                 c.push(CurvePoint::with_load(
                     sink_loads[s as usize],
                     sink_reqs_ps[s as usize],
@@ -130,17 +125,12 @@ impl<'a> VanGinneken<'a> {
                 ));
                 c
             }
+            // audit:allow(panic): documented input contract of `VanGinneken::solve`.
             NodeKind::Buffer(_) => panic!("van Ginneken input must be a plain routing tree"),
             NodeKind::Source | NodeKind::Steiner => {
                 let mut acc: Option<Curve> = None;
                 for &ch in &n.children {
-                    let child_curve = self.curve_below(
-                        route,
-                        ch,
-                        sink_loads,
-                        sink_reqs_ps,
-                        arena,
-                    );
+                    let child_curve = self.curve_below(route, ch, sink_loads, sink_reqs_ps, arena);
                     let lifted = self.lift_edge(route, node, ch, child_curve, arena);
                     acc = Some(match acc {
                         None => lifted,
@@ -242,7 +232,7 @@ impl VgSolved {
     pub fn best_point(&self) -> Option<CurvePoint> {
         self.curve
             .iter()
-            .max_by(|a, b| self.driver_required(a).total_cmp(&self.driver_required(b)))
+            .max_by(|a, b| ps_cmp(self.driver_required(a), self.driver_required(b)))
             .copied()
     }
 
@@ -296,8 +286,7 @@ impl VgSolved {
         let mut out = BufferedTree::new(src);
         // (original node, its copy in the output) pairs; buffers are
         // spliced while descending each edge.
-        let mut work: Vec<(NodeId, merlin_tech::NodeId)> =
-            vec![(self.route.root(), out.root())];
+        let mut work: Vec<(NodeId, merlin_tech::NodeId)> = vec![(self.route.root(), out.root())];
         while let Some((orig, new_parent)) = work.pop() {
             for &ch in &self.route.node(orig).children {
                 let p = self.route.node(orig).at;
@@ -310,7 +299,7 @@ impl VgSolved {
                     .filter(|(below, _, _)| *below == ch.index() as u32)
                     .map(|&(_, d, b)| (d, b))
                     .collect();
-                here.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+                here.sort_unstable_by_key(|x| std::cmp::Reverse(x.0));
                 let mut attach = new_parent;
                 for (dist_up, buf) in here {
                     let at = point_along(p, x, len.saturating_sub(dist_up));
@@ -379,7 +368,7 @@ mod tests {
         assert!(!solved.curve.is_empty());
         for p in solved.curve.iter() {
             let tree = solved.extract(p);
-            tree.validate(1, &t).unwrap();
+            tree.validate(1, &t).expect("produced tree is well-formed");
             let eval = tree.evaluate(&t, &driver, &loads, &reqs);
             assert!(
                 (solved.driver_required(p) - eval.root_required_ps).abs() < 0.5,
@@ -390,7 +379,7 @@ mod tests {
             assert_eq!(eval.buffer_area, p.area);
             assert_eq!(eval.root_load, p.load);
         }
-        let best = solved.best_tree().unwrap();
+        let best = solved.best_tree().expect("DP always yields a routed tree");
         let eval = best.evaluate(&t, &driver, &loads, &reqs);
         assert!(eval.num_buffers >= 1, "12 kλ + 120 fF wants a buffer");
         // And buffering must beat the bare wire.
@@ -408,11 +397,11 @@ mod tests {
         route.add_child(br, NodeKind::Sink(1), Point::new(2500, 0));
         let loads = [Cap::from_ff(90.0), Cap::from_ff(5.0)];
         let reqs = [1400.0, 1000.0];
-        let solved = VanGinneken::new(&t, VgConfig::default())
-            .solve(&route, &driver, &loads, &reqs);
-        let best = solved.best_point().unwrap();
+        let solved =
+            VanGinneken::new(&t, VgConfig::default()).solve(&route, &driver, &loads, &reqs);
+        let best = solved.best_point().expect("DP curve is non-empty");
         let tree = solved.extract(&best);
-        tree.validate(2, &t).unwrap();
+        tree.validate(2, &t).expect("produced tree is well-formed");
         let eval = tree.evaluate(&t, &driver, &loads, &reqs);
         assert!((solved.driver_required(&best) - eval.root_required_ps).abs() < 0.5);
         // Wirelength is preserved by splicing.
@@ -431,7 +420,7 @@ mod tests {
             ..VgConfig::default()
         };
         let solved = VanGinneken::new(&t, cfg).solve(&route, &driver, &loads, &reqs);
-        let tree = solved.best_tree().unwrap();
+        let tree = solved.best_tree().expect("DP always yields a routed tree");
         for (_, node) in tree.iter() {
             if let NodeKind::Buffer(b) = node.kind {
                 assert_eq!(b, 10);
@@ -450,9 +439,9 @@ mod tests {
             let reqs = [1000.0];
             let route = line_route(len);
             let bare = route.evaluate(&t, &driver, &loads, &reqs);
-            let solved = VanGinneken::new(&t, VgConfig::default())
-                .solve(&route, &driver, &loads, &reqs);
-            let best = solved.best_point().unwrap();
+            let solved =
+                VanGinneken::new(&t, VgConfig::default()).solve(&route, &driver, &loads, &reqs);
+            let best = solved.best_point().expect("DP curve is non-empty");
             assert!(
                 solved.driver_required(&best) >= bare.root_required_ps - 0.5,
                 "len {len}: insertion made things worse"
@@ -472,7 +461,7 @@ mod tests {
             ..VgConfig::default()
         };
         let solved = VanGinneken::new(&t, cfg).solve(&route, &driver, &loads, &reqs);
-        let tree = solved.best_tree().unwrap();
+        let tree = solved.best_tree().expect("DP always yields a routed tree");
         assert_eq!(tree.buffer_load_violations(&t, &loads), 0);
     }
 

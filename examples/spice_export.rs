@@ -23,11 +23,12 @@ fn main() {
     let rc_delays = rc.sink_delays_ps(&net.driver, net.num_sinks());
 
     println!("evaluator cross-check (tree recursion vs extracted RC network):\n");
-    println!("{:>6} {:>14} {:>14} {:>12}", "sink", "tree (ps)", "rc-net (ps)", "diff");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12}",
+        "sink", "tree (ps)", "rc-net (ps)", "diff"
+    );
     let mut worst: f64 = 0.0;
-    for i in 0..net.num_sinks() {
-        let a = eval.sink_delays_ps[i];
-        let b = rc_delays[i];
+    for (i, (&a, &b)) in eval.sink_delays_ps.iter().zip(&rc_delays).enumerate() {
         worst = worst.max((a - b).abs());
         println!("{:>6} {:>14.3} {:>14.3} {:>12.2e}", i, a, b, (a - b).abs());
     }
@@ -39,5 +40,8 @@ fn main() {
     );
 
     println!("--- SPICE deck ---");
-    print!("{}", rc.to_spice(&format!("MERLIN tree for net `{}`", net.name)));
+    print!(
+        "{}",
+        rc.to_spice(&format!("MERLIN tree for net `{}`", net.name))
+    );
 }

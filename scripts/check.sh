@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: formatting, clippy, the workspace invariant
+# auditor, and the test suite with the runtime DP invariant checkers
+# compiled in. CI and pre-merge runs should call exactly this script.
+# Usage: scripts/check.sh [--fix]   (--fix applies rustfmt instead of checking)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--fix" ]; then
+  cargo fmt --all
+else
+  echo "== rustfmt =="
+  cargo fmt --all -- --check
+fi
+
+echo "== clippy =="
+# unwrap/expect/panic stay advisory here (warn-level via [workspace.lints]);
+# merlin-audit below is the enforcing gate for those, with its allow-list
+# and baseline ratchet. Everything else is denied.
+cargo clippy --workspace --all-targets -- -D warnings \
+  -A clippy::unwrap_used -A clippy::expect_used -A clippy::panic
+
+echo "== merlin-audit =="
+cargo run -q -p merlin-audit
+
+echo "== tests (debug: invariant checkers on via debug_assertions) =="
+cargo test --workspace -q
+
+echo "== tests (release + --features invariant-checks) =="
+cargo test --release --features invariant-checks -q
+
+echo "all checks passed"

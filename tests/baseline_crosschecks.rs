@@ -83,7 +83,11 @@ fn van_ginneken_buffer_count_grows_with_wire_length() {
     let mut counts = Vec::new();
     for len in [4_000i64, 16_000, 48_000] {
         let mut route = merlin_tech::BufferedTree::new(Point::new(0, 0));
-        route.add_child(route.root(), merlin_tech::NodeKind::Sink(0), Point::new(len, 0));
+        route.add_child(
+            route.root(),
+            merlin_tech::NodeKind::Sink(0),
+            Point::new(len, 0),
+        );
         let solved =
             VanGinneken::new(&tech, VgConfig::default()).solve(&route, &driver, &loads, &reqs);
         let tree = solved.best_tree().unwrap();
@@ -118,7 +122,12 @@ fn unified_flow_beats_fixed_routing_when_routing_matters() {
             2400.0,
         ));
     }
-    let net = Net::new("clusters", Point::new(0, 0), Driver::with_strength(2.0), sinks);
+    let net = Net::new(
+        "clusters",
+        Point::new(0, 0),
+        Driver::with_strength(2.0),
+        sinks,
+    );
     let mut cfg = merlin_flows::FlowsConfig::for_net_size(6);
     // Give MERLIN comparable modelling effort to the baseline (the default
     // config trades a few percent of quality for speed via curve thinning

@@ -27,10 +27,9 @@ fn variant_one_budget_sweep_is_monotone() {
     let full_area = unconstrained.buffer_area;
     let mut last_req = f64::INFINITY;
     for budget in [full_area, full_area / 2, full_area / 8, 0] {
-        let out = Merlin::new(&tech, cfg_with(Constraint::MaxReqWithinArea(budget)))
-            .optimize(&net);
+        let out = Merlin::new(&tech, cfg_with(Constraint::MaxReqWithinArea(budget))).optimize(&net);
         assert!(
-            out.buffer_area <= budget.max(0),
+            out.buffer_area <= budget,
             "budget {budget} violated with {}",
             out.buffer_area
         );

@@ -37,7 +37,12 @@ fn exact_cfg(bubbling: bool) -> MerlinConfig {
     }
 }
 
-fn best_req(net: &merlin_netlist::Net, tech: &Technology, cfg: MerlinConfig, order: &merlin_order::SinkOrder) -> f64 {
+fn best_req(
+    net: &merlin_netlist::Net,
+    tech: &Technology,
+    cfg: MerlinConfig,
+    order: &merlin_order::SinkOrder,
+) -> f64 {
     let res = BubbleConstruct::new(net, tech, cfg).run(order);
     let p = res.select(Constraint::best_req()).expect("solvable");
     res.driver_required(&p)

@@ -1,0 +1,207 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a tiny API-compatible shim: `Criterion::bench_function`,
+//! `Bencher::iter`/`iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros. Statistics are deliberately simple — median
+//! of per-sample mean iteration times over `sample_size` samples — but the
+//! configured sample sizes and time budgets are honored, so relative
+//! comparisons between benchmarks remain meaningful.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized (shim: only influences nothing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// A small input per iteration.
+    SmallInput,
+    /// A large input per iteration.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            warm_up: self.warm_up_time,
+            samples: self.sample_size,
+            per_iter_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.per_iter_ns.sort_unstable_by(f64::total_cmp);
+        let median = if b.per_iter_ns.is_empty() {
+            f64::NAN
+        } else {
+            b.per_iter_ns[b.per_iter_ns.len() / 2]
+        };
+        println!(
+            "bench {id:<40} {:>12.1} ns/iter (median of {})",
+            median,
+            b.per_iter_ns.len()
+        );
+        self
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    warm_up: Duration,
+    samples: usize,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: run until the warm-up budget is spent.
+        let wu_end = Instant::now() + self.warm_up;
+        while Instant::now() < wu_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        // Calibrate iterations per sample so all samples fit the budget.
+        let t0 = Instant::now();
+        let input = setup();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.budget / (self.samples as u32);
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+            self.per_iter_ns.push(ns);
+        }
+    }
+}
+
+/// Declares a benchmark group as a function running its targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32, 2, 3],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn harness_runs_and_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(1));
+        sample_bench(&mut c);
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke();
+    }
+}

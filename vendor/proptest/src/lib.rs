@@ -1,0 +1,302 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a tiny API-compatible property-testing shim: the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros, a
+//! [`strategy::Strategy`] trait implemented for ranges, tuples and
+//! `prop::collection::vec`, and a deterministic per-test RNG.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * no shrinking — a failing case reports its generated inputs verbatim;
+//! * deterministic seeding from the test name — every run explores the
+//!   same cases (upstream persists failing seeds instead);
+//! * a fixed case count ([`test_runner::CASES`]).
+
+/// Strategy trait and range/tuple implementations.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates values of `Value` from a deterministic RNG.
+    ///
+    /// Upstream's `Strategy` produces shrinkable value *trees*; this shim
+    /// only needs plain values.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = rng.below(span as u64);
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// A strategy that always yields clones of one value (`proptest::Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector strategy over `element` with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic case driver.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Number of cases each `proptest!` test runs.
+    pub const CASES: u32 = 256;
+
+    /// A failed property, carrying the failure message.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic generator (splitmix64) seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose stream depends only on `name`.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, span)`; `span = 0` yields 0.
+        pub fn below(&mut self, span: u64) -> u64 {
+            if span == 0 {
+                return 0;
+            }
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` module alias used by `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`test_runner::CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[$meta:meta]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[$meta]
+        fn $name() {
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            $(let $arg = $strat;)+
+            for case in 0..$crate::test_runner::CASES {
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {case}: {e}\ninputs: {:?}",
+                        stringify!($name),
+                        ($(&$arg,)+)
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Early-returns a [`test_runner::TestCaseError`] when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// [`prop_assert!`] specialization for equality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assert_eq failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)+);
+    }};
+}
+
+/// [`prop_assert!`] specialization for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assert_ne failed: both {:?}", a);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in prop::collection::vec((0u8..4, 0u16..9), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for (a, b) in &v {
+                prop_assert!(*a < 4 && *b < 9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn always_fails(x in 0u8..2) {
+                prop_assert!(false, "forced");
+            }
+        }
+        always_fails();
+    }
+}
