@@ -18,6 +18,13 @@
 //! * [`doc-pub-fn`](RULE_DOC_PUB_FN) — every non-test `pub fn` carries a
 //!   doc comment.
 //!
+//! One rule applies workspace-wide rather than only to the DP crates:
+//!
+//! * [`catch-unwind`](RULE_CATCH_UNWIND) — `catch_unwind` outside test code
+//!   is forbidden everywhere except `crates/resilience/`, the one
+//!   sanctioned panic-isolation boundary (see `merlin_resilience::isolate`).
+//!   Swallowing panics anywhere else hides DP invariant violations.
+//!
 //! Any finding can be suppressed in place with `// audit:allow(<rule>)` on
 //! the offending line or the line above it. Pre-existing findings live in a
 //! checked-in baseline file (`audit-baseline.txt`); the auditor fails only
@@ -46,6 +53,8 @@ pub const RULE_FLOAT_EQ: &str = "float-eq";
 pub const RULE_PUSH_WITHOUT_PRUNE: &str = "push-without-prune";
 /// Rule name: undocumented non-test `pub fn`.
 pub const RULE_DOC_PUB_FN: &str = "doc-pub-fn";
+/// Rule name: `catch_unwind` outside `crates/resilience/` and test code.
+pub const RULE_CATCH_UNWIND: &str = "catch-unwind";
 
 /// All rule names, in report order.
 pub const ALL_RULES: &[&str] = &[
@@ -56,6 +65,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_FLOAT_EQ,
     RULE_PUSH_WITHOUT_PRUNE,
     RULE_DOC_PUB_FN,
+    RULE_CATCH_UNWIND,
 ];
 
 /// Workspace-relative path prefixes of the DP hot-path crates the rules
@@ -90,6 +100,10 @@ impl fmt::Display for Violation {
         )
     }
 }
+
+/// Workspace-relative prefix of the one crate allowed to `catch_unwind`:
+/// the resilience driver's panic-isolation boundary.
+pub const RESILIENCE_PREFIX: &str = "crates/resilience/";
 
 /// Whether `path` (workspace-relative, forward slashes) belongs to a DP
 /// hot-path crate.
@@ -374,12 +388,65 @@ struct FnFrame {
     has_prune: bool,
 }
 
+/// Advances the brace/test/function tracking state over one sanitized line.
+#[allow(clippy::too_many_arguments)]
+fn track_braces(
+    code: &str,
+    depth: &mut usize,
+    test_stack: &mut Vec<usize>,
+    pending_test_attr: &mut bool,
+    pending_fn: &mut bool,
+    fn_stack: &mut Vec<FnFrame>,
+    resolved_pushes: &mut HashSet<usize>,
+) {
+    for c in code.chars() {
+        match c {
+            '{' => {
+                if *pending_test_attr {
+                    test_stack.push(*depth);
+                    *pending_test_attr = false;
+                }
+                if *pending_fn {
+                    fn_stack.push(FnFrame {
+                        depth: *depth,
+                        push_lines: Vec::new(),
+                        has_prune: false,
+                    });
+                    *pending_fn = false;
+                }
+                *depth += 1;
+            }
+            '}' => {
+                *depth = depth.saturating_sub(1);
+                if test_stack.last() == Some(depth) {
+                    test_stack.pop();
+                }
+                while fn_stack.last().map(|f| f.depth) == Some(*depth) {
+                    let frame = fn_stack.pop().expect("frame checked above");
+                    if frame.has_prune {
+                        resolved_pushes.extend(frame.push_lines);
+                    }
+                }
+            }
+            ';' => {
+                // `fn f();` in a trait: no body, drop the pending flag.
+                *pending_fn = false;
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Scans one file's source text and returns every rule finding.
 ///
-/// `path` must be workspace-relative with forward slashes; rules only fire
-/// for files inside the DP hot-path crates (see [`DP_CRATE_PREFIXES`]).
+/// `path` must be workspace-relative with forward slashes. The DP hygiene
+/// rules only fire for files inside the DP hot-path crates (see
+/// [`DP_CRATE_PREFIXES`]); the [`catch-unwind`](RULE_CATCH_UNWIND) rule
+/// fires everywhere except under [`RESILIENCE_PREFIX`].
 pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
-    if !is_dp_crate_path(path) {
+    let full = is_dp_crate_path(path);
+    let catch_rule_applies = !path.starts_with(RESILIENCE_PREFIX);
+    if !full && !catch_rule_applies {
         return Vec::new();
     }
     // Integration tests and benches are test code in their entirety even
@@ -415,11 +482,34 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
     for (idx, code) in code_lines.iter().enumerate() {
         let in_test = whole_file_is_test || !test_stack.is_empty();
 
-        if code.contains("#[cfg(test)]") {
+        // `#[cfg(test)]` and compound forms like
+        // `#[cfg(all(test, feature = "..."))]`.
+        if code.contains("#[cfg(test)]") || code.contains("cfg(all(test") {
             pending_test_attr = true;
         }
         if is_fn_def(code) {
             pending_fn = true;
+        }
+
+        // Workspace-wide rule: panic containment belongs to the resilience
+        // driver alone. Test code may assert on panics.
+        if catch_rule_applies && !in_test && code.contains("catch_unwind") {
+            report(RULE_CATCH_UNWIND, idx, &raw_lines, &mut violations);
+        }
+
+        if !full {
+            // Non-DP crates get only the workspace-wide rule; still run the
+            // brace tracking below so `in_test` stays accurate.
+            track_braces(
+                code,
+                &mut depth,
+                &mut test_stack,
+                &mut pending_test_attr,
+                &mut pending_fn,
+                &mut fn_stack,
+                &mut resolved_pushes,
+            );
+            continue;
         }
 
         // Per-line pattern rules.
@@ -485,42 +575,15 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
 
         // Brace tracking (after pattern rules so a rule on the `}` line of
         // a test module still counts as in-test).
-        for c in code.chars() {
-            match c {
-                '{' => {
-                    if pending_test_attr {
-                        test_stack.push(depth);
-                        pending_test_attr = false;
-                    }
-                    if pending_fn {
-                        fn_stack.push(FnFrame {
-                            depth,
-                            push_lines: Vec::new(),
-                            has_prune: false,
-                        });
-                        pending_fn = false;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth = depth.saturating_sub(1);
-                    if test_stack.last() == Some(&depth) {
-                        test_stack.pop();
-                    }
-                    while fn_stack.last().map(|f| f.depth) == Some(depth) {
-                        let frame = fn_stack.pop().expect("frame checked above");
-                        if frame.has_prune {
-                            resolved_pushes.extend(frame.push_lines);
-                        }
-                    }
-                }
-                ';' => {
-                    // `fn f();` in a trait: no body, drop the pending flag.
-                    pending_fn = false;
-                }
-                _ => {}
-            }
-        }
+        track_braces(
+            code,
+            &mut depth,
+            &mut test_stack,
+            &mut pending_test_attr,
+            &mut pending_fn,
+            &mut fn_stack,
+            &mut resolved_pushes,
+        );
     }
     // File ended while frames were open (unbalanced braces): treat their
     // pushes as resolved rather than guessing.
@@ -686,6 +749,38 @@ mod tests {
     fn non_dp_crate_is_exempt() {
         let src = "fn f() { x.unwrap(); panic!(\"no\"); }\n";
         assert!(scan_source("crates/geom/src/fixture.rs", src).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_flagged_everywhere_but_resilience() {
+        let src = "fn f() { let r = std::panic::catch_unwind(|| g()); }\n";
+        // Non-DP crate: the workspace-wide rule still fires there.
+        assert_eq!(
+            rules_of(&scan_source("crates/flows/src/fixture.rs", src)),
+            vec![RULE_CATCH_UNWIND]
+        );
+        // DP crate: fires alongside the usual hygiene rules.
+        assert_eq!(rules_of(&scan_source(DP, src)), vec![RULE_CATCH_UNWIND]);
+        // The sanctioned panic boundary is exempt.
+        assert!(scan_source("crates/resilience/src/isolate.rs", src).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_allowed_in_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::panic::catch_unwind(|| g()); }\n}\n";
+        assert!(scan_source("crates/flows/src/fixture.rs", src).is_empty());
+        // Compound `#[cfg(all(test, ...))]` modules count as test code too.
+        let compound = "#[cfg(all(test, feature = \"fault-inject\"))]\nmod tests {\n    fn t() { let _ = std::panic::catch_unwind(|| g()); }\n}\n";
+        assert!(scan_source("crates/curves/src/fixture.rs", compound).is_empty());
+        // Integration-test files are test code in their entirety.
+        let plain = "fn t() { let _ = std::panic::catch_unwind(|| g()); }\n";
+        assert!(scan_source("crates/flows/tests/fixture.rs", plain).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_allow_marker_suppresses() {
+        let src = "fn f() { std::panic::catch_unwind(|| g()); } // audit:allow(catch-unwind)\n";
+        assert!(scan_source("crates/flows/src/fixture.rs", src).is_empty());
     }
 
     #[test]

@@ -13,8 +13,9 @@
 
 use merlin_curves::{Curve, CurvePoint, ProvArena, ProvId};
 use merlin_geom::{manhattan, Point};
-use merlin_netlist::Net;
+use merlin_netlist::{Net, NetValidationError};
 use merlin_order::SinkOrder;
+use merlin_resilience::{SolveBudget, SolverError};
 use merlin_tech::units::{ps_cmp, PsTime};
 use merlin_tech::{BufferedTree, Driver, Technology};
 use std::collections::HashSet;
@@ -82,8 +83,35 @@ impl<'a> BubbleConstruct<'a> {
     /// Panics if `order` does not cover exactly the net's sinks or the net
     /// has no sinks.
     pub fn run(&self, order: &SinkOrder) -> ConstructResult {
+        self.run_budgeted(order, &SolveBudget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
+    }
+
+    /// Runs the construction under a cooperative [`SolveBudget`].
+    ///
+    /// DP work (curve points absorbed into the Γ tables) is charged
+    /// against the budget's work meter, and the deadline is checked inside
+    /// the group-composition loop, so a runaway construction returns
+    /// [`SolverError::BudgetExceeded`] promptly instead of running to
+    /// completion. The partial Γ state is discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::BudgetExceeded`] when the budget runs out mid-DP and
+    /// [`SolverError::InvalidNet`] for a sink-less net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` does not cover exactly the net's sinks.
+    pub fn run_budgeted(
+        &self,
+        order: &SinkOrder,
+        budget: &SolveBudget,
+    ) -> Result<ConstructResult, SolverError> {
         let n = self.net.num_sinks();
-        assert!(n > 0, "BUBBLE_CONSTRUCT needs at least one sink");
+        if n == 0 {
+            return Err(SolverError::InvalidNet(NetValidationError::NoSinks));
+        }
         assert_eq!(order.len(), n, "order must cover all sinks");
         let cfg = &self.config;
         assert!(cfg.alpha >= 2, "alpha must be at least 2");
@@ -154,9 +182,12 @@ impl<'a> BubbleConstruct<'a> {
                     let pos = w.covered_positions()[0];
                     let seq = [Child::Sink(order.sink_at(pos))];
                     let fam = range_curves(&ctx, &seq, &gamma, &mut cache, &mut arena);
+                    let work: u64 = fam.iter().map(|c| c.len() as u64).sum();
+                    budget.charge(work + 1)?;
                     gamma.insert(1, shape.index(), r as u16, fam);
                 }
             }
+            budget.check()?;
         }
 
         // CONSTRUCTION (lines 5–20).
@@ -173,14 +204,20 @@ impl<'a> BubbleConstruct<'a> {
                                    fam: &mut Vec<Curve>,
                                    seen: &mut HashSet<Vec<Child>>,
                                    cache: &mut StarCache,
-                                   arena: &mut ProvArena<Step>| {
+                                   arena: &mut ProvArena<Step>|
+                     -> Result<(), SolverError> {
                         if !seen.insert(seq.clone()) {
-                            return;
+                            return Ok(());
                         }
                         let curves = range_curves(&ctx, &seq, &gamma, cache, arena);
+                        let mut work = 1u64;
                         for (p, c) in curves.iter().enumerate() {
+                            work += c.len() as u64;
                             fam[p].absorb(c.clone());
                         }
+                        budget.charge(work)?;
+                        budget.check_deadline()?;
+                        Ok(())
                     };
                     for l in l_min..big_l {
                         for e in shapes {
@@ -195,7 +232,7 @@ impl<'a> BubbleConstruct<'a> {
                                 let Some(seq) = child_sequence(outer, inner, order) else {
                                     continue;
                                 };
-                                consume(seq, &mut fam, &mut seen, &mut cache, &mut arena);
+                                consume(seq, &mut fam, &mut seen, &mut cache, &mut arena)?;
                             }
                         }
                     }
@@ -231,7 +268,7 @@ impl<'a> BubbleConstruct<'a> {
                                                 consume(
                                                     seq, &mut fam, &mut seen, &mut cache,
                                                     &mut arena,
-                                                );
+                                                )?;
                                             }
                                         }
                                     }
@@ -239,18 +276,23 @@ impl<'a> BubbleConstruct<'a> {
                             }
                         }
                     }
+                    if merlin_curves::fault::trip("core.construct.group") {
+                        fam = vec![Curve::new(); k];
+                    }
                     for c in &mut fam {
                         c.thin_to(cfg.max_curve_points);
                     }
                     gamma.insert(big_l as u16, big_e.index(), big_r as u16, Rc::new(fam));
                 }
             }
+            budget.check()?;
         }
 
         // EXTRACTION preparation (line 21): the whole-problem curve at the
         // source. Γ(n, χ0, n−1) already includes relocation to the source
         // (the source is a candidate); one more explicit hop to the source
         // collects structures rooted elsewhere.
+        let drop_final_curve = merlin_curves::fault::trip("core.construct.final");
         let top = gamma.get(n as u16, 0, (n - 1) as u16);
         let src_idx = candidates
             .iter()
@@ -284,6 +326,12 @@ impl<'a> BubbleConstruct<'a> {
             crate::star_ptree::finalize(&mut additions, &pending, &mut arena);
             curve.absorb(additions);
         }
+        if drop_final_curve {
+            curve = Curve::new();
+        }
+        // A stall injected late (or a slow extraction) must still fail the
+        // attempt: the budget is re-checked after assembly.
+        budget.check()?;
 
         let stats = ConstructStats {
             candidates: k,
@@ -293,7 +341,7 @@ impl<'a> BubbleConstruct<'a> {
             cache_misses: cache.stats().1,
             arena_steps: arena.len(),
         };
-        ConstructResult {
+        Ok(ConstructResult {
             curve,
             candidates,
             stats,
@@ -301,7 +349,7 @@ impl<'a> BubbleConstruct<'a> {
             source: self.net.source,
             sink_positions,
             driver: self.net.driver.clone(),
-        }
+        })
     }
 }
 

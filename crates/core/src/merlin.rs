@@ -12,6 +12,7 @@ use merlin_curves::CurvePoint;
 use merlin_netlist::Net;
 use merlin_order::tsp::tsp_order;
 use merlin_order::SinkOrder;
+use merlin_resilience::{SolveBudget, SolverError};
 use merlin_tech::units::PsTime;
 use merlin_tech::{BufferedTree, Technology};
 
@@ -44,6 +45,10 @@ pub struct MerlinOutcome {
     pub final_order: SinkOrder,
     /// Diagnostics of the last `BUBBLE_CONSTRUCT` run.
     pub stats: ConstructStats,
+    /// Whether the search stopped early because its [`SolveBudget`] ran
+    /// out (the returned tree is the best one found so far). Always
+    /// `false` for the unbudgeted entry points.
+    pub budget_hit: bool,
     /// The last run's full result (curve + extraction context), for callers
     /// that want other trade-off points.
     pub last_run: ConstructResult,
@@ -62,8 +67,8 @@ impl<'a> Merlin<'a> {
     ///
     /// Panics if the net has no sinks.
     pub fn optimize(&self, net: &Net) -> MerlinOutcome {
-        let init = tsp_order(net.source, &net.sink_positions());
-        self.optimize_from(net, init)
+        self.optimize_budgeted(net, &SolveBudget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
     }
 
     /// Optimizes `net` starting from an explicit initial order.
@@ -72,18 +77,84 @@ impl<'a> Merlin<'a> {
     ///
     /// Panics if the net has no sinks or the order does not cover them.
     pub fn optimize_from(&self, net: &Net, init: SinkOrder) -> MerlinOutcome {
+        self.optimize_from_budgeted(net, init, &SolveBudget::unlimited())
+            .expect("an unlimited budget cannot be exceeded")
+    }
+
+    /// Budgeted [`Merlin::optimize`]: TSP initial order, cooperative
+    /// cancellation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Merlin::optimize_from_budgeted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net has no sinks.
+    pub fn optimize_budgeted(
+        &self,
+        net: &Net,
+        budget: &SolveBudget,
+    ) -> Result<MerlinOutcome, SolverError> {
+        let init = tsp_order(net.source, &net.sink_positions());
+        self.optimize_from_budgeted(net, init, budget)
+    }
+
+    /// Budgeted [`Merlin::optimize_from`]: every `BUBBLE_CONSTRUCT` pass
+    /// charges the shared [`SolveBudget`], and the outer loop checks it
+    /// between iterations. When the budget runs out *after* at least one
+    /// complete iteration, the best tree found so far is returned with
+    /// [`MerlinOutcome::budget_hit`] set; when it runs out during the very
+    /// first pass there is nothing to serve and the budget error
+    /// propagates.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::BudgetExceeded`] when the budget dies before the
+    /// first iteration completes, [`SolverError::InvalidNet`] for a
+    /// sink-less net, and [`SolverError::EmptyCurve`] when a pass yields
+    /// no selectable solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order does not cover the net's sinks.
+    pub fn optimize_from_budgeted(
+        &self,
+        net: &Net,
+        init: SinkOrder,
+        budget: &SolveBudget,
+    ) -> Result<MerlinOutcome, SolverError> {
         let engine = BubbleConstruct::new(net, self.tech, self.config);
         let constraint = self.config.constraint;
         let mut pi = init;
         let mut loops = 0;
         let mut cost_trace = Vec::new();
         let mut best: Option<(f64, CurvePoint, ConstructResult, SinkOrder)> = None;
+        let mut budget_hit = false;
         loop {
             loops += 1;
-            let run = engine.run(&pi);
-            let point = run
-                .select(constraint)
-                .expect("non-empty net always yields a solution");
+            if merlin_curves::fault::trip("core.merlin.loop") {
+                return Err(SolverError::EmptyCurve {
+                    context: format!("injected empty result in MERLIN loop on net `{}`", net.name),
+                });
+            }
+            let run = match engine.run_budgeted(&pi, budget) {
+                Ok(run) => run,
+                Err(e) if e.is_budget() && best.is_some() => {
+                    budget_hit = true;
+                    loops -= 1; // the clipped pass produced nothing
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            let Some(point) = run.select(constraint) else {
+                return Err(SolverError::EmptyCurve {
+                    context: format!(
+                        "BUBBLE_CONSTRUCT produced an empty final curve on net `{}`",
+                        net.name
+                    ),
+                });
+            };
             let cost = match constraint {
                 Constraint::MaxReqWithinArea(_) => run.driver_required(&point),
                 Constraint::MinAreaWithReq(_) => -(point.area as f64),
@@ -100,20 +171,25 @@ impl<'a> Merlin<'a> {
             if loops >= self.config.max_loops || tree_order == pi || !improved {
                 break;
             }
+            if budget.check().is_err() {
+                budget_hit = true;
+                break;
+            }
             pi = tree_order;
         }
         let (_, point, run, final_order) = best.expect("at least one iteration ran");
         let tree = run.extract(&point);
-        MerlinOutcome {
+        Ok(MerlinOutcome {
             root_required_ps: run.driver_required(&point),
             buffer_area: point.area,
             loops,
             cost_trace,
             final_order,
             stats: run.stats,
+            budget_hit,
             tree,
             last_run: run,
-        }
+        })
     }
 }
 

@@ -124,6 +124,10 @@ impl Curve {
     /// load order, exactly the "pruning operation" of lines 19–20 of the
     /// paper's Figure 9. Lemma 9: no non-inferior solution is lost.
     pub fn prune(&mut self) {
+        if crate::fault::trip("curves.prune") {
+            self.pts.clear();
+            return;
+        }
         if self.pts.len() <= 1 {
             return;
         }

@@ -1,0 +1,182 @@
+//! Deterministic fault injection for chaos testing (feature
+//! `fault-inject`, off by default).
+//!
+//! The DP stack is sprinkled with *named injection sites* — cheap
+//! [`trip`] calls that compile to an inlined `false` unless the feature is
+//! on. Chaos tests arm a site with a [`FaultKind`] and a hit ordinal, then
+//! drive the resilient solver and assert it degrades instead of dying:
+//!
+//! * [`FaultKind::Panic`] — the site panics once, on its Nth hit,
+//! * [`FaultKind::Stall`] — the site sleeps once, on its Nth hit, burning
+//!   wall-clock budget so deadline handling can be exercised
+//!   deterministically,
+//! * [`FaultKind::EmptyCurve`] — the site reports "produce an empty
+//!   result" on every hit from the Nth onward (persistent, so a poisoned
+//!   DP cannot heal itself through untouched sub-problems).
+//!
+//! The registry is thread-local: parallel test threads cannot interfere
+//! with each other, and no synchronization taxes the hot path. Sites live
+//! wherever the failure is interesting — `curves.prune` here, group /
+//! final assembly sites in `merlin` (core), and the flow entry points in
+//! `merlin-flows`. The canonical site list is documented in
+//! `docs/RESILIENCE.md`.
+
+/// What an armed injection site does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with a recognizable message (tests panic isolation).
+    Panic,
+    /// Sleep for the armed duration (tests deadline budgets).
+    Stall,
+    /// Ask the site to produce an empty result (tests empty-curve
+    /// handling); [`trip`] returns `true` and the site is expected to act
+    /// on it.
+    EmptyCurve,
+}
+
+#[cfg(feature = "fault-inject")]
+mod registry {
+    use super::FaultKind;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::time::Duration;
+
+    #[derive(Clone, Debug)]
+    struct Plan {
+        kind: FaultKind,
+        nth: u64,
+        hits: u64,
+        fired: bool,
+        stall: Duration,
+    }
+
+    thread_local! {
+        static REGISTRY: RefCell<HashMap<String, Plan>> = RefCell::new(HashMap::new());
+    }
+
+    /// Default sleep for [`FaultKind::Stall`] when armed via
+    /// [`arm`](super::arm).
+    pub const DEFAULT_STALL: Duration = Duration::from_millis(40);
+
+    /// Arms `site` to fire `kind` on its `nth` hit (1-based; 0 is treated
+    /// as 1) with the default stall duration. Re-arming a site replaces
+    /// its previous plan and resets its hit counter.
+    pub fn arm(site: &str, kind: FaultKind, nth: u64) {
+        arm_with_stall(site, kind, nth, DEFAULT_STALL);
+    }
+
+    /// Like [`arm`], with an explicit stall duration for
+    /// [`FaultKind::Stall`].
+    pub fn arm_with_stall(site: &str, kind: FaultKind, nth: u64, stall: Duration) {
+        REGISTRY.with(|r| {
+            r.borrow_mut().insert(
+                site.to_owned(),
+                Plan {
+                    kind,
+                    nth: nth.max(1),
+                    hits: 0,
+                    fired: false,
+                    stall,
+                },
+            );
+        });
+    }
+
+    /// Disarms every site on this thread.
+    pub fn disarm_all() {
+        REGISTRY.with(|r| r.borrow_mut().clear());
+    }
+
+    /// How often `site` has been hit since it was (re-)armed; 0 for sites
+    /// that were never armed.
+    pub fn hits(site: &str) -> u64 {
+        REGISTRY.with(|r| r.borrow().get(site).map_or(0, |p| p.hits))
+    }
+
+    /// The armed-build implementation of [`trip`](super::trip).
+    pub fn trip(site: &str) -> bool {
+        let action = REGISTRY.with(|r| {
+            let mut reg = r.borrow_mut();
+            let plan = reg.get_mut(site)?;
+            plan.hits += 1;
+            match plan.kind {
+                // Persistent from the Nth hit on: a poisoned DP must not
+                // heal through sub-problems the fault never touched.
+                FaultKind::EmptyCurve if plan.hits >= plan.nth => Some((plan.kind, plan.stall)),
+                // One-shot on exactly the Nth hit.
+                FaultKind::Panic | FaultKind::Stall if plan.hits == plan.nth && !plan.fired => {
+                    plan.fired = true;
+                    Some((plan.kind, plan.stall))
+                }
+                _ => None,
+            }
+        });
+        match action {
+            // audit:allow(panic): the whole point of this site is a deliberate, injected panic.
+            Some((FaultKind::Panic, _)) => panic!("injected fault at site `{site}`"),
+            Some((FaultKind::Stall, stall)) => {
+                std::thread::sleep(stall);
+                false
+            }
+            Some((FaultKind::EmptyCurve, _)) => true,
+            None => false,
+        }
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use registry::{arm, arm_with_stall, disarm_all, hits, trip, DEFAULT_STALL};
+
+/// Fault-injection hook; returns whether the site must produce an empty
+/// result. With the `fault-inject` feature off (the default) this is an
+/// inlined constant `false` and the whole registry does not exist.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn trip(_site: &str) -> bool {
+    false
+}
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        disarm_all();
+        assert!(!trip("curves.test.unarmed"));
+        assert_eq!(hits("curves.test.unarmed"), 0);
+    }
+
+    #[test]
+    fn empty_curve_fires_from_nth_hit_onward() {
+        disarm_all();
+        arm("curves.test.empty", FaultKind::EmptyCurve, 3);
+        assert!(!trip("curves.test.empty"));
+        assert!(!trip("curves.test.empty"));
+        assert!(trip("curves.test.empty"));
+        assert!(trip("curves.test.empty"), "persistent after the nth hit");
+        assert_eq!(hits("curves.test.empty"), 4);
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_fires_once_on_the_nth_hit() {
+        disarm_all();
+        arm("curves.test.panic", FaultKind::Panic, 2);
+        assert!(!trip("curves.test.panic"));
+        let caught = std::panic::catch_unwind(|| trip("curves.test.panic"));
+        assert!(caught.is_err(), "second hit panics");
+        disarm_all();
+    }
+
+    #[test]
+    fn rearming_resets_the_counter() {
+        disarm_all();
+        arm("curves.test.rearm", FaultKind::EmptyCurve, 1);
+        assert!(trip("curves.test.rearm"));
+        arm("curves.test.rearm", FaultKind::EmptyCurve, 2);
+        assert!(!trip("curves.test.rearm"), "counter was reset");
+        assert!(trip("curves.test.rearm"));
+        disarm_all();
+    }
+}

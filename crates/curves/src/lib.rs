@@ -32,8 +32,10 @@
 pub mod analysis;
 pub mod arena;
 pub mod curve;
+pub mod fault;
 pub mod point;
 
 pub use arena::{ProvArena, ProvArenaError, ProvId, ProvStep};
 pub use curve::{Curve, CurveInvariantError};
+pub use fault::FaultKind;
 pub use point::CurvePoint;

@@ -9,6 +9,7 @@
 //! and under `--features invariant-checks` without taxing release runs.
 
 use merlin_geom::{audit_routed_tree, Point, Route, RouteAuditError};
+use merlin_resilience::SolverError;
 use merlin_tech::{BufferedTree, NodeKind};
 
 /// Audits a buffered tree's L-shaped embedding.
@@ -33,14 +34,28 @@ pub fn audit_tree(tree: &BufferedTree) -> Result<(), RouteAuditError> {
     audit_routed_tree(tree.node(tree.root()).at, &wires, &terminals)
 }
 
+/// [`audit_tree`] with the failure wrapped as a typed
+/// [`SolverError::AuditFailed`] carrying `ctx` — the form the resilient
+/// ladder consumes to reject a tier's output.
+///
+/// # Errors
+///
+/// [`SolverError::AuditFailed`] naming `ctx` and the geometric defect.
+pub fn check_tree(tree: &BufferedTree, ctx: &str) -> Result<(), SolverError> {
+    audit_tree(tree).map_err(|e| SolverError::AuditFailed {
+        context: ctx.to_owned(),
+        detail: e.to_string(),
+    })
+}
+
 /// Debug-build / `invariant-checks` assertion wrapper around
-/// [`audit_tree`]. Compiles to nothing in plain release builds.
+/// [`check_tree`]. Compiles to nothing in plain release builds.
 #[allow(unused_variables)]
 #[inline]
 pub fn debug_audit_tree(tree: &BufferedTree, ctx: &str) {
     #[cfg(any(debug_assertions, feature = "invariant-checks"))]
-    if let Err(e) = audit_tree(tree) {
-        panic!("routed-tree invariant violated in {ctx}: {e}");
+    if let Err(e) = check_tree(tree, ctx) {
+        panic!("routed-tree invariant violated: {e}");
     }
 }
 

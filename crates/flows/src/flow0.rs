@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use merlin_geom::rsmt::{iterated_one_steiner, rectilinear_mst, SpanningTree};
 use merlin_netlist::Net;
+use merlin_resilience::SolverError;
 use merlin_tech::{BufferedTree, NodeKind, Technology};
 use merlin_vanginneken::VanGinneken;
 
@@ -20,8 +21,25 @@ use crate::{FlowResult, FlowsConfig};
 ///
 /// # Panics
 ///
-/// Panics if the net has no sinks.
+/// Panics if the net is invalid (see [`Net::validate`]).
 pub fn run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> FlowResult {
+    try_run(net, tech, cfg).expect("flow 0 solves every valid net")
+}
+
+/// Fallible [`run`]: validates the net up front and returns a typed
+/// [`SolverError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`SolverError::InvalidNet`] for a malformed net and
+/// [`SolverError::EmptyCurve`] when buffer insertion yields no solution.
+pub fn try_run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> Result<FlowResult, SolverError> {
+    if merlin_resilience::fault::trip("flows.flow0.run") {
+        return Err(SolverError::EmptyCurve {
+            context: format!("injected empty result at flows.flow0.run on `{}`", net.name),
+        });
+    }
+    net.validate()?;
     let start = Instant::now();
     let tree = route_wirelength(net);
     let solved = VanGinneken::new(tech, cfg.vg).solve(
@@ -30,16 +48,17 @@ pub fn run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> FlowResult {
         &net.sink_loads(),
         &net.sink_reqs(),
     );
-    let tree = solved
-        .best_tree()
-        .expect("insertion preserves the unbuffered solution");
+    let tree = solved.best_tree().ok_or_else(|| SolverError::EmptyCurve {
+        context: format!("van Ginneken produced no solution on `{}`", net.name),
+    })?;
     let eval = tree.evaluate(tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
-    FlowResult {
+    Ok(FlowResult {
         tree,
         eval,
         runtime_s: start.elapsed().as_secs_f64(),
         loops: 0,
-    }
+        budget_hit: false,
+    })
 }
 
 /// The wirelength-driven routing tree of a net (no buffers): iterated
@@ -123,9 +142,7 @@ mod tests {
         let tech = Technology::synthetic_035();
         let net = random_net("w", 30, 4, &tech);
         let tree = route_wirelength(&net);
-        match tree.validate(30, &tech) {
-            Ok(()) => {}
-            Err(e) => panic!("invalid flow0 tree: {e}"),
-        }
+        tree.validate(30, &tech)
+            .expect("spliced flow0 tree keeps the sink-leaf contract");
     }
 }

@@ -16,6 +16,7 @@ use merlin_lttree::{FanoutTree, LtTree};
 use merlin_netlist::{Net, Sink};
 use merlin_order::tsp::tsp_order;
 use merlin_ptree::Ptree;
+use merlin_resilience::SolverError;
 use merlin_tech::units::{ps_min, Cap};
 use merlin_tech::{BufferedTree, Driver, NodeKind, Technology};
 
@@ -25,21 +26,41 @@ use crate::{FlowResult, FlowsConfig};
 ///
 /// # Panics
 ///
-/// Panics if the net has no sinks.
+/// Panics if the net is invalid (see [`Net::validate`]).
 pub fn run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> FlowResult {
+    try_run(net, tech, cfg).expect("flow I solves every valid net")
+}
+
+/// Fallible [`run`]: validates the net up front and returns a typed
+/// [`SolverError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`SolverError::InvalidNet`] for a malformed net and
+/// [`SolverError::EmptyCurve`] when LTTREE yields no fanout tree.
+pub fn try_run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> Result<FlowResult, SolverError> {
+    if merlin_resilience::fault::trip("flows.flow1.run") {
+        return Err(SolverError::EmptyCurve {
+            context: format!("injected empty result at flows.flow1.run on `{}`", net.name),
+        });
+    }
+    net.validate()?;
     let start = Instant::now();
     let pairs: Vec<(Cap, f64)> = net.sinks.iter().map(|s| (s.load, s.req_ps)).collect();
     let solved = LtTree::new(tech, cfg.lt).solve(&pairs, &net.driver);
-    let best = solved.best_point().expect("LTTREE always yields a point");
+    let best = solved.best_point().ok_or_else(|| SolverError::EmptyCurve {
+        context: format!("LTTREE produced no fanout tree on `{}`", net.name),
+    })?;
     let fanout_tree = solved.extract(&best);
     let tree = embed(net, tech, cfg, &fanout_tree);
     let eval = tree.evaluate(tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
-    FlowResult {
+    Ok(FlowResult {
         tree,
         eval,
         runtime_s: start.elapsed().as_secs_f64(),
         loops: 0,
-    }
+        budget_hit: false,
+    })
 }
 
 /// Embeds a fanout tree: places each buffer stage at the center of mass of

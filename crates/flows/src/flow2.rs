@@ -10,6 +10,7 @@ use std::time::Instant;
 use merlin_netlist::Net;
 use merlin_order::tsp::tsp_order;
 use merlin_ptree::Ptree;
+use merlin_resilience::SolverError;
 use merlin_tech::Technology;
 use merlin_vanginneken::VanGinneken;
 
@@ -19,8 +20,26 @@ use crate::{FlowResult, FlowsConfig};
 ///
 /// # Panics
 ///
-/// Panics if the net has no sinks.
+/// Panics if the net is invalid (see [`Net::validate`]).
 pub fn run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> FlowResult {
+    try_run(net, tech, cfg).expect("flow II solves every valid net")
+}
+
+/// Fallible [`run`]: validates the net up front and returns a typed
+/// [`SolverError`] instead of panicking.
+///
+/// # Errors
+///
+/// [`SolverError::InvalidNet`] for a malformed net and
+/// [`SolverError::EmptyCurve`] when routing or buffer insertion yields no
+/// solution.
+pub fn try_run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> Result<FlowResult, SolverError> {
+    if merlin_resilience::fault::trip("flows.flow2.run") {
+        return Err(SolverError::EmptyCurve {
+            context: format!("injected empty result at flows.flow2.run on `{}`", net.name),
+        });
+    }
+    net.validate()?;
     let start = Instant::now();
     let order = tsp_order(net.source, &net.sink_positions());
     let cands = cfg
@@ -29,23 +48,26 @@ pub fn run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> FlowResult {
     let routed = Ptree::new(net, tech, cfg.ptree)
         .solve(&order, &cands)
         .best_tree()
-        .expect("PTREE always routes a non-empty net");
+        .ok_or_else(|| SolverError::EmptyCurve {
+            context: format!("PTREE produced no routing on `{}`", net.name),
+        })?;
     let solved = VanGinneken::new(tech, cfg.vg).solve(
         &routed,
         &net.driver,
         &net.sink_loads(),
         &net.sink_reqs(),
     );
-    let tree = solved
-        .best_tree()
-        .expect("insertion preserves the unbuffered solution");
+    let tree = solved.best_tree().ok_or_else(|| SolverError::EmptyCurve {
+        context: format!("van Ginneken produced no solution on `{}`", net.name),
+    })?;
     let eval = tree.evaluate(tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
-    FlowResult {
+    Ok(FlowResult {
         tree,
         eval,
         runtime_s: start.elapsed().as_secs_f64(),
         loops: 0,
-    }
+        budget_hit: false,
+    })
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@ use std::time::Instant;
 
 use merlin::Merlin;
 use merlin_netlist::Net;
+use merlin_resilience::{SolveBudget, SolverError};
 use merlin_tech::Technology;
 
 use crate::{FlowResult, FlowsConfig};
@@ -12,19 +13,55 @@ use crate::{FlowResult, FlowsConfig};
 ///
 /// # Panics
 ///
-/// Panics if the net has no sinks.
+/// Panics if the net is invalid (see [`Net::validate`]).
 pub fn run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> FlowResult {
+    try_run(net, tech, cfg).expect("flow III solves every valid net")
+}
+
+/// Fallible [`run`] under an unlimited budget.
+///
+/// # Errors
+///
+/// See [`try_run_budgeted`].
+pub fn try_run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> Result<FlowResult, SolverError> {
+    try_run_budgeted(net, tech, cfg, &SolveBudget::unlimited())
+}
+
+/// Fallible, budgeted Flow III: validates the net up front and runs the
+/// MERLIN search with cooperative cancellation. A budget that dies after
+/// the first complete iteration returns the best tree so far with
+/// [`FlowResult::budget_hit`] set.
+///
+/// # Errors
+///
+/// [`SolverError::InvalidNet`] for a malformed net,
+/// [`SolverError::BudgetExceeded`] when the budget dies before the first
+/// iteration completes, and [`SolverError::EmptyCurve`] when the DP yields
+/// no selectable solution.
+pub fn try_run_budgeted(
+    net: &Net,
+    tech: &Technology,
+    cfg: &FlowsConfig,
+    budget: &SolveBudget,
+) -> Result<FlowResult, SolverError> {
+    if merlin_resilience::fault::trip("flows.flow3.run") {
+        return Err(SolverError::EmptyCurve {
+            context: format!("injected empty result at flows.flow3.run on `{}`", net.name),
+        });
+    }
+    net.validate()?;
     let start = Instant::now();
-    let outcome = Merlin::new(tech, cfg.merlin).optimize(net);
+    let outcome = Merlin::new(tech, cfg.merlin).optimize_budgeted(net, budget)?;
     let eval = outcome
         .tree
         .evaluate(tech, &net.driver, &net.sink_loads(), &net.sink_reqs());
-    FlowResult {
+    Ok(FlowResult {
         tree: outcome.tree,
         eval,
         runtime_s: start.elapsed().as_secs_f64(),
         loops: outcome.loops,
-    }
+        budget_hit: outcome.budget_hit,
+    })
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ pub mod flow2;
 pub mod flow3;
 pub mod net_harness;
 pub mod report;
+pub mod resilient;
 pub mod sweep;
 
 use merlin::MerlinConfig;
@@ -54,6 +55,10 @@ pub struct FlowResult {
     pub runtime_s: f64,
     /// MERLIN local-search loops (0 for the baselines).
     pub loops: usize,
+    /// Whether a [`merlin_resilience::SolveBudget`] clipped the run (the
+    /// tree is the best found before the budget ran out). Always `false`
+    /// for the unbudgeted entry points.
+    pub budget_hit: bool,
 }
 
 /// Shared configuration for the three flows.

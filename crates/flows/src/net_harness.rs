@@ -2,9 +2,10 @@
 
 use merlin_netlist::bench_nets::NetCase;
 use merlin_netlist::Net;
+use merlin_resilience::{ServingTier, SolveBudget};
 use merlin_tech::Technology;
 
-use crate::{flow1, flow2, flow3, FlowsConfig};
+use crate::{flow1, flow2, flow3, resilient, FlowsConfig};
 
 /// One flow's figures for a net.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -35,6 +36,11 @@ pub struct NetRow {
     pub flow3: Metrics,
     /// MERLIN convergence loops.
     pub loops: usize,
+    /// The degradation-ladder tier that served the flow III column
+    /// ([`ServingTier::Merlin`] for the direct, non-resilient harness).
+    pub tier: ServingTier,
+    /// Whether a solve budget clipped the flow III column.
+    pub budget_hit: bool,
 }
 
 impl NetRow {
@@ -72,6 +78,38 @@ pub fn run_net(net: &Net, circuit: &str, tech: &Technology, cfg: &FlowsConfig) -
         flow2: metrics(&f2),
         flow3: metrics(&f3),
         loops: f3.loops,
+        tier: ServingTier::Merlin,
+        budget_hit: f3.budget_hit,
+    }
+}
+
+/// [`run_net`] with the flow III column produced by the resilient driver
+/// under `budget`: the row records which ladder tier actually served and
+/// whether the budget clipped it. The flow I/II baseline columns still run
+/// unbudgeted (they are the comparison denominators).
+pub fn run_net_resilient(
+    net: &Net,
+    circuit: &str,
+    tech: &Technology,
+    cfg: &FlowsConfig,
+    budget: &SolveBudget,
+) -> NetRow {
+    let f1 = flow1::run(net, tech, cfg);
+    let f2 = flow2::run(net, tech, cfg);
+    let out = resilient::resilient_solve_with(net, tech, cfg, budget);
+    crate::audit::debug_audit_tree(&f1.tree, "flow I output");
+    crate::audit::debug_audit_tree(&f2.tree, "flow II output");
+    crate::audit::debug_audit_tree(&out.result.tree, "resilient output");
+    NetRow {
+        circuit: circuit.to_owned(),
+        name: net.name.clone(),
+        sinks: net.num_sinks(),
+        flow1: metrics(&f1),
+        flow2: metrics(&f2),
+        flow3: metrics(&out.result),
+        loops: out.result.loops,
+        tier: out.report.served,
+        budget_hit: out.report.budget_hit || out.result.budget_hit,
     }
 }
 

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use merlin_resilience::ServingTier;
+
 use crate::circuit_harness::CircuitMetrics;
 use crate::net_harness::NetRow;
 
@@ -70,6 +72,35 @@ pub fn table1(rows: &[NetRow]) -> String {
             acc[4] / n,
             acc[5] / n
         );
+        let degraded: Vec<&NetRow> = rows
+            .iter()
+            .filter(|r| r.tier != ServingTier::Merlin)
+            .collect();
+        let clipped = rows.iter().filter(|r| r.budget_hit).count();
+        if degraded.is_empty() && clipped == 0 {
+            let _ = writeln!(
+                s,
+                "Degradation: none ({} nets served by merlin)",
+                rows.len()
+            );
+        } else {
+            let names: Vec<String> = degraded
+                .iter()
+                .map(|r| format!("{}/{}={}", r.circuit, r.name, r.tier))
+                .collect();
+            let _ = writeln!(
+                s,
+                "Degradation: {}/{} nets served below merlin ({}); {} budget-clipped",
+                degraded.len(),
+                rows.len(),
+                if names.is_empty() {
+                    "-".to_owned()
+                } else {
+                    names.join(", ")
+                },
+                clipped
+            );
+        }
     }
     s
 }
@@ -182,6 +213,8 @@ mod tests {
                 runtime_s: 550.0,
             },
             loops: 2,
+            tier: ServingTier::Merlin,
+            budget_hit: false,
         }
     }
 
@@ -193,6 +226,19 @@ mod tests {
         assert!(out.contains("Average:"));
         // Flow I area printed in 1000λ² like the paper.
         assert!(out.contains("58"));
+        assert!(out.contains("Degradation: none"));
+    }
+
+    #[test]
+    fn table1_reports_degraded_and_clipped_rows() {
+        let mut degraded = row();
+        degraded.name = "net2".into();
+        degraded.tier = ServingTier::PtreeVanGinneken;
+        degraded.budget_hit = true;
+        let out = table1(&[row(), degraded]);
+        assert!(out.contains("1/2 nets served below merlin"), "{out}");
+        assert!(out.contains("C432/net2=ptree+vg"), "{out}");
+        assert!(out.contains("1 budget-clipped"), "{out}");
     }
 
     #[test]

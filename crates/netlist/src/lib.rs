@@ -36,4 +36,4 @@ pub mod placement;
 pub mod sta;
 
 pub use circuit::{Circuit, CircuitNet, Gate, Terminal};
-pub use net::{Net, Sink};
+pub use net::{Net, NetValidationError, Sink, COORD_LIMIT};

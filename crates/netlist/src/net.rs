@@ -1,8 +1,83 @@
 //! Single-net problem instances.
 
+use std::fmt;
+
 use merlin_geom::{BBox, Point};
 use merlin_tech::units::{Cap, PsTime};
 use merlin_tech::Driver;
+
+/// Largest coordinate magnitude [`Net::validate`] accepts, in λ.
+///
+/// Far below any plausible die size, yet small enough that Manhattan
+/// distances, squared terms and wire-capacitance products stay clear of
+/// `i64` / `f64` precision cliffs inside the DP engines.
+pub const COORD_LIMIT: i64 = 1 << 40;
+
+/// A structural defect found by [`Net::validate`].
+///
+/// Each variant names the first offending sink (or the source) so batch
+/// drivers can report actionable diagnostics instead of panicking mid-DP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetValidationError {
+    /// The net has no sinks; there is nothing to route.
+    NoSinks,
+    /// Two sinks occupy the same lattice point (`first < second`, sink
+    /// indices). Coincident sinks break the window/permutation model.
+    CoincidentSinks {
+        /// Lower sink index of the coincident pair.
+        first: usize,
+        /// Higher sink index of the coincident pair.
+        second: usize,
+    },
+    /// A sink has zero input capacitance — physically meaningless and a
+    /// classic symptom of an unmapped library pin upstream.
+    ZeroLoadSink {
+        /// Offending sink index.
+        index: usize,
+    },
+    /// A sink's required time is NaN or infinite.
+    NonFiniteRequired {
+        /// Offending sink index.
+        index: usize,
+    },
+    /// A coordinate magnitude exceeds [`COORD_LIMIT`]. `index` is the sink
+    /// index, or `None` for the source.
+    CoordOutOfRange {
+        /// Offending sink index; `None` means the source location.
+        index: Option<usize>,
+    },
+}
+
+impl fmt::Display for NetValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetValidationError::NoSinks => write!(f, "net has no sinks"),
+            NetValidationError::CoincidentSinks { first, second } => {
+                write!(f, "sinks {first} and {second} occupy the same point")
+            }
+            NetValidationError::ZeroLoadSink { index } => {
+                write!(f, "sink {index} has zero input capacitance")
+            }
+            NetValidationError::NonFiniteRequired { index } => {
+                write!(f, "sink {index} has a non-finite required time")
+            }
+            NetValidationError::CoordOutOfRange { index: Some(i) } => {
+                write!(
+                    f,
+                    "sink {i} lies outside the ±{COORD_LIMIT} λ coordinate range"
+                )
+            }
+            NetValidationError::CoordOutOfRange { index: None } => {
+                write!(
+                    f,
+                    "source lies outside the ±{COORD_LIMIT} λ coordinate range"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetValidationError {}
 
 /// One sink of a net: the paper's `s_i = (x, y, load, required time)`.
 #[derive(Clone, Debug, PartialEq)]
@@ -79,6 +154,51 @@ impl Net {
     pub fn total_sink_load(&self) -> Cap {
         self.sinks.iter().map(|s| s.load).sum()
     }
+
+    /// Checks the net against the structural preconditions of every DP
+    /// engine in the workspace, returning the first defect found.
+    ///
+    /// Degenerate inputs — empty nets, coincident sinks, zero pin caps,
+    /// non-finite required times, out-of-range coordinates — are rejected
+    /// here so batch drivers fail with a typed error up-front instead of
+    /// panicking (or silently misbehaving) somewhere inside the DP.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetValidationError`] in the order: no sinks,
+    /// coordinate range (source first), zero loads / non-finite required
+    /// times per sink, then coincident sink pairs.
+    pub fn validate(&self) -> Result<(), NetValidationError> {
+        if self.sinks.is_empty() {
+            return Err(NetValidationError::NoSinks);
+        }
+        let in_range = |p: Point| p.x.abs() <= COORD_LIMIT && p.y.abs() <= COORD_LIMIT;
+        if !in_range(self.source) {
+            return Err(NetValidationError::CoordOutOfRange { index: None });
+        }
+        for (index, sink) in self.sinks.iter().enumerate() {
+            if !in_range(sink.pos) {
+                return Err(NetValidationError::CoordOutOfRange { index: Some(index) });
+            }
+            if sink.load.units() == 0 {
+                return Err(NetValidationError::ZeroLoadSink { index });
+            }
+            if !sink.req_ps.is_finite() {
+                return Err(NetValidationError::NonFiniteRequired { index });
+            }
+        }
+        let mut order: Vec<usize> = (0..self.sinks.len()).collect();
+        order.sort_by_key(|&i| (self.sinks[i].pos.x, self.sinks[i].pos.y));
+        for pair in order.windows(2) {
+            if self.sinks[pair[0]].pos == self.sinks[pair[1]].pos {
+                return Err(NetValidationError::CoincidentSinks {
+                    first: pair[0].min(pair[1]),
+                    second: pair[0].max(pair[1]),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +225,98 @@ mod tests {
         assert_eq!(n.sink_loads()[0], Cap::from_ff(5.0));
         assert_eq!(n.sink_reqs()[1], 850.0);
         assert_eq!(n.total_sink_load(), Cap::from_ff(12.0));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_nets() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_empty_nets() {
+        let n = Net::new("e", Point::new(0, 0), Driver::default(), vec![]);
+        assert_eq!(n.validate(), Err(NetValidationError::NoSinks));
+    }
+
+    #[test]
+    fn validate_rejects_coincident_sinks() {
+        let mut n = sample();
+        n.sinks
+            .push(Sink::new(Point::new(100, 0), Cap::from_ff(4.0), 800.0));
+        assert_eq!(
+            n.validate(),
+            Err(NetValidationError::CoincidentSinks {
+                first: 0,
+                second: 2
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_load_sinks() {
+        let mut n = sample();
+        n.sinks[1].load = Cap::ZERO;
+        assert_eq!(
+            n.validate(),
+            Err(NetValidationError::ZeroLoadSink { index: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_required_times() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut n = sample();
+            n.sinks[0].req_ps = bad;
+            assert_eq!(
+                n.validate(),
+                Err(NetValidationError::NonFiniteRequired { index: 0 })
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_coordinates() {
+        let mut n = sample();
+        n.sinks[1].pos = Point::new(COORD_LIMIT + 1, 0);
+        assert_eq!(
+            n.validate(),
+            Err(NetValidationError::CoordOutOfRange { index: Some(1) })
+        );
+        let mut n = sample();
+        n.source = Point::new(0, -(COORD_LIMIT + 1));
+        assert_eq!(
+            n.validate(),
+            Err(NetValidationError::CoordOutOfRange { index: None })
+        );
+    }
+
+    #[test]
+    fn validate_allows_sink_at_source_position() {
+        // A sink on top of the driver is legal (zero-length route), only
+        // sink/sink coincidence is rejected.
+        let mut n = sample();
+        n.sinks[0].pos = n.source;
+        assert_eq!(n.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_errors_display() {
+        let msgs = [
+            NetValidationError::NoSinks.to_string(),
+            NetValidationError::CoincidentSinks {
+                first: 1,
+                second: 3,
+            }
+            .to_string(),
+            NetValidationError::ZeroLoadSink { index: 2 }.to_string(),
+            NetValidationError::NonFiniteRequired { index: 0 }.to_string(),
+            NetValidationError::CoordOutOfRange { index: Some(4) }.to_string(),
+            NetValidationError::CoordOutOfRange { index: None }.to_string(),
+        ];
+        for m in &msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(msgs[1].contains('1') && msgs[1].contains('3'));
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Cooperative solve budgets: a wall-clock deadline plus a DP work meter.
+//!
+//! A [`SolveBudget`] bounds one solve attempt along two dimensions:
+//!
+//! * **deadline** — an absolute wall-clock instant after which every
+//!   [`SolveBudget::check_deadline`] fails,
+//! * **work** — an abstract unit counter fed by the DP engines (curve
+//!   points produced plus provenance-arena nodes allocated), so runs are
+//!   bounded even on machines where wall-clock is noisy.
+//!
+//! Budgets are *cooperative*: the engines call [`SolveBudget::charge`] /
+//! [`SolveBudget::check`] inside their hot loops and return a typed error
+//! when a dimension is exhausted, unwinding cleanly instead of being
+//! killed. The interior [`Cell`] keeps `charge(&self)` usable through the
+//! shared references the DP closures already hold.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which budget dimension ran out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The DP work meter (curve points + arena nodes) hit its limit.
+    Work,
+}
+
+/// A budget dimension was exhausted. `spent` / `limit` are milliseconds
+/// for [`BudgetKind::Deadline`] and work units for [`BudgetKind::Work`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The exhausted dimension.
+    pub kind: BudgetKind,
+    /// Amount spent when the violation was detected.
+    pub spent: u64,
+    /// The configured limit.
+    pub limit: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            BudgetKind::Deadline => write!(
+                f,
+                "deadline exceeded: {} ms elapsed of a {} ms budget",
+                self.spent, self.limit
+            ),
+            BudgetKind::Work => write!(
+                f,
+                "work budget exhausted: {} units spent of a {} unit budget",
+                self.spent, self.limit
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A cooperative two-dimensional solve budget. See the module docs.
+///
+/// The default ([`SolveBudget::unlimited`]) never trips, so budget-aware
+/// entry points cost nothing for callers that do not care.
+#[derive(Clone, Debug)]
+pub struct SolveBudget {
+    started: Instant,
+    deadline: Option<Instant>,
+    work_limit: Option<u64>,
+    work_used: Cell<u64>,
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        SolveBudget::unlimited()
+    }
+}
+
+impl SolveBudget {
+    /// A budget that never trips.
+    pub fn unlimited() -> Self {
+        SolveBudget {
+            started: Instant::now(),
+            deadline: None,
+            work_limit: None,
+            work_used: Cell::new(0),
+        }
+    }
+
+    /// A budget with only a wall-clock deadline, `duration` from now.
+    pub fn with_deadline(duration: Duration) -> Self {
+        SolveBudget::unlimited().and_deadline(duration)
+    }
+
+    /// A budget with only a DP work limit.
+    pub fn with_work_limit(limit: u64) -> Self {
+        SolveBudget::unlimited().and_work_limit(limit)
+    }
+
+    /// Adds (or tightens) a wall-clock deadline `duration` from now.
+    pub fn and_deadline(mut self, duration: Duration) -> Self {
+        let candidate = Instant::now() + duration;
+        self.deadline = Some(match self.deadline {
+            Some(d) => d.min(candidate),
+            None => candidate,
+        });
+        self
+    }
+
+    /// Adds (or tightens) a DP work limit.
+    pub fn and_work_limit(mut self, limit: u64) -> Self {
+        self.work_limit = Some(self.work_limit.map_or(limit, |l| l.min(limit)));
+        self
+    }
+
+    /// Work units charged so far.
+    pub fn work_used(&self) -> u64 {
+        self.work_used.get()
+    }
+
+    /// Records `units` of DP work against the budget.
+    ///
+    /// The units are counted even when the call fails, so partial spend is
+    /// visible to parent budgets via [`SolveBudget::absorb`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BudgetKind::Work`] once the cumulative spend exceeds
+    /// the limit.
+    pub fn charge(&self, units: u64) -> Result<(), BudgetExceeded> {
+        let used = self.work_used.get().saturating_add(units);
+        self.work_used.set(used);
+        match self.work_limit {
+            Some(limit) if used > limit => Err(BudgetExceeded {
+                kind: BudgetKind::Work,
+                spent: used,
+                limit,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Checks the wall-clock dimension only (cheap enough for inner loops).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`BudgetKind::Deadline`] once the deadline has passed.
+    pub fn check_deadline(&self) -> Result<(), BudgetExceeded> {
+        if let Some(deadline) = self.deadline {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(BudgetExceeded {
+                    kind: BudgetKind::Deadline,
+                    spent: now.duration_since(self.started).as_millis() as u64,
+                    limit: deadline.duration_since(self.started).as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks both dimensions without charging new work.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the deadline has passed or the work meter is at (or past)
+    /// its limit.
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        self.check_deadline()?;
+        if let Some(limit) = self.work_limit {
+            let used = self.work_used.get();
+            if used >= limit {
+                return Err(BudgetExceeded {
+                    kind: BudgetKind::Work,
+                    spent: used,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether either dimension is already exhausted (peek, never charges).
+    pub fn exhausted(&self) -> bool {
+        self.check().is_err()
+    }
+
+    /// Carves out a child budget holding `fraction` of whatever remains of
+    /// both dimensions. The child's work meter starts at zero; feed its
+    /// spend back with [`SolveBudget::absorb`]. Unlimited dimensions stay
+    /// unlimited.
+    pub fn slice(&self, fraction: f64) -> SolveBudget {
+        let fraction = if fraction.is_finite() {
+            fraction.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let now = Instant::now();
+        let deadline = self.deadline.map(|d| {
+            let remaining = d.saturating_duration_since(now);
+            now + remaining.mul_f64(fraction)
+        });
+        let work_limit = self.work_limit.map(|l| {
+            let remaining = l.saturating_sub(self.work_used.get());
+            (remaining as f64 * fraction).floor() as u64
+        });
+        SolveBudget {
+            started: now,
+            deadline,
+            work_limit,
+            work_used: Cell::new(0),
+        }
+    }
+
+    /// Adds a child budget's work spend to this budget's meter (never
+    /// fails; use [`SolveBudget::check`] to observe the result).
+    pub fn absorb(&self, child: &SolveBudget) {
+        self.work_used
+            .set(self.work_used.get().saturating_add(child.work_used.get()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = SolveBudget::unlimited();
+        assert!(b.charge(u64::MAX).is_ok());
+        assert!(b.check().is_ok());
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn work_limit_trips_after_spend() {
+        let b = SolveBudget::with_work_limit(10);
+        assert!(b.charge(10).is_ok());
+        assert!(b.exhausted(), "at the limit counts as exhausted");
+        let err = b.charge(1).expect_err("over the limit must fail");
+        assert_eq!(err.kind, BudgetKind::Work);
+        assert_eq!(err.spent, 11);
+        assert_eq!(err.limit, 10);
+    }
+
+    #[test]
+    fn zero_work_budget_is_born_exhausted() {
+        let b = SolveBudget::with_work_limit(0);
+        assert!(b.exhausted());
+        assert!(b.check().is_err());
+    }
+
+    #[test]
+    fn expired_deadline_trips() {
+        let b = SolveBudget::with_deadline(Duration::ZERO);
+        let err = b.check_deadline().expect_err("deadline already passed");
+        assert_eq!(err.kind, BudgetKind::Deadline);
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn slice_and_absorb_share_the_work_pool() {
+        let parent = SolveBudget::with_work_limit(100);
+        parent.charge(20).expect("within budget");
+        let child = parent.slice(0.5);
+        // Half of the remaining 80 units.
+        assert!(child.charge(40).is_ok());
+        assert!(child.charge(1).is_err());
+        parent.absorb(&child);
+        assert_eq!(parent.work_used(), 61);
+        // Unlimited parents produce unlimited slices.
+        let free = SolveBudget::unlimited().slice(0.1);
+        assert!(free.charge(u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn builders_tighten_not_loosen() {
+        let b = SolveBudget::with_work_limit(50).and_work_limit(100);
+        assert!(b.charge(50).is_ok());
+        assert!(b.charge(1).is_err(), "the tighter limit wins");
+    }
+
+    #[test]
+    fn exceeded_messages_name_the_dimension() {
+        let w = BudgetExceeded {
+            kind: BudgetKind::Work,
+            spent: 5,
+            limit: 4,
+        };
+        assert!(w.to_string().contains("work"));
+        let d = BudgetExceeded {
+            kind: BudgetKind::Deadline,
+            spent: 10,
+            limit: 8,
+        };
+        assert!(d.to_string().contains("deadline"));
+    }
+}

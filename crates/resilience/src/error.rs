@@ -1,0 +1,99 @@
+//! The typed error vocabulary shared by every budget-aware solver entry
+//! point in the workspace.
+
+use std::fmt;
+
+use merlin_netlist::NetValidationError;
+
+use crate::budget::BudgetExceeded;
+
+/// Why a solve attempt failed. Every fallible solver API in `core` and
+/// `flows` returns this, so drivers can decide between retry, degrade and
+/// reject without parsing panic messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolverError {
+    /// The attempt ran out of wall-clock or DP work budget.
+    BudgetExceeded(BudgetExceeded),
+    /// The input net failed [`merlin_netlist::Net::validate`].
+    InvalidNet(NetValidationError),
+    /// The attempt panicked and was contained at the isolation boundary.
+    Panicked {
+        /// Where the panic was caught, plus the panic message.
+        context: String,
+    },
+    /// A DP produced an empty solution curve where one was required.
+    EmptyCurve {
+        /// Which stage came up empty.
+        context: String,
+    },
+    /// The produced tree failed the structural / geometric audit.
+    AuditFailed {
+        /// Which stage produced the tree.
+        context: String,
+        /// The audit's own message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::BudgetExceeded(e) => write!(f, "{e}"),
+            SolverError::InvalidNet(e) => write!(f, "invalid net: {e}"),
+            SolverError::Panicked { context } => write!(f, "panicked in {context}"),
+            SolverError::EmptyCurve { context } => {
+                write!(f, "empty solution curve in {context}")
+            }
+            SolverError::AuditFailed { context, detail } => {
+                write!(f, "tree audit failed in {context}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<BudgetExceeded> for SolverError {
+    fn from(e: BudgetExceeded) -> Self {
+        SolverError::BudgetExceeded(e)
+    }
+}
+
+impl From<NetValidationError> for SolverError {
+    fn from(e: NetValidationError) -> Self {
+        SolverError::InvalidNet(e)
+    }
+}
+
+impl SolverError {
+    /// Whether this error is a budget exhaustion (the one kind a driver
+    /// should *not* blame on the tier that reported it).
+    pub fn is_budget(&self) -> bool {
+        matches!(self, SolverError::BudgetExceeded(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::{BudgetExceeded, BudgetKind};
+
+    #[test]
+    fn conversions_and_display() {
+        let b: SolverError = BudgetExceeded {
+            kind: BudgetKind::Work,
+            spent: 2,
+            limit: 1,
+        }
+        .into();
+        assert!(b.is_budget());
+        assert!(b.to_string().contains("work"));
+        let v: SolverError = NetValidationError::NoSinks.into();
+        assert!(!v.is_budget());
+        assert!(v.to_string().contains("no sinks"));
+        let p = SolverError::Panicked {
+            context: "flow III: boom".into(),
+        };
+        assert!(p.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,225 @@
+//! The generic graceful-degradation ladder engine.
+//!
+//! [`run_ladder`] walks a list of solver tiers, strongest first. Each tier
+//! runs under [`crate::isolate::isolate`] (panics become typed errors)
+//! with a slice of the shared [`SolveBudget`] proportional to its weight
+//! among the tiers still ahead. A tier serves if it returns `Ok` *and* its
+//! result passes the caller's audit; otherwise its failure is recorded and
+//! the next rung is tried. When every tier fails — or the budget is
+//! already exhausted — the caller's infallible fallback serves, so the
+//! engine always returns a value.
+//!
+//! The engine is generic over the result type: policy (which tiers exist,
+//! what a result is, how to audit it) lives in `merlin-flows`; mechanism
+//! (budget slicing, panic isolation, reporting) lives here.
+
+use std::time::Instant;
+
+use crate::budget::SolveBudget;
+use crate::error::SolverError;
+use crate::isolate::isolate;
+use crate::report::{DegradationReport, ServingTier, TierAttempt};
+
+/// One rung of the ladder: a labelled, weighted solve attempt.
+pub struct Tier<'a, T> {
+    /// The rung's identity in reports.
+    pub tier: ServingTier,
+    /// Relative share of the remaining budget this rung may spend.
+    pub weight: f64,
+    /// The attempt itself, handed its slice of the budget.
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn FnOnce(&SolveBudget) -> Result<T, SolverError> + 'a>,
+}
+
+impl<'a, T> Tier<'a, T> {
+    /// Creates a rung.
+    pub fn new(
+        tier: ServingTier,
+        weight: f64,
+        run: impl FnOnce(&SolveBudget) -> Result<T, SolverError> + 'a,
+    ) -> Self {
+        Tier {
+            tier,
+            weight,
+            run: Box::new(run),
+        }
+    }
+}
+
+/// Walks the ladder. See the module docs.
+///
+/// `audit` vets every successful attempt before it may serve; `fallback`
+/// is the infallible last resort, reported as
+/// [`ServingTier::DirectRoute`]. Budget-exhausted rungs are skipped with a
+/// zero-duration [`TierAttempt`] so the report still names them.
+pub fn run_ladder<T>(
+    tiers: Vec<Tier<'_, T>>,
+    audit: impl Fn(&T) -> Result<(), SolverError>,
+    fallback: impl FnOnce() -> T,
+    budget: &SolveBudget,
+) -> (T, DegradationReport) {
+    let mut attempts: Vec<TierAttempt> = Vec::new();
+    let mut remaining_weight: f64 = tiers.iter().map(|t| t.weight.max(0.0)).sum();
+    for tier in tiers {
+        let weight = tier.weight.max(0.0);
+        let fraction = if remaining_weight > 0.0 {
+            weight / remaining_weight
+        } else {
+            1.0
+        };
+        remaining_weight -= weight;
+        if let Err(e) = budget.check() {
+            attempts.push(TierAttempt {
+                tier: tier.tier,
+                error: e.into(),
+                elapsed_s: 0.0,
+            });
+            continue;
+        }
+        let slice = budget.slice(fraction);
+        let started = Instant::now();
+        let run = tier.run;
+        let outcome = isolate(tier.tier.label(), || run(&slice));
+        budget.absorb(&slice);
+        let elapsed_s = started.elapsed().as_secs_f64();
+        match outcome.and_then(|value| audit(&value).map(|()| value)) {
+            Ok(value) => {
+                let budget_hit = attempts.iter().any(|a| a.error.is_budget());
+                return (
+                    value,
+                    DegradationReport {
+                        served: tier.tier,
+                        attempts,
+                        served_elapsed_s: elapsed_s,
+                        budget_hit,
+                        invalid_net: None,
+                    },
+                );
+            }
+            Err(error) => attempts.push(TierAttempt {
+                tier: tier.tier,
+                error,
+                elapsed_s,
+            }),
+        }
+    }
+    let started = Instant::now();
+    let value = fallback();
+    let budget_hit = attempts.iter().any(|a| a.error.is_budget());
+    (
+        value,
+        DegradationReport {
+            served: ServingTier::DirectRoute,
+            attempts,
+            served_elapsed_s: started.elapsed().as_secs_f64(),
+            budget_hit,
+            invalid_net: None,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::SolveBudget;
+
+    fn no_audit<T>(_: &T) -> Result<(), SolverError> {
+        Ok(())
+    }
+
+    #[test]
+    fn first_healthy_tier_serves() {
+        let tiers = vec![
+            Tier::new(ServingTier::Merlin, 1.0, |_b: &SolveBudget| Ok(10)),
+            Tier::new(ServingTier::SinglePass, 1.0, |_b: &SolveBudget| Ok(20)),
+        ];
+        let (v, r) = run_ladder(tiers, no_audit, || 0, &SolveBudget::unlimited());
+        assert_eq!(v, 10);
+        assert_eq!(r.served, ServingTier::Merlin);
+        assert!(r.attempts.is_empty());
+        assert!(!r.budget_hit);
+    }
+
+    #[test]
+    fn panicking_tier_is_contained_and_named() {
+        let tiers = vec![
+            Tier::new(
+                ServingTier::Merlin,
+                1.0,
+                |_b: &SolveBudget| -> Result<i32, SolverError> { panic!("tier exploded") },
+            ),
+            Tier::new(ServingTier::PtreeVanGinneken, 1.0, |_b: &SolveBudget| Ok(7)),
+        ];
+        let (v, r) = run_ladder(tiers, no_audit, || 0, &SolveBudget::unlimited());
+        assert_eq!(v, 7);
+        assert_eq!(r.served, ServingTier::PtreeVanGinneken);
+        assert_eq!(r.attempts.len(), 1);
+        assert_eq!(r.attempts[0].tier, ServingTier::Merlin);
+        assert!(matches!(r.attempts[0].error, SolverError::Panicked { .. }));
+    }
+
+    #[test]
+    fn audit_rejection_falls_through() {
+        let tiers = vec![
+            Tier::new(ServingTier::Merlin, 1.0, |_b: &SolveBudget| Ok(-1)),
+            Tier::new(ServingTier::LttreePtree, 1.0, |_b: &SolveBudget| Ok(5)),
+        ];
+        let audit = |v: &i32| {
+            if *v < 0 {
+                Err(SolverError::AuditFailed {
+                    context: "test".into(),
+                    detail: "negative".into(),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let (v, r) = run_ladder(tiers, audit, || 0, &SolveBudget::unlimited());
+        assert_eq!(v, 5);
+        assert_eq!(r.served, ServingTier::LttreePtree);
+        assert!(matches!(
+            r.attempts[0].error,
+            SolverError::AuditFailed { .. }
+        ));
+    }
+
+    #[test]
+    fn exhausted_budget_skips_every_tier_and_serves_fallback() {
+        let tiers = vec![
+            Tier::new(ServingTier::Merlin, 1.0, |_b: &SolveBudget| Ok(1)),
+            Tier::new(ServingTier::SinglePass, 1.0, |_b: &SolveBudget| Ok(2)),
+        ];
+        let budget = SolveBudget::with_work_limit(0);
+        let (v, r) = run_ladder(tiers, no_audit, || 99, &budget);
+        assert_eq!(v, 99);
+        assert_eq!(r.served, ServingTier::DirectRoute);
+        assert_eq!(r.attempts.len(), 2);
+        assert!(r.budget_hit);
+        assert!(r.attempts.iter().all(|a| a.error.is_budget()));
+    }
+
+    #[test]
+    fn child_spend_is_absorbed_into_the_shared_budget() {
+        // Tier 1 spends the whole pool; tier 2 must be skipped.
+        let tiers = vec![
+            Tier::new(
+                ServingTier::Merlin,
+                1.0,
+                |b: &SolveBudget| -> Result<i32, SolverError> {
+                    b.charge(100).map_err(SolverError::from)?;
+                    Ok(1)
+                },
+            ),
+            Tier::new(ServingTier::SinglePass, 1.0, |_b: &SolveBudget| Ok(2)),
+        ];
+        // 100 units total: tier 1's 50% slice is 50 units, so its charge of
+        // 100 fails; the spend still drains the parent, skipping tier 2.
+        let budget = SolveBudget::with_work_limit(100);
+        let (v, r) = run_ladder(tiers, no_audit, || 0, &budget);
+        assert_eq!(v, 0);
+        assert_eq!(r.served, ServingTier::DirectRoute);
+        assert_eq!(r.attempts.len(), 2);
+        assert_eq!(r.attempts[1].elapsed_s, 0.0, "tier 2 was skipped");
+        assert!(r.budget_hit);
+    }
+}

@@ -1,0 +1,41 @@
+//! Resilient solving infrastructure for the MERLIN reproduction.
+//!
+//! The paper's MERLIN loop terminates at an order-space fixpoint but gives
+//! no bound on per-net wall-clock or DP memory, and a production batch run
+//! cannot afford one degenerate net taking down the whole sweep. This
+//! crate supplies the *mechanism* half of the answer:
+//!
+//! * [`budget::SolveBudget`] — a cooperative wall-clock + DP-work budget
+//!   the engines check inside their hot loops,
+//! * [`error::SolverError`] — the typed failure vocabulary
+//!   (`BudgetExceeded`, `InvalidNet`, `Panicked`, `EmptyCurve`,
+//!   `AuditFailed`) every fallible solver entry point returns,
+//! * [`isolate::isolate`] — the workspace's single sanctioned
+//!   `catch_unwind` boundary (enforced by the `merlin-audit`
+//!   `catch-unwind` rule),
+//! * [`ladder::run_ladder`] — the generic graceful-degradation engine that
+//!   tries weighted tiers under budget slices and always returns a value,
+//! * [`report::DegradationReport`] — which tier served, why earlier tiers
+//!   failed, and the time spent per tier.
+//!
+//! The *policy* half — the concrete flow-III → single-pass → flow-II →
+//! flow-I → direct-route ladder — lives in `merlin_flows::resilient`,
+//! which composes these pieces. The deterministic fault-injection registry
+//! used by the chaos tests lives at the bottom of the dependency graph in
+//! [`merlin_curves::fault`] and is re-exported here as [`fault`]; it only
+//! arms when the `fault-inject` feature is on.
+//!
+//! See `docs/RESILIENCE.md` for the full model and the chaos-test matrix.
+
+pub mod budget;
+pub mod error;
+pub mod isolate;
+pub mod ladder;
+pub mod report;
+
+pub use budget::{BudgetExceeded, BudgetKind, SolveBudget};
+pub use error::SolverError;
+pub use isolate::isolate;
+pub use ladder::{run_ladder, Tier};
+pub use merlin_curves::fault;
+pub use report::{DegradationReport, ServingTier, TierAttempt};

@@ -1,0 +1,169 @@
+//! Degradation bookkeeping: which tier served, why earlier tiers failed,
+//! and how long each attempt took.
+
+use std::fmt;
+
+use merlin_netlist::NetValidationError;
+
+use crate::error::SolverError;
+
+/// The rung of the graceful-degradation ladder that produced a tree, from
+/// strongest (full MERLIN search) to the unconditional last resort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServingTier {
+    /// Flow III: the full MERLIN local-neighborhood search.
+    Merlin,
+    /// A single budgeted `BUBBLE_CONSTRUCT` pass (no outer loop).
+    SinglePass,
+    /// Flow II: P-Tree routing + van Ginneken buffer insertion.
+    PtreeVanGinneken,
+    /// Flow I: LTTREE fanout optimization + per-stage P-Tree routing.
+    LttreePtree,
+    /// Unbuffered direct star route — infallible, always audit-clean.
+    DirectRoute,
+}
+
+impl ServingTier {
+    /// The full ladder, strongest first.
+    pub const LADDER: [ServingTier; 5] = [
+        ServingTier::Merlin,
+        ServingTier::SinglePass,
+        ServingTier::PtreeVanGinneken,
+        ServingTier::LttreePtree,
+        ServingTier::DirectRoute,
+    ];
+
+    /// Short stable label for tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServingTier::Merlin => "merlin",
+            ServingTier::SinglePass => "single-pass",
+            ServingTier::PtreeVanGinneken => "ptree+vg",
+            ServingTier::LttreePtree => "lttree+ptree",
+            ServingTier::DirectRoute => "direct",
+        }
+    }
+}
+
+impl fmt::Display for ServingTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One failed rung of the ladder.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TierAttempt {
+    /// The tier that was tried.
+    pub tier: ServingTier,
+    /// Why it did not serve.
+    pub error: SolverError,
+    /// Wall-clock seconds spent on the attempt (0 when skipped because the
+    /// shared budget was already exhausted).
+    pub elapsed_s: f64,
+}
+
+/// The full story of one resilient solve: which tier served, every failed
+/// attempt before it, and whether the budget was part of that story.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradationReport {
+    /// The tier whose tree was returned.
+    pub served: ServingTier,
+    /// Failed attempts, in ladder order.
+    pub attempts: Vec<TierAttempt>,
+    /// Wall-clock seconds spent by the serving tier.
+    pub served_elapsed_s: f64,
+    /// Whether any attempt failed (or was skipped) on budget exhaustion,
+    /// or the serving tier itself reported a partial, budget-clipped run.
+    pub budget_hit: bool,
+    /// The up-front validation failure, when the input net was rejected
+    /// before any DP tier ran.
+    pub invalid_net: Option<NetValidationError>,
+}
+
+impl DegradationReport {
+    /// A report for a solve that succeeded on its first rung.
+    pub fn clean(served: ServingTier, served_elapsed_s: f64) -> Self {
+        DegradationReport {
+            served,
+            attempts: Vec::new(),
+            served_elapsed_s,
+            budget_hit: false,
+            invalid_net: None,
+        }
+    }
+
+    /// Whether anything other than the strongest tier served.
+    pub fn degraded(&self) -> bool {
+        self.served != ServingTier::Merlin
+    }
+
+    /// One-line human summary (`served=<tier> [after <tier>: <why>; ...]`).
+    pub fn summary(&self) -> String {
+        let mut s = format!("served={}", self.served);
+        if let Some(v) = &self.invalid_net {
+            s.push_str(&format!(" (invalid net: {v})"));
+        }
+        if !self.attempts.is_empty() {
+            s.push_str(" after ");
+            let parts: Vec<String> = self
+                .attempts
+                .iter()
+                .map(|a| format!("{}: {} [{:.3}s]", a.tier, a.error, a.elapsed_s))
+                .collect();
+            s.push_str(&parts.join("; "));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_ordered_strongest_first() {
+        let l = ServingTier::LADDER;
+        for pair in l.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert_eq!(l[0], ServingTier::Merlin);
+        assert_eq!(l[4], ServingTier::DirectRoute);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            ServingTier::LADDER.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), ServingTier::LADDER.len());
+    }
+
+    #[test]
+    fn summary_names_failed_tiers() {
+        let r = DegradationReport {
+            served: ServingTier::PtreeVanGinneken,
+            attempts: vec![TierAttempt {
+                tier: ServingTier::Merlin,
+                error: SolverError::Panicked {
+                    context: "flow III: boom".into(),
+                },
+                elapsed_s: 0.25,
+            }],
+            served_elapsed_s: 0.1,
+            budget_hit: false,
+            invalid_net: None,
+        };
+        assert!(r.degraded());
+        let s = r.summary();
+        assert!(s.contains("ptree+vg"), "{s}");
+        assert!(s.contains("merlin"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+    }
+
+    #[test]
+    fn clean_report_is_not_degraded() {
+        let r = DegradationReport::clean(ServingTier::Merlin, 0.5);
+        assert!(!r.degraded());
+        assert_eq!(r.summary(), "served=merlin");
+    }
+}

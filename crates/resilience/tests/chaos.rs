@@ -1,0 +1,173 @@
+//! Chaos matrix: every fault-injection site × fault kind must *degrade*
+//! the resilient solve, never kill it. Requires `--features fault-inject`.
+//!
+//! Sites below the MERLIN tier are reached by pre-arming persistent
+//! `EmptyCurve` faults on the tiers above them (the fault registry is
+//! thread-local, so parallel test threads cannot interfere).
+
+#![cfg(feature = "fault-inject")]
+
+use std::time::Duration;
+
+use merlin_flows::resilient::ResilientOutcome;
+use merlin_flows::{audit, flow0, resilient, FlowsConfig};
+use merlin_netlist::bench_nets::random_net;
+use merlin_resilience::fault::{self, FaultKind};
+use merlin_resilience::{isolate, ServingTier, SolveBudget, SolverError};
+use merlin_tech::Technology;
+
+/// Every ladder-reachable injection site, with the pre-arms that force the
+/// descent down to it. `core.*` and `curves.*` sites are hit by the MERLIN
+/// tier itself; the flow II / flow I entry sites need the tiers above them
+/// knocked out first (`core.merlin.loop` covers both MERLIN and the
+/// single-pass tier, which share the DP).
+const LADDER_SITES: &[(&str, &[&str])] = &[
+    ("curves.prune", &[]),
+    ("core.construct.group", &[]),
+    ("core.construct.final", &[]),
+    ("core.merlin.loop", &[]),
+    ("flows.flow3.run", &[]),
+    ("flows.flow2.run", &["core.merlin.loop"]),
+    ("flows.flow1.run", &["core.merlin.loop", "flows.flow2.run"]),
+];
+
+const SINKS: usize = 5;
+
+fn run_case(site: &str, kind: FaultKind, pre: &[&str]) -> ResilientOutcome {
+    fault::disarm_all();
+    for p in pre {
+        fault::arm(p, FaultKind::EmptyCurve, 1);
+    }
+    let tech = Technology::synthetic_035();
+    let net = random_net("chaos", SINKS, 11, &tech);
+    let cfg = FlowsConfig::for_net_size(SINKS);
+    let budget = match kind {
+        FaultKind::Stall => {
+            // The stall overshoots the whole deadline, so the first tier to
+            // hit the site burns the budget for everyone after it.
+            fault::arm_with_stall(site, kind, 1, Duration::from_millis(120));
+            SolveBudget::with_deadline(Duration::from_millis(40))
+        }
+        _ => {
+            fault::arm(site, kind, 1);
+            SolveBudget::unlimited()
+        }
+    };
+    let out = resilient::resilient_solve_with(&net, &tech, &cfg, &budget);
+    fault::disarm_all();
+    out
+}
+
+#[test]
+fn every_ladder_site_and_kind_degrades_cleanly() {
+    let tech = Technology::synthetic_035();
+    for &(site, pre) in LADDER_SITES {
+        for kind in [FaultKind::Panic, FaultKind::Stall, FaultKind::EmptyCurve] {
+            let out = run_case(site, kind, pre);
+            let label = format!("{site} / {kind:?}: {}", out.report.summary());
+            assert!(out.result.tree.validate(SINKS, &tech).is_ok(), "{label}");
+            assert!(
+                audit::check_tree(&out.result.tree, "chaos").is_ok(),
+                "{label}"
+            );
+            assert!(!out.report.attempts.is_empty(), "{label}");
+            assert_eq!(out.report.attempts[0].tier, ServingTier::Merlin, "{label}");
+            assert_ne!(out.report.served, ServingTier::Merlin, "{label}");
+        }
+    }
+}
+
+#[test]
+fn injected_panics_are_reported_as_typed_panicked_errors() {
+    let out = run_case("flows.flow3.run", FaultKind::Panic, &[]);
+    assert!(
+        matches!(out.report.attempts[0].error, SolverError::Panicked { .. }),
+        "{}",
+        out.report.summary()
+    );
+    assert!(
+        out.report.attempts[0]
+            .error
+            .to_string()
+            .contains("injected fault"),
+        "{}",
+        out.report.summary()
+    );
+    // Only the faulted tier failed: the single pass serves next.
+    assert_eq!(out.report.served, ServingTier::SinglePass);
+}
+
+#[test]
+fn stall_faults_exhaust_the_deadline_and_reach_the_direct_route() {
+    // A stall inside the DP burns everyone's wall clock: after the MERLIN
+    // tier trips it, the remaining tiers are skipped as budget-exhausted.
+    let out = run_case("curves.prune", FaultKind::Stall, &[]);
+    assert_eq!(
+        out.report.served,
+        ServingTier::DirectRoute,
+        "{}",
+        out.report.summary()
+    );
+    assert!(out.report.budget_hit);
+    assert!(out.report.attempts.iter().any(|a| a.error.is_budget()));
+}
+
+#[test]
+fn persistent_empty_curve_in_the_shared_dp_reaches_the_direct_route() {
+    // curves.prune is shared by every DP tier (MERLIN, single-pass, PTREE,
+    // van Ginneken, LTTREE), so a persistent empty-curve fault there must
+    // walk the whole ladder down to the infallible star route.
+    let out = run_case("curves.prune", FaultKind::EmptyCurve, &[]);
+    assert_eq!(
+        out.report.served,
+        ServingTier::DirectRoute,
+        "{}",
+        out.report.summary()
+    );
+    assert_eq!(out.report.attempts.len(), 4, "{}", out.report.summary());
+}
+
+#[test]
+fn distant_nth_hit_never_fires_and_merlin_serves_unperturbed() {
+    fault::disarm_all();
+    fault::arm("flows.flow3.run", FaultKind::Panic, 1_000_000);
+    let tech = Technology::synthetic_035();
+    let net = random_net("chaos", SINKS, 11, &tech);
+    let cfg = FlowsConfig::for_net_size(SINKS);
+    let out = resilient::resilient_solve_with(&net, &tech, &cfg, &SolveBudget::unlimited());
+    fault::disarm_all();
+    assert_eq!(
+        out.report.served,
+        ServingTier::Merlin,
+        "{}",
+        out.report.summary()
+    );
+    assert!(out.report.attempts.is_empty());
+}
+
+#[test]
+fn flow0_site_yields_typed_errors_under_isolation() {
+    let tech = Technology::synthetic_035();
+    let net = random_net("chaos0", SINKS, 3, &tech);
+    let cfg = FlowsConfig::for_net_size(SINKS);
+
+    fault::disarm_all();
+    fault::arm("flows.flow0.run", FaultKind::EmptyCurve, 1);
+    let e = flow0::try_run(&net, &tech, &cfg);
+    assert!(matches!(e, Err(SolverError::EmptyCurve { .. })), "{e:?}");
+
+    fault::arm("flows.flow0.run", FaultKind::Panic, 1);
+    let e = isolate("flow 0", || flow0::try_run(&net, &tech, &cfg));
+    match e {
+        Err(SolverError::Panicked { context }) => {
+            assert!(context.contains("flow 0"), "{context}");
+            assert!(context.contains("injected fault"), "{context}");
+        }
+        other => panic!("expected contained panic, got {other:?}"),
+    }
+    fault::disarm_all();
+
+    // Disarmed again, the same net solves normally.
+    let ok = flow0::try_run(&net, &tech, &cfg).expect("flow 0 solves the healthy net");
+    ok.tree.validate(SINKS, &tech).expect("valid tree");
+}

@@ -1,0 +1,71 @@
+//! Property tests: `resilient_solve` never panics and always yields an
+//! audit-clean tree, even on degenerate nets (duplicate sinks, zero-cap
+//! sinks, non-finite required times, single-point nets, empty nets).
+//!
+//! Sinks are drawn from a tiny lattice so coincidences are common, loads
+//! include zero, and required times include `NaN` — the validation layer
+//! must shunt every malformed net to the direct route and the DP tiers
+//! must handle every valid one.
+
+use merlin_flows::{audit, resilient, FlowsConfig};
+use merlin_geom::{CandidateStrategy, Point};
+use merlin_netlist::{Net, Sink};
+use merlin_resilience::SolveBudget;
+use merlin_tech::units::Cap;
+use merlin_tech::{Driver, Technology};
+use proptest::prelude::*;
+
+/// A deliberately cheap configuration: the property runs hundreds of
+/// cases, and quality is not under test here — only survival.
+fn cheap_cfg(n: usize) -> FlowsConfig {
+    let mut cfg = FlowsConfig::for_net_size(n.max(1));
+    cfg.merlin.alpha = 3;
+    cfg.merlin.max_loops = 2;
+    cfg.merlin.max_curve_points = 5;
+    cfg.merlin.candidates = CandidateStrategy::ReducedHanan { max_points: 10 };
+    cfg
+}
+
+/// Required-time palette: ordinary values plus the poison pill.
+const REQS: [f64; 4] = [500.0, 900.0, 0.0, f64::NAN];
+
+proptest! {
+    #[test]
+    fn degenerate_nets_never_panic_and_always_audit_clean(
+        raw in prop::collection::vec((0i64..4, 0i64..4, 0u32..3, 0usize..4), 0..7),
+        src in (0i64..4, 0i64..4),
+    ) {
+        let tech = Technology::synthetic_035();
+        let sinks: Vec<Sink> = raw
+            .iter()
+            .map(|&(x, y, load, req_i)| {
+                Sink::new(Point::new(x * 60, y * 60), Cap(load), REQS[req_i])
+            })
+            .collect();
+        let (sx, sy) = src;
+        let net = Net::new("deg", Point::new(sx * 60, sy * 60), Driver::default(), sinks);
+        let n = net.num_sinks();
+        let out = resilient::resilient_solve_with(
+            &net,
+            &tech,
+            &cheap_cfg(n),
+            &SolveBudget::unlimited(),
+        );
+        prop_assert!(
+            out.result.tree.validate(n, &tech).is_ok(),
+            "tree invalid: {}",
+            out.report.summary()
+        );
+        prop_assert!(
+            audit::check_tree(&out.result.tree, "degenerate").is_ok(),
+            "audit failed: {}",
+            out.report.summary()
+        );
+        // The report must agree with up-front validation: malformed nets
+        // are flagged (and skipped the DP tiers), well-formed ones are not.
+        prop_assert_eq!(out.report.invalid_net.is_some(), net.validate().is_err());
+        if net.validate().is_err() {
+            prop_assert!(out.report.attempts.is_empty());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Default-path regression and budget edge cases for the resilient solve
+//! driver (`merlin_flows::resilient`), exercised from the mechanism crate
+//! through its dev-dependency on the policy crate.
+//!
+//! The key contract: with no faults and a generous budget, the resilient
+//! driver must be *bit-identical* to the plain flow III path — resilience
+//! must cost nothing when nothing goes wrong.
+
+use std::time::Duration;
+
+use merlin_flows::{flow3, resilient, FlowsConfig};
+use merlin_netlist::bench_nets::random_net;
+use merlin_resilience::{ServingTier, SolveBudget};
+use merlin_tech::Technology;
+
+#[test]
+fn default_path_matches_flow3_exactly() {
+    let tech = Technology::synthetic_035();
+    for (n, seed) in [(4usize, 1u64), (6, 3), (8, 7)] {
+        let net = random_net("reg", n, seed, &tech);
+        let cfg = FlowsConfig::for_net_size(n);
+        let plain = flow3::run(&net, &tech, &cfg);
+        let out = resilient::resilient_solve_with(&net, &tech, &cfg, &SolveBudget::unlimited());
+        assert_eq!(
+            out.report.served,
+            ServingTier::Merlin,
+            "n={n} seed={seed}: {}",
+            out.report.summary()
+        );
+        assert!(out.report.attempts.is_empty(), "n={n} seed={seed}");
+        assert!(!out.report.budget_hit);
+        assert!(out.report.invalid_net.is_none());
+        assert_eq!(
+            out.result.eval.buffer_area, plain.eval.buffer_area,
+            "n={n} seed={seed}"
+        );
+        assert_eq!(
+            out.result.eval.wirelength, plain.eval.wirelength,
+            "n={n} seed={seed}"
+        );
+        assert_eq!(out.result.loops, plain.loops, "n={n} seed={seed}");
+        assert!(
+            (out.result.eval.root_required_ps - plain.eval.root_required_ps).abs() < 1e-9,
+            "n={n} seed={seed}: {} vs {}",
+            out.result.eval.root_required_ps,
+            plain.eval.root_required_ps
+        );
+    }
+}
+
+#[test]
+fn zero_work_budget_degrades_to_the_direct_route() {
+    let tech = Technology::synthetic_035();
+    let net = random_net("zb", 6, 2, &tech);
+    let out = resilient::resilient_solve(&net, &tech, &SolveBudget::with_work_limit(0));
+    assert_eq!(out.report.served, ServingTier::DirectRoute);
+    assert_eq!(out.report.attempts.len(), 4, "{}", out.report.summary());
+    assert!(out.report.attempts.iter().all(|a| a.error.is_budget()));
+    assert!(out.report.budget_hit);
+    out.result
+        .tree
+        .validate(6, &tech)
+        .expect("direct route is well-formed");
+}
+
+#[test]
+fn expired_deadline_degrades_to_the_direct_route() {
+    let tech = Technology::synthetic_035();
+    let net = random_net("dl", 6, 5, &tech);
+    let budget = SolveBudget::with_deadline(Duration::ZERO);
+    std::thread::sleep(Duration::from_millis(2));
+    let out = resilient::resilient_solve(&net, &tech, &budget);
+    assert_eq!(
+        out.report.served,
+        ServingTier::DirectRoute,
+        "{}",
+        out.report.summary()
+    );
+    assert!(out.report.budget_hit);
+    out.result
+        .tree
+        .validate(6, &tech)
+        .expect("direct route is well-formed");
+}
+
+#[test]
+fn small_work_budget_serves_an_audited_tree_from_a_lower_tier() {
+    // 200 work units is far below what an 8-sink MERLIN pass needs, but the
+    // decoupled baselines charge nothing, so one of them must serve.
+    let tech = Technology::synthetic_035();
+    let net = random_net("sw", 8, 4, &tech);
+    let out = resilient::resilient_solve(&net, &tech, &SolveBudget::with_work_limit(200));
+    assert_ne!(
+        out.report.served,
+        ServingTier::Merlin,
+        "{}",
+        out.report.summary()
+    );
+    assert_ne!(
+        out.report.served,
+        ServingTier::SinglePass,
+        "{}",
+        out.report.summary()
+    );
+    assert!(out.report.budget_hit);
+    assert!(out
+        .report
+        .attempts
+        .iter()
+        .any(|a| a.tier == ServingTier::Merlin && a.error.is_budget()));
+    out.result
+        .tree
+        .validate(8, &tech)
+        .expect("served tree is well-formed");
+}

@@ -29,4 +29,7 @@ cargo test --workspace -q
 echo "== tests (release + --features invariant-checks) =="
 cargo test --release --features invariant-checks -q
 
+echo "== chaos tests (fault-injection sites armed) =="
+cargo test -q --features fault-inject -p merlin-resilience
+
 echo "all checks passed"
