@@ -110,7 +110,10 @@ impl<'a> BubbleConstruct<'a> {
     ) -> Result<ConstructResult, SolverError> {
         let n = self.net.num_sinks();
         if n == 0 {
-            return Err(SolverError::InvalidNet(NetValidationError::NoSinks));
+            return Err(SolverError::invalid_net(
+                &self.net.name,
+                NetValidationError::NoSinks,
+            ));
         }
         assert_eq!(order.len(), n, "order must cover all sinks");
         let cfg = &self.config;

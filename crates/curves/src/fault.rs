@@ -21,6 +21,8 @@
 //! `merlin-flows`. The canonical site list is documented in
 //! `docs/RESILIENCE.md`.
 
+use std::time::Duration;
+
 /// What an armed injection site does when it fires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
@@ -32,6 +34,93 @@ pub enum FaultKind {
     /// handling); [`trip`] returns `true` and the site is expected to act
     /// on it.
     EmptyCurve,
+}
+
+impl FaultKind {
+    /// Short stable label, used by the CLI `--chaos` syntax and the
+    /// supervisor's `.repro` artifact format.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Stall => "stall",
+            FaultKind::EmptyCurve => "empty",
+        }
+    }
+
+    /// Inverse of [`FaultKind::label`].
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "stall" => Some(FaultKind::Stall),
+            "empty" => Some(FaultKind::EmptyCurve),
+            _ => None,
+        }
+    }
+}
+
+/// A portable, clonable description of a set of armed fault plans.
+///
+/// The registry itself is thread-local, which means a worker thread
+/// spawned by a batch supervisor starts with an *empty* registry no matter
+/// what the spawning thread armed. A `FaultConfig` closes that gap: build
+/// one (via [`snapshot`] of the current thread, or [`FaultConfig::arm`]),
+/// hand it to the spawned thread, and call [`seed_thread`] there. With the
+/// `fault-inject` feature off the struct is a zero-sized token and every
+/// operation is a no-op.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    #[cfg(feature = "fault-inject")]
+    specs: Vec<(String, FaultKind, u64, Duration)>,
+}
+
+impl FaultConfig {
+    /// An empty config (arms nothing).
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// Adds a plan: fire `kind` at `site` on its `nth` hit, sleeping
+    /// `stall` for [`FaultKind::Stall`]. Returns `false` (and records
+    /// nothing) when the `fault-inject` feature is compiled out, so
+    /// callers can warn instead of silently dropping chaos requests.
+    pub fn arm(&mut self, site: &str, kind: FaultKind, nth: u64, stall: Duration) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.specs.push((site.to_owned(), kind, nth.max(1), stall));
+            true
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = (site, kind, nth, stall);
+            false
+        }
+    }
+
+    /// The armed plans as `(site, kind, nth, stall)` tuples (empty when
+    /// the feature is off). Used to serialize chaos configs into repro
+    /// artifacts.
+    pub fn specs(&self) -> Vec<(String, FaultKind, u64, Duration)> {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.specs.clone()
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Whether the config arms any site.
+    pub fn is_empty(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.specs.is_empty()
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            true
+        }
+    }
 }
 
 #[cfg(feature = "fault-inject")]
@@ -87,6 +176,30 @@ mod registry {
         REGISTRY.with(|r| r.borrow_mut().clear());
     }
 
+    /// Captures this thread's armed plans as a portable
+    /// [`FaultConfig`](super::FaultConfig). Hit counters are *not*
+    /// captured: seeding another thread gives each plan a fresh counter,
+    /// the same state the plans had right after [`arm`].
+    pub fn snapshot() -> super::FaultConfig {
+        let mut cfg = super::FaultConfig::none();
+        REGISTRY.with(|r| {
+            for (site, plan) in r.borrow().iter() {
+                cfg.arm(site, plan.kind, plan.nth, plan.stall);
+            }
+        });
+        cfg
+    }
+
+    /// Arms every plan of `cfg` on the *current* thread (fresh hit
+    /// counters). Call this first thing in a spawned worker thread so it
+    /// inherits the chaos config of the thread that built `cfg`; without
+    /// it the thread-local registry silently starts empty.
+    pub fn seed_thread(cfg: &super::FaultConfig) {
+        for (site, kind, nth, stall) in cfg.specs() {
+            arm_with_stall(&site, kind, nth, stall);
+        }
+    }
+
     /// How often `site` has been hit since it was (re-)armed; 0 for sites
     /// that were never armed.
     pub fn hits(site: &str) -> u64 {
@@ -125,7 +238,9 @@ mod registry {
 }
 
 #[cfg(feature = "fault-inject")]
-pub use registry::{arm, arm_with_stall, disarm_all, hits, trip, DEFAULT_STALL};
+pub use registry::{
+    arm, arm_with_stall, disarm_all, hits, seed_thread, snapshot, trip, DEFAULT_STALL,
+};
 
 /// Fault-injection hook; returns whether the site must produce an empty
 /// result. With the `fault-inject` feature off (the default) this is an
@@ -134,6 +249,46 @@ pub use registry::{arm, arm_with_stall, disarm_all, hits, trip, DEFAULT_STALL};
 #[inline(always)]
 pub fn trip(_site: &str) -> bool {
     false
+}
+
+/// No-op [`snapshot`](registry::snapshot) stand-in for unarmed builds.
+#[cfg(not(feature = "fault-inject"))]
+pub fn snapshot() -> FaultConfig {
+    FaultConfig::none()
+}
+
+/// No-op [`seed_thread`](registry::seed_thread) stand-in for unarmed
+/// builds.
+#[cfg(not(feature = "fault-inject"))]
+pub fn seed_thread(_cfg: &FaultConfig) {}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in [FaultKind::Panic, FaultKind::Stall, FaultKind::EmptyCurve] {
+            assert_eq!(FaultKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(FaultKind::parse("nope"), None);
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[test]
+    fn unarmed_builds_reject_arming() {
+        let mut cfg = FaultConfig::none();
+        assert!(!cfg.arm(
+            "x",
+            FaultKind::Panic,
+            1,
+            std::time::Duration::from_millis(1)
+        ));
+        assert!(cfg.is_empty());
+        assert!(cfg.specs().is_empty());
+        seed_thread(&cfg); // no-op, must not panic
+        let _ = snapshot();
+    }
 }
 
 #[cfg(all(test, feature = "fault-inject"))]
@@ -167,6 +322,44 @@ mod tests {
         let caught = std::panic::catch_unwind(|| trip("curves.test.panic"));
         assert!(caught.is_err(), "second hit panics");
         disarm_all();
+    }
+
+    #[test]
+    fn spawned_threads_inherit_via_seed_thread() {
+        disarm_all();
+        arm("curves.test.seed", FaultKind::EmptyCurve, 1);
+        let cfg = snapshot();
+        assert!(!cfg.is_empty());
+        let handle = std::thread::spawn(move || {
+            // A fresh thread starts with an empty registry: the armed site
+            // does not fire until the config is seeded.
+            let before = trip("curves.test.seed");
+            seed_thread(&cfg);
+            let after = trip("curves.test.seed");
+            (before, after)
+        });
+        let (before, after) = handle.join().expect("seed thread test worker");
+        assert!(!before, "unseeded thread must start with an empty registry");
+        assert!(after, "seeded thread must inherit the armed plan");
+        disarm_all();
+    }
+
+    #[test]
+    fn fault_config_round_trips_specs() {
+        let mut cfg = FaultConfig::none();
+        assert!(cfg.is_empty());
+        assert!(cfg.arm(
+            "a.site",
+            FaultKind::Stall,
+            3,
+            std::time::Duration::from_millis(7)
+        ));
+        let specs = cfg.specs();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].0, "a.site");
+        assert_eq!(specs[0].1, FaultKind::Stall);
+        assert_eq!(specs[0].2, 3);
+        assert_eq!(specs[0].3, std::time::Duration::from_millis(7));
     }
 
     #[test]

@@ -39,7 +39,8 @@ pub fn try_run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> Result<FlowRe
             context: format!("injected empty result at flows.flow0.run on `{}`", net.name),
         });
     }
-    net.validate()?;
+    net.validate()
+        .map_err(|e| SolverError::invalid_net(&net.name, e))?;
     let start = Instant::now();
     let tree = route_wirelength(net);
     let solved = VanGinneken::new(tech, cfg.vg).solve(

@@ -44,7 +44,8 @@ pub fn try_run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> Result<FlowRe
             context: format!("injected empty result at flows.flow1.run on `{}`", net.name),
         });
     }
-    net.validate()?;
+    net.validate()
+        .map_err(|e| SolverError::invalid_net(&net.name, e))?;
     let start = Instant::now();
     let pairs: Vec<(Cap, f64)> = net.sinks.iter().map(|s| (s.load, s.req_ps)).collect();
     let solved = LtTree::new(tech, cfg.lt).solve(&pairs, &net.driver);

@@ -49,7 +49,8 @@ pub fn try_run_budgeted(
             context: format!("injected empty result at flows.flow3.run on `{}`", net.name),
         });
     }
-    net.validate()?;
+    net.validate()
+        .map_err(|e| SolverError::invalid_net(&net.name, e))?;
     let start = Instant::now();
     let outcome = Merlin::new(tech, cfg.merlin).optimize_budgeted(net, budget)?;
     let eval = outcome

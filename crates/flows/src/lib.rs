@@ -119,6 +119,32 @@ impl FlowsConfig {
             },
         }
     }
+
+    /// A cheaper copy of this configuration for perturbed retry attempts
+    /// (see `merlin_resilience::retry`): roughly halved candidate sets,
+    /// thinner solution curves, and a shorter MERLIN loop bound. The point
+    /// is to land a retried net on a *different, smaller* DP trajectory
+    /// than the one that just failed, not to preserve quality.
+    pub fn thinned(&self) -> Self {
+        let thin_strategy = |s: CandidateStrategy| match s {
+            CandidateStrategy::FullHanan => CandidateStrategy::ReducedHanan { max_points: 16 },
+            CandidateStrategy::ReducedHanan { max_points } => CandidateStrategy::ReducedHanan {
+                max_points: (max_points / 2).max(8),
+            },
+            other => other,
+        };
+        let mut cfg = self.clone();
+        cfg.ptree.max_curve_points = cfg.ptree.max_curve_points.clamp(1, 8);
+        cfg.baseline_candidates = thin_strategy(cfg.baseline_candidates);
+        cfg.merlin.candidates = thin_strategy(cfg.merlin.candidates);
+        cfg.merlin.max_curve_points = if cfg.merlin.max_curve_points == 0 {
+            6
+        } else {
+            cfg.merlin.max_curve_points.clamp(1, 6)
+        };
+        cfg.merlin.max_loops = cfg.merlin.max_loops.clamp(1, 2);
+        cfg
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +163,25 @@ mod tests {
             small.merlin.candidates,
             CandidateStrategy::ReducedHanan { .. }
         ));
+    }
+
+    #[test]
+    fn thinned_config_is_strictly_cheaper() {
+        for n in [6, 50] {
+            let base = FlowsConfig::for_net_size(n);
+            let thin = base.thinned();
+            assert!(thin.ptree.max_curve_points <= base.ptree.max_curve_points);
+            assert!(thin.merlin.max_loops <= base.merlin.max_loops);
+            assert!(thin.merlin.max_curve_points > 0, "never exact on retry");
+            let points = |s: &CandidateStrategy| match s {
+                CandidateStrategy::ReducedHanan { max_points } => *max_points,
+                _ => usize::MAX,
+            };
+            assert!(points(&thin.merlin.candidates) <= points(&base.merlin.candidates));
+            assert!(
+                points(&thin.baseline_candidates) < usize::MAX,
+                "FullHanan must be reduced"
+            );
+        }
     }
 }

@@ -39,6 +39,10 @@ pub struct NetRow {
     /// The degradation-ladder tier that served the flow III column
     /// ([`ServingTier::Merlin`] for the direct, non-resilient harness).
     pub tier: ServingTier,
+    /// Solve attempts consumed by the flow III column: ladder rungs tried
+    /// by the resilient driver, or retry attempts recorded by a batch
+    /// supervisor (1 for a clean first-rung solve).
+    pub attempts: usize,
     /// Whether a solve budget clipped the flow III column.
     pub budget_hit: bool,
 }
@@ -79,6 +83,7 @@ pub fn run_net(net: &Net, circuit: &str, tech: &Technology, cfg: &FlowsConfig) -
         flow3: metrics(&f3),
         loops: f3.loops,
         tier: ServingTier::Merlin,
+        attempts: 1,
         budget_hit: f3.budget_hit,
     }
 }
@@ -109,6 +114,7 @@ pub fn run_net_resilient(
         flow3: metrics(&out.result),
         loops: out.result.loops,
         tier: out.report.served,
+        attempts: out.report.attempts.len() + 1,
         budget_hit: out.report.budget_hit || out.result.budget_hit,
     }
 }

@@ -77,7 +77,8 @@ pub fn table1(rows: &[NetRow]) -> String {
             .filter(|r| r.tier != ServingTier::Merlin)
             .collect();
         let clipped = rows.iter().filter(|r| r.budget_hit).count();
-        if degraded.is_empty() && clipped == 0 {
+        let extra_attempts: usize = rows.iter().map(|r| r.attempts.saturating_sub(1)).sum();
+        if degraded.is_empty() && clipped == 0 && extra_attempts == 0 {
             let _ = writeln!(
                 s,
                 "Degradation: none ({} nets served by merlin)",
@@ -90,7 +91,8 @@ pub fn table1(rows: &[NetRow]) -> String {
                 .collect();
             let _ = writeln!(
                 s,
-                "Degradation: {}/{} nets served below merlin ({}); {} budget-clipped",
+                "Degradation: {}/{} nets served below merlin ({}); {} budget-clipped; \
+                 {} extra attempts",
                 degraded.len(),
                 rows.len(),
                 if names.is_empty() {
@@ -98,7 +100,8 @@ pub fn table1(rows: &[NetRow]) -> String {
                 } else {
                     names.join(", ")
                 },
-                clipped
+                clipped,
+                extra_attempts
             );
         }
     }
@@ -214,6 +217,7 @@ mod tests {
             },
             loops: 2,
             tier: ServingTier::Merlin,
+            attempts: 1,
             budget_hit: false,
         }
     }
@@ -235,10 +239,12 @@ mod tests {
         degraded.name = "net2".into();
         degraded.tier = ServingTier::PtreeVanGinneken;
         degraded.budget_hit = true;
+        degraded.attempts = 3;
         let out = table1(&[row(), degraded]);
         assert!(out.contains("1/2 nets served below merlin"), "{out}");
         assert!(out.contains("C432/net2=ptree+vg"), "{out}");
         assert!(out.contains("1 budget-clipped"), "{out}");
+        assert!(out.contains("2 extra attempts"), "{out}");
     }
 
     #[test]

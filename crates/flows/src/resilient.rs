@@ -29,7 +29,7 @@ use std::time::Instant;
 use merlin::{Merlin, MerlinConfig};
 use merlin_netlist::Net;
 use merlin_resilience::{
-    run_ladder, DegradationReport, ServingTier, SolveBudget, SolverError, Tier,
+    run_ladder, AttemptParams, DegradationReport, ServingTier, SolveBudget, SolverError, Tier,
 };
 use merlin_tech::units::Cap;
 use merlin_tech::{BufferedTree, Evaluation, NodeKind, Technology};
@@ -127,6 +127,21 @@ pub fn resilient_solve_with(
     cfg: &FlowsConfig,
     budget: &SolveBudget,
 ) -> ResilientOutcome {
+    resilient_solve_from(net, tech, cfg, budget, ServingTier::Merlin)
+}
+
+/// [`resilient_solve_with`] entering the ladder at `entry` instead of the
+/// top: tiers stronger than `entry` are skipped entirely (they do not even
+/// appear in the report). This is the batch supervisor's retry hook — a
+/// net that panicked or stalled at flow III is re-attempted from the
+/// single-pass or flow II rung rather than replayed into the same failure.
+pub fn resilient_solve_from(
+    net: &Net,
+    tech: &Technology,
+    cfg: &FlowsConfig,
+    budget: &SolveBudget,
+    entry: ServingTier,
+) -> ResilientOutcome {
     if let Err(e) = net.validate() {
         let result = direct_result(net, tech);
         let mut report = DegradationReport::clean(ServingTier::DirectRoute, result.runtime_s);
@@ -136,7 +151,7 @@ pub fn resilient_solve_with(
     let num_sinks = net.num_sinks();
     // Budget weights: the full search gets the lion's share; the cheap
     // decoupled baselines split most of the rest.
-    let tiers: Vec<Tier<'_, FlowResult>> = vec![
+    let mut tiers: Vec<Tier<'_, FlowResult>> = vec![
         Tier::new(ServingTier::Merlin, 0.45, |b: &SolveBudget| {
             flow3::try_run_budgeted(net, tech, cfg, b)
         }),
@@ -150,6 +165,7 @@ pub fn resilient_solve_with(
             flow1::try_run(net, tech, cfg)
         }),
     ];
+    tiers.retain(|t| t.tier >= entry);
     let vet = |r: &FlowResult| {
         r.tree
             .validate(num_sinks, tech)
@@ -161,6 +177,26 @@ pub fn resilient_solve_with(
     };
     let (result, report) = run_ladder(tiers, vet, || direct_result(net, tech), budget);
     ResilientOutcome { result, report }
+}
+
+/// The batch supervisor's per-attempt entry point: applies an
+/// [`AttemptParams`] perturbation (thinned search, lowered ladder entry)
+/// on top of `cfg` and solves. The budget scale of the params is *not*
+/// applied here — the supervisor builds each attempt's budget itself so
+/// the caller controls what "the per-net budget" means.
+pub fn resilient_solve_attempt(
+    net: &Net,
+    tech: &Technology,
+    cfg: &FlowsConfig,
+    budget: &SolveBudget,
+    params: &AttemptParams,
+) -> ResilientOutcome {
+    if params.thin_search {
+        let thin = cfg.thinned();
+        resilient_solve_from(net, tech, &thin, budget, params.entry)
+    } else {
+        resilient_solve_from(net, tech, cfg, budget, params.entry)
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +247,44 @@ mod tests {
             .tree
             .validate(2, &tech)
             .expect("direct route is well-formed");
+    }
+
+    #[test]
+    fn entry_tier_skips_stronger_rungs() {
+        let tech = Technology::synthetic_035();
+        let net = random_net("n", 5, 7, &tech);
+        let cfg = FlowsConfig::for_net_size(5);
+        let budget = SolveBudget::unlimited();
+        let out = resilient_solve_from(&net, &tech, &cfg, &budget, ServingTier::PtreeVanGinneken);
+        assert_eq!(out.report.served, ServingTier::PtreeVanGinneken);
+        assert!(
+            out.report.attempts.is_empty(),
+            "skipped tiers must not appear as attempts"
+        );
+        let direct = resilient_solve_from(&net, &tech, &cfg, &budget, ServingTier::DirectRoute);
+        assert_eq!(direct.report.served, ServingTier::DirectRoute);
+    }
+
+    #[test]
+    fn perturbed_attempts_degrade_entry_and_still_serve() {
+        let tech = Technology::synthetic_035();
+        let net = random_net("n", 6, 11, &tech);
+        let cfg = FlowsConfig::for_net_size(6);
+        let policy = merlin_resilience::RetryPolicy::default();
+        let budget = SolveBudget::unlimited();
+        let first = resilient_solve_attempt(&net, &tech, &cfg, &budget, &policy.params(0));
+        assert_eq!(first.report.served, ServingTier::Merlin);
+        let retry = resilient_solve_attempt(&net, &tech, &cfg, &budget, &policy.params(1));
+        assert_eq!(
+            retry.report.served,
+            ServingTier::SinglePass,
+            "first retry enters at the single-pass rung"
+        );
+        retry
+            .result
+            .tree
+            .validate(6, &tech)
+            .expect("perturbed attempt still serves an audit-clean tree");
     }
 
     #[test]

@@ -15,7 +15,13 @@ pub enum SolverError {
     /// The attempt ran out of wall-clock or DP work budget.
     BudgetExceeded(BudgetExceeded),
     /// The input net failed [`merlin_netlist::Net::validate`].
-    InvalidNet(NetValidationError),
+    InvalidNet {
+        /// Name of the rejected net, so batch rejection reports can point
+        /// at the offending instance instead of just the defect kind.
+        net: String,
+        /// The structural defect.
+        error: NetValidationError,
+    },
     /// The attempt panicked and was contained at the isolation boundary.
     Panicked {
         /// Where the panic was caught, plus the panic message.
@@ -39,7 +45,9 @@ impl fmt::Display for SolverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolverError::BudgetExceeded(e) => write!(f, "{e}"),
-            SolverError::InvalidNet(e) => write!(f, "invalid net: {e}"),
+            SolverError::InvalidNet { net, error } => {
+                write!(f, "invalid net `{net}`: {error}")
+            }
             SolverError::Panicked { context } => write!(f, "panicked in {context}"),
             SolverError::EmptyCurve { context } => {
                 write!(f, "empty solution curve in {context}")
@@ -59,13 +67,17 @@ impl From<BudgetExceeded> for SolverError {
     }
 }
 
-impl From<NetValidationError> for SolverError {
-    fn from(e: NetValidationError) -> Self {
-        SolverError::InvalidNet(e)
-    }
-}
-
 impl SolverError {
+    /// Builds an [`SolverError::InvalidNet`] carrying the rejected net's
+    /// name (the `From<NetValidationError>` conversion was dropped on
+    /// purpose: an anonymous rejection is useless in a batch report).
+    pub fn invalid_net(net: impl Into<String>, error: NetValidationError) -> Self {
+        SolverError::InvalidNet {
+            net: net.into(),
+            error,
+        }
+    }
+
     /// Whether this error is a budget exhaustion (the one kind a driver
     /// should *not* blame on the tier that reported it).
     pub fn is_budget(&self) -> bool {
@@ -88,9 +100,13 @@ mod tests {
         .into();
         assert!(b.is_budget());
         assert!(b.to_string().contains("work"));
-        let v: SolverError = NetValidationError::NoSinks.into();
+        let v = SolverError::invalid_net("net42", NetValidationError::NoSinks);
         assert!(!v.is_budget());
         assert!(v.to_string().contains("no sinks"));
+        assert!(
+            v.to_string().contains("net42"),
+            "rejections must name the net: {v}"
+        );
         let p = SolverError::Panicked {
             context: "flow III: boom".into(),
         };

@@ -1,0 +1,324 @@
+//! The batch-journal record codec: one line per terminal net outcome.
+//!
+//! The batch supervisor (`merlin-supervisor`) persists progress in an
+//! append-only, fsync'd, line-oriented write-ahead journal so a killed
+//! process resumes at the first unfinished net. This module owns the
+//! *format* — the versioned header line and the per-record codec — while
+//! the file handling (append, fsync, corruption-tolerant replay) lives
+//! with the supervisor. Keeping the codec here lets any driver read or
+//! write journals without pulling in the worker-pool machinery.
+//!
+//! A journal is UTF-8 text: the header line [`JOURNAL_HEADER`], then one
+//! [`JournalRecord`] per line in strict `key=value` field order:
+//!
+//! ```text
+//! #merlin-journal v1
+//! idx=0 net=net1 tier=merlin attempts=1 status=served hash=7bd3c41fa90c21d5
+//! idx=1 net=net2 tier=direct attempts=3 status=failed-degraded hash=0000000000000000
+//! ```
+//!
+//! `hash` is a deterministic FNV-1a digest of the served solution's
+//! observable outcome (tier + evaluation figures), so a resumed run can be
+//! byte-compared against an uninterrupted one. Records never contain
+//! wall-clock fields — timings are not replayable.
+
+use std::fmt;
+
+use crate::report::ServingTier;
+
+/// First line of every journal file; the version suffix is bumped on any
+/// incompatible format change, and readers must refuse unknown versions.
+pub const JOURNAL_HEADER: &str = "#merlin-journal v1";
+
+/// Terminal status of a net in the journal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordStatus {
+    /// A tier at or above the acceptance threshold served the net.
+    Served,
+    /// Every attempt served below the acceptance threshold.
+    FailedDegraded,
+    /// Every attempt was lost to the watchdog (wall-clock stall).
+    FailedTimeout,
+}
+
+impl RecordStatus {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecordStatus::Served => "served",
+            RecordStatus::FailedDegraded => "failed-degraded",
+            RecordStatus::FailedTimeout => "failed-timeout",
+        }
+    }
+
+    /// Inverse of [`RecordStatus::label`].
+    pub fn parse(s: &str) -> Option<RecordStatus> {
+        match s {
+            "served" => Some(RecordStatus::Served),
+            "failed-degraded" => Some(RecordStatus::FailedDegraded),
+            "failed-timeout" => Some(RecordStatus::FailedTimeout),
+            _ => None,
+        }
+    }
+
+    /// Whether the net ultimately failed.
+    pub fn is_failure(self) -> bool {
+        !matches!(self, RecordStatus::Served)
+    }
+}
+
+impl fmt::Display for RecordStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One net's terminal journal record. Everything the final batch report
+/// needs is in here, so replaying a completed journal reconstructs the
+/// report without re-solving anything.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalRecord {
+    /// Position of the net in the batch (the resume key).
+    pub idx: u64,
+    /// Net name, for human-readable reports; whitespace is replaced by
+    /// `_` on encode since the format is space-delimited.
+    pub net: String,
+    /// The degradation-ladder tier that served (the last attempt's tier
+    /// for failures).
+    pub tier: ServingTier,
+    /// Solve attempts consumed (>= 1).
+    pub attempts: u32,
+    /// Terminal status.
+    pub status: RecordStatus,
+    /// [`outcome_hash`] of the served solution (0 for failures).
+    pub hash: u64,
+}
+
+/// Why a journal line failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordDecodeError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for RecordDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad journal record: {}", self.reason)
+    }
+}
+
+impl std::error::Error for RecordDecodeError {}
+
+fn field<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    key: &str,
+) -> Result<&'a str, RecordDecodeError> {
+    let tok = it.next().ok_or_else(|| RecordDecodeError {
+        reason: format!("missing field `{key}`"),
+    })?;
+    tok.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| RecordDecodeError {
+            reason: format!("expected `{key}=...`, found `{tok}`"),
+        })
+}
+
+impl JournalRecord {
+    /// Encodes the record as one journal line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let net: String = self
+            .net
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
+        format!(
+            "idx={} net={} tier={} attempts={} status={} hash={:016x}",
+            self.idx,
+            net,
+            self.tier.label(),
+            self.attempts,
+            self.status.label(),
+            self.hash
+        )
+    }
+
+    /// Decodes one journal line (header excluded).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecordDecodeError`] naming the first malformed field —
+    /// the signature a torn (partially written) final line leaves behind.
+    pub fn decode(line: &str) -> Result<JournalRecord, RecordDecodeError> {
+        let mut it = line.split_whitespace();
+        let idx = field(&mut it, "idx")?
+            .parse::<u64>()
+            .map_err(|_| RecordDecodeError {
+                reason: "malformed idx".to_owned(),
+            })?;
+        let net = field(&mut it, "net")?.to_owned();
+        let tier_tok = field(&mut it, "tier")?;
+        let tier = ServingTier::parse(tier_tok).ok_or_else(|| RecordDecodeError {
+            reason: format!("unknown tier `{tier_tok}`"),
+        })?;
+        let attempts =
+            field(&mut it, "attempts")?
+                .parse::<u32>()
+                .map_err(|_| RecordDecodeError {
+                    reason: "malformed attempts".to_owned(),
+                })?;
+        let status_tok = field(&mut it, "status")?;
+        let status = RecordStatus::parse(status_tok).ok_or_else(|| RecordDecodeError {
+            reason: format!("unknown status `{status_tok}`"),
+        })?;
+        let hash_tok = field(&mut it, "hash")?;
+        // Fixed width: a line torn mid-hash must read as corrupt, not as a
+        // valid record with a silently shortened digest.
+        if hash_tok.len() != 16 {
+            return Err(RecordDecodeError {
+                reason: "hash must be 16 hex digits".to_owned(),
+            });
+        }
+        let hash = u64::from_str_radix(hash_tok, 16).map_err(|_| RecordDecodeError {
+            reason: "malformed hash".to_owned(),
+        })?;
+        if let Some(extra) = it.next() {
+            return Err(RecordDecodeError {
+                reason: format!("trailing token `{extra}`"),
+            });
+        }
+        Ok(JournalRecord {
+            idx,
+            net,
+            tier,
+            attempts,
+            status,
+            hash,
+        })
+    }
+}
+
+/// FNV-1a over `bytes`: small, dependency-free, and stable across
+/// platforms — exactly what a replay-comparison digest needs (this is an
+/// integrity check against accidental divergence, not a cryptographic
+/// commitment).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Deterministic digest of one solve outcome, fed by the supervisor with
+/// the served tier and the tree's evaluation figures. Float inputs are
+/// hashed by bit pattern: the solves themselves are deterministic, so
+/// identical runs produce identical bits.
+pub fn outcome_hash(
+    net: &str,
+    tier: ServingTier,
+    buffer_area: u64,
+    num_buffers: usize,
+    wirelength: u64,
+    delay_ps: f64,
+) -> u64 {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(net.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(tier.label().as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(&buffer_area.to_le_bytes());
+    buf.extend_from_slice(&(num_buffers as u64).to_le_bytes());
+    buf.extend_from_slice(&wirelength.to_le_bytes());
+    buf.extend_from_slice(&delay_ps.to_bits().to_le_bytes());
+    fnv1a(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JournalRecord {
+        JournalRecord {
+            idx: 17,
+            net: "net17".to_owned(),
+            tier: ServingTier::PtreeVanGinneken,
+            attempts: 2,
+            status: RecordStatus::Served,
+            hash: 0xdeadbeefcafef00d,
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let rec = sample();
+        let line = rec.encode();
+        assert_eq!(JournalRecord::decode(&line), Ok(rec));
+    }
+
+    #[test]
+    fn every_status_and_tier_round_trips() {
+        for status in [
+            RecordStatus::Served,
+            RecordStatus::FailedDegraded,
+            RecordStatus::FailedTimeout,
+        ] {
+            assert_eq!(RecordStatus::parse(status.label()), Some(status));
+            for tier in ServingTier::LADDER {
+                let rec = JournalRecord {
+                    tier,
+                    status,
+                    ..sample()
+                };
+                assert_eq!(JournalRecord::decode(&rec.encode()), Ok(rec));
+            }
+        }
+    }
+
+    #[test]
+    fn whitespace_in_net_names_is_sanitized() {
+        let rec = JournalRecord {
+            net: "odd name".to_owned(),
+            ..sample()
+        };
+        let decoded = JournalRecord::decode(&rec.encode()).expect("sanitized encode decodes");
+        assert_eq!(decoded.net, "odd_name");
+    }
+
+    #[test]
+    fn torn_lines_fail_to_decode() {
+        let line = sample().encode();
+        for cut in [3, 10, line.len() - 4] {
+            assert!(
+                JournalRecord::decode(&line[..cut]).is_err(),
+                "prefix of len {cut} must not decode"
+            );
+        }
+        assert!(JournalRecord::decode("").is_err());
+        assert!(
+            JournalRecord::decode("idx=1 net=a tier=bogus attempts=1 status=served hash=0")
+                .is_err()
+        );
+        let trailing = format!("{} extra", sample().encode());
+        assert!(JournalRecord::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn outcome_hash_is_stable_and_sensitive() {
+        let a = outcome_hash("n", ServingTier::Merlin, 100, 3, 2000, 1234.5);
+        let b = outcome_hash("n", ServingTier::Merlin, 100, 3, 2000, 1234.5);
+        assert_eq!(a, b);
+        let c = outcome_hash("n", ServingTier::Merlin, 101, 3, 2000, 1234.5);
+        assert_ne!(a, c);
+        let d = outcome_hash("n", ServingTier::SinglePass, 100, 3, 2000, 1234.5);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

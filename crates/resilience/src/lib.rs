@@ -16,7 +16,11 @@
 //! * [`ladder::run_ladder`] — the generic graceful-degradation engine that
 //!   tries weighted tiers under budget slices and always returns a value,
 //! * [`report::DegradationReport`] — which tier served, why earlier tiers
-//!   failed, and the time spent per tier.
+//!   failed, and the time spent per tier,
+//! * [`retry::RetryPolicy`] — bounded attempts, exponential backoff and
+//!   deterministic parameter perturbation for batch supervision,
+//! * [`journal`] — the versioned line codec for the batch supervisor's
+//!   checkpoint/resume write-ahead journal.
 //!
 //! The *policy* half — the concrete flow-III → single-pass → flow-II →
 //! flow-I → direct-route ladder — lives in `merlin_flows::resilient`,
@@ -30,12 +34,16 @@
 pub mod budget;
 pub mod error;
 pub mod isolate;
+pub mod journal;
 pub mod ladder;
 pub mod report;
+pub mod retry;
 
 pub use budget::{BudgetExceeded, BudgetKind, SolveBudget};
 pub use error::SolverError;
 pub use isolate::isolate;
+pub use journal::{JournalRecord, RecordStatus, JOURNAL_HEADER};
 pub use ladder::{run_ladder, Tier};
 pub use merlin_curves::fault;
 pub use report::{DegradationReport, ServingTier, TierAttempt};
+pub use retry::{AttemptParams, RetryPolicy};

@@ -43,6 +43,12 @@ impl ServingTier {
             ServingTier::DirectRoute => "direct",
         }
     }
+
+    /// Inverse of [`ServingTier::label`], for the journal codec and CLI
+    /// flags.
+    pub fn parse(s: &str) -> Option<ServingTier> {
+        ServingTier::LADDER.iter().copied().find(|t| t.label() == s)
+    }
 }
 
 impl fmt::Display for ServingTier {

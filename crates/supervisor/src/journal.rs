@@ -1,0 +1,235 @@
+//! Journal file handling: fsync'd appends and corruption-tolerant replay.
+//!
+//! The record *codec* (line format, versioned header) lives in
+//! [`merlin_resilience::journal`]; this module owns the file-level
+//! concerns — durable appends and the load-time corruption policy:
+//!
+//! * a missing file is a fresh run (not an error),
+//! * an unknown or missing header version is **refused** — silently
+//!   reinterpreting a future format loses data,
+//! * an undecodable **final** line is skipped with a warning: that is the
+//!   signature of a torn write from a killed process, and the net it
+//!   described simply re-runs,
+//! * an undecodable line anywhere **else** is a hard corruption error,
+//! * a duplicate net index keeps the **first** record and warns: the
+//!   first append was the one that was fsync'd before any crash.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Read as _, Write as _};
+use std::path::Path;
+
+use merlin_resilience::journal::{JournalRecord, JOURNAL_HEADER};
+
+/// Why a journal file could not be loaded.
+#[derive(Debug)]
+pub enum JournalLoadError {
+    /// The file exists but could not be read.
+    Io(std::io::Error),
+    /// The first line is not a known journal header.
+    BadHeader {
+        /// What the first line actually was.
+        found: String,
+    },
+    /// A record line other than the last failed to decode.
+    Corrupt {
+        /// 1-based line number of the bad line.
+        line: usize,
+        /// Decoder's reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalLoadError::Io(e) => write!(f, "cannot read journal: {e}"),
+            JournalLoadError::BadHeader { found } => write!(
+                f,
+                "unknown journal version: expected `{JOURNAL_HEADER}`, found `{found}` \
+                 (refusing to reinterpret)"
+            ),
+            JournalLoadError::Corrupt { line, reason } => {
+                write!(f, "corrupt journal at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalLoadError {}
+
+/// A successfully loaded journal: the surviving records keyed by net
+/// index, plus warnings about tolerated damage (torn final line,
+/// duplicate records).
+#[derive(Debug, Default)]
+pub struct LoadedJournal {
+    /// Terminal records keyed by batch index (first record wins).
+    pub records: BTreeMap<u64, JournalRecord>,
+    /// Human-readable notes about tolerated damage.
+    pub warnings: Vec<String>,
+}
+
+/// Loads `path`, applying the corruption policy in the module docs.
+/// Returns `Ok(None)` when the file does not exist (fresh run).
+///
+/// # Errors
+///
+/// See [`JournalLoadError`]: unreadable file, unknown header version, or
+/// an undecodable non-final line.
+pub fn load_journal(path: &Path) -> Result<Option<LoadedJournal>, JournalLoadError> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text).map_err(JournalLoadError::Io)?;
+        }
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(JournalLoadError::Io(e)),
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    let Some((&header, records)) = lines.split_first() else {
+        // Zero-length file: the process died between create and the
+        // header write. Treat as fresh.
+        return Ok(None);
+    };
+    if header != JOURNAL_HEADER {
+        return Err(JournalLoadError::BadHeader {
+            found: header.to_owned(),
+        });
+    }
+    let mut loaded = LoadedJournal::default();
+    for (i, line) in records.iter().enumerate() {
+        let lineno = i + 2; // 1-based, after the header
+        match JournalRecord::decode(line) {
+            Ok(rec) => match loaded.records.entry(rec.idx) {
+                std::collections::btree_map::Entry::Occupied(_) => {
+                    loaded.warnings.push(format!(
+                        "line {lineno}: duplicate record for net index {} ignored \
+                         (first record wins)",
+                        rec.idx
+                    ));
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(rec);
+                }
+            },
+            Err(e) if i + 1 == records.len() => {
+                loaded.warnings.push(format!(
+                    "line {lineno}: torn final record skipped ({}); its net will re-run",
+                    e.reason
+                ));
+            }
+            Err(e) => {
+                return Err(JournalLoadError::Corrupt {
+                    line: lineno,
+                    reason: e.reason,
+                });
+            }
+        }
+    }
+    Ok(Some(loaded))
+}
+
+/// An append handle on a journal file. Every [`JournalWriter::append`] is
+/// flushed and fsync'd before returning: a record the supervisor has
+/// acted on (reported, retried past, crashed after) is on disk.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal at `path` (truncating any existing file)
+    /// and durably writes the version header.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure creating, writing, or syncing the file.
+    pub fn create(path: &Path) -> std::io::Result<JournalWriter> {
+        let mut file = File::create(path)?;
+        writeln!(file, "{JOURNAL_HEADER}")?;
+        file.sync_data()?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Opens an existing journal for appending (resume). The caller is
+    /// expected to have validated the file via [`load_journal`] first.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure opening the file.
+    pub fn append_to(path: &Path) -> std::io::Result<JournalWriter> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Durably appends one record (line + newline, then fsync).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure writing or syncing.
+    pub fn append(&mut self, rec: &JournalRecord) -> std::io::Result<()> {
+        writeln!(self.file, "{}", rec.encode())?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_resilience::journal::RecordStatus;
+    use merlin_resilience::ServingTier;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("merlin-journal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    fn rec(idx: u64) -> JournalRecord {
+        JournalRecord {
+            idx,
+            net: format!("net{idx}"),
+            tier: ServingTier::Merlin,
+            attempts: 1,
+            status: RecordStatus::Served,
+            hash: 0x1234,
+        }
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let path = tmp("roundtrip");
+        let mut w = JournalWriter::create(&path).expect("create journal");
+        w.append(&rec(0)).expect("append 0");
+        w.append(&rec(1)).expect("append 1");
+        let loaded = load_journal(&path)
+            .expect("load journal")
+            .expect("file exists");
+        assert_eq!(loaded.records.len(), 2);
+        assert_eq!(loaded.records[&1], rec(1));
+        assert!(loaded.warnings.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_run() {
+        let path = tmp("missing");
+        assert!(load_journal(&path).expect("no error").is_none());
+    }
+
+    #[test]
+    fn resume_appends_after_existing_records() {
+        let path = tmp("resume");
+        let mut w = JournalWriter::create(&path).expect("create");
+        w.append(&rec(0)).expect("append");
+        drop(w);
+        let mut w = JournalWriter::append_to(&path).expect("reopen");
+        w.append(&rec(1)).expect("append after reopen");
+        let loaded = load_journal(&path).expect("load").expect("exists");
+        assert_eq!(loaded.records.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,50 @@
+//! Batch solve supervision for the MERLIN reproduction.
+//!
+//! `merlin_flows::resilient::resilient_solve` makes a *single* net
+//! unkillable; this crate makes a *population* of nets survivable. It
+//! drives the resilient solver across a batch with:
+//!
+//! * a fixed **worker pool** ([`batch::run_batch`]) — each worker thread
+//!   seeds the fault-injection config of the supervising thread
+//!   (`merlin_resilience::fault::seed_thread`) and pulls one attempt at a
+//!   time from a shared queue,
+//! * a **per-net watchdog** — a monitor thread that detects workers
+//!   exceeding their wall-clock slice. Rust cannot kill a thread, so the
+//!   watchdog *abandons* the worker instead: the net is marked timed out,
+//!   the worker's generation is declared dead (its eventual result is
+//!   dropped), and the pool spawns a replacement so throughput is
+//!   preserved. This is the non-cooperative backstop to the cooperative
+//!   [`merlin_resilience::SolveBudget`] the DP engines poll themselves,
+//! * a **retry policy** ([`merlin_resilience::RetryPolicy`]) — bounded
+//!   attempts with exponential backoff and deterministic parameter
+//!   perturbation: a retried net gets a shrunken budget, a thinned search
+//!   configuration, and a *lower* degradation-ladder entry tier, so a net
+//!   that failed inside flow III is re-attempted from the single-pass or
+//!   flow II rung instead of being replayed into the same failure,
+//! * a **checkpoint/resume journal** ([`journal`]) — an append-only,
+//!   fsync'd, line-oriented write-ahead journal of terminal outcomes. A
+//!   killed process resumes at the first unfinished net; completed runs
+//!   replay the journal into a byte-identical [`report::BatchReport`]
+//!   without re-solving anything,
+//! * **failure-artifact capture** ([`artifact`]) — nets that exhaust
+//!   their attempts are serialized to `<artifacts>/<net>.repro` with the
+//!   full supervision parameters (and chaos config), greedily minimized
+//!   by sink removal, and replayable via `merlin_cli repro <file>`.
+//!
+//! The crate deliberately contains **no** `catch_unwind`: panic isolation
+//! stays at the single sanctioned boundary in `merlin_resilience::isolate`
+//! (enforced workspace-wide by the `merlin-audit` `catch-unwind` rule).
+//! See `docs/RESILIENCE.md` for the full model.
+
+pub mod artifact;
+pub mod batch;
+pub mod journal;
+pub mod report;
+
+pub use artifact::{
+    arm_chaos_spec, capture, minimize, parse_repro, replay, write_repro, ReplayOutcome, Repro,
+    ReproParseError, REPRO_HEADER,
+};
+pub use batch::{run_batch, BatchConfig, BatchError};
+pub use journal::{load_journal, JournalLoadError, JournalWriter, LoadedJournal};
+pub use report::BatchReport;

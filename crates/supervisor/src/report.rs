@@ -1,0 +1,148 @@
+//! The batch roll-up report.
+//!
+//! [`BatchReport::render`] is the supervisor's *deterministic* summary:
+//! it is built purely from journal records (sorted by net index) and
+//! deliberately excludes every wall-clock or scheduling-dependent figure,
+//! so an interrupted-and-resumed batch renders byte-identically to an
+//! uninterrupted one — the property the kill-and-resume determinism test
+//! byte-compares. Run diagnostics that cannot be deterministic (how many
+//! records were replayed vs solved this run, wall time, journal-damage
+//! warnings) live in plain fields and are printed separately by the CLI.
+
+use std::fmt::Write as _;
+
+use merlin_resilience::journal::{JournalRecord, RecordStatus};
+use merlin_resilience::ServingTier;
+
+/// The terminal outcome of a whole batch.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Terminal records, sorted by batch index.
+    pub rows: Vec<JournalRecord>,
+    /// How many nets the batch was asked to solve.
+    pub expected: usize,
+    /// Records replayed from a pre-existing journal (resume); excluded
+    /// from [`BatchReport::render`].
+    pub replayed: usize,
+    /// Nets solved by this process; excluded from [`BatchReport::render`].
+    pub solved: usize,
+    /// Journal-damage notes from load time; excluded from
+    /// [`BatchReport::render`].
+    pub warnings: Vec<String>,
+    /// Wall-clock seconds this run spent; excluded from
+    /// [`BatchReport::render`].
+    pub wall_s: f64,
+}
+
+impl BatchReport {
+    /// Nets with no terminal record (should always be 0 after a completed
+    /// run; the chaos gate greps for it).
+    pub fn lost(&self) -> usize {
+        self.expected.saturating_sub(self.rows.len())
+    }
+
+    /// Sum of retry attempts beyond each net's first.
+    pub fn retries(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| u64::from(r.attempts.saturating_sub(1)))
+            .sum()
+    }
+
+    /// The deterministic report text. See the module docs for what is
+    /// (and is not) allowed in here.
+    pub fn render(&self) -> String {
+        let mut served = 0usize;
+        let mut degraded = 0usize;
+        let mut timeout = 0usize;
+        for row in &self.rows {
+            match row.status {
+                RecordStatus::Served => served += 1,
+                RecordStatus::FailedDegraded => degraded += 1,
+                RecordStatus::FailedTimeout => timeout += 1,
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "#merlin-batch-report");
+        let _ = writeln!(
+            s,
+            "nets: {} served: {served} failed-degraded: {degraded} failed-timeout: {timeout} \
+             lost: {}",
+            self.expected,
+            self.lost()
+        );
+        let _ = writeln!(s, "retries: {}", self.retries());
+        let mut tiers = String::new();
+        for tier in ServingTier::LADDER {
+            let n = self.rows.iter().filter(|r| r.tier == tier).count();
+            if n > 0 {
+                if !tiers.is_empty() {
+                    tiers.push(' ');
+                }
+                let _ = write!(tiers, "{}={n}", tier.label());
+            }
+        }
+        let _ = writeln!(s, "tiers: {tiers}");
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.encode());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(idx: u64, status: RecordStatus, tier: ServingTier, attempts: u32) -> JournalRecord {
+        JournalRecord {
+            idx,
+            net: format!("net{idx}"),
+            tier,
+            attempts,
+            status,
+            hash: idx * 7,
+        }
+    }
+
+    fn sample() -> BatchReport {
+        BatchReport {
+            rows: vec![
+                rec(0, RecordStatus::Served, ServingTier::Merlin, 1),
+                rec(1, RecordStatus::Served, ServingTier::SinglePass, 2),
+                rec(2, RecordStatus::FailedTimeout, ServingTier::DirectRoute, 3),
+            ],
+            expected: 4,
+            replayed: 1,
+            solved: 2,
+            warnings: vec!["torn line".to_owned()],
+            wall_s: 1.25,
+        }
+    }
+
+    #[test]
+    fn render_counts_and_lists_records() {
+        let out = sample().render();
+        assert!(out.contains("nets: 4 served: 2 failed-degraded: 0 failed-timeout: 1 lost: 1"));
+        assert!(out.contains("retries: 3"), "{out}");
+        assert!(
+            out.contains("tiers: merlin=1 single-pass=1 direct=1"),
+            "{out}"
+        );
+        assert!(out.contains("idx=1 net=net1 tier=single-pass attempts=2 status=served"));
+    }
+
+    #[test]
+    fn render_excludes_nondeterministic_fields() {
+        let mut a = sample();
+        let mut b = sample();
+        a.replayed = 0;
+        a.solved = 3;
+        a.wall_s = 99.0;
+        a.warnings.clear();
+        b.replayed = 3;
+        b.solved = 0;
+        b.wall_s = 0.01;
+        assert_eq!(a.render(), b.render());
+    }
+}

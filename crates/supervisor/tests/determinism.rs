@@ -1,0 +1,123 @@
+//! Kill-and-resume determinism: a batch interrupted after `k` commits and
+//! then resumed must produce a final report byte-identical to an
+//! uninterrupted run, re-solving only the unfinished nets.
+//!
+//! The "kill" is simulated by truncating a completed journal to its first
+//! `k` records — exactly the on-disk state a process aborted after its
+//! k-th fsync'd commit leaves behind (the supervisor's `crash_after` chaos
+//! hook produces the real thing; the shell-level chaos gate in
+//! `scripts/check.sh` exercises that path end to end).
+
+use std::path::PathBuf;
+
+use merlin_netlist::bench_nets::random_net;
+use merlin_netlist::Net;
+use merlin_supervisor::{load_journal, run_batch, BatchConfig};
+use merlin_tech::Technology;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("merlin-determinism-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn batch(n: usize) -> Vec<Net> {
+    let tech = Technology::synthetic_035();
+    (0..n)
+        .map(|i| random_net(&format!("net{i}"), 4, 42 + i as u64, &tech))
+        .collect()
+}
+
+/// Keeps the header plus the first `k` record lines of a journal file.
+fn truncate_to(path: &std::path::Path, k: usize, torn_suffix: Option<&str>) {
+    let text = std::fs::read_to_string(path).expect("read journal");
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() > k + 1,
+        "journal has enough records to truncate"
+    );
+    lines.truncate(k + 1); // header + k records
+    let mut out = lines.join("\n");
+    out.push('\n');
+    if let Some(torn) = torn_suffix {
+        out.push_str(torn); // no trailing newline: a torn final write
+    }
+    std::fs::write(path, out).expect("rewrite truncated journal");
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_report_byte_for_byte() {
+    const TOTAL: usize = 8;
+    const KILL_AT: usize = 3;
+    let dir = tmp_dir("resume");
+    let tech = Technology::synthetic_035();
+    let cfg = BatchConfig {
+        jobs: 2,
+        ..BatchConfig::default()
+    };
+
+    // Uninterrupted reference run.
+    let full_journal = dir.join("full.journal");
+    let full = run_batch(batch(TOTAL), &tech, &cfg, &full_journal).expect("full run");
+    assert_eq!(full.solved, TOTAL);
+    assert_eq!(full.lost(), 0);
+
+    // "Kill" after KILL_AT commits, then resume.
+    let resumed_journal = dir.join("resumed.journal");
+    std::fs::copy(&full_journal, &resumed_journal).expect("copy journal");
+    truncate_to(&resumed_journal, KILL_AT, None);
+    let resumed = run_batch(batch(TOTAL), &tech, &cfg, &resumed_journal).expect("resumed run");
+
+    // No net is solved twice: exactly the journaled records replay and
+    // exactly the remainder is solved fresh.
+    assert_eq!(resumed.replayed, KILL_AT);
+    assert_eq!(resumed.solved, TOTAL - KILL_AT);
+    assert_eq!(resumed.lost(), 0);
+
+    // The deterministic report is byte-identical across the kill.
+    assert_eq!(full.render(), resumed.render());
+
+    // The resumed journal replays completely: one record per net, none
+    // duplicated.
+    let reloaded = load_journal(&resumed_journal)
+        .expect("journal loads")
+        .expect("journal exists");
+    assert_eq!(reloaded.records.len(), TOTAL, "journal replay count");
+    assert!(reloaded.warnings.is_empty(), "{:?}", reloaded.warnings);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_over_a_torn_final_record_re_runs_that_net() {
+    const TOTAL: usize = 5;
+    const KILL_AT: usize = 2;
+    let dir = tmp_dir("torn");
+    let tech = Technology::synthetic_035();
+    let cfg = BatchConfig {
+        jobs: 1,
+        ..BatchConfig::default()
+    };
+    let full_journal = dir.join("full.journal");
+    let full = run_batch(batch(TOTAL), &tech, &cfg, &full_journal).expect("full run");
+
+    // A process killed mid-append leaves a torn half-record at the end.
+    let resumed_journal = dir.join("resumed.journal");
+    std::fs::copy(&full_journal, &resumed_journal).expect("copy journal");
+    truncate_to(
+        &resumed_journal,
+        KILL_AT,
+        Some("idx=2 net=net2 tier=merlin atte"),
+    );
+    let resumed = run_batch(batch(TOTAL), &tech, &cfg, &resumed_journal).expect("resumed run");
+    assert_eq!(resumed.replayed, KILL_AT, "the torn record does not count");
+    assert_eq!(resumed.solved, TOTAL - KILL_AT);
+    assert!(
+        resumed.warnings.iter().any(|w| w.contains("torn")),
+        "{:?}",
+        resumed.warnings
+    );
+    assert_eq!(full.render(), resumed.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}

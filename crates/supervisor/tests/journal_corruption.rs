@@ -1,0 +1,169 @@
+//! Table-driven journal corruption policy tests.
+//!
+//! The write-ahead journal must tolerate exactly the damage a killed
+//! process can produce (a torn final line) and duplicated records from an
+//! interrupted resume, while *refusing* damage that signals a different
+//! problem: an unknown format version or corruption in the middle of the
+//! file.
+
+use std::path::PathBuf;
+
+use merlin_supervisor::{load_journal, JournalLoadError};
+
+/// What a corruption case is expected to produce.
+enum Expect {
+    /// Load succeeds with this many records and this many warnings.
+    Loaded { records: usize, warnings: usize },
+    /// Load is refused with an unknown-version error.
+    RefusedVersion,
+    /// Load is refused as corrupt at this 1-based line.
+    Corrupt { line: usize },
+}
+
+struct Case {
+    name: &'static str,
+    content: &'static str,
+    expect: Expect,
+}
+
+const GOOD_0: &str = "idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa";
+const GOOD_1: &str = "idx=1 net=n1 tier=merlin attempts=2 status=served hash=00000000000000bb";
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "clean journal loads fully",
+            content: "#merlin-journal v1\n\
+                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
+                      idx=1 net=n1 tier=merlin attempts=2 status=served hash=00000000000000bb\n",
+            expect: Expect::Loaded {
+                records: 2,
+                warnings: 0,
+            },
+        },
+        Case {
+            name: "header only is an empty journal",
+            content: "#merlin-journal v1\n",
+            expect: Expect::Loaded {
+                records: 0,
+                warnings: 0,
+            },
+        },
+        Case {
+            name: "truncated last line is skipped with a warning",
+            content: "#merlin-journal v1\n\
+                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
+                      idx=1 net=n1 tier=merlin attempts=2 status=ser",
+            expect: Expect::Loaded {
+                records: 1,
+                warnings: 1,
+            },
+        },
+        Case {
+            name: "last line torn inside the hash is skipped",
+            content: "#merlin-journal v1\n\
+                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
+                      idx=1 net=n1 tier=merlin attempts=2 status=served hash=00000000000\n",
+            expect: Expect::Loaded {
+                records: 1,
+                warnings: 1,
+            },
+        },
+        Case {
+            name: "duplicate net record keeps the first and warns",
+            content: "#merlin-journal v1\n\
+                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
+                      idx=0 net=n0 tier=direct attempts=3 status=failed-degraded \
+                      hash=0000000000000000\n",
+            expect: Expect::Loaded {
+                records: 1,
+                warnings: 1,
+            },
+        },
+        Case {
+            name: "unknown version header is refused",
+            content: "#merlin-journal v2\n\
+                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n",
+            expect: Expect::RefusedVersion,
+        },
+        Case {
+            name: "missing header is refused",
+            content: "idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n",
+            expect: Expect::RefusedVersion,
+        },
+        Case {
+            name: "garbage in the middle is hard corruption",
+            content: "#merlin-journal v1\n\
+                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
+                      ]]]]not a record[[[[\n\
+                      idx=1 net=n1 tier=merlin attempts=2 status=served hash=00000000000000bb\n",
+            expect: Expect::Corrupt { line: 3 },
+        },
+        Case {
+            name: "blank line in the middle is hard corruption",
+            content: "#merlin-journal v1\n\
+                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
+                      \n\
+                      idx=1 net=n1 tier=merlin attempts=2 status=served hash=00000000000000bb\n",
+            expect: Expect::Corrupt { line: 3 },
+        },
+    ]
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "merlin-corruption-{}-{}.journal",
+        std::process::id(),
+        name.replace(' ', "-")
+    ))
+}
+
+#[test]
+fn corruption_policy_table() {
+    // Sanity: the fixtures really are the codec's canonical encoding.
+    assert!(GOOD_0.contains("idx=0") && GOOD_1.contains("idx=1"));
+    for case in cases() {
+        let path = tmp(case.name);
+        std::fs::write(&path, case.content).expect("write journal fixture");
+        let result = load_journal(&path);
+        match case.expect {
+            Expect::Loaded { records, warnings } => {
+                let loaded = result
+                    .unwrap_or_else(|e| panic!("{}: expected load, got {e}", case.name))
+                    .unwrap_or_else(|| panic!("{}: file exists", case.name));
+                assert_eq!(loaded.records.len(), records, "{}", case.name);
+                assert_eq!(loaded.warnings.len(), warnings, "{}", case.name);
+            }
+            Expect::RefusedVersion => {
+                match result {
+                    Err(JournalLoadError::BadHeader { .. }) => {}
+                    other => panic!("{}: expected version refusal, got {other:?}", case.name),
+                };
+            }
+            Expect::Corrupt { line } => match result {
+                Err(JournalLoadError::Corrupt { line: got, .. }) => {
+                    assert_eq!(got, line, "{}", case.name);
+                }
+                other => panic!("{}: expected corruption error, got {other:?}", case.name),
+            },
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn duplicate_keeps_first_record_content() {
+    let path = tmp("duplicate-content");
+    std::fs::write(
+        &path,
+        "#merlin-journal v1\n\
+         idx=4 net=n4 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
+         idx=4 net=n4 tier=direct attempts=3 status=failed-timeout hash=0000000000000000\n",
+    )
+    .expect("write fixture");
+    let loaded = load_journal(&path).expect("loads").expect("exists");
+    let rec = &loaded.records[&4];
+    assert_eq!(rec.attempts, 1, "first record wins");
+    assert_eq!(rec.hash, 0xaa);
+    let _ = std::fs::remove_file(&path);
+}

@@ -31,5 +31,37 @@ cargo test --release --features invariant-checks -q
 
 echo "== chaos tests (fault-injection sites armed) =="
 cargo test -q --features fault-inject -p merlin-resilience
+cargo test -q --features fault-inject -p merlin-supervisor
+
+echo "== supervisor-chaos (batch + kill + resume, zero lost nets) =="
+# A 200-net batch under fault injection, aborted mid-run by the
+# crash-after chaos hook (a real std::process::abort after the Nth
+# fsync'd journal commit), then resumed. The resumed report must account
+# for every net: the grep for "lost: 0" is the gate, and "served: 200"
+# holds because injected panics degrade down the ladder instead of
+# failing nets outright.
+cargo build -q --features fault-inject --bin merlin_cli
+SUPTMP="$(mktemp -d)"
+trap 'rm -rf "$SUPTMP"' EXIT
+set +e
+target/debug/merlin_cli batch --gen 200 --sinks 4 --seed 7 --jobs 2 \
+  --work-limit 200000 --chaos flows.flow3.run:panic:3 --crash-after 60 \
+  --journal "$SUPTMP/run.journal" --artifacts "$SUPTMP/artifacts" \
+  --report "$SUPTMP/report.txt" 2>/dev/null
+CRASH_STATUS=$?
+set -e
+if [ "$CRASH_STATUS" -eq 0 ]; then
+  echo "supervisor-chaos: expected the crash-after abort, got a clean exit" >&2
+  exit 1
+fi
+target/debug/merlin_cli resume --gen 200 --sinks 4 --seed 7 --jobs 2 \
+  --work-limit 200000 --chaos flows.flow3.run:panic:3 \
+  --journal "$SUPTMP/run.journal" --artifacts "$SUPTMP/artifacts" \
+  --report "$SUPTMP/report.txt"
+grep -q "^nets: 200 served: 200 .* lost: 0$" "$SUPTMP/report.txt" || {
+  echo "supervisor-chaos: resumed report lost nets:" >&2
+  head -3 "$SUPTMP/report.txt" >&2
+  exit 1
+}
 
 echo "all checks passed"

@@ -1,87 +1,178 @@
-//! `merlin_cli` — optimize a net from a `.net` file and print metrics
-//! (optionally writing an SVG of the buffered routing tree).
+//! `merlin_cli` — the command-line frontend of the MERLIN reproduction.
 //!
 //! ```text
-//! merlin_cli <file.net> [--flow 1|2|3] [--svg out.svg]
-//!            [--area-budget λ²] [--req-target ps]
+//! merlin_cli solve <file.net> [--flow 1|2|3] [--svg out.svg]
+//!                  [--area-budget λ²] [--req-target ps]
+//! merlin_cli batch [<file.net>...] [--gen N] [batch options]
+//! merlin_cli resume [<file.net>...] [--gen N] [batch options]
+//! merlin_cli repro <file.repro> [--minimize]
 //! ```
 //!
-//! Flow 3 (MERLIN) is the default. `--area-budget` switches MERLIN to
-//! problem variant I with a finite budget; `--req-target` to variant II.
+//! `solve` optimizes one net (flow 3, MERLIN, by default) — invoking the
+//! binary with a `.net` file as the first argument is shorthand for it.
+//! `batch` drives the resilient solver across a net population under the
+//! `merlin-supervisor` worker pool (watchdog, retries, checkpoint/resume
+//! journal, failure artifacts); `resume` is `batch` that insists the
+//! journal already exists. `repro` replays a captured `.repro` failure
+//! artifact. Run `merlin_cli help` for every flag and its default.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use merlin::{Constraint, MerlinConfig};
+use merlin::Constraint;
 use merlin_flows::{flow1, flow2, flow3, FlowsConfig};
-use merlin_netlist::io;
+use merlin_netlist::bench_nets::random_net;
+use merlin_netlist::{io, Net};
+use merlin_resilience::{RetryPolicy, ServingTier};
+use merlin_supervisor::{arm_chaos_spec, parse_repro, replay, run_batch, BatchConfig};
 use merlin_tech::{svg, Technology};
 
-fn arg_value(name: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == name {
-            return args.next();
+const USAGE: &str = "\
+usage: merlin_cli <command> [args]
+
+commands:
+  solve <file.net>     optimize one net and print its metrics (the default
+                       command: a leading <file.net> argument implies it)
+  batch                solve a net population under batch supervision
+  resume               like `batch`, but refuses to start a fresh journal
+  repro <file.repro>   replay a captured failure artifact
+  help                 this text
+
+solve flags:
+  --flow 1|2|3         flow to run (default 3 = MERLIN)
+  --svg out.svg        also render the buffered routing tree
+  --area-budget λ²     MERLIN variant I: max required time within area
+  --req-target ps      MERLIN variant II: min area meeting required time
+
+batch/resume flags (defaults in parentheses):
+  <file.net>...        nets to solve, in batch order
+  --gen N              append N synthetic benchmark nets (0)
+  --sinks S            sinks per generated net (8)
+  --seed K             base seed for generated nets (1)
+  --jobs J             worker threads (available CPU parallelism)
+  --budget-ms MS       cooperative per-net wall-clock budget (none)
+  --work-limit W       cooperative per-net DP work limit (none)
+  --max-retries R      retries after each net's first attempt (2)
+  --accept-tier T      weakest acceptable serving tier, one of merlin,
+                       single-pass, ptree+vg, lttree+ptree, direct (direct)
+  --watchdog-ms MS     non-cooperative per-attempt wall slice enforced by
+                       the watchdog thread (off)
+  --journal PATH       checkpoint/resume journal (.merlin-journal)
+  --artifacts DIR      failure artifact directory (artifacts)
+  --no-minimize        keep captured artifacts verbatim (minimize)
+  --chaos SPEC         arm site:kind:nth[:stall_ms] fault injection on every
+                       worker; repeatable (fault-inject builds only)
+  --crash-after N      abort the process after N journal commits (chaos
+                       testing; resume afterwards with `resume`)
+  --report PATH        write the deterministic batch report here (stdout)
+
+repro flags:
+  --minimize           greedily re-minimize and write <file>.min
+
+exit status: `repro` exits 0 when the failure reproduces, 1 when it does
+not; everything else exits 0 on success.";
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("merlin_cli: {msg}");
+    ExitCode::FAILURE
+}
+
+/// A tiny flag cursor over the argument list.
+struct Args {
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl Args {
+    fn next(&mut self) -> Option<String> {
+        let arg = self.args.get(self.pos).cloned();
+        if arg.is_some() {
+            self.pos += 1;
         }
+        arg
     }
-    None
+
+    fn value_for(&mut self, flag: &str) -> Result<String, String> {
+        self.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        let v = self.value_for(flag)?;
+        v.parse::<T>()
+            .map_err(|_| format!("malformed value `{v}` for {flag}"))
+    }
 }
 
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args { args: argv, pos: 0 };
+    match args.next().as_deref() {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("solve") => cmd_solve(args),
+        Some("batch") => cmd_batch(args, false),
+        Some("resume") => cmd_batch(args, true),
+        Some("repro") => cmd_repro(args),
+        Some(first) if !first.starts_with('-') => {
+            // Legacy shorthand: `merlin_cli file.net [flags]`.
+            args.pos -= 1;
+            cmd_solve(args)
+        }
+        Some(other) => fail(format!("unknown command `{other}` (try `merlin_cli help`)")),
+    }
+}
+
+fn cmd_solve(mut args: Args) -> ExitCode {
     let mut file = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--flow" | "--svg" | "--area-budget" | "--req-target" => {
-                args.next();
+    let mut flow = "3".to_owned();
+    let mut svg_out = None;
+    let mut area_budget = None;
+    let mut req_target = None;
+    while let Some(arg) = args.next() {
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--flow" => args.value_for("--flow").map(|v| flow = v),
+            "--svg" => args.value_for("--svg").map(|v| svg_out = Some(v)),
+            "--area-budget" => args.parsed("--area-budget").map(|v| area_budget = Some(v)),
+            "--req-target" => args.parsed("--req-target").map(|v| req_target = Some(v)),
+            other if !other.starts_with("--") => {
+                file = Some(other.to_owned());
+                Ok(())
             }
-            other if !other.starts_with("--") => file = Some(other.to_owned()),
-            other => {
-                eprintln!("unknown flag {other}");
-                return ExitCode::FAILURE;
-            }
+            other => Err(format!("unknown solve flag {other}")),
+        };
+        if let Err(e) = parsed {
+            return fail(e);
         }
     }
     let Some(file) = file else {
-        eprintln!(
-            "usage: merlin_cli <file.net> [--flow 1|2|3] [--svg out.svg] \
-             [--area-budget λ²] [--req-target ps]"
-        );
-        return ExitCode::FAILURE;
+        return fail("solve needs a <file.net> argument");
     };
     let text = match std::fs::read_to_string(&file) {
         Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {file}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(format!("cannot read {file}: {e}")),
     };
     let net = match io::parse_net(&text) {
         Ok(n) => n,
-        Err(e) => {
-            eprintln!("{file}: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(format!("{file}: {e}")),
     };
 
     let tech = Technology::synthetic_035();
     let mut cfg = FlowsConfig::for_net_size(net.num_sinks());
-    if let Some(budget) = arg_value("--area-budget").and_then(|v| v.parse::<u64>().ok()) {
+    if let Some(budget) = area_budget {
         cfg.merlin.constraint = Constraint::MaxReqWithinArea(budget);
     }
-    if let Some(target) = arg_value("--req-target").and_then(|v| v.parse::<f64>().ok()) {
+    if let Some(target) = req_target {
         cfg.merlin.constraint = Constraint::MinAreaWithReq(target);
     }
-    let _ = MerlinConfig::default(); // keep the type in the public surface
 
-    let flow = arg_value("--flow").unwrap_or_else(|| "3".into());
     let result = match flow.as_str() {
         "1" => flow1::run(&net, &tech, &cfg),
         "2" => flow2::run(&net, &tech, &cfg),
         "3" => flow3::run(&net, &tech, &cfg),
-        other => {
-            eprintln!("unknown flow `{other}` (expected 1, 2 or 3)");
-            return ExitCode::FAILURE;
-        }
+        other => return fail(format!("unknown flow `{other}` (expected 1, 2 or 3)")),
     };
 
     println!("net            : {} ({} sinks)", net.name, net.num_sinks());
@@ -96,12 +187,203 @@ fn main() -> ExitCode {
         println!("MERLIN loops   : {}", result.loops);
     }
 
-    if let Some(path) = arg_value("--svg") {
+    if let Some(path) = svg_out {
         if let Err(e) = std::fs::write(&path, svg::render(&result.tree)) {
-            eprintln!("cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+            return fail(format!("cannot write {path}: {e}"));
         }
         println!("svg written to : {path}");
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
+    let tech = Technology::synthetic_035();
+    let mut files: Vec<String> = Vec::new();
+    let mut gen = 0usize;
+    let mut sinks = 8usize;
+    let mut seed = 1u64;
+    let mut journal = PathBuf::from(".merlin-journal");
+    let mut report_path: Option<PathBuf> = None;
+    let mut cfg = BatchConfig {
+        artifacts_dir: Some(PathBuf::from("artifacts")),
+        retry: RetryPolicy {
+            max_attempts: 3, // --max-retries 2 + the first attempt
+            ..RetryPolicy::default()
+        },
+        ..BatchConfig::default()
+    };
+    while let Some(arg) = args.next() {
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--gen" => args.parsed("--gen").map(|v| gen = v),
+            "--sinks" => args.parsed("--sinks").map(|v| sinks = v),
+            "--seed" => args.parsed("--seed").map(|v| seed = v),
+            "--jobs" => args.parsed("--jobs").map(|v: usize| cfg.jobs = v.max(1)),
+            "--budget-ms" => args.parsed("--budget-ms").map(|v| cfg.budget_ms = Some(v)),
+            "--work-limit" => args
+                .parsed("--work-limit")
+                .map(|v| cfg.work_limit = Some(v)),
+            "--max-retries" => args
+                .parsed("--max-retries")
+                .map(|v: u32| cfg.retry.max_attempts = v + 1),
+            "--accept-tier" => args.value_for("--accept-tier").and_then(|v| {
+                ServingTier::parse(&v)
+                    .map(|t| cfg.accept_tier = t)
+                    .ok_or_else(|| format!("unknown tier `{v}`"))
+            }),
+            "--watchdog-ms" => args
+                .parsed("--watchdog-ms")
+                .map(|v: u64| cfg.watchdog_limit = Some(Duration::from_millis(v))),
+            "--journal" => args.value_for("--journal").map(|v| journal = v.into()),
+            "--artifacts" => args
+                .value_for("--artifacts")
+                .map(|v| cfg.artifacts_dir = Some(v.into())),
+            "--no-minimize" => {
+                cfg.minimize = false;
+                Ok(())
+            }
+            "--chaos" => {
+                args.value_for("--chaos")
+                    .and_then(|v| match arm_chaos_spec(&mut cfg.fault, &v) {
+                        Ok(true) => Ok(()),
+                        Ok(false) => {
+                            Err("this build has no fault-injection support; rebuild with \
+                         `--features fault-inject` to use --chaos"
+                                .to_owned())
+                        }
+                        Err(e) => Err(e.to_string()),
+                    })
+            }
+            "--crash-after" => args
+                .parsed("--crash-after")
+                .map(|v| cfg.crash_after = Some(v)),
+            "--report" => args
+                .value_for("--report")
+                .map(|v| report_path = Some(v.into())),
+            other if !other.starts_with("--") => {
+                files.push(other.to_owned());
+                Ok(())
+            }
+            other => Err(format!("unknown batch flag {other}")),
+        };
+        if let Err(e) = parsed {
+            return fail(e);
+        }
+    }
+
+    if require_journal && !journal.exists() {
+        return fail(format!(
+            "resume requires an existing journal at {} (run `batch` first)",
+            journal.display()
+        ));
+    }
+
+    let mut nets: Vec<Net> = Vec::new();
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("cannot read {file}: {e}")),
+        };
+        match io::parse_net(&text) {
+            Ok(net) => nets.push(net),
+            Err(e) => return fail(format!("{file}: {e}")),
+        }
+    }
+    for i in 0..gen {
+        nets.push(random_net(
+            &format!("gen{i}"),
+            sinks,
+            seed.wrapping_add(i as u64),
+            &tech,
+        ));
+    }
+    if nets.is_empty() {
+        return fail("batch has no nets: pass <file.net> arguments and/or --gen N");
+    }
+
+    let report = match run_batch(nets, &tech, &cfg, &journal) {
+        Ok(report) => report,
+        Err(e) => return fail(e),
+    };
+    // Run diagnostics (scheduling-dependent) go to stderr; the
+    // deterministic report goes wherever --report points.
+    eprintln!(
+        "batch: {} nets in {:.2}s ({} replayed from journal, {} solved, {} lost)",
+        report.expected,
+        report.wall_s,
+        report.replayed,
+        report.solved,
+        report.lost()
+    );
+    for warning in &report.warnings {
+        eprintln!("warning: {warning}");
+    }
+    match report_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, report.render()) {
+                return fail(format!("cannot write {}: {e}", path.display()));
+            }
+        }
+        None => print!("{}", report.render()),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_repro(mut args: Args) -> ExitCode {
+    let mut file = None;
+    let mut do_minimize = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--minimize" => do_minimize = true,
+            other if !other.starts_with("--") => file = Some(other.to_owned()),
+            other => return fail(format!("unknown repro flag {other}")),
+        }
+    }
+    let Some(file) = file else {
+        return fail("repro needs a <file.repro> argument");
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("cannot read {file}: {e}")),
+    };
+    let repro = match parse_repro(&text) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("{file}: {e}")),
+    };
+    let tech = Technology::synthetic_035();
+    println!(
+        "repro          : {} ({} sinks, cause {})",
+        repro.net.name,
+        repro.net.num_sinks(),
+        repro.cause
+    );
+    println!("accept tier    : {}", repro.accept_tier);
+    let outcome = replay(&repro, &tech);
+    for (i, (tier, secs)) in outcome.attempts.iter().enumerate() {
+        println!("attempt {i}      : served {tier} in {secs:.3}s");
+    }
+    println!(
+        "verdict        : {}",
+        if outcome.failed {
+            "failure reproduces"
+        } else {
+            "failure does NOT reproduce (scheduling-dependent or fixed)"
+        }
+    );
+    if do_minimize {
+        let min = merlin_supervisor::minimize(&repro, &tech);
+        let out = format!("{file}.min");
+        if let Err(e) = std::fs::write(&out, merlin_supervisor::write_repro(&min)) {
+            return fail(format!("cannot write {out}: {e}"));
+        }
+        println!(
+            "minimized      : {} sinks -> {} sinks, written to {out}",
+            repro.net.num_sinks(),
+            min.net.num_sinks()
+        );
+    }
+    if outcome.failed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

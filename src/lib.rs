@@ -10,7 +10,10 @@
 //!   baselines of the paper's experimental flows,
 //! * [`merlin_geom`], [`merlin_tech`], [`merlin_curves`],
 //!   [`merlin_order`], [`merlin_netlist`] — substrates,
-//! * [`merlin_flows`] — the Flow I/II/III harnesses.
+//! * [`merlin_flows`] — the Flow I/II/III harnesses,
+//! * [`merlin_resilience`], [`merlin_supervisor`] — solve budgets, the
+//!   graceful-degradation ladder, and the batch supervisor (worker pool,
+//!   watchdog, retry, checkpoint/resume journal, failure artifacts).
 //!
 //! See the repository `README.md` for a tour.
 
@@ -22,5 +25,7 @@ pub use merlin_lttree;
 pub use merlin_netlist;
 pub use merlin_order;
 pub use merlin_ptree;
+pub use merlin_resilience;
+pub use merlin_supervisor;
 pub use merlin_tech;
 pub use merlin_vanginneken;
