@@ -262,6 +262,11 @@ pub fn snapshot() -> FaultConfig {
 #[cfg(not(feature = "fault-inject"))]
 pub fn seed_thread(_cfg: &FaultConfig) {}
 
+/// No-op [`disarm_all`](registry::disarm_all) stand-in for unarmed
+/// builds.
+#[cfg(not(feature = "fault-inject"))]
+pub fn disarm_all() {}
+
 #[cfg(test)]
 mod kind_tests {
     use super::*;
@@ -287,6 +292,7 @@ mod kind_tests {
         assert!(cfg.is_empty());
         assert!(cfg.specs().is_empty());
         seed_thread(&cfg); // no-op, must not panic
+        disarm_all();
         let _ = snapshot();
     }
 }

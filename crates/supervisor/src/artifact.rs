@@ -296,6 +296,17 @@ pub struct ReplayOutcome {
 /// served tier is weaker than the acceptance tier or (for watchdog
 /// artifacts) its wall-clock exceeds the watchdog limit.
 pub fn replay(repro: &Repro, tech: &Technology) -> ReplayOutcome {
+    // The attempts seed the artifact's chaos config into the *calling*
+    // thread's fault registry; save and restore the caller's plans so a
+    // supervisor (or CLI) thread is not left armed after triage.
+    let saved = fault::snapshot();
+    let outcome = replay_seeded(repro, tech);
+    fault::disarm_all();
+    fault::seed_thread(&saved);
+    outcome
+}
+
+fn replay_seeded(repro: &Repro, tech: &Technology) -> ReplayOutcome {
     let policy = RetryPolicy {
         max_attempts: repro.max_attempts.max(1),
         ..RetryPolicy::no_retries()
@@ -359,7 +370,7 @@ pub fn minimize(repro: &Repro, tech: &Technology) -> Repro {
     }
 }
 
-fn artifact_file_name(net: &str) -> String {
+fn artifact_file_name(idx: u64, net: &str) -> String {
     let safe: String = net
         .chars()
         .map(|c| {
@@ -375,17 +386,23 @@ fn artifact_file_name(net: &str) -> String {
     } else {
         safe
     };
-    format!("{safe}.repro")
+    // The batch index keeps artifacts unique: sanitization maps distinct
+    // names like `a/b` and `a b` to the same string, and nothing stops a
+    // netlist from repeating a name outright.
+    format!("{idx}-{safe}.repro")
 }
 
-/// Captures `repro` under `dir` as `<net-name>.repro`, minimizing first
-/// when `do_minimize` is set. Returns the written path.
+/// Captures `repro` under `dir` as `<idx>-<net-name>.repro` (`idx` is the
+/// net's batch index, keeping same-named nets from clobbering each
+/// other), minimizing first when `do_minimize` is set. Returns the
+/// written path.
 ///
 /// # Errors
 ///
 /// Any I/O failure creating the directory or writing the file.
 pub fn capture(
     dir: &Path,
+    idx: u64,
     repro: &Repro,
     tech: &Technology,
     do_minimize: bool,
@@ -398,7 +415,7 @@ pub fn capture(
     } else {
         repro
     };
-    let path = dir.join(artifact_file_name(&repro.net.name));
+    let path = dir.join(artifact_file_name(idx, &repro.net.name));
     std::fs::write(&path, write_repro(repro))?;
     Ok(path)
 }
@@ -518,8 +535,8 @@ mod tests {
         let tech = Technology::synthetic_035();
         let dir = std::env::temp_dir().join(format!("merlin-artifact-test-{}", std::process::id()));
         let repro = sample_repro();
-        let path = capture(&dir, &repro, &tech, false).expect("capture artifact");
-        assert!(path.ends_with("repro-net.repro"));
+        let path = capture(&dir, 7, &repro, &tech, false).expect("capture artifact");
+        assert!(path.ends_with("7-repro-net.repro"));
         let text = std::fs::read_to_string(&path).expect("read artifact back");
         let parsed = parse_repro(&text).expect("captured artifact parses");
         assert_eq!(parsed.net.name, "repro-net");
@@ -527,9 +544,12 @@ mod tests {
     }
 
     #[test]
-    fn artifact_names_are_sanitized() {
-        assert_eq!(artifact_file_name("a b/c"), "a_b_c.repro");
-        assert_eq!(artifact_file_name(""), "unnamed.repro");
-        assert_eq!(artifact_file_name("ok-1.x"), "ok-1.x.repro");
+    fn artifact_names_are_sanitized_and_index_disambiguated() {
+        assert_eq!(artifact_file_name(0, "a b/c"), "0-a_b_c.repro");
+        assert_eq!(artifact_file_name(3, ""), "3-unnamed.repro");
+        assert_eq!(artifact_file_name(12, "ok-1.x"), "12-ok-1.x.repro");
+        // Distinct nets whose names sanitize identically still get
+        // distinct artifact files.
+        assert_ne!(artifact_file_name(1, "a/b"), artifact_file_name(2, "a b"));
     }
 }

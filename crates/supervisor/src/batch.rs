@@ -88,7 +88,8 @@ pub struct BatchConfig {
     /// Abort the process (`std::process::abort`) immediately after the
     /// Nth journal commit by this run — the chaos gate's stand-in for a
     /// mid-run SIGKILL, placed *after* the fsync so the journal holds
-    /// exactly N records.
+    /// exactly N records from this run. `Some(0)` aborts right after the
+    /// journal is opened, before any commit.
     pub crash_after: Option<usize>,
 }
 
@@ -389,12 +390,18 @@ fn open_journal(nets: &[Net], path: &Path) -> Result<OpenedJournal, BatchError> 
     }
 }
 
+/// Writes the (unminimized) repro artifact for a terminally failed net
+/// and, when minimization is on, queues it in `deferred` so the expensive
+/// solve-replaying minimizer runs *after* the event loop instead of
+/// blocking journal commits and retry scheduling mid-batch.
 fn capture_failure(
     cfg: &BatchConfig,
+    idx: usize,
     net: &Net,
     tech: &Technology,
     cause: RecordStatus,
     warnings: &mut Vec<String>,
+    deferred: &mut Vec<(usize, Repro)>,
 ) {
     let Some(dir) = &cfg.artifacts_dir else {
         return;
@@ -409,8 +416,12 @@ fn capture_failure(
         chaos: cfg.fault.clone(),
         net: net.clone(),
     };
-    if let Err(e) = artifact::capture(dir, &repro, tech, cfg.minimize) {
-        warnings.push(format!("artifact capture for `{}` failed: {e}", net.name));
+    // The verbatim artifact lands on disk immediately, so a crash later
+    // in the run still leaves a usable repro behind.
+    match artifact::capture(dir, idx as u64, &repro, tech, false) {
+        Ok(_) if cfg.minimize => deferred.push((idx, repro)),
+        Ok(_) => {}
+        Err(e) => warnings.push(format!("artifact capture for `{}` failed: {e}", net.name)),
     }
 }
 
@@ -433,6 +444,11 @@ pub fn run_batch(
     let start = Instant::now();
     let total = nets.len();
     let (mut writer, mut terminal, mut warnings) = open_journal(&nets, journal_path)?;
+    if cfg.crash_after == Some(0) {
+        // Chaos hook: abort before this run commits anything, leaving
+        // only what a prior run journaled (header-only when fresh).
+        std::process::abort();
+    }
     let replayed = terminal.len();
     let pending_idxs: Vec<usize> = (0..total)
         .filter(|i| !terminal.contains_key(&(*i as u64)))
@@ -515,6 +531,7 @@ pub fn run_batch(
 
     let mut solved = 0usize;
     let mut commits = 0usize;
+    let mut deferred_minimize: Vec<(usize, Repro)> = Vec::new();
     let mut commit = |rec: JournalRecord,
                       writer: &mut JournalWriter,
                       terminal: &mut BTreeMap<u64, JournalRecord>,
@@ -563,10 +580,12 @@ pub fn run_batch(
                 } else if cfg.retry.is_final(attempt) {
                     capture_failure(
                         cfg,
+                        idx,
                         &shared.nets[idx],
                         tech,
                         RecordStatus::FailedDegraded,
                         &mut warnings,
+                        &mut deferred_minimize,
                     );
                     terminal_record = Some(JournalRecord {
                         idx: idx as u64,
@@ -593,10 +612,12 @@ pub fn run_batch(
                 if cfg.retry.is_final(attempt) {
                     capture_failure(
                         cfg,
+                        idx,
                         &shared.nets[idx],
                         tech,
                         RecordStatus::FailedTimeout,
                         &mut warnings,
+                        &mut deferred_minimize,
                     );
                     terminal_record = Some(JournalRecord {
                         idx: idx as u64,
@@ -647,6 +668,21 @@ pub fn run_batch(
         }
         // Abandoned workers are left to exit on their own; joining them
         // would block on whatever stalled them.
+    }
+
+    // Minimization replays up to max_attempts solves per sink-removal
+    // probe; doing it here — with every net committed and the pool shut
+    // down — keeps that cost out of the event loop. Each capture
+    // overwrites the verbatim artifact written when the net failed.
+    if let Some(dir) = &cfg.artifacts_dir {
+        for (idx, repro) in &deferred_minimize {
+            if let Err(e) = artifact::capture(dir, *idx as u64, repro, tech, true) {
+                warnings.push(format!(
+                    "artifact minimization for `{}` failed: {e}",
+                    repro.net.name
+                ));
+            }
+        }
     }
 
     Ok(BatchReport {
@@ -788,7 +824,7 @@ mod tests {
         assert_eq!(row.status, RecordStatus::FailedDegraded);
         assert_eq!(row.attempts, 2, "both attempts consumed");
         assert_eq!(row.tier, ServingTier::DirectRoute);
-        let artifact_path = artifacts.join("dup-sink.repro");
+        let artifact_path = artifacts.join("0-dup-sink.repro");
         let text = std::fs::read_to_string(&artifact_path).expect("artifact written");
         let repro = crate::artifact::parse_repro(&text).expect("artifact parses");
         assert_eq!(repro.cause, RecordStatus::FailedDegraded);

@@ -9,7 +9,9 @@
 //!   reinterpreting a future format loses data,
 //! * an undecodable **final** line is skipped with a warning: that is the
 //!   signature of a torn write from a killed process, and the net it
-//!   described simply re-runs,
+//!   described simply re-runs ([`JournalWriter::append_to`] then truncates
+//!   the fragment before the first resume append, so it can never merge
+//!   with a new record into mid-file corruption),
 //! * an undecodable line anywhere **else** is a hard corruption error,
 //! * a duplicate net index keeps the **first** record and warns: the
 //!   first append was the one that was fsync'd before any crash.
@@ -17,7 +19,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{ErrorKind, Read as _, Write as _};
+use std::io::{ErrorKind, Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::Path;
 
 use merlin_resilience::journal::{JournalRecord, JOURNAL_HEADER};
@@ -155,11 +157,36 @@ impl JournalWriter {
     /// Opens an existing journal for appending (resume). The caller is
     /// expected to have validated the file via [`load_journal`] first.
     ///
+    /// A file that does not end in a newline is *healed* before the first
+    /// append: a process killed mid-write leaves a torn final line, and
+    /// appending straight onto it would merge the fragment with the next
+    /// record into one undecodable line — which, once further records
+    /// follow it, is no longer final and turns into a hard
+    /// [`JournalLoadError::Corrupt`] on the next load. If the newline-less
+    /// tail is itself a complete record (or the header) it is finished
+    /// with the missing newline; otherwise the fragment is truncated away,
+    /// matching the skip policy [`load_journal`] already applied to it.
+    ///
     /// # Errors
     ///
-    /// Any I/O failure opening the file.
+    /// Any I/O failure opening, repairing, or syncing the file.
     pub fn append_to(path: &Path) -> std::io::Result<JournalWriter> {
-        let file = OpenOptions::new().append(true).open(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.last().is_some_and(|&b| b != b'\n') {
+            let tail_start = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+            let complete = std::str::from_utf8(&bytes[tail_start..])
+                .is_ok_and(|line| line == JOURNAL_HEADER || JournalRecord::decode(line).is_ok());
+            if complete {
+                // Only the newline was lost: finish the line in place.
+                file.write_all(b"\n")?;
+            } else {
+                file.set_len(tail_start as u64)?;
+            }
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
         Ok(JournalWriter { file })
     }
 
@@ -218,6 +245,60 @@ mod tests {
     fn missing_file_is_a_fresh_run() {
         let path = tmp("missing");
         assert!(load_journal(&path).expect("no error").is_none());
+    }
+
+    #[test]
+    fn resume_after_a_torn_final_line_truncates_the_fragment() {
+        let path = tmp("torn-resume");
+        let mut w = JournalWriter::create(&path).expect("create");
+        w.append(&rec(0)).expect("append");
+        drop(w);
+        // Simulate a process killed mid-append: a partial record with no
+        // trailing newline.
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        write!(f, "idx=1 net=n1 tier=mer").expect("write torn fragment");
+        drop(f);
+        let loaded = load_journal(&path).expect("load").expect("exists");
+        assert_eq!(loaded.records.len(), 1, "torn record skipped");
+        assert_eq!(loaded.warnings.len(), 1);
+        // Resuming must not glue new records onto the fragment.
+        let mut w = JournalWriter::append_to(&path).expect("reopen heals");
+        w.append(&rec(1)).expect("append after torn tail");
+        w.append(&rec(2)).expect("second append");
+        drop(w);
+        let loaded = load_journal(&path).expect("journal reloads cleanly");
+        let loaded = loaded.expect("exists");
+        assert_eq!(loaded.records.len(), 3);
+        assert_eq!(loaded.records[&1], rec(1));
+        assert!(loaded.warnings.is_empty(), "fragment was truncated away");
+        // A second crash/resume cycle must also load cleanly.
+        let mut w = JournalWriter::append_to(&path).expect("reopen again");
+        w.append(&rec(3)).expect("append");
+        drop(w);
+        let loaded = load_journal(&path).expect("still clean").expect("exists");
+        assert_eq!(loaded.records.len(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_completes_a_newline_less_but_decodable_final_record() {
+        let path = tmp("newline-less");
+        let mut w = JournalWriter::create(&path).expect("create");
+        w.append(&rec(0)).expect("append");
+        drop(w);
+        // The write made it through except for the final newline: the
+        // record must be kept (load_journal already counted it), not cut.
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        write!(f, "{}", rec(1).encode()).expect("write newline-less record");
+        drop(f);
+        let mut w = JournalWriter::append_to(&path).expect("reopen heals");
+        w.append(&rec(2)).expect("append");
+        drop(w);
+        let loaded = load_journal(&path).expect("load").expect("exists");
+        assert_eq!(loaded.records.len(), 3, "newline-less record survives");
+        assert_eq!(loaded.records[&1], rec(1));
+        assert!(loaded.warnings.is_empty());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -27,9 +27,11 @@
 //!   replay the journal into a byte-identical [`report::BatchReport`]
 //!   without re-solving anything,
 //! * **failure-artifact capture** ([`artifact`]) — nets that exhaust
-//!   their attempts are serialized to `<artifacts>/<net>.repro` with the
-//!   full supervision parameters (and chaos config), greedily minimized
-//!   by sink removal, and replayable via `merlin_cli repro <file>`.
+//!   their attempts are serialized to `<artifacts>/<idx>-<net>.repro`
+//!   with the full supervision parameters (and chaos config), greedily
+//!   minimized by sink removal once the batch has drained (the verbatim
+//!   artifact is written immediately, so a crash mid-batch still leaves
+//!   a repro), and replayable via `merlin_cli repro <file>`.
 //!
 //! The crate deliberately contains **no** `catch_unwind`: panic isolation
 //! stays at the single sanctioned boundary in `merlin_resilience::isolate`

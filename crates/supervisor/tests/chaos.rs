@@ -111,6 +111,39 @@ fn watchdog_abandons_a_stalled_worker_and_a_retry_serves() {
 }
 
 #[test]
+fn replay_restores_the_callers_fault_registry() {
+    use merlin_resilience::fault;
+    use merlin_supervisor::{replay, Repro};
+    let tech = Technology::synthetic_035();
+    fault::disarm_all();
+    fault::arm("caller.site", FaultKind::EmptyCurve, 1);
+    let mut chaos = FaultConfig::none();
+    assert!(chaos.arm(
+        "flows.flow3.run",
+        FaultKind::Panic,
+        1,
+        Duration::from_millis(1)
+    ));
+    let repro = Repro {
+        cause: RecordStatus::FailedDegraded,
+        accept_tier: ServingTier::DirectRoute,
+        max_attempts: 2,
+        budget_ms: None,
+        work_limit: None,
+        watchdog_ms: None,
+        chaos,
+        net: random_net("hygiene", 4, 11, &tech),
+    };
+    let _ = replay(&repro, &tech);
+    // The artifact's chaos plan must not outlive the replay, and the
+    // caller's own plan must be re-armed.
+    let specs = fault::snapshot().specs();
+    assert_eq!(specs.len(), 1, "only the caller's plan survives");
+    assert_eq!(specs[0].0, "caller.site");
+    fault::disarm_all();
+}
+
+#[test]
 fn exhausted_watchdog_timeouts_fail_the_net_and_capture_an_artifact() {
     let dir = tmp_dir("watchdog-exhaust");
     let artifacts = dir.join("artifacts");
@@ -139,7 +172,7 @@ fn exhausted_watchdog_timeouts_fail_the_net_and_capture_an_artifact() {
     assert_eq!(row.status, RecordStatus::FailedTimeout);
     assert_eq!(row.attempts, 1);
     assert_eq!(row.hash, 0, "failures carry no outcome hash");
-    let text = std::fs::read_to_string(artifacts.join("net0.repro")).expect("artifact written");
+    let text = std::fs::read_to_string(artifacts.join("0-net0.repro")).expect("artifact written");
     let repro = parse_repro(&text).expect("artifact parses");
     assert_eq!(repro.cause, RecordStatus::FailedTimeout);
     assert_eq!(repro.watchdog_ms, Some(1_000));

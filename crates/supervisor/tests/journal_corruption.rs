@@ -8,7 +8,9 @@
 
 use std::path::PathBuf;
 
-use merlin_supervisor::{load_journal, JournalLoadError};
+use merlin_resilience::journal::{JournalRecord, RecordStatus};
+use merlin_resilience::ServingTier;
+use merlin_supervisor::{load_journal, JournalLoadError, JournalWriter};
 
 /// What a corruption case is expected to produce.
 enum Expect {
@@ -149,6 +151,46 @@ fn corruption_policy_table() {
         }
         let _ = std::fs::remove_file(&path);
     }
+}
+
+#[test]
+fn resume_after_a_torn_final_line_keeps_the_journal_loadable() {
+    // The torn fragment is tolerated at load time, but a resume must not
+    // append onto it: the merged line would no longer be final once more
+    // records follow, turning into a hard corruption error on the next
+    // load. append_to heals the tail first.
+    let path = tmp("torn then resume");
+    std::fs::write(
+        &path,
+        "#merlin-journal v1\n\
+         idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
+         idx=1 net=n1 tier=merlin attempts=2 status=ser",
+    )
+    .expect("write fixture");
+    let mut w = JournalWriter::append_to(&path).expect("reopen for resume");
+    w.append(&JournalRecord {
+        idx: 1,
+        net: "n1".to_owned(),
+        tier: ServingTier::Merlin,
+        attempts: 1,
+        status: RecordStatus::Served,
+        hash: 0xbb,
+    })
+    .expect("append after torn tail");
+    drop(w);
+    let loaded = load_journal(&path)
+        .expect("journal reloads cleanly after resume")
+        .expect("exists");
+    assert_eq!(loaded.records.len(), 2);
+    assert_eq!(
+        loaded.records[&1].attempts, 1,
+        "the fresh record, not the fragment"
+    );
+    assert!(
+        loaded.warnings.is_empty(),
+        "the fragment was truncated away"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

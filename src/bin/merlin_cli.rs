@@ -63,8 +63,9 @@ batch/resume flags (defaults in parentheses):
   --no-minimize        keep captured artifacts verbatim (minimize)
   --chaos SPEC         arm site:kind:nth[:stall_ms] fault injection on every
                        worker; repeatable (fault-inject builds only)
-  --crash-after N      abort the process after N journal commits (chaos
-                       testing; resume afterwards with `resume`)
+  --crash-after N      abort the process after N journal commits; 0 aborts
+                       before the first commit (chaos testing; resume
+                       afterwards with `resume`)
   --report PATH        write the deterministic batch report here (stdout)
 
 repro flags:
