@@ -2,7 +2,8 @@
 //!
 //! A dependency-free lint pass over the workspace's Rust sources enforcing
 //! the hygiene rules the DP hot-path crates (`core`, `curves`, `ptree`,
-//! `lttree`, `vanginneken`) must satisfy:
+//! `lttree`, `vanginneken`) — and `trace`, whose collector sits *inside*
+//! those hot paths — must satisfy:
 //!
 //! * [`no-unwrap`](RULE_NO_UNWRAP) — no `.unwrap()`; use `.expect("<why the
 //!   invariant holds>")` or real control flow,
@@ -69,13 +70,18 @@ pub const ALL_RULES: &[&str] = &[
 ];
 
 /// Workspace-relative path prefixes of the DP hot-path crates the rules
-/// apply to.
+/// apply to. `crates/trace/` is included deliberately: its RAII span
+/// guards run `Drop` code inside every instrumented hot loop, so it is
+/// held to the same no-unwrap/no-panic bar (the collector's fallible TLS
+/// accesses — `try_with`, `try_borrow_mut` — are the sanctioned pattern;
+/// a `Drop` that can panic would turn tracing into a crash amplifier).
 pub const DP_CRATE_PREFIXES: &[&str] = &[
     "crates/core/",
     "crates/curves/",
     "crates/ptree/",
     "crates/lttree/",
     "crates/vanginneken/",
+    "crates/trace/",
 ];
 
 /// One rule finding at a specific source line.
@@ -731,6 +737,28 @@ mod tests {
         let out = s.sanitize_line("fn f<'a>(c: char) -> bool { c == '\"' }");
         assert!(out.contains("'a"));
         assert!(!out.contains('"'));
+    }
+
+    #[test]
+    fn trace_crate_gets_full_hygiene() {
+        assert!(is_dp_crate_path("crates/trace/src/lib.rs"));
+        // The sanctioned collector pattern — fallible TLS access inside a
+        // Drop impl — is clean under every rule; a panicking Drop is not.
+        let ok = "impl Drop for SpanGuard {\n\
+                  \x20   fn drop(&mut self) {\n\
+                  \x20       let _ = COLLECTOR.try_with(|c| c.try_borrow_mut().ok().map(|_| ()));\n\
+                  \x20   }\n\
+                  }\n";
+        assert!(scan_source("crates/trace/src/lib.rs", ok).is_empty());
+        let bad = "impl Drop for SpanGuard {\n\
+                   \x20   fn drop(&mut self) {\n\
+                   \x20       COLLECTOR.with(|c| c.borrow_mut()).unwrap();\n\
+                   \x20   }\n\
+                   }\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/trace/src/lib.rs", bad)),
+            vec![RULE_NO_UNWRAP]
+        );
     }
 
     #[test]

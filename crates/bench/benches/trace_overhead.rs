@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks for the `merlin-trace` collector itself:
+//! the disabled fast path must be cheap enough to leave permanently
+//! compiled into the DP hot loops, and the enabled path must stay far
+//! below the cost of the curve operations it wraps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_disabled(c: &mut Criterion) {
+    merlin_trace::disable();
+    let _ = merlin_trace::drain();
+    c.bench_function("trace_disabled_counter", |b| {
+        b.iter(|| merlin_trace::counter("bench.counter", std::hint::black_box(1)))
+    });
+    c.bench_function("trace_disabled_span", |b| {
+        b.iter(|| {
+            let _g = merlin_trace::span!("bench.span");
+        })
+    });
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    merlin_trace::enable();
+    c.bench_function("trace_enabled_counter", |b| {
+        b.iter(|| merlin_trace::counter("bench.counter", std::hint::black_box(1)))
+    });
+    c.bench_function("trace_enabled_span", |b| {
+        b.iter(|| {
+            let _g = merlin_trace::span!("bench.span");
+        })
+    });
+    c.bench_function("trace_enabled_observe", |b| {
+        b.iter(|| merlin_trace::observe("bench.hist", std::hint::black_box(37)))
+    });
+    merlin_trace::disable();
+    let _ = merlin_trace::drain();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Perf baseline for the observability PR: micro-benchmarks with their
+//! trace counters, plus a fixed 50-net batch wall-clock figure.
+//!
+//! Each benchmark runs twice: once with the `merlin-trace` collector
+//! enabled (a single pass, to capture the workload's counters) and then
+//! `--iters` untraced passes whose median wall time is reported. The
+//! results are written as JSON, `{bench_name: {median_ns, counters}}`,
+//! so successive PRs can diff both speed and the amount of work done.
+//!
+//! ```text
+//! cargo run -p merlin-bench --release --bin baseline -- [--iters N] [--out FILE]
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use merlin_bench::arg_flag;
+use merlin_curves::{Curve, CurvePoint, ProvId};
+use merlin_flows::{flow1, flow3, FlowsConfig};
+use merlin_netlist::bench_nets::random_net;
+use merlin_supervisor::{run_batch, BatchConfig};
+use merlin_tech::Technology;
+
+/// One benchmark's result row.
+struct Row {
+    name: &'static str,
+    median_ns: u64,
+    counters: BTreeMap<String, u64>,
+}
+
+/// Runs `work` once traced (for counters) and `iters` times untraced
+/// (for the median), in that order so the traced pass also warms caches.
+fn bench(name: &'static str, iters: usize, mut work: impl FnMut()) -> Row {
+    merlin_trace::enable();
+    work();
+    let trace = merlin_trace::drain();
+    merlin_trace::disable();
+    let mut samples: Vec<u64> = (0..iters.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            work();
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    samples.sort_unstable();
+    Row {
+        name,
+        median_ns: samples[samples.len() / 2],
+        counters: trace
+            .counters
+            .into_iter()
+            .map(|(name, value)| (name.to_owned(), value))
+            .collect(),
+    }
+}
+
+/// A deterministic unpruned curve, same generator as the criterion
+/// micro-benches.
+fn synth_curve(n: u32, seed: u64) -> Curve {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut c = Curve::new();
+    for i in 0..n {
+        c.push(CurvePoint::new(
+            (next() % 4000) as u32,
+            (next() % 100_000) as f64 / 10.0,
+            next() % 40_000,
+            ProvId::new(i),
+        ));
+    }
+    c
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  \"{}\": {{\n    \"median_ns\": {},\n    \"counters\": {{",
+            row.name, row.median_ns
+        );
+        for (j, (name, value)) in row.counters.iter().enumerate() {
+            let sep = if j == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n      \"{name}\": {value}");
+        }
+        if !row.counters.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("}\n  }");
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let iters = arg_flag("--iters", 5) as usize;
+    let out_path = {
+        let mut args = std::env::args();
+        let mut path = "BENCH_pr4.json".to_owned();
+        while let Some(a) = args.next() {
+            if a == "--out" {
+                if let Some(v) = args.next() {
+                    path = v;
+                }
+            }
+        }
+        path
+    };
+
+    let tech = Technology::synthetic_035();
+    let mut rows = Vec::new();
+
+    rows.push(bench("curve_prune_2048", iters.max(50), || {
+        let mut curve = synth_curve(2048, 9);
+        curve.prune();
+        std::hint::black_box(curve.len());
+    }));
+
+    let net8 = random_net("bench8", 8, 1, &tech);
+    let cfg8 = FlowsConfig::for_net_size(net8.num_sinks());
+    rows.push(bench("flow1_8sink", iters, || {
+        std::hint::black_box(flow1::run(&net8, &tech, &cfg8).eval.buffer_area);
+    }));
+    rows.push(bench("flow3_6sink", iters, || {
+        let net = random_net("bench6", 6, 2, &tech);
+        let cfg = FlowsConfig::for_net_size(net.num_sinks());
+        std::hint::black_box(flow3::run(&net, &tech, &cfg).eval.buffer_area);
+    }));
+
+    // The fixed 50-net batch: the acceptance gate's wall-clock unit. One
+    // pass (median of 1 unless --batch-iters raises it) — it dominates
+    // runtime. Traced and timed passes are separate here because worker
+    // threads only report into the trace via `capture_trace`, which adds
+    // overhead the timing must exclude.
+    let batch_iters = arg_flag("--batch-iters", 1) as usize;
+    let run_batch50 = |capture_trace: bool| {
+        let nets: Vec<_> = (0..50)
+            .map(|i| random_net(&format!("b{i}"), 4, 100 + i, &tech))
+            .collect();
+        let journal = std::env::temp_dir().join(format!(
+            "merlin-bench-baseline-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&journal);
+        let cfg = BatchConfig {
+            artifacts_dir: None,
+            capture_trace,
+            ..BatchConfig::default()
+        };
+        let report = run_batch(nets, &tech, &cfg, &journal).expect("batch runs");
+        assert_eq!(report.lost(), 0, "baseline batch must not lose nets");
+        let _ = std::fs::remove_file(&journal);
+        report
+    };
+    let traced = run_batch50(true);
+    let _ = merlin_trace::drain();
+    let mut samples: Vec<u64> = (0..batch_iters.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            run_batch50(false);
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    samples.sort_unstable();
+    rows.push(Row {
+        name: "batch50_4sink",
+        median_ns: samples[samples.len() / 2],
+        counters: traced
+            .trace
+            .as_ref()
+            .map(|set| {
+                set.merged_counters()
+                    .into_iter()
+                    .map(|(name, value)| (name.to_owned(), value))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    });
+
+    let json = render_json(&rows);
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    for row in &rows {
+        println!(
+            "{:<18} median_ns={:<13} counters={}",
+            row.name,
+            row.median_ns,
+            row.counters.len()
+        );
+    }
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,225 @@
+//! Same-binary A/B/C harness for the cost of `Curve::prune`'s tracing
+//! dispatch: (A) a local copy of the uninstrumented pre-trace sweep,
+//! (B) the real `Curve::prune` with tracing disabled, and (C) a local
+//! copy with the exact is_enabled-to-cold-sweep dispatch shape. All
+//! three run interleaved in one process so machine drift and cross-build
+//! code-layout luck cancel out; B and C at parity with A is the evidence
+//! that disabled tracing is free in the hottest function. Cross-*binary*
+//! wall-clock comparisons of the same change swung ±3% with the default
+//! 16 codegen units, which is why the release profile pins
+//! `codegen-units = 1` (see the workspace Cargo.toml).
+use merlin_curves::{Curve, CurvePoint, ProvId};
+use merlin_tech::units::ps_cmp;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn synth_points(n: u32, seed: u64) -> Vec<CurvePoint> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|i| {
+            CurvePoint::new(
+                (next() % 4000) as u32,
+                (next() % 100_000) as f64 / 10.0,
+                next() % 40_000,
+                ProvId::new(i),
+            )
+        })
+        .collect()
+}
+
+/// Byte-for-byte copy of the pre-PR `Curve::prune` body (minus the fault
+/// trip, which compiles to nothing without the feature).
+#[inline(never)]
+fn baseline_prune(pts: &mut Vec<CurvePoint>) {
+    if pts.len() <= 1 {
+        return;
+    }
+    pts.sort_unstable_by(|a, b| {
+        a.load
+            .cmp(&b.load)
+            .then(a.area.cmp(&b.area))
+            .then(ps_cmp(b.req, a.req))
+    });
+    let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut out = Vec::with_capacity(pts.len());
+    for p in pts.drain(..) {
+        let dominated = stair
+            .range(..=p.area)
+            .next_back()
+            .is_some_and(|(_, &r)| r >= p.req);
+        if dominated {
+            continue;
+        }
+        let stale: Vec<u64> = stair
+            .range(p.area..)
+            .take_while(|(_, &r)| r <= p.req)
+            .map(|(&a, _)| a)
+            .collect();
+        for a in stale {
+            stair.remove(&a);
+        }
+        stair.insert(p.area, p.req);
+        out.push(p);
+    }
+    *pts = out;
+}
+
+/// Variant C: baseline code plus the exact dispatch shape the real
+/// `Curve::prune` uses — is_enabled branch to a cold traced copy.
+#[inline(never)]
+fn baseline_prune_dispatch(pts: &mut Vec<CurvePoint>) {
+    if pts.len() <= 1 {
+        return;
+    }
+    pts.sort_unstable_by(|a, b| {
+        a.load
+            .cmp(&b.load)
+            .then(a.area.cmp(&b.area))
+            .then(ps_cmp(b.req, a.req))
+    });
+    if merlin_trace::is_enabled() {
+        sweep_traced_copy(pts);
+        return;
+    }
+    let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut out = Vec::with_capacity(pts.len());
+    for p in pts.drain(..) {
+        let dominated = stair
+            .range(..=p.area)
+            .next_back()
+            .is_some_and(|(_, &r)| r >= p.req);
+        if dominated {
+            continue;
+        }
+        let stale: Vec<u64> = stair
+            .range(p.area..)
+            .take_while(|(_, &r)| r <= p.req)
+            .map(|(&a, _)| a)
+            .collect();
+        for a in stale {
+            stair.remove(&a);
+        }
+        stair.insert(p.area, p.req);
+        out.push(p);
+    }
+    *pts = out;
+}
+
+#[cold]
+#[inline(never)]
+fn sweep_traced_copy(pts: &mut Vec<CurvePoint>) {
+    let before = pts.len();
+    let mut killed_duplicate = 0u64;
+    let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut out = Vec::with_capacity(pts.len());
+    for p in pts.drain(..) {
+        if let Some((&area, &req)) = stair.range(..=p.area).next_back() {
+            if req >= p.req {
+                if area == p.area && req.to_bits() == p.req.to_bits() {
+                    killed_duplicate += 1;
+                }
+                continue;
+            }
+        }
+        let stale: Vec<u64> = stair
+            .range(p.area..)
+            .take_while(|(_, &r)| r <= p.req)
+            .map(|(&a, _)| a)
+            .collect();
+        for a in stale {
+            stair.remove(&a);
+        }
+        stair.insert(p.area, p.req);
+        out.push(p);
+    }
+    let killed = (before - out.len()) as u64;
+    merlin_trace::counter("curves.prune.calls", 1);
+    merlin_trace::counter("curves.pruned", killed);
+    merlin_trace::counter("curves.prune.kill.duplicate", killed_duplicate);
+    *pts = out;
+}
+
+fn median(v: &mut [f64]) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v[v.len() / 2]
+}
+
+fn main() {
+    // A pool of curve sizes matching what the DP actually prunes: mostly
+    // small with some big ones.
+    let sizes: Vec<u32> = vec![8, 16, 24, 32, 48, 64, 96, 128, 256, 2048];
+    let pool: Vec<Vec<CurvePoint>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| synth_points(n, 7 + i as u64))
+        .collect();
+    let curve_pool: Vec<Curve> = pool
+        .iter()
+        .map(|pts| {
+            let mut c = Curve::new();
+            for p in pts {
+                c.push(*p);
+            }
+            c
+        })
+        .collect();
+
+    let batch = 200usize;
+    let rounds = 60usize;
+    let mut a_ns: Vec<f64> = Vec::new(); // baseline copy
+    let mut b_ns: Vec<f64> = Vec::new(); // real Curve::prune, disabled
+    let mut c_ns: Vec<f64> = Vec::new(); // baseline copy + dispatch shape
+
+    let mut sink = 0usize;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..batch {
+            for pts in &pool {
+                let mut v = pts.clone();
+                baseline_prune(&mut v);
+                sink += v.len();
+            }
+        }
+        a_ns.push(t.elapsed().as_nanos() as f64);
+
+        let t = Instant::now();
+        for _ in 0..batch {
+            for c in &curve_pool {
+                let mut c = c.clone();
+                c.prune();
+                sink += c.len();
+            }
+        }
+        b_ns.push(t.elapsed().as_nanos() as f64);
+
+        let t = Instant::now();
+        for _ in 0..batch {
+            for pts in &pool {
+                let mut v = pts.clone();
+                baseline_prune_dispatch(&mut v);
+                sink += v.len();
+            }
+        }
+        c_ns.push(t.elapsed().as_nanos() as f64);
+    }
+    let (am, bm, cm) = (median(&mut a_ns), median(&mut b_ns), median(&mut c_ns));
+    let (amin, bmin, cmin) = (a_ns[0], b_ns[0], c_ns[0]);
+    println!("A plain copy      median {am:.0} ns  min {amin:.0} ns");
+    println!(
+        "B real prune      median {bm:.0} ns ({:+.2}%)  min {bmin:.0} ns ({:+.2}%)",
+        (bm / am - 1.0) * 100.0,
+        (bmin / amin - 1.0) * 100.0
+    );
+    println!(
+        "C copy + dispatch median {cm:.0} ns ({:+.2}%)  min {cmin:.0} ns ({:+.2}%)",
+        (cm / am - 1.0) * 100.0,
+        (cmin / amin - 1.0) * 100.0
+    );
+    println!("(sink {sink})");
+}

@@ -10,10 +10,13 @@
 //! | `scaling` | Theorems 2/5/6 — runtime/memory scaling (E4) |
 //! | `ablation` | candidate-set / initial-order / bubbling ablations (E5, E7) |
 //! | `convergence` | Theorem 7 / loop counts (E6) |
+//! | `baseline` | perf baseline: median wall times + trace counters (`BENCH_pr4.json`) |
+//! | `prune_ab` | same-binary A/B/C: `Curve::prune` tracing-dispatch cost isolation |
 //!
 //! Criterion micro-benchmarks (`cargo bench -p merlin-bench`) cover the
-//! curve operators, `PTREE`, `BUBBLE_CONSTRUCT` and the full flows on
-//! small fixed instances.
+//! curve operators, `PTREE`, `BUBBLE_CONSTRUCT`, the full flows on
+//! small fixed instances, and the `merlin-trace` collector overhead.
+//! `scripts/bench.sh` drives the `baseline` binary.
 
 use std::time::Instant;
 

@@ -36,6 +36,11 @@ pub struct BubbleConstruct<'a> {
 }
 
 /// Diagnostics of one `BUBBLE_CONSTRUCT` run (scaling experiments E4).
+///
+/// This struct is a thin *view*: the tallies are read once from the DP
+/// engine's own state (Γ, the `*PTREE` cache, the provenance arena) and
+/// [`ConstructStats::emit`] republishes the same numbers as `merlin-trace`
+/// counters, so the struct and the trace can never disagree.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ConstructStats {
     /// Candidate-location count `k`.
@@ -50,6 +55,24 @@ pub struct ConstructStats {
     pub cache_misses: u64,
     /// Provenance steps allocated.
     pub arena_steps: usize,
+}
+
+impl ConstructStats {
+    /// Publish the tallies as trace counters (`core.candidates`,
+    /// `core.gamma.groups`, `core.gamma.points`, `core.cache.hit`,
+    /// `core.cache.miss`, `curves.arena.steps`). No-op when tracing is
+    /// disabled. Counters saturate, so repeated runs simply accumulate.
+    pub fn emit(&self) {
+        if !merlin_trace::is_enabled() {
+            return;
+        }
+        merlin_trace::counter("core.candidates", self.candidates as u64);
+        merlin_trace::counter("core.gamma.groups", self.gamma_groups as u64);
+        merlin_trace::counter("core.gamma.points", self.gamma_points as u64);
+        merlin_trace::counter("core.cache.hit", self.cache_hits);
+        merlin_trace::counter("core.cache.miss", self.cache_misses);
+        merlin_trace::counter("curves.arena.steps", self.arena_steps as u64);
+    }
 }
 
 /// Result of `BUBBLE_CONSTRUCT`: the final solution curve plus everything
@@ -175,26 +198,40 @@ impl<'a> BubbleConstruct<'a> {
         let mut gamma = Gamma::new();
         let mut cache = StarCache::new();
         let mut arena: ProvArena<Step> = ProvArena::new();
+        let _construct_span = merlin_trace::span!("core.construct", n);
+        let traced = merlin_trace::is_enabled();
+        // Cα-tree level sizes: points added to Γ at each level L, observed
+        // as the running total's delta (trace only).
+        let mut prev_gamma_points = 0usize;
 
         // INITIALIZATION (lines 1–4): length-1 groups for every window
         // placement and shape. All shapes share the same curve content
         // (the covered sink differs by window geometry, not by shape).
-        for shape in shapes {
-            for r in 0..n {
-                if let Some(w) = Window::place(r, 1, *shape, n) {
-                    let pos = w.covered_positions()[0];
-                    let seq = [Child::Sink(order.sink_at(pos))];
-                    let fam = range_curves(&ctx, &seq, &gamma, &mut cache, &mut arena);
-                    let work: u64 = fam.iter().map(|c| c.len() as u64).sum();
-                    budget.charge(work + 1)?;
-                    gamma.insert(1, shape.index(), r as u16, fam);
+        {
+            let _level_span = merlin_trace::span!("core.construct.level", 1usize);
+            for shape in shapes {
+                for r in 0..n {
+                    if let Some(w) = Window::place(r, 1, *shape, n) {
+                        let pos = w.covered_positions()[0];
+                        let seq = [Child::Sink(order.sink_at(pos))];
+                        let fam = range_curves(&ctx, &seq, &gamma, &mut cache, &mut arena);
+                        let work: u64 = fam.iter().map(|c| c.len() as u64).sum();
+                        budget.charge(work + 1)?;
+                        gamma.insert(1, shape.index(), r as u16, fam);
+                    }
                 }
+                budget.check()?;
             }
-            budget.check()?;
+        }
+        if traced {
+            let total = gamma.total_points();
+            merlin_trace::observe("core.level.points", (total - prev_gamma_points) as u64);
+            prev_gamma_points = total;
         }
 
         // CONSTRUCTION (lines 5–20).
         for big_l in 2usize..=n {
+            let _level_span = merlin_trace::span!("core.construct.level", big_l);
             let l_min = big_l.saturating_sub(cfg.alpha - 1).max(1);
             for big_e in shapes {
                 for big_r in 0..n {
@@ -289,6 +326,11 @@ impl<'a> BubbleConstruct<'a> {
                 }
             }
             budget.check()?;
+            if traced {
+                let total = gamma.total_points();
+                merlin_trace::observe("core.level.points", (total - prev_gamma_points) as u64);
+                prev_gamma_points = total;
+            }
         }
 
         // EXTRACTION preparation (line 21): the whole-problem curve at the
@@ -344,6 +386,7 @@ impl<'a> BubbleConstruct<'a> {
             cache_misses: cache.stats().1,
             arena_steps: arena.len(),
         };
+        stats.emit();
         Ok(ConstructResult {
             curve,
             candidates,

@@ -131,8 +131,11 @@ impl<'a> Merlin<'a> {
         let mut cost_trace = Vec::new();
         let mut best: Option<(f64, CurvePoint, ConstructResult, SinkOrder)> = None;
         let mut budget_hit = false;
+        let _merlin_span = merlin_trace::span!("core.merlin");
         loop {
+            let _iter_span = merlin_trace::span!("core.merlin.iter", loops + 1);
             loops += 1;
+            merlin_trace::counter("core.merlin.iterations", 1);
             if merlin_curves::fault::trip("core.merlin.loop") {
                 return Err(SolverError::EmptyCurve {
                     context: format!("injected empty result in MERLIN loop on net `{}`", net.name),
@@ -166,7 +169,10 @@ impl<'a> Merlin<'a> {
             let tree_order = SinkOrder::new(run.extract(&point).sink_order()).expect("permutation");
             let improved = best.as_ref().is_none_or(|(c, ..)| cost > *c + 1e-9);
             if improved {
+                merlin_trace::counter("core.merlin.accepted", 1);
                 best = Some((cost, point, run, tree_order.clone()));
+            } else {
+                merlin_trace::counter("core.merlin.rejected", 1);
             }
             if loops >= self.config.max_loops || tree_order == pi || !improved {
                 break;

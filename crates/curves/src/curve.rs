@@ -137,10 +137,29 @@ impl Curve {
                 .then(a.area.cmp(&b.area))
                 .then(ps_cmp(b.req, a.req))
         });
-        // Staircase over already-accepted points: area -> req, with req
-        // strictly increasing in area. The last entry with area <= A holds
-        // the best req among accepted points with area <= A (and, because we
-        // sweep in load order, load <= current load).
+        // The instrumented sweep is a physically separate copy of the loop
+        // (not a `traced` flag threaded through the hot one): prune is the
+        // hottest function in the workspace, and keeping even a
+        // perfectly-predicted per-point branch plus the tally locals out
+        // of the untraced path is what keeps disabled tracing free.
+        if merlin_trace::is_enabled() {
+            self.prune_sweep_traced();
+        } else {
+            self.prune_sweep();
+        }
+        self.debug_check_noninferior("prune");
+    }
+
+    /// The Definition-6 staircase sweep: area -> req over already-accepted
+    /// points, with req strictly increasing in area. The last entry with
+    /// area <= A holds the best req among accepted points with area <= A
+    /// (and, because we sweep in load order, load <= current load).
+    ///
+    /// `inline(always)`: this is `prune`'s untraced hot path — measured
+    /// against the uninstrumented code, letting the two-callee dispatch
+    /// demote this call to an outlined one costs ~3% end-to-end.
+    #[inline(always)]
+    fn prune_sweep(&mut self) {
         let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
         let mut out = Vec::with_capacity(self.pts.len());
         for p in self.pts.drain(..) {
@@ -163,7 +182,50 @@ impl Curve {
             out.push(p);
         }
         self.pts = out;
-        self.debug_check_noninferior("prune");
+    }
+
+    /// [`Curve::prune_sweep`] plus the `curves.prune.*` trace counters and
+    /// the Definition-6 kill taxonomy: a killer staircase corner with the
+    /// identical (area, bit-identical req) means the point is a duplicate
+    /// of one already kept; anything else is genuine domination.
+    #[cold]
+    #[inline(never)]
+    fn prune_sweep_traced(&mut self) {
+        let before = self.pts.len();
+        let mut killed_duplicate = 0u64;
+        let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut out = Vec::with_capacity(self.pts.len());
+        for p in self.pts.drain(..) {
+            if let Some((&area, &req)) = stair.range(..=p.area).next_back() {
+                if req >= p.req {
+                    if area == p.area && req.to_bits() == p.req.to_bits() {
+                        killed_duplicate += 1;
+                    }
+                    continue;
+                }
+            }
+            let stale: Vec<u64> = stair
+                .range(p.area..)
+                .take_while(|(_, &r)| r <= p.req)
+                .map(|(&a, _)| a)
+                .collect();
+            for a in stale {
+                stair.remove(&a);
+            }
+            stair.insert(p.area, p.req);
+            out.push(p);
+        }
+        let killed = (before - out.len()) as u64;
+        merlin_trace::counter("curves.prune.calls", 1);
+        merlin_trace::counter("curves.prune.in", before as u64);
+        merlin_trace::counter("curves.pruned", killed);
+        merlin_trace::counter("curves.prune.kill.duplicate", killed_duplicate);
+        merlin_trace::counter(
+            "curves.prune.kill.dominated",
+            killed.saturating_sub(killed_duplicate),
+        );
+        merlin_trace::observe("curves.prune.size", out.len() as u64);
+        self.pts = out;
     }
 
     /// Verifies the post-[`Curve::prune`] contract: no NaN required time,

@@ -46,6 +46,7 @@ pub fn try_run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> Result<FlowRe
     }
     net.validate()
         .map_err(|e| SolverError::invalid_net(&net.name, e))?;
+    let _span = merlin_trace::span!("flows.flow1");
     let start = Instant::now();
     let pairs: Vec<(Cap, f64)> = net.sinks.iter().map(|s| (s.load, s.req_ps)).collect();
     let solved = LtTree::new(tech, cfg.lt).solve(&pairs, &net.driver);

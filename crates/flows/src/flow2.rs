@@ -41,6 +41,7 @@ pub fn try_run(net: &Net, tech: &Technology, cfg: &FlowsConfig) -> Result<FlowRe
     }
     net.validate()
         .map_err(|e| SolverError::invalid_net(&net.name, e))?;
+    let _span = merlin_trace::span!("flows.flow2");
     let start = Instant::now();
     let order = tsp_order(net.source, &net.sink_positions());
     let cands = cfg

@@ -51,6 +51,7 @@ pub fn try_run_budgeted(
     }
     net.validate()
         .map_err(|e| SolverError::invalid_net(&net.name, e))?;
+    let _span = merlin_trace::span!("flows.flow3");
     let start = Instant::now();
     let outcome = Merlin::new(tech, cfg.merlin).optimize_budgeted(net, budget)?;
     let eval = outcome

@@ -8,6 +8,11 @@ use merlin_tech::Technology;
 use crate::{flow1, flow2, flow3, resilient, FlowsConfig};
 
 /// One flow's figures for a net.
+///
+/// A thin *view* over a [`crate::FlowResult`]: the harness reads each
+/// figure once and [`Metrics::emit`] republishes the same numbers as
+/// `merlin-trace` counters/histograms, so the table columns and the trace
+/// cannot drift apart.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Metrics {
     /// Total buffer area in λ² (the paper reports ×1000 λ²).
@@ -17,6 +22,43 @@ pub struct Metrics {
     pub delay_ps: f64,
     /// Wall-clock runtime in seconds.
     pub runtime_s: f64,
+}
+
+impl Metrics {
+    /// Publish this column as trace events under the given flow column
+    /// (1–3): a `flows.flowN.runs` / `flows.flowN.area` counter pair plus
+    /// `flows.flowN.us` (runtime, µs) and `flows.flowN.delay_ps`
+    /// histograms. No-op when tracing is disabled or `flow` is not 1–3.
+    pub fn emit(&self, flow: u8) {
+        if !merlin_trace::is_enabled() {
+            return;
+        }
+        let (runs, area, us, delay) = match flow {
+            1 => (
+                "flows.flow1.runs",
+                "flows.flow1.area",
+                "flows.flow1.us",
+                "flows.flow1.delay_ps",
+            ),
+            2 => (
+                "flows.flow2.runs",
+                "flows.flow2.area",
+                "flows.flow2.us",
+                "flows.flow2.delay_ps",
+            ),
+            3 => (
+                "flows.flow3.runs",
+                "flows.flow3.area",
+                "flows.flow3.us",
+                "flows.flow3.delay_ps",
+            ),
+            _ => return,
+        };
+        merlin_trace::counter(runs, 1);
+        merlin_trace::counter(area, self.buffer_area);
+        merlin_trace::observe(us, (self.runtime_s * 1e6).max(0.0) as u64);
+        merlin_trace::observe(delay, self.delay_ps.max(0.0) as u64);
+    }
 }
 
 /// A Table 1 row.
@@ -58,12 +100,14 @@ impl NetRow {
     }
 }
 
-fn metrics(res: &crate::FlowResult) -> Metrics {
-    Metrics {
+fn metrics(flow: u8, res: &crate::FlowResult) -> Metrics {
+    let m = Metrics {
         buffer_area: res.eval.buffer_area,
         delay_ps: res.eval.delay_ps,
         runtime_s: res.runtime_s,
-    }
+    };
+    m.emit(flow);
+    m
 }
 
 /// Runs the three flows on one net.
@@ -78,9 +122,9 @@ pub fn run_net(net: &Net, circuit: &str, tech: &Technology, cfg: &FlowsConfig) -
         circuit: circuit.to_owned(),
         name: net.name.clone(),
         sinks: net.num_sinks(),
-        flow1: metrics(&f1),
-        flow2: metrics(&f2),
-        flow3: metrics(&f3),
+        flow1: metrics(1, &f1),
+        flow2: metrics(2, &f2),
+        flow3: metrics(3, &f3),
         loops: f3.loops,
         tier: ServingTier::Merlin,
         attempts: 1,
@@ -109,9 +153,9 @@ pub fn run_net_resilient(
         circuit: circuit.to_owned(),
         name: net.name.clone(),
         sinks: net.num_sinks(),
-        flow1: metrics(&f1),
-        flow2: metrics(&f2),
-        flow3: metrics(&out.result),
+        flow1: metrics(1, &f1),
+        flow2: metrics(2, &f2),
+        flow3: metrics(3, &out.result),
         loops: out.result.loops,
         tier: out.report.served,
         attempts: out.report.attempts.len() + 1,

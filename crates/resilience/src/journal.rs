@@ -12,9 +12,9 @@
 //! [`JournalRecord`] per line in strict `key=value` field order:
 //!
 //! ```text
-//! #merlin-journal v1
-//! idx=0 net=net1 tier=merlin attempts=1 status=served hash=7bd3c41fa90c21d5
-//! idx=1 net=net2 tier=direct attempts=3 status=failed-degraded hash=0000000000000000
+//! #merlin-journal v2
+//! idx=0 net=net1 tier=merlin attempts=1 timeouts=0 status=served hash=7bd3c41fa90c21d5
+//! idx=1 net=net2 tier=direct attempts=3 timeouts=1 status=failed-degraded hash=0000000000000000
 //! ```
 //!
 //! `hash` is a deterministic FNV-1a digest of the served solution's
@@ -28,7 +28,7 @@ use crate::report::ServingTier;
 
 /// First line of every journal file; the version suffix is bumped on any
 /// incompatible format change, and readers must refuse unknown versions.
-pub const JOURNAL_HEADER: &str = "#merlin-journal v1";
+pub const JOURNAL_HEADER: &str = "#merlin-journal v2";
 
 /// Terminal status of a net in the journal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +88,9 @@ pub struct JournalRecord {
     pub tier: ServingTier,
     /// Solve attempts consumed (>= 1).
     pub attempts: u32,
+    /// Attempts lost to the watchdog (wall-clock stalls) among
+    /// `attempts`; lets the batch report break retries down by cause.
+    pub timeouts: u32,
     /// Terminal status.
     pub status: RecordStatus,
     /// [`outcome_hash`] of the served solution (0 for failures).
@@ -132,11 +135,12 @@ impl JournalRecord {
             .map(|c| if c.is_whitespace() { '_' } else { c })
             .collect();
         format!(
-            "idx={} net={} tier={} attempts={} status={} hash={:016x}",
+            "idx={} net={} tier={} attempts={} timeouts={} status={} hash={:016x}",
             self.idx,
             net,
             self.tier.label(),
             self.attempts,
+            self.timeouts,
             self.status.label(),
             self.hash
         )
@@ -166,6 +170,12 @@ impl JournalRecord {
                 .map_err(|_| RecordDecodeError {
                     reason: "malformed attempts".to_owned(),
                 })?;
+        let timeouts =
+            field(&mut it, "timeouts")?
+                .parse::<u32>()
+                .map_err(|_| RecordDecodeError {
+                    reason: "malformed timeouts".to_owned(),
+                })?;
         let status_tok = field(&mut it, "status")?;
         let status = RecordStatus::parse(status_tok).ok_or_else(|| RecordDecodeError {
             reason: format!("unknown status `{status_tok}`"),
@@ -191,6 +201,7 @@ impl JournalRecord {
             net,
             tier,
             attempts,
+            timeouts,
             status,
             hash,
         })
@@ -244,6 +255,7 @@ mod tests {
             net: "net17".to_owned(),
             tier: ServingTier::PtreeVanGinneken,
             attempts: 2,
+            timeouts: 1,
             status: RecordStatus::Served,
             hash: 0xdeadbeefcafef00d,
         }

@@ -69,6 +69,7 @@ pub fn run_ladder<T>(
         };
         remaining_weight -= weight;
         if let Err(e) = budget.check() {
+            merlin_trace::counter("resilience.ladder.transitions", 1);
             attempts.push(TierAttempt {
                 tier: tier.tier,
                 error: e.into(),
@@ -79,11 +80,18 @@ pub fn run_ladder<T>(
         let slice = budget.slice(fraction);
         let started = Instant::now();
         let run = tier.run;
+        let tier_span = merlin_trace::span!("resilience.tier", tier.tier as u64);
         let outcome = isolate(tier.tier.label(), || run(&slice));
+        drop(tier_span);
+        if merlin_trace::is_enabled() {
+            // Budget-slice consumption: work units this rung actually spent.
+            merlin_trace::observe("resilience.slice.work", slice.work_used());
+        }
         budget.absorb(&slice);
         let elapsed_s = started.elapsed().as_secs_f64();
         match outcome.and_then(|value| audit(&value).map(|()| value)) {
             Ok(value) => {
+                merlin_trace::counter("resilience.tier.served", 1);
                 let budget_hit = attempts.iter().any(|a| a.error.is_budget());
                 return (
                     value,
@@ -96,14 +104,19 @@ pub fn run_ladder<T>(
                     },
                 );
             }
-            Err(error) => attempts.push(TierAttempt {
-                tier: tier.tier,
-                error,
-                elapsed_s,
-            }),
+            Err(error) => {
+                // Falling through to the next rung is a ladder transition.
+                merlin_trace::counter("resilience.ladder.transitions", 1);
+                attempts.push(TierAttempt {
+                    tier: tier.tier,
+                    error,
+                    elapsed_s,
+                });
+            }
         }
     }
     let started = Instant::now();
+    merlin_trace::counter("resilience.ladder.fallback", 1);
     let value = fallback();
     let budget_hit = attempts.iter().any(|a| a.error.is_budget());
     (

@@ -91,6 +91,12 @@ pub struct BatchConfig {
     /// exactly N records from this run. `Some(0)` aborts right after the
     /// journal is opened, before any commit.
     pub crash_after: Option<usize>,
+    /// Capture per-thread trace streams: the supervising thread and every
+    /// worker enable the `merlin-trace` collector, each net solves inside
+    /// a `supervisor.net` span, and the drained streams are merged by
+    /// worker id into [`BatchReport::trace`]. Off by default (the
+    /// collector's disabled fast path is a single thread-local load).
+    pub capture_trace: bool,
 }
 
 impl Default for BatchConfig {
@@ -107,6 +113,7 @@ impl Default for BatchConfig {
             minimize: true,
             fault: FaultConfig::none(),
             crash_after: None,
+            capture_trace: false,
         }
     }
 }
@@ -198,6 +205,7 @@ struct Shared {
     work_limit: Option<u64>,
     retry: RetryPolicy,
     fault: FaultConfig,
+    capture_trace: bool,
     sched: Mutex<Sched>,
     ready: Condvar,
 }
@@ -212,6 +220,12 @@ enum Event {
     },
     /// The watchdog abandoned an attempt (and its worker).
     TimedOut { idx: usize, attempt: u32 },
+    /// A worker's drained trace stream, sent once at worker exit when
+    /// [`BatchConfig::capture_trace`] is on.
+    TraceDump {
+        worker: usize,
+        trace: merlin_trace::Trace,
+    },
 }
 
 /// Poison-tolerant lock: a worker panicking mid-solve never holds this
@@ -265,13 +279,19 @@ fn next_job(shared: &Shared, worker_id: usize) -> Option<(usize, u32, u64)> {
 /// shutdown (or until the watchdog abandons this worker).
 fn worker_loop(shared: Arc<Shared>, tx: mpsc::Sender<Event>, worker_id: usize) {
     fault::seed_thread(&shared.fault);
+    if shared.capture_trace {
+        merlin_trace::enable();
+    }
     while let Some((idx, attempt, gen)) = next_job(&shared, worker_id) {
         let net = &shared.nets[idx];
         let params = shared.retry.params(attempt);
         let budget =
             artifact::attempt_budget(shared.budget_ms, shared.work_limit, params.budget_scale);
         let cfg = FlowsConfig::for_net_size(net.num_sinks());
+        let net_span = merlin_trace::span!("supervisor.net", idx);
         let out = resilient_solve_attempt(net, &shared.tech, &cfg, &budget, &params);
+        drop(net_span);
+        merlin_trace::counter("supervisor.attempts", 1);
         let tier = out.report.served;
         let eval = &out.result.eval;
         let hash = outcome_hash(
@@ -282,26 +302,37 @@ fn worker_loop(shared: Arc<Shared>, tx: mpsc::Sender<Event>, worker_id: usize) {
             eval.wirelength,
             eval.delay_ps,
         );
-        {
+        let abandoned = {
             let mut s = lock(&shared.sched);
             if s.dead_gens.remove(&gen) {
                 // The watchdog abandoned this attempt and a replacement
                 // worker owns our slot: drop the stale result and exit.
-                return;
+                true
+            } else {
+                s.inflight.remove(&idx);
+                false
             }
-            s.inflight.remove(&idx);
-        }
-        if tx
-            .send(Event::Done {
-                idx,
-                attempt,
-                tier,
-                hash,
-            })
-            .is_err()
+        };
+        if abandoned
+            || tx
+                .send(Event::Done {
+                    idx,
+                    attempt,
+                    tier,
+                    hash,
+                })
+                .is_err()
         {
-            return;
+            break;
         }
+    }
+    if shared.capture_trace {
+        // The dump rides the same channel as solve events; the supervisor
+        // drains it after joining the pool.
+        let _ = tx.send(Event::TraceDump {
+            worker: worker_id,
+            trace: merlin_trace::drain(),
+        });
     }
 }
 
@@ -442,6 +473,10 @@ pub fn run_batch(
     journal_path: &Path,
 ) -> Result<BatchReport, BatchError> {
     let start = Instant::now();
+    if cfg.capture_trace {
+        merlin_trace::enable();
+    }
+    let batch_span = merlin_trace::span!("supervisor.batch");
     let total = nets.len();
     let (mut writer, mut terminal, mut warnings) = open_journal(&nets, journal_path)?;
     if cfg.crash_after == Some(0) {
@@ -455,6 +490,10 @@ pub fn run_batch(
         .collect();
     let mut pending = pending_idxs.len();
     if pending == 0 {
+        drop(batch_span);
+        let trace = cfg
+            .capture_trace
+            .then(|| merlin_trace::TraceSet::single("supervisor", merlin_trace::drain()));
         return Ok(BatchReport {
             rows: terminal.into_values().collect(),
             expected: total,
@@ -462,6 +501,7 @@ pub fn run_batch(
             solved: 0,
             warnings,
             wall_s: start.elapsed().as_secs_f64(),
+            trace,
         });
     }
 
@@ -480,6 +520,7 @@ pub fn run_batch(
         work_limit: cfg.work_limit,
         retry: cfg.retry,
         fault: cfg.fault.clone(),
+        capture_trace: cfg.capture_trace,
         sched: Mutex::new(Sched {
             queue,
             inflight: HashMap::new(),
@@ -545,10 +586,16 @@ pub fn run_batch(
                 rec.idx
             ));
         }
+        merlin_trace::counter("supervisor.journal.commit", 1);
         terminal.insert(rec.idx, rec);
         commits += 1;
         commits
     };
+
+    // Watchdog fires per net index this run, folded into the journal v2
+    // `timeouts` field of the net's terminal record.
+    let mut timeout_counts: HashMap<usize, u32> = HashMap::new();
+    let mut trace_dumps: Vec<(usize, merlin_trace::Trace)> = Vec::new();
 
     while pending > 0 {
         let event = match rx.recv_timeout(EVENT_TIMEOUT) {
@@ -574,6 +621,7 @@ pub fn run_batch(
                         net: sanitize_name(&shared.nets[idx].name),
                         tier,
                         attempts: attempt + 1,
+                        timeouts: timeout_counts.get(&idx).copied().unwrap_or(0),
                         status: RecordStatus::Served,
                         hash,
                     });
@@ -592,23 +640,31 @@ pub fn run_batch(
                         net: sanitize_name(&shared.nets[idx].name),
                         tier,
                         attempts: attempt + 1,
+                        timeouts: timeout_counts.get(&idx).copied().unwrap_or(0),
                         status: RecordStatus::FailedDegraded,
                         hash: 0,
                     });
                 }
                 if terminal_record.is_none() {
+                    merlin_trace::counter("supervisor.retry", 1);
+                    merlin_trace::counter("supervisor.retry.degraded", 1);
                     let next = attempt + 1;
+                    let backoff = cfg.retry.backoff(next);
+                    merlin_trace::counter("supervisor.backoff.ms", backoff.as_millis() as u64);
                     let mut s = lock(&shared.sched);
                     s.queue.push_back(QueueItem {
                         idx,
                         attempt: next,
-                        available_at: Instant::now() + cfg.retry.backoff(next),
+                        available_at: Instant::now() + backoff,
                     });
                     drop(s);
                     shared.ready.notify_all();
                 }
             }
             Event::TimedOut { idx, attempt } => {
+                merlin_trace::counter("supervisor.watchdog.fire", 1);
+                let fired = timeout_counts.entry(idx).or_insert(0);
+                *fired = fired.saturating_add(1);
                 if cfg.retry.is_final(attempt) {
                     capture_failure(
                         cfg,
@@ -624,16 +680,21 @@ pub fn run_batch(
                         net: sanitize_name(&shared.nets[idx].name),
                         tier: ServingTier::DirectRoute,
                         attempts: attempt + 1,
+                        timeouts: timeout_counts.get(&idx).copied().unwrap_or(0),
                         status: RecordStatus::FailedTimeout,
                         hash: 0,
                     });
                 } else {
+                    merlin_trace::counter("supervisor.retry", 1);
+                    merlin_trace::counter("supervisor.retry.timeout", 1);
                     let next = attempt + 1;
+                    let backoff = cfg.retry.backoff(next);
+                    merlin_trace::counter("supervisor.backoff.ms", backoff.as_millis() as u64);
                     let mut s = lock(&shared.sched);
                     s.queue.push_back(QueueItem {
                         idx,
                         attempt: next,
-                        available_at: Instant::now() + cfg.retry.backoff(next),
+                        available_at: Instant::now() + backoff,
                     });
                     drop(s);
                     shared.ready.notify_all();
@@ -641,6 +702,11 @@ pub fn run_batch(
                 // The abandoned worker still occupies its thread (stalled
                 // mid-solve); restore pool capacity with a fresh worker.
                 spawn_worker(&mut handles);
+            }
+            Event::TraceDump { worker, trace } => {
+                // Workers dump at exit; anything arriving mid-loop (a
+                // worker that lost its channel) is kept for the merge.
+                trace_dumps.push((worker, trace));
             }
         }
         if let Some(rec) = terminal_record {
@@ -685,6 +751,25 @@ pub fn run_batch(
         }
     }
 
+    // Merge trace streams by worker id: the supervising thread is stream 0,
+    // worker `w` is stream `w + 1`. Joined workers have already queued
+    // their dumps on the event channel; abandoned (stalled) workers never
+    // dump, so their streams are simply absent.
+    drop(batch_span);
+    let trace = cfg.capture_trace.then(|| {
+        for event in rx.try_iter() {
+            if let Event::TraceDump { worker, trace } = event {
+                trace_dumps.push((worker, trace));
+            }
+        }
+        trace_dumps.sort_by_key(|&(worker, _)| worker);
+        let mut set = merlin_trace::TraceSet::single("supervisor", merlin_trace::drain());
+        for (worker, dump) in trace_dumps {
+            set.push(worker as u32 + 1, &format!("worker-{worker}"), dump);
+        }
+        set
+    });
+
     Ok(BatchReport {
         rows: terminal.into_values().collect(),
         expected: total,
@@ -692,6 +777,7 @@ pub fn run_batch(
         solved,
         warnings,
         wall_s: start.elapsed().as_secs_f64(),
+        trace,
     })
 }
 

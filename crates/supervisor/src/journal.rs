@@ -221,6 +221,7 @@ mod tests {
             net: format!("net{idx}"),
             tier: ServingTier::Merlin,
             attempts: 1,
+            timeouts: 0,
             status: RecordStatus::Served,
             hash: 0x1234,
         }

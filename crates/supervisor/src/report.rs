@@ -32,6 +32,10 @@ pub struct BatchReport {
     /// Wall-clock seconds this run spent; excluded from
     /// [`BatchReport::render`].
     pub wall_s: f64,
+    /// Per-thread trace streams (supervisor + workers, merged by worker
+    /// id) when the batch ran with `capture_trace`; excluded from
+    /// [`BatchReport::render`] — spans and counters are wall-clock shaped.
+    pub trace: Option<merlin_trace::TraceSet>,
 }
 
 impl BatchReport {
@@ -47,6 +51,25 @@ impl BatchReport {
             .iter()
             .map(|r| u64::from(r.attempts.saturating_sub(1)))
             .sum()
+    }
+
+    /// Total watchdog fires across the batch (journal v2 `timeouts`,
+    /// summed; deterministic because it replays from the journal).
+    pub fn watchdog_fires(&self) -> u64 {
+        self.rows.iter().map(|r| u64::from(r.timeouts)).sum()
+    }
+
+    /// Retries broken down by cause as `(timeout, degraded)`. A watchdog
+    /// fire on the *final* attempt terminates the net (status
+    /// failed-timeout) rather than causing a retry, so it is excluded;
+    /// every other retry was a below-threshold (degraded) serve.
+    pub fn retry_causes(&self) -> (u64, u64) {
+        let mut timeout = 0u64;
+        for r in &self.rows {
+            let terminal_fire = u64::from(r.status == RecordStatus::FailedTimeout);
+            timeout += u64::from(r.timeouts).saturating_sub(terminal_fire);
+        }
+        (timeout, self.retries().saturating_sub(timeout))
     }
 
     /// The deterministic report text. See the module docs for what is
@@ -72,6 +95,12 @@ impl BatchReport {
             self.lost()
         );
         let _ = writeln!(s, "retries: {}", self.retries());
+        let _ = writeln!(s, "watchdog-fires: {}", self.watchdog_fires());
+        let (timeout_retries, degraded_retries) = self.retry_causes();
+        let _ = writeln!(
+            s,
+            "retry-causes: timeout={timeout_retries} degraded={degraded_retries}"
+        );
         let mut tiers = String::new();
         for tier in ServingTier::LADDER {
             let n = self.rows.iter().filter(|r| r.tier == tier).count();
@@ -100,6 +129,11 @@ mod tests {
             net: format!("net{idx}"),
             tier,
             attempts,
+            timeouts: if status == RecordStatus::FailedTimeout {
+                2
+            } else {
+                0
+            },
             status,
             hash: idx * 7,
         }
@@ -117,6 +151,7 @@ mod tests {
             solved: 2,
             warnings: vec!["torn line".to_owned()],
             wall_s: 1.25,
+            trace: None,
         }
     }
 
@@ -129,7 +164,11 @@ mod tests {
             out.contains("tiers: merlin=1 single-pass=1 direct=1"),
             "{out}"
         );
-        assert!(out.contains("idx=1 net=net1 tier=single-pass attempts=2 status=served"));
+        assert!(out.contains("watchdog-fires: 2"), "{out}");
+        // Net 2 fired the watchdog twice: once mid-run (a retry cause) and
+        // once on the final attempt (the terminal failure, not a retry).
+        assert!(out.contains("retry-causes: timeout=1 degraded=2"), "{out}");
+        assert!(out.contains("idx=1 net=net1 tier=single-pass attempts=2 timeouts=0 status=served"));
     }
 
     #[test]
@@ -143,6 +182,10 @@ mod tests {
         b.replayed = 3;
         b.solved = 0;
         b.wall_s = 0.01;
+        b.trace = Some(merlin_trace::TraceSet::single(
+            "supervisor",
+            merlin_trace::Trace::default(),
+        ));
         assert_eq!(a.render(), b.render());
     }
 }

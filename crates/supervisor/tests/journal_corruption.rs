@@ -28,16 +28,18 @@ struct Case {
     expect: Expect,
 }
 
-const GOOD_0: &str = "idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa";
-const GOOD_1: &str = "idx=1 net=n1 tier=merlin attempts=2 status=served hash=00000000000000bb";
+const GOOD_0: &str =
+    "idx=0 net=n0 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa";
+const GOOD_1: &str =
+    "idx=1 net=n1 tier=merlin attempts=2 timeouts=0 status=served hash=00000000000000bb";
 
 fn cases() -> Vec<Case> {
     vec![
         Case {
             name: "clean journal loads fully",
-            content: "#merlin-journal v1\n\
-                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
-                      idx=1 net=n1 tier=merlin attempts=2 status=served hash=00000000000000bb\n",
+            content: "#merlin-journal v2\n\
+                      idx=0 net=n0 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa\n\
+                      idx=1 net=n1 tier=merlin attempts=2 timeouts=0 status=served hash=00000000000000bb\n",
             expect: Expect::Loaded {
                 records: 2,
                 warnings: 0,
@@ -45,7 +47,7 @@ fn cases() -> Vec<Case> {
         },
         Case {
             name: "header only is an empty journal",
-            content: "#merlin-journal v1\n",
+            content: "#merlin-journal v2\n",
             expect: Expect::Loaded {
                 records: 0,
                 warnings: 0,
@@ -53,9 +55,9 @@ fn cases() -> Vec<Case> {
         },
         Case {
             name: "truncated last line is skipped with a warning",
-            content: "#merlin-journal v1\n\
-                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
-                      idx=1 net=n1 tier=merlin attempts=2 status=ser",
+            content: "#merlin-journal v2\n\
+                      idx=0 net=n0 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa\n\
+                      idx=1 net=n1 tier=merlin attempts=2 timeouts=0 status=ser",
             expect: Expect::Loaded {
                 records: 1,
                 warnings: 1,
@@ -63,9 +65,9 @@ fn cases() -> Vec<Case> {
         },
         Case {
             name: "last line torn inside the hash is skipped",
-            content: "#merlin-journal v1\n\
-                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
-                      idx=1 net=n1 tier=merlin attempts=2 status=served hash=00000000000\n",
+            content: "#merlin-journal v2\n\
+                      idx=0 net=n0 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa\n\
+                      idx=1 net=n1 tier=merlin attempts=2 timeouts=0 status=served hash=00000000000\n",
             expect: Expect::Loaded {
                 records: 1,
                 warnings: 1,
@@ -73,9 +75,9 @@ fn cases() -> Vec<Case> {
         },
         Case {
             name: "duplicate net record keeps the first and warns",
-            content: "#merlin-journal v1\n\
-                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
-                      idx=0 net=n0 tier=direct attempts=3 status=failed-degraded \
+            content: "#merlin-journal v2\n\
+                      idx=0 net=n0 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa\n\
+                      idx=0 net=n0 tier=direct attempts=3 timeouts=0 status=failed-degraded \
                       hash=0000000000000000\n",
             expect: Expect::Loaded {
                 records: 1,
@@ -84,29 +86,29 @@ fn cases() -> Vec<Case> {
         },
         Case {
             name: "unknown version header is refused",
-            content: "#merlin-journal v2\n\
-                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n",
+            content: "#merlin-journal v3\n\
+                      idx=0 net=n0 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa\n",
             expect: Expect::RefusedVersion,
         },
         Case {
             name: "missing header is refused",
-            content: "idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n",
+            content: "idx=0 net=n0 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa\n",
             expect: Expect::RefusedVersion,
         },
         Case {
             name: "garbage in the middle is hard corruption",
-            content: "#merlin-journal v1\n\
-                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
+            content: "#merlin-journal v2\n\
+                      idx=0 net=n0 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa\n\
                       ]]]]not a record[[[[\n\
-                      idx=1 net=n1 tier=merlin attempts=2 status=served hash=00000000000000bb\n",
+                      idx=1 net=n1 tier=merlin attempts=2 timeouts=0 status=served hash=00000000000000bb\n",
             expect: Expect::Corrupt { line: 3 },
         },
         Case {
             name: "blank line in the middle is hard corruption",
-            content: "#merlin-journal v1\n\
-                      idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
+            content: "#merlin-journal v2\n\
+                      idx=0 net=n0 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa\n\
                       \n\
-                      idx=1 net=n1 tier=merlin attempts=2 status=served hash=00000000000000bb\n",
+                      idx=1 net=n1 tier=merlin attempts=2 timeouts=0 status=served hash=00000000000000bb\n",
             expect: Expect::Corrupt { line: 3 },
         },
     ]
@@ -162,9 +164,9 @@ fn resume_after_a_torn_final_line_keeps_the_journal_loadable() {
     let path = tmp("torn then resume");
     std::fs::write(
         &path,
-        "#merlin-journal v1\n\
-         idx=0 net=n0 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
-         idx=1 net=n1 tier=merlin attempts=2 status=ser",
+        "#merlin-journal v2\n\
+         idx=0 net=n0 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa\n\
+         idx=1 net=n1 tier=merlin attempts=2 timeouts=0 status=ser",
     )
     .expect("write fixture");
     let mut w = JournalWriter::append_to(&path).expect("reopen for resume");
@@ -173,6 +175,7 @@ fn resume_after_a_torn_final_line_keeps_the_journal_loadable() {
         net: "n1".to_owned(),
         tier: ServingTier::Merlin,
         attempts: 1,
+        timeouts: 0,
         status: RecordStatus::Served,
         hash: 0xbb,
     })
@@ -198,9 +201,9 @@ fn duplicate_keeps_first_record_content() {
     let path = tmp("duplicate-content");
     std::fs::write(
         &path,
-        "#merlin-journal v1\n\
-         idx=4 net=n4 tier=merlin attempts=1 status=served hash=00000000000000aa\n\
-         idx=4 net=n4 tier=direct attempts=3 status=failed-timeout hash=0000000000000000\n",
+        "#merlin-journal v2\n\
+         idx=4 net=n4 tier=merlin attempts=1 timeouts=0 status=served hash=00000000000000aa\n\
+         idx=4 net=n4 tier=direct attempts=3 timeouts=0 status=failed-timeout hash=0000000000000000\n",
     )
     .expect("write fixture");
     let loaded = load_journal(&path).expect("loads").expect("exists");

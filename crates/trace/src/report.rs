@@ -1,0 +1,190 @@
+//! The in-memory aggregate sink: a per-span self-time/total-time/call-count
+//! table plus the counter and histogram catalogs, rendered as plain text.
+//!
+//! This is what `merlin_cli ... --stats` prints. The text format is stable
+//! enough to grep (`scripts/check.sh` asserts on the `counter <name> = <n>`
+//! lines) but not a machine interface — use the JSONL sink for that.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{Hist, TraceSet};
+
+/// Aggregated figures for one span name across every stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRow {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of times the span closed.
+    pub calls: u64,
+    /// Saturating sum of total (wall-clock) nanoseconds.
+    pub total_ns: u64,
+    /// Saturating sum of self nanoseconds (total minus child spans).
+    pub self_ns: u64,
+    /// Longest single call, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// The aggregate report: span rows sorted by descending total time, merged
+/// counters, and merged histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AggregateReport {
+    /// Per-span-name rows, sorted by descending `total_ns` (name breaks
+    /// ties so the render is deterministic).
+    pub spans: Vec<SpanRow>,
+    /// Counter totals summed across streams, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Histograms merged across streams, sorted by name.
+    pub hists: Vec<(&'static str, Hist)>,
+}
+
+impl AggregateReport {
+    /// Build the report from a set of streams.
+    pub fn from_set(set: &TraceSet) -> Self {
+        let mut by_name: HashMap<&'static str, SpanRow> = HashMap::new();
+        for stream in &set.streams {
+            for span in &stream.trace.spans {
+                let row = by_name.entry(span.name).or_insert(SpanRow {
+                    name: span.name,
+                    calls: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                    max_ns: 0,
+                });
+                row.calls = row.calls.saturating_add(1);
+                row.total_ns = row.total_ns.saturating_add(span.dur_ns);
+                row.self_ns = row.self_ns.saturating_add(span.self_ns);
+                row.max_ns = row.max_ns.max(span.dur_ns);
+            }
+        }
+        let mut spans: Vec<_> = by_name.into_values().collect();
+        spans.sort_unstable_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(b.name)));
+        AggregateReport {
+            spans,
+            counters: set.merged_counters(),
+            hists: set.merged_hists(),
+        }
+    }
+
+    /// Sum of `self_ns` over all rows — with complete instrumentation on a
+    /// single thread this tracks wall clock (every nanosecond is someone's
+    /// self time exactly once).
+    pub fn total_self_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .fold(0u64, |acc, r| acc.saturating_add(r.self_ns))
+    }
+
+    /// Render the table. Lines:
+    ///
+    /// ```text
+    /// #merlin-trace-stats
+    /// span  <name> calls=<n> total_ms=<x> self_ms=<x> max_ms=<x>
+    /// counter <name> = <n>
+    /// hist  <name> count=<n> sum=<n> min=<n> max=<n>
+    /// ```
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "#merlin-trace-stats");
+        let width = self
+            .spans
+            .iter()
+            .map(|r| r.name.len())
+            .chain(self.hists.iter().map(|(n, _)| n.len()))
+            .chain(self.counters.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for row in &self.spans {
+            let _ = writeln!(
+                s,
+                "span    {:<width$} calls={:<6} total_ms={:<12} self_ms={:<12} max_ms={}",
+                row.name,
+                row.calls,
+                fmt_ms(row.total_ns),
+                fmt_ms(row.self_ns),
+                fmt_ms(row.max_ns),
+            );
+        }
+        for &(name, value) in &self.counters {
+            let _ = writeln!(s, "counter {name:<width$} = {value}");
+        }
+        for (name, h) in &self.hists {
+            let _ = writeln!(
+                s,
+                "hist    {:<width$} count={} sum={} min={} max={}",
+                name,
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+            );
+        }
+        s
+    }
+}
+
+/// Fixed-point nanoseconds → milliseconds with microsecond precision,
+/// without going through floating point.
+fn fmt_ms(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000_000, (ns / 1_000) % 1_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanEvent, Trace};
+
+    fn span(name: &'static str, dur_ns: u64, self_ns: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            arg: None,
+            start_ns: 0,
+            dur_ns,
+            self_ns,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn rows_aggregate_across_streams_and_sort_by_total() {
+        let mut set = TraceSet::single(
+            "a",
+            Trace {
+                spans: vec![span("x", 10, 4), span("y", 100, 100)],
+                counters: vec![("c", 1)],
+                hists: vec![],
+            },
+        );
+        set.push(
+            1,
+            "b",
+            Trace {
+                spans: vec![span("x", 30, 30)],
+                counters: vec![("c", 2)],
+                hists: vec![],
+            },
+        );
+        let rep = AggregateReport::from_set(&set);
+        assert_eq!(rep.spans.len(), 2);
+        assert_eq!(rep.spans[0].name, "y");
+        assert_eq!(rep.spans[1].name, "x");
+        assert_eq!(rep.spans[1].calls, 2);
+        assert_eq!(rep.spans[1].total_ns, 40);
+        assert_eq!(rep.spans[1].self_ns, 34);
+        assert_eq!(rep.spans[1].max_ns, 30);
+        assert_eq!(rep.counters, vec![("c", 3)]);
+        assert_eq!(rep.total_self_ns(), 134);
+        let out = rep.render();
+        assert!(out.starts_with("#merlin-trace-stats\n"), "{out}");
+        assert!(out.contains("counter c = 3"), "{out}");
+        assert!(out.contains("span    y"), "{out}");
+    }
+
+    #[test]
+    fn fmt_ms_is_fixed_point() {
+        assert_eq!(fmt_ms(0), "0.000");
+        assert_eq!(fmt_ms(1_234_567), "1.234");
+        assert_eq!(fmt_ms(999), "0.000");
+        assert_eq!(fmt_ms(2_000_000_000), "2000.000");
+    }
+}

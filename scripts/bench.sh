@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Perf baseline driver: builds release and regenerates BENCH_pr4.json
+# (micro-bench medians + trace counters + the fixed 50-net batch wall
+# clock). Pass --criterion to also run the criterion micro-benchmarks
+# (slow; results land in target/criterion/).
+# Usage: scripts/bench.sh [--criterion] [--out FILE] [--iters N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+criterion=0
+baseline_args=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --criterion) criterion=1 ;;
+    --out|--iters|--batch-iters) baseline_args+=("$1" "$2"); shift ;;
+    *) echo "bench.sh: unknown flag $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+echo "== baseline (BENCH_pr4.json) =="
+cargo run -q -p merlin-bench --release --bin baseline -- "${baseline_args[@]+"${baseline_args[@]}"}"
+
+if [ "$criterion" = 1 ]; then
+  echo "== criterion micro-benches =="
+  cargo bench -p merlin-bench
+fi

@@ -64,4 +64,44 @@ grep -q "^nets: 200 served: 200 .* lost: 0$" "$SUPTMP/report.txt" || {
   exit 1
 }
 
+echo "== trace (solve --trace: valid JSON, hot-path counters nonzero) =="
+# Solve one net with tracing on: the chrome trace file must parse as
+# JSON, and the instrumentation must actually have fired — the prune and
+# StarCache counters are the canaries for the curves/core layers.
+cargo build -q --release --bin merlin_cli
+cat > "$SUPTMP/trace-demo.net" <<'EOF'
+net trace-demo
+source 0 0 4.0
+sink 400 300 12.0 900.0
+sink -250 500 9.5 800.0
+sink 600 -150 15.0 1000.0
+sink -400 -350 7.0 850.0
+EOF
+target/release/merlin_cli solve "$SUPTMP/trace-demo.net" \
+  --trace "$SUPTMP/trace.json" --stats > "$SUPTMP/trace-stats.txt"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SUPTMP/trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "empty traceEvents"
+assert all("ph" in e and "pid" in e and "tid" in e for e in events)
+EOF
+else
+  # No python3: at least require the chrome-trace envelope and one
+  # complete ("X") span event.
+  grep -q '"traceEvents"' "$SUPTMP/trace.json"
+  grep -q '"ph":"X"' "$SUPTMP/trace.json"
+fi
+# Stats counter names are width-padded; match `counter <name> ... = <nonzero>`.
+grep -Eq 'counter curves\.pruned += [1-9]' "$SUPTMP/trace-stats.txt" || {
+  echo "trace: curves.pruned counter missing or zero:" >&2
+  grep "curves.pruned" "$SUPTMP/trace-stats.txt" >&2 || true
+  exit 1
+}
+grep -Eq 'counter core\.cache\.hit += [1-9]' "$SUPTMP/trace-stats.txt" || {
+  echo "trace: core.cache.hit counter missing or zero:" >&2
+  grep "core.cache.hit" "$SUPTMP/trace-stats.txt" >&2 || true
+  exit 1
+}
+
 echo "all checks passed"

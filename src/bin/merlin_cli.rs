@@ -45,6 +45,12 @@ solve flags:
   --area-budget λ²     MERLIN variant I: max required time within area
   --req-target ps      MERLIN variant II: min area meeting required time
 
+trace flags (solve, batch and resume):
+  --trace out.json     capture a trace of the run and write it here
+  --trace-format F     trace file format: chrome (load in chrome://tracing
+                       or Perfetto) or jsonl (default chrome)
+  --stats              print the aggregate span/counter report to stdout
+
 batch/resume flags (defaults in parentheses):
   <file.net>...        nets to solve, in batch order
   --gen N              append N synthetic benchmark nets (0)
@@ -77,6 +83,80 @@ not; everything else exits 0 on success.";
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("merlin_cli: {msg}");
     ExitCode::FAILURE
+}
+
+/// Serialisation format for `--trace` output files.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Jsonl,
+}
+
+impl TraceFormat {
+    fn parse(v: &str) -> Option<TraceFormat> {
+        match v {
+            "chrome" => Some(TraceFormat::Chrome),
+            "jsonl" => Some(TraceFormat::Jsonl),
+            _ => None,
+        }
+    }
+}
+
+/// The `--trace`/`--trace-format`/`--stats` option group shared by the
+/// solve and batch commands.
+#[derive(Default)]
+struct TraceOpts {
+    trace_path: Option<PathBuf>,
+    format: Option<TraceFormat>,
+    stats: bool,
+}
+
+impl TraceOpts {
+    /// Consumes a trace flag from the cursor. Returns `None` when `arg`
+    /// is not a trace flag (so the caller falls through to its own).
+    fn consume(&mut self, arg: &str, args: &mut Args) -> Option<Result<(), String>> {
+        match arg {
+            "--trace" => Some(
+                args.value_for("--trace")
+                    .map(|v| self.trace_path = Some(v.into())),
+            ),
+            "--trace-format" => Some(args.value_for("--trace-format").and_then(|v| {
+                TraceFormat::parse(&v)
+                    .map(|f| self.format = Some(f))
+                    .ok_or_else(|| format!("unknown trace format `{v}` (expected chrome or jsonl)"))
+            })),
+            "--stats" => {
+                self.stats = true;
+                Some(Ok(()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the run needs the collector switched on at all.
+    fn active(&self) -> bool {
+        self.trace_path.is_some() || self.stats
+    }
+
+    /// Writes the trace file and/or prints the aggregate report, per the
+    /// parsed flags.
+    fn finish(&self, set: &merlin_trace::TraceSet) -> Result<(), String> {
+        if let Some(path) = &self.trace_path {
+            let body = match self.format.unwrap_or(TraceFormat::Chrome) {
+                TraceFormat::Chrome => merlin_trace::export::chrome_trace(set),
+                TraceFormat::Jsonl => merlin_trace::export::jsonl(set),
+            };
+            std::fs::write(path, body)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        if self.stats {
+            print!(
+                "{}",
+                merlin_trace::report::AggregateReport::from_set(set).render()
+            );
+        }
+        Ok(())
+    }
 }
 
 /// A tiny flag cursor over the argument list.
@@ -132,7 +212,14 @@ fn cmd_solve(mut args: Args) -> ExitCode {
     let mut svg_out = None;
     let mut area_budget = None;
     let mut req_target = None;
+    let mut trace_opts = TraceOpts::default();
     while let Some(arg) = args.next() {
+        if let Some(result) = trace_opts.consume(&arg, &mut args) {
+            if let Err(e) = result {
+                return fail(e);
+            }
+            continue;
+        }
         let parsed: Result<(), String> = match arg.as_str() {
             "--flow" => args.value_for("--flow").map(|v| flow = v),
             "--svg" => args.value_for("--svg").map(|v| svg_out = Some(v)),
@@ -169,12 +256,24 @@ fn cmd_solve(mut args: Args) -> ExitCode {
         cfg.merlin.constraint = Constraint::MinAreaWithReq(target);
     }
 
-    let result = match flow.as_str() {
-        "1" => flow1::run(&net, &tech, &cfg),
-        "2" => flow2::run(&net, &tech, &cfg),
-        "3" => flow3::run(&net, &tech, &cfg),
-        other => return fail(format!("unknown flow `{other}` (expected 1, 2 or 3)")),
+    if trace_opts.active() {
+        merlin_trace::enable();
+    }
+    let result = {
+        let _solve_span = merlin_trace::span!("cli.solve");
+        match flow.as_str() {
+            "1" => flow1::run(&net, &tech, &cfg),
+            "2" => flow2::run(&net, &tech, &cfg),
+            "3" => flow3::run(&net, &tech, &cfg),
+            other => return fail(format!("unknown flow `{other}` (expected 1, 2 or 3)")),
+        }
     };
+    if trace_opts.active() {
+        let set = merlin_trace::TraceSet::single("main", merlin_trace::drain());
+        if let Err(e) = trace_opts.finish(&set) {
+            return fail(e);
+        }
+    }
 
     println!("net            : {} ({} sinks)", net.name, net.num_sinks());
     println!("flow           : {flow}");
@@ -213,7 +312,14 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
         },
         ..BatchConfig::default()
     };
+    let mut trace_opts = TraceOpts::default();
     while let Some(arg) = args.next() {
+        if let Some(result) = trace_opts.consume(&arg, &mut args) {
+            if let Err(e) = result {
+                return fail(e);
+            }
+            continue;
+        }
         let parsed: Result<(), String> = match arg.as_str() {
             "--gen" => args.parsed("--gen").map(|v| gen = v),
             "--sinks" => args.parsed("--sinks").map(|v| sinks = v),
@@ -301,10 +407,16 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
         return fail("batch has no nets: pass <file.net> arguments and/or --gen N");
     }
 
+    cfg.capture_trace = trace_opts.active();
     let report = match run_batch(nets, &tech, &cfg, &journal) {
         Ok(report) => report,
         Err(e) => return fail(e),
     };
+    if let Some(set) = &report.trace {
+        if let Err(e) = trace_opts.finish(set) {
+            return fail(e);
+        }
+    }
     // Run diagnostics (scheduling-dependent) go to stderr; the
     // deterministic report goes wherever --report points.
     eprintln!(
