@@ -26,6 +26,15 @@
 //!   sanctioned panic-isolation boundary (see `merlin_resilience::isolate`).
 //!   Swallowing panics anywhere else hides DP invariant violations.
 //!
+//! And one applies only to the crates the parallel DP shards across
+//! threads (`crates/core/`, `crates/curves/`):
+//!
+//! * [`no-rc-in-dp`](RULE_NO_RC_IN_DP) — `std::rc::Rc` is not [`Send`], so
+//!   a single `Rc` smuggled into a Γ table or a curve family would stop
+//!   the level-sharded `BUBBLE_CONSTRUCT` from crossing its worker
+//!   boundary (or, worse, force an `unsafe` bypass). Shared ownership in
+//!   these crates must use `std::sync::Arc`.
+//!
 //! Any finding can be suppressed in place with `// audit:allow(<rule>)` on
 //! the offending line or the line above it. Pre-existing findings live in a
 //! checked-in baseline file (`audit-baseline.txt`); the auditor fails only
@@ -56,6 +65,8 @@ pub const RULE_PUSH_WITHOUT_PRUNE: &str = "push-without-prune";
 pub const RULE_DOC_PUB_FN: &str = "doc-pub-fn";
 /// Rule name: `catch_unwind` outside `crates/resilience/` and test code.
 pub const RULE_CATCH_UNWIND: &str = "catch-unwind";
+/// Rule name: `std::rc::Rc` inside the thread-sharded DP crates.
+pub const RULE_NO_RC_IN_DP: &str = "no-rc-in-dp";
 
 /// All rule names, in report order.
 pub const ALL_RULES: &[&str] = &[
@@ -67,6 +78,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_PUSH_WITHOUT_PRUNE,
     RULE_DOC_PUB_FN,
     RULE_CATCH_UNWIND,
+    RULE_NO_RC_IN_DP,
 ];
 
 /// Workspace-relative path prefixes of the DP hot-path crates the rules
@@ -115,6 +127,38 @@ pub const RESILIENCE_PREFIX: &str = "crates/resilience/";
 /// hot-path crate.
 pub fn is_dp_crate_path(path: &str) -> bool {
     DP_CRATE_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+/// Workspace-relative prefixes of the crates whose data structures cross
+/// the parallel DP's worker-thread boundary, where `Rc` is forbidden (see
+/// [`RULE_NO_RC_IN_DP`]).
+pub const RC_FORBIDDEN_PREFIXES: &[&str] = &["crates/core/", "crates/curves/"];
+
+/// Whether the sanitized line mentions `std::rc` or the `Rc` type as a
+/// standalone token (so `Arc`, `StarCache`, identifiers merely *ending*
+/// in `Rc`, and `Rc`-containing words never match).
+fn mentions_rc(code: &str) -> bool {
+    if code.contains("std::rc") {
+        return true;
+    }
+    let bytes = code.as_bytes();
+    for (i, _) in code.match_indices("Rc") {
+        let before_ok = i == 0 || {
+            let c = bytes[i - 1] as char;
+            !c.is_alphanumeric() && c != '_'
+        };
+        let after_ok = match bytes.get(i + 2) {
+            Some(&b) => {
+                let c = b as char;
+                !c.is_alphanumeric() && c != '_'
+            }
+            None => true,
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -452,6 +496,7 @@ fn track_braces(
 pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
     let full = is_dp_crate_path(path);
     let catch_rule_applies = !path.starts_with(RESILIENCE_PREFIX);
+    let rc_rule_applies = RC_FORBIDDEN_PREFIXES.iter().any(|p| path.starts_with(p));
     if !full && !catch_rule_applies {
         return Vec::new();
     }
@@ -501,6 +546,13 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
         // driver alone. Test code may assert on panics.
         if catch_rule_applies && !in_test && code.contains("catch_unwind") {
             report(RULE_CATCH_UNWIND, idx, &raw_lines, &mut violations);
+        }
+
+        // `Rc` would poison Send-ness for the parallel DP; test code is
+        // held to the same bar so a test helper can never hand an `Rc`
+        // back into engine structures.
+        if rc_rule_applies && mentions_rc(code) {
+            report(RULE_NO_RC_IN_DP, idx, &raw_lines, &mut violations);
         }
 
         if !full {
@@ -759,6 +811,46 @@ mod tests {
             rules_of(&scan_source("crates/trace/src/lib.rs", bad)),
             vec![RULE_NO_UNWRAP]
         );
+    }
+
+    #[test]
+    fn rc_flagged_in_core_and_curves_only() {
+        for src in [
+            "use std::rc::Rc;\n",
+            "pub type CurveFam = Rc<Vec<Curve>>;\n",
+            "fn f() { let fam = Rc::new(Vec::new()); }\n",
+        ] {
+            assert_eq!(rules_of(&scan_source(DP, src)), vec![RULE_NO_RC_IN_DP]);
+            assert_eq!(
+                rules_of(&scan_source("crates/curves/src/fixture.rs", src)),
+                vec![RULE_NO_RC_IN_DP]
+            );
+            // Other DP crates keep their single-threaded engines; the
+            // Send-ness rule stops at the sharded ones.
+            assert!(scan_source("crates/ptree/src/fixture.rs", src).is_empty());
+            assert!(scan_source("crates/flows/src/fixture.rs", src).is_empty());
+        }
+        // Flagged in test code too: a test helper must not hand an Rc
+        // back into engine structures.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::rc::Rc::new(3); }\n}\n";
+        assert_eq!(rules_of(&scan_source(DP, test_src)), vec![RULE_NO_RC_IN_DP]);
+    }
+
+    #[test]
+    fn rc_rule_ignores_arc_and_lookalikes() {
+        let src = "use std::sync::Arc;\n\
+                   fn f(c: &StarCache) -> Arc<Vec<Curve>> { Arc::new(vec![]) }\n\
+                   struct MyRc;\n\
+                   fn g(x: RcLike, y: MyRc) {}\n";
+        assert!(scan_source("crates/curves/src/fixture.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rc_rule_allow_marker_suppresses() {
+        let src = "// audit:allow(no-rc-in-dp): doc example, never crosses a thread\n\
+                   use std::rc::Rc;\n";
+        assert!(scan_source(DP, src).is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! | `scaling` | Theorems 2/5/6 — runtime/memory scaling (E4) |
 //! | `ablation` | candidate-set / initial-order / bubbling ablations (E5, E7) |
 //! | `convergence` | Theorem 7 / loop counts (E6) |
-//! | `baseline` | perf baseline: median wall times + trace counters (`BENCH_pr4.json`) |
+//! | `baseline` | perf baseline: median wall times + trace counters (`BENCH_pr5.json`) |
 //! | `prune_ab` | same-binary A/B/C: `Curve::prune` tracing-dispatch cost isolation |
 //!
 //! Criterion micro-benchmarks (`cargo bench -p merlin-bench`) cover the

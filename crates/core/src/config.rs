@@ -75,6 +75,15 @@ pub struct MerlinConfig {
     /// algorithm grows significantly") — implemented here as an optional
     /// extension and ablated by the E8 experiment.
     pub max_inner_groups: usize,
+    /// Worker threads for the level-sharded parallel `BUBBLE_CONSTRUCT`
+    /// (`0` = one per available core, `1` = the sequential engine, `n` =
+    /// exactly `n` workers, clamped to 64). The result is identical at any
+    /// thread count — levels of the Cα DP only read Γ entries of strictly
+    /// smaller levels, so each level's `(E, R)` pairs shard cleanly and
+    /// merge deterministically. Defaults to 1: the batch supervisor
+    /// already parallelizes across nets, so intra-net threading is opt-in
+    /// (keep `jobs × threads` at or below the core count).
+    pub threads: usize,
 }
 
 impl Default for MerlinConfig {
@@ -91,6 +100,7 @@ impl Default for MerlinConfig {
             reloc_neighbors: 16,
             enforce_max_load: false,
             max_inner_groups: 1,
+            threads: 1,
         }
     }
 }
@@ -113,6 +123,7 @@ impl MerlinConfig {
             reloc_neighbors: 0,
             enforce_max_load: false,
             max_inner_groups: 1,
+            threads: 1,
         }
     }
 
@@ -133,6 +144,7 @@ impl MerlinConfig {
             reloc_neighbors: 10,
             enforce_max_load: false,
             max_inner_groups: 1,
+            threads: 1,
         }
     }
 }

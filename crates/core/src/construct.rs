@@ -19,13 +19,138 @@ use merlin_resilience::{SolveBudget, SolverError};
 use merlin_tech::units::{ps_cmp, PsTime};
 use merlin_tech::{BufferedTree, Driver, Technology};
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::chi::{Shape, Window, ALL_SHAPES};
 use crate::children::{child_sequence, child_sequence_multi, Child};
 use crate::config::{Constraint, MerlinConfig};
 use crate::extract::{extract_tree, Step};
 use crate::star_ptree::{range_curves, Gamma, SinkView, StarCache, StarCtx};
+
+/// Resolves the [`MerlinConfig::threads`] knob: `0` = one worker per
+/// available core, otherwise the explicit count, clamped to 64 so a typo
+/// cannot fork-bomb the host.
+fn effective_threads(knob: usize) -> usize {
+    let t = if knob == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        knob
+    };
+    t.clamp(1, 64)
+}
+
+/// Everything one level-shard worker hands back to the coordinator.
+struct ShardOut {
+    /// One thinned family per `(E, R)` pair of the shard, in pair order.
+    /// Curve points still carry segment-local provenance handles.
+    fams: Vec<Vec<Curve>>,
+    /// The worker's arena segment (handles start at the level's global
+    /// base; see [`ProvArena::with_base`]).
+    steps: Vec<Step>,
+    /// The worker's `*PTREE` cache tallies.
+    cache_hits: u64,
+    cache_misses: u64,
+    /// The worker's drained trace, when collection was on.
+    trace: Option<merlin_trace::Trace>,
+}
+
+/// Composes one outer group `(L, E, R)`: absorbs the curves of every
+/// compatible inner decomposition (Figure 11, plus the relaxed
+/// two-inner-group extension of §3.2.1) into one family per candidate
+/// root. This is the body of the construction loop, shared verbatim by the
+/// sequential and the level-sharded parallel paths so they cannot drift;
+/// the caller owns fault injection, thinning (parallel workers thin
+/// in-shard), and the Γ insert.
+#[allow(clippy::too_many_arguments)]
+fn compose_group(
+    ctx: &StarCtx<'_>,
+    cfg: &MerlinConfig,
+    shapes: &[Shape],
+    order: &SinkOrder,
+    gamma: &Gamma,
+    outer: Window,
+    big_l: usize,
+    budget: &SolveBudget,
+    cache: &mut StarCache,
+    arena: &mut ProvArena<Step>,
+) -> Result<Vec<Curve>, SolverError> {
+    let k = ctx.cands.len();
+    let l_min = big_l.saturating_sub(cfg.alpha - 1).max(1);
+    let mut fam: Vec<Curve> = vec![Curve::new(); k];
+    let mut seen: HashSet<Vec<Child>> = HashSet::new();
+    let consume = |seq: Vec<Child>,
+                   fam: &mut Vec<Curve>,
+                   seen: &mut HashSet<Vec<Child>>,
+                   cache: &mut StarCache,
+                   arena: &mut ProvArena<Step>|
+     -> Result<(), SolverError> {
+        if !seen.insert(seq.clone()) {
+            return Ok(());
+        }
+        let curves = range_curves(ctx, &seq, gamma, cache, arena);
+        let mut work = 1u64;
+        for (p, c) in curves.iter().enumerate() {
+            work += c.len() as u64;
+            fam[p].absorb(c.clone());
+        }
+        budget.charge(work)?;
+        budget.check_deadline()?;
+        Ok(())
+    };
+    for l in l_min..big_l {
+        for e in shapes {
+            let lpp = l + e.stretch();
+            if lpp > outer.len() {
+                continue;
+            }
+            for r in (outer.start() + lpp - 1)..=outer.right {
+                let Some(inner) = Window::place(r, l, *e, order.len()) else {
+                    continue;
+                };
+                let Some(seq) = child_sequence(outer, inner, order) else {
+                    continue;
+                };
+                consume(seq, &mut fam, &mut seen, cache, arena)?;
+            }
+        }
+    }
+    // Relaxed Cα (§3.2.1): a second disjoint inner group.
+    if cfg.max_inner_groups >= 2 && big_l >= 2 {
+        for l1 in 1..big_l {
+            for e1 in shapes {
+                let lpp1 = l1 + e1.stretch();
+                if lpp1 > outer.len() {
+                    continue;
+                }
+                for r1 in (outer.start() + lpp1 - 1)..=outer.right {
+                    let Some(in1) = Window::place(r1, l1, *e1, order.len()) else {
+                        continue;
+                    };
+                    for l2 in 1..big_l {
+                        // (L - l1 - l2) leaves + 2 groups ≤ α.
+                        if l1 + l2 > big_l || big_l - l1 - l2 + 2 > cfg.alpha {
+                            continue;
+                        }
+                        for e2 in shapes {
+                            let lpp2 = l2 + e2.stretch();
+                            for r2 in (in1.right + lpp2)..=outer.right {
+                                let Some(in2) = Window::place(r2, l2, *e2, order.len()) else {
+                                    continue;
+                                };
+                                let Some(seq) = child_sequence_multi(outer, &[in1, in2], order)
+                                else {
+                                    continue;
+                                };
+                                consume(seq, &mut fam, &mut seen, cache, arena)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(fam)
+}
 
 /// The inner engine, borrowing the problem description.
 #[derive(Debug)]
@@ -155,15 +280,26 @@ impl<'a> BubbleConstruct<'a> {
                 req: s.req_ps,
             })
             .collect();
+        // An empty buffer library is a broken technology, not a reason to
+        // underflow-panic on `len() - 1` below.
+        if self.tech.library.is_empty() {
+            return Err(SolverError::EmptyCurve {
+                context: format!(
+                    "technology has an empty buffer library solving net `{}`; \
+                     BUBBLE_CONSTRUCT needs at least one buffer cell",
+                    self.net.name
+                ),
+            });
+        }
         let lib_sel: Vec<u16> = {
             let stride = cfg.library_stride.max(1);
             let last = self.tech.library.len() - 1;
-            let mut v: Vec<u16> = (0..self.tech.library.len())
+            // Each index is visited once, so the filtered list is unique
+            // (and sorted) by construction.
+            (0..self.tech.library.len())
                 .filter(|i| i % stride == 0 || *i == last)
                 .map(|i| i as u16)
-                .collect();
-            v.dedup();
-            v
+                .collect()
         };
         let neighbors: Vec<Vec<u16>> = if cfg.reloc_neighbors == 0 || cfg.reloc_neighbors >= k {
             Vec::new()
@@ -229,100 +365,170 @@ impl<'a> BubbleConstruct<'a> {
             prev_gamma_points = total;
         }
 
-        // CONSTRUCTION (lines 5–20).
+        // CONSTRUCTION (lines 5–20). Each level L's `(E, R)` group
+        // compositions read only Γ entries with l < L, so a level is an
+        // embarrassingly parallel frontier: with `threads > 1` its pairs
+        // are sharded across scoped workers and merged deterministically
+        // in `(e, r)` order, yielding results identical to the sequential
+        // engine at any thread count.
+        let threads = effective_threads(cfg.threads);
+        let mut shard_cache_hits = 0u64;
+        let mut shard_cache_misses = 0u64;
         for big_l in 2usize..=n {
             let _level_span = merlin_trace::span!("core.construct.level", big_l);
-            let l_min = big_l.saturating_sub(cfg.alpha - 1).max(1);
-            for big_e in shapes {
-                for big_r in 0..n {
-                    let Some(outer) = Window::place(big_r, big_l, *big_e, n) else {
-                        continue;
-                    };
-                    let mut fam: Vec<Curve> = vec![Curve::new(); k];
-                    let mut seen: HashSet<Vec<Child>> = HashSet::new();
-                    let consume = |seq: Vec<Child>,
-                                   fam: &mut Vec<Curve>,
-                                   seen: &mut HashSet<Vec<Child>>,
-                                   cache: &mut StarCache,
-                                   arena: &mut ProvArena<Step>|
-                     -> Result<(), SolverError> {
-                        if !seen.insert(seq.clone()) {
-                            return Ok(());
-                        }
-                        let curves = range_curves(&ctx, &seq, &gamma, cache, arena);
-                        let mut work = 1u64;
-                        for (p, c) in curves.iter().enumerate() {
-                            work += c.len() as u64;
-                            fam[p].absorb(c.clone());
-                        }
-                        budget.charge(work)?;
-                        budget.check_deadline()?;
-                        Ok(())
-                    };
-                    for l in l_min..big_l {
-                        for e in shapes {
-                            let lpp = l + e.stretch();
-                            if lpp > outer.len() {
-                                continue;
-                            }
-                            for r in (outer.start() + lpp - 1)..=outer.right {
-                                let Some(inner) = Window::place(r, l, *e, n) else {
-                                    continue;
-                                };
-                                let Some(seq) = child_sequence(outer, inner, order) else {
-                                    continue;
-                                };
-                                consume(seq, &mut fam, &mut seen, &mut cache, &mut arena)?;
-                            }
-                        }
-                    }
-                    // Relaxed Cα (§3.2.1): a second disjoint inner group.
-                    if cfg.max_inner_groups >= 2 && big_l >= 2 {
-                        for l1 in 1..big_l {
-                            for e1 in shapes {
-                                let lpp1 = l1 + e1.stretch();
-                                if lpp1 > outer.len() {
-                                    continue;
-                                }
-                                for r1 in (outer.start() + lpp1 - 1)..=outer.right {
-                                    let Some(in1) = Window::place(r1, l1, *e1, n) else {
-                                        continue;
-                                    };
-                                    for l2 in 1..big_l {
-                                        // (L - l1 - l2) leaves + 2 groups ≤ α.
-                                        if l1 + l2 > big_l || big_l - l1 - l2 + 2 > cfg.alpha {
-                                            continue;
-                                        }
-                                        for e2 in shapes {
-                                            let lpp2 = l2 + e2.stretch();
-                                            for r2 in (in1.right + lpp2)..=outer.right {
-                                                let Some(in2) = Window::place(r2, l2, *e2, n)
-                                                else {
-                                                    continue;
-                                                };
-                                                let Some(seq) =
-                                                    child_sequence_multi(outer, &[in1, in2], order)
-                                                else {
-                                                    continue;
-                                                };
-                                                consume(
-                                                    seq, &mut fam, &mut seen, &mut cache,
-                                                    &mut arena,
-                                                )?;
+            let pairs: Vec<(Shape, usize, Window)> = shapes
+                .iter()
+                .flat_map(|&big_e| {
+                    (0..n).filter_map(move |big_r| {
+                        Window::place(big_r, big_l, big_e, n).map(|w| (big_e, big_r, w))
+                    })
+                })
+                .collect();
+            if threads > 1 && pairs.len() > 1 {
+                let shard_count = threads.min(pairs.len());
+                let chunk_size = pairs.len().div_ceil(shard_count);
+                let global_base = arena.len();
+                merlin_trace::counter("core.parallel.levels", 1);
+                merlin_trace::counter("core.parallel.shards", shard_count as u64);
+                merlin_trace::counter("core.parallel.pairs", pairs.len() as u64);
+                let shard_results: Vec<Result<ShardOut, SolverError>> =
+                    std::thread::scope(|scope| {
+                        let ctx = &ctx;
+                        let gamma = &gamma;
+                        let handles: Vec<_> = pairs
+                            .chunks(chunk_size)
+                            .map(|chunk| {
+                                scope.spawn(move || {
+                                    let worker_traced = traced;
+                                    if worker_traced {
+                                        merlin_trace::enable();
+                                    }
+                                    let mut shard_cache = StarCache::new();
+                                    let mut seg: ProvArena<Step> =
+                                        ProvArena::with_base(global_base);
+                                    let mut fams = Vec::with_capacity(chunk.len());
+                                    let mut failure = None;
+                                    for &(_, _, outer) in chunk {
+                                        match compose_group(
+                                            ctx,
+                                            cfg,
+                                            shapes,
+                                            order,
+                                            gamma,
+                                            outer,
+                                            big_l,
+                                            budget,
+                                            &mut shard_cache,
+                                            &mut seg,
+                                        ) {
+                                            Ok(mut fam) => {
+                                                for c in &mut fam {
+                                                    c.thin_to(cfg.max_curve_points);
+                                                }
+                                                fams.push(fam);
+                                            }
+                                            Err(e) => {
+                                                failure = Some(e);
+                                                break;
                                             }
                                         }
                                     }
-                                }
+                                    let (cache_hits, cache_misses) = shard_cache.stats();
+                                    let trace = if worker_traced {
+                                        let t = merlin_trace::drain();
+                                        merlin_trace::disable();
+                                        Some(t)
+                                    } else {
+                                        None
+                                    };
+                                    match failure {
+                                        Some(e) => Err(e),
+                                        None => Ok(ShardOut {
+                                            fams,
+                                            steps: seg.into_steps(),
+                                            cache_hits,
+                                            cache_misses,
+                                            trace,
+                                        }),
+                                    }
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| {
+                                // Re-raise worker panics on the coordinating
+                                // thread so the resilience isolation boundary
+                                // sees them exactly as in the sequential path.
+                                h.join()
+                                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                            })
+                            .collect()
+                    });
+                // Deterministic merge, shard order = pair order.
+                let mut pair_idx = 0usize;
+                for shard in shard_results {
+                    let shard = shard?;
+                    if let Some(t) = shard.trace {
+                        merlin_trace::absorb(t);
+                    }
+                    shard_cache_hits += shard.cache_hits;
+                    shard_cache_misses += shard.cache_misses;
+                    let seg_off = arena.len();
+                    let rebase = |id: ProvId| {
+                        if id.index() >= global_base {
+                            ProvId::new((seg_off + (id.index() - global_base)) as u32)
+                        } else {
+                            id
+                        }
+                    };
+                    merlin_trace::counter("core.parallel.steps.rebased", shard.steps.len() as u64);
+                    for step in shard.steps {
+                        arena.push(match step {
+                            Step::Merge { left, right } => Step::Merge {
+                                left: rebase(left),
+                                right: rebase(right),
+                            },
+                            Step::Extend { to, child } => Step::Extend {
+                                to,
+                                child: rebase(child),
+                            },
+                            Step::Buffer { buf, child } => Step::Buffer {
+                                buf,
+                                child: rebase(child),
+                            },
+                            route @ Step::Route { .. } => route,
+                        });
+                    }
+                    for mut fam in shard.fams {
+                        let (big_e, big_r, _) = pairs[pair_idx];
+                        pair_idx += 1;
+                        // The chaos site fires on the coordinating thread,
+                        // once per pair in pair order, exactly like the
+                        // sequential engine.
+                        if merlin_curves::fault::trip("core.construct.group") {
+                            fam = vec![Curve::new(); k];
+                        } else {
+                            for c in &mut fam {
+                                c.map_prov(rebase);
                             }
                         }
+                        gamma.insert(big_l as u16, big_e.index(), big_r as u16, Arc::new(fam));
                     }
+                }
+            } else {
+                for &(big_e, big_r, outer) in &pairs {
+                    let mut fam = compose_group(
+                        &ctx, cfg, shapes, order, &gamma, outer, big_l, budget, &mut cache,
+                        &mut arena,
+                    )?;
                     if merlin_curves::fault::trip("core.construct.group") {
                         fam = vec![Curve::new(); k];
                     }
                     for c in &mut fam {
                         c.thin_to(cfg.max_curve_points);
                     }
-                    gamma.insert(big_l as u16, big_e.index(), big_r as u16, Rc::new(fam));
+                    gamma.insert(big_l as u16, big_e.index(), big_r as u16, Arc::new(fam));
                 }
             }
             budget.check()?;
@@ -382,8 +588,8 @@ impl<'a> BubbleConstruct<'a> {
             candidates: k,
             gamma_groups: gamma.len(),
             gamma_points: gamma.total_points(),
-            cache_hits: cache.stats().0,
-            cache_misses: cache.stats().1,
+            cache_hits: cache.stats().0 + shard_cache_hits,
+            cache_misses: cache.stats().1 + shard_cache_misses,
             arena_steps: arena.len(),
         };
         stats.emit();
@@ -476,6 +682,7 @@ mod tests {
             reloc_neighbors: 0,
             enforce_max_load: false,
             max_inner_groups: 1,
+            threads: 1,
         }
     }
 

@@ -8,6 +8,8 @@
 //! the order space — typically in a handful of iterations (the paper's
 //! Table 1 reports 1–12 loops).
 
+use std::collections::HashSet;
+
 use merlin_curves::CurvePoint;
 use merlin_netlist::Net;
 use merlin_order::tsp::tsp_order;
@@ -131,6 +133,13 @@ impl<'a> Merlin<'a> {
         let mut cost_trace = Vec::new();
         let mut best: Option<(f64, CurvePoint, ConstructResult, SinkOrder)> = None;
         let mut budget_hit = false;
+        // Orders already expanded by a BUBBLE_CONSTRUCT pass. The DP is
+        // deterministic, so revisiting *any* earlier order — not only the
+        // immediately previous one — would re-run a byte-identical pass;
+        // a 2-cycle Π→Π′→Π used to cost exactly one such redundant pass
+        // before the `!improved` break caught it.
+        let mut visited: HashSet<SinkOrder> = HashSet::new();
+        visited.insert(pi.clone());
         let _merlin_span = merlin_trace::span!("core.merlin");
         loop {
             let _iter_span = merlin_trace::span!("core.merlin.iter", loops + 1);
@@ -179,6 +188,10 @@ impl<'a> Merlin<'a> {
             }
             if budget.check().is_err() {
                 budget_hit = true;
+                break;
+            }
+            if !visited.insert(tree_order.clone()) {
+                merlin_trace::counter("core.merlin.cycle_breaks", 1);
                 break;
             }
             pi = tree_order;
@@ -253,6 +266,46 @@ mod tests {
             }
         }
         let _ = multi_loop_seen; // informational; convergence in one loop is legal
+    }
+
+    #[test]
+    fn every_iteration_is_a_distinct_order() {
+        // The visited-order set must keep the iteration counter equal to
+        // the number of *distinct* DP passes: one cost entry per loop, and
+        // the `core.merlin.iterations` counter in exact agreement. Before
+        // the fix a cycled order re-ran a byte-identical pass, inflating
+        // the counter past the useful work done.
+        let tech = Technology::tiny_test();
+        for seed in [1u64, 4, 7, 11, 23, 42] {
+            let net = random_net("n", 5, seed, &tech);
+            merlin_trace::enable();
+            let _ = merlin_trace::drain();
+            let out = Merlin::new(&tech, small_cfg()).optimize(&net);
+            let trace = merlin_trace::drain();
+            merlin_trace::disable();
+            assert_eq!(
+                trace.counter("core.merlin.iterations"),
+                out.loops as u64,
+                "seed {seed}"
+            );
+            assert_eq!(out.cost_trace.len(), out.loops, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn revisit_of_any_earlier_order_is_suppressed() {
+        // The 2-cycle scenario, at the visited-set level: Π was expanded,
+        // Π′ was expanded, and the DP at Π′ hands back Π. The set must
+        // refuse the revisit (a deterministic DP would reproduce the Π
+        // pass byte-for-byte), while a genuinely new order is admitted.
+        let pi = SinkOrder::new(vec![0, 1, 2]).expect("permutation");
+        let pi_prime = SinkOrder::new(vec![1, 0, 2]).expect("permutation");
+        let fresh = SinkOrder::new(vec![2, 1, 0]).expect("permutation");
+        let mut visited = std::collections::HashSet::new();
+        assert!(visited.insert(pi.clone()));
+        assert!(visited.insert(pi_prime));
+        assert!(!visited.insert(pi), "cycling back to Π must be refused");
+        assert!(visited.insert(fresh), "new orders keep the search going");
     }
 
     #[test]

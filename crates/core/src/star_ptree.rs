@@ -21,7 +21,7 @@
 //! level or across neighborhood members — is solved exactly once.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use merlin_curves::{Curve, CurvePoint, ProvArena, ProvId};
 use merlin_geom::{manhattan, Point};
@@ -43,7 +43,7 @@ pub struct SinkView {
 }
 
 /// One solution curve per candidate root location.
-pub type CurveFam = Rc<Vec<Curve>>;
+pub type CurveFam = Arc<Vec<Curve>>;
 
 /// Memo table keyed by child-subsequence content (Lemma 7).
 #[derive(Debug, Default)]
@@ -124,7 +124,7 @@ impl Gamma {
     /// Panics if the group has not been constructed yet (the bottom-up
     /// level order guarantees availability).
     pub fn get(&self, l: u16, e: u8, r: u16) -> CurveFam {
-        Rc::clone(
+        Arc::clone(
             self.map
                 .get(&(l, e, r))
                 // Γ entries are filled in dependency order, so a missing entry is a
@@ -163,13 +163,13 @@ pub fn range_curves(
 ) -> CurveFam {
     if let Some(hit) = cache.map.get(children) {
         cache.hits += 1;
-        return Rc::clone(hit);
+        return Arc::clone(hit);
     }
     cache.misses += 1;
     let fam = compute_range(ctx, children, gamma, cache, arena);
     cache
         .map
-        .insert(children.to_vec().into_boxed_slice(), Rc::clone(&fam));
+        .insert(children.to_vec().into_boxed_slice(), Arc::clone(&fam));
     fam
 }
 
@@ -193,7 +193,7 @@ fn compute_range(
     }
     // M(p): merged (or base) structures rooted at p, before root buffers.
     let mut m: Vec<Curve> = match children {
-        [] => return Rc::new(vec![Curve::new(); k]),
+        [] => return Arc::new(vec![Curve::new(); k]),
         [single] => base_curves(ctx, *single, gamma, arena),
         _ => {
             let mut pending: Vec<Step> = Vec::new();
@@ -288,7 +288,7 @@ fn compute_range(
         }
     }
 
-    Rc::new(m)
+    Arc::new(m)
 }
 
 /// Base curves for a single terminal, per candidate root.
@@ -478,7 +478,7 @@ mod tests {
         let before = cache.stats();
         let b = range_curves(&ctx, &seq, &gamma, &mut cache, &mut arena);
         let after = cache.stats();
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(after.0, before.0 + 1, "second call must be a hit");
     }
 

@@ -1,0 +1,164 @@
+//! The level-sharded parallel `BUBBLE_CONSTRUCT` must be observationally
+//! identical to the sequential engine at every thread count.
+//!
+//! Each Cα level only reads Γ entries of strictly smaller levels, and the
+//! merge re-inserts each `(E, R)` pair's family in the sequential pair
+//! order, so the final curve, the selected point, and the extracted tree
+//! are deterministic functions of the input alone — only internal layout
+//! (arena ids, cache hit/miss tallies) may differ. These tests pin that
+//! contract down over a battery of random nets, plus the two negative
+//! paths the parallel refactor had to keep honest: cooperative budget
+//! exhaustion under the now-atomic work meter, and the empty-library
+//! guard in front of the `len() - 1` stride selection.
+
+use merlin::{BubbleConstruct, Constraint, Merlin, MerlinConfig};
+use merlin_netlist::bench_nets::random_net;
+use merlin_order::tsp::tsp_order;
+use merlin_resilience::{SolveBudget, SolverError};
+use merlin_tech::{BufferLibrary, Technology};
+use proptest::prelude::*;
+
+/// `small_exact` with thinned curves: the equivalence contract holds for
+/// any configuration (thinning is itself deterministic), and thin curves
+/// keep 256 proptest cases affordable in debug builds.
+fn cfg(threads: usize) -> MerlinConfig {
+    MerlinConfig {
+        threads,
+        max_curve_points: 6,
+        ..MerlinConfig::small_exact()
+    }
+}
+
+/// A curve point's `(load, req, area)` value triple — everything a point
+/// says except its arena back-pointer, which is layout and may
+/// legitimately differ between engines.
+type Triple = (u32, f64, u64);
+
+fn triples(c: &merlin_curves::Curve) -> Vec<Triple> {
+    c.iter().map(|p| (p.load.0, p.req, p.area)).collect()
+}
+
+/// Runs one construction at `threads` workers and returns the observable
+/// outcome: curve triples, the selected point's triple, and the tree
+/// extracted from the selected point.
+fn observe(
+    net: &merlin_netlist::Net,
+    tech: &Technology,
+    threads: usize,
+) -> (Vec<Triple>, Triple, merlin_tech::BufferedTree) {
+    let order = tsp_order(net.source, &net.sink_positions());
+    let result = BubbleConstruct::new(net, tech, cfg(threads)).run(&order);
+    let point = result
+        .select(Constraint::best_req())
+        .expect("non-empty curve");
+    let tree = result.extract(&point);
+    (
+        triples(&result.curve),
+        (point.load.0, point.req, point.area),
+        tree,
+    )
+}
+
+// Random small nets: threads ∈ {2, 4} agree with the sequential engine
+// on the final curve, the selected point, and the tree.
+proptest! {
+    #[test]
+    fn parallel_construct_matches_sequential(sinks in 3usize..5, seed in 0u64..500) {
+        let tech = Technology::tiny_test();
+        let net = random_net("p", sinks, seed, &tech);
+        let (curve1, point1, tree1) = observe(&net, &tech, 1);
+        for threads in [2usize, 4] {
+            let (curve_n, point_n, tree_n) = observe(&net, &tech, threads);
+            prop_assert_eq!(&curve_n, &curve1, "curve diverged at {} threads", threads);
+            prop_assert_eq!(point_n, point1, "selected point diverged at {} threads", threads);
+            prop_assert_eq!(&tree_n, &tree1, "extracted tree diverged at {} threads", threads);
+        }
+    }
+}
+
+/// The full MERLIN search (outer loop + neighborhood) is thread-count
+/// invariant too: same loops, same tree, for a battery of seeds. `0`
+/// (auto = one per core) is included to cover the knob's detection path.
+/// Thinned curves keep the debug-build cost down — the equivalence
+/// contract holds for any configuration, so a thin one proves as much as
+/// an exact one.
+#[test]
+fn merlin_search_is_thread_count_invariant() {
+    let tech = Technology::tiny_test();
+    let search_cfg = |threads: usize| MerlinConfig {
+        max_loops: 2,
+        ..cfg(threads)
+    };
+    for seed in [3u64, 17] {
+        let net = random_net("m", 5, seed, &tech);
+        let baseline = Merlin::new(&tech, search_cfg(1)).optimize(&net);
+        for threads in [2usize, 4, 0] {
+            let out = Merlin::new(&tech, search_cfg(threads)).optimize(&net);
+            assert_eq!(
+                out.loops, baseline.loops,
+                "seed {seed}: loop count diverged"
+            );
+            assert_eq!(
+                out.tree, baseline.tree,
+                "seed {seed}: tree diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// A work budget that dies mid-level must surface as a clean
+/// `BudgetExceeded` from the parallel engine: worker errors propagate in
+/// shard order, the partial Γ is discarded, and nothing panics. The meter
+/// is shared (one atomic) so the total charge observed afterwards reflects
+/// every worker's spending.
+#[test]
+fn budget_exhaustion_mid_level_is_a_clean_error_under_threads() {
+    let tech = Technology::tiny_test();
+    let net = random_net("b", 6, 11, &tech);
+    let order = tsp_order(net.source, &net.sink_positions());
+    for threads in [1usize, 4] {
+        let budget = SolveBudget::with_work_limit(200);
+        let err = BubbleConstruct::new(&net, &tech, cfg(threads))
+            .run_budgeted(&order, &budget)
+            .expect_err("a 200-unit work budget cannot finish a 6-sink net");
+        assert!(
+            matches!(err, SolverError::BudgetExceeded(_)),
+            "{threads} threads: expected BudgetExceeded, got {err}"
+        );
+        assert!(
+            budget.exhausted(),
+            "{threads} threads: meter must show exhaustion"
+        );
+        assert!(
+            budget.work_used() >= 200,
+            "{threads} threads: shared meter lost worker charges"
+        );
+    }
+}
+
+/// An empty buffer library is a broken technology: the engine must return
+/// the typed `EmptyCurve` error instead of underflowing `len() - 1`.
+#[test]
+fn empty_buffer_library_is_a_typed_error_not_a_panic() {
+    let full = Technology::tiny_test();
+    let net = random_net("e", 4, 5, &full);
+    let tech = Technology {
+        library: BufferLibrary::empty(),
+        ..full
+    };
+    let order = tsp_order(net.source, &net.sink_positions());
+    for threads in [1usize, 4] {
+        let err = BubbleConstruct::new(&net, &tech, cfg(threads))
+            .run_budgeted(&order, &SolveBudget::unlimited())
+            .expect_err("an empty library cannot produce a buffered tree");
+        match err {
+            SolverError::EmptyCurve { context } => {
+                assert!(
+                    context.contains("empty buffer library"),
+                    "context: {context}"
+                )
+            }
+            other => panic!("expected EmptyCurve, got {other}"),
+        }
+    }
+}

@@ -91,35 +91,71 @@ impl std::error::Error for ProvArenaError {}
 #[derive(Clone, Debug, Default)]
 pub struct ProvArena<S> {
     steps: Vec<S>,
+    base: u32,
 }
 
 impl<S> ProvArena<S> {
     /// Creates an empty arena.
     pub fn new() -> Self {
-        ProvArena { steps: Vec::new() }
+        ProvArena {
+            steps: Vec::new(),
+            base: 0,
+        }
     }
 
     /// Creates an empty arena with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
         ProvArena {
             steps: Vec::with_capacity(cap),
+            base: 0,
         }
+    }
+
+    /// Creates an empty *segment* arena whose handles start at `base`
+    /// instead of 0.
+    ///
+    /// A parallel DP gives each worker a segment based at the global
+    /// arena's current length: handles below `base` unambiguously refer to
+    /// pre-existing global steps, handles at or above it to this worker's
+    /// own steps — so the merge can rebase a segment into the global arena
+    /// with one offset per segment (see [`ProvArena::into_steps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` exceeds `u32::MAX`.
+    pub fn with_base(base: usize) -> Self {
+        ProvArena {
+            steps: Vec::new(),
+            base: u32::try_from(base).expect("provenance arena overflow"),
+        }
+    }
+
+    /// The handle offset of this arena (0 for ordinary arenas).
+    pub fn base(&self) -> usize {
+        self.base as usize
+    }
+
+    /// Consumes a segment arena, yielding its locally stored steps (the
+    /// first returned step corresponds to handle [`ProvArena::base`]).
+    pub fn into_steps(self) -> Vec<S> {
+        self.steps
     }
 
     /// Stores a step and returns its handle.
     ///
     /// # Panics
     ///
-    /// Panics if more than `u32::MAX` steps are stored.
+    /// Panics if a handle past `u32::MAX` would be issued.
     pub fn push(&mut self, step: S) -> ProvId {
-        let id = u32::try_from(self.steps.len()).expect("provenance arena overflow");
+        let id = u32::try_from(self.base as usize + self.steps.len())
+            .expect("provenance arena overflow");
         self.steps.push(step);
         ProvId(id)
     }
 
     /// Step by handle, if the handle came from this arena.
     pub fn get(&self, id: ProvId) -> Option<&S> {
-        self.steps.get(id.index())
+        self.steps.get(id.index().checked_sub(self.base as usize)?)
     }
 
     /// Number of stored steps.
@@ -147,15 +183,20 @@ impl<S: ProvStep> ProvArena<S> {
     /// acyclic and every extraction walk terminates. Runs in O(total
     /// number of references).
     pub fn validate(&self) -> Result<(), ProvArenaError> {
+        let base = self.base as usize;
         let mut children = Vec::new();
         for (i, step) in self.steps.iter().enumerate() {
             children.clear();
             step.push_children(&mut children);
             for &child in &children {
-                if child.index() >= self.steps.len() {
+                // Handles below `base` point at pre-existing global steps
+                // (segment arenas only; `base` is 0 for ordinary arenas):
+                // they are backward by construction and their bounds belong
+                // to the global arena this segment will merge into.
+                if child.index() >= base + self.steps.len() {
                     return Err(ProvArenaError::OutOfBounds { step: i, child });
                 }
-                if child.index() >= i {
+                if child.index() >= base + i {
                     return Err(ProvArenaError::ForwardReference { step: i, child });
                 }
             }
@@ -180,7 +221,7 @@ impl<S: ProvStep> ProvArena<S> {
 impl<S> std::ops::Index<ProvId> for ProvArena<S> {
     type Output = S;
     fn index(&self, id: ProvId) -> &S {
-        &self.steps[id.index()]
+        &self.steps[id.index() - self.base as usize]
     }
 }
 
@@ -228,6 +269,33 @@ mod tests {
         a.push(TestStep::Join(j, l));
         assert_eq!(a.validate(), Ok(()));
         a.debug_validate("test");
+    }
+
+    #[test]
+    fn segment_arena_issues_offset_handles() {
+        let mut seg: ProvArena<TestStep> = ProvArena::with_base(10);
+        assert_eq!(seg.base(), 10);
+        let a = seg.push(TestStep::Leaf);
+        assert_eq!(a, ProvId::new(10));
+        // A global reference (below base) plus a local one: both legal.
+        let j = seg.push(TestStep::Join(ProvId::new(3), a));
+        assert_eq!(j, ProvId::new(11));
+        assert_eq!(seg.len(), 2);
+        assert!(matches!(seg.get(a), Some(TestStep::Leaf)));
+        assert!(seg.get(ProvId::new(3)).is_none(), "below base is not ours");
+        assert_eq!(seg.validate(), Ok(()));
+        // Forward/self references are still caught relative to the base.
+        let mut bad: ProvArena<TestStep> = ProvArena::with_base(10);
+        bad.push(TestStep::Join(ProvId::new(10), ProvId::new(0)));
+        assert_eq!(
+            bad.validate(),
+            Err(ProvArenaError::ForwardReference {
+                step: 0,
+                child: ProvId::new(10)
+            })
+        );
+        let steps = seg.into_steps();
+        assert_eq!(steps.len(), 2);
     }
 
     #[test]

@@ -117,6 +117,16 @@ impl Curve {
         self.pts.iter()
     }
 
+    /// Rewrites every point's provenance handle in place, preserving
+    /// values and ordering. Used when a parallel DP merges per-worker
+    /// arena segments into the global arena: the `(load, req, area)`
+    /// content is final, only the arena ids need rebasing.
+    pub fn map_prov(&mut self, mut f: impl FnMut(ProvId) -> ProvId) {
+        for p in &mut self.pts {
+            p.prov = f(p.prov);
+        }
+    }
+
     /// Removes every inferior point (Definition 6), keeping one
     /// representative of identical points, and sorts by increasing load.
     ///

@@ -180,10 +180,10 @@ pub fn resilient_solve_from(
 }
 
 /// The batch supervisor's per-attempt entry point: applies an
-/// [`AttemptParams`] perturbation (thinned search, lowered ladder entry)
-/// on top of `cfg` and solves. The budget scale of the params is *not*
-/// applied here — the supervisor builds each attempt's budget itself so
-/// the caller controls what "the per-net budget" means.
+/// [`AttemptParams`] perturbation (thinned search, lowered ladder entry,
+/// intra-net DP threads) on top of `cfg` and solves. The budget scale of
+/// the params is *not* applied here — the supervisor builds each attempt's
+/// budget itself so the caller controls what "the per-net budget" means.
 pub fn resilient_solve_attempt(
     net: &Net,
     tech: &Technology,
@@ -191,12 +191,15 @@ pub fn resilient_solve_attempt(
     budget: &SolveBudget,
     params: &AttemptParams,
 ) -> ResilientOutcome {
-    if params.thin_search {
-        let thin = cfg.thinned();
-        resilient_solve_from(net, tech, &thin, budget, params.entry)
+    let mut cfg = if params.thin_search {
+        cfg.thinned()
     } else {
-        resilient_solve_from(net, tech, cfg, budget, params.entry)
+        cfg.clone()
+    };
+    if params.threads != 0 {
+        cfg.merlin.threads = params.threads;
     }
+    resilient_solve_from(net, tech, &cfg, budget, params.entry)
 }
 
 #[cfg(test)]

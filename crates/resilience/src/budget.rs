@@ -11,11 +11,14 @@
 //! Budgets are *cooperative*: the engines call [`SolveBudget::charge`] /
 //! [`SolveBudget::check`] inside their hot loops and return a typed error
 //! when a dimension is exhausted, unwinding cleanly instead of being
-//! killed. The interior [`Cell`] keeps `charge(&self)` usable through the
-//! shared references the DP closures already hold.
+//! killed. The interior [`AtomicU64`] keeps `charge(&self)` usable through
+//! the shared references the DP closures already hold, and lets the
+//! level-sharded parallel `BUBBLE_CONSTRUCT` workers charge one shared
+//! meter; ordering is `Relaxed` throughout because the meter is a pure
+//! monotone counter — no other memory is published through it.
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Which budget dimension ran out.
@@ -62,12 +65,23 @@ impl std::error::Error for BudgetExceeded {}
 ///
 /// The default ([`SolveBudget::unlimited`]) never trips, so budget-aware
 /// entry points cost nothing for callers that do not care.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct SolveBudget {
     started: Instant,
     deadline: Option<Instant>,
     work_limit: Option<u64>,
-    work_used: Cell<u64>,
+    work_used: AtomicU64,
+}
+
+impl Clone for SolveBudget {
+    fn clone(&self) -> Self {
+        SolveBudget {
+            started: self.started,
+            deadline: self.deadline,
+            work_limit: self.work_limit,
+            work_used: AtomicU64::new(self.work_used.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Default for SolveBudget {
@@ -83,7 +97,7 @@ impl SolveBudget {
             started: Instant::now(),
             deadline: None,
             work_limit: None,
-            work_used: Cell::new(0),
+            work_used: AtomicU64::new(0),
         }
     }
 
@@ -115,7 +129,7 @@ impl SolveBudget {
 
     /// Work units charged so far.
     pub fn work_used(&self) -> u64 {
-        self.work_used.get()
+        self.work_used.load(Ordering::Relaxed)
     }
 
     /// Records `units` of DP work against the budget.
@@ -128,8 +142,13 @@ impl SolveBudget {
     /// Fails with [`BudgetKind::Work`] once the cumulative spend exceeds
     /// the limit.
     pub fn charge(&self, units: u64) -> Result<(), BudgetExceeded> {
-        let used = self.work_used.get().saturating_add(units);
-        self.work_used.set(used);
+        // fetch_add wraps on overflow; a saturating CAS loop would cost a
+        // retry path for a counter that needs ~600 years of max-rate DP
+        // work to wrap, so plain fetch_add + saturating_add locally.
+        let used = self
+            .work_used
+            .fetch_add(units, Ordering::Relaxed)
+            .saturating_add(units);
         match self.work_limit {
             Some(limit) if used > limit => Err(BudgetExceeded {
                 kind: BudgetKind::Work,
@@ -168,7 +187,7 @@ impl SolveBudget {
     pub fn check(&self) -> Result<(), BudgetExceeded> {
         self.check_deadline()?;
         if let Some(limit) = self.work_limit {
-            let used = self.work_used.get();
+            let used = self.work_used.load(Ordering::Relaxed);
             if used >= limit {
                 return Err(BudgetExceeded {
                     kind: BudgetKind::Work,
@@ -201,14 +220,14 @@ impl SolveBudget {
             now + remaining.mul_f64(fraction)
         });
         let work_limit = self.work_limit.map(|l| {
-            let remaining = l.saturating_sub(self.work_used.get());
+            let remaining = l.saturating_sub(self.work_used());
             (remaining as f64 * fraction).floor() as u64
         });
         SolveBudget {
             started: now,
             deadline,
             work_limit,
-            work_used: Cell::new(0),
+            work_used: AtomicU64::new(0),
         }
     }
 
@@ -216,7 +235,7 @@ impl SolveBudget {
     /// fails; use [`SolveBudget::check`] to observe the result).
     pub fn absorb(&self, child: &SolveBudget) {
         self.work_used
-            .set(self.work_used.get().saturating_add(child.work_used.get()));
+            .fetch_add(child.work_used(), Ordering::Relaxed);
     }
 }
 
@@ -271,6 +290,24 @@ mod tests {
         // Unlimited parents produce unlimited slices.
         let free = SolveBudget::unlimited().slice(0.1);
         assert!(free.charge(u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn charge_is_shared_across_threads() {
+        // The level-sharded parallel DP charges one meter from every
+        // worker; no spend may be lost and the limit must still trip.
+        let b = SolveBudget::with_work_limit(350);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let _ = b.charge(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.work_used(), 400, "every worker's spend is counted");
+        assert!(b.exhausted(), "limit trips across threads");
     }
 
     #[test]

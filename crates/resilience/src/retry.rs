@@ -42,6 +42,12 @@ pub struct AttemptParams {
     /// Whether the attempt should run with a thinned search (cheaper
     /// candidate-location strategy, thinner curves).
     pub thin_search: bool,
+    /// Worker threads for the intra-net parallel DP (0 = leave the
+    /// configured `MerlinConfig::threads` untouched). The supervisor sets
+    /// this from its own `--threads` knob; the retry schedule itself never
+    /// perturbs it, since thread count cannot change the (deterministic)
+    /// result — only how fast a retry burns its budget slice.
+    pub threads: usize,
 }
 
 /// Bounded-retry policy with exponential backoff. See the module docs.
@@ -87,13 +93,33 @@ impl RetryPolicy {
     /// Backoff to sleep before dispatching `attempt` (0-based; attempt 0
     /// never waits). Grows as `base * factor^(attempt-1)`, capped at
     /// [`RetryPolicy::max_backoff`].
+    ///
+    /// Never panics for any `attempt`: the growth factor is clamped
+    /// *before* the `Duration` multiply. The naive
+    /// `base.mul_f64(factor.powi(attempt - 1))` overflows `Duration`
+    /// (a panic) around attempt 64 at the 25 ms default, and `powi`'s
+    /// `i32` exponent would itself wrap for huge attempts — with the
+    /// uncapped CLI `--max-retries` either one took down the whole
+    /// supervisor event loop on a persistently failing net.
     pub fn backoff(&self, attempt: u32) -> Duration {
         if attempt == 0 {
             return Duration::ZERO;
         }
-        let factor = self.backoff_factor.max(1.0).powi(attempt as i32 - 1);
-        let grown = self.base_backoff.mul_f64(factor);
-        grown.min(self.max_backoff.max(self.base_backoff))
+        let cap = self.max_backoff.max(self.base_backoff);
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        // Once factor >= cap/base the multiply can only land on the cap,
+        // so return it without touching `Duration` arithmetic. Growing
+        // 2^1024 dwarfs any representable cap/base ratio, so clamping the
+        // exponent cannot change which side of the ratio we land on.
+        let exp = (attempt - 1).min(1024) as i32;
+        let factor = self.backoff_factor.max(1.0).powi(exp);
+        let ratio = cap.as_secs_f64() / self.base_backoff.as_secs_f64();
+        if !factor.is_finite() || factor >= ratio {
+            return cap;
+        }
+        self.base_backoff.mul_f64(factor).min(cap)
     }
 
     /// The perturbed parameters for `attempt` (0-based). Attempt 0 is the
@@ -111,6 +137,7 @@ impl RetryPolicy {
             budget_scale: (0.5f64.powi(attempt.min(3) as i32)).max(0.125),
             entry,
             thin_search: attempt > 0,
+            threads: 0,
         }
     }
 }
@@ -155,6 +182,26 @@ mod tests {
         assert_eq!(policy.backoff(2), Duration::from_millis(20));
         assert_eq!(policy.backoff(3), Duration::from_millis(35), "capped");
         assert_eq!(policy.backoff(8), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn backoff_never_overflows_duration() {
+        // Regression: attempt 64 at the 25 ms default used to overflow
+        // `Duration::mul_f64` and panic the supervisor event loop.
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(64), policy.max_backoff);
+        assert_eq!(policy.backoff(200), policy.max_backoff);
+        for attempt in [63, 64, 65, 1000, 100_000, u32::MAX - 1, u32::MAX] {
+            assert!(policy.backoff(attempt) <= policy.max_backoff);
+        }
+        // A pathological factor must clamp, not produce inf * base.
+        let wild = RetryPolicy {
+            backoff_factor: f64::INFINITY,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(wild.backoff(2), wild.max_backoff);
+        // Zero base (no_retries) stays zero for any attempt.
+        assert_eq!(RetryPolicy::no_retries().backoff(u32::MAX), Duration::ZERO);
     }
 
     #[test]

@@ -97,6 +97,11 @@ pub struct BatchConfig {
     /// worker id into [`BatchReport::trace`]. Off by default (the
     /// collector's disabled fast path is a single thread-local load).
     pub capture_trace: bool,
+    /// Intra-net DP worker threads per solve attempt (`0` = keep the
+    /// per-net flows default, which is the sequential engine). The result
+    /// is identical at any thread count; keep `jobs × threads` at or
+    /// below the core count or the shards just contend with each other.
+    pub threads: usize,
 }
 
 impl Default for BatchConfig {
@@ -114,6 +119,7 @@ impl Default for BatchConfig {
             fault: FaultConfig::none(),
             crash_after: None,
             capture_trace: false,
+            threads: 0,
         }
     }
 }
@@ -206,6 +212,7 @@ struct Shared {
     retry: RetryPolicy,
     fault: FaultConfig,
     capture_trace: bool,
+    threads: usize,
     sched: Mutex<Sched>,
     ready: Condvar,
 }
@@ -284,7 +291,8 @@ fn worker_loop(shared: Arc<Shared>, tx: mpsc::Sender<Event>, worker_id: usize) {
     }
     while let Some((idx, attempt, gen)) = next_job(&shared, worker_id) {
         let net = &shared.nets[idx];
-        let params = shared.retry.params(attempt);
+        let mut params = shared.retry.params(attempt);
+        params.threads = shared.threads;
         let budget =
             artifact::attempt_budget(shared.budget_ms, shared.work_limit, params.budget_scale);
         let cfg = FlowsConfig::for_net_size(net.num_sinks());
@@ -521,6 +529,7 @@ pub fn run_batch(
         retry: cfg.retry,
         fault: cfg.fault.clone(),
         capture_trace: cfg.capture_trace,
+        threads: cfg.threads,
         sched: Mutex::new(Sched {
             queue,
             inflight: HashMap::new(),
@@ -650,7 +659,7 @@ pub fn run_batch(
                     merlin_trace::counter("supervisor.retry.degraded", 1);
                     let next = attempt + 1;
                     let backoff = cfg.retry.backoff(next);
-                    merlin_trace::counter("supervisor.backoff.ms", backoff.as_millis() as u64);
+                    merlin_trace::observe("supervisor.backoff.ms", backoff.as_millis() as u64);
                     let mut s = lock(&shared.sched);
                     s.queue.push_back(QueueItem {
                         idx,
@@ -689,7 +698,7 @@ pub fn run_batch(
                     merlin_trace::counter("supervisor.retry.timeout", 1);
                     let next = attempt + 1;
                     let backoff = cfg.retry.backoff(next);
-                    merlin_trace::counter("supervisor.backoff.ms", backoff.as_millis() as u64);
+                    merlin_trace::observe("supervisor.backoff.ms", backoff.as_millis() as u64);
                     let mut s = lock(&shared.sched);
                     s.queue.push_back(QueueItem {
                         idx,

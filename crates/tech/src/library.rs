@@ -34,6 +34,18 @@ impl BufferLibrary {
         BufferLibrary { buffers }
     }
 
+    /// A deliberately *empty* library, modeling a broken technology.
+    ///
+    /// The normal constructor rejects empty buffer lists, but the solver
+    /// stack promises a typed error (not an underflow panic) if an empty
+    /// library ever reaches the DP — this constructor exists so the
+    /// negative-path tests can exercise that promise.
+    pub fn empty() -> Self {
+        BufferLibrary {
+            buffers: Vec::new(),
+        }
+    }
+
     /// The synthetic 34-buffer 0.35 µm library: drive strengths spaced
     /// geometrically from 1× to 64× (ratio 64^(1/33) ≈ 1.134), mirroring
     /// the spread of the industrial library used in the paper.
@@ -82,9 +94,12 @@ impl BufferLibrary {
         self.buffers.len()
     }
 
-    /// A library is never empty.
+    /// Whether the library holds no buffers. `new` rejects empty lists,
+    /// but [`BufferLibrary::empty`] deliberately builds a broken
+    /// technology for negative-path tests — consumers must treat an
+    /// empty library as an error, not an impossibility.
     pub fn is_empty(&self) -> bool {
-        false
+        self.buffers.is_empty()
     }
 
     /// Iterates over the buffers, weakest first.

@@ -407,6 +407,34 @@ pub fn drain() -> Trace {
         .unwrap_or_default()
 }
 
+/// Fold a drained [`Trace`] from another thread into the **current**
+/// thread's collector, as if its events had been recorded here.
+///
+/// This is how the level-sharded parallel DP reports: each scoped worker
+/// enables collection, drains at exit, and the coordinating thread absorbs
+/// the worker traces in deterministic shard order. Spans keep their
+/// original timestamps (every thread shares the process-wide epoch, so the
+/// time axes line up) and are appended in recorded close order; counters
+/// and histograms merge saturating. No-op when collection is disabled on
+/// the absorbing thread.
+pub fn absorb(trace: Trace) {
+    if !is_enabled() {
+        return;
+    }
+    let _ = COLLECTOR.try_with(|c| {
+        if let Ok(mut c) = c.try_borrow_mut() {
+            c.spans.extend(trace.spans);
+            for (name, value) in trace.counters {
+                let slot = c.counters.entry(name).or_insert(0);
+                *slot = slot.saturating_add(value);
+            }
+            for (name, hist) in trace.hists {
+                c.hists.entry(name).or_default().merge(&hist);
+            }
+        }
+    });
+}
+
 /// RAII guard for a timed region; created by the [`span!`] macro.
 ///
 /// A guard created while collection is disabled is inert forever (token 0).
@@ -546,6 +574,46 @@ mod tests {
         let parent = &trace.spans[2];
         let kids: u64 = trace.spans[..2].iter().map(|s| s.dur_ns).sum();
         assert_eq!(parent.self_ns, parent.dur_ns.saturating_sub(kids));
+    }
+
+    #[test]
+    fn absorb_folds_a_worker_trace_into_the_current_thread() {
+        // The parallel-DP merge path: a worker collects into its own
+        // thread-local trace, drains it, and the coordinator absorbs it.
+        enable();
+        let _ = drain();
+        counter("t.absorb.count", 10);
+        observe("t.absorb.hist", 4);
+        let worker = std::thread::spawn(|| {
+            enable();
+            let _ = drain();
+            {
+                let _s = span!("t.absorb.worker");
+                counter("t.absorb.count", 32);
+                observe("t.absorb.hist", 4);
+            }
+            let t = drain();
+            disable();
+            t
+        })
+        .join()
+        .expect("worker ran");
+        absorb(worker);
+        let merged = drain();
+        disable();
+        assert_eq!(merged.counter("t.absorb.count"), 42);
+        assert_eq!(merged.spans.len(), 1);
+        assert_eq!(merged.spans[0].name, "t.absorb.worker");
+        let hist = merged
+            .hists
+            .iter()
+            .find(|(name, _)| *name == "t.absorb.hist")
+            .map(|(_, h)| h)
+            .expect("merged histogram present");
+        assert_eq!(hist.count, 2);
+        // Absorbing into a disabled thread is a silent no-op, never a
+        // panic (the worker may outlive the coordinator's collection).
+        absorb(Trace::default());
     }
 
     #[test]

@@ -104,4 +104,36 @@ grep -Eq 'counter core\.cache\.hit += [1-9]' "$SUPTMP/trace-stats.txt" || {
   exit 1
 }
 
+echo "== parallel (sequential vs --threads 4: byte-identical output) =="
+# The level-sharded parallel BUBBLE_CONSTRUCT promises results identical
+# to the sequential engine at any thread count. Solve the same net at
+# --threads 1, 2 and 4 and byte-diff the rendered reports and SVG trees.
+# No --stats here on purpose: cache hit/miss tallies and arena layout are
+# internal and legitimately differ across thread counts.
+cat > "$SUPTMP/parallel-demo.net" <<'EOF'
+net parallel-demo
+source 0 0 4.0
+sink 400 300 12.0 900.0
+sink -250 500 9.5 800.0
+sink 600 -150 15.0 1000.0
+sink -400 -350 7.0 850.0
+sink 150 650 11.0 950.0
+sink -550 120 8.5 780.0
+EOF
+for t in 1 2 4; do
+  target/release/merlin_cli solve "$SUPTMP/parallel-demo.net" --threads "$t" \
+    --svg "$SUPTMP/parallel-$t.svg" \
+    | grep -v '^runtime\|^svg written' > "$SUPTMP/parallel-$t.txt"
+done
+for t in 2 4; do
+  diff -u "$SUPTMP/parallel-1.txt" "$SUPTMP/parallel-$t.txt" || {
+    echo "parallel: --threads $t report diverged from sequential" >&2
+    exit 1
+  }
+  cmp -s "$SUPTMP/parallel-1.svg" "$SUPTMP/parallel-$t.svg" || {
+    echo "parallel: --threads $t rendered tree diverged from sequential" >&2
+    exit 1
+  }
+done
+
 echo "all checks passed"

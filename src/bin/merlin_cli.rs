@@ -44,6 +44,9 @@ solve flags:
   --svg out.svg        also render the buffered routing tree
   --area-budget λ²     MERLIN variant I: max required time within area
   --req-target ps      MERLIN variant II: min area meeting required time
+  --threads N          intra-net DP worker threads for BUBBLE_CONSTRUCT
+                       (0 = one per core; default 1 = sequential); the
+                       result is identical at any thread count
 
 trace flags (solve, batch and resume):
   --trace out.json     capture a trace of the run and write it here
@@ -57,6 +60,9 @@ batch/resume flags (defaults in parentheses):
   --sinks S            sinks per generated net (8)
   --seed K             base seed for generated nets (1)
   --jobs J             worker threads (available CPU parallelism)
+  --threads N          intra-net DP threads per solve attempt (0 = keep
+                       the sequential per-net default); keep jobs ×
+                       threads at or below the core count
   --budget-ms MS       cooperative per-net wall-clock budget (none)
   --work-limit W       cooperative per-net DP work limit (none)
   --max-retries R      retries after each net's first attempt (2)
@@ -212,6 +218,7 @@ fn cmd_solve(mut args: Args) -> ExitCode {
     let mut svg_out = None;
     let mut area_budget = None;
     let mut req_target = None;
+    let mut threads = None;
     let mut trace_opts = TraceOpts::default();
     while let Some(arg) = args.next() {
         if let Some(result) = trace_opts.consume(&arg, &mut args) {
@@ -225,6 +232,7 @@ fn cmd_solve(mut args: Args) -> ExitCode {
             "--svg" => args.value_for("--svg").map(|v| svg_out = Some(v)),
             "--area-budget" => args.parsed("--area-budget").map(|v| area_budget = Some(v)),
             "--req-target" => args.parsed("--req-target").map(|v| req_target = Some(v)),
+            "--threads" => args.parsed("--threads").map(|v: usize| threads = Some(v)),
             other if !other.starts_with("--") => {
                 file = Some(other.to_owned());
                 Ok(())
@@ -254,6 +262,9 @@ fn cmd_solve(mut args: Args) -> ExitCode {
     }
     if let Some(target) = req_target {
         cfg.merlin.constraint = Constraint::MinAreaWithReq(target);
+    }
+    if let Some(n) = threads {
+        cfg.merlin.threads = n;
     }
 
     if trace_opts.active() {
@@ -325,6 +336,7 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
             "--sinks" => args.parsed("--sinks").map(|v| sinks = v),
             "--seed" => args.parsed("--seed").map(|v| seed = v),
             "--jobs" => args.parsed("--jobs").map(|v: usize| cfg.jobs = v.max(1)),
+            "--threads" => args.parsed("--threads").map(|v: usize| cfg.threads = v),
             "--budget-ms" => args.parsed("--budget-ms").map(|v| cfg.budget_ms = Some(v)),
             "--work-limit" => args
                 .parsed("--work-limit")

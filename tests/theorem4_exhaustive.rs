@@ -34,6 +34,7 @@ fn exact_cfg(bubbling: bool) -> MerlinConfig {
         reloc_neighbors: 0,
         enforce_max_load: false,
         max_inner_groups: 1,
+        threads: 1,
     }
 }
 
