@@ -1,0 +1,580 @@
+//! Rule framework: findings, allow-marker suppression, token-context
+//! fingerprints, and the baseline ratchet (v1 counts, v2 fingerprints).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::lexer::{lex, Token};
+
+/// Finding severity, carried into the SARIF `level` field. Both severities
+/// count against the baseline ratchet; severity is reporting metadata, not
+/// an enforcement tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A violated invariant: the finding names a construct that can panic,
+    /// corrupt, or race.
+    Error,
+    /// A hazard that may be intentional (a baselined lossy cast, a
+    /// hot-path `SeqCst`, a stale allow marker).
+    Warning,
+}
+
+impl Severity {
+    /// SARIF level string.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One rule finding at a specific source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Rule name (one of [`crate::ALL_RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source line for the report.
+    pub snippet: String,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Token-context fingerprint (16 hex chars), stable across unrelated
+    /// line shifts. See [`fingerprint_context`].
+    pub fingerprint: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// 64-bit FNV-1a, the fingerprint hash. Dependency-free and stable across
+/// platforms and releases (the baseline file depends on it).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the token-context string a fingerprint hashes: the normalized
+/// lexemes of the finding line and its nearest non-blank code neighbors,
+/// joined with single spaces. Line numbers never enter the hash, so a
+/// finding's fingerprint survives unrelated edits elsewhere in the file.
+pub fn fingerprint_context(src: &str, tokens: &[Token], line: usize) -> String {
+    let on = |l: usize| -> Vec<&str> {
+        tokens
+            .iter()
+            .filter(|t| t.line == l && !t.kind.is_trivia())
+            .map(|t| t.text(src))
+            .collect()
+    };
+    let mut ctx: Vec<&str> = Vec::new();
+    // Nearest non-blank code line above, the line itself, nearest below.
+    let mut above = line;
+    while above > 1 {
+        above -= 1;
+        let toks = on(above);
+        if !toks.is_empty() {
+            ctx.extend(toks);
+            break;
+        }
+    }
+    ctx.extend(on(line));
+    let last_line = tokens.last().map(|t| t.line).unwrap_or(line);
+    let mut below = line;
+    while below < last_line {
+        below += 1;
+        let toks = on(below);
+        if !toks.is_empty() {
+            ctx.extend(toks);
+            break;
+        }
+    }
+    ctx.join(" ")
+}
+
+/// Hashes `(rule, path, context)` into the 16-hex fingerprint stored in
+/// the v2 baseline.
+pub fn fingerprint(rule: &str, path: &str, context: &str) -> String {
+    let mut buf = Vec::with_capacity(rule.len() + path.len() + context.len() + 2);
+    buf.extend_from_slice(rule.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(path.as_bytes());
+    buf.push(0);
+    buf.extend_from_slice(context.as_bytes());
+    format!("{:016x}", fnv1a64(&buf))
+}
+
+/// An `// audit:allow(<rule>)` marker found in a file's comments.
+#[derive(Clone, Debug)]
+pub struct AllowMarker {
+    /// 1-based line the marker comment occupies.
+    pub line: usize,
+    /// The rule name inside the parentheses (not validated here).
+    pub rule: String,
+    /// Whether any finding consulted and was suppressed by this marker.
+    pub used: bool,
+}
+
+/// Extracts every `audit:allow(<rule>)` marker from the comment tokens of
+/// a lexed file. Markers outside comments (e.g. inside string literals)
+/// are deliberately ignored: an allow must be visible as a comment. Doc
+/// comments (`///`, `//!`, `/** */`) are also skipped — prose *describing*
+/// the marker syntax is not a suppression.
+pub fn collect_allow_markers(src: &str, tokens: &[Token]) -> Vec<AllowMarker> {
+    use crate::lexer::TokKind;
+    let mut out = Vec::new();
+    for tok in tokens {
+        if !tok.kind.is_comment() {
+            continue;
+        }
+        if matches!(
+            tok.kind,
+            TokKind::LineComment { doc: true } | TokKind::BlockComment { doc: true }
+        ) {
+            continue;
+        }
+        let text = tok.text(src);
+        for (off, raw_line) in text.split('\n').enumerate() {
+            let line = tok.line + off;
+            let mut rest = raw_line;
+            while let Some(at) = rest.find("audit:allow(") {
+                let tail = &rest[at + "audit:allow(".len()..];
+                if let Some(close) = tail.find(')') {
+                    out.push(AllowMarker {
+                        line,
+                        rule: tail[..close].to_owned(),
+                        used: false,
+                    });
+                    rest = &tail[close + 1..];
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether `trimmed` is (the start of) an attribute line — `#[derive(...)]`,
+/// `#[cfg(...)]`, `#[inline]` — or an attribute continuation ending in `)]`.
+fn is_attribute_line(trimmed: &str) -> bool {
+    trimmed.starts_with("#[")
+        || trimmed.starts_with("#![")
+        || (trimmed.ends_with(")]") && !trimmed.contains("//"))
+}
+
+/// Suppression check: a finding at `line` (1-based) is allowed when a
+/// marker for its rule sits on the same line, on the directly preceding
+/// comment line, or on a comment line above the finding's attribute stack
+/// (so one marker can cover a `fn` buried under `#[derive(...)]` /
+/// `#[cfg(...)]` attributes). Matching markers are flagged `used` so stale
+/// ones can be reported.
+pub fn is_allowed(
+    rule: &str,
+    raw_lines: &[&str],
+    markers: &mut [AllowMarker],
+    line: usize,
+) -> bool {
+    let mut hit = false;
+    let matches_at = |l: usize, markers: &mut [AllowMarker]| -> bool {
+        let mut any = false;
+        for m in markers.iter_mut() {
+            if m.line == l && m.rule == rule {
+                m.used = true;
+                any = true;
+            }
+        }
+        any
+    };
+    // Same line.
+    if matches_at(line, markers) {
+        hit = true;
+    }
+    // Walk upward over the attribute stack (if any) and the contiguous
+    // comment block directly above the finding: a marker on any line of
+    // that block binds (justifications often wrap onto several comment
+    // lines). The walk stops at the first code or blank line, so a marker
+    // can never leak past unrelated code.
+    let mut j = line;
+    while j > 1 {
+        j -= 1;
+        let idx = j - 1; // raw_lines is 0-based
+        let Some(text) = raw_lines.get(idx) else {
+            break;
+        };
+        let trimmed = text.trim_start();
+        if is_attribute_line(trimmed) {
+            continue;
+        }
+        if trimmed.starts_with("//") {
+            if matches_at(j, markers) {
+                hit = true;
+            }
+            continue;
+        }
+        break;
+    }
+    hit
+}
+
+/// Parsed baseline file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Baseline {
+    /// Legacy v1 format: `(rule, path) -> permitted count`. Auto-migrated
+    /// to v2 by the CLI on the first clean run.
+    V1(BTreeMap<(String, String), usize>),
+    /// v2 format: `(rule, path, fingerprint) -> permitted count`, stable
+    /// across unrelated line shifts.
+    V2(BTreeMap<(String, String, String), usize>),
+}
+
+impl Baseline {
+    /// An empty v2 baseline.
+    pub fn empty() -> Baseline {
+        Baseline::V2(BTreeMap::new())
+    }
+
+    /// Whether this baseline is the legacy v1 count format.
+    pub fn is_legacy(&self) -> bool {
+        matches!(self, Baseline::V1(_))
+    }
+
+    /// Total permitted findings.
+    pub fn total(&self) -> usize {
+        match self {
+            Baseline::V1(m) => m.values().sum(),
+            Baseline::V2(m) => m.values().sum(),
+        }
+    }
+}
+
+fn is_fingerprint(s: &str) -> bool {
+    s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+/// Parses a baseline file. v2 lines are
+/// `<rule> <path> <16-hex-fingerprint> <count>`; legacy v1 lines are
+/// `<rule> <path> <count>`. A file must be all one format; `#` comments
+/// and blank lines are ignored.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let mut v1: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut v2: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [rule, path, fp, count] if is_fingerprint(fp) => {
+                let count: usize = count
+                    .parse()
+                    .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+                *v2.entry(((*rule).to_owned(), (*path).to_owned(), (*fp).to_owned()))
+                    .or_insert(0) += count;
+            }
+            [rule, path, count] => {
+                let count: usize = count
+                    .parse()
+                    .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+                v1.insert(((*rule).to_owned(), (*path).to_owned()), count);
+            }
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected `<rule> <path> <fingerprint> <count>` \
+                     (v2) or `<rule> <path> <count>` (legacy v1)",
+                    i + 1
+                ));
+            }
+        }
+    }
+    if !v1.is_empty() && !v2.is_empty() {
+        return Err("baseline mixes v1 and v2 entry formats".to_owned());
+    }
+    if !v1.is_empty() {
+        Ok(Baseline::V1(v1))
+    } else {
+        Ok(Baseline::V2(v2))
+    }
+}
+
+/// Renders violations as a v2 baseline file body (sorted, deduplicated
+/// into per-fingerprint counts).
+pub fn format_baseline(violations: &[Violation]) -> String {
+    let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for v in violations {
+        *counts
+            .entry((v.rule.to_owned(), v.path.clone(), v.fingerprint.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# merlin-audit baseline v2: `<rule> <path> <fingerprint> <count>` per line.\n\
+         # Fingerprints hash the rule + path + finding's token context, so entries\n\
+         # survive unrelated line shifts. The ratchet may tighten (counts shrink,\n\
+         # via --update-baseline) but the auditor fails if any finding appears\n\
+         # that is not fingerprinted here.\n",
+    );
+    for ((rule, path, fp), count) in counts {
+        out.push_str(&format!("{rule} {path} {fp} {count}\n"));
+    }
+    out
+}
+
+/// Outcome of comparing findings to the baseline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AuditOutcome {
+    /// Findings exceeding the baseline — the audit fails if non-empty.
+    pub over: Vec<Violation>,
+    /// Baseline entries whose live count dropped:
+    /// `(rule, path-or-path#fp, permitted, live)`.
+    pub improved: Vec<(String, String, usize, usize)>,
+}
+
+/// Compares findings against the baseline ratchet.
+///
+/// v2: each `(rule, path, fingerprint)` group fails when its live count
+/// exceeds the permitted count; a finding whose fingerprint is absent from
+/// the baseline always fails. v1 (pre-migration): `(rule, path)` group
+/// counts, as the legacy auditor checked them. Groups under their
+/// permitted count surface as `improved` so the ratchet can tighten.
+pub fn check_against_baseline(violations: &[Violation], baseline: &Baseline) -> AuditOutcome {
+    let mut outcome = AuditOutcome::default();
+    match baseline {
+        Baseline::V1(permitted) => {
+            let mut groups: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+            for v in violations {
+                groups
+                    .entry((v.rule.to_owned(), v.path.clone()))
+                    .or_default()
+                    .push(v);
+            }
+            for (key, group) in &groups {
+                let cap = permitted.get(key).copied().unwrap_or(0);
+                if group.len() > cap {
+                    outcome.over.extend(group.iter().map(|v| (*v).clone()));
+                } else if group.len() < cap {
+                    outcome
+                        .improved
+                        .push((key.0.clone(), key.1.clone(), cap, group.len()));
+                }
+            }
+            for (key, &cap) in permitted {
+                if !groups.contains_key(key) && cap > 0 {
+                    outcome
+                        .improved
+                        .push((key.0.clone(), key.1.clone(), cap, 0));
+                }
+            }
+        }
+        Baseline::V2(permitted) => {
+            let mut groups: BTreeMap<(String, String, String), Vec<&Violation>> = BTreeMap::new();
+            for v in violations {
+                groups
+                    .entry((v.rule.to_owned(), v.path.clone(), v.fingerprint.clone()))
+                    .or_default()
+                    .push(v);
+            }
+            for (key, group) in &groups {
+                let cap = permitted.get(key).copied().unwrap_or(0);
+                if group.len() > cap {
+                    outcome.over.extend(group.iter().map(|v| (*v).clone()));
+                } else if group.len() < cap {
+                    outcome.improved.push((
+                        key.0.clone(),
+                        format!("{}#{}", key.1, key.2),
+                        cap,
+                        group.len(),
+                    ));
+                }
+            }
+            for (key, &cap) in permitted {
+                if !groups.contains_key(key) && cap > 0 {
+                    outcome
+                        .improved
+                        .push((key.0.clone(), format!("{}#{}", key.1, key.2), cap, 0));
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// Computes the fingerprint for a violation found in `src` and fills it
+/// in. `tokens` must be the lex of `src`.
+pub fn stamp_fingerprint(v: &mut Violation, src: &str, tokens: &[Token]) {
+    let ctx = fingerprint_context(src, tokens, v.line);
+    // An empty context (finding on a blank line, or a non-code artifact)
+    // falls back to the snippet so two different findings still separate.
+    let ctx = if ctx.is_empty() {
+        v.snippet.clone()
+    } else {
+        ctx
+    };
+    v.fingerprint = fingerprint(v.rule, &v.path, &ctx);
+}
+
+/// Convenience for non-Rust findings (e.g. the trace-name registry doc):
+/// fingerprint from the snippet text alone.
+pub fn stamp_fingerprint_from_snippet(v: &mut Violation) {
+    v.fingerprint = fingerprint(v.rule, &v.path, &v.snippet);
+}
+
+/// Lexes once and returns `(tokens, raw lines)` — the shared inputs every
+/// per-file phase consumes.
+pub fn lex_file(src: &str) -> (Vec<Token>, Vec<&str>) {
+    (lex(src), src.lines().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, line: usize, fp: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_owned(),
+            line,
+            snippet: "x".to_owned(),
+            severity: Severity::Error,
+            fingerprint: fp.to_owned(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_stable_across_line_shifts() {
+        let a = "fn f() {\n    x.unwrap();\n}\n";
+        let b = "// a new comment\n\nfn f() {\n    x.unwrap();\n}\n";
+        let (ta, _) = lex_file(a);
+        let (tb, _) = lex_file(b);
+        let ca = fingerprint_context(a, &ta, 2);
+        let cb = fingerprint_context(b, &tb, 4);
+        assert_eq!(ca, cb);
+        assert_eq!(
+            fingerprint("no-unwrap", "p.rs", &ca),
+            fingerprint("no-unwrap", "p.rs", &cb)
+        );
+    }
+
+    #[test]
+    fn fingerprint_changes_with_context() {
+        let a = "fn f() {\n    x.unwrap();\n}\n";
+        let b = "fn g() {\n    x.unwrap();\n}\n";
+        let (ta, _) = lex_file(a);
+        let (tb, _) = lex_file(b);
+        assert_ne!(
+            fingerprint_context(a, &ta, 2),
+            fingerprint_context(b, &tb, 2)
+        );
+    }
+
+    #[test]
+    fn baseline_v2_round_trip_and_ratchet() {
+        let fp = fingerprint("no-unwrap", "crates/core/src/a.rs", "ctx");
+        let vio = vec![
+            v("no-unwrap", "crates/core/src/a.rs", 3, &fp),
+            v("no-unwrap", "crates/core/src/a.rs", 9, &fp),
+        ];
+        let text = format_baseline(&vio);
+        let baseline = parse_baseline(&text).expect("formatted baseline always parses");
+        assert_eq!(baseline.total(), 2);
+        let ok = check_against_baseline(&vio, &baseline);
+        assert!(ok.over.is_empty() && ok.improved.is_empty());
+        // A third identical-fingerprint finding overflows the count.
+        let mut more = vio.clone();
+        more.push(v("no-unwrap", "crates/core/src/a.rs", 12, &fp));
+        assert_eq!(check_against_baseline(&more, &baseline).over.len(), 3);
+        // A different fingerprint is always over.
+        let other = vec![v(
+            "no-unwrap",
+            "crates/core/src/a.rs",
+            3,
+            "aaaaaaaaaaaaaaaa",
+        )];
+        assert_eq!(check_against_baseline(&other, &baseline).over.len(), 1);
+        // Fewer: improved, not failing.
+        let better = check_against_baseline(&vio[..1], &baseline);
+        assert!(better.over.is_empty());
+        assert_eq!(better.improved.len(), 1);
+    }
+
+    #[test]
+    fn baseline_v1_legacy_parses_and_checks_by_count() {
+        let baseline =
+            parse_baseline("# old format\nno-unwrap crates/core/src/a.rs 2\n").expect("v1 parses");
+        assert!(baseline.is_legacy());
+        let vio = vec![
+            v("no-unwrap", "crates/core/src/a.rs", 3, "0000000000000000"),
+            v("no-unwrap", "crates/core/src/a.rs", 9, "1111111111111111"),
+        ];
+        assert!(check_against_baseline(&vio, &baseline).over.is_empty());
+        let mut more = vio.clone();
+        more.push(v(
+            "no-unwrap",
+            "crates/core/src/a.rs",
+            12,
+            "2222222222222222",
+        ));
+        assert_eq!(check_against_baseline(&more, &baseline).over.len(), 3);
+    }
+
+    #[test]
+    fn baseline_rejects_malformed_and_mixed() {
+        assert!(parse_baseline("no-unwrap crates/a.rs").is_err());
+        assert!(parse_baseline("no-unwrap crates/a.rs three").is_err());
+        assert!(parse_baseline(
+            "no-unwrap crates/a.rs 3\nno-unwrap crates/a.rs aaaaaaaaaaaaaaaa 1\n"
+        )
+        .is_err());
+        assert!(parse_baseline("# comment\n\nno-unwrap crates/a.rs 3\n").is_ok());
+    }
+
+    #[test]
+    fn allow_markers_collected_from_comments_only() {
+        let src = "// audit:allow(no-unwrap): reason\nlet s = \"audit:allow(panic)\";\n";
+        let (toks, _) = lex_file(src);
+        let markers = collect_allow_markers(src, &toks);
+        assert_eq!(markers.len(), 1);
+        assert_eq!(markers[0].rule, "no-unwrap");
+        assert_eq!(markers[0].line, 1);
+    }
+
+    #[test]
+    fn allow_skips_attribute_stack() {
+        let src = "\
+// audit:allow(panic): fires through the derive stack
+#[derive(Clone, Debug)]
+#[cfg(feature = \"x\")]
+fn f() { panic!(\"x\") }
+";
+        let (toks, _) = lex_file(src);
+        let raw: Vec<&str> = src.lines().collect();
+        let mut markers = collect_allow_markers(src, &toks);
+        assert!(is_allowed("panic", &raw, &mut markers, 4));
+        assert!(markers[0].used);
+        // A different rule is not covered.
+        assert!(!is_allowed("no-unwrap", &raw, &mut markers, 4));
+    }
+
+    #[test]
+    fn allow_does_not_leak_past_code_lines() {
+        let src = "// audit:allow(panic)\nlet y = 1;\npanic!(\"x\");\n";
+        let (toks, _) = lex_file(src);
+        let raw: Vec<&str> = src.lines().collect();
+        let mut markers = collect_allow_markers(src, &toks);
+        assert!(!is_allowed("panic", &raw, &mut markers, 3));
+        assert!(!markers[0].used);
+    }
+}

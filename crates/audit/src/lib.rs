@@ -1,758 +1,219 @@
-//! Workspace invariant auditor.
+//! Workspace invariant auditor — token-level semantic analysis engine.
 //!
-//! A dependency-free lint pass over the workspace's Rust sources enforcing
-//! the hygiene rules the DP hot-path crates (`core`, `curves`, `ptree`,
-//! `lttree`, `vanginneken`) — and `trace`, whose collector sits *inside*
-//! those hot paths — must satisfy:
+//! A dependency-free analysis pass over the workspace's Rust sources. A
+//! hand-rolled lossless lexer ([`lexer`]) feeds a token-stream rule
+//! framework ([`rules`]) with expression-window matching, per-rule
+//! severity, fingerprinted baselines ([`engine`]) and machine-readable
+//! SARIF/JSON output ([`output`]).
 //!
-//! * [`no-unwrap`](RULE_NO_UNWRAP) — no `.unwrap()`; use `.expect("<why the
-//!   invariant holds>")` or real control flow,
-//! * [`empty-expect`](RULE_EMPTY_EXPECT) — `.expect("")` explains nothing,
-//! * [`panic`](RULE_PANIC) — no `panic!` outside `#[cfg(test)]`,
-//! * [`float-cmp`](RULE_FLOAT_CMP) — no raw `partial_cmp` / `total_cmp` on
-//!   delays; go through `merlin_tech::units::ps_cmp` and friends,
-//! * [`float-eq`](RULE_FLOAT_EQ) — no `==` against float literals outside
-//!   tests,
-//! * [`push-without-prune`](RULE_PUSH_WITHOUT_PRUNE) — a function that
-//!   pushes `CurvePoint`s must also reach a `prune()` call, otherwise an
-//!   unpruned curve can escape into the DP,
-//! * [`doc-pub-fn`](RULE_DOC_PUB_FN) — every non-test `pub fn` carries a
-//!   doc comment.
+//! ## Rules
 //!
-//! One rule applies workspace-wide rather than only to the DP crates:
+//! The DP hot-path crates (`core`, `curves`, `ptree`, `lttree`,
+//! `vanginneken`, plus `trace`, whose RAII guards run inside every
+//! instrumented hot loop, and `audit` itself) are held to the full
+//! hygiene bar:
 //!
-//! * [`catch-unwind`](RULE_CATCH_UNWIND) — `catch_unwind` outside test code
-//!   is forbidden everywhere except `crates/resilience/`, the one
-//!   sanctioned panic-isolation boundary (see `merlin_resilience::isolate`).
-//!   Swallowing panics anywhere else hides DP invariant violations.
+//! * `no-unwrap` — no `.unwrap()`; use `.expect("<why the invariant
+//!   holds>")` or real control flow,
+//! * `empty-expect` — `.expect("")` explains nothing,
+//! * `panic` — no `panic!` outside `#[cfg(test)]`,
+//! * `float-cmp` — no raw `partial_cmp` / `total_cmp` on delays; go
+//!   through `merlin_tech::units::ps_cmp` and friends,
+//! * `float-eq` — no `==` against float literals outside tests,
+//! * `push-without-prune` — a function that pushes `CurvePoint`s must
+//!   also reach a `prune()` call,
+//! * `doc-pub-fn` — every non-test `pub fn` carries a doc comment,
+//! * `lossy-cast` — `as` casts that can truncate (int narrowing,
+//!   float→int without an explicit `round`/`floor`/`ceil`/`clamp`).
 //!
-//! And one applies only to the crates the parallel DP shards across
-//! threads (`crates/core/`, `crates/curves/`):
+//! Rules targeting the bug classes this repo has actually shipped:
 //!
-//! * [`no-rc-in-dp`](RULE_NO_RC_IN_DP) — `std::rc::Rc` is not [`Send`], so
-//!   a single `Rc` smuggled into a Γ table or a curve family would stop
-//!   the level-sharded `BUBBLE_CONSTRUCT` from crossing its worker
-//!   boundary (or, worse, force an `unsafe` bypass). Shared ownership in
-//!   these crates must use `std::sync::Arc`.
+//! * `unchecked-arith` — bare subtraction on `len()`/count/index
+//!   expressions with no `saturating_`/`checked_` call or emptiness
+//!   guard (the PR 5 empty-buffer-library underflow),
+//! * `duration-arith` — unclamped `Duration` multiplication/addition in
+//!   the retry/backoff crates (the PR 5 `backoff` overflow panic),
+//! * `atomic-ordering` — every atomic access names an explicit
+//!   `Ordering`; `SeqCst` in the DP hot path is flagged,
+//! * `panic-in-drop` — no panicking call inside `impl Drop`, anywhere,
+//!   tests included (the trace collector's fallible-TLS discipline),
+//! * `trace-name-registry` — every `merlin_trace` span/counter/histogram
+//!   name used in code appears in the `docs/OBSERVABILITY.md` registry
+//!   and vice versa,
+//! * `catch-unwind` — `catch_unwind` outside test code is forbidden
+//!   everywhere except `crates/resilience/`,
+//! * `no-rc-in-dp` — `std::rc::Rc` is not `Send`; the level-sharded
+//!   parallel DP crates (`core`, `curves`) must use `Arc`.
 //!
-//! Any finding can be suppressed in place with `// audit:allow(<rule>)` on
-//! the offending line or the line above it. Pre-existing findings live in a
-//! checked-in baseline file (`audit-baseline.txt`); the auditor fails only
-//! on *new* findings, so the baseline acts as a ratchet that may shrink but
-//! never silently grow.
+//! ## Allow escapes and the baseline ratchet
 //!
-//! The scanner is a hand-rolled line state machine (no `syn`, no regex):
-//! string literals, char literals and comments are blanked before pattern
-//! matching so `"call .unwrap() here"` in a message never trips a rule.
+//! Any finding can be suppressed in place with `// audit:allow(<rule>)`
+//! on the offending line, the comment line above it, or above the
+//! attribute stack (`#[derive(...)]`, `#[cfg(...)]`) of the offending
+//! item. A marker that suppresses nothing is itself a finding
+//! (`stale-allow`). Pre-existing findings live in a checked-in baseline
+//! (`audit-baseline.txt`) keyed by **fingerprint** — a hash of rule,
+//! path and the finding's local token context, stable across unrelated
+//! line shifts — so the baseline acts as a ratchet that may shrink but
+//! never silently grow. The legacy count-based baseline format is
+//! auto-migrated.
 
-use std::collections::{BTreeMap, HashSet};
-use std::fmt;
+pub mod engine;
+pub mod lexer;
+pub mod output;
+pub mod rules;
 
-/// Rule name: `.unwrap()` in DP-crate code (tests included).
-pub const RULE_NO_UNWRAP: &str = "no-unwrap";
-/// Rule name: `.expect("")` with an empty message.
-pub const RULE_EMPTY_EXPECT: &str = "empty-expect";
-/// Rule name: `panic!` outside `#[cfg(test)]`.
-pub const RULE_PANIC: &str = "panic";
-/// Rule name: raw `partial_cmp` / `total_cmp` instead of the units helpers.
-pub const RULE_FLOAT_CMP: &str = "float-cmp";
-/// Rule name: `==` against a float literal outside tests.
-pub const RULE_FLOAT_EQ: &str = "float-eq";
-/// Rule name: `CurvePoint` pushes with no reachable `prune()` in the same
-/// function.
-pub const RULE_PUSH_WITHOUT_PRUNE: &str = "push-without-prune";
-/// Rule name: undocumented non-test `pub fn`.
-pub const RULE_DOC_PUB_FN: &str = "doc-pub-fn";
-/// Rule name: `catch_unwind` outside `crates/resilience/` and test code.
-pub const RULE_CATCH_UNWIND: &str = "catch-unwind";
-/// Rule name: `std::rc::Rc` inside the thread-sharded DP crates.
-pub const RULE_NO_RC_IN_DP: &str = "no-rc-in-dp";
+pub use engine::{
+    check_against_baseline, collect_allow_markers, fingerprint, fingerprint_context, fnv1a64,
+    format_baseline, parse_baseline, stamp_fingerprint, stamp_fingerprint_from_snippet,
+    AllowMarker, AuditOutcome, Baseline, Severity, Violation,
+};
+pub use lexer::{lex, sanitize_source, TokKind, Token};
+pub use output::{json_report, sarif_report};
+pub use rules::{
+    is_dp_crate_path, is_trace_name_shaped, parse_trace_registry, rule_info, RuleInfo, ALL_RULES,
+    DP_CRATE_PREFIXES, RC_FORBIDDEN_PREFIXES, RESILIENCE_PREFIX, RULES, RULE_ATOMIC_ORDERING,
+    RULE_CATCH_UNWIND, RULE_DOC_PUB_FN, RULE_DURATION_ARITH, RULE_EMPTY_EXPECT, RULE_FLOAT_CMP,
+    RULE_FLOAT_EQ, RULE_LOSSY_CAST, RULE_NO_RC_IN_DP, RULE_NO_UNWRAP, RULE_PANIC,
+    RULE_PANIC_IN_DROP, RULE_PUSH_WITHOUT_PRUNE, RULE_STALE_ALLOW, RULE_TRACE_NAME_REGISTRY,
+    RULE_UNCHECKED_ARITH,
+};
 
-/// All rule names, in report order.
-pub const ALL_RULES: &[&str] = &[
-    RULE_NO_UNWRAP,
-    RULE_EMPTY_EXPECT,
-    RULE_PANIC,
-    RULE_FLOAT_CMP,
-    RULE_FLOAT_EQ,
-    RULE_PUSH_WITHOUT_PRUNE,
-    RULE_DOC_PUB_FN,
-    RULE_CATCH_UNWIND,
-    RULE_NO_RC_IN_DP,
-];
+use std::collections::BTreeSet;
 
-/// Workspace-relative path prefixes of the DP hot-path crates the rules
-/// apply to. `crates/trace/` is included deliberately: its RAII span
-/// guards run `Drop` code inside every instrumented hot loop, so it is
-/// held to the same no-unwrap/no-panic bar (the collector's fallible TLS
-/// accesses — `try_with`, `try_borrow_mut` — are the sanctioned pattern;
-/// a `Drop` that can panic would turn tracing into a crash amplifier).
-pub const DP_CRATE_PREFIXES: &[&str] = &[
-    "crates/core/",
-    "crates/curves/",
-    "crates/ptree/",
-    "crates/lttree/",
-    "crates/vanginneken/",
-    "crates/trace/",
-];
-
-/// One rule finding at a specific source line.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Violation {
-    /// Rule name (one of [`ALL_RULES`]).
-    pub rule: &'static str,
-    /// Workspace-relative path with forward slashes.
-    pub path: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// Trimmed source line for the report.
-    pub snippet: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: {}: {}",
-            self.path, self.line, self.rule, self.snippet
-        )
-    }
-}
-
-/// Workspace-relative prefix of the one crate allowed to `catch_unwind`:
-/// the resilience driver's panic-isolation boundary.
-pub const RESILIENCE_PREFIX: &str = "crates/resilience/";
-
-/// Whether `path` (workspace-relative, forward slashes) belongs to a DP
-/// hot-path crate.
-pub fn is_dp_crate_path(path: &str) -> bool {
-    DP_CRATE_PREFIXES.iter().any(|p| path.starts_with(p))
-}
-
-/// Workspace-relative prefixes of the crates whose data structures cross
-/// the parallel DP's worker-thread boundary, where `Rc` is forbidden (see
-/// [`RULE_NO_RC_IN_DP`]).
-pub const RC_FORBIDDEN_PREFIXES: &[&str] = &["crates/core/", "crates/curves/"];
-
-/// Whether the sanitized line mentions `std::rc` or the `Rc` type as a
-/// standalone token (so `Arc`, `StarCache`, identifiers merely *ending*
-/// in `Rc`, and `Rc`-containing words never match).
-fn mentions_rc(code: &str) -> bool {
-    if code.contains("std::rc") {
-        return true;
-    }
-    let bytes = code.as_bytes();
-    for (i, _) in code.match_indices("Rc") {
-        let before_ok = i == 0 || {
-            let c = bytes[i - 1] as char;
-            !c.is_alphanumeric() && c != '_'
-        };
-        let after_ok = match bytes.get(i + 2) {
-            Some(&b) => {
-                let c = b as char;
-                !c.is_alphanumeric() && c != '_'
-            }
-            None => true,
-        };
-        if before_ok && after_ok {
-            return true;
-        }
-    }
-    false
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum LexState {
-    Normal,
-    Block(u32),
-    Str,
-    RawStr(u8),
-}
-
-/// Line-by-line lexer state blanking comments, string literals and char
-/// literals so rule patterns only ever match real code.
-pub struct Sanitizer {
-    state: LexState,
-}
-
-impl Default for Sanitizer {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Sanitizer {
-    /// Creates a sanitizer in the initial (code) state.
-    pub fn new() -> Self {
-        Sanitizer {
-            state: LexState::Normal,
-        }
+/// Audits a set of files as one workspace.
+///
+/// `files` holds `(workspace-relative path, source text)` pairs.
+/// `registry_doc`, when present, is the `(path, text)` of the
+/// observability catalog; it enables the global `trace-name-registry`
+/// rule. Findings come back allow-filtered, fingerprinted and sorted by
+/// `(path, line, rule)`; unused `audit:allow` markers surface as
+/// `stale-allow` findings.
+pub fn audit_files(
+    files: &[(String, String)],
+    registry_doc: Option<(&str, &str)>,
+) -> Vec<Violation> {
+    struct FileState<'a> {
+        path: &'a str,
+        src: &'a str,
+        tokens: Vec<Token>,
+        markers: Vec<AllowMarker>,
+        findings: Vec<Violation>,
     }
 
-    /// Returns `raw` with comment, string and char-literal content replaced
-    /// by spaces, carrying multi-line state (block comments, multi-line and
-    /// raw strings) to the next call.
-    pub fn sanitize_line(&mut self, raw: &str) -> String {
-        let bytes = raw.as_bytes();
-        let mut out = Vec::with_capacity(bytes.len());
-        let mut i = 0;
-        while i < bytes.len() {
-            match self.state {
-                LexState::Normal => {
-                    let c = bytes[i];
-                    if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
-                        // Line comment: drop the rest of the line.
-                        break;
-                    } else if c == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        self.state = LexState::Block(1);
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if c == b'"' {
-                        self.state = LexState::Str;
-                        out.push(b' ');
-                        i += 1;
-                    } else if c == b'r' && matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) {
-                        // Raw string r"..." or r#"..."#
-                        let mut hashes = 0u8;
-                        let mut j = i + 1;
-                        while bytes.get(j) == Some(&b'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if bytes.get(j) == Some(&b'"') {
-                            self.state = LexState::RawStr(hashes);
-                            out.resize(out.len() + (j - i + 1), b' ');
-                            i = j + 1;
-                        } else {
-                            out.push(c);
-                            i += 1;
-                        }
-                    } else if c == b'\'' {
-                        // Char literal or lifetime.
-                        if bytes.get(i + 1) == Some(&b'\\') {
-                            // Escaped char literal: blank to the closing quote.
-                            let mut j = i + 2;
-                            while j < bytes.len() && bytes[j] != b'\'' {
-                                j += 1;
-                            }
-                            let end = j.min(bytes.len() - 1);
-                            out.resize(out.len() + (end - i + 1), b' ');
-                            i = j + 1;
-                        } else if bytes.get(i + 2) == Some(&b'\'') {
-                            out.extend_from_slice(b"   ");
-                            i += 3;
-                        } else {
-                            // Lifetime: keep as-is.
-                            out.push(c);
-                            i += 1;
-                        }
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
+    let mut states: Vec<FileState<'_>> = Vec::with_capacity(files.len());
+    // (state index, line, name) of precise trace-emit call sites.
+    let mut call_sites: Vec<(usize, usize, String)> = Vec::new();
+    // Every trace-name-shaped literal seen anywhere in non-test code.
+    let mut mentioned: BTreeSet<String> = BTreeSet::new();
+
+    for (path, src) in files {
+        let tokens = lex(src);
+        let raw_lines: Vec<&str> = src.lines().collect();
+        let sanitized = sanitize_source(src);
+        let code_lines: Vec<String> = sanitized.lines().map(str::to_owned).collect();
+
+        let (mut findings, in_test) = rules::legacy_line_rules(path, &raw_lines, &code_lines);
+        let ctoks = rules::code_tokens(src, &tokens);
+        rules::rule_unchecked_arith(path, &raw_lines, &ctoks, &in_test, &mut findings);
+        rules::rule_duration_arith(path, &raw_lines, &ctoks, &in_test, &mut findings);
+        rules::rule_lossy_cast(path, &raw_lines, &ctoks, &in_test, &mut findings);
+        rules::rule_atomic_ordering(path, &raw_lines, &ctoks, &in_test, &mut findings);
+        rules::rule_panic_in_drop(path, &raw_lines, &ctoks, &mut findings);
+
+        if registry_doc.is_some() {
+            if let Some(names) = rules::collect_trace_names(path, &ctoks, &in_test) {
+                for (line, name) in names.call_sites {
+                    mentioned.insert(name.clone());
+                    call_sites.push((states.len(), line, name));
                 }
-                LexState::Block(depth) => {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        self.state = LexState::Block(depth + 1);
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        self.state = if depth == 1 {
-                            LexState::Normal
-                        } else {
-                            LexState::Block(depth - 1)
-                        };
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else {
-                        out.push(b' ');
-                        i += 1;
-                    }
-                }
-                LexState::Str => {
-                    if bytes[i] == b'\\' {
-                        out.extend_from_slice(b"  ");
-                        i += 2;
-                    } else if bytes[i] == b'"' {
-                        self.state = LexState::Normal;
-                        out.push(b' ');
-                        i += 1;
-                    } else {
-                        out.push(b' ');
-                        i += 1;
-                    }
-                }
-                LexState::RawStr(hashes) => {
-                    if bytes[i] == b'"' {
-                        let mut ok = true;
-                        for k in 0..hashes as usize {
-                            if bytes.get(i + 1 + k) != Some(&b'#') {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
-                            self.state = LexState::Normal;
-                            out.resize(out.len() + 1 + hashes as usize, b' ');
-                            i += 1 + hashes as usize;
-                            continue;
-                        }
-                    }
-                    out.push(b' ');
-                    i += 1;
-                }
+                mentioned.extend(names.mentioned);
             }
         }
-        String::from_utf8_lossy(&out).into_owned()
-    }
-}
 
-/// Whether the finding on `line` (0-based index into `raw_lines`) is
-/// suppressed by an `// audit:allow(<rule>)` marker on the same line or the
-/// line above.
-fn is_allowed(rule: &str, raw_lines: &[&str], line: usize) -> bool {
-    let marker = format!("audit:allow({rule})");
-    if raw_lines[line].contains(&marker) {
-        return true;
-    }
-    if line > 0 {
-        let prev = raw_lines[line - 1].trim_start();
-        if prev.starts_with("//") && prev.contains(&marker) {
-            return true;
-        }
-    }
-    false
-}
-
-/// Whether `code` contains `==` or `!=` adjacent to a float literal
-/// (`1.0 == x`, `x == 0.5`, …).
-fn has_float_literal_eq(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    for (i, w) in bytes.windows(2).enumerate() {
-        if (w == b"==" || w == b"!=")
-            && bytes.get(i.wrapping_sub(1)) != Some(&b'=')
-            && bytes.get(i + 2) != Some(&b'=')
-        {
-            let left = code[..i].trim_end();
-            let right = code[i + 2..].trim_start();
-            if ends_with_float_literal(left) || starts_with_float_literal(right) {
-                return true;
-            }
-        }
-    }
-    false
-}
-
-fn starts_with_float_literal(s: &str) -> bool {
-    let s = s.strip_prefix('-').unwrap_or(s);
-    let mut chars = s.chars();
-    let mut saw_digit = false;
-    for c in chars.by_ref() {
-        if c.is_ascii_digit() {
-            saw_digit = true;
-        } else if c == '.' && saw_digit {
-            // `1.` or `1.5`
-            return true;
-        } else if c == '_' && saw_digit {
-            continue;
-        } else {
-            return false;
-        }
-    }
-    false
-}
-
-fn ends_with_float_literal(s: &str) -> bool {
-    let mut rev = s.chars().rev();
-    let mut saw_digit = false;
-    for c in rev.by_ref() {
-        if c.is_ascii_digit() {
-            saw_digit = true;
-        } else if c == '.' && saw_digit {
-            // Need a digit before the dot too (`.5` alone is a member access
-            // misparse we ignore).
-            return true;
-        } else if c == '_' && saw_digit {
-            continue;
-        } else {
-            return false;
-        }
-    }
-    false
-}
-
-/// Whether the sanitized line introduces a function definition.
-fn is_fn_def(code: &str) -> bool {
-    let t = code.trim_start();
-    for prefix in ["fn ", "pub fn ", "async fn ", "const fn ", "unsafe fn "] {
-        if t.starts_with(prefix) {
-            return true;
-        }
-    }
-    // `pub(crate) fn`, `pub const fn`, `pub async unsafe fn`, ...
-    if let Some(pos) = code.find("fn ") {
-        let before = code[..pos].trim();
-        if before.is_empty() {
-            return true;
-        }
-        let ok = before.split_whitespace().all(|w| {
-            w == "pub"
-                || w.starts_with("pub(")
-                || w == "const"
-                || w == "async"
-                || w == "unsafe"
-                || w.starts_with("extern")
+        let markers = collect_allow_markers(src, &tokens);
+        states.push(FileState {
+            path,
+            src,
+            tokens,
+            markers,
+            findings,
         });
-        return ok && (code[pos + 3..].contains('(') || code[pos + 3..].is_empty());
     }
-    false
-}
 
-/// Whether the sanitized line declares a documented-API candidate
-/// (`pub fn`, possibly with `const` / `async` / `unsafe` qualifiers).
-fn is_pub_fn_def(code: &str) -> bool {
-    let t = code.trim_start();
-    if !t.starts_with("pub ") {
-        return false;
-    }
-    let rest = &t[4..];
-    let rest = rest.trim_start_matches(|c: char| c.is_whitespace());
-    let mut r = rest;
-    loop {
-        if let Some(x) = r.strip_prefix("const ") {
-            r = x;
-        } else if let Some(x) = r.strip_prefix("async ") {
-            r = x;
-        } else if let Some(x) = r.strip_prefix("unsafe ") {
-            r = x;
-        } else {
-            break;
+    let mut all: Vec<Violation> = Vec::new();
+
+    if let Some((doc_path, doc_text)) = registry_doc {
+        let registry = parse_trace_registry(doc_text);
+        let registered: BTreeSet<&str> = registry.iter().map(|(_, n)| n.as_str()).collect();
+        for (sidx, line, name) in &call_sites {
+            if !registered.contains(name.as_str()) {
+                let path = states[*sidx].path.to_owned();
+                states[*sidx].findings.push(Violation {
+                    rule: RULE_TRACE_NAME_REGISTRY,
+                    path,
+                    line: *line,
+                    snippet: format!("trace name `{name}` missing from the registry"),
+                    severity: Severity::Error,
+                    fingerprint: String::new(),
+                });
+            }
+        }
+        for (doc_line, name) in &registry {
+            if !mentioned.contains(name) {
+                let mut v = Violation {
+                    rule: RULE_TRACE_NAME_REGISTRY,
+                    path: doc_path.to_owned(),
+                    line: *doc_line,
+                    snippet: format!("registry name `{name}` is not emitted anywhere in code"),
+                    severity: Severity::Error,
+                    fingerprint: String::new(),
+                };
+                stamp_fingerprint_from_snippet(&mut v);
+                all.push(v);
+            }
         }
     }
-    r.starts_with("fn ")
-}
 
-struct FnFrame {
-    depth: usize,
-    push_lines: Vec<usize>,
-    has_prune: bool,
-}
-
-/// Advances the brace/test/function tracking state over one sanitized line.
-#[allow(clippy::too_many_arguments)]
-fn track_braces(
-    code: &str,
-    depth: &mut usize,
-    test_stack: &mut Vec<usize>,
-    pending_test_attr: &mut bool,
-    pending_fn: &mut bool,
-    fn_stack: &mut Vec<FnFrame>,
-    resolved_pushes: &mut HashSet<usize>,
-) {
-    for c in code.chars() {
-        match c {
-            '{' => {
-                if *pending_test_attr {
-                    test_stack.push(*depth);
-                    *pending_test_attr = false;
-                }
-                if *pending_fn {
-                    fn_stack.push(FnFrame {
-                        depth: *depth,
-                        push_lines: Vec::new(),
-                        has_prune: false,
-                    });
-                    *pending_fn = false;
-                }
-                *depth += 1;
+    for mut st in states {
+        let raw_lines: Vec<&str> = st.src.lines().collect();
+        let mut kept: Vec<Violation> = Vec::new();
+        for v in st.findings.drain(..) {
+            if !engine::is_allowed(v.rule, &raw_lines, &mut st.markers, v.line) {
+                kept.push(v);
             }
-            '}' => {
-                *depth = depth.saturating_sub(1);
-                if test_stack.last() == Some(depth) {
-                    test_stack.pop();
-                }
-                while fn_stack.last().map(|f| f.depth) == Some(*depth) {
-                    let frame = fn_stack.pop().expect("frame checked above");
-                    if frame.has_prune {
-                        resolved_pushes.extend(frame.push_lines);
-                    }
-                }
+        }
+        for m in &st.markers {
+            if !m.used {
+                kept.push(Violation {
+                    rule: RULE_STALE_ALLOW,
+                    path: st.path.to_owned(),
+                    line: m.line,
+                    snippet: format!("audit:allow({}) suppresses nothing", m.rule),
+                    severity: Severity::Warning,
+                    fingerprint: String::new(),
+                });
             }
-            ';' => {
-                // `fn f();` in a trait: no body, drop the pending flag.
-                *pending_fn = false;
+        }
+        for mut v in kept {
+            if v.fingerprint.is_empty() {
+                stamp_fingerprint(&mut v, st.src, &st.tokens);
             }
-            _ => {}
+            all.push(v);
         }
     }
+
+    all.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    all
 }
 
 /// Scans one file's source text and returns every rule finding.
 ///
-/// `path` must be workspace-relative with forward slashes. The DP hygiene
-/// rules only fire for files inside the DP hot-path crates (see
-/// [`DP_CRATE_PREFIXES`]); the [`catch-unwind`](RULE_CATCH_UNWIND) rule
-/// fires everywhere except under [`RESILIENCE_PREFIX`].
+/// `path` must be workspace-relative with forward slashes. This is the
+/// single-file convenience wrapper over [`audit_files`]; the global
+/// `trace-name-registry` rule does not run here.
 pub fn scan_source(path: &str, source: &str) -> Vec<Violation> {
-    let full = is_dp_crate_path(path);
-    let catch_rule_applies = !path.starts_with(RESILIENCE_PREFIX);
-    let rc_rule_applies = RC_FORBIDDEN_PREFIXES.iter().any(|p| path.starts_with(p));
-    if !full && !catch_rule_applies {
-        return Vec::new();
-    }
-    // Integration tests and benches are test code in their entirety even
-    // though they never spell `#[cfg(test)]`.
-    let whole_file_is_test = path.contains("/tests/") || path.contains("/benches/");
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let mut sanitizer = Sanitizer::new();
-    let code_lines: Vec<String> = raw_lines
-        .iter()
-        .map(|l| sanitizer.sanitize_line(l))
-        .collect();
-
-    let mut violations = Vec::new();
-    let mut depth: usize = 0;
-    let mut test_stack: Vec<usize> = Vec::new();
-    let mut pending_test_attr = false;
-    let mut pending_fn = false;
-    let mut fn_stack: Vec<FnFrame> = Vec::new();
-    let mut resolved_pushes: HashSet<usize> = HashSet::new();
-    let mut all_pushes: Vec<(usize, bool)> = Vec::new(); // (line idx, in_test)
-
-    let report = |rule: &'static str, line: usize, raw_lines: &[&str], out: &mut Vec<Violation>| {
-        if !is_allowed(rule, raw_lines, line) {
-            out.push(Violation {
-                rule,
-                path: path.to_owned(),
-                line: line + 1,
-                snippet: raw_lines[line].trim().to_owned(),
-            });
-        }
-    };
-
-    for (idx, code) in code_lines.iter().enumerate() {
-        let in_test = whole_file_is_test || !test_stack.is_empty();
-
-        // `#[cfg(test)]` and compound forms like
-        // `#[cfg(all(test, feature = "..."))]`.
-        if code.contains("#[cfg(test)]") || code.contains("cfg(all(test") {
-            pending_test_attr = true;
-        }
-        if is_fn_def(code) {
-            pending_fn = true;
-        }
-
-        // Workspace-wide rule: panic containment belongs to the resilience
-        // driver alone. Test code may assert on panics.
-        if catch_rule_applies && !in_test && code.contains("catch_unwind") {
-            report(RULE_CATCH_UNWIND, idx, &raw_lines, &mut violations);
-        }
-
-        // `Rc` would poison Send-ness for the parallel DP; test code is
-        // held to the same bar so a test helper can never hand an `Rc`
-        // back into engine structures.
-        if rc_rule_applies && mentions_rc(code) {
-            report(RULE_NO_RC_IN_DP, idx, &raw_lines, &mut violations);
-        }
-
-        if !full {
-            // Non-DP crates get only the workspace-wide rule; still run the
-            // brace tracking below so `in_test` stays accurate.
-            track_braces(
-                code,
-                &mut depth,
-                &mut test_stack,
-                &mut pending_test_attr,
-                &mut pending_fn,
-                &mut fn_stack,
-                &mut resolved_pushes,
-            );
-            continue;
-        }
-
-        // Per-line pattern rules.
-        if code.contains(".unwrap()") {
-            report(RULE_NO_UNWRAP, idx, &raw_lines, &mut violations);
-        }
-        // The sanitizer blanks string contents, so an empty expect message
-        // shows up as `.expect( )` / `.expect(  )` (quotes blanked too);
-        // check the raw line for the literal empty string instead.
-        if code.contains(".expect(") && raw_lines[idx].contains(".expect(\"\")") {
-            report(RULE_EMPTY_EXPECT, idx, &raw_lines, &mut violations);
-        }
-        if !in_test
-            && (code.contains("panic!")
-                || code.contains("unimplemented!")
-                || code.contains("todo!("))
-        {
-            report(RULE_PANIC, idx, &raw_lines, &mut violations);
-        }
-        if code.contains(".partial_cmp(") || code.contains(".total_cmp(") {
-            report(RULE_FLOAT_CMP, idx, &raw_lines, &mut violations);
-        }
-        if !in_test && has_float_literal_eq(code) {
-            report(RULE_FLOAT_EQ, idx, &raw_lines, &mut violations);
-        }
-        if code.contains(".push(CurvePoint") {
-            if is_allowed(RULE_PUSH_WITHOUT_PRUNE, &raw_lines, idx) {
-                resolved_pushes.insert(idx);
-            }
-            for frame in &mut fn_stack {
-                frame.push_lines.push(idx);
-            }
-            all_pushes.push((idx, in_test));
-        }
-        if code.contains("prune(") {
-            for frame in &mut fn_stack {
-                frame.has_prune = true;
-            }
-        }
-        if !in_test && is_pub_fn_def(code) {
-            // Walk back over attributes and blank lines to the nearest
-            // comment; require a doc comment.
-            let mut j = idx;
-            let mut documented = false;
-            while j > 0 {
-                j -= 1;
-                let prev = raw_lines[j].trim();
-                if prev.is_empty()
-                    || prev.starts_with("#[")
-                    || prev.ends_with(")]")
-                    || prev.ends_with("]") && prev.contains("#[")
-                {
-                    continue;
-                }
-                documented =
-                    prev.starts_with("///") || prev.starts_with("//!") || prev.ends_with("*/");
-                break;
-            }
-            if !documented {
-                report(RULE_DOC_PUB_FN, idx, &raw_lines, &mut violations);
-            }
-        }
-
-        // Brace tracking (after pattern rules so a rule on the `}` line of
-        // a test module still counts as in-test).
-        track_braces(
-            code,
-            &mut depth,
-            &mut test_stack,
-            &mut pending_test_attr,
-            &mut pending_fn,
-            &mut fn_stack,
-            &mut resolved_pushes,
-        );
-    }
-    // File ended while frames were open (unbalanced braces): treat their
-    // pushes as resolved rather than guessing.
-    for frame in fn_stack {
-        if frame.has_prune {
-            resolved_pushes.extend(frame.push_lines);
-        }
-    }
-
-    for (idx, in_test) in all_pushes {
-        if !in_test && !resolved_pushes.contains(&idx) {
-            report(RULE_PUSH_WITHOUT_PRUNE, idx, &raw_lines, &mut violations);
-        }
-    }
-
-    violations.sort_by_key(|v| v.line);
-    violations
-}
-
-/// Parsed baseline: `(rule, path) -> permitted count`.
-pub type Baseline = BTreeMap<(String, String), usize>;
-
-/// Parses a baseline file (`<rule> <path> <count>` per line; `#` comments
-/// and blank lines ignored).
-pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
-    let mut map = Baseline::new();
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
-        else {
-            return Err(format!(
-                "baseline line {}: expected `<rule> <path> <count>`",
-                i + 1
-            ));
-        };
-        let count: usize = count
-            .parse()
-            .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
-        map.insert((rule.to_owned(), path.to_owned()), count);
-    }
-    Ok(map)
-}
-
-/// Renders violations as a baseline file body (sorted, deduplicated into
-/// per-file counts).
-pub fn format_baseline(violations: &[Violation]) -> String {
-    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
-    for v in violations {
-        *counts
-            .entry((v.rule.to_owned(), v.path.clone()))
-            .or_insert(0) += 1;
-    }
-    let mut out = String::from(
-        "# merlin-audit baseline ratchet: `<rule> <path> <count>` per line.\n\
-         # Counts may go down (tighten the ratchet with --update-baseline)\n\
-         # but the auditor fails if any count goes up.\n",
-    );
-    for ((rule, path), count) in counts {
-        out.push_str(&format!("{rule} {path} {count}\n"));
-    }
-    out
-}
-
-/// Outcome of comparing findings to the baseline.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct AuditOutcome {
-    /// Findings exceeding the baseline, grouped by `(rule, path)` — the
-    /// audit fails if this is non-empty.
-    pub over: Vec<Violation>,
-    /// Baseline entries whose actual count dropped (informational: the
-    /// ratchet can be tightened).
-    pub improved: Vec<(String, String, usize, usize)>,
-}
-
-/// Compares findings against the baseline ratchet.
-///
-/// A `(rule, path)` group fails when its live count exceeds the baselined
-/// count; all of the group's findings are reported so the offender is easy
-/// to locate. Groups at or under their baseline pass; under-count groups
-/// are surfaced as `improved` so the ratchet can be tightened.
-pub fn check_against_baseline(violations: &[Violation], baseline: &Baseline) -> AuditOutcome {
-    let mut groups: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
-    for v in violations {
-        groups
-            .entry((v.rule.to_owned(), v.path.clone()))
-            .or_default()
-            .push(v);
-    }
-    let mut outcome = AuditOutcome::default();
-    for (key, group) in &groups {
-        let permitted = baseline.get(key).copied().unwrap_or(0);
-        if group.len() > permitted {
-            outcome.over.extend(group.iter().map(|v| (*v).clone()));
-        } else if group.len() < permitted {
-            outcome
-                .improved
-                .push((key.0.clone(), key.1.clone(), permitted, group.len()));
-        }
-    }
-    for (key, &permitted) in baseline {
-        if !groups.contains_key(key) && permitted > 0 {
-            outcome
-                .improved
-                .push((key.0.clone(), key.1.clone(), permitted, 0));
-        }
-    }
-    outcome
+    audit_files(&[(path.to_owned(), source.to_owned())], None)
 }
 
 #[cfg(test)]
@@ -763,32 +224,6 @@ mod tests {
 
     fn rules_of(violations: &[Violation]) -> Vec<&'static str> {
         violations.iter().map(|v| v.rule).collect()
-    }
-
-    #[test]
-    fn sanitizer_blanks_strings_and_comments() {
-        let mut s = Sanitizer::new();
-        let out = s.sanitize_line(r#"let x = "call .unwrap() now"; // .unwrap()"#);
-        assert!(!out.contains(".unwrap()"));
-        assert!(out.contains("let x ="));
-    }
-
-    #[test]
-    fn sanitizer_tracks_block_comments_across_lines() {
-        let mut s = Sanitizer::new();
-        let a = s.sanitize_line("/* start .unwrap()");
-        let b = s.sanitize_line("   still .unwrap() */ real.unwrap()");
-        assert!(!a.contains("unwrap"));
-        assert!(b.contains("real.unwrap()"));
-        assert!(!b.contains("still"));
-    }
-
-    #[test]
-    fn sanitizer_handles_char_literals_and_lifetimes() {
-        let mut s = Sanitizer::new();
-        let out = s.sanitize_line("fn f<'a>(c: char) -> bool { c == '\"' }");
-        assert!(out.contains("'a"));
-        assert!(!out.contains('"'));
     }
 
     #[test]
@@ -807,9 +242,16 @@ mod tests {
                    \x20       COLLECTOR.with(|c| c.borrow_mut()).unwrap();\n\
                    \x20   }\n\
                    }\n";
+        // `no-unwrap` plus one `panic-in-drop` per panicking call
+        // (`with`, `borrow_mut`, `unwrap`).
         assert_eq!(
             rules_of(&scan_source("crates/trace/src/lib.rs", bad)),
-            vec![RULE_NO_UNWRAP]
+            vec![
+                RULE_NO_UNWRAP,
+                RULE_PANIC_IN_DROP,
+                RULE_PANIC_IN_DROP,
+                RULE_PANIC_IN_DROP
+            ]
         );
     }
 
@@ -1003,56 +445,88 @@ mod tests {
         let above =
             "// audit:allow(panic): unreachable by construction\nfn f() { panic!(\"no\"); }\n";
         assert!(scan_source(DP, above).is_empty());
+        // A marker for the wrong rule suppresses nothing: the original
+        // finding survives and the marker is reported stale.
         let wrong_rule = "// audit:allow(no-unwrap)\nfn f() { panic!(\"no\"); }\n";
-        assert_eq!(rules_of(&scan_source(DP, wrong_rule)), vec![RULE_PANIC]);
+        assert_eq!(
+            rules_of(&scan_source(DP, wrong_rule)),
+            vec![RULE_STALE_ALLOW, RULE_PANIC]
+        );
     }
 
     #[test]
-    fn baseline_round_trip_and_ratchet() {
-        let violations = vec![
-            Violation {
-                rule: RULE_NO_UNWRAP,
-                path: "crates/core/src/a.rs".into(),
-                line: 3,
-                snippet: "x.unwrap()".into(),
-            },
-            Violation {
-                rule: RULE_NO_UNWRAP,
-                path: "crates/core/src/a.rs".into(),
-                line: 9,
-                snippet: "y.unwrap()".into(),
-            },
-        ];
+    fn allow_marker_respected_above_attribute_stack() {
+        let src = "// audit:allow(panic): fires only on poisoned state\n\
+                   #[derive(Debug)]\n\
+                   #[cfg(feature = \"strict\")]\n\
+                   pub fn f() { panic!(\"poisoned\"); }\n";
+        // The attribute stack sits between the marker and the finding
+        // line; the marker must still bind (and the undocumented pub fn
+        // is a separate finding).
+        let got = rules_of(&scan_source(DP, src));
+        assert!(!got.contains(&RULE_PANIC), "got {got:?}");
+        assert!(!got.contains(&RULE_STALE_ALLOW), "got {got:?}");
+    }
+
+    #[test]
+    fn stale_allow_reported_for_unused_marker() {
+        let src = "// audit:allow(no-unwrap): removed long ago\nfn f() { let x = 1; }\n";
+        let got = scan_source(DP, src);
+        assert_eq!(rules_of(&got), vec![RULE_STALE_ALLOW]);
+        assert_eq!(got[0].line, 1);
+    }
+
+    #[test]
+    fn new_rules_fire_through_scan_source() {
+        let arith = "fn f(v: &[u32]) -> usize {\n    v.len() - 1\n}\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/tech/src/fixture.rs", arith)),
+            vec![RULE_UNCHECKED_ARITH]
+        );
+        let dur = "fn f(d: Duration) -> Duration {\n    d.mul_f64(2.0)\n}\n";
+        assert_eq!(
+            rules_of(&scan_source("crates/resilience/src/fixture.rs", dur)),
+            vec![RULE_DURATION_ARITH]
+        );
+    }
+
+    #[test]
+    fn violations_carry_fingerprints_and_severity() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let got = scan_source(DP, src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].fingerprint.len(), 16);
+        assert_eq!(got[0].severity, Severity::Error);
+        assert!(got[0].fingerprint.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn baseline_round_trip_and_ratchet_v2() {
+        // Findings separated by unchanged code lines: the ±1 code-line
+        // fingerprint context stays stable when an edit is more than one
+        // code line away.
+        let src = "fn f() { x.unwrap(); }\nfn sep1() {}\nfn g() { y.unwrap(); }\nfn sep2() {}\n";
+        let violations = scan_source(DP, src);
+        assert_eq!(violations.len(), 2);
         let text = format_baseline(&violations);
         let baseline = parse_baseline(&text).expect("formatted baseline always parses");
-        assert_eq!(
-            baseline.get(&(RULE_NO_UNWRAP.into(), "crates/core/src/a.rs".into())),
-            Some(&2)
-        );
+        assert!(!baseline.is_legacy());
         // At baseline: passes.
         let ok = check_against_baseline(&violations, &baseline);
         assert!(ok.over.is_empty() && ok.improved.is_empty());
-        // One more: fails, reporting the whole group.
-        let mut more = violations.clone();
-        more.push(Violation {
-            rule: RULE_NO_UNWRAP,
-            path: "crates/core/src/a.rs".into(),
-            line: 12,
-            snippet: "z.unwrap()".into(),
-        });
-        assert_eq!(check_against_baseline(&more, &baseline).over.len(), 3);
-        // One fewer: improved, not failing.
-        let fewer = &violations[..1];
-        let better = check_against_baseline(fewer, &baseline);
-        assert!(better.over.is_empty());
+        // A new finding (different context → different fingerprint) fails
+        // without disturbing the baselined ones.
+        let more_src = "fn f() { x.unwrap(); }\nfn sep1() {}\nfn g() { y.unwrap(); }\nfn sep2() {}\nfn h() { z.unwrap(); }\n";
+        let more = scan_source(DP, more_src);
+        let outcome = check_against_baseline(&more, &baseline);
+        assert_eq!(outcome.over.len(), 1);
+        assert!(outcome.over[0].snippet.contains("z.unwrap"));
+        // Removing one finding (its surrounding code lines intact):
+        // improved, not failing.
+        let fewer = scan_source(DP, "fn f() { x.unwrap(); }\nfn sep1() {}\nfn sep2() {}\n");
+        let better = check_against_baseline(&fewer, &baseline);
+        assert!(better.over.is_empty(), "over: {:?}", better.over);
         assert_eq!(better.improved.len(), 1);
-    }
-
-    #[test]
-    fn baseline_rejects_malformed_lines() {
-        assert!(parse_baseline("no-unwrap crates/a.rs").is_err());
-        assert!(parse_baseline("no-unwrap crates/a.rs three").is_err());
-        assert!(parse_baseline("# comment\n\nno-unwrap crates/a.rs 3\n").is_ok());
     }
 
     #[test]
@@ -1061,8 +535,46 @@ mod tests {
         // with no baseline entry makes the audit fail.
         let src = "fn f() { x.unwrap(); }\n";
         let violations = scan_source(DP, src);
-        let outcome = check_against_baseline(&violations, &Baseline::new());
+        let outcome = check_against_baseline(&violations, &Baseline::empty());
         assert_eq!(outcome.over.len(), 1);
         assert_eq!(outcome.over[0].rule, RULE_NO_UNWRAP);
+    }
+
+    #[test]
+    fn trace_registry_rule_both_directions() {
+        let code = "fn run() {\n    merlin_trace::counter(\"core.construct.calls\", 1);\n    \
+                    let _g = merlin_trace::span!(\"core.unregistered.name\");\n}\n";
+        let doc = "<!-- trace-name-registry:begin -->\n\
+                   core.construct.calls\n\
+                   core.never.emitted\n\
+                   <!-- trace-name-registry:end -->\n";
+        let files = vec![("crates/flows/src/fixture.rs".to_owned(), code.to_owned())];
+        let got = audit_files(&files, Some(("docs/OBSERVABILITY.md", doc)));
+        let regs: Vec<&Violation> = got
+            .iter()
+            .filter(|v| v.rule == RULE_TRACE_NAME_REGISTRY)
+            .collect();
+        assert_eq!(regs.len(), 2, "got {got:?}");
+        assert!(regs.iter().any(
+            |v| v.path.ends_with("fixture.rs") && v.snippet.contains("core.unregistered.name")
+        ));
+        assert!(
+            regs.iter()
+                .any(|v| v.path == "docs/OBSERVABILITY.md"
+                    && v.snippet.contains("core.never.emitted"))
+        );
+    }
+
+    #[test]
+    fn trace_registry_accepts_indirect_mentions() {
+        // Names routed through locals/tuples (the flow-column emitter
+        // pattern) count as mentioned, so the docs direction stays quiet.
+        let code = "fn cols() -> (&'static str, u64) {\n    (\"flows.flow3.runs\", 1)\n}\n";
+        let doc = "<!-- trace-name-registry:begin -->\n\
+                   flows.flow3.runs\n\
+                   <!-- trace-name-registry:end -->\n";
+        let files = vec![("crates/flows/src/fixture.rs".to_owned(), code.to_owned())];
+        let got = audit_files(&files, Some(("docs/OBSERVABILITY.md", doc)));
+        assert!(got.is_empty(), "got {got:?}");
     }
 }

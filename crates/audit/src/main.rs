@@ -4,20 +4,33 @@
 //! cargo run -p merlin-audit                 # audit against the baseline
 //! cargo run -p merlin-audit -- --update-baseline
 //! cargo run -p merlin-audit -- --root /path/to/workspace
+//! cargo run -p merlin-audit -- --sarif audit.sarif --json audit.json
+//! cargo run -p merlin-audit -- --max-runtime-ms 10000
 //! ```
 //!
 //! Exit codes: `0` clean (or within baseline), `1` findings over the
-//! baseline, `2` usage or I/O error.
+//! baseline or runtime guard exceeded, `2` usage or I/O error.
+//!
+//! A legacy count-based baseline (`<rule> <path> <count>`) is evaluated
+//! under its own semantics and, on a clean run, automatically rewritten
+//! in the fingerprinted v2 format (`<rule> <path> <fingerprint> <count>`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use merlin_audit::{
-    check_against_baseline, format_baseline, parse_baseline, scan_source, Baseline, Violation,
+    audit_files, check_against_baseline, format_baseline, json_report, parse_baseline,
+    sarif_report, Baseline,
 };
 
-/// Directories never scanned (build output, vendored shims, VCS metadata).
-const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".claude"];
+/// Directories never scanned: build output, vendored shims, VCS metadata,
+/// and the auditor's own seeded-violation corpus (its fixtures exist to
+/// trip rules and must not reach the workspace audit).
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".claude", "corpus"];
+
+/// Workspace-relative path of the trace-name registry document.
+const REGISTRY_DOC: &str = "docs/OBSERVABILITY.md";
 
 fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
     if let Some(root) = explicit {
@@ -51,60 +64,120 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let mut update_baseline = false;
-    let mut root_arg: Option<PathBuf> = None;
+struct Options {
+    update_baseline: bool,
+    root: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+    json: Option<PathBuf>,
+    max_runtime_ms: Option<u64>,
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        update_baseline: false,
+        root: None,
+        sarif: None,
+        json: None,
+        max_runtime_ms: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--update-baseline" => update_baseline = true,
+            "--update-baseline" => opts.update_baseline = true,
             "--root" => match args.next() {
-                Some(p) => root_arg = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("error: --root needs a path");
-                    return ExitCode::from(2);
-                }
+                Some(p) => opts.root = Some(PathBuf::from(p)),
+                None => return Err("--root needs a path".to_owned()),
+            },
+            "--sarif" => match args.next() {
+                Some(p) => opts.sarif = Some(PathBuf::from(p)),
+                None => return Err("--sarif needs a path".to_owned()),
+            },
+            "--json" => match args.next() {
+                Some(p) => opts.json = Some(PathBuf::from(p)),
+                None => return Err("--json needs a path".to_owned()),
+            },
+            "--max-runtime-ms" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) => opts.max_runtime_ms = Some(ms),
+                Some(Err(_)) => return Err("--max-runtime-ms needs an integer".to_owned()),
+                None => return Err("--max-runtime-ms needs a value".to_owned()),
             },
             "--help" | "-h" => {
-                println!("usage: merlin-audit [--root <workspace>] [--update-baseline]");
-                return ExitCode::SUCCESS;
+                println!(
+                    "usage: merlin-audit [--root <workspace>] [--update-baseline]\n\
+                     \x20                  [--sarif <path>] [--json <path>]\n\
+                     \x20                  [--max-runtime-ms <n>]"
+                );
+                return Ok(None);
             }
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                return ExitCode::from(2);
-            }
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
+    Ok(Some(opts))
+}
 
-    let root = workspace_root(root_arg);
-    let mut files = Vec::new();
-    if let Err(e) = collect_rs_files(&root, &mut files) {
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let started = Instant::now();
+    let root = workspace_root(opts.root);
+    let mut paths = Vec::new();
+    if let Err(e) = collect_rs_files(&root, &mut paths) {
         eprintln!("error: walking {}: {e}", root.display());
         return ExitCode::from(2);
     }
-    files.sort();
+    paths.sort();
 
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut scanned = 0usize;
-    for file in &files {
+    let mut files: Vec<(String, String)> = Vec::with_capacity(paths.len());
+    for file in &paths {
         let rel = file
             .strip_prefix(&root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        let source = match std::fs::read_to_string(file) {
-            Ok(s) => s,
+        match std::fs::read_to_string(file) {
+            Ok(source) => files.push((rel, source)),
             Err(e) => {
                 eprintln!("error: reading {rel}: {e}");
                 return ExitCode::from(2);
             }
-        };
-        scanned += 1;
-        violations.extend(scan_source(&rel, &source));
+        }
+    }
+    let scanned = files.len();
+
+    let registry_text = std::fs::read_to_string(root.join(REGISTRY_DOC)).ok();
+    if registry_text.is_none() {
+        eprintln!("audit: note: {REGISTRY_DOC} not found; trace-name-registry rule skipped");
+    }
+    let registry_doc = registry_text.as_deref().map(|t| (REGISTRY_DOC, t));
+
+    let violations = audit_files(&files, registry_doc);
+
+    let mut io_failed = false;
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = std::fs::write(path, sarif_report(&violations)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            io_failed = true;
+        }
+    }
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, json_report(&violations)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            io_failed = true;
+        }
+    }
+    if io_failed {
+        return ExitCode::from(2);
     }
 
     let baseline_path = root.join("audit-baseline.txt");
-    if update_baseline {
+    if opts.update_baseline {
         let body = format_baseline(&violations);
         if let Err(e) = std::fs::write(&baseline_path, body) {
             eprintln!("error: writing {}: {e}", baseline_path.display());
@@ -126,7 +199,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         },
-        Err(_) => Baseline::new(),
+        Err(_) => Baseline::empty(),
     };
 
     let outcome = check_against_baseline(&violations, &baseline);
@@ -135,12 +208,37 @@ fn main() -> ExitCode {
             "audit: ratchet can tighten: {rule} {path} {was} -> {now} (run --update-baseline)"
         );
     }
+
+    let elapsed_ms = started.elapsed().as_millis();
+    let over_budget = opts
+        .max_runtime_ms
+        .is_some_and(|max| elapsed_ms > u128::from(max));
+
     if outcome.over.is_empty() {
+        // A clean run under a legacy baseline is the migration point:
+        // rewrite it with fingerprints so future runs ratchet per-finding.
+        if baseline.is_legacy() {
+            let body = format_baseline(&violations);
+            if let Err(e) = std::fs::write(&baseline_path, body) {
+                eprintln!("error: writing {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+            println!("audit: legacy baseline migrated to fingerprint format (v2)");
+        }
         println!(
-            "audit: clean ({} file(s) scanned, {} baselined finding(s))",
+            "audit: clean ({} file(s) scanned, {} baselined finding(s), {} ms)",
             scanned,
-            violations.len()
+            violations.len(),
+            elapsed_ms
         );
+        if over_budget {
+            eprintln!(
+                "audit: runtime guard exceeded: {} ms > {} ms budget",
+                elapsed_ms,
+                opts.max_runtime_ms.unwrap_or(0)
+            );
+            return ExitCode::FAILURE;
+        }
         ExitCode::SUCCESS
     } else {
         for v in &outcome.over {

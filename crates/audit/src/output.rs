@@ -1,0 +1,134 @@
+//! Machine-readable report emitters: SARIF 2.1.0 and a flat JSON findings
+//! list. Hand-rolled serialization — the auditor takes no dependencies.
+
+use crate::engine::Violation;
+use crate::rules::RULES;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the findings as a SARIF 2.1.0 log with one run, one driver,
+/// a populated rule catalog, and one result per violation.
+pub fn sarif_report(violations: &[Violation]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"merlin-audit\",\n          \
+         \"informationUri\": \"docs/INVARIANTS.md\",\n          \"rules\": [\n",
+    );
+    for (i, rule) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"defaultConfiguration\": {{\"level\": \"{}\"}}}}{}\n",
+            json_escape(rule.name),
+            json_escape(rule.summary),
+            rule.severity.sarif_level(),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \
+             \"message\": {{\"text\": \"{}\"}}, \
+             \"partialFingerprints\": {{\"merlinAudit/v2\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\
+             \"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            json_escape(v.rule),
+            v.severity.sarif_level(),
+            json_escape(&v.snippet),
+            json_escape(&v.fingerprint),
+            json_escape(&v.path),
+            v.line.max(1),
+            if i + 1 < violations.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Renders the findings as a flat JSON array, one object per violation.
+pub fn json_report(violations: &[Violation]) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("[\n");
+    for (i, v) in violations.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+             \"severity\": \"{}\", \"fingerprint\": \"{}\", \"snippet\": \"{}\"}}{}\n",
+            json_escape(v.rule),
+            json_escape(&v.path),
+            v.line,
+            v.severity.sarif_level(),
+            json_escape(&v.fingerprint),
+            json_escape(&v.snippet),
+            if i + 1 < violations.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Severity;
+
+    fn sample() -> Vec<Violation> {
+        vec![Violation {
+            rule: "no-unwrap",
+            path: "crates/core/src/lib.rs".to_owned(),
+            line: 7,
+            snippet: "x.unwrap() // \"quoted\"\\path".to_owned(),
+            severity: Severity::Error,
+            fingerprint: "deadbeefdeadbeef".to_owned(),
+        }]
+    }
+
+    #[test]
+    fn escape_covers_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn sarif_contains_rule_catalog_and_result() {
+        let s = sarif_report(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"id\": \"no-unwrap\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("merlinAudit/v2"));
+        assert!(s.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn json_report_is_flat_array() {
+        let s = json_report(&sample());
+        assert!(s.starts_with("[\n"));
+        assert!(s.trim_end().ends_with(']'));
+        assert!(s.contains("\"line\": 7"));
+    }
+
+    #[test]
+    fn empty_reports_are_valid() {
+        assert!(sarif_report(&[]).contains("\"results\": [\n      ]"));
+        assert_eq!(json_report(&[]), "[\n]\n");
+    }
+}

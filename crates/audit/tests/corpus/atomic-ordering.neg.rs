@@ -1,0 +1,9 @@
+//! Negative fixture: every atomic access spells an explicit
+//! `Ordering`, so nothing is flagged outside the hot-path crates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumps the shared generation counter with a relaxed RMW.
+pub fn bump(generation: &AtomicU64) -> u64 {
+    generation.fetch_add(1, Ordering::Relaxed)
+}

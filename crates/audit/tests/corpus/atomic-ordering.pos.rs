@@ -1,0 +1,9 @@
+//! Seeded violation: an atomic RMW that does not spell its `Ordering`
+//! (modeling a wrapper that hides the ordering at the call site).
+
+use std::sync::atomic::AtomicU64;
+
+/// Bumps the shared generation counter.
+pub fn bump(generation: &AtomicU64) -> u64 {
+    generation.fetch_add(1)
+}

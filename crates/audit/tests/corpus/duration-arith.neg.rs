@@ -1,0 +1,9 @@
+//! Negative fixture: the product is capped with `.min(…)` in the same
+//! statement, so the arithmetic is bounded and must not be flagged.
+
+use std::time::Duration;
+
+/// Scales `base` by `factor`, saturating at `cap`.
+pub fn scale(base: Duration, factor: f64, cap: Duration) -> Duration {
+    base.mul_f64(factor).min(cap)
+}

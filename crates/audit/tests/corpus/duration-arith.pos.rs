@@ -1,0 +1,9 @@
+//! Seeded violation: uncapped `Duration::mul_f64` — the PR 5
+//! `RetryPolicy::backoff` overflow-panic class.
+
+use std::time::Duration;
+
+/// Scales `base` by `factor` with no cap; panics for huge factors.
+pub fn scale(base: Duration, factor: f64) -> Duration {
+    base.mul_f64(factor)
+}

@@ -1,0 +1,12 @@
+//! Negative fixture: both casts are deliberate — one saturated with
+//! `.min(…)`, one a literal that provably fits its target.
+
+/// Packs `i` into a 16-bit key, saturating at the key width.
+pub fn pack(i: usize) -> u16 {
+    i.min(usize::from(u16::MAX)) as u16
+}
+
+/// A constant tag whose literal fits the target exactly.
+pub fn tag() -> u8 {
+    255 as u8
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: an unclamped narrowing cast in a DP crate.
+
+/// Packs `i` into a 16-bit key; silently truncates above `u16::MAX`.
+pub fn pack(i: usize) -> u16 {
+    i as u16
+}

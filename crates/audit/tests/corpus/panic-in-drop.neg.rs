@@ -1,0 +1,13 @@
+//! Negative fixture: the `Drop` impl uses only fallible access
+//! (`try_with`, discarded result), so it can never panic mid-unwind.
+
+/// Guard that restores the thread-local suppression flag.
+pub struct Guard {
+    prev: bool,
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let _ = FLAG.try_with(|f| f.set(self.prev));
+    }
+}

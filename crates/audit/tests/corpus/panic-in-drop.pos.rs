@@ -1,0 +1,13 @@
+//! Seeded violation: a `Drop` impl that can panic — during unwind this
+//! aborts the whole process instead of surfacing the original error.
+
+/// Guard that asserts its flag was cleared before drop.
+pub struct Guard {
+    armed: bool,
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        assert!(!self.armed, "guard dropped while armed");
+    }
+}

@@ -1,0 +1,7 @@
+//! Negative fixture: the emitted counter name is present in the
+//! observability registry, so neither drift direction fires.
+
+/// Records one fixture event under a registered name.
+pub fn emit() {
+    merlin_trace::counter("flows.fixture.registered", 1);
+}

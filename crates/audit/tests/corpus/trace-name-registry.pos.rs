@@ -1,0 +1,7 @@
+//! Seeded violation: emits a counter whose name is missing from the
+//! observability registry (metric-name drift, code side).
+
+/// Records one fixture event under an unregistered name.
+pub fn emit() {
+    merlin_trace::counter("flows.fixture.unregistered", 1);
+}

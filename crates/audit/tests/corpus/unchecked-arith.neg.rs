@@ -1,0 +1,10 @@
+//! Negative fixture: the subtraction is dominated by an `is_empty`
+//! guard in the preceding window, so it must not be flagged.
+
+/// Last index of `v`, or `None` when the slice is empty.
+pub fn last_index(v: &[u32]) -> Option<usize> {
+    if v.is_empty() {
+        return None;
+    }
+    Some(v.len() - 1)
+}

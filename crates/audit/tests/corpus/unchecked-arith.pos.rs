@@ -1,0 +1,7 @@
+//! Seeded violation: bare `len() - 1` with no emptiness guard — the
+//! PR 5 empty-buffer-library underflow class.
+
+/// Last index of `v`; underflows the subtraction on an empty slice.
+pub fn last_index(v: &[u32]) -> usize {
+    v.len() - 1
+}

@@ -217,6 +217,8 @@ impl SolveBudget {
         let now = Instant::now();
         let deadline = self.deadline.map(|d| {
             let remaining = d.saturating_duration_since(now);
+            // audit:allow(duration-arith): fraction is clamped to [0, 1]
+            // on entry, so the product never exceeds `remaining`.
             now + remaining.mul_f64(fraction)
         });
         let work_limit = self.work_limit.map(|l| {

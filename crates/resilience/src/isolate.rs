@@ -55,7 +55,9 @@ struct SuppressGuard {
 
 impl Drop for SuppressGuard {
     fn drop(&mut self) {
-        SUPPRESS.with(|s| s.set(self.outer));
+        // Fallible TLS access: `with` panics if the key is being torn
+        // down, and a panicking Drop during unwind aborts the process.
+        let _ = SUPPRESS.try_with(|s| s.set(self.outer));
     }
 }
 

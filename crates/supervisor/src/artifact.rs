@@ -269,9 +269,13 @@ pub(crate) fn attempt_budget(
     work_limit: Option<u64>,
     scale: f64,
 ) -> SolveBudget {
+    // Retry ladders hand in small scale factors (~1x–4x), but the value
+    // ultimately comes from config; cap it so `mul_f64` can never hit the
+    // Duration overflow panic (the same hazard as the PR 5 backoff bug).
+    let scale = if scale.is_finite() { scale } else { 1.0 };
     let mut budget = SolveBudget::unlimited();
     if let Some(ms) = budget_ms {
-        budget = budget.and_deadline(Duration::from_millis(ms).mul_f64(scale));
+        budget = budget.and_deadline(Duration::from_millis(ms).mul_f64(scale.clamp(0.0, 1024.0)));
     }
     if let Some(limit) = work_limit {
         budget = budget.and_work_limit(((limit as f64) * scale).floor().max(1.0) as u64);

@@ -77,6 +77,11 @@ impl BufferLibrary {
     /// enters the runtime bound linearly (Theorem 6).
     pub fn thinned(&self, stride: usize) -> BufferLibrary {
         let stride = stride.max(1);
+        if self.buffers.is_empty() {
+            return BufferLibrary {
+                buffers: Vec::new(),
+            };
+        }
         let last = self.buffers.len() - 1;
         let mut buffers: Vec<Buffer> = self
             .buffers

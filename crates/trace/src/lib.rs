@@ -494,7 +494,7 @@ impl Drop for SpanGuard {
             if let Some(parent) = c.stack.last_mut() {
                 parent.child_ns = parent.child_ns.saturating_add(dur_ns);
             }
-            let depth = c.stack.len() as u16;
+            let depth = c.stack.len().min(usize::from(u16::MAX)) as u16;
             c.spans.push(SpanEvent {
                 name: open.name,
                 arg: open.arg,

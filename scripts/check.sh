@@ -20,8 +20,31 @@ echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings \
   -A clippy::unwrap_used -A clippy::expect_used -A clippy::panic
 
-echo "== merlin-audit =="
-cargo run -q -p merlin-audit
+echo "== merlin-audit (engine tests, workspace scan, SARIF/JSON export) =="
+# The auditor's own suite first (lexer proptests + seeded-violation
+# corpus), then the real scan with both report sinks and a runtime
+# budget: the token engine scans the workspace in ~40 ms, so blowing
+# 10 s means something is catastrophically wrong with it.
+cargo test -q -p merlin-audit
+AUDTMP="$(mktemp -d)"
+cargo run -q -p merlin-audit -- \
+  --sarif "$AUDTMP/audit.sarif" --json "$AUDTMP/audit.json" \
+  --max-runtime-ms 10000
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$AUDTMP/audit.sarif" "$AUDTMP/audit.json" <<'EOF'
+import json, sys
+sarif = json.load(open(sys.argv[1]))
+assert sarif["version"] == "2.1.0", "bad SARIF version"
+run = sarif["runs"][0]
+assert run["tool"]["driver"]["rules"], "empty SARIF rule catalog"
+json.load(open(sys.argv[2]))
+EOF
+else
+  # No python3: at least require the SARIF envelope fields.
+  grep -q '"version": "2.1.0"' "$AUDTMP/audit.sarif"
+  grep -q '"rules"' "$AUDTMP/audit.sarif"
+fi
+rm -rf "$AUDTMP"
 
 echo "== tests (debug: invariant checkers on via debug_assertions) =="
 cargo test --workspace -q
