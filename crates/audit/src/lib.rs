@@ -74,7 +74,7 @@ pub use rules::{
     is_dp_crate_path, is_trace_name_shaped, parse_trace_registry, rule_info, RuleInfo, ALL_RULES,
     DP_CRATE_PREFIXES, RC_FORBIDDEN_PREFIXES, RESILIENCE_PREFIX, RULES, RULE_ATOMIC_ORDERING,
     RULE_CATCH_UNWIND, RULE_DOC_PUB_FN, RULE_DURATION_ARITH, RULE_EMPTY_EXPECT, RULE_FLOAT_CMP,
-    RULE_FLOAT_EQ, RULE_LOSSY_CAST, RULE_NO_RC_IN_DP, RULE_NO_UNWRAP, RULE_PANIC,
+    RULE_FLOAT_EQ, RULE_LOSSY_CAST, RULE_NO_RAW_EXIT, RULE_NO_RC_IN_DP, RULE_NO_UNWRAP, RULE_PANIC,
     RULE_PANIC_IN_DROP, RULE_PUSH_WITHOUT_PRUNE, RULE_STALE_ALLOW, RULE_TRACE_NAME_REGISTRY,
     RULE_UNCHECKED_ARITH,
 };
@@ -120,6 +120,7 @@ pub fn audit_files(
         rules::rule_lossy_cast(path, &raw_lines, &ctoks, &in_test, &mut findings);
         rules::rule_atomic_ordering(path, &raw_lines, &ctoks, &in_test, &mut findings);
         rules::rule_panic_in_drop(path, &raw_lines, &ctoks, &mut findings);
+        rules::rule_no_raw_exit(path, &raw_lines, &ctoks, &in_test, &mut findings);
 
         if registry_doc.is_some() {
             if let Some(names) = rules::collect_trace_names(path, &ctoks, &in_test) {

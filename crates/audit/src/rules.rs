@@ -41,6 +41,9 @@ pub const RULE_PANIC_IN_DROP: &str = "panic-in-drop";
 /// Rule name: trace name used in code but missing from the
 /// `docs/OBSERVABILITY.md` registry, or vice versa.
 pub const RULE_TRACE_NAME_REGISTRY: &str = "trace-name-registry";
+/// Rule name: bare `std::process::exit` outside the sanctioned worker
+/// exit wrapper.
+pub const RULE_NO_RAW_EXIT: &str = "no-raw-exit";
 /// Rule name: an `audit:allow` marker that suppresses nothing.
 pub const RULE_STALE_ALLOW: &str = "stale-allow";
 
@@ -139,6 +142,13 @@ pub const RULES: &[RuleInfo] = &[
                   the docs/OBSERVABILITY.md registry and vice versa",
     },
     RuleInfo {
+        name: RULE_NO_RAW_EXIT,
+        severity: Severity::Error,
+        summary: "std::process::exit skips destructors (journal flushes, trace \
+                  guards); return an ExitCode or go through the sanctioned \
+                  worker_exit wrapper",
+    },
+    RuleInfo {
         name: RULE_STALE_ALLOW,
         severity: Severity::Warning,
         summary: "an audit:allow marker that suppresses nothing is itself a finding",
@@ -162,6 +172,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_ATOMIC_ORDERING,
     RULE_PANIC_IN_DROP,
     RULE_TRACE_NAME_REGISTRY,
+    RULE_NO_RAW_EXIT,
     RULE_STALE_ALLOW,
 ];
 
@@ -1231,6 +1242,44 @@ pub(crate) fn rule_panic_in_drop(
             }
         }
         i = end.max(open + 1);
+    }
+}
+
+/// `no-raw-exit`: a bare `std::process::exit` call outside test code,
+/// anywhere in the workspace. `exit` runs no destructors — journal
+/// writers are not flushed, trace guards never fire — so process
+/// termination must either return an `ExitCode` from `main` or go
+/// through the one sanctioned wrapper
+/// (`merlin_supervisor::proc::worker_exit`, which carries the
+/// `audit:allow` marker). `std::process::abort` is *not* flagged: the
+/// crash-isolation machinery aborts deliberately to simulate hard
+/// faults, and an abort is what the supervision layer is built to
+/// survive.
+pub(crate) fn rule_no_raw_exit(
+    path: &str,
+    raw_lines: &[&str],
+    toks: &[CTok<'_>],
+    in_test: &[bool],
+    out: &mut Vec<Violation>,
+) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && t.text == "process"
+            && is_punct(toks.get(i + 1), ":")
+            && is_punct(toks.get(i + 2), ":")
+            && is_ident(toks.get(i + 3), "exit")
+            && is_punct(toks.get(i + 4), "(")
+            && !line_in_test(in_test, toks[i + 3].line)
+        {
+            out.push(finding(
+                RULE_NO_RAW_EXIT,
+                path,
+                raw_lines,
+                toks[i + 3].line,
+                Severity::Error,
+            ));
+        }
     }
 }
 

@@ -8,7 +8,8 @@
 
 use merlin_audit::{
     audit_files, scan_source, Violation, RULE_ATOMIC_ORDERING, RULE_DURATION_ARITH,
-    RULE_LOSSY_CAST, RULE_PANIC_IN_DROP, RULE_TRACE_NAME_REGISTRY, RULE_UNCHECKED_ARITH,
+    RULE_LOSSY_CAST, RULE_NO_RAW_EXIT, RULE_PANIC_IN_DROP, RULE_TRACE_NAME_REGISTRY,
+    RULE_UNCHECKED_ARITH,
 };
 
 fn fires(violations: &[Violation], rule: &str) -> bool {
@@ -78,6 +79,20 @@ fn panic_in_drop_corpus() {
         include_str!("corpus/panic-in-drop.pos.rs"),
         include_str!("corpus/panic-in-drop.neg.rs"),
     );
+}
+
+#[test]
+fn no_raw_exit_corpus() {
+    // Workspace-wide rule: scan the positive fixture under a non-DP path
+    // too, so the corpus pins that it fires outside the hygiene crates.
+    for path in ["src/bin/fixture.rs", "crates/supervisor/src/fixture.rs"] {
+        check_pair(
+            RULE_NO_RAW_EXIT,
+            path,
+            include_str!("corpus/no-raw-exit.pos.rs"),
+            include_str!("corpus/no-raw-exit.neg.rs"),
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,30 @@
+//! Negative fixture: every sanctioned way to terminate stays silent —
+//! returning an `ExitCode` from main, a deliberate `abort` (the crash
+//! the supervision layer is built to survive), an allow-marked exit
+//! wrapper, and an `exit` confined to test code.
+
+use std::process::ExitCode;
+
+/// Terminates by returning an exit code, destructors intact.
+pub fn main() -> ExitCode {
+    ExitCode::FAILURE
+}
+
+/// Simulates a hard fault for crash-isolation testing.
+pub fn die_hard() -> ! {
+    std::process::abort()
+}
+
+/// The sanctioned wrapper: the one place a raw exit is allowed.
+pub fn worker_exit(code: u8) -> ! {
+    // audit:allow(no-raw-exit) — this fn IS the sanctioned wrapper.
+    std::process::exit(i32::from(code))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exiting_a_forked_test_child_is_fine() {
+        std::process::exit(0);
+    }
+}

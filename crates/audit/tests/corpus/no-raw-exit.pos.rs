@@ -1,0 +1,9 @@
+//! Seeded violation: a bare `std::process::exit` in non-test code
+//! terminates without running destructors — an open `JournalWriter`
+//! never fsyncs its tail and trace guards never close their spans.
+
+/// Bails out of a batch on a config error the hard way.
+pub fn bail(msg: &str) -> ! {
+    eprintln!("fatal: {msg}");
+    std::process::exit(2)
+}

@@ -39,6 +39,9 @@ pub enum RecordStatus {
     FailedDegraded,
     /// Every attempt was lost to the watchdog (wall-clock stall).
     FailedTimeout,
+    /// The net crashed its worker process repeatedly and was quarantined
+    /// by the process supervisor (poison net).
+    FailedCrash,
 }
 
 impl RecordStatus {
@@ -48,6 +51,7 @@ impl RecordStatus {
             RecordStatus::Served => "served",
             RecordStatus::FailedDegraded => "failed-degraded",
             RecordStatus::FailedTimeout => "failed-timeout",
+            RecordStatus::FailedCrash => "failed-crash",
         }
     }
 
@@ -57,6 +61,7 @@ impl RecordStatus {
             "served" => Some(RecordStatus::Served),
             "failed-degraded" => Some(RecordStatus::FailedDegraded),
             "failed-timeout" => Some(RecordStatus::FailedTimeout),
+            "failed-crash" => Some(RecordStatus::FailedCrash),
             _ => None,
         }
     }
@@ -274,6 +279,7 @@ mod tests {
             RecordStatus::Served,
             RecordStatus::FailedDegraded,
             RecordStatus::FailedTimeout,
+            RecordStatus::FailedCrash,
         ] {
             assert_eq!(RecordStatus::parse(status.label()), Some(status));
             for tier in ServingTier::LADDER {

@@ -42,7 +42,9 @@ use merlin_resilience::{RetryPolicy, ServingTier};
 use merlin_tech::Technology;
 
 use crate::artifact::{self, Repro};
-use crate::journal::{load_journal, JournalLoadError, JournalWriter};
+use crate::journal::{
+    load_journal, population_hash, JournalLoadError, JournalMergeError, JournalWriter,
+};
 use crate::report::BatchReport;
 
 /// How long a worker dozes between queue polls when nothing is due.
@@ -102,6 +104,12 @@ pub struct BatchConfig {
     /// is identical at any thread count; keep `jobs × threads` at or
     /// below the core count or the shards just contend with each other.
     pub threads: usize,
+    /// Cap on *concurrently-abandoned* worker threads. Every watchdog
+    /// abandonment leaks a thread (stalled mid-solve, never joined);
+    /// exceeding the cap fails the batch with
+    /// [`BatchError::AbandonedWorkerCap`] instead of silently spawning
+    /// replacements forever — the old unbounded-leak failure mode.
+    pub abandon_cap: usize,
 }
 
 impl Default for BatchConfig {
@@ -120,6 +128,7 @@ impl Default for BatchConfig {
             crash_after: None,
             capture_trace: false,
             threads: 0,
+            abandon_cap: 32,
         }
     }
 }
@@ -149,6 +158,26 @@ pub enum BatchError {
         /// How long the event loop waited.
         waited: Duration,
     },
+    /// More worker threads are concurrently abandoned (leaked by the
+    /// watchdog) than [`BatchConfig::abandon_cap`] allows; the batch
+    /// fails instead of leaking without bound.
+    AbandonedWorkerCap {
+        /// Abandoned threads still live when the cap tripped.
+        abandoned: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A set of journal segments could not be merged (process-isolated
+    /// mode; see [`crate::journal::merge_segments`]).
+    SegmentMerge(JournalMergeError),
+    /// A shard's worker subprocess kept dying without committing
+    /// anything, exhausting the respawn policy (process-isolated mode).
+    WorkerRespawnExhausted {
+        /// The shard whose worker kept dying.
+        shard: u32,
+        /// Consecutive barren deaths observed.
+        respawns: u32,
+    },
 }
 
 impl fmt::Display for BatchError {
@@ -164,6 +193,17 @@ impl fmt::Display for BatchError {
                 "no worker event for {:.0}s; batch is wedged",
                 waited.as_secs_f64()
             ),
+            BatchError::AbandonedWorkerCap { abandoned, cap } => write!(
+                f,
+                "{abandoned} abandoned worker threads still live (cap {cap}); failing instead \
+                 of leaking without bound"
+            ),
+            BatchError::SegmentMerge(e) => write!(f, "{e}"),
+            BatchError::WorkerRespawnExhausted { shard, respawns } => write!(
+                f,
+                "shard {shard}: worker died {respawns} times in a row without committing \
+                 anything; giving up"
+            ),
         }
     }
 }
@@ -173,6 +213,12 @@ impl std::error::Error for BatchError {}
 impl From<JournalLoadError> for BatchError {
     fn from(e: JournalLoadError) -> Self {
         BatchError::Journal(e)
+    }
+}
+
+impl From<JournalMergeError> for BatchError {
+    fn from(e: JournalMergeError) -> Self {
+        BatchError::SegmentMerge(e)
     }
 }
 
@@ -200,6 +246,10 @@ struct Sched {
     dead_gens: HashSet<u64>,
     /// Worker ids abandoned by the watchdog; never joined.
     dead_workers: HashSet<usize>,
+    /// Abandoned worker threads that have not yet observed their dead
+    /// generation and exited — the live size of the leak the
+    /// [`BatchConfig::abandon_cap`] bounds.
+    abandoned_live: usize,
     next_gen: u64,
     shutdown: bool,
 }
@@ -315,6 +365,8 @@ fn worker_loop(shared: Arc<Shared>, tx: mpsc::Sender<Event>, worker_id: usize) {
             if s.dead_gens.remove(&gen) {
                 // The watchdog abandoned this attempt and a replacement
                 // worker owns our slot: drop the stale result and exit.
+                // The stall resolved after all, so the leak shrinks.
+                s.abandoned_live = s.abandoned_live.saturating_sub(1);
                 true
             } else {
                 s.inflight.remove(&idx);
@@ -363,6 +415,7 @@ fn watchdog_loop(shared: Arc<Shared>, limit: Duration, poll: Duration, tx: mpsc:
                 if let Some(f) = s.inflight.remove(&idx) {
                     s.dead_gens.insert(f.gen);
                     s.dead_workers.insert(f.worker);
+                    s.abandoned_live = s.abandoned_live.saturating_add(1);
                     if tx
                         .send(Event::TimedOut {
                             idx,
@@ -379,51 +432,86 @@ fn watchdog_loop(shared: Arc<Shared>, limit: Duration, poll: Duration, tx: mpsc:
     }
 }
 
-fn sanitize_name(name: &str) -> String {
+pub(crate) fn sanitize_name(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_whitespace() { '_' } else { c })
         .collect()
+}
+
+/// Validates replayed records against the batch: index range and net
+/// names must agree. Shared by the thread-mode journal open and the
+/// process-mode segment merge.
+pub(crate) fn validate_records(
+    nets: &[Net],
+    records: &BTreeMap<u64, JournalRecord>,
+) -> Result<(), BatchError> {
+    for (idx, rec) in records {
+        let Some(net) = nets.get(*idx as usize) else {
+            return Err(BatchError::JournalMismatch {
+                detail: format!(
+                    "journal records net index {idx} but the batch has {} nets",
+                    nets.len()
+                ),
+            });
+        };
+        let expected = sanitize_name(&net.name);
+        if rec.net != expected {
+            return Err(BatchError::JournalMismatch {
+                detail: format!(
+                    "net index {idx} is `{expected}` in this batch but `{}` in the journal",
+                    rec.net
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// The reopened journal: its appender plus whatever a prior run left.
 type OpenedJournal = (JournalWriter, BTreeMap<u64, JournalRecord>, Vec<String>);
 
 /// Loads/creates the journal and validates replayed records against the
-/// batch (index range and net names must agree).
+/// batch: the recorded `#population` hash must match the input nets
+/// (a mismatched input must not silently merge stale results), and
+/// replayed records must agree on index range and net names. Journals
+/// from before the population stamp are stamped on reopen.
 fn open_journal(nets: &[Net], path: &Path) -> Result<OpenedJournal, BatchError> {
+    let population = population_hash(nets);
     match load_journal(path)? {
         Some(loaded) => {
-            for (idx, rec) in &loaded.records {
-                let Some(net) = nets.get(*idx as usize) else {
+            if let Some(recorded) = loaded.population {
+                if recorded != population {
                     return Err(BatchError::JournalMismatch {
                         detail: format!(
-                            "journal records net index {idx} but the batch has {} nets",
-                            nets.len()
-                        ),
-                    });
-                };
-                let expected = sanitize_name(&net.name);
-                if rec.net != expected {
-                    return Err(BatchError::JournalMismatch {
-                        detail: format!(
-                            "net index {idx} is `{expected}` in this batch but `{}` in the \
-                             journal",
-                            rec.net
+                            "journal records population hash {recorded:016x} but the input \
+                             nets hash to {population:016x}"
                         ),
                     });
                 }
             }
-            let writer = JournalWriter::append_to(path).map_err(|error| BatchError::Io {
+            validate_records(nets, &loaded.records)?;
+            let mut writer = JournalWriter::append_to(path).map_err(|error| BatchError::Io {
                 context: format!("cannot reopen journal {}", path.display()),
                 error,
             })?;
+            if loaded.population.is_none() {
+                writer
+                    .append_population(population)
+                    .map_err(|error| BatchError::Io {
+                        context: format!("cannot stamp journal {}", path.display()),
+                        error,
+                    })?;
+            }
             Ok((writer, loaded.records, loaded.warnings))
         }
         None => {
-            let writer = JournalWriter::create(path).map_err(|error| BatchError::Io {
-                context: format!("cannot create journal {}", path.display()),
-                error,
-            })?;
+            let writer =
+                JournalWriter::create_with_population(path, population).map_err(|error| {
+                    BatchError::Io {
+                        context: format!("cannot create journal {}", path.display()),
+                        error,
+                    }
+                })?;
             Ok((writer, BTreeMap::new(), Vec::new()))
         }
     }
@@ -535,6 +623,7 @@ pub fn run_batch(
             inflight: HashMap::new(),
             dead_gens: HashSet::new(),
             dead_workers: HashSet::new(),
+            abandoned_live: 0,
             next_gen: 0,
             shutdown: false,
         }),
@@ -672,6 +761,18 @@ pub fn run_batch(
             }
             Event::TimedOut { idx, attempt } => {
                 merlin_trace::counter("supervisor.watchdog.fire", 1);
+                merlin_trace::counter("supervisor.watchdog.abandoned", 1);
+                // The abandoned thread leaks until its stalled solve
+                // returns; past the cap the batch fails instead of
+                // spawning replacements forever.
+                let abandoned = lock(&shared.sched).abandoned_live;
+                if abandoned > cfg.abandon_cap {
+                    shutdown(&shared);
+                    return Err(BatchError::AbandonedWorkerCap {
+                        abandoned,
+                        cap: cfg.abandon_cap,
+                    });
+                }
                 let fired = timeout_counts.entry(idx).or_insert(0);
                 *fired = fired.saturating_add(1);
                 if cfg.retry.is_final(attempt) {

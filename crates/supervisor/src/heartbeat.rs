@@ -1,0 +1,238 @@
+//! The worker↔parent heartbeat protocol for process-isolated batches.
+//!
+//! A shard worker speaks a line-oriented protocol on its **stdout** (one
+//! flushed line per event); the parent supervisor reads it to track
+//! liveness and progress. Worker diagnostics go to stderr, so stdout
+//! carries nothing but protocol lines:
+//!
+//! ```text
+//! hb ready shard=0 shards=4 pending=50
+//! hb start idx=12
+//! hb commit idx=12 status=served
+//! hb alive
+//! hb sealed
+//! ```
+//!
+//! * `ready` — the worker loaded its segment and computed its pending
+//!   set (emitted once, right after startup).
+//! * `start` / `commit` — brackets one net's solve; the parent uses
+//!   `start` without a matching `commit` to attribute a crash to a net
+//!   (poison quarantine) and to detect a wedged solve.
+//! * `alive` — emitted at natural checkpoints (retry backoff slices,
+//!   between nets) by the *solving* thread, so a wedged worker genuinely
+//!   goes silent instead of being kept alive by a side ticker.
+//! * `sealed` — the worker wrote the `#sealed` journal marker and is
+//!   about to exit cleanly.
+//!
+//! The parent treats any line that does not decode as garbage: counted
+//! (`supervisor.proc.heartbeat.garbage`) but **not** treated as a sign of
+//! life, so a worker spewing noise still trips the watchdog.
+//!
+//! The parent→worker channel (worker stdin) carries a single command,
+//! [`DRAIN_COMMAND`]: finish the in-flight net, seal the segment, exit.
+//! EOF on stdin means the parent is gone and is treated as a drain too —
+//! that is what stops an orphaned worker from racing a resumed batch for
+//! its segment file.
+
+use std::fmt;
+
+use merlin_resilience::journal::RecordStatus;
+
+/// The one parent→worker stdin command: finish the in-flight net, seal,
+/// exit cleanly.
+pub const DRAIN_COMMAND: &str = "drain";
+
+/// One worker→parent protocol event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Heartbeat {
+    /// Worker is up: its shard assignment and how many nets it has left.
+    Ready {
+        /// This worker's shard index.
+        shard: u32,
+        /// Total shard count the worker is partitioning by.
+        shards: u32,
+        /// Nets in this shard still lacking a journal record.
+        pending: u64,
+    },
+    /// Proof of life with no progress attached.
+    Alive,
+    /// The worker began solving the net with this batch index.
+    NetStarted {
+        /// Batch index of the net.
+        idx: u64,
+    },
+    /// The worker durably journaled the net's terminal record.
+    NetCommitted {
+        /// Batch index of the net.
+        idx: u64,
+        /// Terminal status that was journaled.
+        status: RecordStatus,
+    },
+    /// The worker sealed its segment and is exiting cleanly.
+    Sealed,
+}
+
+/// Why a heartbeat line failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeartbeatDecodeError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for HeartbeatDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad heartbeat line: {}", self.reason)
+    }
+}
+
+impl std::error::Error for HeartbeatDecodeError {}
+
+fn bad(reason: impl Into<String>) -> HeartbeatDecodeError {
+    HeartbeatDecodeError {
+        reason: reason.into(),
+    }
+}
+
+fn kv<'a>(tok: Option<&'a str>, key: &str) -> Result<&'a str, HeartbeatDecodeError> {
+    let tok = tok.ok_or_else(|| bad(format!("missing field `{key}`")))?;
+    tok.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| bad(format!("expected `{key}=...`, found `{tok}`")))
+}
+
+impl Heartbeat {
+    /// Encodes the event as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Heartbeat::Ready {
+                shard,
+                shards,
+                pending,
+            } => format!("hb ready shard={shard} shards={shards} pending={pending}"),
+            Heartbeat::Alive => "hb alive".to_owned(),
+            Heartbeat::NetStarted { idx } => format!("hb start idx={idx}"),
+            Heartbeat::NetCommitted { idx, status } => {
+                format!("hb commit idx={idx} status={}", status.label())
+            }
+            Heartbeat::Sealed => "hb sealed".to_owned(),
+        }
+    }
+
+    /// Decodes one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// A [`HeartbeatDecodeError`] naming the first malformed token. The
+    /// parent counts these as garbage; they never refresh a worker's
+    /// liveness clock.
+    pub fn decode(line: &str) -> Result<Heartbeat, HeartbeatDecodeError> {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("hb") => {}
+            Some(other) => return Err(bad(format!("expected `hb`, found `{other}`"))),
+            None => return Err(bad("empty line")),
+        }
+        let verb = it.next().ok_or_else(|| bad("missing verb"))?;
+        let event = match verb {
+            "ready" => {
+                let shard = kv(it.next(), "shard")?
+                    .parse::<u32>()
+                    .map_err(|_| bad("malformed shard"))?;
+                let shards = kv(it.next(), "shards")?
+                    .parse::<u32>()
+                    .map_err(|_| bad("malformed shards"))?;
+                let pending = kv(it.next(), "pending")?
+                    .parse::<u64>()
+                    .map_err(|_| bad("malformed pending"))?;
+                Heartbeat::Ready {
+                    shard,
+                    shards,
+                    pending,
+                }
+            }
+            "alive" => Heartbeat::Alive,
+            "start" => {
+                let idx = kv(it.next(), "idx")?
+                    .parse::<u64>()
+                    .map_err(|_| bad("malformed idx"))?;
+                Heartbeat::NetStarted { idx }
+            }
+            "commit" => {
+                let idx = kv(it.next(), "idx")?
+                    .parse::<u64>()
+                    .map_err(|_| bad("malformed idx"))?;
+                let status_tok = kv(it.next(), "status")?;
+                let status = RecordStatus::parse(status_tok)
+                    .ok_or_else(|| bad(format!("unknown status `{status_tok}`")))?;
+                Heartbeat::NetCommitted { idx, status }
+            }
+            "sealed" => Heartbeat::Sealed,
+            other => return Err(bad(format!("unknown verb `{other}`"))),
+        };
+        if let Some(extra) = it.next() {
+            return Err(bad(format!("trailing token `{extra}`")));
+        }
+        Ok(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_round_trips() {
+        let events = [
+            Heartbeat::Ready {
+                shard: 3,
+                shards: 8,
+                pending: 25,
+            },
+            Heartbeat::Alive,
+            Heartbeat::NetStarted { idx: 17 },
+            Heartbeat::NetCommitted {
+                idx: 17,
+                status: RecordStatus::Served,
+            },
+            Heartbeat::NetCommitted {
+                idx: 18,
+                status: RecordStatus::FailedCrash,
+            },
+            Heartbeat::Sealed,
+        ];
+        for ev in events {
+            assert_eq!(Heartbeat::decode(&ev.encode()), Ok(ev));
+        }
+    }
+
+    #[test]
+    fn garbage_lines_are_rejected() {
+        for line in [
+            "",
+            "nonsense",
+            "hb",
+            "hb bogus",
+            "hb start",
+            "hb start idx=x",
+            "hb commit idx=1 status=nope",
+            "hb alive extra",
+            "hb ready shard=1 shards=2",
+        ] {
+            assert!(Heartbeat::decode(line).is_err(), "`{line}` must not decode");
+        }
+    }
+
+    #[test]
+    fn torn_prefixes_never_decode_as_a_different_event() {
+        let line = Heartbeat::NetCommitted {
+            idx: 123,
+            status: RecordStatus::Served,
+        }
+        .encode();
+        for cut in 1..line.len() {
+            if let Ok(ev) = Heartbeat::decode(&line[..cut]) {
+                panic!("prefix `{}` decoded as {ev:?}", &line[..cut]);
+            }
+        }
+    }
+}

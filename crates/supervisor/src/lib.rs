@@ -31,7 +31,15 @@
 //!   with the full supervision parameters (and chaos config), greedily
 //!   minimized by sink removal once the batch has drained (the verbatim
 //!   artifact is written immediately, so a crash mid-batch still leaves
-//!   a repro), and replayable via `merlin_cli repro <file>`.
+//!   a repro), and replayable via `merlin_cli repro <file>`,
+//! * **process isolation** ([`proc::run_batch_proc`]) — the batch sharded
+//!   across worker *subprocesses*, each with its own journal segment, so
+//!   a hard fault (abort, OOM, stack overflow) costs one shard's
+//!   in-flight net instead of the whole batch. Workers speak the
+//!   [`heartbeat`] protocol; the parent escalates SIGTERM → SIGKILL on a
+//!   wedged worker, respawns with capped backoff, quarantines poison
+//!   nets, and drains gracefully on SIGINT. Any set of segments — from
+//!   any shard count — merges back into one byte-stable report.
 //!
 //! The crate deliberately contains **no** `catch_unwind`: panic isolation
 //! stays at the single sanctioned boundary in `merlin_resilience::isolate`
@@ -40,7 +48,9 @@
 
 pub mod artifact;
 pub mod batch;
+pub mod heartbeat;
 pub mod journal;
+pub mod proc;
 pub mod report;
 
 pub use artifact::{
@@ -48,5 +58,15 @@ pub use artifact::{
     ReproParseError, REPRO_HEADER,
 };
 pub use batch::{run_batch, BatchConfig, BatchError};
-pub use journal::{load_journal, JournalLoadError, JournalWriter, LoadedJournal};
+pub use heartbeat::{Heartbeat, HeartbeatDecodeError, DRAIN_COMMAND};
+pub use journal::{
+    load_journal, merge_segments, population_hash, quarantine_segment_path, segment_path,
+    segment_paths, JournalLoadError, JournalMergeError, JournalWriter, LoadedJournal,
+    MergedJournal,
+};
+pub use proc::{
+    drain_requested, escalation, ignore_sigint, ignore_sigterm, install_sigint_drain,
+    request_drain, run_batch_proc, run_worker, worker_exit, Escalation, ProcConfig, WorkerOptions,
+    WorkerSummary, EXIT_ORPHANED,
+};
 pub use report::BatchReport;

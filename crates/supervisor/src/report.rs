@@ -39,6 +39,24 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
+    /// Builds a report straight from merged journal records — the resume
+    /// path for process-isolated batches, where every row comes from
+    /// segment files rather than an in-process event loop. Rows are the
+    /// records sorted by net index (their `BTreeMap` order), so the render
+    /// is byte-stable for any segment partition and merge order.
+    pub fn from_merged(merged: crate::journal::MergedJournal, expected: usize) -> BatchReport {
+        let replayed = merged.records.len();
+        BatchReport {
+            rows: merged.records.into_values().collect(),
+            expected,
+            replayed,
+            solved: 0,
+            warnings: merged.warnings,
+            wall_s: 0.0,
+            trace: None,
+        }
+    }
+
     /// Nets with no terminal record (should always be 0 after a completed
     /// run; the chaos gate greps for it).
     pub fn lost(&self) -> usize {
@@ -78,11 +96,13 @@ impl BatchReport {
         let mut served = 0usize;
         let mut degraded = 0usize;
         let mut timeout = 0usize;
+        let mut crashed = 0usize;
         for row in &self.rows {
             match row.status {
                 RecordStatus::Served => served += 1,
                 RecordStatus::FailedDegraded => degraded += 1,
                 RecordStatus::FailedTimeout => timeout += 1,
+                RecordStatus::FailedCrash => crashed += 1,
             }
         }
         let mut s = String::new();
@@ -90,7 +110,7 @@ impl BatchReport {
         let _ = writeln!(
             s,
             "nets: {} served: {served} failed-degraded: {degraded} failed-timeout: {timeout} \
-             lost: {}",
+             failed-crash: {crashed} lost: {}",
             self.expected,
             self.lost()
         );
@@ -158,7 +178,9 @@ mod tests {
     #[test]
     fn render_counts_and_lists_records() {
         let out = sample().render();
-        assert!(out.contains("nets: 4 served: 2 failed-degraded: 0 failed-timeout: 1 lost: 1"));
+        assert!(out.contains(
+            "nets: 4 served: 2 failed-degraded: 0 failed-timeout: 1 failed-crash: 0 lost: 1"
+        ));
         assert!(out.contains("retries: 3"), "{out}");
         assert!(
             out.contains("tiers: merlin=1 single-pass=1 direct=1"),

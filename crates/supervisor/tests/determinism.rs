@@ -30,15 +30,17 @@ fn batch(n: usize) -> Vec<Net> {
         .collect()
 }
 
-/// Keeps the header plus the first `k` record lines of a journal file.
+/// Keeps the leading meta lines (header, `#population`) plus the first
+/// `k` record lines of a journal file.
 fn truncate_to(path: &std::path::Path, k: usize, torn_suffix: Option<&str>) {
     let text = std::fs::read_to_string(path).expect("read journal");
     let mut lines: Vec<&str> = text.lines().collect();
+    let meta = lines.iter().take_while(|l| l.starts_with('#')).count();
     assert!(
-        lines.len() > k + 1,
+        lines.len() > meta + k,
         "journal has enough records to truncate"
     );
-    lines.truncate(k + 1); // header + k records
+    lines.truncate(meta + k); // meta lines + k records
     let mut out = lines.join("\n");
     out.push('\n');
     if let Some(torn) = torn_suffix {

@@ -1,0 +1,139 @@
+//! Property: segment merging is partition- and order-independent.
+//!
+//! A process-isolated batch scatters its journal records across one
+//! segment file per shard; `resume` must rebuild the *same* report no
+//! matter how the records were partitioned (any shard count, including
+//! empty shards), in what order each segment received its records, or
+//! in what order the segments are handed to `merge_segments`. The
+//! property pins the resume guarantee end to end through the real file
+//! writer and loader: every generated partition renders byte-identically
+//! to the same record set written as one single-segment journal.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use merlin_resilience::journal::{JournalRecord, RecordStatus};
+use merlin_resilience::ServingTier;
+use merlin_supervisor::{merge_segments, BatchReport, JournalWriter};
+use proptest::prelude::*;
+
+/// Monotonic id so concurrent test cases never share a directory.
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn case_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "merlin-shard-merge-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create case dir");
+    dir
+}
+
+const TIERS: &[ServingTier] = &[
+    ServingTier::Merlin,
+    ServingTier::SinglePass,
+    ServingTier::PtreeVanGinneken,
+    ServingTier::LttreePtree,
+    ServingTier::DirectRoute,
+];
+const STATUSES: &[RecordStatus] = &[
+    RecordStatus::Served,
+    RecordStatus::FailedDegraded,
+    RecordStatus::FailedTimeout,
+    RecordStatus::FailedCrash,
+];
+
+/// Builds one synthetic terminal record from three generated knobs.
+fn record(idx: u64, shape: u8, attempts: u8) -> JournalRecord {
+    let status = STATUSES[usize::from(shape) % STATUSES.len()];
+    let attempts = u32::from(attempts % 4) + 1;
+    JournalRecord {
+        idx,
+        net: format!("net{idx}"),
+        tier: TIERS[usize::from(shape / 4) % TIERS.len()],
+        attempts,
+        // Keep timeouts <= attempts so the record stays plausible.
+        timeouts: u32::from(shape % 2) * (attempts - 1),
+        status,
+        hash: if status == RecordStatus::Served {
+            0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(idx + 1)
+        } else {
+            0
+        },
+    }
+}
+
+/// Deterministic Fisher-Yates driven by generated priorities.
+fn shuffled<T>(mut items: Vec<T>, seed: u64) -> Vec<T> {
+    let mut state = seed | 1;
+    for i in (1..items.len()).rev() {
+        // xorshift64* — cheap, deterministic, good enough to scramble.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        items.swap(i, (state as usize) % (i + 1));
+    }
+    items
+}
+
+proptest! {
+    #[test]
+    fn any_partition_and_merge_order_renders_byte_identically(
+        shapes in prop::collection::vec((0u8..40, 0u8..8), 1..24),
+        assign in prop::collection::vec(0usize..6, 24..25),
+        shards in 1usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        const POPULATION: u64 = 0xfeed_beef;
+        let n = shapes.len();
+        let records: Vec<JournalRecord> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(shape, attempts))| record(i as u64, shape, attempts))
+            .collect();
+        let dir = case_dir();
+
+        // Baseline: every record in one single-segment journal.
+        let single = dir.join("single.journal");
+        {
+            let mut w = JournalWriter::create_with_population(&single, POPULATION)
+                .expect("create single journal");
+            for rec in &records {
+                w.append(rec).expect("append to single journal");
+            }
+        }
+        let baseline = merge_segments(&[single]).expect("merge single journal");
+        let want = BatchReport::from_merged(baseline, n).render();
+
+        // Partition: records land in their assigned shard, in globally
+        // shuffled arrival order (segments interleave in real runs).
+        let mut writers: Vec<JournalWriter> = Vec::new();
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for s in 0..shards {
+            let path = dir.join(format!("sharded.journal.seg{s}"));
+            writers.push(
+                JournalWriter::create_with_population(&path, POPULATION)
+                    .expect("create segment"),
+            );
+            paths.push(path);
+        }
+        let order = shuffled((0..n).collect::<Vec<usize>>(), seed);
+        for i in order {
+            let shard = assign[i] % shards;
+            writers[shard].append(&records[i]).expect("append to segment");
+        }
+        drop(writers);
+
+        // Merge the segments in a different (shuffled) order than they
+        // were written.
+        let merge_order = shuffled(paths, seed.rotate_left(17));
+        let merged = merge_segments(&merge_order).expect("merge segments");
+        prop_assert_eq!(merged.records.len(), n, "no record lost in the merge");
+        let got = BatchReport::from_merged(merged, n).render();
+        prop_assert_eq!(&got, &want, "partitioned render differs from single-segment render");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

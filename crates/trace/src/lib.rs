@@ -62,6 +62,7 @@ use std::time::Instant;
 pub mod export;
 pub mod json;
 pub mod report;
+pub mod wire;
 
 /// A closed span: one timed region recorded by a [`SpanGuard`].
 #[derive(Clone, Debug, PartialEq, Eq)]

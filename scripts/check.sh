@@ -87,6 +87,72 @@ grep -q "^nets: 200 served: 200 .* lost: 0$" "$SUPTMP/report.txt" || {
   exit 1
 }
 
+echo "== proc-chaos (sharded workers + SIGKILL + parent crash + reshard resume) =="
+# The process-isolation gauntlet. Reference first: the same 200-net
+# population, uninterrupted, single-process thread mode. Then the chaotic
+# run: 4 worker subprocesses where every worker incarnation tears its
+# 20th journal commit mid-fsync and aborts (supervisor.proc.commit chaos),
+# one worker generation is SIGKILL'd from outside mid-batch, and the
+# *parent* aborts after observing 120 commits (--crash-after). Resuming
+# under a different shard count must account for every net exactly once
+# and render byte-identically to the reference.
+target/debug/merlin_cli batch --gen 200 --sinks 4 --seed 7 --jobs 2 \
+  --work-limit 200000 \
+  --journal "$SUPTMP/proc-ref.journal" --artifacts "$SUPTMP/artifacts" \
+  --report "$SUPTMP/proc-ref.txt" 2>/dev/null
+set +e
+target/debug/merlin_cli batch --gen 200 --sinks 4 --seed 7 \
+  --work-limit 200000 --isolation process --shards 4 \
+  --chaos supervisor.proc.commit:empty:20 --crash-after 120 \
+  --journal "$SUPTMP/proc.journal" --artifacts "$SUPTMP/artifacts" \
+  --report "$SUPTMP/proc.txt" 2>/dev/null &
+PROC_PID=$!
+sleep 5
+# The bracket keeps the pattern from matching any shell whose argv
+# happens to contain this script's text (pkill -f matches full argv).
+pkill -9 -f 'merlin_cl[i] worker' 2>/dev/null
+wait "$PROC_PID"
+PROC_STATUS=$?
+set -e
+if [ "$PROC_STATUS" -eq 0 ]; then
+  echo "proc-chaos: expected the crash-after parent abort, got a clean exit" >&2
+  exit 1
+fi
+# Orphaned workers drain on stdin EOF; give their sealed segments a beat.
+sleep 2
+target/debug/merlin_cli resume --gen 200 --sinks 4 --seed 7 \
+  --work-limit 200000 --isolation process --shards 2 \
+  --journal "$SUPTMP/proc.journal" --artifacts "$SUPTMP/artifacts" \
+  --report "$SUPTMP/proc.txt" 2>/dev/null
+grep -q "^nets: 200 served: 200 .* lost: 0$" "$SUPTMP/proc.txt" || {
+  echo "proc-chaos: resumed report lost nets:" >&2
+  head -3 "$SUPTMP/proc.txt" >&2
+  exit 1
+}
+cmp -s "$SUPTMP/proc-ref.txt" "$SUPTMP/proc.txt" || {
+  echo "proc-chaos: resumed process-mode report diverged from the reference:" >&2
+  diff "$SUPTMP/proc-ref.txt" "$SUPTMP/proc.txt" | head -10 >&2
+  exit 1
+}
+# Poison-net quarantine: every solve panics its worker on first touch, so
+# with --poison-k 2 each net must be quarantined as failed-crash after two
+# worker deaths instead of crash-looping the shard forever.
+target/debug/merlin_cli batch --gen 6 --sinks 4 --seed 7 \
+  --isolation process --shards 1 --poison-k 2 \
+  --chaos supervisor.proc.solve:panic:1 \
+  --journal "$SUPTMP/poison.journal" --artifacts "$SUPTMP/artifacts" \
+  --report "$SUPTMP/poison.txt" 2>/dev/null
+grep -q "failed-crash: 6 lost: 0$" "$SUPTMP/poison.txt" || {
+  echo "proc-chaos: poison nets were not all quarantined:" >&2
+  head -3 "$SUPTMP/poison.txt" >&2
+  exit 1
+}
+QUARANTINE_REPROS=$(ls "$SUPTMP"/artifacts/*.repro 2>/dev/null | wc -l)
+if [ "$QUARANTINE_REPROS" -lt 6 ]; then
+  echo "proc-chaos: expected >= 6 quarantine .repro artifacts, found $QUARANTINE_REPROS" >&2
+  exit 1
+fi
+
 echo "== trace (solve --trace: valid JSON, hot-path counters nonzero) =="
 # Solve one net with tracing on: the chrome trace file must parse as
 # JSON, and the instrumentation must actually have fired — the prune and

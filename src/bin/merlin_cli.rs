@@ -25,7 +25,10 @@ use merlin_flows::{flow1, flow2, flow3, FlowsConfig};
 use merlin_netlist::bench_nets::random_net;
 use merlin_netlist::{io, Net};
 use merlin_resilience::{RetryPolicy, ServingTier};
-use merlin_supervisor::{arm_chaos_spec, parse_repro, replay, run_batch, BatchConfig};
+use merlin_supervisor::{
+    arm_chaos_spec, parse_repro, replay, run_batch, run_batch_proc, run_worker, BatchConfig,
+    ProcConfig, WorkerOptions,
+};
 use merlin_tech::{svg, Technology};
 
 const USAGE: &str = "\
@@ -79,6 +82,21 @@ batch/resume flags (defaults in parentheses):
                        before the first commit (chaos testing; resume
                        afterwards with `resume`)
   --report PATH        write the deterministic batch report here (stdout)
+
+process-isolation flags (batch and resume):
+  --isolation MODE     thread (default) or process: process re-execs this
+                       binary as one worker subprocess per shard, each
+                       writing its own journal segment; a worker crash
+                       costs one in-flight net, not the batch
+  --shards N           worker subprocess count (2; implies
+                       --isolation process)
+  --worker-net-ms MS   wall-clock limit per in-flight net before the
+                       parent escalates SIGTERM then SIGKILL (120000)
+  --poison-k K         crashes attributed to one net before it is
+                       quarantined as failed-crash with a .repro (3)
+  resume merges any set of segments regardless of the original shard
+  count, so `batch --shards 8` can resume with `--shards 2`; SIGINT
+  drains gracefully (workers finish their in-flight net and seal)
 
 repro flags:
   --minimize           greedily re-minimize and write <file>.min
@@ -202,6 +220,11 @@ fn main() -> ExitCode {
         Some("solve") => cmd_solve(args),
         Some("batch") => cmd_batch(args, false),
         Some("resume") => cmd_batch(args, true),
+        // Hidden: the re-exec target for `batch --isolation process`. One
+        // invocation per shard; speaks the heartbeat protocol on stdout
+        // and takes the drain command on stdin. Not part of the CLI
+        // surface, so not in USAGE.
+        Some("worker") => cmd_worker(args),
         Some("repro") => cmd_repro(args),
         Some(first) if !first.starts_with('-') => {
             // Legacy shorthand: `merlin_cli file.net [flags]`.
@@ -307,6 +330,35 @@ fn cmd_solve(mut args: Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parses the listed `.net` files and appends `gen` synthetic nets — the
+/// shared population recipe of `batch`, `resume` and `worker`, which must
+/// agree byte-for-byte for the journal population hash to match.
+fn build_nets(
+    files: &[String],
+    gen: usize,
+    sinks: usize,
+    seed: u64,
+    tech: &Technology,
+) -> Result<Vec<Net>, String> {
+    let mut nets: Vec<Net> = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        nets.push(io::parse_net(&text).map_err(|e| format!("{file}: {e}"))?);
+    }
+    for i in 0..gen {
+        nets.push(random_net(
+            &format!("gen{i}"),
+            sinks,
+            seed.wrapping_add(i as u64),
+            tech,
+        ));
+    }
+    if nets.is_empty() {
+        return Err("batch has no nets: pass <file.net> arguments and/or --gen N".to_owned());
+    }
+    Ok(nets)
+}
+
 fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
     let tech = Technology::synthetic_035();
     let mut files: Vec<String> = Vec::new();
@@ -324,6 +376,13 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
         ..BatchConfig::default()
     };
     let mut trace_opts = TraceOpts::default();
+    // Process-isolation state. `chaos_specs` keeps the raw --chaos
+    // arguments so they can be re-encoded verbatim onto worker argv.
+    let mut process_mode = false;
+    let mut shards = 2u32;
+    let mut worker_net_ms: Option<u64> = None;
+    let mut poison_k: Option<u32> = None;
+    let mut chaos_specs: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         if let Some(result) = trace_opts.consume(&arg, &mut args) {
             if let Err(e) = result {
@@ -363,7 +422,10 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
             "--chaos" => {
                 args.value_for("--chaos")
                     .and_then(|v| match arm_chaos_spec(&mut cfg.fault, &v) {
-                        Ok(true) => Ok(()),
+                        Ok(true) => {
+                            chaos_specs.push(v);
+                            Ok(())
+                        }
                         Ok(false) => {
                             Err("this build has no fault-injection support; rebuild with \
                          `--features fault-inject` to use --chaos"
@@ -378,6 +440,31 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
             "--report" => args
                 .value_for("--report")
                 .map(|v| report_path = Some(v.into())),
+            "--isolation" => args
+                .value_for("--isolation")
+                .and_then(|v| match v.as_str() {
+                    "thread" => {
+                        process_mode = false;
+                        Ok(())
+                    }
+                    "process" => {
+                        process_mode = true;
+                        Ok(())
+                    }
+                    other => Err(format!(
+                        "unknown isolation `{other}` (expected thread or process)"
+                    )),
+                }),
+            "--shards" => args.parsed("--shards").map(|v: u32| {
+                shards = v.max(1);
+                process_mode = true;
+            }),
+            "--worker-net-ms" => args
+                .parsed("--worker-net-ms")
+                .map(|v: u64| worker_net_ms = Some(v)),
+            "--poison-k" => args
+                .parsed("--poison-k")
+                .map(|v: u32| poison_k = Some(v.max(1))),
             other if !other.starts_with("--") => {
                 files.push(other.to_owned());
                 Ok(())
@@ -389,38 +476,90 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
         }
     }
 
-    if require_journal && !journal.exists() {
+    // A resume may follow a process-mode batch whose parent died before
+    // it ever wrote the merged base journal: segments alone are a valid
+    // resume point, and their presence implies process mode.
+    let has_segments = merlin_supervisor::segment_paths(&journal)
+        .map(|paths| paths.iter().any(|p| p.as_path() != journal.as_path()))
+        .unwrap_or(false);
+    if require_journal && has_segments {
+        process_mode = true;
+    }
+    if require_journal && !journal.exists() && !has_segments {
         return fail(format!(
             "resume requires an existing journal at {} (run `batch` first)",
             journal.display()
         ));
     }
 
-    let mut nets: Vec<Net> = Vec::new();
-    for file in &files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
-            Err(e) => return fail(format!("cannot read {file}: {e}")),
-        };
-        match io::parse_net(&text) {
-            Ok(net) => nets.push(net),
-            Err(e) => return fail(format!("{file}: {e}")),
-        }
-    }
-    for i in 0..gen {
-        nets.push(random_net(
-            &format!("gen{i}"),
-            sinks,
-            seed.wrapping_add(i as u64),
-            &tech,
-        ));
-    }
-    if nets.is_empty() {
-        return fail("batch has no nets: pass <file.net> arguments and/or --gen N");
-    }
+    let nets = match build_nets(&files, gen, sinks, seed, &tech) {
+        Ok(nets) => nets,
+        Err(e) => return fail(e),
+    };
 
     cfg.capture_trace = trace_opts.active();
-    let report = match run_batch(nets, &tech, &cfg, &journal) {
+    let run = if process_mode {
+        // Re-encode the population and solve parameters onto worker argv.
+        // Parent-only knobs stay off it: --crash-after (the parent is the
+        // crash site), --watchdog-ms (a wedged worker is the *parent's*
+        // SIGTERM/SIGKILL ladder, not an abandoned thread), --jobs (each
+        // worker solves its shard sequentially).
+        let mut worker_args: Vec<String> = files.clone();
+        let push_kv = |wa: &mut Vec<String>, k: &str, v: String| {
+            wa.push(k.to_owned());
+            wa.push(v);
+        };
+        push_kv(&mut worker_args, "--gen", gen.to_string());
+        push_kv(&mut worker_args, "--sinks", sinks.to_string());
+        push_kv(&mut worker_args, "--seed", seed.to_string());
+        if let Some(ms) = cfg.budget_ms {
+            push_kv(&mut worker_args, "--budget-ms", ms.to_string());
+        }
+        if let Some(w) = cfg.work_limit {
+            push_kv(&mut worker_args, "--work-limit", w.to_string());
+        }
+        push_kv(
+            &mut worker_args,
+            "--max-retries",
+            cfg.retry.max_attempts.saturating_sub(1).to_string(),
+        );
+        push_kv(
+            &mut worker_args,
+            "--accept-tier",
+            cfg.accept_tier.to_string(),
+        );
+        if let Some(dir) = &cfg.artifacts_dir {
+            push_kv(&mut worker_args, "--artifacts", dir.display().to_string());
+        }
+        if !cfg.minimize {
+            worker_args.push("--no-minimize".to_owned());
+        }
+        if cfg.threads != 0 {
+            push_kv(&mut worker_args, "--threads", cfg.threads.to_string());
+        }
+        for spec in &chaos_specs {
+            push_kv(&mut worker_args, "--chaos", spec.clone());
+        }
+        if trace_opts.active() {
+            worker_args.push("--trace-wire".to_owned());
+        }
+        let mut pcfg = ProcConfig {
+            shards,
+            worker_args,
+            ..ProcConfig::default()
+        };
+        if let Some(ms) = worker_net_ms {
+            pcfg.net_limit = Duration::from_millis(ms);
+        }
+        if let Some(k) = poison_k {
+            pcfg.poison_k = k;
+        }
+        merlin_supervisor::install_sigint_drain();
+        run_batch_proc(nets, &tech, &cfg, &pcfg, &journal)
+    } else {
+        run_batch(nets, &tech, &cfg, &journal)
+    };
+    let report = match run {
         Ok(report) => report,
         Err(e) => return fail(e),
     };
@@ -451,6 +590,145 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
         None => print!("{}", report.render()),
     }
     ExitCode::SUCCESS
+}
+
+/// The re-exec target of `batch --isolation process`: solves one shard of
+/// the population (`idx % shards == shard`) into its own journal segment,
+/// emitting heartbeats on stdout and obeying the drain command on stdin.
+/// stdin EOF means the parent is gone — the worker drains and, if the
+/// solve loop has not wound down within the orphan grace period,
+/// hard-exits so it cannot race a subsequent resume forever.
+fn cmd_worker(mut args: Args) -> ExitCode {
+    use std::io::BufRead;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static DRAIN: AtomicBool = AtomicBool::new(false);
+    const ORPHAN_GRACE: Duration = Duration::from_secs(60);
+
+    let tech = Technology::synthetic_035();
+    let mut files: Vec<String> = Vec::new();
+    let mut gen = 0usize;
+    let mut sinks = 8usize;
+    let mut seed = 1u64;
+    let mut journal = PathBuf::from(".merlin-journal");
+    let mut shard = 0u32;
+    let mut shards = 1u32;
+    let mut trace_wire = false;
+    let mut ignore_term = false;
+    let mut cfg = BatchConfig {
+        artifacts_dir: Some(PathBuf::from("artifacts")),
+        retry: RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        },
+        ..BatchConfig::default()
+    };
+    while let Some(arg) = args.next() {
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--gen" => args.parsed("--gen").map(|v| gen = v),
+            "--sinks" => args.parsed("--sinks").map(|v| sinks = v),
+            "--seed" => args.parsed("--seed").map(|v| seed = v),
+            "--threads" => args.parsed("--threads").map(|v: usize| cfg.threads = v),
+            "--budget-ms" => args.parsed("--budget-ms").map(|v| cfg.budget_ms = Some(v)),
+            "--work-limit" => args
+                .parsed("--work-limit")
+                .map(|v| cfg.work_limit = Some(v)),
+            "--max-retries" => args
+                .parsed("--max-retries")
+                .map(|v: u32| cfg.retry.max_attempts = v + 1),
+            "--accept-tier" => args.value_for("--accept-tier").and_then(|v| {
+                ServingTier::parse(&v)
+                    .map(|t| cfg.accept_tier = t)
+                    .ok_or_else(|| format!("unknown tier `{v}`"))
+            }),
+            "--journal" => args.value_for("--journal").map(|v| journal = v.into()),
+            "--artifacts" => args
+                .value_for("--artifacts")
+                .map(|v| cfg.artifacts_dir = Some(v.into())),
+            "--no-minimize" => {
+                cfg.minimize = false;
+                Ok(())
+            }
+            "--chaos" => {
+                args.value_for("--chaos")
+                    .and_then(|v| match arm_chaos_spec(&mut cfg.fault, &v) {
+                        Ok(_) => Ok(()),
+                        Err(e) => Err(e.to_string()),
+                    })
+            }
+            "--shard" => args.parsed("--shard").map(|v: u32| shard = v),
+            "--shards" => args.parsed("--shards").map(|v: u32| shards = v.max(1)),
+            "--trace-wire" => {
+                trace_wire = true;
+                Ok(())
+            }
+            // Test hook for the parent's escalation ladder: a worker that
+            // shrugs off SIGTERM must still die to SIGKILL.
+            "--ignore-term" => {
+                ignore_term = true;
+                Ok(())
+            }
+            other if !other.starts_with("--") => {
+                files.push(other.to_owned());
+                Ok(())
+            }
+            other => Err(format!("unknown worker flag {other}")),
+        };
+        if let Err(e) = parsed {
+            return fail(e);
+        }
+    }
+
+    // Ctrl-C goes to the whole foreground process group; the *parent*
+    // turns it into a drain command, so workers must not die to it.
+    merlin_supervisor::ignore_sigint();
+    if ignore_term {
+        merlin_supervisor::ignore_sigterm();
+    }
+
+    let nets = match build_nets(&files, gen, sinks, seed, &tech) {
+        Ok(nets) => nets,
+        Err(e) => return fail(e),
+    };
+    cfg.capture_trace = trace_wire;
+
+    std::thread::spawn(|| {
+        let mut input = std::io::stdin().lock();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match input.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if line.trim() == merlin_supervisor::DRAIN_COMMAND {
+                        DRAIN.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+        DRAIN.store(true, Ordering::SeqCst);
+        std::thread::sleep(ORPHAN_GRACE);
+        merlin_supervisor::worker_exit(merlin_supervisor::EXIT_ORPHANED);
+    });
+
+    let opts = WorkerOptions {
+        shard,
+        shards,
+        journal,
+        trace_wire,
+    };
+    let mut out = std::io::stdout();
+    match run_worker(&nets, &tech, &cfg, &opts, &mut out, &DRAIN) {
+        Ok(summary) => {
+            eprintln!(
+                "worker {shard}/{shards}: {} solved{}",
+                summary.solved,
+                if summary.drained { " (drained)" } else { "" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("worker {shard}/{shards}: {e}")),
+    }
 }
 
 fn cmd_repro(mut args: Args) -> ExitCode {
