@@ -1294,6 +1294,7 @@ const TRACE_NAME_PREFIXES: &[&str] = &[
     "curves.",
     "flows.",
     "resilience.",
+    "server.",
     "supervisor.",
 ];
 

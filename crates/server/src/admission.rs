@@ -1,0 +1,129 @@
+//! Admission control: bounded queueing with load-shedding degradation.
+//!
+//! The server's job queue has a fixed capacity. Admission is all-or-
+//! nothing — a submit against a full queue gets a typed `overloaded`
+//! response with a retry-after hint, never an unbounded buffer — and
+//! queue *pressure* below the full mark maps onto the degradation
+//! ladder: a loaded server starts new solves at a weaker entry tier
+//! (flow II instead of flow III), trading tree quality for latency the
+//! same way the retry policy already does for failing nets. This reuses
+//! the [`merlin_resilience::ServingTier`] ladder rather than inventing
+//! a parallel quality notion.
+
+use merlin_resilience::ServingTier;
+
+/// Queue-occupancy fraction at which load shedding begins.
+pub const HIGH_WATERMARK: f64 = 0.75;
+
+/// Floor applied to retry-after hints so clients never busy-spin.
+pub const MIN_RETRY_AFTER_MS: u64 = 50;
+
+/// Ceiling on retry-after hints; beyond this the hint stops being
+/// informative and the client should back off on its own schedule.
+pub const MAX_RETRY_AFTER_MS: u64 = 30_000;
+
+/// Coarse queue-pressure level, derived from depth / capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pressure {
+    /// Below the high watermark: solve at full quality.
+    Normal,
+    /// At or above the high watermark but not full: shed to flow II.
+    High,
+    /// Queue full: new work is rejected; drained jobs still shed.
+    Critical,
+}
+
+impl Pressure {
+    /// The wire label for this level.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pressure::Normal => "normal",
+            Pressure::High => "high",
+            Pressure::Critical => "critical",
+        }
+    }
+}
+
+/// Classifies queue depth against capacity.
+pub fn pressure(depth: usize, capacity: usize) -> Pressure {
+    if capacity == 0 || depth >= capacity {
+        return Pressure::Critical;
+    }
+    // Queue depths are small; precision loss
+    // at >2^52 jobs is not a realizable regime.
+    let ratio = depth as f64 / capacity as f64;
+    if ratio >= HIGH_WATERMARK {
+        Pressure::High
+    } else {
+        Pressure::Normal
+    }
+}
+
+/// Maps pressure to a degradation-ladder *entry floor* for newly
+/// dequeued jobs. `None` means enter wherever the retry policy says
+/// (flow III on the first attempt).
+pub fn entry_floor(level: Pressure) -> Option<ServingTier> {
+    match level {
+        Pressure::Normal => None,
+        // Flow II: P-Tree topology + van Ginneken buffering. Roughly an
+        // order of magnitude cheaper than the MERLIN loop while still
+        // buffer-aware, which is the right first rung to give up.
+        Pressure::High | Pressure::Critical => Some(ServingTier::PtreeVanGinneken),
+    }
+}
+
+/// A retry-after hint for a rejected submit: the backlog divided by the
+/// worker pool, paced by the observed mean service time. Clamped so the
+/// hint is always sane even with degenerate inputs.
+pub fn retry_after_ms(depth: usize, workers: usize, mean_service_ms: u64) -> u64 {
+    let workers = workers.max(1) as u64;
+    let backlog = depth as u64;
+    let per_slot = mean_service_ms.max(1);
+    backlog
+        .saturating_mul(per_slot)
+        .checked_div(workers)
+        .unwrap_or(MAX_RETRY_AFTER_MS)
+        .clamp(MIN_RETRY_AFTER_MS, MAX_RETRY_AFTER_MS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_levels_cover_the_occupancy_range() {
+        assert_eq!(pressure(0, 8), Pressure::Normal);
+        assert_eq!(pressure(5, 8), Pressure::Normal); // 0.625
+        assert_eq!(pressure(6, 8), Pressure::High); // 0.75 exactly
+        assert_eq!(pressure(7, 8), Pressure::High);
+        assert_eq!(pressure(8, 8), Pressure::Critical);
+        assert_eq!(pressure(9, 8), Pressure::Critical);
+        assert_eq!(
+            pressure(0, 0),
+            Pressure::Critical,
+            "zero capacity admits nothing"
+        );
+    }
+
+    #[test]
+    fn shedding_enters_the_ladder_at_flow_ii() {
+        assert_eq!(entry_floor(Pressure::Normal), None);
+        assert_eq!(
+            entry_floor(Pressure::High),
+            Some(ServingTier::PtreeVanGinneken)
+        );
+        assert_eq!(
+            entry_floor(Pressure::Critical),
+            Some(ServingTier::PtreeVanGinneken)
+        );
+    }
+
+    #[test]
+    fn retry_after_scales_with_backlog_and_stays_clamped() {
+        assert_eq!(retry_after_ms(0, 4, 200), MIN_RETRY_AFTER_MS);
+        assert_eq!(retry_after_ms(10, 2, 200), 1000);
+        assert_eq!(retry_after_ms(usize::MAX, 1, u64::MAX), MAX_RETRY_AFTER_MS);
+        // Degenerate worker/service inputs still produce a sane hint.
+        assert_eq!(retry_after_ms(100, 0, 0), 100);
+    }
+}

@@ -1,0 +1,135 @@
+//! A small blocking client for the wire protocol, used by the
+//! `merlin_cli submit`/`status` subcommands and the chaos harness.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::json::{n, obj, s, Json};
+
+/// One connection to a running daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects, retrying until `timeout` elapses. The retry loop
+    /// matters operationally: a restarting server runs crash recovery
+    /// *before* it binds its listener, so the first connect after a
+    /// restart commonly races that window.
+    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let writer = stream.try_clone()?;
+                    return Ok(Client {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let read = self.reader.read_line(&mut response)?;
+        if read == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}
+
+/// Builds a `submit` request line.
+pub fn submit_line(id: u64, net_text: &str, deadline_ms: Option<u64>, wait: bool) -> String {
+    let mut pairs = vec![
+        ("cmd", s("submit")),
+        ("id", n(id)),
+        ("net", s(net_text)),
+        ("wait", Json::Bool(wait)),
+    ];
+    if let Some(d) = deadline_ms {
+        pairs.push(("deadline_ms", n(d)));
+    }
+    obj(pairs).render()
+}
+
+/// Builds a `status` request line.
+pub fn status_line(id: u64) -> String {
+    obj(vec![("cmd", s("status")), ("id", n(id))]).render()
+}
+
+/// Builds a `report` request line.
+pub fn report_line() -> String {
+    obj(vec![("cmd", s("report"))]).render()
+}
+
+/// Builds an `svg` request line.
+pub fn svg_line(id: u64) -> String {
+    obj(vec![("cmd", s("svg")), ("id", n(id))]).render()
+}
+
+/// Builds a `stats` request line.
+pub fn stats_line() -> String {
+    obj(vec![("cmd", s("stats"))]).render()
+}
+
+/// Builds a `drain` request line.
+pub fn drain_line() -> String {
+    obj(vec![("cmd", s("drain"))]).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    #[test]
+    fn client_lines_parse_as_the_matching_request() {
+        assert_eq!(
+            Request::parse_line(&submit_line(7, "net n\n", Some(100), true)).expect("parse"),
+            Request::Submit {
+                id: 7,
+                net: "net n\n".to_string(),
+                deadline_ms: Some(100),
+                wait: true
+            }
+        );
+        assert_eq!(
+            Request::parse_line(&status_line(3)).expect("parse"),
+            Request::Status { id: 3 }
+        );
+        assert_eq!(
+            Request::parse_line(&report_line()).expect("parse"),
+            Request::Report
+        );
+        assert_eq!(
+            Request::parse_line(&svg_line(4)).expect("parse"),
+            Request::Svg { id: 4 }
+        );
+        assert_eq!(
+            Request::parse_line(&stats_line()).expect("parse"),
+            Request::Stats
+        );
+        assert_eq!(
+            Request::parse_line(&drain_line()).expect("parse"),
+            Request::Drain
+        );
+    }
+}

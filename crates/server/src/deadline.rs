@@ -1,0 +1,118 @@
+//! Deadline propagation: client deadlines become solver budgets.
+//!
+//! A submit request may carry `deadline_ms` — the client's end-to-end
+//! wall-clock allowance. The server charges *queue wait* against it
+//! before the net ever enters the degradation ladder: a job that sat in
+//! the queue for `w` ms out of a `d` ms deadline gets a solve budget of
+//! at most `d − w` ms, and a job whose deadline expired while queued is
+//! fast-failed without burning a single solver attempt. The math here is
+//! pure (synthetic clock in, decision out) so it is property-testable
+//! without timers.
+
+use std::time::Duration;
+
+/// What remains of a deadline after queue wait is charged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlineDecision {
+    /// The deadline elapsed while the job was queued: reject with
+    /// `deadline-exceeded` without entering the ladder.
+    Expired,
+    /// No deadline was requested: the configured batch budget applies.
+    Unlimited,
+    /// Solve under this remaining wall-clock allowance.
+    Budget(Duration),
+}
+
+/// Charges `queue_wait` against an optional client deadline.
+pub fn charge_queue_wait(deadline_ms: Option<u64>, queue_wait: Duration) -> DeadlineDecision {
+    match deadline_ms {
+        None => DeadlineDecision::Unlimited,
+        Some(d) => {
+            let deadline = Duration::from_millis(d);
+            match deadline.checked_sub(queue_wait) {
+                None => DeadlineDecision::Expired,
+                Some(rest) if rest.is_zero() => DeadlineDecision::Expired,
+                Some(rest) => DeadlineDecision::Budget(rest),
+            }
+        }
+    }
+}
+
+/// Folds a [`DeadlineDecision`] into the server's configured per-net
+/// budget, producing the `budget_ms` override handed to
+/// [`merlin_supervisor::ExecOptions`]. Returns `None` when the job must
+/// be rejected instead of solved.
+pub fn effective_budget_ms(
+    config_budget_ms: Option<u64>,
+    decision: DeadlineDecision,
+) -> Option<Option<u64>> {
+    match decision {
+        DeadlineDecision::Expired => None,
+        DeadlineDecision::Unlimited => Some(config_budget_ms),
+        DeadlineDecision::Budget(rest) => {
+            let rest_ms = u64::try_from(rest.as_millis()).unwrap_or(u64::MAX).max(1);
+            Some(Some(match config_budget_ms {
+                Some(cfg) => cfg.min(rest_ms),
+                None => rest_ms,
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadline_is_unlimited() {
+        assert_eq!(
+            charge_queue_wait(None, Duration::from_secs(3600)),
+            DeadlineDecision::Unlimited
+        );
+        assert_eq!(
+            effective_budget_ms(Some(250), DeadlineDecision::Unlimited),
+            Some(Some(250))
+        );
+        assert_eq!(
+            effective_budget_ms(None, DeadlineDecision::Unlimited),
+            Some(None)
+        );
+    }
+
+    #[test]
+    fn expired_while_queued_is_rejected_before_the_ladder() {
+        assert_eq!(
+            charge_queue_wait(Some(100), Duration::from_millis(100)),
+            DeadlineDecision::Expired
+        );
+        assert_eq!(
+            charge_queue_wait(Some(100), Duration::from_millis(101)),
+            DeadlineDecision::Expired
+        );
+        assert_eq!(
+            effective_budget_ms(Some(250), DeadlineDecision::Expired),
+            None
+        );
+    }
+
+    #[test]
+    fn slack_becomes_a_clamped_budget() {
+        let d = charge_queue_wait(Some(300), Duration::from_millis(120));
+        assert_eq!(d, DeadlineDecision::Budget(Duration::from_millis(180)));
+        // The remaining deadline tightens a looser configured budget…
+        assert_eq!(effective_budget_ms(Some(1000), d), Some(Some(180)));
+        // …but never loosens a tighter one.
+        assert_eq!(effective_budget_ms(Some(50), d), Some(Some(50)));
+        // And with no configured budget the deadline rules alone.
+        assert_eq!(effective_budget_ms(None, d), Some(Some(180)));
+    }
+
+    #[test]
+    fn submillisecond_slack_still_grants_a_minimal_budget() {
+        // 500µs of slack: nonzero, so not Expired, and the ms clamp
+        // rounds it up to 1ms rather than down to an infinite budget.
+        let d = charge_queue_wait(Some(1), Duration::from_micros(500));
+        assert!(matches!(d, DeadlineDecision::Budget(_)));
+        assert_eq!(effective_budget_ms(None, d), Some(Some(1)));
+    }
+}

@@ -1,0 +1,263 @@
+//! The intake journal: a crash-safe record of *admitted* jobs.
+//!
+//! The supervisor's outcome journal records what the server has
+//! *finished*; the intake journal records what it has *accepted*. The
+//! ack protocol is write-ahead: a submit is appended (and fsync'd) to
+//! the intake before the client sees `accepted`, so after a crash the
+//! set difference `intake − outcome journal` is exactly the set of jobs
+//! the server owes its clients. Startup recovery re-solves that set
+//! before the listener opens (see [`crate::server`]).
+//!
+//! Format: one `#merlin-intake v1` header line, then one record per
+//! line — `idx=<N> net=<escaped>` where the payload is the canonical
+//! `merlin_netlist::io::write_net` text with `\` → `\\` and newline →
+//! `\n` escaping. Deadlines are deliberately *not* persisted: a
+//! recovered job is re-solved at full quality with no deadline, because
+//! its original deadline almost certainly expired during the outage and
+//! fast-failing the whole backlog would make recovery useless.
+//!
+//! Torn tails are tolerated the same way the outcome journal tolerates
+//! them: a final line without a newline (or that does not decode) is
+//! dropped on load and truncated on reopen — by the write-ahead rule
+//! that job was never acked, so dropping it breaks no promise.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use merlin_netlist::{io as net_io, Net};
+
+/// First line of every intake file.
+pub const INTAKE_HEADER: &str = "#merlin-intake v1";
+
+/// A loaded intake: admitted nets keyed by job index, keep-first on
+/// duplicate indices, plus human-readable load warnings.
+#[derive(Debug, Default)]
+pub struct LoadedIntake {
+    pub nets: BTreeMap<u64, Net>,
+    pub warnings: Vec<String>,
+}
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 8);
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(text: &str) -> Option<String> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Encodes one admitted job as a single intake line (no newline).
+fn encode_record(idx: u64, net: &Net) -> String {
+    format!("idx={idx} net={}", escape(&net_io::write_net(net)))
+}
+
+/// Decodes one intake line. `None` marks an undecodable line.
+fn decode_record(line: &str) -> Option<(u64, Net)> {
+    let rest = line.strip_prefix("idx=")?;
+    let (idx_text, net_part) = rest.split_once(' ')?;
+    let idx = idx_text.parse::<u64>().ok()?;
+    let escaped = net_part.strip_prefix("net=")?;
+    let text = unescape(escaped)?;
+    let net = net_io::parse_net(&text).ok()?;
+    Some((idx, net))
+}
+
+/// Loads an intake file. A missing or zero-length file is `Ok(None)`
+/// (fresh start); a header-only file is an empty intake; a bad header
+/// is an error (the path points at something that is not an intake). A
+/// torn final line is skipped with a warning; an undecodable line in
+/// the *middle* of the file is corruption and also only warned about —
+/// intake records are independent, so one bad line never poisons the
+/// rest of the backlog.
+pub fn load_intake(path: &Path) -> Result<Option<LoadedIntake>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    if text.is_empty() {
+        return Ok(None);
+    }
+    let mut loaded = LoadedIntake::default();
+    let complete = text.ends_with('\n');
+    let mut lines: Vec<&str> = text.lines().collect();
+    if !complete {
+        if let Some(torn) = lines.pop() {
+            loaded
+                .warnings
+                .push(format!("dropped torn final line ({} bytes)", torn.len()));
+        }
+    }
+    let mut iter = lines.into_iter();
+    match iter.next() {
+        Some(header) if header == INTAKE_HEADER => {}
+        Some(other) => {
+            return Err(format!("{}: bad intake header `{other}`", path.display()));
+        }
+        None => return Ok(Some(loaded)),
+    }
+    for (lineno, line) in iter.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match decode_record(line) {
+            Some((idx, net)) => {
+                // Keep-first: a duplicate admit of the same idx is the
+                // client retrying; the first accepted net wins.
+                loaded.nets.entry(idx).or_insert(net);
+            }
+            None => loaded
+                .warnings
+                .push(format!("undecodable intake line {}", lineno + 2)),
+        }
+    }
+    Ok(Some(loaded))
+}
+
+/// Appends admitted jobs to the intake with an fsync per record.
+#[derive(Debug)]
+pub struct IntakeWriter {
+    file: File,
+}
+
+impl IntakeWriter {
+    /// Creates a fresh intake file (truncating any previous one) and
+    /// writes the header.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let mut file = File::create(path)?;
+        file.write_all(INTAKE_HEADER.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+        Ok(IntakeWriter { file })
+    }
+
+    /// Reopens an existing intake for appending, healing a torn tail by
+    /// truncating back to the last complete line.
+    pub fn append_to(path: &Path) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        if !text.ends_with('\n') {
+            let keep = text.rfind('\n').map(|at| at + 1).unwrap_or(0);
+            file.set_len(keep as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(IntakeWriter { file })
+    }
+
+    /// Appends one admitted job and fsyncs before returning. The caller
+    /// must not ack the client until this returns `Ok`.
+    pub fn append(&mut self, idx: u64, net: &Net) -> std::io::Result<()> {
+        let mut line = encode_record(idx, net);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_netlist::bench_nets::random_net;
+    use merlin_tech::Technology;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("merlin-intake-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        dir.join("server.intake")
+    }
+
+    #[test]
+    fn round_trips_admitted_nets() {
+        let tech = Technology::synthetic_035();
+        let path = tmp("roundtrip");
+        let a = random_net("job_a", 4, 1, &tech);
+        let b = random_net("job_b", 6, 2, &tech);
+        let mut w = IntakeWriter::create(&path).expect("create");
+        w.append(0, &a).expect("append");
+        w.append(1, &b).expect("append");
+        let loaded = load_intake(&path).expect("load").expect("present");
+        assert_eq!(loaded.nets.len(), 2);
+        assert!(loaded.warnings.is_empty());
+        assert_eq!(net_io::write_net(&loaded.nets[&0]), net_io::write_net(&a));
+        assert_eq!(net_io::write_net(&loaded.nets[&1]), net_io::write_net(&b));
+    }
+
+    #[test]
+    fn missing_empty_and_header_only_files_load_cleanly() {
+        let path = tmp("fresh");
+        assert!(load_intake(&path).expect("missing is ok").is_none());
+        std::fs::write(&path, "").expect("write");
+        assert!(load_intake(&path).expect("empty is ok").is_none());
+        std::fs::write(&path, format!("{INTAKE_HEADER}\n")).expect("write");
+        let loaded = load_intake(&path).expect("load").expect("present");
+        assert!(loaded.nets.is_empty());
+        assert!(loaded.warnings.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_on_load_and_healed_on_reopen() {
+        let tech = Technology::synthetic_035();
+        let path = tmp("torn");
+        let a = random_net("torn0", 4, 3, &tech);
+        let mut w = IntakeWriter::create(&path).expect("create");
+        w.append(0, &a).expect("append");
+        drop(w);
+        // Simulate a crash mid-append: a record fragment, no newline.
+        let mut text = std::fs::read_to_string(&path).expect("read");
+        text.push_str("idx=1 net=net torn-frag");
+        std::fs::write(&path, &text).expect("write");
+        let loaded = load_intake(&path).expect("load").expect("present");
+        assert_eq!(loaded.nets.len(), 1, "torn record is not a job");
+        assert_eq!(loaded.warnings.len(), 1);
+        // Reopen truncates the fragment; a new append lands cleanly.
+        let b = random_net("torn1", 5, 4, &tech);
+        let mut w = IntakeWriter::append_to(&path).expect("reopen");
+        w.append(1, &b).expect("append");
+        let loaded = load_intake(&path).expect("load").expect("present");
+        assert_eq!(loaded.nets.len(), 2);
+        assert!(loaded.warnings.is_empty(), "tail was healed");
+    }
+
+    #[test]
+    fn duplicate_indices_keep_the_first_net_and_bad_headers_fail() {
+        let tech = Technology::synthetic_035();
+        let path = tmp("dup");
+        let a = random_net("dup_first", 4, 5, &tech);
+        let b = random_net("dup_second", 4, 6, &tech);
+        let mut w = IntakeWriter::create(&path).expect("create");
+        w.append(9, &a).expect("append");
+        w.append(9, &b).expect("append");
+        let loaded = load_intake(&path).expect("load").expect("present");
+        assert_eq!(loaded.nets.len(), 1);
+        assert_eq!(loaded.nets[&9].name, "dup_first");
+
+        std::fs::write(&path, "#not-an-intake\n").expect("write");
+        assert!(load_intake(&path).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! `merlin-server`: a crash-recoverable solve daemon.
+//!
+//! The batch supervisor answers "solve these N nets and survive
+//! anything"; this crate answers the *service* form of the same
+//! question: accept nets over a socket, indefinitely, and survive
+//! anything — including the daemon itself being killed. It is glue, by
+//! design: the solve engine is [`merlin_supervisor::solve_to_record`],
+//! durability is the supervisor's outcome journal plus a write-ahead
+//! intake journal ([`intake`]), degradation is the
+//! [`merlin_resilience::ServingTier`] ladder entered at a
+//! pressure-dependent floor ([`admission`]), and deadlines become
+//! solver budgets through pure synthetic-clock math ([`deadline`]).
+//!
+//! The service model, wire protocol, and recovery guarantees are
+//! documented in `docs/SERVICE.md`.
+
+pub mod admission;
+pub mod client;
+pub mod deadline;
+pub mod intake;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{entry_floor, pressure, retry_after_ms, Pressure, HIGH_WATERMARK};
+pub use client::Client;
+pub use deadline::{charge_queue_wait, effective_budget_ms, DeadlineDecision};
+pub use intake::{load_intake, IntakeWriter, LoadedIntake, INTAKE_HEADER};
+pub use protocol::Request;
+pub use server::{
+    run_server, ServeSummary, ServerConfig, ServerError, ADDR_FILE, INTAKE_FILE, JOURNAL_FILE,
+};

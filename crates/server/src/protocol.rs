@@ -1,0 +1,307 @@
+//! The wire protocol: newline-delimited JSON, one message per line.
+//!
+//! Requests are objects with a `cmd` discriminator; responses are
+//! objects with `ok` (bool) and `type` (string) fields. Every response
+//! is a single line. The full protocol is documented in
+//! `docs/SERVICE.md`; this module is the single source of truth for
+//! message shapes, so the CLI client and the daemon cannot drift.
+
+use merlin_resilience::journal::JournalRecord;
+
+use crate::json::{n, obj, parse, s, Json};
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit one net for solving. `id` is the client-assigned job
+    /// index (dedup key across retries and restarts); `net` is the
+    /// canonical net text; `deadline_ms` is the optional end-to-end
+    /// deadline; `wait` asks the server to hold the reply until the
+    /// job reaches a terminal state.
+    Submit {
+        id: u64,
+        net: String,
+        deadline_ms: Option<u64>,
+        wait: bool,
+    },
+    /// Query one job's state.
+    Status { id: u64 },
+    /// Fetch the batch report over everything admitted so far.
+    Report,
+    /// Fetch the SVG rendering of a served job's buffered tree.
+    Svg { id: u64 },
+    /// Server-level statistics (queue depth, pressure, counters).
+    Stats,
+    /// Begin graceful drain, as if SIGTERM had arrived.
+    Drain,
+}
+
+impl Request {
+    /// Parses one request line. Errors are human-readable and are sent
+    /// back verbatim in an `error` response.
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let value = parse(line)?;
+        let cmd = value
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing `cmd`")?;
+        let id = || {
+            value
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "missing or non-integer `id`".to_string())
+        };
+        match cmd {
+            "submit" => Ok(Request::Submit {
+                id: id()?,
+                net: value
+                    .get("net")
+                    .and_then(Json::as_str)
+                    .ok_or("missing `net`")?
+                    .to_string(),
+                deadline_ms: match value.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(v.as_u64().ok_or("non-integer `deadline_ms`")?),
+                },
+                wait: value.get("wait").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "status" => Ok(Request::Status { id: id()? }),
+            "report" => Ok(Request::Report),
+            "svg" => Ok(Request::Svg { id: id()? }),
+            "stats" => Ok(Request::Stats),
+            "drain" => Ok(Request::Drain),
+            other => Err(format!("unknown cmd `{other}`")),
+        }
+    }
+}
+
+fn record_json(record: &JournalRecord) -> Json {
+    obj(vec![
+        ("idx", n(record.idx)),
+        ("net", s(&record.net)),
+        ("tier", s(record.tier.label())),
+        ("attempts", n(u64::from(record.attempts))),
+        ("timeouts", n(u64::from(record.timeouts))),
+        ("status", s(record.status.label())),
+        ("hash", s(&format!("{:016x}", record.hash))),
+    ])
+}
+
+/// `accepted`: the job is journaled and queued.
+pub fn resp_accepted(id: u64, depth: usize, capacity: usize, pressure: &str) -> String {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("accepted")),
+        ("id", n(id)),
+        ("queue_depth", n(depth as u64)),
+        ("capacity", n(capacity as u64)),
+        ("pressure", s(pressure)),
+    ])
+    .render()
+}
+
+/// `overloaded`: typed admission rejection with a retry-after hint.
+pub fn resp_overloaded(retry_after_ms: u64, depth: usize, capacity: usize) -> String {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("type", s("overloaded")),
+        ("retry_after_ms", n(retry_after_ms)),
+        ("queue_depth", n(depth as u64)),
+        ("capacity", n(capacity as u64)),
+    ])
+    .render()
+}
+
+/// `deadline-exceeded`: the deadline elapsed (at admission or while
+/// queued) before any solve attempt started.
+pub fn resp_deadline_exceeded(id: u64, waited_ms: u64) -> String {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("type", s("deadline-exceeded")),
+        ("id", n(id)),
+        ("waited_ms", n(waited_ms)),
+    ])
+    .render()
+}
+
+/// `draining`: the server is shutting down and admits nothing new.
+pub fn resp_draining() -> String {
+    obj(vec![("ok", Json::Bool(false)), ("type", s("draining"))]).render()
+}
+
+/// `done`: a terminal record, with `replayed: true` when it was served
+/// from the journal (a resubmit or a pre-crash solve) rather than
+/// computed for this request.
+pub fn resp_done(record: &JournalRecord, replayed: bool, wait_ms: Option<u64>) -> String {
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("done")),
+        ("record", record_json(record)),
+        ("replayed", Json::Bool(replayed)),
+    ];
+    if let Some(ms) = wait_ms {
+        pairs.push(("wait_ms", n(ms)));
+    }
+    obj(pairs).render()
+}
+
+/// `status`: a non-terminal job state (`queued` or `running`).
+pub fn resp_status(id: u64, state: &str) -> String {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("status")),
+        ("id", n(id)),
+        ("state", s(state)),
+    ])
+    .render()
+}
+
+/// `report`: the rendered batch report.
+pub fn resp_report(text: &str) -> String {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("report")),
+        ("text", s(text)),
+    ])
+    .render()
+}
+
+/// `svg`: a served job's tree rendering.
+pub fn resp_svg(id: u64, svg: &str) -> String {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("svg")),
+        ("id", n(id)),
+        ("svg", s(svg)),
+    ])
+    .render()
+}
+
+/// `stats`: server-level gauges and counters.
+#[allow(clippy::too_many_arguments)]
+pub fn resp_stats(
+    depth: usize,
+    capacity: usize,
+    pressure: &str,
+    admitted: u64,
+    completed: u64,
+    rejected_overloaded: u64,
+    rejected_deadline: u64,
+    recovered: u64,
+    draining: bool,
+) -> String {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("stats")),
+        ("queue_depth", n(depth as u64)),
+        ("capacity", n(capacity as u64)),
+        ("pressure", s(pressure)),
+        ("admitted", n(admitted)),
+        ("completed", n(completed)),
+        ("rejected_overloaded", n(rejected_overloaded)),
+        ("rejected_deadline", n(rejected_deadline)),
+        ("recovered", n(recovered)),
+        ("draining", Json::Bool(draining)),
+    ])
+    .render()
+}
+
+/// `drain`: acknowledgment that graceful drain has begun.
+pub fn resp_drain_ack() -> String {
+    obj(vec![("ok", Json::Bool(true)), ("type", s("drain"))]).render()
+}
+
+/// `error`: a malformed or unsatisfiable request.
+pub fn resp_error(message: &str) -> String {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        ("type", s("error")),
+        ("message", s(message)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use merlin_resilience::journal::RecordStatus;
+    use merlin_resilience::ServingTier;
+
+    #[test]
+    fn submit_parses_with_and_without_options() {
+        let full = Request::parse_line(
+            r#"{"cmd":"submit","id":4,"net":"net x\n","deadline_ms":250,"wait":true}"#,
+        )
+        .expect("parse");
+        assert_eq!(
+            full,
+            Request::Submit {
+                id: 4,
+                net: "net x\n".to_string(),
+                deadline_ms: Some(250),
+                wait: true
+            }
+        );
+        let bare = Request::parse_line(r#"{"cmd":"submit","id":0,"net":"n"}"#).expect("parse");
+        assert_eq!(
+            bare,
+            Request::Submit {
+                id: 0,
+                net: "n".to_string(),
+                deadline_ms: None,
+                wait: false
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(Request::parse_line("not json").is_err());
+        assert!(Request::parse_line(r#"{"id":1}"#).is_err());
+        assert!(Request::parse_line(r#"{"cmd":"submit","id":1}"#).is_err());
+        assert!(Request::parse_line(r#"{"cmd":"status"}"#).is_err());
+        assert!(Request::parse_line(r#"{"cmd":"shutdown"}"#).is_err());
+        assert!(
+            Request::parse_line(r#"{"cmd":"submit","id":1,"net":"n","deadline_ms":-5}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn responses_are_single_line_json_with_stable_types() {
+        let record = JournalRecord {
+            idx: 2,
+            net: "n2".to_string(),
+            tier: ServingTier::Merlin,
+            attempts: 1,
+            timeouts: 0,
+            status: RecordStatus::Served,
+            hash: 0xabcd,
+        };
+        for line in [
+            resp_accepted(1, 3, 8, "normal"),
+            resp_overloaded(500, 8, 8),
+            resp_deadline_exceeded(1, 80),
+            resp_draining(),
+            resp_done(&record, true, Some(12)),
+            resp_status(1, "queued"),
+            resp_report("nets: 1\n"),
+            resp_svg(2, "<svg/>"),
+            resp_stats(0, 8, "normal", 4, 4, 1, 0, 2, false),
+            resp_drain_ack(),
+            resp_error("nope"),
+        ] {
+            assert!(!line.contains('\n'), "`{line}` must be one line");
+            let value = crate::json::parse(&line).expect("every response reparses");
+            assert!(value.get("type").and_then(Json::as_str).is_some());
+            assert!(value.get("ok").and_then(Json::as_bool).is_some());
+        }
+        let done = crate::json::parse(&resp_done(&record, false, None)).expect("parse");
+        let rec = done.get("record").expect("record");
+        assert_eq!(rec.get("tier").and_then(Json::as_str), Some("merlin"));
+        assert_eq!(rec.get("status").and_then(Json::as_str), Some("served"));
+        assert_eq!(
+            rec.get("hash").and_then(Json::as_str),
+            Some("000000000000abcd")
+        );
+    }
+}

@@ -1,0 +1,739 @@
+//! The solve daemon: accept loop, worker pool, drain, and recovery.
+//!
+//! Life of a job:
+//!
+//! 1. **Admission** (connection thread): parse, dedup by client id,
+//!    check drain and queue capacity. Admitted jobs are appended to the
+//!    intake WAL (fsync *before* the `accepted` ack) and enqueued.
+//! 2. **Dequeue** (worker thread): queue wait is charged against the
+//!    request deadline ([`crate::deadline`]); an expired job is
+//!    journaled `failed-timeout` with zero attempts — it never enters
+//!    the ladder. Queue pressure at dequeue picks the degradation-
+//!    ladder entry floor ([`crate::admission`]).
+//! 3. **Solve**: [`merlin_supervisor::solve_to_record`] — the same
+//!    engine as batch mode, so a server-solved population reports
+//!    byte-identically to a batch run over the same nets.
+//! 4. **Commit**: the terminal record is fsync'd to the outcome journal
+//!    before the in-memory state flips to done and waiters wake.
+//!
+//! Crash recovery is the difference of the two journals: on startup,
+//! `intake − outcomes` is re-solved *before* the listener binds, so a
+//! `kill -9` + restart converges to the same report as an uninterrupted
+//! run. Graceful drain (SIGTERM/SIGINT or the `drain` command) stops
+//! admitting, finishes in-flight nets, seals the journal, and leaves
+//! still-queued jobs to the next incarnation's recovery; a second
+//! signal escalates to immediate abort via the shared
+//! [`merlin_supervisor::note_drain_signal`] path.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use merlin_netlist::{io as net_io, Net};
+use merlin_resilience::journal::{JournalRecord, RecordStatus};
+use merlin_resilience::{fault, ServingTier};
+use merlin_supervisor::journal::{load_journal, JournalWriter, MergedJournal};
+use merlin_supervisor::{
+    drain_requested, sanitize_name, solve_to_record, BatchConfig, BatchReport, ExecOptions,
+};
+use merlin_tech::Technology;
+
+use crate::admission::{entry_floor, pressure, retry_after_ms};
+use crate::deadline::{charge_queue_wait, effective_budget_ms};
+use crate::intake::{load_intake, IntakeWriter};
+use crate::protocol::{
+    resp_accepted, resp_deadline_exceeded, resp_done, resp_drain_ack, resp_draining, resp_error,
+    resp_overloaded, resp_report, resp_stats, resp_status, resp_svg, Request,
+};
+
+/// Filename of the outcome journal inside the data directory.
+pub const JOURNAL_FILE: &str = "server.journal";
+/// Filename of the intake WAL inside the data directory.
+pub const INTAKE_FILE: &str = "server.intake";
+/// Filename the bound address is published to (for `--addr-file`
+/// clients and the chaos harness).
+pub const ADDR_FILE: &str = "server.addr";
+
+/// How often blocked loops re-check the drain flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Data directory: intake, journal, and address file live here.
+    pub data_dir: PathBuf,
+    /// Job-queue capacity (admission bound). Zero admits nothing.
+    pub capacity: usize,
+    /// Solve parameters shared with batch mode. `jobs` is the worker
+    /// pool size; `budget_ms`/`retry`/`accept_tier` behave as in
+    /// `merlin_cli batch`.
+    pub batch: BatchConfig,
+    /// Seed for retry-after hints before any job has completed.
+    pub default_service_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: PathBuf::from("merlin-server-data"),
+            capacity: 64,
+            batch: BatchConfig::default(),
+            default_service_ms: 500,
+        }
+    }
+}
+
+/// What a completed serve lifecycle did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs admitted over the server's whole life (including recovered
+    /// and replayed ones).
+    pub admitted: u64,
+    /// Jobs with terminal records at drain time.
+    pub completed: u64,
+    /// Jobs re-solved by startup recovery in this incarnation.
+    pub recovered: u64,
+    /// Whether the journal was sealed (clean drain).
+    pub sealed: bool,
+}
+
+/// Daemon-level failures (per-job failures are records, not errors).
+#[derive(Debug)]
+pub enum ServerError {
+    /// An I/O failure with context.
+    Io {
+        context: String,
+        error: std::io::Error,
+    },
+    /// The outcome journal failed to load.
+    Journal(String),
+    /// The intake WAL failed to load.
+    Intake(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io { context, error } => write!(f, "{context}: {error}"),
+            ServerError::Journal(e) => write!(f, "outcome journal: {e}"),
+            ServerError::Intake(e) => write!(f, "intake journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+enum Phase {
+    Queued {
+        enqueued: Instant,
+        deadline_ms: Option<u64>,
+    },
+    Running,
+    Done {
+        record: JournalRecord,
+        svg: Option<String>,
+        replayed: bool,
+    },
+}
+
+struct Job {
+    net: Net,
+    phase: Phase,
+}
+
+#[derive(Default)]
+struct Stats {
+    admitted: u64,
+    completed: u64,
+    rejected_overloaded: u64,
+    rejected_deadline: u64,
+    recovered: u64,
+    service_ms_total: u64,
+}
+
+struct Inner {
+    queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, Job>,
+    draining: bool,
+    stats: Stats,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// Workers park here waiting for queued jobs.
+    work_cv: Condvar,
+    /// `wait`-mode submitters and recovery park here waiting for
+    /// terminal states.
+    done_cv: Condvar,
+    cfg: ServerConfig,
+    tech: Technology,
+    journal: Mutex<JournalWriter>,
+    intake: Mutex<IntakeWriter>,
+}
+
+fn ms_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+fn lock_inner(shared: &Shared) -> MutexGuard<'_, Inner> {
+    shared
+        .inner
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Shared {
+    fn mean_service_ms(&self, stats: &Stats) -> u64 {
+        match stats.service_ms_total.checked_div(stats.completed) {
+            Some(mean) => mean.max(1),
+            None => self.cfg.default_service_ms,
+        }
+    }
+
+    /// Builds the batch report over everything admitted so far. Jobs
+    /// without terminal records count as lost, exactly as in batch mode.
+    fn report(&self, inner: &Inner) -> BatchReport {
+        let mut merged = MergedJournal::default();
+        for (idx, job) in &inner.jobs {
+            if let Phase::Done { record, .. } = &job.phase {
+                merged.records.insert(*idx, record.clone());
+            }
+        }
+        BatchReport::from_merged(merged, inner.jobs.len())
+    }
+}
+
+/// The worker loop: dequeue, charge deadline, shed, solve, commit.
+fn worker(shared: &Arc<Shared>) {
+    fault::seed_thread(&shared.cfg.batch.fault);
+    loop {
+        let (idx, net, enqueued, deadline_ms, depth_after) = {
+            let mut inner = lock_inner(shared);
+            loop {
+                // Drain stops *starting* nets; the one in flight (if
+                // any) finishes below. Still-queued jobs stay journaled
+                // for the next incarnation's recovery.
+                if inner.draining {
+                    return;
+                }
+                if let Some(idx) = inner.queue.pop_front() {
+                    let depth_after = inner.queue.len();
+                    let Some(job) = inner.jobs.get_mut(&idx) else {
+                        continue;
+                    };
+                    let (enqueued, deadline_ms) = match job.phase {
+                        Phase::Queued {
+                            enqueued,
+                            deadline_ms,
+                        } => (enqueued, deadline_ms),
+                        // Already running or done (duplicate queue
+                        // entry); skip.
+                        _ => continue,
+                    };
+                    job.phase = Phase::Running;
+                    break (idx, job.net.clone(), enqueued, deadline_ms, depth_after);
+                }
+                let (guard, _) = shared
+                    .work_cv
+                    .wait_timeout(inner, POLL)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                inner = guard;
+            }
+        };
+
+        let wait = enqueued.elapsed();
+        merlin_trace::observe("server.queue.wait_ms", ms_u64(wait));
+        let decision = charge_queue_wait(deadline_ms, wait);
+        let (record, svg) = match effective_budget_ms(shared.cfg.batch.budget_ms, decision) {
+            None => {
+                // Deadline elapsed in the queue: fast-fail without a
+                // single solver attempt.
+                merlin_trace::counter("server.reject.deadline", 1);
+                (
+                    JournalRecord {
+                        idx,
+                        net: sanitize_name(&net.name),
+                        tier: ServingTier::DirectRoute,
+                        attempts: 0,
+                        timeouts: 1,
+                        status: RecordStatus::FailedTimeout,
+                        hash: 0,
+                    },
+                    None,
+                )
+            }
+            Some(budget_override) => {
+                let level = pressure(depth_after, shared.cfg.capacity);
+                let floor = entry_floor(level);
+                if floor.is_some() {
+                    merlin_trace::counter("server.shed", 1);
+                }
+                let opts = ExecOptions {
+                    entry_floor: floor,
+                    budget_ms: budget_override,
+                };
+                let outcome = solve_to_record(
+                    &net,
+                    &shared.tech,
+                    &shared.cfg.batch,
+                    idx,
+                    &opts,
+                    &mut std::thread::sleep,
+                );
+                merlin_trace::counter("server.solve", 1);
+                // The daemon never runs the post-batch minimization pass
+                // (it has no "after the batch"); the verbatim artifact,
+                // if artifacts are on, is already written.
+                let svg = if outcome.record.status == RecordStatus::Served {
+                    Some(merlin_tech::svg::render(&outcome.result.tree))
+                } else {
+                    None
+                };
+                (outcome.record, svg)
+            }
+        };
+
+        // Commit order: journal fsync first, then in-memory done, then
+        // wake waiters. A crash between the two leaves a journal record
+        // without an ack — recovery dedups it, nothing is lost.
+        let commit = {
+            let mut journal = shared
+                .journal
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            journal.append(&record)
+        };
+        if let Err(e) = commit {
+            // Fail-stop: a daemon that cannot journal outcomes must not
+            // keep accepting work it cannot make durable.
+            eprintln!("merlin-server: journal append failed, draining: {e}");
+            merlin_supervisor::request_drain();
+        }
+
+        let service_ms = ms_u64(enqueued.elapsed()).saturating_sub(ms_u64(wait));
+        {
+            let mut inner = lock_inner(shared);
+            let deadline_failed =
+                record.status == RecordStatus::FailedTimeout && record.attempts == 0;
+            if deadline_failed {
+                inner.stats.rejected_deadline += 1;
+            }
+            inner.stats.completed += 1;
+            inner.stats.service_ms_total = inner.stats.service_ms_total.saturating_add(service_ms);
+            if let Some(job) = inner.jobs.get_mut(&idx) {
+                job.phase = Phase::Done {
+                    record,
+                    svg,
+                    replayed: false,
+                };
+            }
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Handles one submit request end to end, including `wait` blocking.
+fn handle_submit(
+    shared: &Arc<Shared>,
+    id: u64,
+    net_text: &str,
+    deadline_ms: Option<u64>,
+    wait: bool,
+) -> String {
+    let net = match net_io::parse_net(net_text) {
+        Ok(net) => net,
+        Err(e) => return resp_error(&format!("bad net: {e}")),
+    };
+    if deadline_ms == Some(0) {
+        // Dead on arrival: reject before admission so the backlog is
+        // never polluted with unservable work.
+        merlin_trace::counter("server.reject.deadline", 1);
+        lock_inner(shared).stats.rejected_deadline += 1;
+        return resp_deadline_exceeded(id, 0);
+    }
+    let submitted = Instant::now();
+    {
+        let mut inner = lock_inner(shared);
+        if inner.draining {
+            return resp_draining();
+        }
+        if !inner.jobs.contains_key(&id) {
+            let depth = inner.queue.len();
+            if fault::trip("server.queue") || depth >= shared.cfg.capacity {
+                inner.stats.rejected_overloaded += 1;
+                merlin_trace::counter("server.reject.overloaded", 1);
+                let hint = retry_after_ms(
+                    depth,
+                    shared.cfg.batch.jobs.max(1),
+                    shared.mean_service_ms(&inner.stats),
+                );
+                return resp_overloaded(hint, depth, shared.cfg.capacity);
+            }
+            // Write-ahead: the job is durable before the client hears
+            // `accepted`. Held under the inner lock so intake order is
+            // admission order and duplicate ids cannot double-append.
+            let appended = {
+                let mut intake = shared
+                    .intake
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                intake.append(id, &net)
+            };
+            if let Err(e) = appended {
+                return resp_error(&format!("intake append failed: {e}"));
+            }
+            inner.jobs.insert(
+                id,
+                Job {
+                    net,
+                    phase: Phase::Queued {
+                        enqueued: Instant::now(),
+                        deadline_ms,
+                    },
+                },
+            );
+            inner.queue.push_back(id);
+            inner.stats.admitted += 1;
+            merlin_trace::counter("server.submit", 1);
+            merlin_trace::observe("server.queue", inner.queue.len() as u64);
+            shared.work_cv.notify_one();
+        }
+        // Known id: fall through. Done jobs answer immediately; queued
+        // or running duplicates behave like the original submit.
+        match &inner.jobs[&id].phase {
+            Phase::Done {
+                record, replayed, ..
+            } => return resp_done(record, *replayed, None),
+            _ if !wait => {
+                let depth = inner.queue.len();
+                let level = pressure(depth, shared.cfg.capacity);
+                return resp_accepted(id, depth, shared.cfg.capacity, level.label());
+            }
+            _ => {}
+        }
+    }
+    // wait-mode: block until terminal (or drain abandons the job).
+    let mut inner = lock_inner(shared);
+    loop {
+        match inner.jobs.get(&id).map(|j| &j.phase) {
+            Some(Phase::Done {
+                record, replayed, ..
+            }) => {
+                let waited = ms_u64(submitted.elapsed());
+                if record.status == RecordStatus::FailedTimeout && record.attempts == 0 {
+                    return resp_deadline_exceeded(id, waited);
+                }
+                return resp_done(record, *replayed, Some(waited));
+            }
+            Some(Phase::Queued { .. }) if inner.draining => return resp_draining(),
+            None => return resp_error("job vanished"),
+            _ => {}
+        }
+        let (guard, _) = shared
+            .done_cv
+            .wait_timeout(inner, POLL)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        inner = guard;
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, line: &str) -> String {
+    let request = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err(e) => return resp_error(&e),
+    };
+    match request {
+        Request::Submit {
+            id,
+            net,
+            deadline_ms,
+            wait,
+        } => handle_submit(shared, id, &net, deadline_ms, wait),
+        Request::Status { id } => {
+            let inner = lock_inner(shared);
+            match inner.jobs.get(&id).map(|j| &j.phase) {
+                Some(Phase::Done {
+                    record, replayed, ..
+                }) => resp_done(record, *replayed, None),
+                Some(Phase::Queued { .. }) => resp_status(id, "queued"),
+                Some(Phase::Running) => resp_status(id, "running"),
+                None => resp_error("unknown job id"),
+            }
+        }
+        Request::Report => {
+            let inner = lock_inner(shared);
+            let report = shared.report(&inner);
+            resp_report(&report.render())
+        }
+        Request::Svg { id } => {
+            let inner = lock_inner(shared);
+            match inner.jobs.get(&id).map(|j| &j.phase) {
+                Some(Phase::Done { svg: Some(svg), .. }) => resp_svg(id, svg),
+                Some(Phase::Done { record, .. }) if record.status == RecordStatus::Served => {
+                    resp_error("svg unavailable: job was replayed from the journal")
+                }
+                Some(Phase::Done { .. }) => resp_error("svg unavailable: job was not served"),
+                Some(_) => resp_error("job not finished"),
+                None => resp_error("unknown job id"),
+            }
+        }
+        Request::Stats => {
+            let inner = lock_inner(shared);
+            let depth = inner.queue.len();
+            resp_stats(
+                depth,
+                shared.cfg.capacity,
+                pressure(depth, shared.cfg.capacity).label(),
+                inner.stats.admitted,
+                inner.stats.completed,
+                inner.stats.rejected_overloaded,
+                inner.stats.rejected_deadline,
+                inner.stats.recovered,
+                inner.draining || drain_requested(),
+            )
+        }
+        Request::Drain => {
+            merlin_supervisor::request_drain();
+            resp_drain_ack()
+        }
+    }
+}
+
+fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
+    fault::seed_thread(&shared.cfg.batch.fault);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_request(&shared, &line);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn io_err(context: &str, error: std::io::Error) -> ServerError {
+    ServerError::Io {
+        context: context.to_string(),
+        error,
+    }
+}
+
+/// Runs the daemon to completion: recover, listen, drain. Blocks until
+/// drain finishes; the typical caller is `merlin_cli serve`.
+pub fn run_server(cfg: ServerConfig, tech: &Technology) -> Result<ServeSummary, ServerError> {
+    fault::seed_thread(&cfg.batch.fault);
+    std::fs::create_dir_all(&cfg.data_dir)
+        .map_err(|e| io_err(&format!("cannot create {}", cfg.data_dir.display()), e))?;
+    let journal_path = cfg.data_dir.join(JOURNAL_FILE);
+    let intake_path = cfg.data_dir.join(INTAKE_FILE);
+    let addr_path = cfg.data_dir.join(ADDR_FILE);
+
+    // Load both journals; their difference is the recovery backlog.
+    let prior_outcomes = load_journal(&journal_path)
+        .map_err(|e| ServerError::Journal(format!("{}: {e}", journal_path.display())))?;
+    let prior_intake = load_intake(&intake_path).map_err(ServerError::Intake)?;
+    for w in prior_intake.iter().flat_map(|i| &i.warnings) {
+        eprintln!("merlin-server: intake: {w}");
+    }
+    for w in prior_outcomes.iter().flat_map(|j| &j.warnings) {
+        eprintln!("merlin-server: journal: {w}");
+    }
+
+    let mut jobs = BTreeMap::new();
+    let mut pending = Vec::new();
+    if let Some(intake) = &prior_intake {
+        for (idx, net) in &intake.nets {
+            let phase = match prior_outcomes.as_ref().and_then(|j| j.records.get(idx)) {
+                Some(record) => Phase::Done {
+                    record: record.clone(),
+                    svg: None,
+                    replayed: true,
+                },
+                None => {
+                    pending.push(*idx);
+                    Phase::Queued {
+                        enqueued: Instant::now(),
+                        // Recovered jobs run deadline-free: the original
+                        // deadline almost certainly died with the
+                        // previous process, and fast-failing the whole
+                        // backlog would make recovery pointless.
+                        deadline_ms: None,
+                    }
+                }
+            };
+            jobs.insert(
+                *idx,
+                Job {
+                    net: net.clone(),
+                    phase,
+                },
+            );
+        }
+    }
+
+    let journal = match prior_outcomes.is_some() {
+        true => JournalWriter::append_to(&journal_path),
+        false => JournalWriter::create(&journal_path),
+    }
+    .map_err(|e| io_err(&format!("cannot open {}", journal_path.display()), e))?;
+    let intake = match prior_intake.is_some() {
+        true => IntakeWriter::append_to(&intake_path),
+        false => IntakeWriter::create(&intake_path),
+    }
+    .map_err(|e| io_err(&format!("cannot open {}", intake_path.display()), e))?;
+
+    merlin_supervisor::install_sigint_drain();
+    merlin_supervisor::install_sigterm_drain();
+
+    let completed_at_start = jobs
+        .values()
+        .filter(|j| matches!(j.phase, Phase::Done { .. }))
+        .count() as u64;
+    let recovered = pending.len() as u64;
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: pending.iter().copied().collect(),
+            jobs,
+            draining: false,
+            stats: Stats {
+                admitted: (completed_at_start + recovered),
+                completed: completed_at_start,
+                recovered,
+                ..Stats::default()
+            },
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        cfg,
+        tech: tech.clone(),
+        journal: Mutex::new(journal),
+        intake: Mutex::new(intake),
+    });
+
+    let workers: Vec<_> = (0..shared.cfg.batch.jobs.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker(&shared))
+        })
+        .collect();
+
+    // Recovery barrier: the backlog of a previous incarnation is solved
+    // before the listener opens, so clients of the new incarnation only
+    // ever race with *their own* jobs.
+    if !pending.is_empty() {
+        merlin_trace::counter("server.recover.pending", recovered);
+        eprintln!("merlin-server: recovering {recovered} unfinished job(s) from a previous run");
+        let mut inner = lock_inner(&shared);
+        while !drain_requested()
+            && pending
+                .iter()
+                .any(|idx| !matches!(inner.jobs[idx].phase, Phase::Done { .. }))
+        {
+            let (guard, _) = shared
+                .done_cv
+                .wait_timeout(inner, POLL)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            inner = guard;
+        }
+    }
+
+    let listener = TcpListener::bind(&shared.cfg.addr)
+        .map_err(|e| io_err(&format!("cannot bind {}", shared.cfg.addr), e))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| io_err("cannot read bound address", e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| io_err("cannot set nonblocking accept", e))?;
+    std::fs::write(&addr_path, format!("{local}\n"))
+        .map_err(|e| io_err(&format!("cannot write {}", addr_path.display()), e))?;
+    println!("merlin-server: listening on {local}");
+    let _ = std::io::stdout().flush();
+
+    while !drain_requested() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                merlin_trace::counter("server.accept", 1);
+                if fault::trip("server.accept") {
+                    drop(stream);
+                    continue;
+                }
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_conn(shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) => {
+                eprintln!("merlin-server: accept: {e}");
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+
+    // Graceful drain: stop admitting, finish in-flight nets, seal.
+    merlin_trace::counter("server.drain", 1);
+    if fault::trip("server.drain") {
+        // Chaos: a crash mid-drain must leave an unsealed journal that
+        // the next incarnation recovers from.
+        std::process::abort();
+    }
+    {
+        let mut inner = lock_inner(&shared);
+        inner.draining = true;
+        shared.work_cv.notify_all();
+        shared.done_cv.notify_all();
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+    let summary = {
+        let inner = lock_inner(&shared);
+        // Wake wait-mode clients so they observe drain before we exit.
+        shared.done_cv.notify_all();
+        let left_queued = inner.queue.len();
+        if left_queued > 0 {
+            eprintln!(
+                "merlin-server: drained with {left_queued} job(s) still queued; they are \
+                 journaled for recovery on the next start"
+            );
+        }
+        ServeSummary {
+            admitted: inner.stats.admitted,
+            completed: inner.stats.completed,
+            recovered: inner.stats.recovered,
+            sealed: false,
+        }
+    };
+    let sealed = {
+        let mut journal = shared
+            .journal
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        journal.seal().is_ok()
+    };
+    let _ = std::fs::remove_file(&addr_path);
+    // Grace so wait-mode connection threads can flush their final
+    // responses before the process exits underneath them.
+    std::thread::sleep(Duration::from_millis(200));
+    Ok(ServeSummary { sealed, ..summary })
+}

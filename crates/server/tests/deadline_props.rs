@@ -1,0 +1,77 @@
+//! Property tests for deadline propagation (see `crate::deadline`).
+//!
+//! The invariants, over a synthetic clock (no timers involved):
+//!
+//! * `deadline − wait ≤ 0` ⇒ the job is rejected `deadline-exceeded`
+//!   without entering the degradation ladder (no budget is produced).
+//! * `deadline − wait > 0` ⇒ a budget is produced and it never exceeds
+//!   the remaining slack, and never loosens the configured budget.
+
+use std::time::Duration;
+
+use merlin_server::deadline::{charge_queue_wait, effective_budget_ms, DeadlineDecision};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn expired_deadlines_never_reach_the_ladder(
+        deadline_ms in 0u64..10_000,
+        over_ms in 0u64..10_000,
+    ) {
+        // Queue wait at or past the deadline: always Expired, always
+        // rejected before any solve attempt.
+        let wait = Duration::from_millis(deadline_ms.saturating_add(over_ms));
+        let decision = charge_queue_wait(Some(deadline_ms), wait);
+        prop_assert_eq!(decision, DeadlineDecision::Expired);
+        prop_assert_eq!(effective_budget_ms(Some(500), decision), None);
+        prop_assert_eq!(effective_budget_ms(None, decision), None);
+    }
+
+    #[test]
+    fn remaining_slack_bounds_the_budget(
+        deadline_ms in 1u64..100_000,
+        wait_ms in 0u64..100_000,
+        cfg_budget_raw in 0u64..100_000,
+    ) {
+        // The vendored proptest shim has no `option::of`; 0 encodes "no
+        // configured budget".
+        let cfg_budget = (cfg_budget_raw > 0).then_some(cfg_budget_raw);
+        let wait = Duration::from_millis(wait_ms);
+        let decision = charge_queue_wait(Some(deadline_ms), wait);
+        let slack = deadline_ms.saturating_sub(wait_ms);
+        if slack == 0 {
+            prop_assert_eq!(decision, DeadlineDecision::Expired);
+            prop_assert_eq!(effective_budget_ms(cfg_budget, decision), None);
+        } else {
+            prop_assert_eq!(
+                decision,
+                DeadlineDecision::Budget(Duration::from_millis(slack))
+            );
+            let budget = effective_budget_ms(cfg_budget, decision)
+                .expect("slack grants a budget")
+                .expect("a deadline always bounds the budget");
+            // Never exceeds the remaining deadline…
+            prop_assert!(budget <= slack, "budget {budget} > slack {slack}");
+            // …and never loosens the configured per-net budget.
+            if let Some(cfg) = cfg_budget {
+                prop_assert!(budget <= cfg, "budget {budget} > configured {cfg}");
+                prop_assert_eq!(budget, cfg.min(slack));
+            } else {
+                prop_assert_eq!(budget, slack);
+            }
+        }
+    }
+
+    #[test]
+    fn no_deadline_defers_entirely_to_the_configured_budget(
+        wait_ms in 0u64..1_000_000,
+        cfg_budget_raw in 0u64..100_000,
+    ) {
+        let cfg_budget = (cfg_budget_raw > 0).then_some(cfg_budget_raw);
+        // However long a job queued, absence of a deadline never
+        // manufactures one.
+        let decision = charge_queue_wait(None, Duration::from_millis(wait_ms));
+        prop_assert_eq!(decision, DeadlineDecision::Unlimited);
+        prop_assert_eq!(effective_budget_ms(cfg_budget, decision), Some(cfg_budget));
+    }
+}

@@ -1,0 +1,251 @@
+//! End-to-end daemon lifecycle tests: admission, dedup, deadlines,
+//! overload, drain, and restart recovery — all in-process over real
+//! TCP connections on loopback.
+//!
+//! Drain state is process-global (it models a signal), so the whole
+//! lifecycle lives in ONE test function run as a sequence of scenarios
+//! with `reset_drain_for_tests` between them; splitting scenarios into
+//! separate `#[test]`s would race on the drain flag under the parallel
+//! test runner.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use merlin_netlist::bench_nets::random_net;
+use merlin_netlist::io as net_io;
+use merlin_server::client::{
+    drain_line, report_line, stats_line, status_line, submit_line, svg_line,
+};
+use merlin_server::json::{parse, Json};
+use merlin_server::{Client, ServeSummary, ServerConfig};
+use merlin_supervisor::BatchConfig;
+use merlin_tech::Technology;
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("merlin-service-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn server_config(data_dir: PathBuf, capacity: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir,
+        capacity,
+        batch: BatchConfig {
+            jobs: 2,
+            artifacts_dir: None,
+            ..BatchConfig::default()
+        },
+        default_service_ms: 100,
+    }
+}
+
+/// Starts a daemon on a free port and returns (client, join handle).
+fn start(cfg: ServerConfig) -> (Client, std::thread::JoinHandle<ServeSummary>) {
+    let data_dir = cfg.data_dir.clone();
+    let tech = Technology::synthetic_035();
+    let handle =
+        std::thread::spawn(move || merlin_server::run_server(cfg, &tech).expect("server runs"));
+    // The address file appears once recovery is done and the listener
+    // is bound.
+    let addr_path = data_dir.join(merlin_server::ADDR_FILE);
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_path) {
+            let trimmed = text.trim().to_string();
+            if !trimmed.is_empty() {
+                break trimmed;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let client = Client::connect(&addr, Duration::from_secs(10)).expect("connect");
+    (client, handle)
+}
+
+fn field<'a>(value: &'a Json, key: &str) -> &'a Json {
+    value.get(key).unwrap_or_else(|| panic!("missing `{key}`"))
+}
+
+fn typed(client: &mut Client, line: &str) -> Json {
+    let raw = client.request(line).expect("request");
+    parse(&raw).unwrap_or_else(|e| panic!("unparseable response `{raw}`: {e}"))
+}
+
+#[test]
+fn daemon_lifecycle_admission_drain_and_recovery() {
+    let tech = Technology::synthetic_035();
+    merlin_supervisor::proc::reset_drain_for_tests();
+
+    // ---- Scenario A: fresh server; submit, dedup, deadlines, report,
+    // drain. ----
+    let dir = tempdir("lifecycle");
+    let (mut client, handle) = start(server_config(dir.clone(), 64));
+
+    let nets: Vec<_> = (0..3)
+        .map(|i| random_net(&format!("svc{i}"), 5, 40 + i, &tech))
+        .collect();
+
+    // Wait-mode submit: terminal answer in one round trip.
+    let done = typed(
+        &mut client,
+        &submit_line(0, &net_io::write_net(&nets[0]), None, true),
+    );
+    assert_eq!(field(&done, "type").as_str(), Some("done"));
+    assert_eq!(field(&done, "replayed").as_bool(), Some(false));
+    let record = field(&done, "record");
+    assert_eq!(field(record, "status").as_str(), Some("served"));
+
+    // Resubmitting the same id answers from memory, not a re-solve.
+    // (`replayed` stays false: the record was computed in this life,
+    // not loaded from the journal.)
+    let dup = typed(
+        &mut client,
+        &submit_line(0, &net_io::write_net(&nets[0]), None, true),
+    );
+    assert_eq!(field(&dup, "type").as_str(), Some("done"));
+    assert_eq!(field(&dup, "replayed").as_bool(), Some(false));
+    assert_eq!(field(&dup, "record"), record);
+
+    // A dead-on-arrival deadline is rejected without admission.
+    let doa = typed(
+        &mut client,
+        &submit_line(9, &net_io::write_net(&nets[1]), Some(0), false),
+    );
+    assert_eq!(field(&doa, "type").as_str(), Some("deadline-exceeded"));
+    assert_eq!(field(&doa, "ok").as_bool(), Some(false));
+    let missing = typed(&mut client, &status_line(9));
+    assert_eq!(field(&missing, "type").as_str(), Some("error"));
+
+    // Fire-and-forget submits; then wait via status polling.
+    for (i, net) in nets.iter().enumerate().skip(1) {
+        let accepted = typed(
+            &mut client,
+            &submit_line(i as u64, &net_io::write_net(net), None, false),
+        );
+        assert_eq!(field(&accepted, "type").as_str(), Some("accepted"));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    for id in 1..3u64 {
+        loop {
+            let status = typed(&mut client, &status_line(id));
+            match field(&status, "type").as_str() {
+                Some("done") => break,
+                Some("status") => {
+                    assert!(std::time::Instant::now() < deadline, "job {id} stuck");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                other => panic!("unexpected status type {other:?}"),
+            }
+        }
+    }
+
+    // SVG is available for a freshly served job.
+    let svg = typed(&mut client, &svg_line(0));
+    assert_eq!(field(&svg, "type").as_str(), Some("svg"));
+    assert!(field(&svg, "svg")
+        .as_str()
+        .is_some_and(|s| s.contains("<svg")));
+
+    // Stats reflect the three admitted jobs and the deadline rejection.
+    let stats = typed(&mut client, &stats_line());
+    assert_eq!(field(&stats, "admitted").as_u64(), Some(3));
+    assert_eq!(field(&stats, "completed").as_u64(), Some(3));
+    assert_eq!(field(&stats, "rejected_deadline").as_u64(), Some(1));
+    assert_eq!(field(&stats, "recovered").as_u64(), Some(0));
+
+    let report_a = typed(&mut client, &report_line());
+    let text_a = field(&report_a, "text").as_str().expect("text").to_string();
+    assert!(text_a.contains("nets: 3"), "report:\n{text_a}");
+    assert!(text_a.contains("lost: 0"), "report:\n{text_a}");
+
+    // Graceful drain over the protocol (same path as SIGTERM).
+    let ack = typed(&mut client, &drain_line());
+    assert_eq!(field(&ack, "type").as_str(), Some("drain"));
+    let summary = handle.join().expect("server thread");
+    assert_eq!(summary.admitted, 3);
+    assert_eq!(summary.completed, 3);
+    assert!(summary.sealed, "clean drain seals the journal");
+
+    // ---- Scenario B: restart over the same data dir; everything is
+    // replayed, nothing re-solved, report is byte-identical. ----
+    merlin_supervisor::proc::reset_drain_for_tests();
+    let (mut client, handle) = start(server_config(dir.clone(), 64));
+    let report_b = typed(&mut client, &report_line());
+    let text_b = field(&report_b, "text").as_str().expect("text").to_string();
+    assert_eq!(text_a, text_b, "restart must not change the report");
+    let stats = typed(&mut client, &stats_line());
+    assert_eq!(
+        field(&stats, "recovered").as_u64(),
+        Some(0),
+        "nothing was unfinished"
+    );
+    // A known id answers as a replay even on the new incarnation.
+    let replay = typed(
+        &mut client,
+        &submit_line(0, &net_io::write_net(&nets[0]), None, true),
+    );
+    assert_eq!(field(&replay, "type").as_str(), Some("done"));
+    assert_eq!(field(&replay, "replayed").as_bool(), Some(true));
+    let ack = typed(&mut client, &drain_line());
+    assert_eq!(field(&ack, "type").as_str(), Some("drain"));
+    handle.join().expect("server thread");
+
+    // ---- Scenario C: crash recovery. Simulate a kill -9 by writing an
+    // intake with a job the journal never saw, then booting a server
+    // over it: the job must be solved before the listener opens. ----
+    merlin_supervisor::proc::reset_drain_for_tests();
+    let crash_dir = tempdir("recovery");
+    std::fs::create_dir_all(&crash_dir).expect("mkdir");
+    {
+        let mut intake =
+            merlin_server::IntakeWriter::create(&crash_dir.join(merlin_server::INTAKE_FILE))
+                .expect("intake");
+        intake
+            .append(5, &random_net("crashjob", 5, 77, &tech))
+            .expect("append");
+        // No outcome journal at all: the previous life died before its
+        // first commit.
+    }
+    let (mut client, handle) = start(server_config(crash_dir.clone(), 64));
+    let status = typed(&mut client, &status_line(5));
+    assert_eq!(
+        field(&status, "type").as_str(),
+        Some("done"),
+        "recovery finishes before the listener opens"
+    );
+    let stats = typed(&mut client, &stats_line());
+    assert_eq!(field(&stats, "recovered").as_u64(), Some(1));
+    let ack = typed(&mut client, &drain_line());
+    assert_eq!(field(&ack, "type").as_str(), Some("drain"));
+    handle.join().expect("server thread");
+
+    // ---- Scenario D: a zero-capacity server rejects every submit with
+    // the typed overloaded response and a sane retry hint. ----
+    merlin_supervisor::proc::reset_drain_for_tests();
+    let full_dir = tempdir("overload");
+    let (mut client, handle) = start(server_config(full_dir, 0));
+    let rejected = typed(
+        &mut client,
+        &submit_line(0, &net_io::write_net(&nets[0]), None, false),
+    );
+    assert_eq!(field(&rejected, "type").as_str(), Some("overloaded"));
+    assert_eq!(field(&rejected, "ok").as_bool(), Some(false));
+    let hint = field(&rejected, "retry_after_ms").as_u64().expect("hint");
+    assert!(hint >= merlin_server::admission::MIN_RETRY_AFTER_MS);
+    let stats = typed(&mut client, &stats_line());
+    assert_eq!(field(&stats, "rejected_overloaded").as_u64(), Some(1));
+    assert_eq!(field(&stats, "admitted").as_u64(), Some(0));
+    let ack = typed(&mut client, &drain_line());
+    assert_eq!(field(&ack, "type").as_str(), Some("drain"));
+    handle.join().expect("server thread");
+
+    merlin_supervisor::proc::reset_drain_for_tests();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}

@@ -432,7 +432,11 @@ fn watchdog_loop(shared: Arc<Shared>, limit: Duration, poll: Duration, tx: mpsc:
     }
 }
 
-pub(crate) fn sanitize_name(name: &str) -> String {
+/// Journal-safe form of a net name: whitespace collapsed to `_` so the
+/// name survives the line-oriented record codec. Embedders journaling
+/// their own records (the server's deadline fast-fail path) must use the
+/// same mapping or resumed reports diverge.
+pub fn sanitize_name(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_whitespace() { '_' } else { c })
         .collect()
@@ -550,6 +554,28 @@ fn capture_failure(
         Ok(_) => {}
         Err(e) => warnings.push(format!("artifact capture for `{}` failed: {e}", net.name)),
     }
+}
+
+/// Replays a journal (and any shard segments) into a report without a
+/// net population: nothing is solved or validated against inputs — the
+/// records on disk *are* the batch. This is `resume` with no nets: a
+/// pure render of what a previous run accomplished. A header-only
+/// journal (meta lines, zero records) replays to an empty report
+/// (`nets: 0 ... lost: 0`) rather than an error, and a segment set whose
+/// members are all header-only does the same.
+///
+/// # Errors
+///
+/// Filesystem failures listing or reading the journal/segments, or a
+/// corrupt segment ([`BatchError::SegmentMerge`]).
+pub fn replay_batch(journal_path: &Path) -> Result<BatchReport, BatchError> {
+    let paths = crate::journal::segment_paths(journal_path).map_err(|error| BatchError::Io {
+        context: format!("cannot list segments of {}", journal_path.display()),
+        error,
+    })?;
+    let merged = crate::journal::merge_segments(&paths)?;
+    let expected = merged.records.len();
+    Ok(BatchReport::from_merged(merged, expected))
 }
 
 /// Runs (or resumes) a batch: every net in `nets` ends with exactly one
@@ -925,6 +951,60 @@ mod tests {
         .expect("empty batch runs");
         assert_eq!(report.expected, 0);
         assert_eq!(report.lost(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_of_a_header_only_journal_is_an_empty_report() {
+        let dir = tmp_dir("replay-header-only");
+        let journal = dir.join("run.journal");
+        // A journal with meta lines but zero net records: what a batch
+        // killed between open and the first commit leaves behind.
+        crate::journal::JournalWriter::create_with_population(&journal, 0xabcd)
+            .expect("create header-only journal");
+        let report = replay_batch(&journal).expect("header-only journal replays");
+        assert_eq!(report.expected, 0);
+        assert_eq!(report.rows.len(), 0);
+        assert_eq!(report.lost(), 0);
+        assert!(
+            report.render().contains("nets: 0 served: 0"),
+            "{}",
+            report.render()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_of_all_empty_segments_is_an_empty_report() {
+        let dir = tmp_dir("replay-empty-segs");
+        let journal = dir.join("run.journal");
+        // No base journal at all — only header-only segments, as left by
+        // process-mode workers killed before their first commit.
+        for shard in 0..3u32 {
+            let seg = crate::journal::segment_path(&journal, shard);
+            crate::journal::JournalWriter::create_with_population(&seg, 0x1234)
+                .expect("create header-only segment");
+        }
+        let report = replay_batch(&journal).expect("empty segment set replays");
+        assert_eq!(report.expected, 0);
+        assert_eq!(report.lost(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_renders_existing_records_without_nets() {
+        let dir = tmp_dir("replay-records");
+        let journal = dir.join("run.journal");
+        let tech = Technology::synthetic_035();
+        let cfg = BatchConfig {
+            jobs: 1,
+            artifacts_dir: None,
+            ..BatchConfig::default()
+        };
+        let full = run_batch(small_batch(3), &tech, &cfg, &journal).expect("batch runs");
+        let replay = replay_batch(&journal).expect("journal replays");
+        assert_eq!(replay.expected, 3);
+        assert_eq!(replay.render(), full.render());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

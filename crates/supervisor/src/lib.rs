@@ -48,6 +48,7 @@
 
 pub mod artifact;
 pub mod batch;
+pub mod exec;
 pub mod heartbeat;
 pub mod journal;
 pub mod proc;
@@ -57,7 +58,8 @@ pub use artifact::{
     arm_chaos_spec, capture, minimize, parse_repro, replay, write_repro, ReplayOutcome, Repro,
     ReproParseError, REPRO_HEADER,
 };
-pub use batch::{run_batch, BatchConfig, BatchError};
+pub use batch::{replay_batch, run_batch, sanitize_name, BatchConfig, BatchError};
+pub use exec::{solve_to_record, ExecOptions, ExecOutcome};
 pub use heartbeat::{Heartbeat, HeartbeatDecodeError, DRAIN_COMMAND};
 pub use journal::{
     load_journal, merge_segments, population_hash, quarantine_segment_path, segment_path,
@@ -66,7 +68,8 @@ pub use journal::{
 };
 pub use proc::{
     drain_requested, escalation, ignore_sigint, ignore_sigterm, install_sigint_drain,
-    request_drain, run_batch_proc, run_worker, worker_exit, Escalation, ProcConfig, WorkerOptions,
-    WorkerSummary, EXIT_ORPHANED,
+    install_sigterm_drain, note_drain_signal, request_drain, run_batch_proc, run_worker,
+    worker_exit, worker_handshake_ok, worker_handshake_value, Escalation, ProcConfig,
+    WorkerOptions, WorkerSummary, EXIT_ORPHANED, WORKER_HANDSHAKE_ENV,
 };
 pub use report::BatchReport;

@@ -41,21 +41,20 @@ use std::collections::{HashMap, HashSet};
 use std::io::{BufRead as _, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, ChildStdin, Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use merlin_flows::resilient::resilient_solve_attempt;
-use merlin_flows::FlowsConfig;
 use merlin_netlist::Net;
 use merlin_resilience::fault;
-use merlin_resilience::journal::{outcome_hash, JournalRecord, RecordStatus};
+use merlin_resilience::journal::{JournalRecord, RecordStatus};
 use merlin_resilience::{RetryPolicy, ServingTier};
 use merlin_tech::Technology;
 
 use crate::artifact::{self, Repro};
 use crate::batch::{sanitize_name, validate_records, BatchConfig, BatchError};
+use crate::exec::{solve_to_record, ExecOptions};
 use crate::heartbeat::{Heartbeat, DRAIN_COMMAND};
 use crate::journal::{
     load_journal, merge_segments, population_hash, quarantine_segment_path, segment_path,
@@ -142,18 +141,43 @@ pub struct WorkerSummary {
     pub drained: bool,
 }
 
-/// Set by the parent's SIGINT handler; polled by the event loop.
+/// Set by the parent's SIGINT/SIGTERM handler; polled by the event loop.
 static DRAIN_REQUESTED: AtomicBool = AtomicBool::new(false);
 
-/// Whether a drain has been requested (SIGINT or [`request_drain`]).
+/// How many drain signals have been delivered; the second one escalates
+/// to a hard abort (see [`note_drain_signal`]).
+static DRAIN_SIGNALS: AtomicU32 = AtomicU32::new(0);
+
+/// Whether a drain has been requested (SIGINT/SIGTERM or
+/// [`request_drain`]).
 pub fn drain_requested() -> bool {
     DRAIN_REQUESTED.load(Ordering::Relaxed)
 }
 
-/// Programmatic drain trigger (what the SIGINT handler calls; exposed
+/// Programmatic drain trigger (what the signal handlers call; exposed
 /// for tests and embedders).
 pub fn request_drain() {
     DRAIN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Records one drain signal and decides the response: the first requests
+/// a graceful drain (returns `false`), every later one escalates to an
+/// immediate hard abort (returns `true`). Both the batch SIGINT handler
+/// and the server SIGTERM handler route through this, so "press it twice
+/// to really stop" behaves identically everywhere. Safe from a signal
+/// handler: two relaxed atomic ops, no allocation, no locks.
+pub fn note_drain_signal() -> bool {
+    let prior = DRAIN_SIGNALS.fetch_add(1, Ordering::Relaxed);
+    DRAIN_REQUESTED.store(true, Ordering::Relaxed);
+    prior >= 1
+}
+
+/// Test hook: clears the process-global drain state so signal-escalation
+/// tests do not leak a drain request into unrelated tests.
+#[doc(hidden)]
+pub fn reset_drain_for_tests() {
+    DRAIN_SIGNALS.store(0, Ordering::Relaxed);
+    DRAIN_REQUESTED.store(false, Ordering::Relaxed);
 }
 
 #[cfg(unix)]
@@ -171,7 +195,12 @@ mod sig {
     }
 
     extern "C" fn drain_handler(_sig: i32) {
-        super::DRAIN_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+        // First signal: graceful drain. Second: the operator means it —
+        // hard abort (journals are crash-safe; resume recovers). `abort`
+        // is async-signal-safe, unlike exit.
+        if super::note_drain_signal() {
+            std::process::abort();
+        }
     }
 
     extern "C" fn noop_handler(_sig: i32) {}
@@ -179,6 +208,12 @@ mod sig {
     pub fn install_sigint_drain() {
         unsafe {
             signal(SIGINT, drain_handler);
+        }
+    }
+
+    pub fn install_sigterm_drain() {
+        unsafe {
+            signal(SIGTERM, drain_handler);
         }
     }
 
@@ -208,6 +243,7 @@ mod sig {
     //! degrades to going straight to `Child::kill`.
 
     pub fn install_sigint_drain() {}
+    pub fn install_sigterm_drain() {}
     pub fn ignore_sigint() {}
     pub fn ignore_sigterm() {}
     pub fn send_sigterm(_pid: u32) -> bool {
@@ -215,11 +251,20 @@ mod sig {
     }
 }
 
-/// Installs the parent's SIGINT handler: first Ctrl-C requests a
+/// Installs the parent's SIGINT handler: the first Ctrl-C requests a
 /// graceful drain ([`drain_requested`] turns true) instead of killing
-/// the process tree abruptly. No-op off unix.
+/// the process tree abruptly; a second Ctrl-C during the drain escalates
+/// to an immediate hard abort ([`note_drain_signal`]). No-op off unix.
 pub fn install_sigint_drain() {
     sig::install_sigint_drain();
+}
+
+/// Installs the same drain-then-abort handler for SIGTERM — the server's
+/// shutdown path, sharing [`note_drain_signal`] escalation with the
+/// batch SIGINT handler (a SIGTERM followed by a SIGINT, or vice versa,
+/// also escalates). No-op off unix.
+pub fn install_sigterm_drain() {
+    sig::install_sigterm_drain();
 }
 
 /// Makes the calling process ignore SIGINT. Workers install this so a
@@ -239,6 +284,26 @@ pub fn ignore_sigterm() {
 /// Exit code a worker uses when it hard-exits as an orphan (parent gone,
 /// drain grace expired).
 pub const EXIT_ORPHANED: u8 = 3;
+
+/// Environment variable carrying the parent-supervision handshake. The
+/// parent sets it on every worker it spawns; the hidden `worker`
+/// subcommand refuses to run without it, so a stray hand invocation
+/// cannot scribble on a journal segment it does not own.
+pub const WORKER_HANDSHAKE_ENV: &str = "MERLIN_WORKER_HANDSHAKE";
+
+/// The handshake value a supervising parent stamps into
+/// [`WORKER_HANDSHAKE_ENV`]: a versioned tag plus the parent's pid.
+pub fn worker_handshake_value() -> String {
+    format!("v1:{}", std::process::id())
+}
+
+/// Whether `value` (the worker-side reading of [`WORKER_HANDSHAKE_ENV`])
+/// is an acceptable supervision handshake. Factored pure for tests; only
+/// the version tag is checked — the pid is diagnostic, and the parent
+/// may legitimately be dead by the time an orphan checks.
+pub fn worker_handshake_ok(value: Option<&str>) -> bool {
+    value.is_some_and(|v| v.strip_prefix("v1:").is_some_and(|pid| !pid.is_empty()))
+}
 
 /// The one sanctioned process-exit path for worker subprocesses. A
 /// wedged orphan cannot unwind a stuck solve from another thread, so a
@@ -430,7 +495,7 @@ pub fn run_worker(
 
     let mut solved = 0usize;
     let mut drained = false;
-    let mut deferred_minimize: Vec<(usize, Repro)> = Vec::new();
+    let mut deferred_minimize: Vec<(u64, Repro)> = Vec::new();
     for &idx in &pending {
         if drain.load(Ordering::Relaxed) {
             drained = true;
@@ -446,78 +511,21 @@ pub fn run_worker(
                 thread::sleep(ALIVE_SLICE);
             }
         }
-        // The solve-retry ladder below mirrors thread mode byte for byte
+        // The shared execution engine mirrors thread mode byte for byte
         // (same params, budgets, hashes), which is what makes a resumed
         // process-mode report byte-identical to a thread-mode run.
-        let mut attempt = 0u32;
-        let rec = loop {
-            let mut params = cfg.retry.params(attempt);
-            params.threads = cfg.threads;
-            let budget =
-                artifact::attempt_budget(cfg.budget_ms, cfg.work_limit, params.budget_scale);
-            let flows_cfg = FlowsConfig::for_net_size(net.num_sinks());
-            let net_span = merlin_trace::span!("supervisor.net", idx);
-            let out = resilient_solve_attempt(net, tech, &flows_cfg, &budget, &params);
-            drop(net_span);
-            merlin_trace::counter("supervisor.attempts", 1);
-            let tier = out.report.served;
-            let eval = &out.result.eval;
-            let hash = outcome_hash(
-                &net.name,
-                tier,
-                eval.buffer_area,
-                eval.num_buffers,
-                eval.wirelength,
-                eval.delay_ps,
-            );
-            if tier <= cfg.accept_tier {
-                break JournalRecord {
-                    idx: idx as u64,
-                    net: sanitize_name(&net.name),
-                    tier,
-                    attempts: attempt + 1,
-                    timeouts: 0,
-                    status: RecordStatus::Served,
-                    hash,
-                };
-            }
-            if cfg.retry.is_final(attempt) {
-                if let Some(dir) = &cfg.artifacts_dir {
-                    let repro = Repro {
-                        cause: RecordStatus::FailedDegraded,
-                        accept_tier: cfg.accept_tier,
-                        max_attempts: cfg.retry.max_attempts,
-                        budget_ms: cfg.budget_ms,
-                        work_limit: cfg.work_limit,
-                        watchdog_ms: None,
-                        chaos: cfg.fault.clone(),
-                        net: net.clone(),
-                    };
-                    match artifact::capture(dir, idx as u64, &repro, tech, false) {
-                        Ok(_) if cfg.minimize => deferred_minimize.push((idx, repro)),
-                        Ok(_) => {}
-                        Err(e) => {
-                            eprintln!("merlin-worker: artifact capture for `{}`: {e}", net.name);
-                        }
-                    }
-                }
-                break JournalRecord {
-                    idx: idx as u64,
-                    net: sanitize_name(&net.name),
-                    tier,
-                    attempts: attempt + 1,
-                    timeouts: 0,
-                    status: RecordStatus::FailedDegraded,
-                    hash: 0,
-                };
-            }
-            merlin_trace::counter("supervisor.retry", 1);
-            merlin_trace::counter("supervisor.retry.degraded", 1);
-            attempt += 1;
-            let backoff = cfg.retry.backoff(attempt);
-            merlin_trace::observe("supervisor.backoff.ms", backoff.as_millis() as u64);
-            backoff_with_alive(hb_out, backoff, drain);
-        };
+        let outcome = solve_to_record(
+            net,
+            tech,
+            cfg,
+            idx as u64,
+            &ExecOptions::default(),
+            &mut |backoff| backoff_with_alive(hb_out, backoff, drain),
+        );
+        let rec = outcome.record;
+        if let Some(pending_min) = outcome.minimize {
+            deferred_minimize.push(pending_min);
+        }
         if fault::trip("supervisor.proc.commit") {
             torn_commit_abort(&seg, &rec);
         }
@@ -543,7 +551,7 @@ pub fn run_worker(
     // thread mode).
     if let Some(dir) = &cfg.artifacts_dir {
         for (idx, repro) in &deferred_minimize {
-            if let Err(e) = artifact::capture(dir, *idx as u64, repro, tech, true) {
+            if let Err(e) = artifact::capture(dir, *idx, repro, tech, true) {
                 eprintln!(
                     "merlin-worker: artifact minimization for `{}`: {e}",
                     repro.net.name
@@ -612,6 +620,7 @@ fn spawn_shard(
     *next_slot += 1;
     let mut cmd = Command::new(&pcfg.program);
     cmd.arg("worker");
+    cmd.env(WORKER_HANDSHAKE_ENV, worker_handshake_value());
     cmd.args(&pcfg.worker_args);
     cmd.arg("--shard").arg(st.shard.to_string());
     cmd.arg("--shards").arg(shards.to_string());
@@ -1274,6 +1283,36 @@ mod tests {
             run_worker(&nets, &tech, &cfg, &opts, &mut out, &drain).expect("resume worker");
         assert_eq!(summary.solved, 4);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_drain_signal_escalates_to_abort() {
+        // The pure escalation decision behind both the batch SIGINT
+        // handler and the server SIGTERM handler: first signal drains,
+        // second aborts. (The actual abort lives in the handler; here we
+        // only check the decision and the drain flag.)
+        reset_drain_for_tests();
+        assert!(!drain_requested());
+        assert!(!note_drain_signal(), "first signal: graceful drain");
+        assert!(drain_requested(), "first signal requests the drain");
+        assert!(note_drain_signal(), "second signal: hard abort");
+        assert!(note_drain_signal(), "later signals keep aborting");
+        reset_drain_for_tests();
+        assert!(!drain_requested());
+    }
+
+    #[test]
+    fn worker_handshake_validates_the_parent_stamp() {
+        assert!(worker_handshake_ok(Some(&worker_handshake_value())));
+        assert!(worker_handshake_ok(Some("v1:12345")));
+        assert!(!worker_handshake_ok(None), "no env: refuse");
+        assert!(!worker_handshake_ok(Some("")), "empty: refuse");
+        assert!(!worker_handshake_ok(Some("v1:")), "pid missing: refuse");
+        assert!(
+            !worker_handshake_ok(Some("v2:12345")),
+            "unknown version: refuse"
+        );
+        assert!(!worker_handshake_ok(Some("12345")), "no tag: refuse");
     }
 
     #[test]

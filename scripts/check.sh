@@ -225,4 +225,87 @@ for t in 2 4; do
   }
 done
 
+echo "== server-chaos (SIGKILL + restart recovery, typed shedding, latency) =="
+# Reference first: an uninterrupted daemon serving a 100-net stream in
+# wait mode. Its report is the byte-compare target, and the per-submit
+# round-trip latencies become the BENCH_pr8.json snapshot
+# (n, p50_ms, p99_ms).
+SRVREF="$SUPTMP/srv-ref"
+target/release/merlin_cli serve --data-dir "$SRVREF" --capacity 128 --jobs 2 &
+SRV_PID=$!
+for _ in $(seq 1 100); do [ -f "$SRVREF/server.addr" ] && break; sleep 0.1; done
+target/release/merlin_cli submit --gen 100 --sinks 4 --seed 7 \
+  --data-dir "$SRVREF" --latency-json BENCH_pr8.json > /dev/null
+target/release/merlin_cli status --data-dir "$SRVREF" \
+  --report "$SUPTMP/srv-ref.txt"
+target/release/merlin_cli status --data-dir "$SRVREF" --drain > /dev/null
+wait "$SRV_PID"
+
+# Chaos run: the first 60 nets of the same stream fire-and-forget, then
+# SIGKILL the daemon mid-stream and restart it over the same data dir.
+# Startup recovery must re-solve every acked-but-unfinished job (intake
+# minus outcomes) before the listener binds; submitting the full 100-net
+# stream afterwards replays the journaled prefix instead of re-solving
+# it and solves only the 40-net remainder, and the final report must be
+# byte-identical to the uninterrupted reference. (--gen N generates net
+# i from seed+i, so --gen 60 is a strict prefix of --gen 100.)
+SRVDIR="$SUPTMP/srv-chaos"
+target/release/merlin_cli serve --data-dir "$SRVDIR" --capacity 128 --jobs 2 &
+SRV_PID=$!
+for _ in $(seq 1 100); do [ -f "$SRVDIR/server.addr" ] && break; sleep 0.1; done
+target/release/merlin_cli submit --gen 60 --sinks 4 --seed 7 \
+  --data-dir "$SRVDIR" --no-wait > /dev/null
+kill -9 "$SRV_PID"
+set +e
+wait "$SRV_PID" 2>/dev/null
+set -e
+# kill -9 skipped cleanup: drop the stale address file so the poll below
+# only sees the restarted daemon's freshly bound address.
+rm -f "$SRVDIR/server.addr"
+target/release/merlin_cli serve --data-dir "$SRVDIR" --capacity 128 --jobs 2 &
+SRV_PID=$!
+for _ in $(seq 1 1200); do [ -f "$SRVDIR/server.addr" ] && break; sleep 0.1; done
+if target/release/merlin_cli status --data-dir "$SRVDIR" --stats \
+    | grep -q '"recovered":0'; then
+  echo "server-chaos: SIGKILL landed after every job finished; recovery untested" >&2
+  exit 1
+fi
+target/release/merlin_cli submit --gen 100 --sinks 4 --seed 7 \
+  --data-dir "$SRVDIR" --connect-timeout-ms 300000 > /dev/null
+target/release/merlin_cli status --data-dir "$SRVDIR" \
+  --report "$SUPTMP/srv-chaos.txt"
+target/release/merlin_cli status --data-dir "$SRVDIR" --drain > /dev/null
+wait "$SRV_PID"
+cmp -s "$SUPTMP/srv-ref.txt" "$SUPTMP/srv-chaos.txt" || {
+  echo "server-chaos: recovered report diverged from the reference:" >&2
+  diff "$SUPTMP/srv-ref.txt" "$SUPTMP/srv-chaos.txt" | head -10 >&2
+  exit 1
+}
+
+# Typed load shedding: a daemon with the server.queue fault armed rejects
+# every submit with the typed `overloaded` response (retry_after_ms hint
+# included) without the queue ever filling, and the client maps the
+# rejections to a nonzero exit.
+SRVOVL="$SUPTMP/srv-ovl"
+target/debug/merlin_cli serve --data-dir "$SRVOVL" --capacity 64 --jobs 1 \
+  --chaos server.queue:empty:1 &
+SRV_PID=$!
+for _ in $(seq 1 100); do [ -f "$SRVOVL/server.addr" ] && break; sleep 0.1; done
+set +e
+OVL_OUT=$(target/debug/merlin_cli submit --gen 2 --sinks 4 --seed 7 \
+  --data-dir "$SRVOVL" 2>&1)
+OVL_STATUS=$?
+set -e
+if [ "$OVL_STATUS" -eq 0 ]; then
+  echo "server-chaos: shed submissions exited 0" >&2
+  exit 1
+fi
+echo "$OVL_OUT" | grep -q "overloaded (retry after" || {
+  echo "server-chaos: expected typed overloaded rejections, got:" >&2
+  echo "$OVL_OUT" | head -5 >&2
+  exit 1
+}
+target/debug/merlin_cli status --data-dir "$SRVOVL" --drain > /dev/null
+wait "$SRV_PID"
+
 echo "all checks passed"

@@ -8,13 +8,21 @@
 //! merlin_cli repro <file.repro> [--minimize]
 //! ```
 //!
+//! ```text
+//! merlin_cli serve [--addr HOST:PORT] [--data-dir DIR] [server options]
+//! merlin_cli submit [<file.net>...] [--gen N] [submit options]
+//! merlin_cli status [--id N | --report | --drain | --stats]
+//! ```
+//!
 //! `solve` optimizes one net (flow 3, MERLIN, by default) — invoking the
 //! binary with a `.net` file as the first argument is shorthand for it.
 //! `batch` drives the resilient solver across a net population under the
 //! `merlin-supervisor` worker pool (watchdog, retries, checkpoint/resume
 //! journal, failure artifacts); `resume` is `batch` that insists the
 //! journal already exists. `repro` replays a captured `.repro` failure
-//! artifact. Run `merlin_cli help` for every flag and its default.
+//! artifact. `serve` runs the crash-recoverable solve daemon
+//! (`merlin-server`, see docs/SERVICE.md); `submit` and `status` are its
+//! clients. Run `merlin_cli help` for every flag and its default.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,7 +47,12 @@ commands:
                        command: a leading <file.net> argument implies it)
   batch                solve a net population under batch supervision
   resume               like `batch`, but refuses to start a fresh journal
+                       (with no nets listed: replay the journal into a
+                       report without solving anything)
   repro <file.repro>   replay a captured failure artifact
+  serve                run the crash-recoverable solve daemon
+  submit               submit nets to a running daemon
+  status               query a running daemon (job state, report, stats)
   help                 this text
 
 solve flags:
@@ -101,8 +114,60 @@ process-isolation flags (batch and resume):
 repro flags:
   --minimize           greedily re-minimize and write <file>.min
 
+serve flags (defaults in parentheses):
+  --addr HOST:PORT     listen address; port 0 picks a free port
+                       (127.0.0.1:0). The bound address is printed and
+                       written to <data-dir>/server.addr
+  --data-dir DIR       intake + outcome journals and the address file
+                       (merlin-server-data); restarting over the same
+                       directory recovers unfinished jobs before the
+                       listener opens
+  --capacity N         job-queue admission bound (64); a full queue
+                       rejects submits with a typed `overloaded` response
+  --jobs J             solver worker threads (1)
+  --threads N          intra-net DP threads per solve (0 = sequential)
+  --budget-ms MS       per-net wall-clock budget; request deadlines can
+                       only tighten it, never loosen it (none)
+  --work-limit W       cooperative per-net DP work limit (none)
+  --max-retries R      retries after each net's first attempt (2)
+  --accept-tier T      weakest acceptable serving tier (direct)
+  --artifacts DIR      failure artifact directory (artifacts)
+  --chaos SPEC         arm site:kind:nth[:stall_ms] fault injection
+                       (fault-inject builds only); daemon sites are
+                       server.accept, server.queue, server.drain
+  SIGTERM or SIGINT drains gracefully (stop admitting, finish in-flight
+  nets, seal the journal); a second signal aborts immediately
+
+submit flags:
+  <file.net>...        nets to submit, in id order
+  --gen N              append N synthetic benchmark nets (0)
+  --sinks S            sinks per generated net (8)
+  --seed K             base seed for generated nets (1)
+  --addr HOST:PORT     daemon address (read from <data-dir>/server.addr)
+  --data-dir DIR       where to find server.addr (merlin-server-data)
+  --start-id N         id of the first submitted net; ids are the dedup
+                       key across retries and server restarts (0)
+  --deadline-ms MS     per-job end-to-end deadline; queue wait counts
+                       against it (none)
+  --no-wait            fire-and-forget: print the admission response and
+                       move on instead of waiting for the terminal state
+  --latency-json PATH  write {n, p50_ms, p99_ms} submit-to-result
+                       latency percentiles (wait mode only)
+  --connect-timeout-ms retry connecting this long, e.g. across a server
+                       restart's recovery window (30000)
+
+status flags:
+  --addr / --data-dir  as for submit
+  --id N               print one job's state or terminal record
+  --report [PATH]      fetch the batch report (stdout, or write to PATH)
+  --svg-id N PATH      fetch a served job's SVG into PATH
+  --stats              print server stats (the default query)
+  --drain              ask the daemon to drain gracefully
+
 exit status: `repro` exits 0 when the failure reproduces, 1 when it does
-not; everything else exits 0 on success.";
+not; `submit` exits 0 when every job reached a terminal state or was
+accepted, 1 when any was rejected (overloaded, deadline-exceeded,
+draining); everything else exits 0 on success.";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("merlin_cli: {msg}");
@@ -226,6 +291,9 @@ fn main() -> ExitCode {
         // surface, so not in USAGE.
         Some("worker") => cmd_worker(args),
         Some("repro") => cmd_repro(args),
+        Some("serve") => cmd_serve(args),
+        Some("submit") => cmd_submit(args),
+        Some("status") => cmd_status(args),
         Some(first) if !first.starts_with('-') => {
             // Legacy shorthand: `merlin_cli file.net [flags]`.
             args.pos -= 1;
@@ -492,6 +560,34 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
         ));
     }
 
+    // Replay-only resume: with no population given, render whatever the
+    // journal (or its segments) holds — including a header-only journal
+    // from a batch killed before its first commit, which replays to an
+    // empty report rather than an error.
+    if require_journal && files.is_empty() && gen == 0 {
+        let report = match merlin_supervisor::replay_batch(&journal) {
+            Ok(report) => report,
+            Err(e) => return fail(e),
+        };
+        eprintln!(
+            "resume: replayed {} record(s) from {} without solving",
+            report.replayed,
+            journal.display()
+        );
+        for warning in &report.warnings {
+            eprintln!("warning: {warning}");
+        }
+        match report_path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, report.render()) {
+                    return fail(format!("cannot write {}: {e}", path.display()));
+                }
+            }
+            None => print!("{}", report.render()),
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let nets = match build_nets(&files, gen, sinks, seed, &tech) {
         Ok(nets) => nets,
         Err(e) => return fail(e),
@@ -604,6 +700,20 @@ fn cmd_worker(mut args: Args) -> ExitCode {
 
     static DRAIN: AtomicBool = AtomicBool::new(false);
     const ORPHAN_GRACE: Duration = Duration::from_secs(60);
+
+    // A worker without a supervising parent is an operator mistake: it
+    // would fight the real batch over journal segments and artifacts.
+    // The parent stamps every spawn with the handshake env var; refuse
+    // to run without it.
+    let stamp = std::env::var(merlin_supervisor::WORKER_HANDSHAKE_ENV).ok();
+    if !merlin_supervisor::worker_handshake_ok(stamp.as_deref()) {
+        return fail(format!(
+            "usage error: `worker` is the internal re-exec target of `batch --isolation \
+             process` and cannot be invoked directly (missing or malformed {} supervision \
+             handshake); run `merlin_cli batch --isolation process` instead",
+            merlin_supervisor::WORKER_HANDSHAKE_ENV
+        ));
+    }
 
     let tech = Technology::synthetic_035();
     let mut files: Vec<String> = Vec::new();
@@ -789,4 +899,371 @@ fn cmd_repro(mut args: Args) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Resolves the daemon address: an explicit `--addr` wins; otherwise the
+/// address file the daemon published into its data directory.
+fn resolve_addr(addr: Option<String>, data_dir: &std::path::Path) -> Result<String, String> {
+    if let Some(addr) = addr {
+        return Ok(addr);
+    }
+    let path = data_dir.join(merlin_server::ADDR_FILE);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {} ({e}); is the daemon running? pass --addr to override",
+            path.display()
+        )
+    })?;
+    let addr = text.trim().to_string();
+    if addr.is_empty() {
+        return Err(format!("{} is empty", path.display()));
+    }
+    Ok(addr)
+}
+
+fn cmd_serve(mut args: Args) -> ExitCode {
+    let tech = Technology::synthetic_035();
+    let mut cfg = merlin_server::ServerConfig {
+        batch: BatchConfig {
+            artifacts_dir: Some(PathBuf::from("artifacts")),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+            jobs: 1,
+            // The daemon has no post-batch minimization pass.
+            minimize: false,
+            ..BatchConfig::default()
+        },
+        ..merlin_server::ServerConfig::default()
+    };
+    while let Some(arg) = args.next() {
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--addr" => args.value_for("--addr").map(|v| cfg.addr = v),
+            "--data-dir" => args
+                .value_for("--data-dir")
+                .map(|v| cfg.data_dir = v.into()),
+            "--capacity" => args.parsed("--capacity").map(|v| cfg.capacity = v),
+            "--jobs" => args
+                .parsed("--jobs")
+                .map(|v: usize| cfg.batch.jobs = v.max(1)),
+            "--threads" => args
+                .parsed("--threads")
+                .map(|v: usize| cfg.batch.threads = v),
+            "--budget-ms" => args
+                .parsed("--budget-ms")
+                .map(|v| cfg.batch.budget_ms = Some(v)),
+            "--work-limit" => args
+                .parsed("--work-limit")
+                .map(|v| cfg.batch.work_limit = Some(v)),
+            "--max-retries" => args
+                .parsed("--max-retries")
+                .map(|v: u32| cfg.batch.retry.max_attempts = v + 1),
+            "--accept-tier" => args.value_for("--accept-tier").and_then(|v| {
+                ServingTier::parse(&v)
+                    .map(|t| cfg.batch.accept_tier = t)
+                    .ok_or_else(|| format!("unknown tier `{v}`"))
+            }),
+            "--artifacts" => args
+                .value_for("--artifacts")
+                .map(|v| cfg.batch.artifacts_dir = Some(v.into())),
+            "--chaos" => args.value_for("--chaos").and_then(|v| {
+                match arm_chaos_spec(&mut cfg.batch.fault, &v) {
+                    Ok(true) => Ok(()),
+                    Ok(false) => Err("this build has no fault-injection support; rebuild \
+                                          with `--features fault-inject` to use --chaos"
+                        .to_owned()),
+                    Err(e) => Err(e.to_string()),
+                }
+            }),
+            other => Err(format!("unknown serve flag {other}")),
+        };
+        if let Err(e) = parsed {
+            return fail(e);
+        }
+    }
+    match merlin_server::run_server(cfg, &tech) {
+        Ok(summary) => {
+            eprintln!(
+                "serve: drained after {} admitted, {} completed, {} recovered{}",
+                summary.admitted,
+                summary.completed,
+                summary.recovered,
+                if summary.sealed {
+                    " (journal sealed)"
+                } else {
+                    ""
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_submit(mut args: Args) -> ExitCode {
+    let tech = Technology::synthetic_035();
+    let mut files: Vec<String> = Vec::new();
+    let mut gen = 0usize;
+    let mut sinks = 8usize;
+    let mut seed = 1u64;
+    let mut addr: Option<String> = None;
+    let mut data_dir = PathBuf::from("merlin-server-data");
+    let mut start_id = 0u64;
+    let mut deadline_ms: Option<u64> = None;
+    let mut wait = true;
+    let mut latency_json: Option<PathBuf> = None;
+    let mut connect_timeout = Duration::from_millis(30_000);
+    while let Some(arg) = args.next() {
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--gen" => args.parsed("--gen").map(|v| gen = v),
+            "--sinks" => args.parsed("--sinks").map(|v| sinks = v),
+            "--seed" => args.parsed("--seed").map(|v| seed = v),
+            "--addr" => args.value_for("--addr").map(|v| addr = Some(v)),
+            "--data-dir" => args.value_for("--data-dir").map(|v| data_dir = v.into()),
+            "--start-id" => args.parsed("--start-id").map(|v| start_id = v),
+            "--deadline-ms" => args.parsed("--deadline-ms").map(|v| deadline_ms = Some(v)),
+            "--no-wait" => {
+                wait = false;
+                Ok(())
+            }
+            "--latency-json" => args
+                .value_for("--latency-json")
+                .map(|v| latency_json = Some(v.into())),
+            "--connect-timeout-ms" => args
+                .parsed("--connect-timeout-ms")
+                .map(|v: u64| connect_timeout = Duration::from_millis(v)),
+            other if !other.starts_with("--") => {
+                files.push(other.to_owned());
+                Ok(())
+            }
+            other => Err(format!("unknown submit flag {other}")),
+        };
+        if let Err(e) = parsed {
+            return fail(e);
+        }
+    }
+    let nets = match build_nets(&files, gen, sinks, seed, &tech) {
+        Ok(nets) => nets,
+        Err(e) => return fail(e),
+    };
+    let addr = match resolve_addr(addr, &data_dir) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let mut client = match merlin_server::Client::connect(&addr, connect_timeout) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("cannot connect to {addr}: {e}")),
+    };
+    let mut latencies_ms: Vec<u64> = Vec::new();
+    let mut terminal = 0usize;
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for (i, net) in nets.iter().enumerate() {
+        let id = start_id + i as u64;
+        let line = merlin_server::client::submit_line(id, &io::write_net(net), deadline_ms, wait);
+        let sent = std::time::Instant::now();
+        let raw = match client.request(&line) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("job {id}: {e}")),
+        };
+        let elapsed_ms = u64::try_from(sent.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let response = match merlin_server::json::parse(&raw) {
+            Ok(v) => v,
+            Err(e) => return fail(format!("job {id}: unparseable response `{raw}`: {e}")),
+        };
+        let kind = response
+            .get("type")
+            .and_then(merlin_server::json::Json::as_str)
+            .unwrap_or("?");
+        match kind {
+            "done" => {
+                terminal += 1;
+                if wait {
+                    latencies_ms.push(elapsed_ms);
+                }
+                let (status, tier) = response
+                    .get("record")
+                    .map(|r| {
+                        (
+                            r.get("status")
+                                .and_then(merlin_server::json::Json::as_str)
+                                .unwrap_or("?")
+                                .to_owned(),
+                            r.get("tier")
+                                .and_then(merlin_server::json::Json::as_str)
+                                .unwrap_or("?")
+                                .to_owned(),
+                        )
+                    })
+                    .unwrap_or_else(|| ("?".to_owned(), "?".to_owned()));
+                println!("job {id}: done {status} ({tier}) in {elapsed_ms} ms");
+            }
+            "accepted" => {
+                accepted += 1;
+                println!("job {id}: accepted");
+            }
+            "overloaded" => {
+                rejected += 1;
+                let hint = response
+                    .get("retry_after_ms")
+                    .and_then(merlin_server::json::Json::as_u64)
+                    .unwrap_or(0);
+                println!("job {id}: overloaded (retry after {hint} ms)");
+            }
+            "deadline-exceeded" => {
+                rejected += 1;
+                terminal += 1;
+                println!("job {id}: deadline-exceeded");
+            }
+            other => {
+                rejected += 1;
+                println!("job {id}: {other}: {raw}");
+            }
+        }
+    }
+    eprintln!(
+        "submit: {} jobs, {terminal} terminal, {accepted} accepted, {rejected} rejected",
+        nets.len()
+    );
+    if let Some(path) = latency_json {
+        latencies_ms.sort_unstable();
+        let pick = |q: f64| -> u64 {
+            if latencies_ms.is_empty() {
+                return 0;
+            }
+            // Nearest-rank percentile over the sorted sample.
+            let rank =
+                ((q * latencies_ms.len() as f64).ceil() as usize).clamp(1, latencies_ms.len());
+            latencies_ms[rank - 1]
+        };
+        let body = format!(
+            "{{\"n\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}\n",
+            latencies_ms.len(),
+            pick(0.50),
+            pick(0.99)
+        );
+        if let Err(e) = std::fs::write(&path, body) {
+            return fail(format!("cannot write {}: {e}", path.display()));
+        }
+    }
+    if rejected == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_status(mut args: Args) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut data_dir = PathBuf::from("merlin-server-data");
+    let mut id: Option<u64> = None;
+    let mut want_report = false;
+    let mut report_path: Option<PathBuf> = None;
+    let mut svg_id: Option<u64> = None;
+    let mut svg_out: Option<PathBuf> = None;
+    let mut want_stats = false;
+    let mut want_drain = false;
+    while let Some(arg) = args.next() {
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--addr" => args.value_for("--addr").map(|v| addr = Some(v)),
+            "--data-dir" => args.value_for("--data-dir").map(|v| data_dir = v.into()),
+            "--id" => args.parsed("--id").map(|v| id = Some(v)),
+            "--report" => {
+                want_report = true;
+                // Optional value: a following non-flag token is the path.
+                if let Some(next) = args.args.get(args.pos) {
+                    if !next.starts_with("--") {
+                        report_path = Some(next.clone().into());
+                        args.pos += 1;
+                    }
+                }
+                Ok(())
+            }
+            "--svg-id" => args.parsed("--svg-id").and_then(|v| {
+                svg_id = Some(v);
+                args.value_for("--svg-id PATH")
+                    .map(|p| svg_out = Some(p.into()))
+            }),
+            "--stats" => {
+                want_stats = true;
+                Ok(())
+            }
+            "--drain" => {
+                want_drain = true;
+                Ok(())
+            }
+            other => Err(format!("unknown status flag {other}")),
+        };
+        if let Err(e) = parsed {
+            return fail(e);
+        }
+    }
+    let addr = match resolve_addr(addr, &data_dir) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let mut client = match merlin_server::Client::connect(&addr, Duration::from_millis(30_000)) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("cannot connect to {addr}: {e}")),
+    };
+    let mut run = |line: String| -> Result<merlin_server::json::Json, String> {
+        let raw = client.request(&line).map_err(|e| e.to_string())?;
+        merlin_server::json::parse(&raw).map_err(|e| format!("unparseable response `{raw}`: {e}"))
+    };
+    if let Some(id) = id {
+        match run(merlin_server::client::status_line(id)) {
+            Ok(v) => println!("{}", v.render()),
+            Err(e) => return fail(e),
+        }
+    }
+    if want_report {
+        let report = match run(merlin_server::client::report_line()) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
+        let Some(text) = report
+            .get("text")
+            .and_then(merlin_server::json::Json::as_str)
+        else {
+            return fail(format!("report request failed: {}", report.render()));
+        };
+        match &report_path {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, text) {
+                    return fail(format!("cannot write {}: {e}", path.display()));
+                }
+            }
+            None => print!("{text}"),
+        }
+    }
+    if let Some(svg_id) = svg_id {
+        let Some(out) = svg_out else {
+            return fail("--svg-id needs an output PATH");
+        };
+        let svg = match run(merlin_server::client::svg_line(svg_id)) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
+        let Some(body) = svg.get("svg").and_then(merlin_server::json::Json::as_str) else {
+            return fail(format!("svg request failed: {}", svg.render()));
+        };
+        if let Err(e) = std::fs::write(&out, body) {
+            return fail(format!("cannot write {}: {e}", out.display()));
+        }
+        println!("svg written to {}", out.display());
+    }
+    if want_drain {
+        match run(merlin_server::client::drain_line()) {
+            Ok(v) => println!("{}", v.render()),
+            Err(e) => return fail(e),
+        }
+    }
+    if want_stats || (id.is_none() && !want_report && svg_id.is_none() && !want_drain) {
+        match run(merlin_server::client::stats_line()) {
+            Ok(v) => println!("{}", v.render()),
+            Err(e) => return fail(e),
+        }
+    }
+    ExitCode::SUCCESS
 }
