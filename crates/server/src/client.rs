@@ -54,6 +54,20 @@ impl Client {
         }
         Ok(response)
     }
+
+    /// Reads one line without sending anything — the receive half of a
+    /// `watch` stream. Returns `None` on EOF (the server drained).
+    pub fn read_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
 }
 
 /// Builds a `submit` request line.
@@ -88,6 +102,21 @@ pub fn svg_line(id: u64) -> String {
 /// Builds a `stats` request line.
 pub fn stats_line() -> String {
     obj(vec![("cmd", s("stats"))]).render()
+}
+
+/// Builds a `metrics` request line.
+pub fn metrics_line() -> String {
+    obj(vec![("cmd", s("metrics"))]).render()
+}
+
+/// Builds a `watch` request line.
+pub fn watch_line() -> String {
+    obj(vec![("cmd", s("watch"))]).render()
+}
+
+/// Builds a `trace` request line.
+pub fn trace_line(id: u64) -> String {
+    obj(vec![("cmd", s("trace")), ("id", n(id))]).render()
 }
 
 /// Builds a `drain` request line.
@@ -126,6 +155,18 @@ mod tests {
         assert_eq!(
             Request::parse_line(&stats_line()).expect("parse"),
             Request::Stats
+        );
+        assert_eq!(
+            Request::parse_line(&metrics_line()).expect("parse"),
+            Request::Metrics
+        );
+        assert_eq!(
+            Request::parse_line(&watch_line()).expect("parse"),
+            Request::Watch
+        );
+        assert_eq!(
+            Request::parse_line(&trace_line(9)).expect("parse"),
+            Request::Trace { id: 9 }
         );
         assert_eq!(
             Request::parse_line(&drain_line()).expect("parse"),

@@ -21,6 +21,7 @@ pub mod intake;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use admission::{entry_floor, pressure, retry_after_ms, Pressure, HIGH_WATERMARK};
 pub use client::Client;
@@ -30,3 +31,4 @@ pub use protocol::Request;
 pub use server::{
     run_server, ServeSummary, ServerConfig, ServerError, ADDR_FILE, INTAKE_FILE, JOURNAL_FILE,
 };
+pub use telemetry::{JobEvent, Subscriber, Telemetry, DEFAULT_WATCH_BUFFER};

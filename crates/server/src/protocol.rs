@@ -32,6 +32,12 @@ pub enum Request {
     Svg { id: u64 },
     /// Server-level statistics (queue depth, pressure, counters).
     Stats,
+    /// One-shot Prometheus-style metrics exposition snapshot.
+    Metrics,
+    /// Subscribe this connection to the job-lifecycle event stream.
+    Watch,
+    /// Fetch a captured per-job trace (requires `--capture-traces`).
+    Trace { id: u64 },
     /// Begin graceful drain, as if SIGTERM had arrived.
     Drain,
 }
@@ -69,6 +75,9 @@ impl Request {
             "report" => Ok(Request::Report),
             "svg" => Ok(Request::Svg { id: id()? }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "watch" => Ok(Request::Watch),
+            "trace" => Ok(Request::Trace { id: id()? }),
             "drain" => Ok(Request::Drain),
             other => Err(format!("unknown cmd `{other}`")),
         }
@@ -206,6 +215,65 @@ pub fn resp_stats(
     .render()
 }
 
+/// `metrics`: the Prometheus-style text exposition snapshot.
+pub fn resp_metrics(text: &str) -> String {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("metrics")),
+        ("text", s(text)),
+    ])
+    .render()
+}
+
+/// `watch`: subscription acknowledgment, sent before the event stream
+/// begins; `buffer` is the per-subscriber queue bound.
+pub fn resp_watch_ack(buffer: usize) -> String {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("watch")),
+        ("buffer", n(buffer as u64)),
+    ])
+    .render()
+}
+
+/// `trace`: a captured per-job trace, as JSONL text.
+pub fn resp_trace(id: u64, jsonl: &str) -> String {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("trace")),
+        ("id", n(id)),
+        ("jsonl", s(jsonl)),
+    ])
+    .render()
+}
+
+/// `event`: one job-lifecycle event on a `watch` stream. `seq` is
+/// strictly increasing per server; `extra` carries event-specific
+/// fields (queue depth, tier, service time, rejection reason, …).
+pub fn event_line(seq: u64, event: &str, id: u64, extra: Vec<(&'static str, Json)>) -> String {
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("event")),
+        ("seq", n(seq)),
+        ("event", s(event)),
+        ("id", n(id)),
+    ];
+    pairs.extend(extra);
+    obj(pairs).render()
+}
+
+/// `watch-dropped`: interleaved into a watch stream when the writer
+/// notices its subscriber queue overflowed; `dropped` is the
+/// subscriber's cumulative drop count.
+pub fn watch_dropped_line(dropped: u64) -> String {
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("type", s("watch-dropped")),
+        ("dropped", n(dropped)),
+    ])
+    .render()
+}
+
 /// `drain`: acknowledgment that graceful drain has begun.
 pub fn resp_drain_ack() -> String {
     obj(vec![("ok", Json::Bool(true)), ("type", s("drain"))]).render()
@@ -255,6 +323,34 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_requests_parse() {
+        assert_eq!(
+            Request::parse_line(r#"{"cmd":"metrics"}"#).expect("parse"),
+            Request::Metrics
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"cmd":"watch"}"#).expect("parse"),
+            Request::Watch
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"cmd":"trace","id":8}"#).expect("parse"),
+            Request::Trace { id: 8 }
+        );
+        assert!(Request::parse_line(r#"{"cmd":"trace"}"#).is_err());
+    }
+
+    #[test]
+    fn event_lines_carry_seq_event_and_extras() {
+        let line = event_line(41, "tier", 7, vec![("tier", s("merlin"))]);
+        let value = crate::json::parse(&line).expect("parses");
+        assert_eq!(value.get("type").and_then(Json::as_str), Some("event"));
+        assert_eq!(value.get("seq").and_then(Json::as_u64), Some(41));
+        assert_eq!(value.get("event").and_then(Json::as_str), Some("tier"));
+        assert_eq!(value.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(value.get("tier").and_then(Json::as_str), Some("merlin"));
+    }
+
+    #[test]
     fn malformed_requests_are_typed_errors() {
         assert!(Request::parse_line("not json").is_err());
         assert!(Request::parse_line(r#"{"id":1}"#).is_err());
@@ -287,6 +383,11 @@ mod tests {
             resp_report("nets: 1\n"),
             resp_svg(2, "<svg/>"),
             resp_stats(0, 8, "normal", 4, 4, 1, 0, 2, false),
+            resp_metrics("# TYPE merlin_x counter\nmerlin_x 1\n"),
+            resp_watch_ack(256),
+            resp_trace(3, "{\"name\":\"s\"}\n"),
+            event_line(9, "done", 3, vec![("service_ms", n(12))]),
+            watch_dropped_line(4),
             resp_drain_ack(),
             resp_error("nope"),
         ] {

@@ -41,13 +41,16 @@ use merlin_supervisor::{
 };
 use merlin_tech::Technology;
 
-use crate::admission::{entry_floor, pressure, retry_after_ms};
+use crate::admission::{entry_floor, pressure, retry_after_ms, Pressure};
 use crate::deadline::{charge_queue_wait, effective_budget_ms};
 use crate::intake::{load_intake, IntakeWriter};
+use crate::json::{n, s};
 use crate::protocol::{
     resp_accepted, resp_deadline_exceeded, resp_done, resp_drain_ack, resp_draining, resp_error,
-    resp_overloaded, resp_report, resp_stats, resp_status, resp_svg, Request,
+    resp_metrics, resp_overloaded, resp_report, resp_stats, resp_status, resp_svg, resp_trace,
+    resp_watch_ack, watch_dropped_line, Request,
 };
+use crate::telemetry::{JobEvent, Telemetry, DEFAULT_WATCH_BUFFER};
 
 /// Filename of the outcome journal inside the data directory.
 pub const JOURNAL_FILE: &str = "server.journal";
@@ -75,6 +78,13 @@ pub struct ServerConfig {
     pub batch: BatchConfig,
     /// Seed for retry-after hints before any job has completed.
     pub default_service_ms: u64,
+    /// Retain the last N per-job trace captures for the `trace`
+    /// command (0 disables capture entirely).
+    pub capture_traces: usize,
+    /// Bound on each `watch` subscriber's event queue; a subscriber
+    /// past this bound loses oldest events (counted) instead of
+    /// stalling the solve path.
+    pub watch_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +95,8 @@ impl Default for ServerConfig {
             capacity: 64,
             batch: BatchConfig::default(),
             default_service_ms: 500,
+            capture_traces: 0,
+            watch_buffer: DEFAULT_WATCH_BUFFER,
         }
     }
 }
@@ -175,6 +187,17 @@ struct Shared {
     tech: Technology,
     journal: Mutex<JournalWriter>,
     intake: Mutex<IntakeWriter>,
+    telemetry: Telemetry,
+}
+
+/// The numeric form of a pressure level, for the
+/// `server.metrics.pressure` gauge.
+fn pressure_level(p: Pressure) -> u64 {
+    match p {
+        Pressure::Normal => 0,
+        Pressure::High => 1,
+        Pressure::Critical => 2,
+    }
 }
 
 fn ms_u64(d: Duration) -> u64 {
@@ -247,6 +270,19 @@ fn worker(shared: &Arc<Shared>) {
             }
         };
 
+        // Dequeue-side depth sample: the admission-side sample alone
+        // would make the queue histogram blind to drain-down.
+        merlin_trace::observe("server.queue", depth_after as u64);
+        let level = pressure(depth_after, shared.cfg.capacity);
+        shared
+            .telemetry
+            .sample_queue(depth_after, pressure_level(level));
+        shared.telemetry.publish(
+            JobEvent::Started,
+            idx,
+            vec![("queue_depth", n(depth_after as u64))],
+        );
+
         let wait = enqueued.elapsed();
         merlin_trace::observe("server.queue.wait_ms", ms_u64(wait));
         let decision = charge_queue_wait(deadline_ms, wait);
@@ -269,7 +305,6 @@ fn worker(shared: &Arc<Shared>) {
                 )
             }
             Some(budget_override) => {
-                let level = pressure(depth_after, shared.cfg.capacity);
                 let floor = entry_floor(level);
                 if floor.is_some() {
                     merlin_trace::counter("server.shed", 1);
@@ -278,15 +313,53 @@ fn worker(shared: &Arc<Shared>) {
                     entry_floor: floor,
                     budget_ms: budget_override,
                 };
+                // Retries surface as events through the backoff hook the
+                // ladder already calls between attempts.
+                let telemetry = &shared.telemetry;
+                let mut backoff = |d: Duration| {
+                    telemetry.publish(JobEvent::Retried, idx, vec![]);
+                    std::thread::sleep(d);
+                };
+                // Opt-in per-job capture: collect this solve's events
+                // into a private trace, preserving whatever the thread
+                // had already collected (e.g. serve-session stats).
+                let capture = telemetry.capture_traces > 0;
+                let was_enabled = merlin_trace::is_enabled();
+                let pre = if capture {
+                    if !was_enabled {
+                        merlin_trace::enable();
+                    }
+                    Some(merlin_trace::drain())
+                } else {
+                    None
+                };
                 let outcome = solve_to_record(
                     &net,
                     &shared.tech,
                     &shared.cfg.batch,
                     idx,
                     &opts,
-                    &mut std::thread::sleep,
+                    &mut backoff,
                 );
+                if capture {
+                    let captured = merlin_trace::drain();
+                    if let Some(pre) = pre {
+                        merlin_trace::absorb(pre);
+                    }
+                    if !was_enabled {
+                        merlin_trace::disable();
+                    }
+                    telemetry.store_trace(idx, merlin_trace::TraceSet::single("worker", captured));
+                }
                 merlin_trace::counter("server.solve", 1);
+                telemetry.publish(
+                    JobEvent::Tier,
+                    idx,
+                    vec![("tier", s(outcome.record.tier.label()))],
+                );
+                if outcome.record.status == RecordStatus::Served {
+                    telemetry.record_served_tier(outcome.record.tier);
+                }
                 // The daemon never runs the post-batch minimization pass
                 // (it has no "after the batch"); the verbatim artifact,
                 // if artifacts are on, is already written.
@@ -317,6 +390,7 @@ fn worker(shared: &Arc<Shared>) {
         }
 
         let service_ms = ms_u64(enqueued.elapsed()).saturating_sub(ms_u64(wait));
+        let (status_label, tier_label) = (record.status.label(), record.tier.label());
         {
             let mut inner = lock_inner(shared);
             let deadline_failed =
@@ -335,6 +409,16 @@ fn worker(shared: &Arc<Shared>) {
             }
             shared.done_cv.notify_all();
         }
+        shared.telemetry.record_service(service_ms);
+        shared.telemetry.publish(
+            JobEvent::Done,
+            idx,
+            vec![
+                ("status", s(status_label)),
+                ("tier", s(tier_label)),
+                ("service_ms", n(service_ms)),
+            ],
+        );
     }
 }
 
@@ -355,12 +439,18 @@ fn handle_submit(
         // never polluted with unservable work.
         merlin_trace::counter("server.reject.deadline", 1);
         lock_inner(shared).stats.rejected_deadline += 1;
+        shared
+            .telemetry
+            .publish(JobEvent::Rejected, id, vec![("reason", s("deadline"))]);
         return resp_deadline_exceeded(id, 0);
     }
     let submitted = Instant::now();
     {
         let mut inner = lock_inner(shared);
         if inner.draining {
+            shared
+                .telemetry
+                .publish(JobEvent::Rejected, id, vec![("reason", s("draining"))]);
             return resp_draining();
         }
         if !inner.jobs.contains_key(&id) {
@@ -368,6 +458,9 @@ fn handle_submit(
             if fault::trip("server.queue") || depth >= shared.cfg.capacity {
                 inner.stats.rejected_overloaded += 1;
                 merlin_trace::counter("server.reject.overloaded", 1);
+                shared
+                    .telemetry
+                    .publish(JobEvent::Rejected, id, vec![("reason", s("overloaded"))]);
                 let hint = retry_after_ms(
                     depth,
                     shared.cfg.batch.jobs.max(1),
@@ -401,7 +494,17 @@ fn handle_submit(
             inner.queue.push_back(id);
             inner.stats.admitted += 1;
             merlin_trace::counter("server.submit", 1);
-            merlin_trace::observe("server.queue", inner.queue.len() as u64);
+            let depth_now = inner.queue.len();
+            merlin_trace::observe("server.queue", depth_now as u64);
+            shared.telemetry.sample_queue(
+                depth_now,
+                pressure_level(pressure(depth_now, shared.cfg.capacity)),
+            );
+            shared.telemetry.publish(
+                JobEvent::Queued,
+                id,
+                vec![("queue_depth", n(depth_now as u64))],
+            );
             shared.work_cv.notify_one();
         }
         // Known id: fall through. Done jobs answer immediately; queued
@@ -443,11 +546,7 @@ fn handle_submit(
     }
 }
 
-fn handle_request(shared: &Arc<Shared>, line: &str) -> String {
-    let request = match Request::parse_line(line) {
-        Ok(r) => r,
-        Err(e) => return resp_error(&e),
-    };
+fn handle_request(shared: &Arc<Shared>, request: Request) -> String {
     match request {
         Request::Submit {
             id,
@@ -498,11 +597,96 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> String {
                 inner.draining || drain_requested(),
             )
         }
+        Request::Metrics => {
+            // Refresh the read-time gauges so the exposition reflects
+            // the queue and the rolling service windows *now*, not the
+            // last solve-path sample.
+            let depth = lock_inner(shared).queue.len();
+            shared
+                .telemetry
+                .set_queue_gauges(depth, pressure_level(pressure(depth, shared.cfg.capacity)));
+            shared.telemetry.refresh_service_quantiles();
+            let snapshot = merlin_trace::registry::snapshot();
+            resp_metrics(&merlin_trace::registry::expose(&snapshot))
+        }
+        Request::Trace { id } => {
+            if shared.telemetry.capture_traces == 0 {
+                return resp_error(
+                    "trace capture is disabled; start the server with --capture-traces N",
+                );
+            }
+            match shared.telemetry.get_trace(id) {
+                Some(set) => resp_trace(id, &merlin_trace::export::jsonl(&set)),
+                None => resp_error(
+                    "no captured trace for this job id (not solved by this incarnation, \
+                     or evicted from the capture window)",
+                ),
+            }
+        }
+        // Watch is intercepted in `handle_conn` (it turns the whole
+        // connection into an event stream); reaching here means a
+        // protocol misuse worth a typed error.
+        Request::Watch => resp_error("watch cannot follow another command on this connection"),
         Request::Drain => {
             merlin_supervisor::request_drain();
             resp_drain_ack()
         }
     }
+}
+
+/// Turns a connection into an event stream: ack, subscribe, then write
+/// batches until the subscriber closes (drain) or the socket dies. The
+/// subscriber's bounded queue absorbs bursts; this thread blocking on a
+/// slow socket can therefore never back-pressure a worker.
+fn serve_watch(shared: &Arc<Shared>, writer: &mut TcpStream) {
+    let sub = shared.telemetry.subscribe();
+    let ack = resp_watch_ack(shared.cfg.watch_buffer);
+    if writer
+        .write_all(ack.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_err()
+    {
+        shared.telemetry.unsubscribe(&sub);
+        return;
+    }
+    // Chaos site: a `server.watch` stall freezes this writer while
+    // workers keep publishing, forcing the bounded queue to overflow.
+    let _ = fault::trip("server.watch");
+    let mut reported_dropped = 0u64;
+    loop {
+        let batch = sub.wait_batch(POLL);
+        for line in &batch.lines {
+            if writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .is_err()
+            {
+                shared.telemetry.unsubscribe(&sub);
+                return;
+            }
+        }
+        if batch.dropped > reported_dropped {
+            reported_dropped = batch.dropped;
+            let notice = watch_dropped_line(batch.dropped);
+            if writer
+                .write_all(notice.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .is_err()
+            {
+                shared.telemetry.unsubscribe(&sub);
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            shared.telemetry.unsubscribe(&sub);
+            return;
+        }
+        if batch.closed && batch.lines.is_empty() {
+            break;
+        }
+    }
+    shared.telemetry.unsubscribe(&sub);
 }
 
 fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
@@ -520,7 +704,28 @@ fn handle_conn(shared: Arc<Shared>, stream: TcpStream) {
         if line.trim().is_empty() {
             continue;
         }
-        let response = handle_request(&shared, &line);
+        let request = match Request::parse_line(&line) {
+            Ok(Request::Watch) => {
+                // The connection becomes a dedicated event stream; it
+                // never goes back to request/response.
+                serve_watch(&shared, &mut writer);
+                return;
+            }
+            Ok(request) => request,
+            Err(e) => {
+                let response = resp_error(&e);
+                if writer
+                    .write_all(response.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = handle_request(&shared, request);
         if writer
             .write_all(response.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -543,6 +748,11 @@ fn io_err(context: &str, error: std::io::Error) -> ServerError {
 /// drain finishes; the typical caller is `merlin_cli serve`.
 pub fn run_server(cfg: ServerConfig, tech: &Technology) -> Result<ServeSummary, ServerError> {
     fault::seed_thread(&cfg.batch.fault);
+    // The daemon is the registry's exporter: flip the process-global
+    // gate so the sharded cells start recording. Batch binaries never
+    // activate it, which is what keeps their publish sites at one
+    // relaxed load.
+    merlin_trace::registry::set_active(true);
     std::fs::create_dir_all(&cfg.data_dir)
         .map_err(|e| io_err(&format!("cannot create {}", cfg.data_dir.display()), e))?;
     let journal_path = cfg.data_dir.join(JOURNAL_FILE);
@@ -625,6 +835,7 @@ pub fn run_server(cfg: ServerConfig, tech: &Technology) -> Result<ServeSummary, 
         }),
         work_cv: Condvar::new(),
         done_cv: Condvar::new(),
+        telemetry: Telemetry::new(cfg.capture_traces, cfg.watch_buffer),
         cfg,
         tech: tech.clone(),
         journal: Mutex::new(journal),
@@ -706,6 +917,10 @@ pub fn run_server(cfg: ServerConfig, tech: &Technology) -> Result<ServeSummary, 
     for handle in workers {
         let _ = handle.join();
     }
+    // Every terminal event is published by now; closing the
+    // subscribers lets watch writers flush their queues and EOF their
+    // clients before the process exits.
+    shared.telemetry.close_subscribers();
     let summary = {
         let inner = lock_inner(&shared);
         // Wake wait-mode clients so they observe drain before we exit.

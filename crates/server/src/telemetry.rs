@@ -1,0 +1,555 @@
+//! The daemon's live telemetry plane: registry metrics, streaming job
+//! events, and the per-job trace LRU.
+//!
+//! Everything here is **ephemeral by design** — nothing telemetry holds
+//! is ever written to the intake or outcome journals, so crash-recovery
+//! byte-identity is untouched. The three surfaces:
+//!
+//! - **Metrics** ([`merlin_trace::registry`]): queue depth/pressure
+//!   gauges, per-tier serve counters, lifecycle event counters, and the
+//!   all-time service-time histogram. Rolling p50/p99 gauges are
+//!   derived on demand from a fixed ring of per-minute windows
+//!   ([`Telemetry::refresh_service_quantiles`]).
+//! - **Events** ([`Telemetry::publish`]): typed job-lifecycle events
+//!   fanned out to `watch` subscribers. Each subscriber owns a bounded
+//!   queue that drops-oldest when full and counts the drops — a stalled
+//!   watcher loses events, never stalls a worker. Sequence numbers are
+//!   assigned under the fan-out lock, so every subscriber observes them
+//!   strictly increasing.
+//! - **Traces** ([`Telemetry::store_trace`]): an LRU of the last N
+//!   per-job [`TraceSet`]s, populated only when the daemon runs with
+//!   `--capture-traces N`.
+//!
+//! Cost when idle: event counters go through the registry's
+//! one-relaxed-load-when-dormant fast path, and event *lines* are only
+//! built when at least one subscriber is attached
+//! ([`Telemetry::has_subscribers`] is a single relaxed load).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use merlin_trace::registry::{self, Counter, Gauge, Histogram};
+use merlin_trace::{Hist, TraceSet};
+
+use crate::json::Json;
+use crate::protocol::event_line;
+
+/// Number of one-minute service-time windows in the rolling ring.
+pub const SERVICE_WINDOWS: usize = 15;
+
+/// Default bound on a watch subscriber's event queue.
+pub const DEFAULT_WATCH_BUFFER: usize = 256;
+
+/// A job-lifecycle event kind, as streamed to `watch` subscribers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobEvent {
+    /// Admitted and enqueued.
+    Queued,
+    /// Dequeued by a worker; solving starts now.
+    Started,
+    /// One solve attempt failed and the ladder is backing off.
+    Retried,
+    /// The degradation ladder settled on a serving tier.
+    Tier,
+    /// Terminal: the outcome record is journaled.
+    Done,
+    /// Refused admission (overload, dead-on-arrival deadline, drain).
+    Rejected,
+}
+
+impl JobEvent {
+    /// The `event` field value on the wire.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobEvent::Queued => "queued",
+            JobEvent::Started => "started",
+            JobEvent::Retried => "retried",
+            JobEvent::Tier => "tier",
+            JobEvent::Done => "done",
+            JobEvent::Rejected => "rejected",
+        }
+    }
+}
+
+struct SubState {
+    queue: VecDeque<String>,
+    dropped: u64,
+    closed: bool,
+}
+
+/// One `watch` connection's bounded event queue.
+pub struct Subscriber {
+    state: Mutex<SubState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+/// What [`Subscriber::wait_batch`] hands the writer thread.
+pub struct Batch {
+    /// Drained event lines, oldest first.
+    pub lines: Vec<String>,
+    /// Total events dropped from this subscriber's queue so far.
+    pub dropped: u64,
+    /// Whether the subscriber was closed (drain or write failure).
+    pub closed: bool,
+}
+
+impl Subscriber {
+    fn new(capacity: usize) -> Self {
+        Subscriber {
+            state: Mutex::new(SubState {
+                queue: VecDeque::new(),
+                dropped: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SubState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Enqueue one line, dropping the oldest when full. Returns how many
+    /// events were dropped to make room (0 or 1).
+    fn push(&self, line: &str) -> u64 {
+        let mut st = self.lock();
+        if st.closed {
+            return 0;
+        }
+        let mut dropped = 0;
+        if st.queue.len() >= self.capacity {
+            st.queue.pop_front();
+            st.dropped += 1;
+            dropped = 1;
+        }
+        st.queue.push_back(line.to_owned());
+        drop(st);
+        self.cv.notify_one();
+        dropped
+    }
+
+    /// Blocks until events arrive, the subscriber closes, or `poll`
+    /// elapses; drains whatever is queued.
+    pub fn wait_batch(&self, poll: Duration) -> Batch {
+        let mut st = self.lock();
+        if st.queue.is_empty() && !st.closed {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, poll)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        }
+        Batch {
+            lines: st.queue.drain(..).collect(),
+            dropped: st.dropped,
+            closed: st.closed,
+        }
+    }
+
+    /// Marks the subscriber closed (writer failure or drain); the writer
+    /// drains what is left and exits.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+/// Per-minute service-time windows; quantiles come from the merge of
+/// every window still inside the horizon.
+struct ServiceRing {
+    /// `(minute_stamp, hist)`; a slot is live when its stamp is within
+    /// [`SERVICE_WINDOWS`] minutes of now.
+    windows: Vec<(u64, Hist)>,
+}
+
+impl ServiceRing {
+    fn new() -> Self {
+        ServiceRing {
+            windows: vec![(u64::MAX, Hist::default()); SERVICE_WINDOWS],
+        }
+    }
+
+    fn record(&mut self, minute: u64, service_ms: u64) {
+        let slot = (minute as usize) % SERVICE_WINDOWS;
+        if self.windows[slot].0 != minute {
+            self.windows[slot] = (minute, Hist::default());
+        }
+        self.windows[slot].1.record(service_ms);
+    }
+
+    fn merged(&self, now_minute: u64) -> Hist {
+        let horizon = now_minute.saturating_sub(SERVICE_WINDOWS as u64 - 1);
+        let mut out = Hist::default();
+        for (stamp, hist) in &self.windows {
+            if *stamp != u64::MAX && (horizon..=now_minute).contains(stamp) {
+                out.merge(hist);
+            }
+        }
+        out
+    }
+}
+
+/// Most-recently-used cache of per-job trace captures.
+struct TraceLru {
+    cap: usize,
+    entries: VecDeque<(u64, TraceSet)>,
+}
+
+impl TraceLru {
+    fn put(&mut self, id: u64, set: TraceSet) {
+        if self.cap == 0 {
+            return;
+        }
+        self.entries.retain(|(have, _)| *have != id);
+        if self.entries.len() >= self.cap {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((id, set));
+    }
+
+    fn get(&mut self, id: u64) -> Option<TraceSet> {
+        let pos = self.entries.iter().position(|(have, _)| *have == id)?;
+        let entry = self.entries.remove(pos)?;
+        let set = entry.1.clone();
+        self.entries.push_back(entry);
+        Some(set)
+    }
+}
+
+/// Registry handles plus the event fan-out and trace LRU; one per
+/// server, shared by every worker and connection thread.
+pub struct Telemetry {
+    // Gauges and histograms sampled by the solve path.
+    queue_depth: Gauge,
+    queue_hist: Histogram,
+    pressure: Gauge,
+    service_ms: Histogram,
+    service_p50: Gauge,
+    service_p99: Gauge,
+    served: [Counter; 5],
+    // One counter per lifecycle event kind, plus the fan-out drop tally.
+    ev_queued: Counter,
+    ev_started: Counter,
+    ev_retried: Counter,
+    ev_tier: Counter,
+    ev_done: Counter,
+    ev_rejected: Counter,
+    ev_dropped: Counter,
+    seq: AtomicU64,
+    /// Mirror of `subs.len()`; the no-subscriber fast path is one
+    /// relaxed load, no lock.
+    nsubs: AtomicUsize,
+    subs: Mutex<Vec<Arc<Subscriber>>>,
+    ring: Mutex<ServiceRing>,
+    traces: Mutex<TraceLru>,
+    started: Instant,
+    /// How many job traces `--capture-traces` asked to retain (0 = off).
+    pub capture_traces: usize,
+    /// Per-subscriber event-queue bound.
+    pub watch_buffer: usize,
+}
+
+impl Telemetry {
+    /// Registers every metric and returns the shared handle set.
+    pub fn new(capture_traces: usize, watch_buffer: usize) -> Self {
+        Telemetry {
+            queue_depth: registry::gauge("server.metrics.queue.depth"),
+            queue_hist: registry::histogram("server.metrics.queue"),
+            pressure: registry::gauge("server.metrics.pressure"),
+            service_ms: registry::histogram("server.metrics.service_ms"),
+            service_p50: registry::gauge("server.metrics.service.p50_ms"),
+            service_p99: registry::gauge("server.metrics.service.p99_ms"),
+            served: [
+                registry::counter("server.metrics.served.merlin"),
+                registry::counter("server.metrics.served.single_pass"),
+                registry::counter("server.metrics.served.ptree_vg"),
+                registry::counter("server.metrics.served.lttree_ptree"),
+                registry::counter("server.metrics.served.direct"),
+            ],
+            ev_queued: registry::counter("server.events.queued"),
+            ev_started: registry::counter("server.events.started"),
+            ev_retried: registry::counter("server.events.retried"),
+            ev_tier: registry::counter("server.events.tier"),
+            ev_done: registry::counter("server.events.done"),
+            ev_rejected: registry::counter("server.events.rejected"),
+            ev_dropped: registry::counter("server.events.dropped"),
+            seq: AtomicU64::new(0),
+            nsubs: AtomicUsize::new(0),
+            subs: Mutex::new(Vec::new()),
+            ring: Mutex::new(ServiceRing::new()),
+            traces: Mutex::new(TraceLru {
+                cap: capture_traces,
+                entries: VecDeque::new(),
+            }),
+            started: Instant::now(),
+            capture_traces,
+            watch_buffer: watch_buffer.max(1),
+        }
+    }
+
+    fn lock_subs(&self) -> MutexGuard<'_, Vec<Arc<Subscriber>>> {
+        self.subs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Whether any `watch` subscriber is attached (one relaxed load).
+    #[inline]
+    pub fn has_subscribers(&self) -> bool {
+        self.nsubs.load(Ordering::Relaxed) != 0
+    }
+
+    /// Attach a new `watch` subscriber.
+    pub fn subscribe(&self) -> Arc<Subscriber> {
+        let sub = Arc::new(Subscriber::new(self.watch_buffer));
+        let mut subs = self.lock_subs();
+        subs.push(Arc::clone(&sub));
+        self.nsubs.store(subs.len(), Ordering::Relaxed);
+        sub
+    }
+
+    /// Detach a subscriber (its writer exited).
+    pub fn unsubscribe(&self, sub: &Arc<Subscriber>) {
+        sub.close();
+        let mut subs = self.lock_subs();
+        subs.retain(|have| !Arc::ptr_eq(have, sub));
+        self.nsubs.store(subs.len(), Ordering::Relaxed);
+    }
+
+    /// Close every subscriber (drain); writers flush and exit.
+    pub fn close_subscribers(&self) {
+        let subs = self.lock_subs();
+        for sub in subs.iter() {
+            sub.close();
+        }
+    }
+
+    fn event_counter(&self, event: JobEvent) -> &Counter {
+        match event {
+            JobEvent::Queued => &self.ev_queued,
+            JobEvent::Started => &self.ev_started,
+            JobEvent::Retried => &self.ev_retried,
+            JobEvent::Tier => &self.ev_tier,
+            JobEvent::Done => &self.ev_done,
+            JobEvent::Rejected => &self.ev_rejected,
+        }
+    }
+
+    /// Publish one lifecycle event: bump its counter, and — only when a
+    /// subscriber is attached — render the line once and fan it out.
+    /// Sequence numbers are assigned under the fan-out lock, so every
+    /// subscriber sees them strictly increasing.
+    pub fn publish(&self, event: JobEvent, id: u64, extra: Vec<(&'static str, Json)>) {
+        self.event_counter(event).inc();
+        if !self.has_subscribers() {
+            return;
+        }
+        let mut closed_any = false;
+        {
+            let subs = self.lock_subs();
+            if subs.is_empty() {
+                return;
+            }
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let line = event_line(seq, event.label(), id, extra);
+            let mut dropped = 0;
+            for sub in subs.iter() {
+                dropped += sub.push(&line);
+                closed_any |= sub.is_closed();
+            }
+            if dropped > 0 {
+                self.ev_dropped.add(dropped);
+            }
+        }
+        if closed_any {
+            let mut subs = self.lock_subs();
+            subs.retain(|sub| !sub.is_closed());
+            self.nsubs.store(subs.len(), Ordering::Relaxed);
+        }
+    }
+
+    /// Sample queue depth (admission and dequeue call this) and the
+    /// current pressure level (0 = normal, 1 = high, 2 = critical).
+    pub fn sample_queue(&self, depth: usize, pressure_level: u64) {
+        self.queue_hist.observe(depth as u64);
+        self.set_queue_gauges(depth, pressure_level);
+    }
+
+    /// Update the depth/pressure gauges without recording a histogram
+    /// sample — used at `metrics` read time, where an observation would
+    /// bias the depth distribution toward scrape moments.
+    pub fn set_queue_gauges(&self, depth: usize, pressure_level: u64) {
+        self.queue_depth.set(depth as u64);
+        self.pressure.set(pressure_level);
+    }
+
+    /// Record one completed job's service time into the all-time
+    /// histogram and the rolling ring.
+    pub fn record_service(&self, service_ms: u64) {
+        self.service_ms.observe(service_ms);
+        let minute = self.started.elapsed().as_secs() / 60;
+        self.ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .record(minute, service_ms);
+    }
+
+    /// Tally a served job against its tier's counter.
+    pub fn record_served_tier(&self, tier: merlin_resilience::ServingTier) {
+        use merlin_resilience::ServingTier as T;
+        let idx = match tier {
+            T::Merlin => 0,
+            T::SinglePass => 1,
+            T::PtreeVanGinneken => 2,
+            T::LttreePtree => 3,
+            T::DirectRoute => 4,
+        };
+        self.served[idx].inc();
+    }
+
+    /// Recompute the rolling p50/p99 service-time gauges from the live
+    /// windows. Called on each `metrics` request, just before the
+    /// snapshot, so the exposition reflects the ring at read time.
+    pub fn refresh_service_quantiles(&self) {
+        let minute = self.started.elapsed().as_secs() / 60;
+        let merged = self
+            .ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .merged(minute);
+        self.service_p50.set(merged.quantile(0.50));
+        self.service_p99.set(merged.quantile(0.99));
+    }
+
+    /// Retain one job's captured trace (no-op when capture is off).
+    pub fn store_trace(&self, id: u64, set: TraceSet) {
+        self.traces
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .put(id, set);
+    }
+
+    /// Fetch a captured trace, promoting it to most-recently-used.
+    pub fn get_trace(&self, id: u64) -> Option<TraceSet> {
+        self.traces
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_subscriber_drops_oldest_and_counts() {
+        let sub = Subscriber::new(2);
+        let mut dropped = 0;
+        for i in 0..5 {
+            dropped += sub.push(&format!("e{i}"));
+        }
+        assert_eq!(dropped, 3, "three pushes had to evict");
+        let batch = sub.wait_batch(Duration::from_millis(1));
+        assert_eq!(batch.lines, vec!["e3".to_owned(), "e4".to_owned()]);
+        assert_eq!(batch.dropped, 3);
+        assert!(!batch.closed);
+        // A closed subscriber rejects new events but hands back state.
+        sub.close();
+        assert_eq!(sub.push("late"), 0);
+        let last = sub.wait_batch(Duration::from_millis(1));
+        assert!(last.lines.is_empty());
+        assert!(last.closed);
+    }
+
+    #[test]
+    fn publish_fans_out_with_monotone_seq_and_drop_accounting() {
+        registry::set_active(true);
+        let tel = Telemetry::new(0, 4);
+        // No subscribers: counter-only fast path.
+        assert!(!tel.has_subscribers());
+        let done_before = tel.ev_done.total();
+        tel.publish(JobEvent::Done, 1, vec![]);
+        assert_eq!(tel.ev_done.total(), done_before + 1);
+
+        let fast = tel.subscribe();
+        let slow = tel.subscribe();
+        assert!(tel.has_subscribers());
+        for i in 0..10u64 {
+            tel.publish(JobEvent::Queued, i, vec![]);
+        }
+        // Both subscribers see in-order, strictly increasing seq; the
+        // bounded queue kept only the newest 4.
+        for sub in [&fast, &slow] {
+            let batch = sub.wait_batch(Duration::from_millis(1));
+            assert_eq!(batch.lines.len(), 4);
+            assert_eq!(batch.dropped, 6);
+            let seqs: Vec<u64> = batch
+                .lines
+                .iter()
+                .map(|l| {
+                    crate::json::parse(l)
+                        .expect("event line parses")
+                        .get("seq")
+                        .and_then(Json::as_u64)
+                        .expect("seq present")
+                })
+                .collect();
+            assert!(seqs.windows(2).all(|w| w[0] < w[1]), "monotone: {seqs:?}");
+        }
+        tel.unsubscribe(&fast);
+        tel.unsubscribe(&slow);
+        assert!(!tel.has_subscribers());
+    }
+
+    #[test]
+    fn service_ring_forgets_windows_outside_the_horizon() {
+        let mut ring = ServiceRing::new();
+        ring.record(0, 100);
+        ring.record(1, 200);
+        let near = ring.merged(1);
+        assert_eq!(near.count, 2);
+        // 20 minutes later the first two windows are out of horizon.
+        ring.record(20, 400);
+        let far = ring.merged(20);
+        assert_eq!(far.count, 1);
+        assert_eq!(far.min, 400);
+        // A slot is reused when its minute comes around again.
+        ring.record(SERVICE_WINDOWS as u64 * 3, 800);
+        let reused = ring.merged(SERVICE_WINDOWS as u64 * 3);
+        assert_eq!(reused.count, 1);
+        assert_eq!(reused.min, 800);
+    }
+
+    #[test]
+    fn trace_lru_evicts_least_recently_used() {
+        let mut lru = TraceLru {
+            cap: 2,
+            entries: VecDeque::new(),
+        };
+        lru.put(1, TraceSet::default());
+        lru.put(2, TraceSet::default());
+        assert!(lru.get(1).is_some(), "touch 1 so 2 is the LRU entry");
+        lru.put(3, TraceSet::default());
+        assert!(lru.get(2).is_none(), "2 was evicted");
+        assert!(lru.get(1).is_some());
+        assert!(lru.get(3).is_some());
+        // cap 0 stores nothing.
+        let mut off = TraceLru {
+            cap: 0,
+            entries: VecDeque::new(),
+        };
+        off.put(9, TraceSet::default());
+        assert!(off.get(9).is_none());
+    }
+}

@@ -14,7 +14,8 @@ use std::time::Duration;
 use merlin_netlist::bench_nets::random_net;
 use merlin_netlist::io as net_io;
 use merlin_server::client::{
-    drain_line, report_line, stats_line, status_line, submit_line, svg_line,
+    drain_line, metrics_line, report_line, stats_line, status_line, submit_line, svg_line,
+    trace_line, watch_line,
 };
 use merlin_server::json::{parse, Json};
 use merlin_server::{Client, ServeSummary, ServerConfig};
@@ -38,11 +39,14 @@ fn server_config(data_dir: PathBuf, capacity: usize) -> ServerConfig {
             ..BatchConfig::default()
         },
         default_service_ms: 100,
+        capture_traces: 4,
+        watch_buffer: 256,
     }
 }
 
-/// Starts a daemon on a free port and returns (client, join handle).
-fn start(cfg: ServerConfig) -> (Client, std::thread::JoinHandle<ServeSummary>) {
+/// Starts a daemon on a free port and returns (client, address,
+/// join handle).
+fn start(cfg: ServerConfig) -> (Client, String, std::thread::JoinHandle<ServeSummary>) {
     let data_dir = cfg.data_dir.clone();
     let tech = Technology::synthetic_035();
     let handle =
@@ -65,7 +69,7 @@ fn start(cfg: ServerConfig) -> (Client, std::thread::JoinHandle<ServeSummary>) {
         std::thread::sleep(Duration::from_millis(20));
     };
     let client = Client::connect(&addr, Duration::from_secs(10)).expect("connect");
-    (client, handle)
+    (client, addr, handle)
 }
 
 fn field<'a>(value: &'a Json, key: &str) -> &'a Json {
@@ -85,7 +89,14 @@ fn daemon_lifecycle_admission_drain_and_recovery() {
     // ---- Scenario A: fresh server; submit, dedup, deadlines, report,
     // drain. ----
     let dir = tempdir("lifecycle");
-    let (mut client, handle) = start(server_config(dir.clone(), 64));
+    let (mut client, addr, handle) = start(server_config(dir.clone(), 64));
+
+    // Attach a watch subscriber before any submit so the stream covers
+    // the full lifecycle of every job below.
+    let mut watcher = Client::connect(&addr, Duration::from_secs(10)).expect("watcher connect");
+    let ack = parse(&watcher.request(&watch_line()).expect("watch ack")).expect("ack parses");
+    assert_eq!(field(&ack, "type").as_str(), Some("watch"));
+    assert_eq!(field(&ack, "buffer").as_u64(), Some(256));
 
     let nets: Vec<_> = (0..3)
         .map(|i| random_net(&format!("svc{i}"), 5, 40 + i, &tech))
@@ -164,6 +175,46 @@ fn daemon_lifecycle_admission_drain_and_recovery() {
     assert!(text_a.contains("nets: 3"), "report:\n{text_a}");
     assert!(text_a.contains("lost: 0"), "report:\n{text_a}");
 
+    // Metrics exposition. The registry is process-global (scenarios in
+    // this process share it), so assert structure and lower bounds, not
+    // exact totals — check.sh pins exact values against a fresh daemon
+    // process.
+    let metrics = typed(&mut client, &metrics_line());
+    assert_eq!(field(&metrics, "type").as_str(), Some("metrics"));
+    let expo = field(&metrics, "text").as_str().expect("text").to_string();
+    assert!(
+        expo.contains("# TYPE merlin_server_events_done counter"),
+        "exposition:\n{expo}"
+    );
+    assert!(
+        expo.contains("# TYPE merlin_server_metrics_queue histogram"),
+        "exposition:\n{expo}"
+    );
+    assert!(
+        expo.contains("merlin_server_metrics_queue_bucket{le=\"+Inf\"}"),
+        "exposition:\n{expo}"
+    );
+    assert!(
+        expo.contains("merlin_server_metrics_service_ms_count"),
+        "exposition:\n{expo}"
+    );
+    let done_total = expo
+        .lines()
+        .find_map(|l| l.strip_prefix("merlin_server_events_done "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("done counter exposed");
+    assert!(done_total >= 3, "three jobs finished: {done_total}");
+
+    // Per-job trace capture: a solved job's trace is retrievable, an
+    // unknown id is a typed error.
+    let trace = typed(&mut client, &trace_line(0));
+    assert_eq!(field(&trace, "type").as_str(), Some("trace"));
+    let jsonl = field(&trace, "jsonl").as_str().expect("jsonl");
+    assert!(!jsonl.is_empty(), "captured trace has events");
+    assert!(jsonl.contains("\"name\""), "jsonl lines name events");
+    let missing_trace = typed(&mut client, &trace_line(999));
+    assert_eq!(field(&missing_trace, "type").as_str(), Some("error"));
+
     // Graceful drain over the protocol (same path as SIGTERM).
     let ack = typed(&mut client, &drain_line());
     assert_eq!(field(&ack, "type").as_str(), Some("drain"));
@@ -172,10 +223,44 @@ fn daemon_lifecycle_admission_drain_and_recovery() {
     assert_eq!(summary.completed, 3);
     assert!(summary.sealed, "clean drain seals the journal");
 
+    // The drained server closed the watch stream; read it to EOF and
+    // audit the event record: every admitted job queued, started, got a
+    // tier, and finished; sequence numbers strictly increase; the DOA
+    // submit surfaced as a rejection.
+    let mut events = Vec::new();
+    while let Some(line) = watcher.read_line().expect("watch stream") {
+        let value = parse(&line).unwrap_or_else(|e| panic!("bad event `{line}`: {e}"));
+        assert_eq!(field(&value, "type").as_str(), Some("event"));
+        events.push(value);
+    }
+    let seqs: Vec<u64> = events
+        .iter()
+        .map(|e| field(e, "seq").as_u64().expect("seq"))
+        .collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "seq must be strictly increasing: {seqs:?}"
+    );
+    let kind = |e: &Json| field(e, "event").as_str().expect("event").to_string();
+    let done_events: Vec<_> = events.iter().filter(|e| kind(e) == "done").collect();
+    assert_eq!(done_events.len(), 3, "one done event per solved job");
+    for done in &done_events {
+        assert!(field(done, "service_ms").as_u64().is_some());
+        assert_eq!(field(done, "status").as_str(), Some("served"));
+    }
+    for expected in ["queued", "started", "tier"] {
+        let count = events.iter().filter(|e| kind(e) == expected).count();
+        assert_eq!(count, 3, "three `{expected}` events: {events:?}");
+    }
+    let rejected: Vec<_> = events.iter().filter(|e| kind(e) == "rejected").collect();
+    assert_eq!(rejected.len(), 1, "the DOA deadline rejection");
+    assert_eq!(field(rejected[0], "id").as_u64(), Some(9));
+    assert_eq!(field(rejected[0], "reason").as_str(), Some("deadline"));
+
     // ---- Scenario B: restart over the same data dir; everything is
     // replayed, nothing re-solved, report is byte-identical. ----
     merlin_supervisor::proc::reset_drain_for_tests();
-    let (mut client, handle) = start(server_config(dir.clone(), 64));
+    let (mut client, _addr, handle) = start(server_config(dir.clone(), 64));
     let report_b = typed(&mut client, &report_line());
     let text_b = field(&report_b, "text").as_str().expect("text").to_string();
     assert_eq!(text_a, text_b, "restart must not change the report");
@@ -192,6 +277,10 @@ fn daemon_lifecycle_admission_drain_and_recovery() {
     );
     assert_eq!(field(&replay, "type").as_str(), Some("done"));
     assert_eq!(field(&replay, "replayed").as_bool(), Some(true));
+    // Traces are ephemeral per-incarnation state: the replayed job was
+    // never solved by this process, so its trace is gone.
+    let trace = typed(&mut client, &trace_line(0));
+    assert_eq!(field(&trace, "type").as_str(), Some("error"));
     let ack = typed(&mut client, &drain_line());
     assert_eq!(field(&ack, "type").as_str(), Some("drain"));
     handle.join().expect("server thread");
@@ -212,7 +301,7 @@ fn daemon_lifecycle_admission_drain_and_recovery() {
         // No outcome journal at all: the previous life died before its
         // first commit.
     }
-    let (mut client, handle) = start(server_config(crash_dir.clone(), 64));
+    let (mut client, _addr, handle) = start(server_config(crash_dir.clone(), 64));
     let status = typed(&mut client, &status_line(5));
     assert_eq!(
         field(&status, "type").as_str(),
@@ -229,7 +318,7 @@ fn daemon_lifecycle_admission_drain_and_recovery() {
     // the typed overloaded response and a sane retry hint. ----
     merlin_supervisor::proc::reset_drain_for_tests();
     let full_dir = tempdir("overload");
-    let (mut client, handle) = start(server_config(full_dir, 0));
+    let (mut client, _addr, handle) = start(server_config(full_dir, 0));
     let rejected = typed(
         &mut client,
         &submit_line(0, &net_io::write_net(&nets[0]), None, false),

@@ -61,6 +61,7 @@ use std::time::Instant;
 
 pub mod export;
 pub mod json;
+pub mod registry;
 pub mod report;
 pub mod wire;
 
@@ -156,6 +157,41 @@ impl Hist {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine = mine.saturating_add(*theirs);
         }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets.
+    ///
+    /// Uses the nearest-rank definition (`rank = ceil(q * count)`), walks
+    /// the buckets to the one containing that rank, and interpolates
+    /// linearly inside it. The bucket's value range is clamped to the
+    /// observed `[min, max]`, so a histogram whose observations all share
+    /// one bucket (or one value) reports exactly. Returns 0 on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut before = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if before.saturating_add(c) >= rank {
+                let lo = Self::bucket_floor(idx).max(self.min);
+                let hi_raw = if idx >= HIST_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    Self::bucket_floor(idx + 1).saturating_sub(1)
+                };
+                let hi = hi_raw.min(self.max).max(lo);
+                let pos = rank - before; // 1 ..= c
+                let span = (hi - lo) as u128;
+                return lo + (span * u128::from(pos) / u128::from(c)) as u64;
+            }
+            before = before.saturating_add(c);
+        }
+        self.max
     }
 
     /// `(bucket_index, count)` for every non-empty bucket, ascending.
@@ -655,6 +691,44 @@ mod tests {
         assert_eq!(h.min, 0);
         assert_eq!(h.max, 9);
         assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 1), (2, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_known_distributions() {
+        // Point mass: every quantile is the single observed value.
+        let mut mass = Hist::default();
+        for _ in 0..1000 {
+            mass.record(42);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(mass.quantile(q), 42);
+        }
+        // Two adjacent log2 buckets, exact nearest-rank answers.
+        let mut small = Hist::default();
+        for v in [4u64, 5, 6, 7, 8, 9, 10, 15] {
+            small.record(v);
+        }
+        assert_eq!(small.quantile(0.5), 7);
+        assert_eq!(small.quantile(0.9), 15);
+        assert_eq!(small.quantile(0.99), 15);
+        // Uniform 1..=1024: interpolation inside a full bucket recovers
+        // the exact nearest-rank value.
+        let mut uniform = Hist::default();
+        for v in 1..=1024u64 {
+            uniform.record(v);
+        }
+        assert_eq!(uniform.quantile(0.5), 512);
+        assert_eq!(uniform.quantile(0.99), 1014);
+        assert_eq!(uniform.quantile(1.0), 1024);
+        // Monotone in q, clamped to [min, max].
+        let mut prev = 0;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = uniform.quantile(q);
+            assert!(v >= prev, "quantiles are monotone");
+            assert!((uniform.min..=uniform.max).contains(&v));
+            prev = v;
+        }
+        assert_eq!(Hist::default().quantile(0.5), 0);
     }
 
     #[test]

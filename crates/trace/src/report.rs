@@ -81,8 +81,11 @@ impl AggregateReport {
     /// #merlin-trace-stats
     /// span  <name> calls=<n> total_ms=<x> self_ms=<x> max_ms=<x>
     /// counter <name> = <n>
-    /// hist  <name> count=<n> sum=<n> min=<n> max=<n>
+    /// hist  <name> count=<n> sum=<n> min=<n> max=<n> p50=<n> p90=<n> p99=<n>
     /// ```
+    ///
+    /// The `p50`/`p90`/`p99` figures are [`Hist::quantile`] estimates from
+    /// the log2 buckets, not exact order statistics.
     pub fn render(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(s, "#merlin-trace-stats");
@@ -111,12 +114,15 @@ impl AggregateReport {
         for (name, h) in &self.hists {
             let _ = writeln!(
                 s,
-                "hist    {:<width$} count={} sum={} min={} max={}",
+                "hist    {:<width$} count={} sum={} min={} max={} p50={} p90={} p99={}",
                 name,
                 h.count,
                 h.sum,
                 if h.count == 0 { 0 } else { h.min },
                 h.max,
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
             );
         }
         s
@@ -178,6 +184,29 @@ mod tests {
         assert!(out.starts_with("#merlin-trace-stats\n"), "{out}");
         assert!(out.contains("counter c = 3"), "{out}");
         assert!(out.contains("span    y"), "{out}");
+    }
+
+    #[test]
+    fn hist_line_pins_quantile_estimates_to_exact_values() {
+        // Distribution chosen so the log2-bucket estimator is exact (see
+        // `quantile_is_exact_on_known_distributions` in the crate root).
+        let mut h = Hist::default();
+        for v in [4u64, 5, 6, 7, 8, 9, 10, 15] {
+            h.record(v);
+        }
+        let set = TraceSet::single(
+            "main",
+            Trace {
+                spans: vec![],
+                counters: vec![],
+                hists: vec![("q", h)],
+            },
+        );
+        let out = AggregateReport::from_set(&set).render();
+        assert!(
+            out.contains("hist    q count=8 sum=64 min=4 max=15 p50=7 p90=15 p99=15"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -308,4 +308,134 @@ echo "$OVL_OUT" | grep -q "overloaded (retry after" || {
 target/debug/merlin_cli status --data-dir "$SRVOVL" --drain > /dev/null
 wait "$SRV_PID"
 
+echo "== telemetry (metrics exposition, watch stream, trace retrieval, slow subscriber) =="
+# Part 1: a fresh release daemon (so registry totals are exact) serving
+# 30 nets with a concurrent watch client attached before the first
+# submit. The watcher must see exactly 30 `done` events with strictly
+# increasing seq; the exposition must be internally consistent
+# (cumulative buckets, +Inf == count) and agree on the 30; a completed
+# job's captured trace must come back as JSONL.
+SRVTEL="$SUPTMP/srv-tel"
+target/release/merlin_cli serve --data-dir "$SRVTEL" --capacity 128 --jobs 2 \
+  --capture-traces 4 &
+SRV_PID=$!
+for _ in $(seq 1 100); do [ -f "$SRVTEL/server.addr" ] && break; sleep 0.1; done
+target/release/merlin_cli watch --data-dir "$SRVTEL" \
+  > "$SUPTMP/watch.out" 2> "$SUPTMP/watch.err" &
+WATCH_PID=$!
+# Only submit once the subscriber is acked, or early events are legal
+# to miss.
+for _ in $(seq 1 100); do
+  grep -q "streaming events" "$SUPTMP/watch.err" 2>/dev/null && break
+  sleep 0.1
+done
+target/release/merlin_cli submit --gen 30 --sinks 4 --seed 7 \
+  --data-dir "$SRVTEL" > /dev/null
+target/release/merlin_cli metrics --data-dir "$SRVTEL" > "$SUPTMP/metrics.txt"
+target/release/merlin_cli status --data-dir "$SRVTEL" \
+  --trace-id 29 "$SUPTMP/job29.jsonl" > /dev/null
+if ! [ -s "$SUPTMP/job29.jsonl" ] || ! grep -q '"name"' "$SUPTMP/job29.jsonl"; then
+  echo "telemetry: captured trace for job 29 is empty or malformed" >&2
+  exit 1
+fi
+target/release/merlin_cli status --data-dir "$SRVTEL" --drain > /dev/null
+wait "$SRV_PID"
+wait "$WATCH_PID" || {
+  echo "telemetry: watch client did not exit cleanly on drain" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SUPTMP/watch.out" "$SUPTMP/metrics.txt" <<'EOF'
+import json, sys
+
+# Watch stream: every line parses; seq strictly increases; exactly 30
+# done events, each with a service time and the final tier.
+events = []
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line:
+        continue
+    obj = json.loads(line)
+    if obj.get("type") == "event":
+        events.append(obj)
+seqs = [e["seq"] for e in events]
+assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs), \
+    f"seq not strictly increasing: {seqs[:10]}..."
+done = [e for e in events if e["event"] == "done"]
+assert len(done) == 30, f"expected 30 done events, saw {len(done)}"
+assert all("service_ms" in e and "tier" in e for e in done)
+assert len([e for e in events if e["event"] == "queued"]) == 30
+assert len([e for e in events if e["event"] == "started"]) == 30
+
+# Exposition: counters parse; histogram bucket series are cumulative
+# with +Inf pinned to _count; the done counter agrees with the stream.
+samples = {}
+hist_buckets = {}
+for line in open(sys.argv[2]):
+    line = line.strip()
+    if not line or line.startswith("#"):
+        continue
+    name, value = line.rsplit(" ", 1)
+    value = int(value)
+    if "_bucket{le=" in name:
+        base = name.split("_bucket{", 1)[0]
+        hist_buckets.setdefault(base, []).append((name, value))
+    else:
+        samples[name] = value
+assert samples["merlin_server_events_done"] == 30, samples
+assert samples["merlin_server_events_rejected"] == 0, samples
+assert samples["merlin_server_metrics_service_ms_count"] == 30, samples
+assert hist_buckets, "no histogram bucket series exposed"
+for base, buckets in hist_buckets.items():
+    counts = [v for (_, v) in buckets]
+    assert counts == sorted(counts), f"{base} buckets not cumulative: {counts}"
+    assert buckets[-1][0].endswith('le="+Inf"}'), f"{base} missing +Inf"
+    assert buckets[-1][1] == samples[base + "_count"], \
+        f"{base}: +Inf {buckets[-1][1]} != count {samples[base + '_count']}"
+    assert base + "_sum" in samples, f"{base} missing _sum"
+served = [v for (k, v) in samples.items()
+          if k.startswith("merlin_server_metrics_served_")]
+assert sum(served) == 30, f"per-tier served counts do not sum to 30: {served}"
+EOF
+else
+  [ "$(grep -c '"event":"done"' "$SUPTMP/watch.out")" -eq 30 ] || {
+    echo "telemetry: expected 30 done events in the watch stream" >&2
+    exit 1
+  }
+  grep -q '^merlin_server_events_done 30$' "$SUPTMP/metrics.txt" || {
+    echo "telemetry: events.done counter is not 30:" >&2
+    grep "events_done" "$SUPTMP/metrics.txt" >&2 || true
+    exit 1
+  }
+fi
+
+# Part 2: a deliberately stalled subscriber must never block the solve
+# path. The debug fault-inject build arms server.watch:stall (the watch
+# writer sleeps 20 s right after its ack) with a 4-event buffer; a raw
+# client that never reads attaches, then 8 wait-mode submits must still
+# complete, and the drops must be accounted in server.events.dropped.
+SRVSTALL="$SUPTMP/srv-stall"
+target/debug/merlin_cli serve --data-dir "$SRVSTALL" --capacity 64 --jobs 1 \
+  --watch-buffer 4 --chaos server.watch:stall:1:20000 &
+SRV_PID=$!
+for _ in $(seq 1 100); do [ -f "$SRVSTALL/server.addr" ] && break; sleep 0.1; done
+STALL_ADDR=$(cat "$SRVSTALL/server.addr")
+exec 9<>"/dev/tcp/${STALL_ADDR%:*}/${STALL_ADDR##*:}"
+printf '{"cmd": "watch"}\n' >&9
+# Never read fd 9: the subscriber is now as slow as a subscriber gets.
+target/debug/merlin_cli submit --gen 8 --sinks 4 --seed 7 \
+  --data-dir "$SRVSTALL" > /dev/null || {
+  echo "telemetry: submits blocked behind a stalled watch subscriber" >&2
+  exit 1
+}
+target/debug/merlin_cli metrics --data-dir "$SRVSTALL" > "$SUPTMP/metrics-stall.txt"
+grep -Eq '^merlin_server_events_dropped [1-9][0-9]*$' "$SUPTMP/metrics-stall.txt" || {
+  echo "telemetry: stalled subscriber produced no drop accounting:" >&2
+  grep "events_dropped" "$SUPTMP/metrics-stall.txt" >&2 || true
+  exit 1
+}
+target/debug/merlin_cli status --data-dir "$SRVSTALL" --drain > /dev/null
+wait "$SRV_PID"
+exec 9<&- 9>&-
+
 echo "all checks passed"

@@ -11,7 +11,9 @@
 //! ```text
 //! merlin_cli serve [--addr HOST:PORT] [--data-dir DIR] [server options]
 //! merlin_cli submit [<file.net>...] [--gen N] [submit options]
-//! merlin_cli status [--id N | --report | --drain | --stats]
+//! merlin_cli status [--id N | --report | --drain | --stats | --trace-id N PATH]
+//! merlin_cli metrics [--interval SECS]
+//! merlin_cli watch
 //! ```
 //!
 //! `solve` optimizes one net (flow 3, MERLIN, by default) — invoking the
@@ -21,8 +23,11 @@
 //! journal, failure artifacts); `resume` is `batch` that insists the
 //! journal already exists. `repro` replays a captured `.repro` failure
 //! artifact. `serve` runs the crash-recoverable solve daemon
-//! (`merlin-server`, see docs/SERVICE.md); `submit` and `status` are its
-//! clients. Run `merlin_cli help` for every flag and its default.
+//! (`merlin-server`, see docs/SERVICE.md); `submit`, `status`, `metrics`
+//! and `watch` are its clients — `metrics` fetches the Prometheus-style
+//! exposition (optionally refreshing top-style with `--interval`) and
+//! `watch` streams job-lifecycle events as NDJSON until the daemon
+//! drains. Run `merlin_cli help` for every flag and its default.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -53,6 +58,8 @@ commands:
   serve                run the crash-recoverable solve daemon
   submit               submit nets to a running daemon
   status               query a running daemon (job state, report, stats)
+  metrics              fetch the daemon's metrics exposition
+  watch                stream job-lifecycle events from the daemon
   help                 this text
 
 solve flags:
@@ -132,9 +139,17 @@ serve flags (defaults in parentheses):
   --max-retries R      retries after each net's first attempt (2)
   --accept-tier T      weakest acceptable serving tier (direct)
   --artifacts DIR      failure artifact directory (artifacts)
+  --capture-traces N   keep the solve traces of the last N completed jobs
+                       in memory for `status --trace-id` retrieval
+                       (0 = capture nothing); traces are per-incarnation
+                       and never journaled
+  --watch-buffer N     per-watch-subscriber event buffer; a subscriber
+                       that falls further behind loses its oldest events,
+                       counted in server.events.dropped (256)
   --chaos SPEC         arm site:kind:nth[:stall_ms] fault injection
                        (fault-inject builds only); daemon sites are
-                       server.accept, server.queue, server.drain
+                       server.accept, server.queue, server.drain,
+                       server.watch
   SIGTERM or SIGINT drains gracefully (stop admitting, finish in-flight
   nets, seal the journal); a second signal aborts immediately
 
@@ -161,13 +176,31 @@ status flags:
   --id N               print one job's state or terminal record
   --report [PATH]      fetch the batch report (stdout, or write to PATH)
   --svg-id N PATH      fetch a served job's SVG into PATH
+  --trace-id N PATH    fetch a completed job's captured solve trace as
+                       JSONL into PATH (needs `serve --capture-traces`)
   --stats              print server stats (the default query)
   --drain              ask the daemon to drain gracefully
+  --connect-timeout-ms retry connecting this long (30000)
+
+metrics flags:
+  --addr / --data-dir  as for submit
+  --interval SECS      refresh top-style every SECS seconds instead of
+                       printing one snapshot and exiting
+  --connect-timeout-ms retry connecting this long (5000)
+
+watch flags:
+  --addr / --data-dir  as for submit
+  --connect-timeout-ms retry connecting this long (5000)
+  prints one NDJSON event per line until the daemon drains; if this
+  client falls behind the daemon drops its oldest events rather than
+  blocking submits, and reports the count in a watch-dropped line
 
 exit status: `repro` exits 0 when the failure reproduces, 1 when it does
 not; `submit` exits 0 when every job reached a terminal state or was
 accepted, 1 when any was rejected (overloaded, deadline-exceeded,
-draining); everything else exits 0 on success.";
+draining); `status`, `metrics` and `watch` exit 2 when no daemon is
+reachable (missing address file or refused connection); everything else
+exits 0 on success.";
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("merlin_cli: {msg}");
@@ -294,6 +327,8 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(args),
         Some("submit") => cmd_submit(args),
         Some("status") => cmd_status(args),
+        Some("metrics") => cmd_metrics(args),
+        Some("watch") => cmd_watch(args),
         Some(first) if !first.starts_with('-') => {
             // Legacy shorthand: `merlin_cli file.net [flags]`.
             args.pos -= 1;
@@ -921,6 +956,40 @@ fn resolve_addr(addr: Option<String>, data_dir: &std::path::Path) -> Result<Stri
     Ok(addr)
 }
 
+/// Exit code of the observer commands (`status`, `metrics`, `watch`)
+/// when no daemon is reachable. Distinct from the generic failure code
+/// so health probes and scripts can tell "the daemon is down" apart
+/// from "the query failed".
+const EXIT_UNREACHABLE: u8 = 2;
+
+fn fail_unreachable(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("merlin_cli: {msg}");
+    eprintln!(
+        "merlin_cli: no daemon is reachable; start one with `merlin_cli serve`, or point at a \
+         running one with --addr / --data-dir"
+    );
+    ExitCode::from(EXIT_UNREACHABLE)
+}
+
+/// Resolves and connects for an observer command. These are exactly the
+/// commands an operator reaches for when the daemon looks unhealthy, so
+/// an unreachable daemon answers with [`EXIT_UNREACHABLE`] and a hint
+/// instead of the generic failure path.
+fn observer_connect(
+    addr: Option<String>,
+    data_dir: &std::path::Path,
+    timeout: Duration,
+) -> Result<(String, merlin_server::Client), ExitCode> {
+    let addr = match resolve_addr(addr, data_dir) {
+        Ok(a) => a,
+        Err(e) => return Err(fail_unreachable(e)),
+    };
+    match merlin_server::Client::connect(&addr, timeout) {
+        Ok(client) => Ok((addr, client)),
+        Err(e) => Err(fail_unreachable(format!("cannot connect to {addr}: {e}"))),
+    }
+}
+
 fn cmd_serve(mut args: Args) -> ExitCode {
     let tech = Technology::synthetic_035();
     let mut cfg = merlin_server::ServerConfig {
@@ -967,6 +1036,12 @@ fn cmd_serve(mut args: Args) -> ExitCode {
             "--artifacts" => args
                 .value_for("--artifacts")
                 .map(|v| cfg.batch.artifacts_dir = Some(v.into())),
+            "--capture-traces" => args
+                .parsed("--capture-traces")
+                .map(|v| cfg.capture_traces = v),
+            "--watch-buffer" => args
+                .parsed("--watch-buffer")
+                .map(|v: usize| cfg.watch_buffer = v.max(1)),
             "--chaos" => args.value_for("--chaos").and_then(|v| {
                 match arm_chaos_spec(&mut cfg.batch.fault, &v) {
                     Ok(true) => Ok(()),
@@ -1162,8 +1237,11 @@ fn cmd_status(mut args: Args) -> ExitCode {
     let mut report_path: Option<PathBuf> = None;
     let mut svg_id: Option<u64> = None;
     let mut svg_out: Option<PathBuf> = None;
+    let mut trace_id: Option<u64> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut want_stats = false;
     let mut want_drain = false;
+    let mut connect_timeout = Duration::from_millis(30_000);
     while let Some(arg) = args.next() {
         let parsed: Result<(), String> = match arg.as_str() {
             "--addr" => args.value_for("--addr").map(|v| addr = Some(v)),
@@ -1185,6 +1263,11 @@ fn cmd_status(mut args: Args) -> ExitCode {
                 args.value_for("--svg-id PATH")
                     .map(|p| svg_out = Some(p.into()))
             }),
+            "--trace-id" => args.parsed("--trace-id").and_then(|v| {
+                trace_id = Some(v);
+                args.value_for("--trace-id PATH")
+                    .map(|p| trace_out = Some(p.into()))
+            }),
             "--stats" => {
                 want_stats = true;
                 Ok(())
@@ -1193,19 +1276,18 @@ fn cmd_status(mut args: Args) -> ExitCode {
                 want_drain = true;
                 Ok(())
             }
+            "--connect-timeout-ms" => args
+                .parsed("--connect-timeout-ms")
+                .map(|v: u64| connect_timeout = Duration::from_millis(v)),
             other => Err(format!("unknown status flag {other}")),
         };
         if let Err(e) = parsed {
             return fail(e);
         }
     }
-    let addr = match resolve_addr(addr, &data_dir) {
-        Ok(a) => a,
-        Err(e) => return fail(e),
-    };
-    let mut client = match merlin_server::Client::connect(&addr, Duration::from_millis(30_000)) {
-        Ok(c) => c,
-        Err(e) => return fail(format!("cannot connect to {addr}: {e}")),
+    let (_addr, mut client) = match observer_connect(addr, &data_dir, connect_timeout) {
+        Ok(pair) => pair,
+        Err(code) => return code,
     };
     let mut run = |line: String| -> Result<merlin_server::json::Json, String> {
         let raw = client.request(&line).map_err(|e| e.to_string())?;
@@ -1253,17 +1335,145 @@ fn cmd_status(mut args: Args) -> ExitCode {
         }
         println!("svg written to {}", out.display());
     }
+    if let Some(trace_id) = trace_id {
+        let Some(out) = trace_out else {
+            return fail("--trace-id needs an output PATH");
+        };
+        let trace = match run(merlin_server::client::trace_line(trace_id)) {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        };
+        let Some(jsonl) = trace
+            .get("jsonl")
+            .and_then(merlin_server::json::Json::as_str)
+        else {
+            return fail(format!("trace request failed: {}", trace.render()));
+        };
+        if let Err(e) = std::fs::write(&out, jsonl) {
+            return fail(format!("cannot write {}: {e}", out.display()));
+        }
+        println!("trace written to {}", out.display());
+    }
     if want_drain {
         match run(merlin_server::client::drain_line()) {
             Ok(v) => println!("{}", v.render()),
             Err(e) => return fail(e),
         }
     }
-    if want_stats || (id.is_none() && !want_report && svg_id.is_none() && !want_drain) {
+    if want_stats
+        || (id.is_none() && !want_report && svg_id.is_none() && trace_id.is_none() && !want_drain)
+    {
         match run(merlin_server::client::stats_line()) {
             Ok(v) => println!("{}", v.render()),
             Err(e) => return fail(e),
         }
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_metrics(mut args: Args) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut data_dir = PathBuf::from("merlin-server-data");
+    let mut interval: Option<u64> = None;
+    let mut connect_timeout = Duration::from_millis(5_000);
+    while let Some(arg) = args.next() {
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--addr" => args.value_for("--addr").map(|v| addr = Some(v)),
+            "--data-dir" => args.value_for("--data-dir").map(|v| data_dir = v.into()),
+            "--interval" => args.parsed("--interval").map(|v: u64| {
+                interval = Some(v.max(1));
+            }),
+            "--connect-timeout-ms" => args
+                .parsed("--connect-timeout-ms")
+                .map(|v: u64| connect_timeout = Duration::from_millis(v)),
+            other => Err(format!("unknown metrics flag {other}")),
+        };
+        if let Err(e) = parsed {
+            return fail(e);
+        }
+    }
+    let (addr, mut client) = match observer_connect(addr, &data_dir, connect_timeout) {
+        Ok(pair) => pair,
+        Err(code) => return code,
+    };
+    loop {
+        let raw = match client.request(&merlin_server::client::metrics_line()) {
+            Ok(r) => r,
+            // Mid-refresh loss of the daemon (it drained, say) is the
+            // same condition as never reaching it.
+            Err(e) => return fail_unreachable(format!("lost connection to {addr}: {e}")),
+        };
+        let response = match merlin_server::json::parse(&raw) {
+            Ok(v) => v,
+            Err(e) => return fail(format!("unparseable response `{raw}`: {e}")),
+        };
+        let Some(text) = response
+            .get("text")
+            .and_then(merlin_server::json::Json::as_str)
+        else {
+            return fail(format!("metrics request failed: {}", response.render()));
+        };
+        let Some(secs) = interval else {
+            print!("{text}");
+            return ExitCode::SUCCESS;
+        };
+        // Top-style refresh: clear, home, header, snapshot.
+        print!("\x1b[2J\x1b[H");
+        println!("merlin metrics @ {addr} (refreshing every {secs}s, ctrl-c to quit)");
+        print!("{text}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_secs(secs));
+    }
+}
+
+fn cmd_watch(mut args: Args) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut data_dir = PathBuf::from("merlin-server-data");
+    let mut connect_timeout = Duration::from_millis(5_000);
+    while let Some(arg) = args.next() {
+        let parsed: Result<(), String> = match arg.as_str() {
+            "--addr" => args.value_for("--addr").map(|v| addr = Some(v)),
+            "--data-dir" => args.value_for("--data-dir").map(|v| data_dir = v.into()),
+            "--connect-timeout-ms" => args
+                .parsed("--connect-timeout-ms")
+                .map(|v: u64| connect_timeout = Duration::from_millis(v)),
+            other => Err(format!("unknown watch flag {other}")),
+        };
+        if let Err(e) = parsed {
+            return fail(e);
+        }
+    }
+    let (addr, mut client) = match observer_connect(addr, &data_dir, connect_timeout) {
+        Ok(pair) => pair,
+        Err(code) => return code,
+    };
+    let raw = match client.request(&merlin_server::client::watch_line()) {
+        Ok(r) => r,
+        Err(e) => return fail_unreachable(format!("lost connection to {addr}: {e}")),
+    };
+    let ack = match merlin_server::json::parse(&raw) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("unparseable response `{raw}`: {e}")),
+    };
+    if ack.get("type").and_then(merlin_server::json::Json::as_str) != Some("watch") {
+        return fail(format!("watch request failed: {}", ack.render()));
+    }
+    let buffer = ack
+        .get("buffer")
+        .and_then(merlin_server::json::Json::as_u64)
+        .unwrap_or(0);
+    // Diagnostics on stderr; the event stream alone owns stdout so it
+    // can be piped into `jq` or a file.
+    eprintln!("watch: streaming events from {addr} (buffer {buffer}); ctrl-c to stop");
+    loop {
+        match client.read_line() {
+            Ok(Some(line)) => println!("{line}"),
+            Ok(None) => {
+                eprintln!("watch: the daemon drained; stream closed");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => return fail_unreachable(format!("lost connection to {addr}: {e}")),
+        }
+    }
 }

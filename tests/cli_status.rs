@@ -1,0 +1,106 @@
+//! Observer-command behavior against a daemon that is not running.
+//!
+//! `status`, `metrics` and `watch` are the commands an operator reaches
+//! for when the daemon looks unhealthy, so "no daemon" must be a typed,
+//! actionable answer with its own exit code (2) — distinct from the
+//! generic failure code 1 — rather than a bare connection error.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_merlin_cli"))
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("merlin-cli-status-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn status_against_a_stopped_server_exits_2_with_an_actionable_message() {
+    // No daemon ever ran here: the data dir has no address file.
+    let dir = tempdir("no-addr");
+    let out = cli()
+        .args(["status", "--data-dir"])
+        .arg(&dir)
+        .output()
+        .expect("run merlin_cli");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unreachable daemon is exit 2, stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("is the daemon running?"),
+        "names the likely cause:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("merlin_cli serve"),
+        "tells the operator what to do next:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn status_against_a_stale_address_file_exits_2() {
+    // A daemon once ran and died: the address file survives but nothing
+    // listens there. Port 1 is never a listening merlin daemon.
+    let dir = tempdir("stale-addr");
+    std::fs::write(dir.join("server.addr"), "127.0.0.1:1\n").expect("write addr");
+    let out = cli()
+        .args(["status", "--connect-timeout-ms", "100", "--data-dir"])
+        .arg(&dir)
+        .output()
+        .expect("run merlin_cli");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "refused connection is exit 2, stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("cannot connect to 127.0.0.1:1"),
+        "names the address it tried:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("merlin_cli serve"),
+        "tells the operator what to do next:\n{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_and_watch_share_the_unreachable_exit_code() {
+    let dir = tempdir("observers");
+    for cmd in ["metrics", "watch"] {
+        let out = cli()
+            .args([cmd, "--data-dir"])
+            .arg(&dir)
+            .output()
+            .expect("run merlin_cli");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`{cmd}` against no daemon is exit 2, stderr:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("merlin_cli serve"),
+            "`{cmd}` hint:\n{stderr}"
+        );
+    }
+    // `submit` keeps the generic failure code: its callers treat any
+    // non-zero as "the batch did not land", and scripts retrying on 2
+    // would mask rejected jobs.
+    let out = cli()
+        .args(["submit", "--gen", "1", "--data-dir"])
+        .arg(&dir)
+        .output()
+        .expect("run merlin_cli");
+    assert_eq!(out.status.code(), Some(1), "submit stays exit 1");
+    let _ = std::fs::remove_dir_all(&dir);
+}
