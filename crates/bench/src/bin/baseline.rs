@@ -105,7 +105,7 @@ fn main() {
     let iters = arg_flag("--iters", 5) as usize;
     let out_path = {
         let mut args = std::env::args();
-        let mut path = "BENCH_pr5.json".to_owned();
+        let mut path = "BENCH_pr10.json".to_owned();
         while let Some(a) = args.next() {
             if a == "--out" {
                 if let Some(v) = args.next() {

@@ -1,225 +1,242 @@
-//! Same-binary A/B/C harness for the cost of `Curve::prune`'s tracing
-//! dispatch: (A) a local copy of the uninstrumented pre-trace sweep,
-//! (B) the real `Curve::prune` with tracing disabled, and (C) a local
-//! copy with the exact is_enabled-to-cold-sweep dispatch shape. All
-//! three run interleaved in one process so machine drift and cross-build
-//! code-layout luck cancel out; B and C at parity with A is the evidence
-//! that disabled tracing is free in the hottest function. Cross-*binary*
-//! wall-clock comparisons of the same change swung ±3% with the default
-//! 16 codegen units, which is why the release profile pins
-//! `codegen-units = 1` (see the workspace Cargo.toml).
-use merlin_curves::{Curve, CurvePoint, ProvId};
-use merlin_tech::units::ps_cmp;
-use std::collections::BTreeMap;
-use std::time::Instant;
-
-fn synth_points(n: u32, seed: u64) -> Vec<CurvePoint> {
-    let mut state = seed | 1;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    (0..n)
-        .map(|i| {
-            CurvePoint::new(
-                (next() % 4000) as u32,
-                (next() % 100_000) as f64 / 10.0,
-                next() % 40_000,
-                ProvId::new(i),
-            )
-        })
-        .collect()
-}
-
-/// Byte-for-byte copy of the pre-PR `Curve::prune` body (minus the fault
-/// trip, which compiles to nothing without the feature).
-#[inline(never)]
-fn baseline_prune(pts: &mut Vec<CurvePoint>) {
-    if pts.len() <= 1 {
-        return;
-    }
-    pts.sort_unstable_by(|a, b| {
-        a.load
-            .cmp(&b.load)
-            .then(a.area.cmp(&b.area))
-            .then(ps_cmp(b.req, a.req))
-    });
-    let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
-    let mut out = Vec::with_capacity(pts.len());
-    for p in pts.drain(..) {
-        let dominated = stair
-            .range(..=p.area)
-            .next_back()
-            .is_some_and(|(_, &r)| r >= p.req);
-        if dominated {
-            continue;
-        }
-        let stale: Vec<u64> = stair
-            .range(p.area..)
-            .take_while(|(_, &r)| r <= p.req)
-            .map(|(&a, _)| a)
-            .collect();
-        for a in stale {
-            stair.remove(&a);
-        }
-        stair.insert(p.area, p.req);
-        out.push(p);
-    }
-    *pts = out;
-}
-
-/// Variant C: baseline code plus the exact dispatch shape the real
-/// `Curve::prune` uses — is_enabled branch to a cold traced copy.
-#[inline(never)]
-fn baseline_prune_dispatch(pts: &mut Vec<CurvePoint>) {
-    if pts.len() <= 1 {
-        return;
-    }
-    pts.sort_unstable_by(|a, b| {
-        a.load
-            .cmp(&b.load)
-            .then(a.area.cmp(&b.area))
-            .then(ps_cmp(b.req, a.req))
-    });
-    if merlin_trace::is_enabled() {
-        sweep_traced_copy(pts);
-        return;
-    }
-    let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
-    let mut out = Vec::with_capacity(pts.len());
-    for p in pts.drain(..) {
-        let dominated = stair
-            .range(..=p.area)
-            .next_back()
-            .is_some_and(|(_, &r)| r >= p.req);
-        if dominated {
-            continue;
-        }
-        let stale: Vec<u64> = stair
-            .range(p.area..)
-            .take_while(|(_, &r)| r <= p.req)
-            .map(|(&a, _)| a)
-            .collect();
-        for a in stale {
-            stair.remove(&a);
-        }
-        stair.insert(p.area, p.req);
-        out.push(p);
-    }
-    *pts = out;
-}
-
-#[cold]
-#[inline(never)]
-fn sweep_traced_copy(pts: &mut Vec<CurvePoint>) {
-    let before = pts.len();
-    let mut killed_duplicate = 0u64;
-    let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
-    let mut out = Vec::with_capacity(pts.len());
-    for p in pts.drain(..) {
-        if let Some((&area, &req)) = stair.range(..=p.area).next_back() {
-            if req >= p.req {
-                if area == p.area && req.to_bits() == p.req.to_bits() {
-                    killed_duplicate += 1;
-                }
-                continue;
-            }
-        }
-        let stale: Vec<u64> = stair
-            .range(p.area..)
-            .take_while(|(_, &r)| r <= p.req)
-            .map(|(&a, _)| a)
-            .collect();
-        for a in stale {
-            stair.remove(&a);
-        }
-        stair.insert(p.area, p.req);
-        out.push(p);
-    }
-    let killed = (before - out.len()) as u64;
-    merlin_trace::counter("curves.prune.calls", 1);
-    merlin_trace::counter("curves.pruned", killed);
-    merlin_trace::counter("curves.prune.kill.duplicate", killed_duplicate);
-    *pts = out;
-}
-
-fn median(v: &mut [f64]) -> f64 {
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    v[v.len() / 2]
-}
-
+//! Same-binary A/B gate for the indexed prune sweep: (A) the legacy
+//! BTreeMap staircase (compiled in via the `legacy-sweep` feature and
+//! forced through `merlin_curves::curve::legacy`), (B) the indexed
+//! flat-staircase sweep that replaced it. Both run interleaved in one
+//! process so machine drift and cross-build code-layout luck cancel out
+//! (cross-*binary* comparisons of a prune change swung ±3% before the
+//! release profile pinned `codegen-units = 1`).
+//!
+//! The harness gates three claims and exits nonzero if any fails:
+//!
+//! 1. **Curve-level byte identity** — over a synthetic pool (DP-shaped
+//!    size mix plus tie-heavy curves), the indexed sweep keeps exactly
+//!    the same points, in the same order, with the same provenance as
+//!    the legacy sweep.
+//! 2. **Whole-solve byte identity** — a 6-sink flow-III solve produces
+//!    a bit-identical evaluation and SVG under either sweep, at
+//!    `threads` 1, 2 and 4 (the process-wide legacy switch reroutes
+//!    every prune in the solve).
+//! 3. **Non-regression** — the indexed sweep's median curve-level time
+//!    is within `REGRESSION_BOUND` of the legacy sweep (it should be
+//!    well below 1.0; the bound only guards against the index becoming
+//!    a pessimization on some future change).
+#[cfg(not(feature = "legacy-sweep"))]
 fn main() {
-    // A pool of curve sizes matching what the DP actually prunes: mostly
-    // small with some big ones.
-    let sizes: Vec<u32> = vec![8, 16, 24, 32, 48, 64, 96, 128, 256, 2048];
-    let pool: Vec<Vec<CurvePoint>> = sizes
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| synth_points(n, 7 + i as u64))
-        .collect();
-    let curve_pool: Vec<Curve> = pool
-        .iter()
-        .map(|pts| {
-            let mut c = Curve::new();
-            for p in pts {
-                c.push(*p);
-            }
-            c
-        })
-        .collect();
+    eprintln!(
+        "prune_ab needs the legacy oracle compiled in:\n  cargo run --release -p merlin-bench \
+         --features legacy-sweep --bin prune_ab"
+    );
+    // audit:allow(no-raw-exit) — gating bin's main; exit 2 = miswired build.
+    std::process::exit(2);
+}
 
-    let batch = 200usize;
-    let rounds = 60usize;
-    let mut a_ns: Vec<f64> = Vec::new(); // baseline copy
-    let mut b_ns: Vec<f64> = Vec::new(); // real Curve::prune, disabled
-    let mut c_ns: Vec<f64> = Vec::new(); // baseline copy + dispatch shape
+#[cfg(feature = "legacy-sweep")]
+fn main() {
+    // audit:allow(no-raw-exit) — gating bin's main; the code is the CI verdict.
+    std::process::exit(ab::run());
+}
 
-    let mut sink = 0usize;
-    for _ in 0..rounds {
-        let t = Instant::now();
-        for _ in 0..batch {
-            for pts in &pool {
-                let mut v = pts.clone();
-                baseline_prune(&mut v);
-                sink += v.len();
-            }
-        }
-        a_ns.push(t.elapsed().as_nanos() as f64);
+#[cfg(feature = "legacy-sweep")]
+mod ab {
+    use merlin_curves::curve::legacy;
+    use merlin_curves::{Curve, CurvePoint, ProvId};
+    use merlin_flows::{flow3, FlowsConfig};
+    use merlin_netlist::bench_nets::random_net;
+    use merlin_tech::{svg, Technology};
+    use std::time::Instant;
 
-        let t = Instant::now();
-        for _ in 0..batch {
-            for c in &curve_pool {
-                let mut c = c.clone();
-                c.prune();
-                sink += c.len();
-            }
-        }
-        b_ns.push(t.elapsed().as_nanos() as f64);
+    /// Indexed-vs-legacy median time ratio above which the gate fails.
+    const REGRESSION_BOUND: f64 = 1.10;
 
-        let t = Instant::now();
-        for _ in 0..batch {
-            for pts in &pool {
-                let mut v = pts.clone();
-                baseline_prune_dispatch(&mut v);
-                sink += v.len();
-            }
-        }
-        c_ns.push(t.elapsed().as_nanos() as f64);
+    fn synth_points(n: u32, seed: u64) -> Vec<CurvePoint> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|i| {
+                CurvePoint::new(
+                    (next() % 4000) as u32,
+                    (next() % 100_000) as f64 / 10.0,
+                    next() % 40_000,
+                    ProvId::new(i),
+                )
+            })
+            .collect()
     }
-    let (am, bm, cm) = (median(&mut a_ns), median(&mut b_ns), median(&mut c_ns));
-    let (amin, bmin, cmin) = (a_ns[0], b_ns[0], c_ns[0]);
-    println!("A plain copy      median {am:.0} ns  min {amin:.0} ns");
-    println!(
-        "B real prune      median {bm:.0} ns ({:+.2}%)  min {bmin:.0} ns ({:+.2}%)",
-        (bm / am - 1.0) * 100.0,
-        (bmin / amin - 1.0) * 100.0
-    );
-    println!(
-        "C copy + dispatch median {cm:.0} ns ({:+.2}%)  min {cmin:.0} ns ({:+.2}%)",
-        (cm / am - 1.0) * 100.0,
-        (cmin / amin - 1.0) * 100.0
-    );
-    println!("(sink {sink})");
+
+    /// Tie-heavy pool: tiny value domains force duplicate triples and
+    /// equal-key collisions, the regime where keep-first order matters.
+    fn synth_tie_points(n: u32, seed: u64) -> Vec<CurvePoint> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|i| {
+                CurvePoint::new(
+                    (next() % 6) as u32 * 10,
+                    (next() % 8) as f64 * 0.5,
+                    next() % 5,
+                    ProvId::new(i),
+                )
+            })
+            .collect()
+    }
+
+    fn curve_of(pts: &[CurvePoint]) -> Curve {
+        let mut c = Curve::new();
+        for p in pts {
+            c.push(*p);
+        }
+        c
+    }
+
+    fn keys(c: &Curve) -> Vec<(u32, u64, u64, usize)> {
+        c.iter()
+            .map(|p| (p.load.0, p.req.to_bits(), p.area, p.prov.index()))
+            .collect()
+    }
+
+    fn median(v: &mut [f64]) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v[v.len() / 2]
+    }
+
+    /// Bit-exact fingerprint of a solve: every evaluation field plus the
+    /// rendered SVG. Two solves that differ anywhere differ here.
+    fn solve_fingerprint(net_seed: u64, threads: usize) -> String {
+        let tech = Technology::synthetic_035();
+        let net = random_net("prune-ab", 6, net_seed, &tech);
+        let mut cfg = FlowsConfig::for_net_size(6);
+        cfg.merlin.threads = threads;
+        let r = flow3::run(&net, &tech, &cfg);
+        let e = &r.eval;
+        let mut s = format!(
+            "req={:016x} load={} area={} bufs={} wl={} delay={:016x}\n",
+            e.root_required_ps.to_bits(),
+            e.root_load.0,
+            e.buffer_area,
+            e.num_buffers,
+            e.wirelength,
+            e.delay_ps.to_bits(),
+        );
+        for d in &e.sink_delays_ps {
+            s.push_str(&format!("sink={:016x}\n", d.to_bits()));
+        }
+        s.push_str(&svg::render(&r.tree));
+        s
+    }
+
+    pub fn run() -> i32 {
+        let mut failures = 0;
+
+        // -- 1. curve-level byte identity over the synthetic pool --
+        let sizes: Vec<u32> = vec![8, 16, 24, 32, 48, 64, 96, 128, 256, 2048];
+        let mut pool: Vec<Vec<CurvePoint>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| synth_points(n, 7 + i as u64))
+            .collect();
+        for i in 0..12 {
+            pool.push(synth_tie_points(64, 101 + i));
+        }
+        let mut mismatches = 0usize;
+        for pts in &pool {
+            let mut indexed = curve_of(pts);
+            indexed.prune();
+            let mut oracle = curve_of(pts);
+            oracle.prune_legacy();
+            if keys(&indexed) != keys(&oracle) {
+                mismatches += 1;
+                eprintln!(
+                    "prune_ab: curve of {} points diverged (indexed {} vs legacy {} survivors)",
+                    pts.len(),
+                    indexed.len(),
+                    oracle.len()
+                );
+            }
+        }
+        if mismatches > 0 {
+            eprintln!("prune_ab: FAIL {mismatches}/{} curves diverged", pool.len());
+            failures += 1;
+        } else {
+            println!("curve identity   ok ({} curves, ties included)", pool.len());
+        }
+
+        // -- 2. curve-level timing, interleaved --
+        let batch = 200usize;
+        let rounds = 40usize;
+        let mut legacy_ns: Vec<f64> = Vec::new();
+        let mut indexed_ns: Vec<f64> = Vec::new();
+        let mut sink = 0usize;
+        for _ in 0..rounds {
+            legacy::force_legacy_sweep(true);
+            let t = Instant::now();
+            for _ in 0..batch {
+                for pts in &pool {
+                    let mut c = curve_of(pts);
+                    c.prune();
+                    sink += c.len();
+                }
+            }
+            legacy_ns.push(t.elapsed().as_nanos() as f64);
+
+            legacy::force_legacy_sweep(false);
+            let t = Instant::now();
+            for _ in 0..batch {
+                for pts in &pool {
+                    let mut c = curve_of(pts);
+                    c.prune();
+                    sink += c.len();
+                }
+            }
+            indexed_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        let (lm, im) = (median(&mut legacy_ns), median(&mut indexed_ns));
+        let ratio = im / lm;
+        println!(
+            "A legacy sweep   median {lm:.0} ns\nB indexed sweep  median {im:.0} ns \
+             ({:+.2}%)  (sink {sink})",
+            (ratio - 1.0) * 100.0
+        );
+        if ratio > REGRESSION_BOUND {
+            eprintln!(
+                "prune_ab: FAIL indexed/legacy ratio {ratio:.3} exceeds the \
+                 {REGRESSION_BOUND} non-regression bound"
+            );
+            failures += 1;
+        }
+
+        // -- 3. whole-solve byte identity at threads 1/2/4 --
+        for threads in [1usize, 2, 4] {
+            legacy::force_legacy_sweep(false);
+            let indexed = solve_fingerprint(3, threads);
+            legacy::force_legacy_sweep(true);
+            let oracle = solve_fingerprint(3, threads);
+            legacy::force_legacy_sweep(false);
+            if indexed == oracle {
+                println!("solve identity   ok (6-sink flow III, threads {threads})");
+            } else {
+                eprintln!(
+                    "prune_ab: FAIL 6-sink flow-III solve diverged between sweeps at \
+                     threads {threads}"
+                );
+                failures += 1;
+            }
+        }
+
+        if failures == 0 {
+            println!("prune_ab: all gates passed");
+            0
+        } else {
+            1
+        }
+    }
 }

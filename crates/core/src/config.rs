@@ -1,5 +1,6 @@
 //! Configuration of the MERLIN engines.
 
+use merlin_curves::PrunePolicy;
 use merlin_geom::CandidateStrategy;
 use merlin_tech::units::PsTime;
 
@@ -84,6 +85,21 @@ pub struct MerlinConfig {
     /// already parallelizes across nets, so intra-net threading is opt-in
     /// (keep `jobs × threads` at or below the core count).
     pub threads: usize,
+    /// Load-quantization divisor `q` for the post-prune reduction dial:
+    /// after each exact Definition-6 prune, curve points whose loads fall
+    /// in the same `q`-wide bucket compete as if their loads were equal,
+    /// thinning the curve before the next merge / buffer step. `0` or `1`
+    /// (the default) keeps pruning exact and byte-identical to the
+    /// pre-dial engine; larger values trade solution quality for speed
+    /// and are engaged per resilience tier, not globally.
+    pub load_quant: u32,
+    /// Predictive-pruning slope in ps per capacitance unit (Li & Shi):
+    /// when comparing quantization bucket-mates, each point's required
+    /// time is charged `rmin × load` — the minimum future upstream delay
+    /// its extra load must incur — so near-ties are resolved by their
+    /// provable future, not just their present. `0.0` (the default) is
+    /// off; only meaningful together with `load_quant > 1`.
+    pub prune_rmin: f64,
 }
 
 impl Default for MerlinConfig {
@@ -101,11 +117,23 @@ impl Default for MerlinConfig {
             enforce_max_load: false,
             max_inner_groups: 1,
             threads: 1,
+            load_quant: 1,
+            prune_rmin: 0.0,
         }
     }
 }
 
 impl MerlinConfig {
+    /// The post-prune [`PrunePolicy`] implied by this configuration.
+    /// Degenerate dial values (`load_quant == 0`, negative `prune_rmin`)
+    /// normalize to the exact policy.
+    pub fn prune_policy(&self) -> PrunePolicy {
+        PrunePolicy {
+            load_quant: self.load_quant.max(1),
+            rmin_ps_per_cap: self.prune_rmin.max(0.0),
+        }
+    }
+
     /// Exact small-instance configuration used by the cross-check tests:
     /// no curve thinning, with a compact candidate set (exactness of the
     /// neighborhood coverage is relative to whatever candidate set is
@@ -124,6 +152,8 @@ impl MerlinConfig {
             enforce_max_load: false,
             max_inner_groups: 1,
             threads: 1,
+            load_quant: 1,
+            prune_rmin: 0.0,
         }
     }
 
@@ -145,6 +175,8 @@ impl MerlinConfig {
             enforce_max_load: false,
             max_inner_groups: 1,
             threads: 1,
+            load_quant: 1,
+            prune_rmin: 0.0,
         }
     }
 }
@@ -159,6 +191,20 @@ mod tests {
         assert!(c.alpha >= 2);
         assert!(c.max_loops >= 1);
         assert_eq!(c.constraint, Constraint::best_req());
+    }
+
+    #[test]
+    fn prune_policy_normalizes_degenerate_dials() {
+        let mut c = MerlinConfig::default();
+        assert!(c.prune_policy().is_exact());
+        c.load_quant = 0;
+        c.prune_rmin = -3.0;
+        let p = c.prune_policy();
+        assert!(p.is_exact());
+        assert_eq!(p.load_quant, 1);
+        assert_eq!(p.rmin_ps_per_cap, 0.0);
+        c.load_quant = 8;
+        assert!(!c.prune_policy().is_exact());
     }
 
     #[test]

@@ -324,6 +324,7 @@ impl<'a> BubbleConstruct<'a> {
             reloc_rounds: cfg.relocation_rounds,
             neighbors: &neighbors,
             enforce_max_load: cfg.enforce_max_load,
+            policy: cfg.prune_policy(),
         };
         let shapes: &[Shape] = if cfg.enable_bubbling {
             &ALL_SHAPES
@@ -553,6 +554,14 @@ impl<'a> BubbleConstruct<'a> {
         {
             let mut pending: Vec<Step> = Vec::new();
             let mut additions = Curve::new();
+            // Extensions dominated by the source-rooted curve (or by an
+            // earlier kept extension) cannot survive the absorb below.
+            // Seeding from the absorb target is sound here because nothing
+            // transforms the additions between their prune and the absorb,
+            // and the target's points carry older arena provenance so they
+            // win exact ties either way.
+            let mut champs = crate::star_ptree::Champions::seeded(&curve);
+            let mut skipped = 0u64;
             for (qi, c) in top.iter().enumerate() {
                 if qi == src_idx || c.is_empty() {
                     continue;
@@ -560,22 +569,32 @@ impl<'a> BubbleConstruct<'a> {
                 let len = manhattan(self.net.source, candidates[qi]);
                 let wc = self.tech.wire.wire_cap(len);
                 for a in c.iter() {
-                    let prov = ProvId::new(pending.len() as u32);
+                    let cand = CurvePoint {
+                        load: a.load + wc,
+                        req: a.req - self.tech.wire.elmore_ps(len, a.load),
+                        area: a.area,
+                        prov: ProvId::new(pending.len() as u32),
+                    };
+                    if champs.dominates(&cand) {
+                        skipped += 1;
+                        continue;
+                    }
+                    champs.keep(&cand);
                     pending.push(Step::Extend {
                         to: src_idx as u16,
                         child: a.prov,
                     });
-                    additions.push(CurvePoint {
-                        load: a.load + wc,
-                        req: a.req - self.tech.wire.elmore_ps(len, a.load),
-                        area: a.area,
-                        prov,
-                    });
+                    additions.push(cand);
                 }
             }
             additions.prune();
+            additions.reduce(ctx.policy);
             crate::star_ptree::finalize(&mut additions, &pending, &mut arena);
             curve.absorb(additions);
+            curve.reduce(ctx.policy);
+            if skipped > 0 && traced {
+                merlin_trace::counter("curves.prune.predictive.extend", skipped);
+            }
         }
         if drop_final_curve {
             curve = Curve::new();
@@ -683,6 +702,8 @@ mod tests {
             enforce_max_load: false,
             max_inner_groups: 1,
             threads: 1,
+            load_quant: 1,
+            prune_rmin: 0.0,
         }
     }
 

@@ -23,13 +23,60 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use merlin_curves::{Curve, CurvePoint, ProvArena, ProvId};
+use merlin_curves::{Curve, CurvePoint, ProvArena, ProvId, PrunePolicy};
 use merlin_geom::{manhattan, Point};
 use merlin_tech::units::{Cap, PsTime};
 use merlin_tech::Technology;
 
 use crate::children::Child;
 use crate::extract::Step;
+
+/// The two cheapest-to-maintain dominators over already-kept candidates:
+/// the best-required-time point and the smallest-area point.
+///
+/// [`Champions::dominates`] is a sufficient (never necessary) Definition-6
+/// test — predictive pruning in the Li & Shi sense: anything it rejects
+/// would be killed by [`Curve::prune`] anyway, so provably-doomed
+/// candidates are skipped before they enter a raw curve or allocate a
+/// pending provenance step. Because pending ids stay in generation order
+/// and the prune sort is a total order with a provenance tie-break, the
+/// pruned curve is byte-identical with the filter on or off.
+#[derive(Debug, Default)]
+pub(crate) struct Champions {
+    best_req: Option<CurvePoint>,
+    min_area: Option<CurvePoint>,
+}
+
+impl Champions {
+    /// Champions over the points of an already-kept curve (candidates
+    /// later absorbed into `seed` compete against its points too, and the
+    /// absorb-side representative always carries the older provenance).
+    pub(crate) fn seeded(seed: &Curve) -> Self {
+        let mut c = Champions::default();
+        for p in seed.iter() {
+            c.keep(p);
+        }
+        c
+    }
+
+    /// Whether an already-kept candidate dominates `cand` (Definition 6).
+    #[inline]
+    pub(crate) fn dominates(&self, cand: &CurvePoint) -> bool {
+        self.best_req.is_some_and(|c| c.dominates(cand))
+            || self.min_area.is_some_and(|c| c.dominates(cand))
+    }
+
+    /// Records a kept candidate.
+    #[inline]
+    pub(crate) fn keep(&mut self, cand: &CurvePoint) {
+        if self.best_req.is_none_or(|c| cand.req > c.req) {
+            self.best_req = Some(*cand);
+        }
+        if self.min_area.is_none_or(|c| cand.area < c.area) {
+            self.min_area = Some(*cand);
+        }
+    }
+}
 
 /// Electrical view of one sink (original index space).
 #[derive(Clone, Copy, Debug)]
@@ -97,6 +144,9 @@ pub struct StarCtx<'a> {
     /// Reject buffer options whose driven load exceeds the cell's
     /// `max_load` (off in the paper's formulation).
     pub enforce_max_load: bool,
+    /// Post-prune load-quantization / predictive-pruning dial applied to
+    /// every curve the DP builds ([`PrunePolicy::EXACT`] = lossless).
+    pub policy: PrunePolicy,
 }
 
 /// The Γ tables: finalized curve families of already-constructed groups,
@@ -206,30 +256,56 @@ fn compute_range(
                     (left, right)
                 })
                 .collect();
+            let traced = merlin_trace::is_enabled();
+            let mut skipped = 0u64;
             for p in 0..k {
                 pending.clear();
                 let mut raw = Curve::new();
+                let mut champs = Champions::default();
                 for (left, right) in &splits {
                     for a in left[p].iter() {
+                        // Once `b.req >= a.req` the merged required time
+                        // saturates at `a.req`, so among saturated `b`s
+                        // only area improvements can matter: `cap_area`
+                        // is the smallest saturated area seen for this
+                        // `a`, and anything at or above it is dominated
+                        // by that earlier merge (predictive pruning).
+                        let mut cap_area = u64::MAX;
                         for b in right[p].iter() {
-                            let prov = ProvId::new(pending.len() as u32);
+                            if b.req >= a.req {
+                                if b.area >= cap_area {
+                                    skipped += 1;
+                                    continue;
+                                }
+                                cap_area = b.area;
+                            }
+                            let cand = CurvePoint {
+                                load: a.load + b.load,
+                                req: a.req.min(b.req),
+                                area: a.area + b.area,
+                                prov: ProvId::new(pending.len() as u32),
+                            };
+                            if champs.dominates(&cand) {
+                                skipped += 1;
+                                continue;
+                            }
+                            champs.keep(&cand);
                             pending.push(Step::Merge {
                                 left: a.prov,
                                 right: b.prov,
                             });
-                            raw.push(CurvePoint {
-                                load: a.load + b.load,
-                                req: a.req.min(b.req),
-                                area: a.area + b.area,
-                                prov,
-                            });
+                            raw.push(cand);
                         }
                     }
                 }
                 raw.prune();
+                raw.reduce(ctx.policy);
                 raw.thin_to(ctx.max_pts);
                 finalize(&mut raw, &pending, arena);
                 m.push(raw);
+            }
+            if traced {
+                merlin_trace::counter("curves.prune.predictive.merge", skipped);
             }
             m
         }
@@ -243,12 +319,21 @@ fn compute_range(
 
     // Relocation rounds: wire p → p' on top of the previous round, with
     // buffer options above the wire.
+    let traced = merlin_trace::is_enabled();
     for _ in 0..ctx.reloc_rounds {
         let snapshot = m.clone();
         let mut pending: Vec<Step> = Vec::new();
+        let mut skipped = 0u64;
         for (pi, c) in m.iter_mut().enumerate() {
             pending.clear();
             let mut additions = Curve::new();
+            // Champions only over the additions themselves: `additions`
+            // is buffered *after* its prune, and a wire extension that a
+            // point of `c` dominates can still contribute a surviving
+            // buffered variant — filtering against `c` here would not be
+            // byte-identical. (Within `additions`, domination survives
+            // the buffer transform, so the filter is exact.)
+            let mut champs = Champions::default();
             let p = ctx.cands[pi];
             let all: Vec<u16>;
             let sources: &[u16] = if ctx.neighbors.is_empty() || ctx.neighbors[pi].is_empty() {
@@ -266,25 +351,35 @@ fn compute_range(
                 let len = manhattan(p, ctx.cands[qi]);
                 let wc = ctx.tech.wire.wire_cap(len);
                 for a in src.iter() {
-                    let prov = ProvId::new(pending.len() as u32);
+                    let cand = CurvePoint {
+                        load: a.load + wc,
+                        req: a.req - ctx.tech.wire.elmore_ps(len, a.load),
+                        area: a.area,
+                        prov: ProvId::new(pending.len() as u32),
+                    };
+                    if champs.dominates(&cand) {
+                        skipped += 1;
+                        continue;
+                    }
+                    champs.keep(&cand);
                     pending.push(Step::Extend {
                         to: pi as u16,
                         child: a.prov,
                     });
-                    additions.push(CurvePoint {
-                        load: a.load + wc,
-                        req: a.req - ctx.tech.wire.elmore_ps(len, a.load),
-                        area: a.area,
-                        prov,
-                    });
+                    additions.push(cand);
                 }
             }
             additions.prune();
+            additions.reduce(ctx.policy);
             additions.thin_to(ctx.max_pts);
             finalize(&mut additions, &pending, arena);
             let additions = buffered(ctx, &additions, arena);
             c.absorb(additions);
+            c.reduce(ctx.policy);
             c.thin_to(ctx.max_pts);
+        }
+        if traced {
+            merlin_trace::counter("curves.prune.predictive.extend", skipped);
         }
     }
 
@@ -334,29 +429,47 @@ fn buffered(ctx: &StarCtx<'_>, curve: &Curve, arena: &mut ProvArena<Step>) -> Cu
     }
     let mut pending: Vec<Step> = Vec::new();
     let mut additions = Curve::new();
+    // Buffer options land directly in `absorb` below with no transform in
+    // between, so they compete against the unbuffered originals too: seed
+    // the predictive filter with them. A skipped option would lose either
+    // its own prune or the absorb (where the original, carrying the older
+    // arena provenance, wins exact ties) — byte-identical either way, but
+    // the doomed option no longer allocates a pending or arena step.
+    let mut champs = Champions::seeded(curve);
+    let mut skipped = 0u64;
     for &bi in ctx.lib_sel {
         let buf = &ctx.tech.library[bi as usize];
         for p in curve.iter() {
             if ctx.enforce_max_load && p.load > buf.max_load {
                 continue;
             }
-            let prov = ProvId::new(pending.len() as u32);
+            let cand = CurvePoint::with_load(
+                buf.cin,
+                p.req - buf.delay_linear_ps(p.load),
+                p.area + buf.area,
+                ProvId::new(pending.len() as u32),
+            );
+            if champs.dominates(&cand) {
+                skipped += 1;
+                continue;
+            }
+            champs.keep(&cand);
             pending.push(Step::Buffer {
                 buf: bi,
                 child: p.prov,
             });
-            additions.push(CurvePoint::with_load(
-                buf.cin,
-                p.req - buf.delay_linear_ps(p.load),
-                p.area + buf.area,
-                prov,
-            ));
+            additions.push(cand);
         }
     }
     additions.prune();
+    additions.reduce(ctx.policy);
     finalize(&mut additions, &pending, arena);
     let mut out = curve.clone();
     out.absorb(additions);
+    out.reduce(ctx.policy);
+    if skipped > 0 && merlin_trace::is_enabled() {
+        merlin_trace::counter("curves.prune.predictive.buffer", skipped);
+    }
     out
 }
 
@@ -417,6 +530,7 @@ mod tests {
             reloc_rounds: reloc,
             neighbors: &[],
             enforce_max_load: false,
+            policy: PrunePolicy::EXACT,
         };
         let gamma = Gamma::new();
         let mut cache = StarCache::new();
@@ -469,6 +583,7 @@ mod tests {
             reloc_rounds: 0,
             neighbors: &[],
             enforce_max_load: false,
+            policy: PrunePolicy::EXACT,
         };
         let gamma = Gamma::new();
         let mut cache = StarCache::new();

@@ -1,12 +1,147 @@
 //! Non-inferior solution curves and the DP operators over them.
 
-use std::collections::BTreeMap;
-
 use merlin_tech::units::{ps_cmp, Cap, PsTime};
 use merlin_tech::{BufferLibrary, WireModel};
 
 use crate::arena::ProvId;
 use crate::point::CurvePoint;
+
+/// The total order [`Curve::prune`] sorts by: `(load, area, −req, prov)`.
+///
+/// The provenance tie-break matters: `sort_unstable` would otherwise order
+/// identical `(load, req, area)` triples by their incidental positions in
+/// the input vector, making the keep-first duplicate choice depend on
+/// which *other* candidates happened to be generated — and the predictive
+/// generation filters in `merlin-core` legitimately shrink that set. With
+/// a total order the pruned curve is a function of the point set alone.
+#[inline]
+fn cmp_total(a: &CurvePoint, b: &CurvePoint) -> std::cmp::Ordering {
+    a.load
+        .cmp(&b.load)
+        .then_with(|| a.area.cmp(&b.area))
+        .then_with(|| ps_cmp(b.req, a.req))
+        .then_with(|| a.prov.index().cmp(&b.prov.index()))
+}
+
+/// The indexed (area → best req) staircase behind the Definition-6 sweep.
+///
+/// Corners sit in a flat vector sorted by strictly increasing area *and*
+/// strictly increasing req, so the domination probe is one binary search
+/// plus one compare, and the corners a newly accepted point makes stale
+/// form one contiguous run spliced out in place. Replacing the previous
+/// `BTreeMap` removes the per-point stale-key allocation and all node
+/// traffic; the corner count is bounded by the survivor count, so the
+/// splice memmoves stay within a few cache lines.
+#[derive(Debug)]
+struct Stair<V> {
+    corners: Vec<(u64, f64, V)>,
+}
+
+impl<V: Copy> Stair<V> {
+    fn new() -> Self {
+        Stair {
+            corners: Vec::new(),
+        }
+    }
+
+    /// The corner with the largest area `<= area`, if any. By the sweep
+    /// order its req is the best among accepted points whose area (and
+    /// load) are at or below the probe's.
+    #[inline]
+    fn floor(&self, area: u64) -> Option<(u64, f64, V)> {
+        let i = self.corners.partition_point(|c| c.0 <= area);
+        i.checked_sub(1).map(|i| self.corners[i])
+    }
+
+    /// Records an accepted point, retiring the corners it strictly
+    /// improves on (area `>= area` with req `<= req` — one contiguous run,
+    /// by the invariant). Returns how many corners were retired.
+    #[inline]
+    fn accept(&mut self, area: u64, req: f64, v: V) -> usize {
+        let lo = self.corners.partition_point(|c| c.0 < area);
+        let mut hi = lo;
+        while hi < self.corners.len() && self.corners[hi].1 <= req {
+            hi += 1;
+        }
+        let stale = hi - lo;
+        if stale == 0 {
+            self.corners.insert(lo, (area, req, v));
+        } else {
+            self.corners[lo] = (area, req, v);
+            if stale > 1 {
+                self.corners.drain(lo + 1..hi);
+            }
+        }
+        stale
+    }
+
+    fn len(&self) -> usize {
+        self.corners.len()
+    }
+}
+
+/// Post-prune speed/quality dial (see [`Curve::reduce`]): load
+/// quantization plus Li & Shi-style predictive pruning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrunePolicy {
+    /// Load-quantization bucket width in capacitance units: points whose
+    /// loads share a `load / load_quant` bucket compete under Definition 6
+    /// as if their loads were equal (survivors keep their exact values).
+    /// `0` or `1` keeps every exact trade-off.
+    pub load_quant: u32,
+    /// Predictive resistance floor in ps per capacitance unit. Every
+    /// structure is eventually driven through at least the net driver's
+    /// resistance, so domination may be tested on the *adjusted* required
+    /// time `req − rmin·load` (Li & Shi's predictive pruning): a point
+    /// that loses on adjusted req cannot win the final selection when the
+    /// true upstream resistance is at least `rmin`. `0.0` disables the
+    /// adjustment; larger-than-justified values trade quality for curve
+    /// size.
+    pub rmin_ps_per_cap: f64,
+}
+
+impl PrunePolicy {
+    /// The lossless policy: plain Definition 6.
+    pub const EXACT: PrunePolicy = PrunePolicy {
+        load_quant: 1,
+        rmin_ps_per_cap: 0.0,
+    };
+
+    /// Whether this policy never discards an exact-front point.
+    pub fn is_exact(&self) -> bool {
+        self.load_quant <= 1 && self.rmin_ps_per_cap <= 0.0
+    }
+}
+
+impl Default for PrunePolicy {
+    fn default() -> Self {
+        PrunePolicy::EXACT
+    }
+}
+
+/// Forcing the legacy `BTreeMap` sweep at runtime (oracle builds only).
+///
+/// The A/B harness (`merlin-bench`'s `prune_ab`, via the `legacy-sweep`
+/// feature) flips this to run *whole solves* against the reference sweep
+/// inside one binary; the differential tests use it to cross-check the
+/// indexed staircase. Production builds compile none of this.
+#[cfg(any(test, feature = "legacy-sweep"))]
+pub mod legacy {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static FORCE: AtomicBool = AtomicBool::new(false);
+
+    /// Routes every subsequent [`super::Curve::prune`] in this process
+    /// through the legacy sweep until turned off again.
+    pub fn force_legacy_sweep(on: bool) {
+        FORCE.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the legacy sweep is forced on.
+    pub fn forced() -> bool {
+        FORCE.load(Ordering::Relaxed)
+    }
+}
 
 /// A set of mutually non-inferior `(load, req, area)` solutions.
 ///
@@ -130,8 +265,9 @@ impl Curve {
     /// Removes every inferior point (Definition 6), keeping one
     /// representative of identical points, and sorts by increasing load.
     ///
-    /// Runs in `O(s log s)` using a (area → best req) staircase swept in
-    /// load order, exactly the "pruning operation" of lines 19–20 of the
+    /// Runs in `O(s log s)`: points are sorted by the total order
+    /// `(load, area, −req, prov)` and swept through the indexed
+    /// [`Stair`], exactly the "pruning operation" of lines 19–20 of the
     /// paper's Figure 9. Lemma 9: no non-inferior solution is lost.
     pub fn prune(&mut self) {
         if crate::fault::trip("curves.prune") {
@@ -141,12 +277,13 @@ impl Curve {
         if self.pts.len() <= 1 {
             return;
         }
-        self.pts.sort_unstable_by(|a, b| {
-            a.load
-                .cmp(&b.load)
-                .then(a.area.cmp(&b.area))
-                .then(ps_cmp(b.req, a.req))
-        });
+        self.pts.sort_unstable_by(cmp_total);
+        #[cfg(any(test, feature = "legacy-sweep"))]
+        if legacy::forced() {
+            self.sweep_legacy();
+            self.debug_check_noninferior("prune");
+            return;
+        }
         // The instrumented sweep is a physically separate copy of the loop
         // (not a `traced` flag threaded through the hot one): prune is the
         // hottest function in the workspace, and keeping even a
@@ -160,17 +297,82 @@ impl Curve {
         self.debug_check_noninferior("prune");
     }
 
-    /// The Definition-6 staircase sweep: area -> req over already-accepted
-    /// points, with req strictly increasing in area. The last entry with
-    /// area <= A holds the best req among accepted points with area <= A
-    /// (and, because we sweep in load order, load <= current load).
+    /// The Definition-6 sweep over the indexed staircase: a point is
+    /// inferior iff the floor corner at its area already reaches its req
+    /// (that corner's load and area are at or below the point's, by the
+    /// sweep order). Survivors are compacted in place — no output vector,
+    /// no per-point allocations.
     ///
     /// `inline(always)`: this is `prune`'s untraced hot path — measured
     /// against the uninstrumented code, letting the two-callee dispatch
     /// demote this call to an outlined one costs ~3% end-to-end.
     #[inline(always)]
     fn prune_sweep(&mut self) {
-        let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut stair: Stair<()> = Stair::new();
+        let mut w = 0usize;
+        for i in 0..self.pts.len() {
+            let p = self.pts[i];
+            if stair.floor(p.area).is_some_and(|(_, r, ())| r >= p.req) {
+                continue;
+            }
+            stair.accept(p.area, p.req, ());
+            self.pts[w] = p;
+            w += 1;
+        }
+        self.pts.truncate(w);
+    }
+
+    /// [`Curve::prune_sweep`] plus the `curves.prune.*` trace counters and
+    /// the Definition-6 kill taxonomy: a killer staircase corner with the
+    /// identical (area, bit-identical req) means the point is a duplicate
+    /// of one already kept; anything else is genuine domination. The
+    /// `curves.prune.index.*` names size the staircase itself.
+    #[cold]
+    #[inline(never)]
+    fn prune_sweep_traced(&mut self) {
+        let before = self.pts.len();
+        let mut killed_duplicate = 0u64;
+        let mut stale_corners = 0u64;
+        let mut peak_corners = 0usize;
+        let mut stair: Stair<()> = Stair::new();
+        let mut w = 0usize;
+        for i in 0..self.pts.len() {
+            let p = self.pts[i];
+            if let Some((area, req, ())) = stair.floor(p.area) {
+                if req >= p.req {
+                    if area == p.area && req.to_bits() == p.req.to_bits() {
+                        killed_duplicate += 1;
+                    }
+                    continue;
+                }
+            }
+            stale_corners += stair.accept(p.area, p.req, ()) as u64;
+            peak_corners = peak_corners.max(stair.len());
+            self.pts[w] = p;
+            w += 1;
+        }
+        self.pts.truncate(w);
+        let killed = (before - w) as u64;
+        merlin_trace::counter("curves.prune.calls", 1);
+        merlin_trace::counter("curves.prune.in", before as u64);
+        merlin_trace::counter("curves.pruned", killed);
+        merlin_trace::counter("curves.prune.kill.duplicate", killed_duplicate);
+        merlin_trace::counter(
+            "curves.prune.kill.dominated",
+            killed.saturating_sub(killed_duplicate),
+        );
+        merlin_trace::counter("curves.prune.index.stale", stale_corners);
+        merlin_trace::observe("curves.prune.index.peak", peak_corners as u64);
+        merlin_trace::observe("curves.prune.size", w as u64);
+    }
+
+    /// The pre-index `BTreeMap` staircase sweep, kept verbatim as the
+    /// differential-testing oracle: [`Curve::prune`] must keep identical
+    /// points in identical order. Compiled for tests and the
+    /// `legacy-sweep` feature only.
+    #[cfg(any(test, feature = "legacy-sweep"))]
+    fn sweep_legacy(&mut self) {
+        let mut stair: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
         let mut out = Vec::with_capacity(self.pts.len());
         for p in self.pts.drain(..) {
             let dominated = stair
@@ -194,48 +396,62 @@ impl Curve {
         self.pts = out;
     }
 
-    /// [`Curve::prune_sweep`] plus the `curves.prune.*` trace counters and
-    /// the Definition-6 kill taxonomy: a killer staircase corner with the
-    /// identical (area, bit-identical req) means the point is a duplicate
-    /// of one already kept; anything else is genuine domination.
-    #[cold]
-    #[inline(never)]
-    fn prune_sweep_traced(&mut self) {
-        let before = self.pts.len();
-        let mut killed_duplicate = 0u64;
-        let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
-        let mut out = Vec::with_capacity(self.pts.len());
-        for p in self.pts.drain(..) {
-            if let Some((&area, &req)) = stair.range(..=p.area).next_back() {
-                if req >= p.req {
-                    if area == p.area && req.to_bits() == p.req.to_bits() {
-                        killed_duplicate += 1;
-                    }
-                    continue;
-                }
-            }
-            let stale: Vec<u64> = stair
-                .range(p.area..)
-                .take_while(|(_, &r)| r <= p.req)
-                .map(|(&a, _)| a)
-                .collect();
-            for a in stale {
-                stair.remove(&a);
-            }
-            stair.insert(p.area, p.req);
-            out.push(p);
+    /// Sorts and prunes through the legacy sweep regardless of the
+    /// [`legacy`] process-wide switch — the curve-level oracle entry
+    /// point for differential tests and the A/B harness.
+    #[cfg(any(test, feature = "legacy-sweep"))]
+    pub fn prune_legacy(&mut self) {
+        if self.pts.len() <= 1 {
+            return;
         }
-        let killed = (before - out.len()) as u64;
-        merlin_trace::counter("curves.prune.calls", 1);
-        merlin_trace::counter("curves.prune.in", before as u64);
-        merlin_trace::counter("curves.pruned", killed);
-        merlin_trace::counter("curves.prune.kill.duplicate", killed_duplicate);
-        merlin_trace::counter(
-            "curves.prune.kill.dominated",
-            killed.saturating_sub(killed_duplicate),
-        );
-        merlin_trace::observe("curves.prune.size", out.len() as u64);
-        self.pts = out;
+        self.pts.sort_unstable_by(cmp_total);
+        self.sweep_legacy();
+    }
+
+    /// Applies a [`PrunePolicy`] to an already-pruned curve: re-runs the
+    /// Definition-6 sweep with loads bucketed by `load_quant` and
+    /// required times adjusted by `rmin_ps_per_cap`, then restores the
+    /// exact `(load, area)` storage order. Survivors keep their exact
+    /// values, so the result is a subset of the exact front — a
+    /// speed/quality dial in the same family as [`Curve::thin_to`],
+    /// threaded per resilience-ladder tier through `MerlinConfig`. The
+    /// [`PrunePolicy::EXACT`] default is a no-op.
+    pub fn reduce(&mut self, policy: PrunePolicy) {
+        if policy.is_exact() || self.pts.len() <= 1 {
+            return;
+        }
+        let q = policy.load_quant.max(1);
+        let rmin = policy.rmin_ps_per_cap.max(0.0);
+        let adj = |p: &CurvePoint| p.req - rmin * f64::from(p.load.units());
+        let before = self.pts.len();
+        self.pts.sort_unstable_by(|a, b| {
+            (a.load.units() / q)
+                .cmp(&(b.load.units() / q))
+                .then_with(|| a.area.cmp(&b.area))
+                .then_with(|| ps_cmp(adj(b), adj(a)))
+                .then_with(|| a.prov.index().cmp(&b.prov.index()))
+        });
+        let mut stair: Stair<()> = Stair::new();
+        let mut w = 0usize;
+        for i in 0..self.pts.len() {
+            let p = self.pts[i];
+            let r = adj(&p);
+            if stair.floor(p.area).is_some_and(|(_, fr, ())| fr >= r) {
+                continue;
+            }
+            stair.accept(p.area, r, ());
+            self.pts[w] = p;
+            w += 1;
+        }
+        self.pts.truncate(w);
+        self.pts.sort_unstable_by(cmp_total);
+        if merlin_trace::is_enabled() {
+            merlin_trace::counter(
+                "curves.prune.predictive.reduced",
+                (before - self.pts.len()) as u64,
+            );
+        }
+        self.debug_check_noninferior("reduce");
     }
 
     /// Verifies the post-[`Curve::prune`] contract: no NaN required time,
@@ -251,10 +467,10 @@ impl Curve {
     ///
     /// The first violation found, in storage order.
     pub fn check_invariants(&self) -> Result<(), CurveInvariantError> {
-        // (area -> (req, index)) staircase of already-seen points: the
-        // entry with the largest area <= A holds the best req among seen
-        // points with area <= A (and load <= current, by sweep order).
-        let mut stair: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+        // (area, req, index) staircase of already-seen points: the floor
+        // corner at A holds the best req among seen points with area <= A
+        // (and load <= current, by sweep order).
+        let mut stair: Stair<usize> = Stair::new();
         for (i, p) in self.pts.iter().enumerate() {
             if p.req.is_nan() {
                 return Err(CurveInvariantError::NanReq { index: i });
@@ -265,20 +481,12 @@ impl Curve {
                     return Err(CurveInvariantError::NotSorted { index: i });
                 }
             }
-            if let Some((_, &(r, by))) = stair.range(..=p.area).next_back() {
+            if let Some((_, r, by)) = stair.floor(p.area) {
                 if r >= p.req {
                     return Err(CurveInvariantError::Dominated { index: i, by });
                 }
             }
-            let stale: Vec<u64> = stair
-                .range(p.area..)
-                .take_while(|(_, &(r, _))| r <= p.req)
-                .map(|(&a, _)| a)
-                .collect();
-            for a in stale {
-                stair.remove(&a);
-            }
-            stair.insert(p.area, (p.req, i));
+            stair.accept(p.area, p.req, i);
         }
         Ok(())
     }
@@ -699,6 +907,194 @@ mod tests {
         a.absorb(b);
         assert_eq!(a.len(), 1);
         assert_eq!(a.points()[0].req, 120.0);
+    }
+
+    /// Points and order must be *identical* between the indexed staircase
+    /// and the legacy BTreeMap sweep — provenance included.
+    fn assert_identical(a: &Curve, b: &Curve) {
+        let key = |c: &Curve| {
+            c.iter()
+                .map(|p| (p.load.units(), p.area, p.req.to_bits(), p.prov.index()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(a), key(b));
+    }
+
+    #[test]
+    fn indexed_sweep_matches_legacy_sweep_randomized() {
+        let mut state = 0x9e3779b9u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..200 {
+            let n = (next() % 120) as usize;
+            // Small value ranges force heavy collisions, including exact
+            // duplicates and load-quantization-style load ties.
+            let pts: Vec<CurvePoint> = (0..n)
+                .map(|i| {
+                    CurvePoint::new(
+                        (next() % 12) as u32,
+                        (next() % 12) as f64,
+                        next() % 12,
+                        pid(i as u32),
+                    )
+                })
+                .collect();
+            let mut fast = Curve::new();
+            let mut slow = Curve::new();
+            for p in &pts {
+                fast.push(*p);
+                slow.push(*p);
+            }
+            fast.prune();
+            slow.prune_legacy();
+            assert_identical(&fast, &slow);
+            // And through the process-wide oracle switch, which exercises
+            // the `prune()` entry itself.
+            let mut forced = Curve::new();
+            for p in &pts {
+                forced.push(*p);
+            }
+            legacy::force_legacy_sweep(true);
+            forced.prune();
+            legacy::force_legacy_sweep(false);
+            assert_identical(&fast, &forced);
+            assert!(fast.is_pruned(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn duplicate_triples_keep_the_lowest_provenance() {
+        // Identical (load, req, area) triples: the total-order sort makes
+        // the keep-first choice the lowest prov id, independent of input
+        // order or surrounding points.
+        for order in [[2u32, 0, 1], [0, 1, 2], [1, 2, 0]] {
+            let mut c = Curve::new();
+            for i in order {
+                c.push(CurvePoint::new(10, 50.0, 5, pid(i)));
+            }
+            c.push(CurvePoint::new(3, 40.0, 5, pid(7)));
+            c.prune();
+            let dup = c
+                .iter()
+                .find(|p| p.load == Cap(10))
+                .expect("one duplicate representative survives");
+            assert_eq!(dup.prov, pid(0));
+        }
+    }
+
+    #[test]
+    fn exact_policy_reduce_is_identity() {
+        let mut c = Curve::new();
+        for i in 0..40u32 {
+            c.push(CurvePoint::new(
+                (i * 7) % 23,
+                ((i * 13) % 31) as f64,
+                ((i * 5) % 11) as u64,
+                pid(i),
+            ));
+        }
+        c.prune();
+        let before = c.clone();
+        c.reduce(PrunePolicy::EXACT);
+        assert_eq!(before, c);
+        c.reduce(PrunePolicy {
+            load_quant: 0,
+            rmin_ps_per_cap: -1.0,
+        });
+        assert_eq!(before, c, "degenerate dial values mean exact");
+    }
+
+    #[test]
+    fn load_quantization_collapses_bucket_ties() {
+        let mut c = Curve::new();
+        // Loads 10 and 11 share a bucket at q=4; the higher-req one wins.
+        c.push(CurvePoint::new(10, 90.0, 5, pid(0)));
+        c.push(CurvePoint::new(11, 100.0, 5, pid(1)));
+        // Load 13 sits in the next bucket and survives regardless.
+        c.push(CurvePoint::new(13, 110.0, 5, pid(2)));
+        c.prune();
+        assert_eq!(c.len(), 3);
+        c.reduce(PrunePolicy {
+            load_quant: 4,
+            rmin_ps_per_cap: 0.0,
+        });
+        assert_eq!(c.len(), 2);
+        assert!(c.iter().all(|p| p.prov != pid(0)));
+        assert!(c.check_invariants().is_ok(), "storage order restored");
+    }
+
+    #[test]
+    fn predictive_rmin_charges_load() {
+        let mut c = Curve::new();
+        // Same area: p1 has 10 more load units and only 5 ps more req, so
+        // under rmin = 1 ps/unit it is predictively dominated by p0.
+        c.push(CurvePoint::new(10, 100.0, 5, pid(0)));
+        c.push(CurvePoint::new(20, 105.0, 5, pid(1)));
+        c.prune();
+        assert_eq!(c.len(), 2);
+        let mut quantized = c.clone();
+        quantized.reduce(PrunePolicy {
+            load_quant: 100,
+            rmin_ps_per_cap: 0.0,
+        });
+        assert_eq!(quantized.len(), 1, "bucket-mates with equal area collapse");
+        assert_eq!(
+            quantized.points()[0].prov,
+            pid(1),
+            "without rmin the raw-req winner is kept"
+        );
+        c.reduce(PrunePolicy {
+            load_quant: 100,
+            rmin_ps_per_cap: 1.0,
+        });
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.points()[0].prov,
+            pid(0),
+            "rmin charges the extra load, flipping the winner"
+        );
+    }
+
+    #[test]
+    fn reduce_result_is_subset_of_exact_front() {
+        let mut state = 0xfeedbeefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = 1 + (next() % 80) as usize;
+            let mut c = Curve::new();
+            for i in 0..n {
+                c.push(CurvePoint::new(
+                    (next() % 64) as u32,
+                    (next() % 64) as f64,
+                    next() % 16,
+                    pid(i as u32),
+                ));
+            }
+            c.prune();
+            let exact: Vec<_> = c
+                .iter()
+                .map(|p| (p.load.units(), p.area, p.req.to_bits(), p.prov.index()))
+                .collect();
+            c.reduce(PrunePolicy {
+                load_quant: 8,
+                rmin_ps_per_cap: 0.5,
+            });
+            assert!(!c.is_empty());
+            assert!(c.check_invariants().is_ok());
+            for p in c.iter() {
+                let key = (p.load.units(), p.area, p.req.to_bits(), p.prov.index());
+                assert!(exact.contains(&key), "reduce must not invent points");
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod fault;
 pub mod point;
 
 pub use arena::{ProvArena, ProvArenaError, ProvId, ProvStep};
-pub use curve::{Curve, CurveInvariantError};
+pub use curve::{Curve, CurveInvariantError, PrunePolicy};
 pub use fault::FaultKind;
 pub use point::CurvePoint;

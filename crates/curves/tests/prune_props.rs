@@ -6,11 +6,59 @@
 //! are cross-validated against the O(s²) reference predicate
 //! [`Curve::is_pruned`].
 
-use merlin_curves::{Curve, CurvePoint, ProvId};
+use merlin_curves::{Curve, CurvePoint, ProvId, PrunePolicy};
+use merlin_tech::units::ps_cmp;
 use merlin_tech::{BufferLibrary, Technology};
 use proptest::prelude::*;
 
 type RawPoint = (u32, f64, u32);
+
+/// Every observable field of a point, provenance included — two prune
+/// implementations agree only if these sequences are identical.
+fn keys(pts: &[CurvePoint]) -> Vec<(u32, u64, u64, usize)> {
+    pts.iter()
+        .map(|p| (p.load.0, p.req.to_bits(), p.area, p.prov.index()))
+        .collect()
+}
+
+/// Independent reimplementation of the pre-index prune: the total-order
+/// sort (load, area, req desc, provenance) followed by the original
+/// BTreeMap staircase sweep with keep-first tie semantics. Written from
+/// the spec, not shared with the library, so it can serve as the oracle
+/// for the indexed sweep.
+fn oracle_prune(c: &Curve) -> Vec<CurvePoint> {
+    use std::collections::BTreeMap;
+    let mut pts: Vec<CurvePoint> = c.points().to_vec();
+    pts.sort_unstable_by(|a, b| {
+        a.load
+            .cmp(&b.load)
+            .then(a.area.cmp(&b.area))
+            .then(ps_cmp(b.req, a.req))
+            .then(a.prov.index().cmp(&b.prov.index()))
+    });
+    let mut stair: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut out = Vec::new();
+    for p in pts {
+        let dominated = stair
+            .range(..=p.area)
+            .next_back()
+            .is_some_and(|(_, &r)| r >= p.req);
+        if dominated {
+            continue;
+        }
+        let stale: Vec<u64> = stair
+            .range(p.area..)
+            .take_while(|(_, &r)| r <= p.req)
+            .map(|(&a, _)| a)
+            .collect();
+        for a in stale {
+            stair.remove(&a);
+        }
+        stair.insert(p.area, p.req);
+        out.push(p);
+    }
+    out
+}
 
 fn curve_from(points: &[RawPoint]) -> Curve {
     let mut c = Curve::new();
@@ -119,6 +167,72 @@ proptest! {
         if !c.is_empty() {
             prop_assert!(!buffered.is_empty());
         }
+    }
+
+    #[test]
+    fn indexed_prune_matches_the_legacy_sweep(points in raw_points()) {
+        let mut c = curve_from(&points);
+        let expect = keys(&oracle_prune(&c));
+        c.prune();
+        prop_assert_eq!(keys(c.points()), expect,
+            "indexed prune diverged from the BTreeMap oracle");
+    }
+
+    #[test]
+    fn indexed_prune_matches_the_legacy_sweep_under_heavy_ties(
+        raw in prop::collection::vec((1u32..6, 0u32..8, 0u32..5), 0..60),
+    ) {
+        // Tiny value domains force load/req/area collisions — the regime
+        // where tie-break order (and therefore provenance survival)
+        // actually distinguishes implementations. Loads are spread to a
+        // coarse grid so load-quantization bucket mates collide too.
+        let points: Vec<RawPoint> = raw
+            .iter()
+            .map(|&(l, r, a)| (l * 10, f64::from(r) * 0.5, a))
+            .collect();
+        let mut c = curve_from(&points);
+        let expect = keys(&oracle_prune(&c));
+        c.prune();
+        prop_assert_eq!(keys(c.points()), expect,
+            "indexed prune diverged from the oracle on tie-heavy input");
+        // Keep-first means the survivor of any duplicate group is the
+        // lowest-provenance copy, which (prov = input index here) is the
+        // first occurrence of its exact triple in the input.
+        for p in c.iter() {
+            let first = points
+                .iter()
+                .position(|&(l, r, a)| {
+                    l == p.load.0 && r.to_bits() == p.req.to_bits() && u64::from(a) == p.area
+                })
+                .expect("survivor came from the input");
+            prop_assert_eq!(p.prov.index(), first,
+                "a duplicate survived with a later provenance than its first copy");
+        }
+    }
+
+    #[test]
+    fn reduce_keeps_a_subsequence_of_the_exact_front(
+        points in raw_points(),
+        q in 1u32..12,
+    ) {
+        let mut exact = curve_from(&points);
+        exact.prune();
+        let mut dialed = exact.clone();
+        dialed.reduce(PrunePolicy { load_quant: q, rmin_ps_per_cap: 0.25 });
+        prop_assert!(dialed.check_invariants().is_ok(),
+            "reduce must preserve the exact-curve invariants");
+        // Survivors are a subsequence of the exact front, in order.
+        let front = keys(exact.points());
+        let kept = keys(dialed.points());
+        let mut it = front.iter();
+        for k in &kept {
+            prop_assert!(it.any(|f| f == k),
+                "reduce produced a point outside the exact front (or reordered)");
+        }
+        // The exact policy is the identity.
+        let mut same = exact.clone();
+        same.reduce(PrunePolicy::EXACT);
+        prop_assert_eq!(keys(same.points()), front);
     }
 
     #[test]

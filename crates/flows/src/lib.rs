@@ -143,6 +143,10 @@ impl FlowsConfig {
             cfg.merlin.max_curve_points.clamp(1, 6)
         };
         cfg.merlin.max_loops = cfg.merlin.max_loops.clamp(1, 2);
+        // Retries also coarsen the post-prune load-quantization dial: a
+        // quantized curve is smaller at every DP step, which both speeds
+        // the retry up and perturbs its trajectory away from the failure.
+        cfg.merlin.load_quant = (cfg.merlin.load_quant.max(1)) * 4;
         cfg
     }
 }
@@ -181,6 +185,10 @@ mod tests {
             assert!(
                 points(&thin.baseline_candidates) < usize::MAX,
                 "FullHanan must be reduced"
+            );
+            assert!(
+                thin.merlin.load_quant > base.merlin.load_quant.max(1),
+                "retries coarsen the load-quantization dial"
             );
         }
     }

@@ -97,6 +97,9 @@ fn single_pass(
     let start = Instant::now();
     let one = MerlinConfig {
         max_loops: 1,
+        // The degradation rung also coarsens the post-prune dial: curves
+        // shrink at every DP step, matching its answer-fast contract.
+        load_quant: cfg.merlin.load_quant.max(1) * 2,
         ..cfg.merlin
     };
     let outcome = Merlin::new(tech, one).optimize_budgeted(net, budget)?;
@@ -198,6 +201,9 @@ pub fn resilient_solve_attempt(
     };
     if params.threads != 0 {
         cfg.merlin.threads = params.threads;
+    }
+    if params.load_quant != 0 {
+        cfg.merlin.load_quant = params.load_quant;
     }
     resilient_solve_from(net, tech, &cfg, budget, params.entry)
 }

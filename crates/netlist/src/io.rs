@@ -129,11 +129,31 @@ fn parse_num<T: std::str::FromStr>(
 }
 
 /// Writes a net in the `.net` format (inverse of [`parse_net`] up to
-/// driver-strength rounding).
+/// driver-strength rounding and name normalization).
+///
+/// The format's `net <name>` line is a single whitespace-delimited token,
+/// so names containing whitespace (or the empty name) cannot be written
+/// verbatim — they used to serialize fine and then fail [`parse_net`] on
+/// read-back, silently breaking journal replay. The writer therefore
+/// normalizes the name the same way the batch supervisor does: every
+/// whitespace character becomes `_`, and an empty name becomes a single
+/// `_`. This keeps the writer infallible (the crash-recovery paths that
+/// serialize nets cannot do anything useful with a write error) at the
+/// cost of a lossy — but documented and deterministic — name round-trip.
 pub fn write_net(net: &Net) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, "net {}", net.name);
+    let name: String = net
+        .name
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect();
+    let name = if name.is_empty() {
+        "_".to_owned()
+    } else {
+        name
+    };
+    let _ = writeln!(s, "net {name}");
     // Recover the strength from the synthetic scaling rule R = 4200/s.
     let strength = 4200.0 / net.driver.rdrv_ohm;
     let _ = writeln!(
@@ -403,6 +423,31 @@ mod tests {
                     gate C 5 5\nnet g0 po0\nnet pi0 g0\n";
         let e = parse_circuit(text).unwrap_err();
         assert!(e.message.contains("invalid circuit"));
+    }
+
+    #[test]
+    fn whitespace_names_round_trip_sanitized() {
+        // Regression: `net my net` serialized fine and then failed
+        // parse_net with a trailing-token error, so any journal holding
+        // such a net could not be replayed.
+        let base = parse_net("net a\nsource 1 2 4\nsink 3 4 5.5 100\n").unwrap();
+        for (raw, expect) in [
+            ("my net", "my_net"),
+            (" lead", "_lead"),
+            ("tab\tsep", "tab_sep"),
+            ("nl\nname", "nl_name"),
+            ("", "_"),
+        ] {
+            let mut net = base.clone();
+            net.name = raw.to_owned();
+            let text = write_net(&net);
+            let parsed = parse_net(&text)
+                .unwrap_or_else(|e| panic!("round-trip of name {raw:?} failed: {e}"));
+            assert_eq!(parsed.name, expect);
+            assert_eq!(parsed.num_sinks(), net.num_sinks());
+            // A second trip is the identity: sanitization is idempotent.
+            assert_eq!(write_net(&parsed), text);
+        }
     }
 
     #[test]

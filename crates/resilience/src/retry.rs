@@ -48,6 +48,12 @@ pub struct AttemptParams {
     /// perturbs it, since thread count cannot change the (deterministic)
     /// result — only how fast a retry burns its budget slice.
     pub threads: usize,
+    /// Load-quantization divisor for the post-prune curve-reduction dial
+    /// (0 = leave the configured `MerlinConfig::load_quant` untouched).
+    /// Like `threads`, this is a supervisor knob rather than part of the
+    /// retry schedule: the schedule's search thinning already coarsens
+    /// the dial through the flows-side `thinned()` policy.
+    pub load_quant: u32,
 }
 
 /// Bounded-retry policy with exponential backoff. See the module docs.
@@ -138,6 +144,7 @@ impl RetryPolicy {
             entry,
             thin_search: attempt > 0,
             threads: 0,
+            load_quant: 0,
         }
     }
 }

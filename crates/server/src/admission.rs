@@ -72,6 +72,19 @@ pub fn entry_floor(level: Pressure) -> Option<ServingTier> {
     }
 }
 
+/// The observed mean service time, falling back to `default_ms` on a
+/// cold daemon (no completed job yet — exactly when a crash-recovered
+/// or freshly started server is most likely to see a full queue). Both
+/// branches are floored to 1 ms so a zero-configured default or a
+/// sub-millisecond mean cannot zero out the pacing term feeding
+/// [`retry_after_ms`].
+pub fn mean_service_ms(service_ms_total: u64, completed: u64, default_ms: u64) -> u64 {
+    match service_ms_total.checked_div(completed) {
+        Some(mean) => mean.max(1),
+        None => default_ms.max(1),
+    }
+}
+
 /// A retry-after hint for a rejected submit: the backlog divided by the
 /// worker pool, paced by the observed mean service time. Clamped so the
 /// hint is always sane even with degenerate inputs.
@@ -125,5 +138,26 @@ mod tests {
         assert_eq!(retry_after_ms(usize::MAX, 1, u64::MAX), MAX_RETRY_AFTER_MS);
         // Degenerate worker/service inputs still produce a sane hint.
         assert_eq!(retry_after_ms(100, 0, 0), 100);
+    }
+
+    #[test]
+    fn cold_daemon_hints_never_invite_a_busy_loop() {
+        // Regression: a full queue before the first completed job used to
+        // be able to hint retry_after_ms = 0 (no service-time sample and
+        // a zero default), sending clients into a tight resubmit loop.
+        assert_eq!(mean_service_ms(0, 0, 0), 1, "no samples, zero default");
+        assert_eq!(mean_service_ms(0, 0, 500), 500, "no samples, default");
+        assert_eq!(mean_service_ms(300, 0, 500), 500, "total without samples");
+        assert_eq!(mean_service_ms(0, 10, 500), 1, "sub-ms mean floors to 1");
+        assert_eq!(mean_service_ms(900, 3, 500), 300, "warm mean wins");
+        for depth in [0, 1, 64, usize::MAX] {
+            for workers in [0, 1, 64] {
+                let hint = retry_after_ms(depth, workers, mean_service_ms(0, 0, 0));
+                assert!(
+                    (MIN_RETRY_AFTER_MS..=MAX_RETRY_AFTER_MS).contains(&hint),
+                    "cold hint {hint} out of range at depth={depth} workers={workers}"
+                );
+            }
+        }
     }
 }

@@ -23,7 +23,9 @@ pub mod protocol;
 pub mod server;
 pub mod telemetry;
 
-pub use admission::{entry_floor, pressure, retry_after_ms, Pressure, HIGH_WATERMARK};
+pub use admission::{
+    entry_floor, mean_service_ms, pressure, retry_after_ms, Pressure, HIGH_WATERMARK,
+};
 pub use client::Client;
 pub use deadline::{charge_queue_wait, effective_budget_ms, DeadlineDecision};
 pub use intake::{load_intake, IntakeWriter, LoadedIntake, INTAKE_HEADER};

@@ -213,10 +213,11 @@ fn lock_inner(shared: &Shared) -> MutexGuard<'_, Inner> {
 
 impl Shared {
     fn mean_service_ms(&self, stats: &Stats) -> u64 {
-        match stats.service_ms_total.checked_div(stats.completed) {
-            Some(mean) => mean.max(1),
-            None => self.cfg.default_service_ms,
-        }
+        crate::admission::mean_service_ms(
+            stats.service_ms_total,
+            stats.completed,
+            self.cfg.default_service_ms,
+        )
     }
 
     /// Builds the batch report over everything admitted so far. Jobs

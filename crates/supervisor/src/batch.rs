@@ -104,6 +104,13 @@ pub struct BatchConfig {
     /// is identical at any thread count; keep `jobs × threads` at or
     /// below the core count or the shards just contend with each other.
     pub threads: usize,
+    /// Load-quantization divisor for the post-prune curve-reduction dial,
+    /// applied to every solve attempt (`0` = keep the per-net flows
+    /// default, which is exact). Unlike `threads` this *does* change the
+    /// result — quantized curves trade solution quality for speed — so it
+    /// is an explicit operator knob, surfaced as `--load-quant` on the
+    /// CLI and inherited by the server through its embedded batch config.
+    pub load_quant: u32,
     /// Cap on *concurrently-abandoned* worker threads. Every watchdog
     /// abandonment leaks a thread (stalled mid-solve, never joined);
     /// exceeding the cap fails the batch with
@@ -128,6 +135,7 @@ impl Default for BatchConfig {
             crash_after: None,
             capture_trace: false,
             threads: 0,
+            load_quant: 0,
             abandon_cap: 32,
         }
     }
@@ -263,6 +271,7 @@ struct Shared {
     fault: FaultConfig,
     capture_trace: bool,
     threads: usize,
+    load_quant: u32,
     sched: Mutex<Sched>,
     ready: Condvar,
 }
@@ -343,6 +352,7 @@ fn worker_loop(shared: Arc<Shared>, tx: mpsc::Sender<Event>, worker_id: usize) {
         let net = &shared.nets[idx];
         let mut params = shared.retry.params(attempt);
         params.threads = shared.threads;
+        params.load_quant = shared.load_quant;
         let budget =
             artifact::attempt_budget(shared.budget_ms, shared.work_limit, params.budget_scale);
         let cfg = FlowsConfig::for_net_size(net.num_sinks());
@@ -644,6 +654,7 @@ pub fn run_batch(
         fault: cfg.fault.clone(),
         capture_trace: cfg.capture_trace,
         threads: cfg.threads,
+        load_quant: cfg.load_quant,
         sched: Mutex::new(Sched {
             queue,
             inflight: HashMap::new(),

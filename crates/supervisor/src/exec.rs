@@ -81,6 +81,7 @@ pub fn solve_to_record(
     loop {
         let mut params = cfg.retry.params(attempt);
         params.threads = cfg.threads;
+        params.load_quant = cfg.load_quant;
         if let Some(floor) = opts.entry_floor {
             // Strongest-first `Ord`: `max` picks the weaker tier, so a
             // shed entry can only move the attempt *down* the ladder.

@@ -166,11 +166,16 @@ impl Hist {
     /// linearly inside it. The bucket's value range is clamped to the
     /// observed `[min, max]`, so a histogram whose observations all share
     /// one bucket (or one value) reports exactly. Returns 0 on an empty
-    /// histogram.
+    /// histogram. `q` is clamped into `[0.0, 1.0]` (NaN counts as 0.0),
+    /// so degenerate requests report the extreme quantiles instead of a
+    /// garbage rank.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        // Guard before the cast: NaN casts to 0 and then masquerades as
+        // rank 1, and q > 1.0 over-ranks straight into the rank clamp.
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut before = 0u64;
         for (idx, &c) in self.buckets.iter().enumerate() {
@@ -729,6 +734,14 @@ mod tests {
             prev = v;
         }
         assert_eq!(Hist::default().quantile(0.5), 0);
+        // Degenerate q: NaN and negatives report the minimum quantile,
+        // q > 1.0 reports the maximum — never a garbage rank.
+        assert_eq!(uniform.quantile(f64::NAN), uniform.quantile(0.0));
+        assert_eq!(uniform.quantile(-0.5), uniform.quantile(0.0));
+        assert_eq!(uniform.quantile(f64::NEG_INFINITY), uniform.quantile(0.0));
+        assert_eq!(uniform.quantile(1.5), 1024);
+        assert_eq!(uniform.quantile(f64::INFINITY), 1024);
+        assert_eq!(mass.quantile(f64::NAN), 42);
     }
 
     #[test]

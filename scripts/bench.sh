@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Perf baseline driver: builds release and regenerates BENCH_pr5.json
+# Perf baseline driver: builds release and regenerates BENCH_pr10.json
 # (micro-bench medians + trace counters + the fixed 50-net batch wall
 # clock). Pass --criterion to also run the criterion micro-benchmarks
 # (slow; results land in target/criterion/).
@@ -18,7 +18,7 @@ while [ $# -gt 0 ]; do
   shift
 done
 
-echo "== baseline (BENCH_pr5.json) =="
+echo "== baseline (BENCH_pr10.json) =="
 cargo run -q -p merlin-bench --release --bin baseline -- "${baseline_args[@]+"${baseline_args[@]}"}"
 
 if [ "$criterion" = 1 ]; then

@@ -70,6 +70,9 @@ solve flags:
   --threads N          intra-net DP worker threads for BUBBLE_CONSTRUCT
                        (0 = one per core; default 1 = sequential); the
                        result is identical at any thread count
+  --load-quant Q       post-prune load-quantization dial: curve points in
+                       the same Q-wide load bucket compete as equals
+                       (1 = exact, the default; larger = faster, coarser)
 
 trace flags (solve, batch and resume):
   --trace out.json     capture a trace of the run and write it here
@@ -86,6 +89,9 @@ batch/resume flags (defaults in parentheses):
   --threads N          intra-net DP threads per solve attempt (0 = keep
                        the sequential per-net default); keep jobs ×
                        threads at or below the core count
+  --load-quant Q       post-prune load-quantization dial for every solve
+                       attempt (0 = keep the exact per-net default;
+                       larger = faster, coarser curves)
   --budget-ms MS       cooperative per-net wall-clock budget (none)
   --work-limit W       cooperative per-net DP work limit (none)
   --max-retries R      retries after each net's first attempt (2)
@@ -133,6 +139,7 @@ serve flags (defaults in parentheses):
                        rejects submits with a typed `overloaded` response
   --jobs J             solver worker threads (1)
   --threads N          intra-net DP threads per solve (0 = sequential)
+  --load-quant Q       post-prune load-quantization dial (0 = exact)
   --budget-ms MS       per-net wall-clock budget; request deadlines can
                        only tighten it, never loosen it (none)
   --work-limit W       cooperative per-net DP work limit (none)
@@ -345,6 +352,7 @@ fn cmd_solve(mut args: Args) -> ExitCode {
     let mut area_budget = None;
     let mut req_target = None;
     let mut threads = None;
+    let mut load_quant = None;
     let mut trace_opts = TraceOpts::default();
     while let Some(arg) = args.next() {
         if let Some(result) = trace_opts.consume(&arg, &mut args) {
@@ -359,6 +367,9 @@ fn cmd_solve(mut args: Args) -> ExitCode {
             "--area-budget" => args.parsed("--area-budget").map(|v| area_budget = Some(v)),
             "--req-target" => args.parsed("--req-target").map(|v| req_target = Some(v)),
             "--threads" => args.parsed("--threads").map(|v: usize| threads = Some(v)),
+            "--load-quant" => args
+                .parsed("--load-quant")
+                .map(|v: u32| load_quant = Some(v)),
             other if !other.starts_with("--") => {
                 file = Some(other.to_owned());
                 Ok(())
@@ -391,6 +402,9 @@ fn cmd_solve(mut args: Args) -> ExitCode {
     }
     if let Some(n) = threads {
         cfg.merlin.threads = n;
+    }
+    if let Some(q) = load_quant {
+        cfg.merlin.load_quant = q;
     }
 
     if trace_opts.active() {
@@ -499,6 +513,7 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
             "--seed" => args.parsed("--seed").map(|v| seed = v),
             "--jobs" => args.parsed("--jobs").map(|v: usize| cfg.jobs = v.max(1)),
             "--threads" => args.parsed("--threads").map(|v: usize| cfg.threads = v),
+            "--load-quant" => args.parsed("--load-quant").map(|v: u32| cfg.load_quant = v),
             "--budget-ms" => args.parsed("--budget-ms").map(|v| cfg.budget_ms = Some(v)),
             "--work-limit" => args
                 .parsed("--work-limit")
@@ -668,6 +683,9 @@ fn cmd_batch(mut args: Args, require_journal: bool) -> ExitCode {
         if cfg.threads != 0 {
             push_kv(&mut worker_args, "--threads", cfg.threads.to_string());
         }
+        if cfg.load_quant != 0 {
+            push_kv(&mut worker_args, "--load-quant", cfg.load_quant.to_string());
+        }
         for spec in &chaos_specs {
             push_kv(&mut worker_args, "--chaos", spec.clone());
         }
@@ -774,6 +792,7 @@ fn cmd_worker(mut args: Args) -> ExitCode {
             "--sinks" => args.parsed("--sinks").map(|v| sinks = v),
             "--seed" => args.parsed("--seed").map(|v| seed = v),
             "--threads" => args.parsed("--threads").map(|v: usize| cfg.threads = v),
+            "--load-quant" => args.parsed("--load-quant").map(|v: u32| cfg.load_quant = v),
             "--budget-ms" => args.parsed("--budget-ms").map(|v| cfg.budget_ms = Some(v)),
             "--work-limit" => args
                 .parsed("--work-limit")
@@ -1019,6 +1038,9 @@ fn cmd_serve(mut args: Args) -> ExitCode {
             "--threads" => args
                 .parsed("--threads")
                 .map(|v: usize| cfg.batch.threads = v),
+            "--load-quant" => args
+                .parsed("--load-quant")
+                .map(|v: u32| cfg.batch.load_quant = v),
             "--budget-ms" => args
                 .parsed("--budget-ms")
                 .map(|v| cfg.batch.budget_ms = Some(v)),

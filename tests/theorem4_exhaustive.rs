@@ -35,6 +35,8 @@ fn exact_cfg(bubbling: bool) -> MerlinConfig {
         enforce_max_load: false,
         max_inner_groups: 1,
         threads: 1,
+        load_quant: 1,
+        prune_rmin: 0.0,
     }
 }
 
